@@ -1,0 +1,138 @@
+//! The per-cluster 8 kB shared cache of Table 1.
+
+use cim_units::{Area, Energy, Power, Time};
+use serde::{Deserialize, Serialize};
+
+use crate::finfet::FinfetTech;
+
+/// Cache parameters (Table 1: 8 kB shared per cluster, 0.0092 mm²,
+/// 1/64 W static power, 1-cycle hits, 165-cycle miss penalty).
+///
+/// Table 1 quotes no *dynamic* access energies; `hit_energy` and
+/// `miss_energy` carry documented assumptions (an 8 kB SRAM read at 22 nm
+/// costs ≈ 10 pJ; a miss adds a DRAM access at ≈ 1 nJ) that the
+/// `table2 --ablate-hitrate` bench sweeps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheSpec {
+    /// Capacity in bytes.
+    pub capacity_bytes: usize,
+    /// Layout area.
+    pub area: Area,
+    /// Static (leakage) power.
+    pub static_power: Power,
+    /// Probability that an access hits.
+    pub hit_ratio: f64,
+    /// Hit latency in cycles.
+    pub hit_cycles: u64,
+    /// Miss penalty in cycles.
+    pub miss_penalty_cycles: u64,
+    /// Write latency in cycles.
+    pub write_cycles: u64,
+    /// Dynamic energy of a hit (assumption, see type docs).
+    pub hit_energy: Energy,
+    /// Dynamic energy of a miss including the backing-store access
+    /// (assumption, see type docs).
+    pub miss_energy: Energy,
+}
+
+impl CacheSpec {
+    /// Table 1's cache with the DNA experiment's 50% hit ratio.
+    pub fn table1_dna() -> Self {
+        Self {
+            capacity_bytes: 8 * 1024,
+            area: Area::from_square_milli_meters(0.0092),
+            static_power: Power::from_watts(1.0 / 64.0),
+            hit_ratio: 0.5,
+            hit_cycles: 1,
+            miss_penalty_cycles: 165,
+            write_cycles: 1,
+            hit_energy: Energy::from_pico_joules(10.0),
+            miss_energy: Energy::from_nano_joules(1.0),
+        }
+    }
+
+    /// Table 1's cache with the mathematics experiment's 98% hit ratio.
+    pub fn table1_math() -> Self {
+        Self {
+            hit_ratio: 0.98,
+            ..Self::table1_dna()
+        }
+    }
+
+    /// Replaces the hit ratio (ablation hook).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ratio is outside `[0, 1]`.
+    pub fn with_hit_ratio(mut self, hit_ratio: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&hit_ratio),
+            "hit ratio must be in [0,1]"
+        );
+        self.hit_ratio = hit_ratio;
+        self
+    }
+
+    /// Expected access latency in cycles
+    /// (`hit·t_hit + (1 − hit)·t_miss`).
+    pub fn expected_access_cycles(&self) -> f64 {
+        self.hit_ratio * self.hit_cycles as f64
+            + (1.0 - self.hit_ratio) * self.miss_penalty_cycles as f64
+    }
+
+    /// Expected access latency as wall-clock time at `tech`'s clock.
+    pub fn expected_access_time(&self, tech: &FinfetTech) -> Time {
+        tech.cycle() * self.expected_access_cycles()
+    }
+
+    /// Expected dynamic energy of one access.
+    pub fn expected_access_energy(&self) -> Energy {
+        self.hit_energy * self.hit_ratio + self.miss_energy * (1.0 - self.hit_ratio)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_constants() {
+        let c = CacheSpec::table1_dna();
+        assert_eq!(c.capacity_bytes, 8192);
+        assert!((c.area.as_square_milli_meters() - 0.0092).abs() < 1e-12);
+        assert!((c.static_power.as_watts() - 0.015625).abs() < 1e-12);
+        assert_eq!(c.miss_penalty_cycles, 165);
+        assert_eq!(CacheSpec::table1_math().hit_ratio, 0.98);
+    }
+
+    #[test]
+    fn expected_cycles_weight_hit_and_miss() {
+        // 50%: 0.5·1 + 0.5·165 = 83 cycles.
+        let dna = CacheSpec::table1_dna();
+        assert!((dna.expected_access_cycles() - 83.0).abs() < 1e-12);
+        // 98%: 0.98·1 + 0.02·165 = 4.28 cycles.
+        let math = CacheSpec::table1_math();
+        assert!((math.expected_access_cycles() - 4.28).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_time_uses_clock() {
+        let c = CacheSpec::table1_dna();
+        let t = c.expected_access_time(&FinfetTech::table1_22nm());
+        assert!((t.as_nano_seconds() - 83.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn access_energy_interpolates() {
+        let c = CacheSpec::table1_dna().with_hit_ratio(1.0);
+        assert_eq!(c.expected_access_energy(), c.hit_energy);
+        let c = c.with_hit_ratio(0.0);
+        assert_eq!(c.expected_access_energy(), c.miss_energy);
+    }
+
+    #[test]
+    #[should_panic(expected = "hit ratio")]
+    fn rejects_bad_hit_ratio() {
+        let _ = CacheSpec::table1_dna().with_hit_ratio(1.5);
+    }
+}

@@ -1,0 +1,90 @@
+//! The 22 nm FinFET technology constants of Table 1.
+
+use cim_units::{Area, Energy, Frequency, Power, Time};
+use serde::{Deserialize, Serialize};
+
+/// Gate-level technology parameters for the conventional machine.
+///
+/// Table 1 ("Assumptions for conventional architecture"): gate delay
+/// 14 ps, area 0.248 µm², power 175 nW, leakage 42.83 nW per gate, 1 GHz
+/// operating frequency.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FinfetTech {
+    /// Propagation delay of one gate.
+    pub gate_delay: Time,
+    /// Layout area of one gate.
+    pub gate_area: Area,
+    /// Dynamic power of one switching gate.
+    pub gate_power: Power,
+    /// Static leakage power of one gate.
+    pub gate_leakage: Power,
+    /// System clock.
+    pub clock: Frequency,
+}
+
+impl FinfetTech {
+    /// Table 1's 22 nm FinFET multi-core implementation numbers.
+    pub fn table1_22nm() -> Self {
+        Self {
+            gate_delay: Time::from_pico_seconds(14.0),
+            gate_area: Area::from_square_micro_meters(0.248),
+            gate_power: Power::from_nano_watts(175.0),
+            gate_leakage: Power::from_nano_watts(42.83),
+            clock: Frequency::from_giga_hertz(1.0),
+        }
+    }
+
+    /// Dynamic energy of one gate switching event (`P_gate · t_gate`).
+    pub fn gate_energy(&self) -> Energy {
+        self.gate_power * self.gate_delay
+    }
+
+    /// Leakage energy of one gate over one clock cycle *minus* its active
+    /// window — Table 1's "leakage duration: cycle time − delay per gate".
+    pub fn gate_leakage_energy_per_cycle(&self) -> Energy {
+        let idle = self.clock.period() - self.gate_delay;
+        self.gate_leakage * idle
+    }
+
+    /// One clock period.
+    pub fn cycle(&self) -> Time {
+        self.clock.period()
+    }
+}
+
+impl Default for FinfetTech {
+    fn default() -> Self {
+        Self::table1_22nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_constants() {
+        let t = FinfetTech::table1_22nm();
+        assert_eq!(t.gate_delay.as_pico_seconds(), 14.0);
+        assert!((t.gate_area.as_square_micro_meters() - 0.248).abs() < 1e-12);
+        assert_eq!(t.gate_power.as_nano_watts(), 175.0);
+        assert_eq!(t.gate_leakage.as_nano_watts(), 42.83);
+        assert_eq!(t.clock.as_giga_hertz(), 1.0);
+    }
+
+    #[test]
+    fn gate_energy_is_2_45_attojoules() {
+        // 175 nW × 14 ps = 2.45 aJ — the "actual operation" energy scale
+        // the paper contrasts with the ~70 pJ instruction overhead.
+        let e = FinfetTech::table1_22nm().gate_energy();
+        assert!((e.as_atto_joules() - 2.45).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leakage_uses_idle_window() {
+        let t = FinfetTech::table1_22nm();
+        let e = t.gate_leakage_energy_per_cycle();
+        // 42.83 nW × (1000 − 14) ps ≈ 42.23 aJ.
+        assert!((e.as_atto_joules() - 42.83 * 0.986).abs() < 0.01);
+    }
+}

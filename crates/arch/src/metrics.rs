@@ -1,0 +1,152 @@
+//! The three Table-2 figures of merit.
+
+use cim_units::{Area, Energy, EnergyDelay, Time};
+use serde::{Deserialize, Serialize};
+
+/// The raw outcome of executing a workload on one machine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Operations completed.
+    pub operations: u64,
+    /// Wall-clock makespan.
+    pub total_time: Time,
+    /// Total energy: dynamic + static over the makespan.
+    pub total_energy: Energy,
+    /// Machine area used.
+    pub area: Area,
+}
+
+impl RunReport {
+    /// Average latency contribution of one operation (makespan / ops ×
+    /// parallelism is folded into the makespan already; this is the
+    /// per-op share of the total time).
+    pub fn time_per_op(&self) -> Time {
+        self.total_time / self.operations as f64
+    }
+
+    /// Average energy of one operation.
+    pub fn energy_per_op(&self) -> Energy {
+        self.total_energy / self.operations as f64
+    }
+}
+
+/// Table 2's three metrics, computed from a [`RunReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Energy-delay product per operation (J·s) — lower is better.
+    pub energy_delay_per_op: EnergyDelay,
+    /// Computing efficiency: operations per joule — higher is better.
+    pub ops_per_joule: f64,
+    /// Performance per area: operations per second per mm² — higher is
+    /// better.
+    pub ops_per_second_per_mm2: f64,
+}
+
+impl Metrics {
+    /// Computes the metrics from a run.
+    ///
+    /// `energy_delay_per_op` multiplies the per-op energy by the per-op
+    /// share of the makespan (DESIGN.md §4 documents this aggregation —
+    /// the paper's own is unspecified).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report has zero operations, time, energy, or area.
+    pub fn from_run(run: &RunReport) -> Self {
+        assert!(run.operations > 0, "run must contain operations");
+        assert!(run.total_time.get() > 0.0, "run must take time");
+        assert!(run.total_energy.get() > 0.0, "run must consume energy");
+        assert!(run.area.get() > 0.0, "machine must occupy area");
+        let ops = run.operations as f64;
+        Self {
+            energy_delay_per_op: run.energy_per_op() * run.time_per_op(),
+            ops_per_joule: ops / run.total_energy.as_joules(),
+            ops_per_second_per_mm2: ops
+                / run.total_time.as_seconds()
+                / run.area.as_square_milli_meters(),
+        }
+    }
+
+    /// Improvement ratios of `self` over `baseline` for the three metrics
+    /// (EDP ratio is `baseline/self` so that > 1 always means better).
+    pub fn improvement_over(&self, baseline: &Metrics) -> (f64, f64, f64) {
+        (
+            baseline.energy_delay_per_op.get() / self.energy_delay_per_op.get(),
+            self.ops_per_joule / baseline.ops_per_joule,
+            self.ops_per_second_per_mm2 / baseline.ops_per_second_per_mm2,
+        )
+    }
+}
+
+impl std::fmt::Display for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "EDP/op {:.4e} J·s | {:.4e} ops/J | {:.4e} ops/s/mm²",
+            self.energy_delay_per_op.get(),
+            self.ops_per_joule,
+            self.ops_per_second_per_mm2
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run() -> RunReport {
+        RunReport {
+            operations: 1_000,
+            total_time: Time::from_micro_seconds(1.0),
+            total_energy: Energy::from_micro_joules(2.0),
+            area: Area::from_square_milli_meters(4.0),
+        }
+    }
+
+    #[test]
+    fn per_op_shares() {
+        let r = run();
+        assert!((r.time_per_op().as_nano_seconds() - 1.0).abs() < 1e-12);
+        assert!((r.energy_per_op().as_nano_joules() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metric_values() {
+        let m = Metrics::from_run(&run());
+        // EDP/op = 2 nJ × 1 ns = 2e-18 J·s.
+        assert!((m.energy_delay_per_op.get() - 2e-18).abs() < 1e-30);
+        // 1000 ops / 2 µJ = 5e8 ops/J.
+        assert!((m.ops_per_joule - 5e8).abs() < 1.0);
+        // 1000 ops / 1 µs / 4 mm² = 2.5e8 ops/s/mm².
+        assert!((m.ops_per_second_per_mm2 - 2.5e8).abs() < 1.0);
+    }
+
+    #[test]
+    fn improvement_ratios_point_the_right_way() {
+        let base = Metrics::from_run(&run());
+        let better = Metrics {
+            energy_delay_per_op: base.energy_delay_per_op / 100.0,
+            ops_per_joule: base.ops_per_joule * 10.0,
+            ops_per_second_per_mm2: base.ops_per_second_per_mm2 * 2.0,
+        };
+        let (edp, eff, perf) = better.improvement_over(&base);
+        assert!((edp - 100.0).abs() < 1e-9);
+        assert!((eff - 10.0).abs() < 1e-9);
+        assert!((perf - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must contain operations")]
+    fn rejects_empty_runs() {
+        let mut r = run();
+        r.operations = 0;
+        let _ = Metrics::from_run(&r);
+    }
+
+    #[test]
+    fn display_is_scientific() {
+        let s = Metrics::from_run(&run()).to_string();
+        assert!(s.contains("ops/J"));
+        assert!(s.contains("e"));
+    }
+}

@@ -1,0 +1,158 @@
+//! Fig. 1's classification of computing systems by working-set location.
+//!
+//! The paper classifies machines (a)–(e) by where the working set lives:
+//! main memory (pre-80s), cache (today), distributed caches (multi-core),
+//! near-memory accelerators ("processor-in-memory"), and finally inside
+//! the computing cores themselves (the CIM proposal). This module turns
+//! that taxonomy into an access-cost model so the figure's qualitative
+//! argument becomes a computable sweep: for a memory-bound workload the
+//! achievable throughput and energy are set by working-set distance.
+
+use cim_units::{Energy, Time};
+use serde::{Deserialize, Serialize};
+
+/// Where the working set lives (Fig. 1, classes (a)–(e)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkingSetLocation {
+    /// (a) Main memory beside the CPU — the pre-cache von Neumann machine.
+    MainMemory,
+    /// (b) A shared cache between core and memory.
+    SharedCache,
+    /// (c) Distributed caches in a many-core (today's machines).
+    DistributedCache,
+    /// (d) Near-memory processing units ("processor-in-memory").
+    NearMemory,
+    /// (e) Inside the core itself — the CIM architecture.
+    InCore,
+}
+
+impl WorkingSetLocation {
+    /// All classes in the figure's (a) → (e) order.
+    pub const ALL: [WorkingSetLocation; 5] = [
+        WorkingSetLocation::MainMemory,
+        WorkingSetLocation::SharedCache,
+        WorkingSetLocation::DistributedCache,
+        WorkingSetLocation::NearMemory,
+        WorkingSetLocation::InCore,
+    ];
+
+    /// The access cost of one working-set reference.
+    ///
+    /// Latencies follow the usual memory-hierarchy ladder (~100 ns DRAM,
+    /// ~10 ns shared SRAM, ~3 ns local SRAM, ~1 ns near-memory, one
+    /// device write time in-core); energies follow the data-movement
+    /// ladder the paper cites ("energy consumption of the cache accesses
+    /// and communication makes up easily 70% to 90%").
+    pub fn access_cost(self) -> LocationCost {
+        let (latency_ns, energy_pj) = match self {
+            WorkingSetLocation::MainMemory => (100.0, 1_000.0),
+            WorkingSetLocation::SharedCache => (10.0, 50.0),
+            WorkingSetLocation::DistributedCache => (3.0, 10.0),
+            WorkingSetLocation::NearMemory => (1.0, 1.0),
+            WorkingSetLocation::InCore => (0.2, 0.001),
+        };
+        LocationCost {
+            location: self,
+            latency: Time::from_nano_seconds(latency_ns),
+            energy: Energy::from_pico_joules(energy_pj),
+        }
+    }
+}
+
+impl std::fmt::Display for WorkingSetLocation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            WorkingSetLocation::MainMemory => "(a) working set in main memory",
+            WorkingSetLocation::SharedCache => "(b) working set in shared cache",
+            WorkingSetLocation::DistributedCache => "(c) working set in distributed caches",
+            WorkingSetLocation::NearMemory => "(d) working set near memory",
+            WorkingSetLocation::InCore => "(e) working set in the core (CIM)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Access latency/energy of one working-set reference at a location.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LocationCost {
+    /// Which class this cost describes.
+    pub location: WorkingSetLocation,
+    /// Latency of one reference.
+    pub latency: Time,
+    /// Energy of one reference.
+    pub energy: Energy,
+}
+
+impl LocationCost {
+    /// Throughput of a workload issuing one reference per operation, in
+    /// operations per second (single stream).
+    pub fn ops_per_second(&self) -> f64 {
+        1.0 / self.latency.as_seconds()
+    }
+}
+
+/// Sweeps all five classes for a workload of `ops_per_byte` intensity,
+/// returning `(location, time per op, energy per op)` — the Fig. 1
+/// regeneration data.
+pub fn working_set_sweep(
+    compute_time: Time,
+    compute_energy: Energy,
+) -> Vec<(LocationCost, Time, Energy)> {
+    WorkingSetLocation::ALL
+        .iter()
+        .map(|loc| {
+            let cost = loc.access_cost();
+            (
+                cost,
+                compute_time + cost.latency,
+                compute_energy + cost.energy,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_strictly_improving_towards_the_core() {
+        let costs: Vec<LocationCost> = WorkingSetLocation::ALL
+            .iter()
+            .map(|l| l.access_cost())
+            .collect();
+        for pair in costs.windows(2) {
+            assert!(pair[1].latency < pair[0].latency, "latency ladder broken");
+            assert!(pair[1].energy < pair[0].energy, "energy ladder broken");
+        }
+    }
+
+    #[test]
+    fn in_core_matches_device_write_scale() {
+        let c = WorkingSetLocation::InCore.access_cost();
+        assert!((c.latency.as_pico_seconds() - 200.0).abs() < 1e-9);
+        assert!((c.energy.as_femto_joules() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_adds_compute_costs() {
+        let rows = working_set_sweep(Time::from_nano_seconds(1.0), Energy::from_pico_joules(0.5));
+        assert_eq!(rows.len(), 5);
+        let (cost, t, e) = rows[0];
+        assert_eq!(cost.location, WorkingSetLocation::MainMemory);
+        assert!((t.as_nano_seconds() - 101.0).abs() < 1e-9);
+        assert!((e.as_pico_joules() - 1000.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_is_latency_reciprocal() {
+        let c = WorkingSetLocation::SharedCache.access_cost();
+        assert!((c.ops_per_second() - 1e8).abs() < 1.0);
+    }
+
+    #[test]
+    fn display_names_follow_figure_labels() {
+        assert!(WorkingSetLocation::InCore.to_string().contains("(e)"));
+        assert!(WorkingSetLocation::MainMemory.to_string().contains("(a)"));
+    }
+}

@@ -1,0 +1,77 @@
+//! Device-model microbenchmarks + ablation A1 (window functions).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cim_device::{
+    Crs, DeviceParams, IonDriftParams, LinearIonDrift, Memristor, ThresholdDevice, TwoTerminal,
+    WindowFunction,
+};
+use cim_units::{Time, Voltage};
+
+fn bench_threshold_device(c: &mut Criterion) {
+    let p = DeviceParams::table1_cim();
+    c.bench_function("threshold_device/write_pulse", |b| {
+        b.iter(|| {
+            let mut d = ThresholdDevice::new_hrs(p.clone());
+            d.apply(black_box(p.write_voltage), p.write_time);
+            black_box(d.state())
+        })
+    });
+}
+
+/// Ablation A1: the window-function choice changes ion-drift switching
+/// dynamics; this quantifies the simulation cost and (via the reported
+/// final states, printed once) the behavioural spread.
+fn bench_window_functions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ion_drift_window");
+    for (name, window) in [
+        ("none", WindowFunction::None),
+        ("joglekar", WindowFunction::Joglekar { p: 2 }),
+        ("biolek", WindowFunction::Biolek { p: 2 }),
+        ("prodromakis", WindowFunction::Prodromakis { p: 2, j: 1.0 }),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &window, |b, &w| {
+            let params = IonDriftParams {
+                window: w,
+                ..IonDriftParams::hp_tio2()
+            };
+            b.iter(|| {
+                let mut d = LinearIonDrift::new(params.clone(), 0.1);
+                d.apply(
+                    black_box(Voltage::from_volts(1.0)),
+                    Time::from_micro_seconds(1.0),
+                );
+                black_box(d.state())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_crs(c: &mut Criterion) {
+    let p = DeviceParams::table1_cim();
+    c.bench_function("crs/write_read_restore", |b| {
+        b.iter(|| {
+            let mut cell = Crs::new_zero(p.clone());
+            cell.write(black_box(true));
+            black_box(cell.read_restore())
+        })
+    });
+    c.bench_function("crs/iv_sweep_100pts", |b| {
+        let sweep =
+            cim_device::IvSweep::new(Voltage::from_volts(3.5), 25, Time::from_nano_seconds(2.0));
+        b.iter(|| {
+            let mut cell = Crs::new_zero(p.clone());
+            black_box(sweep.run(&mut cell))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_threshold_device,
+    bench_window_functions,
+    bench_crs
+);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Crossbar solver benchmarks: lumped vs distributed, size scaling,
+//! junction types (ablation A2 companion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cim_crossbar::{BiasScheme, Cell, Crossbar, CrsCell, Geometry, ResistiveCell, SelectorCell};
+use cim_device::DeviceParams;
+
+fn array(n: usize) -> Crossbar<ResistiveCell> {
+    let p = DeviceParams::table1_cim();
+    let mut a = Crossbar::homogeneous(n, n, || ResistiveCell::new(p.clone()));
+    a.fill(|r, c| (r + c) % 2 == 0);
+    a
+}
+
+fn bench_lumped_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/lumped_read");
+    for n in [8usize, 16, 32, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let a = array(n);
+            let v = a.cell(0, 0).params().v_set * 0.5;
+            b.iter(|| black_box(a.solve_access(0, n - 1, v, BiasScheme::HalfV)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_distributed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/distributed_read");
+    for n in [8usize, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let p = DeviceParams::table1_cim();
+            let a = array(n).with_geometry(Geometry::nanowire(p.cell_area));
+            let v = p.v_set * 0.5;
+            b.iter(|| black_box(a.solve_access(0, n - 1, v, BiasScheme::HalfV)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_junctions(c: &mut Criterion) {
+    let p = DeviceParams::table1_cim();
+    let n = 16;
+    let mut group = c.benchmark_group("solver/junction_read_16x16");
+    group.bench_function("1R", |b| {
+        let mut a = Crossbar::homogeneous(n, n, || ResistiveCell::new(p.clone()));
+        a.fill(|_, _| true);
+        b.iter(|| black_box(a.solve_access(0, n - 1, p.v_set * 0.5, BiasScheme::HalfV)))
+    });
+    group.bench_function("1S1R", |b| {
+        let mut a =
+            Crossbar::homogeneous(n, n, || SelectorCell::new(p.clone(), 10.0, p.v_set * 0.5));
+        a.fill(|_, _| true);
+        b.iter(|| black_box(a.solve_access(0, n - 1, p.v_set * 0.5, BiasScheme::HalfV)))
+    });
+    group.bench_function("CRS", |b| {
+        let mut a = Crossbar::homogeneous(n, n, || CrsCell::new(p.clone()));
+        a.fill(|_, _| true);
+        b.iter(|| black_box(a.solve_access(0, n - 1, p.write_voltage * 0.95, BiasScheme::ThirdV)))
+    });
+    group.finish();
+}
+
+fn bench_cam_search(c: &mut Criterion) {
+    use cim_crossbar::Cam;
+    let mut group = c.benchmark_group("cam/search");
+    group.sample_size(20);
+    for words in [256usize, 1024, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(words), &words, |b, &words| {
+            let p = DeviceParams::table1_cim();
+            let mut cam = Cam::new(words, 32, p);
+            for w in 0..words {
+                cam.store(w, (w as u64).wrapping_mul(2654435761) & 0xFFFF_FFFF);
+            }
+            b.iter(|| black_box(cam.search(12345)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_multistage_read(c: &mut Criterion) {
+    let mut group = c.benchmark_group("read_style_16x16");
+    group.bench_function("plain", |b| {
+        let mut a = array(16);
+        b.iter(|| black_box(a.read(0, 15, BiasScheme::HalfV)))
+    });
+    group.bench_function("multistage", |b| {
+        let mut a = array(16);
+        b.iter(|| black_box(a.read_multistage(0, 15, BiasScheme::HalfV)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lumped_sizes,
+    bench_distributed,
+    bench_junctions,
+    bench_cam_search,
+    bench_multistage_read
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! End-to-end experiment benchmarks: the Table-2 pipelines themselves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cim_core::{AdditionsExperiment, DnaExperiment};
+use cim_sim::{CimExecutor, ConventionalExecutor};
+use cim_workloads::DnaSpec;
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("additions_experiment_10k", |b| {
+        b.iter(|| black_box(AdditionsExperiment::scaled(10_000, 1).run()))
+    });
+    group.bench_function("dna_experiment_20k", |b| {
+        b.iter(|| {
+            let exp = DnaExperiment {
+                spec: DnaSpec {
+                    ref_len: 20_000,
+                    coverage: 2,
+                    read_len: 100,
+                },
+                seed: 1,
+                hit_ratio_mode: cim_core::HitRatioMode::PaperAssumption,
+            };
+            black_box(exp.run())
+        })
+    });
+    group.bench_function("projections_only", |b| {
+        let conv = ConventionalExecutor::new(1);
+        let cim = CimExecutor::new(1);
+        b.iter(|| {
+            black_box(conv.project_dna(0.5));
+            black_box(cim.project_dna(0.5));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Workload-generation and cache-simulation benchmarks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cim_sim::{CacheConfig, CacheSim};
+use cim_workloads::{AdditionWorkload, Genome, MemoryTrace, ReadSampler, SortedKmerIndex};
+
+fn bench_index_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index/build");
+    group.sample_size(20);
+    for len in [10_000usize, 100_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, &len| {
+            let genome = Genome::generate(len, 1);
+            b.iter(|| black_box(SortedKmerIndex::build(&genome, 16)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_read_mapping(c: &mut Criterion) {
+    let genome = Genome::generate(100_000, 2);
+    let index = SortedKmerIndex::build(&genome, 16);
+    let reads = ReadSampler {
+        read_len: 100,
+        coverage: 1,
+        error_rate: 0.01,
+        seed: 3,
+    }
+    .sample(&genome);
+    c.bench_function("index/map_read", |b| {
+        let mut k = 0;
+        b.iter(|| {
+            let read = &reads[k % reads.len()];
+            k += 1;
+            let mut trace = MemoryTrace::new();
+            black_box(index.map_read(&genome, read, &mut trace))
+        })
+    });
+}
+
+fn bench_cache_sim(c: &mut Criterion) {
+    let genome = Genome::generate(100_000, 2);
+    let index = SortedKmerIndex::build(&genome, 16);
+    let reads = ReadSampler {
+        read_len: 100,
+        coverage: 1,
+        error_rate: 0.0,
+        seed: 4,
+    }
+    .sample(&genome);
+    let mut trace = MemoryTrace::new();
+    for read in reads.iter().take(200) {
+        let _ = index.map_read(&genome, read, &mut trace);
+    }
+    c.bench_function("cache/replay_trace", |b| {
+        b.iter(|| {
+            let mut cache = CacheSim::new(CacheConfig::table1_8kb());
+            black_box(cache.run_trace(&trace))
+        })
+    });
+}
+
+fn bench_additions(c: &mut Criterion) {
+    c.bench_function("additions/checksum_100k", |b| {
+        let w = AdditionWorkload::scaled(100_000, 5);
+        b.iter(|| black_box(w.checksum()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_index_build,
+    bench_read_mapping,
+    bench_cache_sim,
+    bench_additions
+);
+criterion_main!(benches);

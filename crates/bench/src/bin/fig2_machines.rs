@@ -1,0 +1,86 @@
+//! Regenerates **Fig. 2** ("Traditional versus proposed architecture") as
+//! the two machine descriptions with their derived totals side by side.
+//!
+//! ```bash
+//! cargo run --release -p cim-bench --bin fig2_machines
+//! ```
+
+use cim_arch::{CimMachine, ConventionalMachine};
+use cim_bench::write_csv;
+
+fn main() {
+    println!("== Fig. 2: traditional vs proposed (CIM) architecture ==\n");
+
+    println!("┌─ traditional ────────────────────────┐   ┌─ CIM ───────────────────────────────┐");
+    println!("│  cores ──► caches ──► main memory    │   │  crossbar: storage + computation    │");
+    println!("│  (working set in caches; every       │   │  in the same physical location      │");
+    println!("│   operand crosses the memory wall)   │   │  (working set inside the 'core')    │");
+    println!(
+        "└──────────────────────────────────────┘   └─────────────────────────────────────┘\n"
+    );
+
+    let mut csv = String::from(
+        "machine,workload,parallel_units,area_mm2,static_w,op_latency_s,op_energy_j\n",
+    );
+
+    for (workload, conv, cim) in [
+        (
+            "DNA",
+            ConventionalMachine::dna_paper(),
+            CimMachine::dna_paper(),
+        ),
+        (
+            "math",
+            ConventionalMachine::math_paper(1_000_000),
+            CimMachine::math_paper(1_000_000, 32),
+        ),
+    ] {
+        println!("-- {workload} workload --");
+        println!(
+            "{:<14} {:>16} {:>14} {:>12} {:>12} {:>12}",
+            "machine", "parallel units", "area", "static", "op latency", "op energy"
+        );
+        println!(
+            "{:<14} {:>16} {:>14} {:>12} {:>12} {:>12}",
+            "conventional",
+            conv.parallel_units(),
+            format!("{:.2} mm²", conv.area().as_square_milli_meters()),
+            conv.static_power().to_string(),
+            conv.op_latency().to_string(),
+            conv.op_dynamic_energy().to_string()
+        );
+        println!(
+            "{:<14} {:>16} {:>14} {:>12} {:>12} {:>12}\n",
+            "CIM",
+            cim.parallel_ops(),
+            format!("{:.4} mm²", cim.area().as_square_milli_meters()),
+            cim.static_power().to_string(),
+            cim.op_latency().to_string(),
+            cim.op_dynamic_energy().to_string()
+        );
+        csv.push_str(&format!(
+            "conventional,{workload},{},{:e},{:e},{:e},{:e}\n",
+            conv.parallel_units(),
+            conv.area().as_square_milli_meters(),
+            conv.static_power().as_watts(),
+            conv.op_latency().as_seconds(),
+            conv.op_dynamic_energy().as_joules()
+        ));
+        csv.push_str(&format!(
+            "cim,{workload},{},{:e},{:e},{:e},{:e}\n",
+            cim.parallel_ops(),
+            cim.area().as_square_milli_meters(),
+            cim.static_power().as_watts(),
+            cim.op_latency().as_seconds(),
+            cim.op_dynamic_energy().as_joules()
+        ));
+    }
+
+    println!(
+        "the three headline properties of Section III.A, from the models:\n\
+         1. massive parallelism: 11.8 M in-array comparators vs 600 k CMOS ones\n\
+         2. practically zero leakage: 0 W crossbar static vs ~294 W of cache leakage\n\
+         3. density: the whole DNA crossbar occupies 0.015 mm² vs 172 mm² of caches"
+    );
+    write_csv("fig2_machines.csv", &csv);
+}

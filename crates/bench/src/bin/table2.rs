@@ -1,0 +1,247 @@
+//! Regenerates **Table 2** of the paper: three metrics × two workloads ×
+//! two architectures, in three flavours — published, decoded paper-mode,
+//! and our physical model — plus ablation sweeps.
+//!
+//! ```bash
+//! cargo run --release -p cim-bench --bin table2
+//! cargo run --release -p cim-bench --bin table2 -- --hit-ratio measured
+//! cargo run --release -p cim-bench --bin table2 -- --ablate-comparator
+//! cargo run --release -p cim-bench --bin table2 -- --ablate-hitrate
+//! ```
+
+use cim_arch::{
+    ByteComparator, Controller, ConventionalMachine, FunctionalUnit, Interconnect, Metrics,
+    TiledCim,
+};
+use cim_bench::{write_csv, Args};
+use cim_core::paper_mode;
+use cim_core::{AdditionsExperiment, DnaExperiment, HitRatioMode, Table2};
+use cim_sim::{CimExecutor, ConventionalExecutor};
+use cim_workloads::DnaSpec;
+
+fn main() {
+    let args = Args::capture();
+    if args.has("--ablate-comparator") {
+        ablate_comparator();
+        return;
+    }
+    if args.has("--ablate-hitrate") {
+        ablate_hitrate();
+        return;
+    }
+    if args.has("--ablate-overhead") {
+        ablate_overhead();
+        return;
+    }
+
+    let hit_mode = match args.value("--hit-ratio") {
+        Some("measured") => HitRatioMode::Measured,
+        _ => HitRatioMode::PaperAssumption,
+    };
+
+    println!("== Table 2 reproduction ==\n");
+    println!("-- as published (DATE'15, Table 2) --");
+    let rows = ["energy-delay/op", "ops/J", "perf/area"];
+    println!(
+        "{:<18} {:>12} {:>12} {:>12} {:>12}",
+        "metric", "conv DNA", "CIM DNA", "conv math", "CIM math"
+    );
+    for (name, row) in rows.iter().zip(paper_mode::PUBLISHED) {
+        println!(
+            "{name:<18} {:>12.4e} {:>12.4e} {:>12.4e} {:>12.4e}",
+            row[0], row[1], row[2], row[3]
+        );
+    }
+
+    println!("\n-- decoded paper formulas vs published (see EXPERIMENTS.md) --");
+    for cell in paper_mode::decoded_cells() {
+        println!(
+            "{:<22} reconstructed {:>12.5e}  published {:>12.5e}  dev {:>6.2}%   [{}]",
+            cell.cell,
+            cell.reconstructed,
+            cell.published,
+            cell.deviation() * 100.0,
+            cell.formula
+        );
+    }
+
+    println!("\n-- our physical model (scaled execution + paper-scale projection) --\n");
+    let dna = DnaExperiment {
+        spec: DnaSpec {
+            ref_len: 200_000,
+            coverage: 5,
+            read_len: 100,
+        },
+        seed: 42,
+        hit_ratio_mode: hit_mode,
+    }
+    .run();
+    let math = AdditionsExperiment::paper(42).run();
+    let table = Table2 { dna, math };
+    println!("{}", table.to_markdown());
+    write_csv("table2.csv", &table.to_csv());
+}
+
+/// Ablation A3: sensitivity of the conventional DNA column to the
+/// assumed CMOS comparator gate count (Table 1 never states it).
+fn ablate_comparator() {
+    println!("== Ablation A3: CMOS comparator gate count ==\n");
+    println!(
+        "{:>6} {:>14} {:>14} {:>14}",
+        "gates", "EDP/op (J·s)", "ops/J", "ops/s/mm²"
+    );
+    let mut csv = String::from("gates,edp_per_op_js,ops_per_joule,ops_per_s_per_mm2\n");
+    for gates in [30u32, 58, 80, 120] {
+        let mut machine = ConventionalMachine::dna_paper();
+        machine.unit = FunctionalUnit {
+            gates,
+            ..ByteComparator::unit()
+        };
+        let report = project(&machine);
+        let m = Metrics::from_run(&report);
+        println!(
+            "{gates:>6} {:>14.4e} {:>14.4e} {:>14.4e}",
+            m.energy_delay_per_op.get(),
+            m.ops_per_joule,
+            m.ops_per_second_per_mm2
+        );
+        csv.push_str(&format!(
+            "{gates},{:e},{:e},{:e}\n",
+            m.energy_delay_per_op.get(),
+            m.ops_per_joule,
+            m.ops_per_second_per_mm2
+        ));
+    }
+    println!("\n(the conclusion is insensitive: cache access dominates the op energy)");
+    write_csv("ablation_comparator.csv", &csv);
+}
+
+/// Ablation A4: cache hit-rate sensitivity — assumed vs measured.
+fn ablate_hitrate() {
+    println!("== Ablation A4: cache hit ratio (DNA workload) ==\n");
+    let conv = ConventionalExecutor::new(42);
+    let cim = CimExecutor::new(42);
+    println!(
+        "{:>6} {:>14} {:>14} {:>12}",
+        "hit", "conv EDP/op", "CIM EDP/op", "CIM gain"
+    );
+    let mut csv = String::from("hit_ratio,conv_edp,cim_edp,gain\n");
+    for hit in [0.30, 0.50, 0.70, 0.90, 0.98] {
+        let c = Metrics::from_run(&conv.project_dna(hit));
+        let i = Metrics::from_run(&cim.project_dna(hit));
+        let gain = c.energy_delay_per_op.get() / i.energy_delay_per_op.get();
+        println!(
+            "{hit:>6.2} {:>14.4e} {:>14.4e} {:>12.1}",
+            c.energy_delay_per_op.get(),
+            i.energy_delay_per_op.get(),
+            gain
+        );
+        csv.push_str(&format!(
+            "{hit},{:e},{:e},{gain}\n",
+            c.energy_delay_per_op.get(),
+            i.energy_delay_per_op.get()
+        ));
+    }
+    // And the measured point.
+    let run = conv.run_dna(DnaSpec {
+        ref_len: 200_000,
+        coverage: 3,
+        read_len: 100,
+    });
+    println!(
+        "\nmeasured on a real sorted-index run: {:.3} overall, {:.3} index probes alone",
+        run.measured_hit_ratio, run.index_hit_ratio
+    );
+    write_csv("ablation_hitrate.csv", &csv);
+}
+
+/// Ablation A5: interconnect + controller overheads the paper costs at
+/// zero. How much can the CIM math column absorb?
+fn ablate_overhead() {
+    println!("== Ablation A5: CIM interconnect/controller overhead (math column) ==\n");
+    let conv = ConventionalExecutor::new(42);
+    let workload = cim_workloads::AdditionWorkload::paper(42);
+    let (conv_report, _) = conv.run_additions(&workload);
+    let conv_metrics = Metrics::from_run(&conv_report);
+
+    println!(
+        "{:>28} {:>10} {:>14} {:>12} {:>12}",
+        "configuration", "E-factor", "ops/J", "eff gain", "EDP gain"
+    );
+    let mut csv = String::from("config,energy_factor,ops_per_joule,eff_gain,edp_gain\n");
+    let configs: Vec<(&str, Interconnect, Controller)> = vec![
+        (
+            "paper (free control)",
+            Interconnect::ideal(),
+            Controller::ideal(),
+        ),
+        (
+            "realistic",
+            Interconnect::realistic(),
+            Controller::realistic(),
+        ),
+        (
+            "poor locality (50%)",
+            Interconnect {
+                locality: 0.5,
+                ..Interconnect::realistic()
+            },
+            Controller::realistic(),
+        ),
+        (
+            "heavy control (20k gates)",
+            Interconnect::realistic(),
+            Controller {
+                gates_per_tile: 20_000,
+                ..Controller::realistic()
+            },
+        ),
+    ];
+    for (name, ic, ctl) in configs {
+        let machine = TiledCim::math(workload.n_ops, workload.bits, ic, ctl);
+        let rounds = workload.n_ops.div_ceil(machine.parallel_ops().max(1));
+        let total_time = machine.op_latency() * rounds as f64;
+        let report = cim_arch::RunReport {
+            operations: workload.n_ops,
+            total_time,
+            total_energy: machine.op_energy() * workload.n_ops as f64
+                + machine.static_power() * total_time,
+            area: machine.area(),
+        };
+        let m = Metrics::from_run(&report);
+        let (edp_gain, eff_gain, _) = m.improvement_over(&conv_metrics);
+        println!(
+            "{:>28} {:>10.2} {:>14.4e} {:>12.1} {:>12.1}",
+            name,
+            machine.energy_overhead_factor(),
+            m.ops_per_joule,
+            eff_gain,
+            edp_gain
+        );
+        csv.push_str(&format!(
+            "{name},{},{:e},{eff_gain},{edp_gain}\n",
+            machine.energy_overhead_factor(),
+            m.ops_per_joule
+        ));
+    }
+    println!(
+        "\n(the orders-of-magnitude story survives realistic overheads; it\n\
+         erodes with poor data locality or heavyweight per-tile control —\n\
+         the design pressure behind the paper's 'many aspects … still need\n\
+         to be worked out')"
+    );
+    write_csv("ablation_overhead.csv", &csv);
+}
+
+fn project(machine: &ConventionalMachine) -> cim_arch::RunReport {
+    let ops = DnaSpec::paper().comparisons();
+    let rounds = ops.div_ceil(machine.parallel_units());
+    let total_time = machine.op_latency() * rounds as f64;
+    cim_arch::RunReport {
+        operations: ops,
+        total_time,
+        total_energy: machine.op_dynamic_energy() * ops as f64
+            + machine.static_power() * total_time,
+        area: machine.area(),
+    }
+}

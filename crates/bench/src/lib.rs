@@ -1,0 +1,96 @@
+//! Shared plumbing for the benchmark binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! DATE'15 CIM paper (see DESIGN.md's experiment index) and writes its
+//! data series as CSV under `results/`. The criterion benches under
+//! `benches/` measure the simulator itself and carry the ablation
+//! studies.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Returns the `results/` directory at the workspace root, creating it
+/// if needed.
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created.
+pub fn results_dir() -> PathBuf {
+    // The binaries run from the workspace root via `cargo run`; fall
+    // back to the manifest's grandparent for direct invocation.
+    let dir = if Path::new("Cargo.toml").exists() {
+        PathBuf::from("results")
+    } else {
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results")
+    };
+    fs::create_dir_all(&dir).expect("create results directory");
+    dir
+}
+
+/// Writes `contents` to `results/<name>` and reports the path on stdout.
+///
+/// # Panics
+///
+/// Panics on I/O errors — benches should fail loudly.
+pub fn write_csv(name: &str, contents: &str) {
+    let path = results_dir().join(name);
+    fs::write(&path, contents).expect("write results csv");
+    println!("\n[written] {}", path.display());
+}
+
+/// Minimal flag scanner for the bench binaries: `has("--flag")` and
+/// `value("--key")`.
+#[derive(Debug, Clone)]
+pub struct Args {
+    argv: Vec<String>,
+}
+
+impl Args {
+    /// Captures the process arguments.
+    pub fn capture() -> Self {
+        Self {
+            argv: std::env::args().skip(1).collect(),
+        }
+    }
+
+    /// Builds from an explicit list (tests).
+    pub fn from_list(argv: &[&str]) -> Self {
+        Self {
+            argv: argv.iter().map(|s| (*s).to_string()).collect(),
+        }
+    }
+
+    /// True if the flag is present.
+    pub fn has(&self, flag: &str) -> bool {
+        self.argv.iter().any(|a| a == flag)
+    }
+
+    /// The value following `key`, if any.
+    pub fn value(&self, key: &str) -> Option<&str> {
+        self.argv
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.argv.get(i + 1))
+            .map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parse_flags_and_values() {
+        let args = Args::from_list(&["--fast", "--n", "32"]);
+        assert!(args.has("--fast"));
+        assert!(!args.has("--slow"));
+        assert_eq!(args.value("--n"), Some("32"));
+        assert_eq!(args.value("--missing"), None);
+    }
+
+    #[test]
+    fn results_dir_exists_after_call() {
+        let dir = results_dir();
+        assert!(dir.exists());
+    }
+}

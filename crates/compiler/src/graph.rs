@@ -1,0 +1,470 @@
+//! The vector IR and its reference executor.
+
+use serde::{Deserialize, Serialize};
+
+use cim_logic::{Comparator, TcAdderModel};
+
+/// Handle to a tensor (a fixed-width integer vector) in the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TensorId(pub usize);
+
+/// An operation node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// External input vector of the given length.
+    Input {
+        /// Number of lanes.
+        len: usize,
+    },
+    /// A compile-time constant vector.
+    Const {
+        /// The values (must fit the graph's bit width).
+        values: Vec<u64>,
+    },
+    /// Elementwise wrapping addition (maps to TC adders).
+    Add,
+    /// Elementwise equality; produces a 0/1 mask (maps to comparators).
+    Eq,
+    /// Elementwise unsigned less-than; produces a 0/1 mask (maps to a
+    /// TC subtractor: `a < b ⇔` no carry out of `a + ¬b + 1`).
+    Lt,
+    /// Elementwise bitwise AND.
+    And,
+    /// Elementwise bitwise OR.
+    Or,
+    /// Elementwise bitwise XOR.
+    Xor,
+    /// Elementwise bitwise NOT (masked to the bit width).
+    Not,
+    /// Tree reduction by addition to a single lane.
+    ReduceAdd,
+}
+
+impl Op {
+    /// Short mnemonic for reports.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Op::Input { .. } => "input",
+            Op::Const { .. } => "const",
+            Op::Add => "add",
+            Op::Eq => "eq",
+            Op::Lt => "lt",
+            Op::And => "and",
+            Op::Or => "or",
+            Op::Xor => "xor",
+            Op::Not => "not",
+            Op::ReduceAdd => "reduce+",
+        }
+    }
+}
+
+/// One node: an op applied to input tensors.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Node {
+    /// The operation.
+    pub op: Op,
+    /// Operand tensors (earlier nodes).
+    pub inputs: Vec<TensorId>,
+    /// Output vector length.
+    pub len: usize,
+}
+
+/// A validated dataflow graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    outputs: Vec<TensorId>,
+    bits: u32,
+    n_inputs: usize,
+}
+
+/// Builds [`Graph`]s with shape checking at construction time.
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    nodes: Vec<Node>,
+    bits: u32,
+    n_inputs: usize,
+}
+
+impl GraphBuilder {
+    /// Starts a graph over `bits`-wide integer lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or exceeds 32 (mask counts must fit).
+    pub fn new(bits: u32) -> Self {
+        assert!((1..=32).contains(&bits), "lane widths of 1..=32 bits");
+        Self {
+            nodes: Vec::new(),
+            bits,
+            n_inputs: 0,
+        }
+    }
+
+    fn push(&mut self, node: Node) -> TensorId {
+        self.nodes.push(node);
+        TensorId(self.nodes.len() - 1)
+    }
+
+    fn len_of(&self, t: TensorId) -> usize {
+        self.nodes[t.0].len
+    }
+
+    /// Declares an external input of `len` lanes.
+    pub fn input(&mut self, len: usize) -> TensorId {
+        assert!(len > 0, "tensors must be non-empty");
+        self.n_inputs += 1;
+        self.push(Node {
+            op: Op::Input { len },
+            inputs: vec![],
+            len,
+        })
+    }
+
+    /// A constant vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value exceeds the lane width or `values` is empty.
+    pub fn constant(&mut self, values: Vec<u64>) -> TensorId {
+        assert!(!values.is_empty(), "tensors must be non-empty");
+        let mask = self.lane_mask();
+        assert!(
+            values.iter().all(|&v| v <= mask),
+            "constant exceeds the lane width"
+        );
+        let len = values.len();
+        self.push(Node {
+            op: Op::Const { values },
+            inputs: vec![],
+            len,
+        })
+    }
+
+    /// A constant with one value repeated across `len` lanes.
+    pub fn broadcast(&mut self, value: u64, len: usize) -> TensorId {
+        self.constant(vec![value; len])
+    }
+
+    fn binary(&mut self, op: Op, a: TensorId, b: TensorId) -> TensorId {
+        let len = self.len_of(a);
+        assert_eq!(len, self.len_of(b), "operand lengths must match");
+        self.push(Node {
+            op,
+            inputs: vec![a, b],
+            len,
+        })
+    }
+
+    /// Elementwise wrapping addition.
+    pub fn add(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        self.binary(Op::Add, a, b)
+    }
+
+    /// Elementwise equality (0/1 mask output).
+    pub fn eq(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        self.binary(Op::Eq, a, b)
+    }
+
+    /// Elementwise unsigned `a < b` (0/1 mask output).
+    pub fn lt(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        self.binary(Op::Lt, a, b)
+    }
+
+    /// Elementwise bitwise AND.
+    pub fn and(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        self.binary(Op::And, a, b)
+    }
+
+    /// Elementwise bitwise OR.
+    pub fn or(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        self.binary(Op::Or, a, b)
+    }
+
+    /// Elementwise bitwise XOR.
+    pub fn xor(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        self.binary(Op::Xor, a, b)
+    }
+
+    /// Elementwise bitwise NOT.
+    pub fn not(&mut self, a: TensorId) -> TensorId {
+        let len = self.len_of(a);
+        self.push(Node {
+            op: Op::Not,
+            inputs: vec![a],
+            len,
+        })
+    }
+
+    /// Reduces a vector to one lane by summing (wrapping).
+    pub fn reduce_add(&mut self, a: TensorId) -> TensorId {
+        self.push(Node {
+            op: Op::ReduceAdd,
+            inputs: vec![a],
+            len: 1,
+        })
+    }
+
+    /// Counts the set lanes of a 0/1 mask (alias of [`Self::reduce_add`]).
+    pub fn count_ones(&mut self, mask: TensorId) -> TensorId {
+        self.reduce_add(mask)
+    }
+
+    fn lane_mask(&self) -> u64 {
+        if self.bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.bits) - 1
+        }
+    }
+
+    /// Finalises the graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outputs` is empty or references unknown tensors.
+    pub fn finish(self, outputs: Vec<TensorId>) -> Graph {
+        assert!(!outputs.is_empty(), "graphs must have outputs");
+        assert!(
+            outputs.iter().all(|t| t.0 < self.nodes.len()),
+            "output references an unknown tensor"
+        );
+        Graph {
+            nodes: self.nodes,
+            outputs,
+            bits: self.bits,
+            n_inputs: self.n_inputs,
+        }
+    }
+}
+
+impl Graph {
+    /// The nodes in topological (construction) order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Declared outputs.
+    pub fn outputs(&self) -> &[TensorId] {
+        &self.outputs
+    }
+
+    /// Lane width in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of external inputs.
+    pub fn input_count(&self) -> usize {
+        self.n_inputs
+    }
+
+    fn lane_mask(&self) -> u64 {
+        if self.bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.bits) - 1
+        }
+    }
+
+    /// Evaluates the graph. Arithmetic goes through the CIM functional
+    /// blocks: additions via [`TcAdderModel`], equality via the IMPLY
+    /// [`Comparator`] microprogram applied per 2-bit symbol slice — so
+    /// evaluation doubles as a verification of those blocks at IR level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` does not match the declared input tensors
+    /// (count or lengths) or a value exceeds the lane width.
+    pub fn evaluate(&self, inputs: &[Vec<u64>]) -> Vec<Vec<u64>> {
+        assert_eq!(inputs.len(), self.n_inputs, "wrong number of inputs");
+        let mask = self.lane_mask();
+        let adder = TcAdderModel::new(self.bits);
+        let comparator = Comparator::new();
+        let eq_program = comparator.eq_program();
+
+        let mut values: Vec<Vec<u64>> = Vec::with_capacity(self.nodes.len());
+        let mut next_input = 0usize;
+        for node in &self.nodes {
+            let out = match &node.op {
+                Op::Input { len } => {
+                    let v = &inputs[next_input];
+                    next_input += 1;
+                    assert_eq!(v.len(), *len, "input length mismatch");
+                    assert!(v.iter().all(|&x| x <= mask), "input exceeds lane width");
+                    v.clone()
+                }
+                Op::Const { values } => values.clone(),
+                Op::Add => {
+                    let (a, b) = (&values[node.inputs[0].0], &values[node.inputs[1].0]);
+                    a.iter()
+                        .zip(b)
+                        .map(|(&x, &y)| adder.add(x, y) & mask)
+                        .collect()
+                }
+                Op::Eq => {
+                    let (a, b) = (&values[node.inputs[0].0], &values[node.inputs[1].0]);
+                    a.iter()
+                        .zip(b)
+                        .map(|(&x, &y)| u64::from(self.eq_via_comparator(eq_program, x, y)))
+                        .collect()
+                }
+                Op::Lt => {
+                    // a < b ⇔ no carry out of a + ¬b + 1 — through the TC
+                    // adder, like the hardware would compute it.
+                    let (a, b) = (&values[node.inputs[0].0], &values[node.inputs[1].0]);
+                    a.iter()
+                        .zip(b)
+                        .map(|(&x, &y)| {
+                            let not_y = !y & mask;
+                            let sum = adder.add(adder.add(x, not_y), 1);
+                            let carry_out = sum > mask || (sum & (mask + 1)) != 0;
+                            u64::from(!carry_out && x != y)
+                        })
+                        .collect()
+                }
+                Op::And => self.bitwise(&values, node, |x, y| x & y),
+                Op::Or => self.bitwise(&values, node, |x, y| x | y),
+                Op::Xor => self.bitwise(&values, node, |x, y| x ^ y),
+                Op::Not => values[node.inputs[0].0]
+                    .iter()
+                    .map(|&x| !x & mask)
+                    .collect(),
+                Op::ReduceAdd => {
+                    let a = &values[node.inputs[0].0];
+                    vec![a.iter().fold(0u64, |acc, &x| adder.add(acc, x) & mask)]
+                }
+            };
+            values.push(out);
+        }
+        self.outputs.iter().map(|t| values[t.0].clone()).collect()
+    }
+
+    /// Equality through the IMPLY comparator, 2 bits at a time.
+    fn eq_via_comparator(&self, program: &cim_logic::Program, x: u64, y: u64) -> bool {
+        (0..self.bits).step_by(2).all(|shift| {
+            let (sx, sy) = (((x >> shift) & 3) as u8, ((y >> shift) & 3) as u8);
+            let inputs = [sx & 1 == 1, sx & 2 == 2, sy & 1 == 1, sy & 2 == 2];
+            program.evaluate(&inputs)[0]
+        })
+    }
+
+    fn bitwise(&self, values: &[Vec<u64>], node: &Node, f: impl Fn(u64, u64) -> u64) -> Vec<u64> {
+        let (a, b) = (&values[node.inputs[0].0], &values[node.inputs[1].0]);
+        let mask = self.lane_mask();
+        a.iter().zip(b).map(|(&x, &y)| f(x, y) & mask).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_eq_count_pipeline() {
+        let mut b = GraphBuilder::new(8);
+        let data = b.input(5);
+        let k = b.broadcast(1, 5);
+        let sum = b.add(data, k);
+        let target = b.broadcast(4, 5);
+        let mask = b.eq(sum, target);
+        let count = b.count_ones(mask);
+        let graph = b.finish(vec![sum, mask, count]);
+
+        let out = graph.evaluate(&[vec![3, 4, 3, 0, 255]]);
+        assert_eq!(out[0], vec![4, 5, 4, 1, 0]); // wrapping at 8 bits
+        assert_eq!(out[1], vec![1, 0, 1, 0, 0]);
+        assert_eq!(out[2], vec![2]);
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        let mut b = GraphBuilder::new(4);
+        let x = b.input(3);
+        let y = b.input(3);
+        let and = b.and(x, y);
+        let or = b.or(x, y);
+        let xor = b.xor(x, y);
+        let not = b.not(x);
+        let graph = b.finish(vec![and, or, xor, not]);
+        let out = graph.evaluate(&[vec![0b1010, 0b1111, 0], vec![0b0110, 0b0001, 0b1001]]);
+        assert_eq!(out[0], vec![0b0010, 0b0001, 0]);
+        assert_eq!(out[1], vec![0b1110, 0b1111, 0b1001]);
+        assert_eq!(out[2], vec![0b1100, 0b1110, 0b1001]);
+        assert_eq!(out[3], vec![0b0101, 0b0000, 0b1111]);
+    }
+
+    #[test]
+    fn odd_lane_widths_compare_correctly() {
+        // eq works 2 bits at a time; 7-bit lanes exercise the ragged tail.
+        let mut b = GraphBuilder::new(7);
+        let x = b.input(2);
+        let y = b.input(2);
+        let eq = b.eq(x, y);
+        let graph = b.finish(vec![eq]);
+        let out = graph.evaluate(&[vec![0x7F, 0x40], vec![0x7F, 0x41]]);
+        assert_eq!(out[0], vec![1, 0]);
+    }
+
+    #[test]
+    fn lt_matches_native_comparison() {
+        let mut b = GraphBuilder::new(8);
+        let x = b.input(6);
+        let y = b.input(6);
+        let lt = b.lt(x, y);
+        let graph = b.finish(vec![lt]);
+        let out = graph.evaluate(&[vec![0, 5, 255, 7, 100, 254], vec![1, 5, 0, 200, 100, 255]]);
+        assert_eq!(out[0], vec![1, 0, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn range_predicate_from_lt_and_not() {
+        // 10 <= x <= 21 as ¬(x < 10) ∧ (x < 22).
+        let mut b = GraphBuilder::new(8);
+        let x = b.input(5);
+        let lo = b.broadcast(10, 5);
+        let hi1 = b.broadcast(22, 5);
+        let below = b.lt(x, lo);
+        let not_below = b.not(below);
+        let in_upper = b.lt(x, hi1);
+        let and = b.and(not_below, in_upper);
+        // NOT on a 0/1 mask at 8 bits gives 0xFE/0xFF; mask to bit 0 by
+        // ANDing with the 0/1 lt mask — and() keeps only bit 0 anyway
+        // when the other operand is 0/1.
+        let graph = b.finish(vec![and]);
+        let out = graph.evaluate(&[vec![9, 10, 15, 21, 22]]);
+        assert_eq!(out[0], vec![0, 1, 1, 1, 0]);
+    }
+
+    #[test]
+    fn mnemonics_cover_all_ops() {
+        assert_eq!(Op::Add.mnemonic(), "add");
+        assert_eq!(Op::ReduceAdd.mnemonic(), "reduce+");
+        assert_eq!(Op::Input { len: 1 }.mnemonic(), "input");
+    }
+
+    #[test]
+    #[should_panic(expected = "operand lengths must match")]
+    fn rejects_shape_mismatch() {
+        let mut b = GraphBuilder::new(8);
+        let x = b.input(3);
+        let y = b.input(4);
+        let _ = b.add(x, y);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the lane width")]
+    fn rejects_oversized_constants() {
+        let mut b = GraphBuilder::new(4);
+        let _ = b.constant(vec![16]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong number of inputs")]
+    fn rejects_missing_inputs() {
+        let mut b = GraphBuilder::new(8);
+        let x = b.input(2);
+        let graph = b.finish(vec![x]);
+        let _ = graph.evaluate(&[]);
+    }
+}

@@ -1,0 +1,46 @@
+//! A miniature dataflow-to-crossbar compiler.
+//!
+//! The paper's Section III.C notes that the CIM paradigm "changes the
+//! traditional system design, compiler tools, manufacturing processes" —
+//! programs must be expressed as bulk operations over data that lives in
+//! the crossbar, then mapped onto a finite device budget. This crate is
+//! that tool flow in miniature:
+//!
+//! 1. [`GraphBuilder`] — a small vector IR: fixed-width integer lanes
+//!    with elementwise `add`/`eq`/bitwise ops and an `reduce_add`
+//!    tree, validated into a [`Graph`];
+//! 2. [`Graph::evaluate`] — reference semantics, with the arithmetic
+//!    routed through the same TC-adder / IMPLY-comparator blocks the
+//!    machine model costs (the execution *is* the verification);
+//! 3. [`Mapper`] — BSP-style scheduling onto a tile budget: elementwise
+//!    ops fan out across lanes (SIMD), capacity limits turn extra lanes
+//!    into sequential *waves*, dependency levels execute in order;
+//!    the result is a [`CompiledPlan`] with per-node placement and a
+//!    total [`cim_logic::LogicCost`].
+//!
+//! ```
+//! use cim_compiler::{GraphBuilder, Mapper};
+//!
+//! // count = Σ ((data + 3) == 10) over a vector, entirely in-array.
+//! let mut b = GraphBuilder::new(8);
+//! let data = b.input(6);
+//! let three = b.broadcast(3, 6);
+//! let sum = b.add(data, three);
+//! let ten = b.broadcast(10, 6);
+//! let mask = b.eq(sum, ten);
+//! let count = b.count_ones(mask);
+//! let graph = b.finish(vec![count]);
+//!
+//! let out = graph.evaluate(&[vec![7, 1, 7, 0, 7, 2]]);
+//! assert_eq!(out[0], vec![3]);
+//!
+//! let plan = Mapper::paper_tile().compile(&graph);
+//! assert!(plan.total.latency.get() > 0.0);
+//! ```
+
+mod graph;
+mod mapper;
+pub mod queries;
+
+pub use graph::{Graph, GraphBuilder, Node, Op, TensorId};
+pub use mapper::{CompiledPlan, Mapper, PlacedOp};

@@ -1,0 +1,322 @@
+//! BSP-style mapping of a dataflow graph onto a crossbar tile budget.
+
+use serde::{Deserialize, Serialize};
+
+use cim_arch::MemristorTech;
+use cim_logic::{simd_cost, LogicCost};
+use cim_units::Time;
+
+use crate::graph::{Graph, Node, Op, TensorId};
+
+/// The fabric budget a graph is mapped onto.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mapper {
+    /// Devices per tile.
+    pub tile_devices: u64,
+    /// Number of tiles.
+    pub tiles: u64,
+    /// Device technology (costs every step).
+    pub tech: MemristorTech,
+}
+
+/// One scheduled node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacedOp {
+    /// Which tensor this op produces.
+    pub tensor: TensorId,
+    /// Mnemonic for reports.
+    pub op: String,
+    /// Dependency level (0 = inputs).
+    pub level: usize,
+    /// SIMD lanes processed.
+    pub lanes: u64,
+    /// Sequential waves forced by the capacity limit.
+    pub waves: u64,
+    /// Cost of this op across all its waves.
+    pub cost: LogicCost,
+}
+
+/// A scheduled graph with its total cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledPlan {
+    /// Per-node placements, topological order.
+    pub placed: Vec<PlacedOp>,
+    /// Number of dependency levels.
+    pub levels: usize,
+    /// Roll-up: latency along the level sequence, energy summed.
+    pub total: LogicCost,
+}
+
+impl Mapper {
+    /// A single tile the size of the paper's mathematics crossbar
+    /// (34 × 10⁶ devices — 10⁶ TC adders).
+    pub fn paper_tile() -> Self {
+        Self {
+            tile_devices: 34_000_000,
+            tiles: 1,
+            tech: MemristorTech::table1_5nm(),
+        }
+    }
+
+    /// A custom budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    pub fn with_budget(tile_devices: u64, tiles: u64) -> Self {
+        assert!(tile_devices > 0 && tiles > 0, "budget must be non-zero");
+        Self {
+            tile_devices,
+            tiles,
+            tech: MemristorTech::table1_5nm(),
+        }
+    }
+
+    /// Total device capacity.
+    pub fn capacity(&self) -> u64 {
+        self.tile_devices * self.tiles
+    }
+
+    /// Per-lane cost of one op at the graph's lane width.
+    ///
+    /// Adds map to the TC adder (4N+5 steps, N+2 devices); `eq` maps to
+    /// the Table-1 comparator per 2-bit symbol slice; bitwise ops map to
+    /// per-bit IMPLY gate sequences (NAND = 3 steps / 3 devices as the
+    /// unit).
+    fn unit_cost(&self, op: &Op, bits: u32) -> Option<LogicCost> {
+        let t = self.tech.write_time;
+        let e = self.tech.write_energy;
+        let per_bit = |steps: u64, devices: usize| LogicCost {
+            steps: steps * u64::from(bits),
+            devices: devices * bits as usize,
+            latency: t * (steps * u64::from(bits)) as f64,
+            energy: e * (steps * u64::from(bits)) as f64,
+        };
+        match op {
+            Op::Input { .. } | Op::Const { .. } => None,
+            Op::Add | Op::ReduceAdd => Some(LogicCost::tc_adder_paper(bits, t, e)),
+            Op::Eq => {
+                // One comparator per 2-bit slice, slices in parallel, then
+                // an AND tree over the slice flags.
+                let slices = u64::from(bits.div_ceil(2));
+                let cmp = LogicCost::comparator_paper();
+                let tree_steps = 5 * (64 - slices.leading_zeros() as u64).max(1);
+                Some(LogicCost {
+                    steps: cmp.steps + tree_steps,
+                    devices: cmp.devices * slices as usize + slices as usize,
+                    latency: t * (cmp.steps + tree_steps) as f64,
+                    energy: cmp.energy * slices as f64,
+                })
+            }
+            Op::Lt => {
+                // A TC subtractor: invert one operand (per-bit NOT) and
+                // add with carry-in.
+                let adder = LogicCost::tc_adder_paper(bits, t, e);
+                let not = per_bit(2, 2);
+                Some(adder.then(&not))
+            }
+            Op::And | Op::Or => Some(per_bit(5, 4)),
+            Op::Xor => Some(per_bit(12, 7)),
+            Op::Not => Some(per_bit(2, 2)),
+        }
+    }
+
+    /// Schedules `graph`, returning the plan.
+    ///
+    /// Model (documented in DESIGN.md): nodes execute level by level
+    /// (BSP); within a level the capacity is divided evenly among the
+    /// level's ops; lanes beyond an op's share run as sequential waves;
+    /// a level's latency is its slowest op; reductions run `⌈log₂ n⌉`
+    /// sequential tree stages.
+    pub fn compile(&self, graph: &Graph) -> CompiledPlan {
+        let levels = assign_levels(graph.nodes());
+        let max_level = levels.iter().copied().max().unwrap_or(0);
+        let mut placed = Vec::new();
+        let mut total = LogicCost::default();
+        for level in 0..=max_level {
+            let member_ids: Vec<usize> = (0..graph.nodes().len())
+                .filter(|&i| levels[i] == level)
+                .filter(|&i| self.unit_cost(&graph.nodes()[i].op, graph.bits()).is_some())
+                .collect();
+            if member_ids.is_empty() {
+                continue;
+            }
+            let share = (self.capacity() / member_ids.len() as u64).max(1);
+            let mut level_latency = Time::ZERO;
+            for &i in &member_ids {
+                let node = &graph.nodes()[i];
+                let unit = self
+                    .unit_cost(&node.op, graph.bits())
+                    .expect("filtered to costed ops");
+                let (lanes, stages) = match node.op {
+                    // A reduction processes n/2 pairs per stage, log n
+                    // stages.
+                    Op::ReduceAdd => {
+                        let n = graph.nodes()[node.inputs[0].0].len as u64;
+                        ((n / 2).max(1), (64 - n.leading_zeros() as u64).max(1))
+                    }
+                    _ => (node.len as u64, 1),
+                };
+                let lanes_per_wave = (share / unit.devices as u64).max(1);
+                let waves = lanes.div_ceil(lanes_per_wave) * stages;
+                let one_wave = simd_cost(&unit, lanes.min(lanes_per_wave));
+                let cost = LogicCost {
+                    steps: one_wave.steps * waves,
+                    devices: one_wave.devices,
+                    latency: one_wave.latency * waves as f64,
+                    energy: unit.energy * (lanes * stages) as f64,
+                };
+                level_latency = level_latency.max(cost.latency);
+                total.energy += cost.energy;
+                total.steps += cost.steps;
+                total.devices = total.devices.max(cost.devices);
+                placed.push(PlacedOp {
+                    tensor: TensorId(i),
+                    op: node.op.mnemonic().to_string(),
+                    level,
+                    lanes,
+                    waves,
+                    cost,
+                });
+            }
+            total.latency += level_latency;
+        }
+        CompiledPlan {
+            placed,
+            levels: max_level + 1,
+            total,
+        }
+    }
+}
+
+/// Longest-path level assignment over the DAG.
+fn assign_levels(nodes: &[Node]) -> Vec<usize> {
+    let mut levels = vec![0usize; nodes.len()];
+    for (i, node) in nodes.iter().enumerate() {
+        levels[i] = node
+            .inputs
+            .iter()
+            .map(|t| levels[t.0] + 1)
+            .max()
+            .unwrap_or(0);
+    }
+    levels
+}
+
+impl std::fmt::Display for CompiledPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:<4} {:<8} {:>8} {:>6} {:>28}",
+            "lvl", "op", "lanes", "waves", "cost"
+        )?;
+        for p in &self.placed {
+            writeln!(
+                f,
+                "{:<4} {:<8} {:>8} {:>6} {:>28}",
+                p.level,
+                p.op,
+                p.lanes,
+                p.waves,
+                p.cost.to_string()
+            )?;
+        }
+        write!(f, "total over {} levels: {}", self.levels, self.total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn count_graph(lanes: usize) -> Graph {
+        let mut b = GraphBuilder::new(8);
+        let data = b.input(lanes);
+        let k = b.broadcast(1, lanes);
+        let sum = b.add(data, k);
+        let target = b.broadcast(4, lanes);
+        let mask = b.eq(sum, target);
+        let count = b.count_ones(mask);
+        b.finish(vec![count])
+    }
+
+    #[test]
+    fn plan_covers_every_costed_node() {
+        let graph = count_graph(64);
+        let plan = Mapper::paper_tile().compile(&graph);
+        // add, eq, reduce+ are costed; inputs/consts are free.
+        assert_eq!(plan.placed.len(), 3);
+        assert_eq!(plan.levels, 4); // inputs, add, eq, reduce
+        assert!(plan.total.latency.get() > 0.0);
+        assert!(plan.total.energy.get() > 0.0);
+    }
+
+    #[test]
+    fn abundant_capacity_needs_single_waves() {
+        let graph = count_graph(64);
+        let plan = Mapper::paper_tile().compile(&graph);
+        for p in plan.placed.iter().filter(|p| p.op != "reduce+") {
+            assert_eq!(p.waves, 1, "{} should fit in one wave", p.op);
+        }
+    }
+
+    #[test]
+    fn tight_capacity_forces_waves() {
+        let graph = count_graph(64);
+        // Room for ~6 eight-bit adders (10 devices each) at a time.
+        let plan = Mapper::with_budget(64, 1).compile(&graph);
+        let add = plan.placed.iter().find(|p| p.op == "add").expect("add");
+        assert!(add.waves >= 10, "waves {}", add.waves);
+        // Latency scales with the waves.
+        let roomy = Mapper::paper_tile().compile(&graph);
+        assert!(plan.total.latency.get() > 10.0 * roomy.total.latency.get());
+    }
+
+    #[test]
+    fn reduction_pays_log_stages() {
+        let graph = count_graph(1024);
+        let plan = Mapper::paper_tile().compile(&graph);
+        let red = plan.placed.iter().find(|p| p.op == "reduce+").expect("r");
+        // 1024 lanes -> 512 pairs in wave 1, 11 stages total.
+        assert!(red.waves >= 10, "stages {}", red.waves);
+    }
+
+    #[test]
+    fn energy_scales_with_lanes_not_capacity() {
+        let small = Mapper::with_budget(1_000, 1).compile(&count_graph(64));
+        let large = Mapper::paper_tile().compile(&count_graph(64));
+        let rel = small.total.energy.get() / large.total.energy.get();
+        assert!((rel - 1.0).abs() < 1e-9, "energy must not depend on tiling");
+    }
+
+    #[test]
+    fn independent_ops_share_a_level() {
+        let mut b = GraphBuilder::new(8);
+        let x = b.input(8);
+        let y = b.input(8);
+        let s1 = b.add(x, y); // level 1
+        let s2 = b.xor(x, y); // level 1
+        let s3 = b.and(s1, s2); // level 2
+        let graph = b.finish(vec![s3]);
+        let plan = Mapper::paper_tile().compile(&graph);
+        let lvl = |name: &str| {
+            plan.placed
+                .iter()
+                .find(|p| p.op == name)
+                .map(|p| p.level)
+                .expect("placed")
+        };
+        assert_eq!(lvl("add"), lvl("xor"));
+        assert_eq!(lvl("and"), lvl("add") + 1);
+    }
+
+    #[test]
+    fn display_lists_all_ops() {
+        let plan = Mapper::paper_tile().compile(&count_graph(16));
+        let text = plan.to_string();
+        assert!(text.contains("add"));
+        assert!(text.contains("reduce+"));
+        assert!(text.contains("total over"));
+    }
+}

@@ -1,0 +1,116 @@
+//! Pre-built query kernels — the in-memory-database workload class.
+//!
+//! Section II.B of the paper lists "in memory computing/database" among
+//! the data-centric alternatives ("storage of the complete database
+//! working set in the main memory of dedicated servers"). CIM takes the
+//! same idea one step further: the table column *lives in the crossbar*
+//! and predicates evaluate in-array. These helpers build the standard
+//! scan shapes as [`Graph`]s.
+
+use crate::graph::{Graph, GraphBuilder};
+
+/// `SELECT COUNT(*) WHERE col = value` over a `lanes`-row column.
+pub fn select_count_eq(bits: u32, lanes: usize, value: u64) -> Graph {
+    let mut b = GraphBuilder::new(bits);
+    let col = b.input(lanes);
+    let v = b.broadcast(value, lanes);
+    let mask = b.eq(col, v);
+    let count = b.count_ones(mask);
+    b.finish(vec![count])
+}
+
+/// `SELECT COUNT(*) WHERE lo <= col <= hi`.
+///
+/// # Panics
+///
+/// Panics if `hi` overflows the lane width when incremented.
+pub fn select_count_range(bits: u32, lanes: usize, lo: u64, hi: u64) -> Graph {
+    let mask = if bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    };
+    assert!(hi < mask, "hi + 1 must fit the lane width");
+    let mut b = GraphBuilder::new(bits);
+    let col = b.input(lanes);
+    let lo_v = b.broadcast(lo, lanes);
+    let hi1_v = b.broadcast(hi + 1, lanes);
+    let below = b.lt(col, lo_v);
+    let not_below = b.not(below);
+    let within = b.lt(col, hi1_v);
+    let in_range = b.and(not_below, within);
+    let count = b.count_ones(in_range);
+    b.finish(vec![count])
+}
+
+/// `SELECT SUM(col) WHERE col < threshold` (masked aggregation): the
+/// predicate mask gates the values via `AND` with a widened mask.
+pub fn sum_where_lt(bits: u32, lanes: usize, threshold: u64) -> Graph {
+    let mut b = GraphBuilder::new(bits);
+    let col = b.input(lanes);
+    let t = b.broadcast(threshold, lanes);
+    let mask01 = b.lt(col, t);
+    // Widen the 0/1 mask to all-ones/all-zeros: 0 − mask in two's
+    // complement is ¬mask + 1; all-ones == wrapping −1. Build it as
+    // (¬mask01 + 1) over the lane width.
+    let not_mask = b.not(mask01);
+    let one = b.broadcast(1, lanes);
+    let wide_mask = b.add(not_mask, one); // 0 -> 0, 1 -> ¬1+1 = …1110+1? see below
+                                          // ¬0 + 1 = mask+1 ≡ 0 (all-zeros); ¬1 + 1 = all-ones − 1 + 1 = all-ones… off by
+                                          // construction: ¬1 = 0xFE, +1 = 0xFF on 8 bits. Exactly the widening we need.
+    let gated = b.and(col, wide_mask);
+    let sum = b.reduce_add(gated);
+    b.finish(vec![sum])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn column() -> Vec<u64> {
+        vec![3, 17, 17, 200, 17, 42, 0, 255, 100, 17]
+    }
+
+    #[test]
+    fn count_eq_matches_scan() {
+        let graph = select_count_eq(8, 10, 17);
+        let out = graph.evaluate(std::slice::from_ref(&column()));
+        assert_eq!(out[0], vec![4]);
+    }
+
+    #[test]
+    fn count_range_matches_scan() {
+        let graph = select_count_range(8, 10, 10, 100);
+        let out = graph.evaluate(std::slice::from_ref(&column()));
+        let expect = column()
+            .iter()
+            .filter(|&&v| (10..=100).contains(&v))
+            .count() as u64;
+        assert_eq!(out[0], vec![expect]);
+    }
+
+    #[test]
+    fn sum_where_lt_matches_scan() {
+        let graph = sum_where_lt(8, 10, 50);
+        let out = graph.evaluate(std::slice::from_ref(&column()));
+        let expect: u64 = column().iter().filter(|&&v| v < 50).sum::<u64>() & 0xFF;
+        assert_eq!(out[0], vec![expect]);
+    }
+
+    #[test]
+    fn widened_mask_gates_exactly() {
+        // All lanes pass / no lanes pass edge cases.
+        let graph = sum_where_lt(8, 4, 255);
+        let out = graph.evaluate(&[vec![1, 2, 3, 4]]);
+        assert_eq!(out[0], vec![10]);
+        let graph = sum_where_lt(8, 4, 0);
+        let out = graph.evaluate(&[vec![1, 2, 3, 4]]);
+        assert_eq!(out[0], vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "hi + 1 must fit")]
+    fn range_rejects_overflow() {
+        let _ = select_count_range(8, 4, 0, 255);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests: IR semantics vs native arithmetic, mapper invariants.
+
+use cim_compiler::{GraphBuilder, Mapper};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn add_matches_wrapping_arithmetic(
+        a in prop::collection::vec(0u64..256, 1..32),
+        k in 0u64..256,
+    ) {
+        let mut b = GraphBuilder::new(8);
+        let x = b.input(a.len());
+        let c = b.broadcast(k, a.len());
+        let sum = b.add(x, c);
+        let graph = b.finish(vec![sum]);
+        let out = graph.evaluate(std::slice::from_ref(&a));
+        let expect: Vec<u64> = a.iter().map(|&v| (v + k) & 0xFF).collect();
+        prop_assert_eq!(&out[0], &expect);
+    }
+
+    #[test]
+    fn eq_matches_native_equality(
+        a in prop::collection::vec(0u64..4096, 1..24),
+        b_vals in prop::collection::vec(0u64..4096, 1..24),
+    ) {
+        let n = a.len().min(b_vals.len());
+        let (a, b_vals) = (&a[..n], &b_vals[..n]);
+        let mut b = GraphBuilder::new(12);
+        let x = b.input(n);
+        let y = b.input(n);
+        let eq = b.eq(x, y);
+        let graph = b.finish(vec![eq]);
+        let out = graph.evaluate(&[a.to_vec(), b_vals.to_vec()]);
+        let expect: Vec<u64> = a.iter().zip(b_vals).map(|(p, q)| u64::from(p == q)).collect();
+        prop_assert_eq!(&out[0], &expect);
+    }
+
+    #[test]
+    fn reduce_add_matches_wrapping_sum(
+        a in prop::collection::vec(0u64..65536, 1..64),
+    ) {
+        let mut b = GraphBuilder::new(16);
+        let x = b.input(a.len());
+        let total = b.reduce_add(x);
+        let graph = b.finish(vec![total]);
+        let out = graph.evaluate(std::slice::from_ref(&a));
+        let expect = a.iter().fold(0u64, |acc, &v| (acc + v) & 0xFFFF);
+        prop_assert_eq!(out[0][0], expect);
+    }
+
+    #[test]
+    fn mapper_latency_never_improves_with_less_capacity(
+        lanes in 1usize..512,
+        budget_small in 100u64..1_000,
+        extra in 1u64..1_000,
+    ) {
+        let mut b = GraphBuilder::new(8);
+        let x = b.input(lanes);
+        let k = b.broadcast(1, lanes);
+        let s = b.add(x, k);
+        let graph = b.finish(vec![s]);
+        let small = Mapper::with_budget(budget_small, 1).compile(&graph);
+        let large = Mapper::with_budget(budget_small + extra, 1).compile(&graph);
+        prop_assert!(large.total.latency.get() <= small.total.latency.get() + 1e-15);
+        // Energy must be identical: it is work, not capacity.
+        prop_assert!((large.total.energy.get() - small.total.energy.get()).abs() < 1e-18);
+    }
+
+    #[test]
+    fn levels_respect_dependencies(depth in 1usize..8) {
+        // A chain of `depth` adds must occupy `depth` costed levels.
+        let mut b = GraphBuilder::new(8);
+        let mut cur = b.input(4);
+        let one = b.broadcast(1, 4);
+        for _ in 0..depth {
+            cur = b.add(cur, one);
+        }
+        let graph = b.finish(vec![cur]);
+        let plan = Mapper::paper_tile().compile(&graph);
+        let max_level = plan.placed.iter().map(|p| p.level).max().expect("ops");
+        let min_level = plan.placed.iter().map(|p| p.level).min().expect("ops");
+        prop_assert_eq!(plan.placed.len(), depth);
+        prop_assert_eq!(max_level - min_level + 1, depth);
+    }
+}

@@ -1,0 +1,176 @@
+//! One-call experiment builders.
+
+use cim_sim::{CimExecutor, ConventionalExecutor};
+use cim_workloads::{AdditionWorkload, DnaSpec};
+use serde::{Deserialize, Serialize};
+
+use crate::report::ComparisonReport;
+
+/// Where the conventional machine's cache hit ratio comes from.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HitRatioMode {
+    /// Table 1's assumption (50% for DNA).
+    #[default]
+    PaperAssumption,
+    /// Measured by replaying the scaled run's trace through the cache
+    /// simulator.
+    Measured,
+}
+
+/// The paper's healthcare experiment: DNA read mapping, conventional vs
+/// CIM.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DnaExperiment {
+    /// The scaled specification to actually execute.
+    pub spec: DnaSpec,
+    /// Workload seed.
+    pub seed: u64,
+    /// Hit-ratio source for the paper-scale projection.
+    pub hit_ratio_mode: HitRatioMode,
+}
+
+impl DnaExperiment {
+    /// A laptop-scale experiment with the paper's shape.
+    pub fn scaled(ref_len: u64, seed: u64) -> Self {
+        Self {
+            spec: DnaSpec::scaled(ref_len),
+            seed,
+            hit_ratio_mode: HitRatioMode::PaperAssumption,
+        }
+    }
+
+    /// Selects the hit-ratio source.
+    pub fn with_hit_ratio_mode(mut self, mode: HitRatioMode) -> Self {
+        self.hit_ratio_mode = mode;
+        self
+    }
+
+    /// Runs both machines and builds the comparison.
+    ///
+    /// The scaled workload executes for real on the conventional side
+    /// (genome, index, mapping, cache trace) and through the IMPLY
+    /// comparator semantics on the CIM side; the comparison reports the
+    /// paper-scale projections.
+    pub fn run(&self) -> ComparisonReport {
+        let conv_exec = ConventionalExecutor::new(self.seed);
+        let artifacts = conv_exec.run_dna(self.spec);
+        let hit_ratio = match self.hit_ratio_mode {
+            HitRatioMode::PaperAssumption => 0.5,
+            HitRatioMode::Measured => artifacts.measured_hit_ratio,
+        };
+        let conv = conv_exec.project_dna(hit_ratio);
+
+        let cim_exec = CimExecutor::new(self.seed);
+        // CIM executes a bounded-size functional pass; cap the spec.
+        let cim_spec = DnaSpec {
+            ref_len: self.spec.ref_len.min(1 << 20),
+            ..self.spec
+        };
+        let (_scaled, comparator_invocations) = cim_exec.run_dna_scaled(cim_spec);
+        let cim = cim_exec.project_dna(hit_ratio);
+
+        ComparisonReport::new("DNA sequencing", conv, cim).with_note(format!(
+            "scaled run: {}/{} reads mapped, measured hit ratio {:.3} \
+                 (index probes alone: {:.3}); {} comparator invocations verified",
+            artifacts.reads_mapped,
+            artifacts.reads_total,
+            artifacts.measured_hit_ratio,
+            artifacts.index_hit_ratio,
+            comparator_invocations,
+        ))
+    }
+}
+
+/// The paper's mathematics experiment: bulk parallel additions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdditionsExperiment {
+    /// The workload to execute (checksums are verified on both machines).
+    pub workload: AdditionWorkload,
+}
+
+impl AdditionsExperiment {
+    /// The paper-scale experiment: 10⁶ 32-bit additions.
+    pub fn paper(seed: u64) -> Self {
+        Self {
+            workload: AdditionWorkload::paper(seed),
+        }
+    }
+
+    /// A scaled-down experiment with the same shape.
+    pub fn scaled(n_ops: u64, seed: u64) -> Self {
+        Self {
+            workload: AdditionWorkload::scaled(n_ops, seed),
+        }
+    }
+
+    /// Runs both machines and builds the comparison.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either executor's checksum diverges from the reference
+    /// (it cannot — the check is the execution).
+    pub fn run(&self) -> ComparisonReport {
+        let reference = self.workload.checksum();
+        let (conv, conv_sum) =
+            ConventionalExecutor::new(self.workload.seed).run_additions(&self.workload);
+        let (cim, cim_sum) = CimExecutor::new(self.workload.seed).run_additions(&self.workload);
+        assert_eq!(conv_sum, reference, "conventional checksum diverged");
+        assert_eq!(cim_sum, reference, "CIM checksum diverged");
+        ComparisonReport::new(&format!("{} additions", self.workload.n_ops), conv, cim).with_note(
+            format!("checksum {reference:#018x} verified on both machines"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn additions_experiment_round_trips() {
+        let report = AdditionsExperiment::scaled(5_000, 7).run();
+        let (edp, eff, perf) = report.improvements();
+        assert!(edp > 10.0);
+        assert!(eff > 10.0);
+        assert!(perf > 10.0);
+        assert!(report.notes()[0].contains("checksum"));
+    }
+
+    #[test]
+    fn dna_experiment_round_trips() {
+        let exp = DnaExperiment::scaled(30_000, 3);
+        // Tame the coverage for test speed.
+        let exp = DnaExperiment {
+            spec: DnaSpec {
+                coverage: 2,
+                ..exp.spec
+            },
+            ..exp
+        };
+        let report = exp.run();
+        let (edp, eff, _) = report.improvements();
+        assert!(edp > 100.0, "EDP improvement {edp}");
+        assert!(eff > 1.0, "efficiency improvement {eff}");
+        assert!(report.notes()[0].contains("reads mapped"));
+    }
+
+    #[test]
+    fn measured_mode_changes_the_projection() {
+        let base = DnaExperiment {
+            spec: DnaSpec {
+                ref_len: 30_000,
+                coverage: 2,
+                read_len: 100,
+            },
+            seed: 5,
+            hit_ratio_mode: HitRatioMode::PaperAssumption,
+        };
+        let assumed = base.run();
+        let measured = base.with_hit_ratio_mode(HitRatioMode::Measured).run();
+        // Different hit ratios shift the conventional projection.
+        assert_ne!(
+            assumed.conventional().total_time,
+            measured.conventional().total_time
+        );
+    }
+}

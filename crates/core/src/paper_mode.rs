@@ -1,0 +1,244 @@
+//! Reconstruction of the formulas behind the paper's printed Table 2.
+//!
+//! The paper does not state how its Table-2 numbers aggregate the Table-1
+//! constants, and they cannot all be derived from one consistent model.
+//! By numerically inverting the printed values against Table 1 we
+//! recovered the apparent formula behind **8 of the 12 cells** (both
+//! energy-delay and efficiency rows, all four columns); the
+//! performance/area row resisted reconstruction (and contains the same
+//! value, 5.1118e9, in two unrelated cells — almost certainly a
+//! transcription error in the paper). Each function documents its decoded
+//! formula; the tests pin the agreement with the printed values.
+//!
+//! Quirks preserved for fidelity, not endorsed:
+//!
+//! * the printed energy-delay values appear to be in **J·µs** (or
+//!   equivalently the seconds value × 10⁶) — `PRINTED_EDP_UNIT` captures
+//!   the 10⁻⁶ factor;
+//! * the DNA column charges the **whole machine's** static power to a
+//!   single operation, while the math column charges only one
+//!   **cluster's** — an aggregation inconsistency we reproduce per
+//!   column;
+//! * the CIM DNA energy multiplies the 45 fJ comparator by the
+//!   *conventional* machine's 600 000 comparators.
+
+use cim_arch::{CimMachine, ConventionalMachine};
+use cim_units::{Energy, Power, Time};
+
+/// The paper's printed Table 2, in row-major order
+/// `[metric][machine-column]` with columns
+/// `[conv DNA, CIM DNA, conv math, CIM math]`.
+pub const PUBLISHED: [[f64; 4]; 3] = [
+    // Energy-delay / operations (as printed; see PRINTED_EDP_UNIT).
+    [2.0210e-6, 2.3382e-9, 1.5043e-18, 9.2570e-21],
+    // Computing efficiency (ops / J).
+    [4.1097e4, 3.7037e7, 6.5226e9, 3.9063e12],
+    // Performance / area.
+    [5.7312e9, 5.1118e9, 5.1118e9, 4.9164e12],
+];
+
+/// The DNA columns' printed EDP values are 10⁶× their J·s value (J·µs).
+pub const PRINTED_EDP_UNIT: f64 = 1e-6;
+
+/// One reconstructed cell with its provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedCell {
+    /// Human-readable cell id, e.g. `"conv-dna/edp"`.
+    pub cell: &'static str,
+    /// The value our decoded formula produces (in the paper's printed
+    /// convention, including the J·µs quirk where applicable).
+    pub reconstructed: f64,
+    /// The paper's printed value.
+    pub published: f64,
+    /// The decoded formula, as text.
+    pub formula: &'static str,
+}
+
+impl DecodedCell {
+    /// Relative deviation of the reconstruction from the printed value.
+    pub fn deviation(&self) -> f64 {
+        (self.reconstructed / self.published - 1.0).abs()
+    }
+}
+
+/// Conventional DNA column: the miss-weighted access latency and the
+/// whole machine's static power.
+fn conv_dna_energy_and_delay() -> (Energy, Time) {
+    let m = ConventionalMachine::dna_paper();
+    // Miss-weighted *stall* time: 0.5 × 165 cycles (the hit cycle is not
+    // included in the energy window the numbers imply).
+    let stall = m.tech.cycle() * ((1.0 - m.cache.hit_ratio) * m.cache.miss_penalty_cycles as f64);
+    // Access delay: hit/miss expectation, 83 cycles.
+    let delay = m.tech.cycle() * m.cache.expected_access_cycles();
+    let energy = m.static_power() * stall;
+    (energy, delay)
+}
+
+/// Conventional math column: one cluster's static power over the
+/// compute + two cache accesses window.
+fn conv_math_energy_and_delay() -> (Energy, Time) {
+    let m = ConventionalMachine::math_paper(1_000_000);
+    let cluster_static: Power =
+        m.cache.static_power + m.unit.leakage_power(&m.tech) * m.units_per_cluster as f64;
+    // 1 compute cycle + 2 × expected accesses (operand read + write-back).
+    let cycles = 1.0 + 2.0 * m.cache.expected_access_cycles();
+    let delay = m.tech.cycle() * cycles;
+    (cluster_static * delay, delay)
+}
+
+/// CIM DNA column: 45 fJ × the conventional machine's 600 000
+/// comparators; delay = comparator latency + the conventional access
+/// expectation.
+fn cim_dna_energy_and_delay() -> (Energy, Time) {
+    let cim = CimMachine::dna_paper();
+    let conv = ConventionalMachine::dna_paper();
+    let energy = cim.op_dynamic_energy() * conv.parallel_units() as f64;
+    let delay =
+        cim.op.cost(&cim.tech).latency + conv.tech.cycle() * conv.cache.expected_access_cycles();
+    (energy, delay)
+}
+
+/// CIM math column: the TC adder's formula energy (8N = 256 fJ) and
+/// latency (4N+5 steps) plus the conventional math access window.
+fn cim_math_energy_and_delay() -> (Energy, Time) {
+    let cim = CimMachine::math_paper(1_000_000, 32);
+    let conv = ConventionalMachine::math_paper(1_000_000);
+    let energy = cim.op_dynamic_energy();
+    let access = conv.tech.cycle() * (1.0 + 2.0 * conv.cache.expected_access_cycles());
+    let delay = cim.op.cost(&cim.tech).latency + access;
+    (energy, delay)
+}
+
+/// All reconstructed cells with their formulas and printed counterparts.
+pub fn decoded_cells() -> Vec<DecodedCell> {
+    let (e_cd, t_cd) = conv_dna_energy_and_delay();
+    let (e_cm, t_cm) = conv_math_energy_and_delay();
+    let (e_id, t_id) = cim_dna_energy_and_delay();
+    let (e_im, t_im) = cim_math_energy_and_delay();
+    vec![
+        DecodedCell {
+            cell: "conv-dna/edp",
+            reconstructed: e_cd.get() * t_cd.get() / PRINTED_EDP_UNIT,
+            published: PUBLISHED[0][0],
+            formula: "P_static(machine) · (0.5·165 cy) × (83 cy), printed in J·µs",
+        },
+        DecodedCell {
+            cell: "conv-dna/efficiency",
+            reconstructed: 1.0 / e_cd.get(),
+            published: PUBLISHED[1][0],
+            formula: "1 / (P_static(machine) · 0.5·165 cy)",
+        },
+        DecodedCell {
+            cell: "cim-dna/edp",
+            reconstructed: e_id.get() * t_id.get() / PRINTED_EDP_UNIT,
+            published: PUBLISHED[0][1],
+            formula: "(45 fJ · 600 000) × (3.2 ns + 83 cy), printed in J·µs",
+        },
+        DecodedCell {
+            cell: "cim-dna/efficiency",
+            reconstructed: 1.0 / e_id.get(),
+            published: PUBLISHED[1][1],
+            formula: "1 / (45 fJ · 600 000)",
+        },
+        DecodedCell {
+            cell: "conv-math/edp",
+            reconstructed: e_cm.get() * t_cm.get(),
+            published: PUBLISHED[0][2],
+            formula: "P_static(cluster) · t² with t = (1 + 2·4.28) cy",
+        },
+        DecodedCell {
+            cell: "conv-math/efficiency",
+            reconstructed: 1.0 / e_cm.get(),
+            published: PUBLISHED[1][2],
+            formula: "1 / (P_static(cluster) · (1 + 2·4.28) cy)",
+        },
+        DecodedCell {
+            cell: "cim-math/edp",
+            reconstructed: e_im.get() * t_im.get(),
+            published: PUBLISHED[0][3],
+            formula: "(8·32 fJ) × (133·200 ps + (1 + 2·4.28) cy)",
+        },
+        DecodedCell {
+            cell: "cim-math/efficiency",
+            reconstructed: 1.0 / e_im.get(),
+            published: PUBLISHED[1][3],
+            formula: "1 / (8·32 fJ) = 1/256 fJ",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_table_shape() {
+        assert_eq!(PUBLISHED.len(), 3);
+        assert!(PUBLISHED.iter().all(|row| row.len() == 4));
+        // The suspicious duplicate the module docs call out.
+        assert_eq!(PUBLISHED[2][1], PUBLISHED[2][2]);
+    }
+
+    #[test]
+    fn cim_math_efficiency_is_exact() {
+        let cells = decoded_cells();
+        let cell = cells
+            .iter()
+            .find(|c| c.cell == "cim-math/efficiency")
+            .expect("cell");
+        // 1/256 fJ = 3.90625e12 vs printed 3.9063e12.
+        assert!(cell.deviation() < 2e-5, "deviation {}", cell.deviation());
+    }
+
+    #[test]
+    fn cim_math_edp_is_exact_to_print_precision() {
+        let cells = decoded_cells();
+        let cell = cells
+            .iter()
+            .find(|c| c.cell == "cim-math/edp")
+            .expect("cell");
+        assert!(cell.deviation() < 1e-3, "deviation {}", cell.deviation());
+    }
+
+    #[test]
+    fn cim_dna_efficiency_is_exact() {
+        let cells = decoded_cells();
+        let cell = cells
+            .iter()
+            .find(|c| c.cell == "cim-dna/efficiency")
+            .expect("cell");
+        // 1/(45 fJ × 600 000) = 3.7037e7, exact.
+        assert!(cell.deviation() < 1e-4, "deviation {}", cell.deviation());
+    }
+
+    #[test]
+    fn all_decoded_cells_within_four_percent() {
+        // The printed EDP and efficiency values imply slightly different
+        // per-op delays (9.6 vs 9.8 ns for the math column), so the
+        // per-cell agreement bottoms out around 3–4%.
+        for cell in decoded_cells() {
+            assert!(
+                cell.deviation() < 0.04,
+                "{} deviates {:.3}% (reconstructed {:.5e}, published {:.5e})",
+                cell.cell,
+                cell.deviation() * 100.0,
+                cell.reconstructed,
+                cell.published
+            );
+        }
+    }
+
+    #[test]
+    fn decoded_cells_cover_edp_and_efficiency_rows() {
+        let cells = decoded_cells();
+        assert_eq!(cells.len(), 8);
+        assert_eq!(cells.iter().filter(|c| c.cell.ends_with("edp")).count(), 4);
+        assert_eq!(
+            cells
+                .iter()
+                .filter(|c| c.cell.ends_with("efficiency"))
+                .count(),
+            4
+        );
+    }
+}

@@ -1,0 +1,220 @@
+//! Comparison reports rendered in the paper's Table-2 shape.
+
+use cim_arch::{Metrics, RunReport};
+use serde::{Deserialize, Serialize};
+
+/// Conventional-vs-CIM results for one workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComparisonReport {
+    workload: String,
+    conventional: RunReport,
+    cim: RunReport,
+    conventional_metrics: Metrics,
+    cim_metrics: Metrics,
+    notes: Vec<String>,
+}
+
+impl ComparisonReport {
+    /// Builds the comparison and derives both metric sets.
+    pub fn new(workload: &str, conventional: RunReport, cim: RunReport) -> Self {
+        Self {
+            workload: workload.to_string(),
+            conventional_metrics: Metrics::from_run(&conventional),
+            cim_metrics: Metrics::from_run(&cim),
+            conventional,
+            cim,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Attaches a free-form provenance note.
+    pub fn with_note(mut self, note: String) -> Self {
+        self.notes.push(note);
+        self
+    }
+
+    /// The workload label.
+    pub fn workload(&self) -> &str {
+        &self.workload
+    }
+
+    /// The conventional machine's run.
+    pub fn conventional(&self) -> &RunReport {
+        &self.conventional
+    }
+
+    /// The CIM machine's run.
+    pub fn cim(&self) -> &RunReport {
+        &self.cim
+    }
+
+    /// The conventional machine's Table-2 metrics.
+    pub fn conventional_metrics(&self) -> &Metrics {
+        &self.conventional_metrics
+    }
+
+    /// The CIM machine's Table-2 metrics.
+    pub fn cim_metrics(&self) -> &Metrics {
+        &self.cim_metrics
+    }
+
+    /// Provenance notes.
+    pub fn notes(&self) -> &[String] {
+        &self.notes
+    }
+
+    /// CIM-over-conventional improvement ratios
+    /// `(EDP, efficiency, perf/area)` — all > 1 means CIM wins.
+    pub fn improvements(&self) -> (f64, f64, f64) {
+        self.cim_metrics
+            .improvement_over(&self.conventional_metrics)
+    }
+
+    /// Renders a markdown table in the paper's Table-2 arrangement.
+    pub fn to_markdown(&self) -> String {
+        let (edp, eff, perf) = self.improvements();
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.workload));
+        out.push_str("| Metric | Conventional | CIM | CIM gain |\n");
+        out.push_str("|---|---|---|---|\n");
+        out.push_str(&format!(
+            "| Energy-delay / op (J·s) | {:.4e} | {:.4e} | {edp:.1}× |\n",
+            self.conventional_metrics.energy_delay_per_op.get(),
+            self.cim_metrics.energy_delay_per_op.get(),
+        ));
+        out.push_str(&format!(
+            "| Computing efficiency (ops/J) | {:.4e} | {:.4e} | {eff:.1}× |\n",
+            self.conventional_metrics.ops_per_joule, self.cim_metrics.ops_per_joule,
+        ));
+        out.push_str(&format!(
+            "| Performance / area (ops/s/mm²) | {:.4e} | {:.4e} | {perf:.1}× |\n",
+            self.conventional_metrics.ops_per_second_per_mm2,
+            self.cim_metrics.ops_per_second_per_mm2,
+        ));
+        for note in &self.notes {
+            out.push_str(&format!("\n_{note}_\n"));
+        }
+        out
+    }
+
+    /// Renders CSV rows: `workload,machine,metric,value`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for (machine, m) in [
+            ("conventional", &self.conventional_metrics),
+            ("cim", &self.cim_metrics),
+        ] {
+            out.push_str(&format!(
+                "{},{},energy_delay_per_op_js,{:e}\n",
+                self.workload,
+                machine,
+                m.energy_delay_per_op.get()
+            ));
+            out.push_str(&format!(
+                "{},{},ops_per_joule,{:e}\n",
+                self.workload, machine, m.ops_per_joule
+            ));
+            out.push_str(&format!(
+                "{},{},ops_per_second_per_mm2,{:e}\n",
+                self.workload, machine, m.ops_per_second_per_mm2
+            ));
+        }
+        out
+    }
+}
+
+/// Both workloads' comparisons — the full Table 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2 {
+    /// The DNA-sequencing column pair.
+    pub dna: ComparisonReport,
+    /// The additions column pair.
+    pub math: ComparisonReport,
+}
+
+impl Table2 {
+    /// Renders the combined markdown document.
+    pub fn to_markdown(&self) -> String {
+        format!(
+            "## Table 2 — Huge potential of CIM architecture (reproduced)\n\n{}\n{}",
+            self.dna.to_markdown(),
+            self.math.to_markdown()
+        )
+    }
+
+    /// Renders combined CSV.
+    pub fn to_csv(&self) -> String {
+        format!(
+            "workload,machine,metric,value\n{}{}",
+            self.dna.to_csv(),
+            self.math.to_csv()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_units::{Area, Energy, Time};
+
+    fn report(scale: f64) -> RunReport {
+        RunReport {
+            operations: 1_000,
+            total_time: Time::from_micro_seconds(scale),
+            total_energy: Energy::from_micro_joules(scale),
+            area: Area::from_square_milli_meters(1.0),
+        }
+    }
+
+    fn comparison() -> ComparisonReport {
+        ComparisonReport::new("toy", report(100.0), report(1.0)).with_note("synthetic".to_string())
+    }
+
+    #[test]
+    fn improvements_are_ratios() {
+        let c = comparison();
+        let (edp, eff, perf) = c.improvements();
+        assert!((edp - 10_000.0).abs() < 1e-6);
+        assert!((eff - 100.0).abs() < 1e-9);
+        assert!((perf - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn markdown_contains_all_metrics_and_notes() {
+        let md = comparison().to_markdown();
+        assert!(md.contains("Energy-delay"));
+        assert!(md.contains("Computing efficiency"));
+        assert!(md.contains("Performance / area"));
+        assert!(md.contains("synthetic"));
+        assert!(md.contains("10000.0×"));
+    }
+
+    #[test]
+    fn csv_has_six_data_rows() {
+        let csv = comparison().to_csv();
+        assert_eq!(csv.lines().count(), 6);
+        assert!(csv.contains("toy,cim,ops_per_joule"));
+    }
+
+    #[test]
+    fn table2_combines_both_workloads() {
+        let t = Table2 {
+            dna: comparison(),
+            math: comparison(),
+        };
+        let md = t.to_markdown();
+        assert!(md.contains("Table 2"));
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 13); // header + 12
+    }
+
+    #[test]
+    fn accessors() {
+        let c = comparison();
+        assert_eq!(c.workload(), "toy");
+        assert_eq!(c.conventional().operations, 1_000);
+        assert_eq!(c.cim().operations, 1_000);
+        assert!(c.conventional_metrics().ops_per_joule > 0.0);
+        assert!(c.cim_metrics().ops_per_joule > 0.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Bias schemes for read/write access (paper Section IV.B, class 3).
+
+use cim_units::Voltage;
+use serde::{Deserialize, Serialize};
+
+/// How unselected wordlines and bitlines are biased during an access.
+///
+/// The paper lists bias schemes as the third sneak-path mitigation class:
+/// "the voltage bias applied to non-accessed wordlines and bitlines are set
+/// to values different from those applied to accessed wordline and
+/// bitlines in order to minimize the sneak path current".
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BiasScheme {
+    /// Unselected lines float. Cheapest drivers, worst sneak currents:
+    /// the floating network lets series sneak paths carry current into the
+    /// sense node.
+    Floating,
+    /// Unselected lines held at V/2: half-selected cells see ±V/2, fully
+    /// unselected cells see 0 V. Sneak current through unselected cells is
+    /// eliminated at the cost of half-select power.
+    #[default]
+    HalfV,
+    /// Unselected wordlines at V/3 and unselected bitlines at 2V/3: every
+    /// non-selected cell sees at most V/3, minimising disturb at higher
+    /// driver complexity and power.
+    ThirdV,
+}
+
+/// The voltages a scheme applies for an access of amplitude `v`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BiasVoltages {
+    /// Selected wordline.
+    pub wl_selected: Voltage,
+    /// Unselected wordlines; `None` = floating (solver unknown).
+    pub wl_unselected: Option<Voltage>,
+    /// Selected bitline (sense/return side).
+    pub bl_selected: Voltage,
+    /// Unselected bitlines; `None` = floating.
+    pub bl_unselected: Option<Voltage>,
+}
+
+impl BiasScheme {
+    /// The line voltages for an access of amplitude `v` (selected cell
+    /// nominally sees `+v`; the selected bitline is the 0 V return).
+    pub fn voltages(self, v: Voltage) -> BiasVoltages {
+        match self {
+            BiasScheme::Floating => BiasVoltages {
+                wl_selected: v,
+                wl_unselected: None,
+                bl_selected: Voltage::ZERO,
+                bl_unselected: None,
+            },
+            BiasScheme::HalfV => BiasVoltages {
+                wl_selected: v,
+                wl_unselected: Some(v / 2.0),
+                bl_selected: Voltage::ZERO,
+                bl_unselected: Some(v / 2.0),
+            },
+            BiasScheme::ThirdV => BiasVoltages {
+                wl_selected: v,
+                wl_unselected: Some(v / 3.0),
+                bl_selected: Voltage::ZERO,
+                bl_unselected: Some(v * (2.0 / 3.0)),
+            },
+        }
+    }
+
+    /// Worst-case voltage across any non-selected cell under this scheme
+    /// (ideal wires). This is the disturb stress the threshold kinetics
+    /// must withstand.
+    pub fn worst_unselected_stress(self, v: Voltage) -> Voltage {
+        match self {
+            // Floating lines settle between the rails; the worst case
+            // approaches v/2 across a sneak-path cell.
+            BiasScheme::Floating => v / 2.0,
+            BiasScheme::HalfV => v / 2.0,
+            BiasScheme::ThirdV => v / 3.0,
+        }
+    }
+
+    /// Number of driven lines for an `rows × cols` array (driver cost).
+    pub fn driven_lines(self, rows: usize, cols: usize) -> usize {
+        match self {
+            BiasScheme::Floating => 2,
+            BiasScheme::HalfV | BiasScheme::ThirdV => rows + cols,
+        }
+    }
+}
+
+impl std::fmt::Display for BiasScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            BiasScheme::Floating => "floating",
+            BiasScheme::HalfV => "V/2",
+            BiasScheme::ThirdV => "V/3",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn half_v_puts_half_on_unselected_lines() {
+        let v = Voltage::from_volts(2.0);
+        let b = BiasScheme::HalfV.voltages(v);
+        assert_eq!(b.wl_selected, v);
+        assert_eq!(b.wl_unselected, Some(Voltage::from_volts(1.0)));
+        assert_eq!(b.bl_unselected, Some(Voltage::from_volts(1.0)));
+        assert_eq!(b.bl_selected, Voltage::ZERO);
+    }
+
+    #[test]
+    fn third_v_caps_unselected_stress_at_a_third() {
+        let v = Voltage::from_volts(3.0);
+        let b = BiasScheme::ThirdV.voltages(v);
+        // Half-selected on row: v - 2v/3 = v/3; on column: v/3 - 0 = v/3;
+        // unselected: v/3 - 2v/3 = -v/3.
+        let wl_un = b.wl_unselected.expect("driven").as_volts();
+        let bl_un = b.bl_unselected.expect("driven").as_volts();
+        assert!((v.as_volts() - bl_un - 1.0).abs() < 1e-12);
+        assert!((wl_un - 1.0).abs() < 1e-12);
+        assert!((wl_un - bl_un + 1.0).abs() < 1e-12);
+        assert_eq!(
+            BiasScheme::ThirdV.worst_unselected_stress(v),
+            Voltage::from_volts(1.0)
+        );
+    }
+
+    #[test]
+    fn floating_drives_only_the_selected_lines() {
+        let b = BiasScheme::Floating.voltages(Voltage::from_volts(2.0));
+        assert!(b.wl_unselected.is_none());
+        assert!(b.bl_unselected.is_none());
+        assert_eq!(BiasScheme::Floating.driven_lines(64, 64), 2);
+        assert_eq!(BiasScheme::HalfV.driven_lines(64, 64), 128);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(BiasScheme::Floating.to_string(), "floating");
+        assert_eq!(BiasScheme::HalfV.to_string(), "V/2");
+        assert_eq!(BiasScheme::ThirdV.to_string(), "V/3");
+    }
+}

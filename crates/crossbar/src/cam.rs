@@ -1,0 +1,319 @@
+//! Resistive content-addressable memory (paper Section IV.C:
+//! "CAMs based on memristors are feasible with different flavors").
+//!
+//! A CAM answers *"which stored words equal this key?"* in a single
+//! parallel step — the CIM-native replacement for index probing. Each
+//! stored bit occupies **two** cells (true and complement); a search
+//! drives, for every bit, the cell that would conduct on a *mismatch*,
+//! and senses the per-row match-line current:
+//!
+//! * all driven cells HRS → only leakage flows → **match**;
+//! * any driven cell LRS → an `V/R_on` contribution per mismatching bit →
+//!   **mismatch**, with the current *counting* the mismatches.
+//!
+//! Ternary search (wildcard bits) falls out naturally: masked bits are
+//! simply not driven. The energy/latency model follows the same Table-1
+//! device constants as everything else.
+
+use cim_units::{Current, Energy, Time};
+use serde::{Deserialize, Serialize};
+
+use cim_device::{DeviceParams, Memristor, ThresholdDevice, TwoTerminal};
+
+use crate::stats::ArrayStats;
+
+/// A ternary resistive CAM of `words × bits` entries.
+///
+/// ```
+/// use cim_crossbar::Cam;
+/// use cim_device::DeviceParams;
+///
+/// let mut cam = Cam::new(8, 16, DeviceParams::table1_cim());
+/// cam.store(3, 0xBEEF);
+/// assert_eq!(cam.search(0xBEEF).matches, vec![3]);
+/// assert!(cam.search(0xBEE0).matches.is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cam {
+    words: usize,
+    bits: usize,
+    /// `2 · words · bits` cells: row-major, per bit `[true, complement]`.
+    cells: Vec<ThresholdDevice>,
+    params: DeviceParams,
+    stats: ArrayStats,
+}
+
+/// Result of one parallel CAM search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchOutcome {
+    /// Rows whose match-line stayed below the threshold.
+    pub matches: Vec<usize>,
+    /// Match-line current per row (mismatch counting).
+    pub row_currents: Vec<Current>,
+    /// The decision threshold used.
+    pub threshold: Current,
+}
+
+impl SearchOutcome {
+    /// Estimated Hamming distance of row `r` from the key over the
+    /// unmasked bits, from its match-line current.
+    pub fn mismatch_count(&self, row: usize, params: &DeviceParams) -> u32 {
+        let per_mismatch = (params.v_set * 0.5) / params.r_on;
+        (self.row_currents[row].get() / per_mismatch.get()).round() as u32
+    }
+}
+
+impl Cam {
+    /// Creates an empty CAM (all words zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or `bits > 64`.
+    pub fn new(words: usize, bits: usize, params: DeviceParams) -> Self {
+        assert!(words > 0 && bits > 0, "CAM dimensions must be non-zero");
+        assert!(bits <= 64, "keys are limited to 64 bits");
+        params.validate();
+        let mut cam = Self {
+            words,
+            bits,
+            cells: (0..2 * words * bits)
+                .map(|_| ThresholdDevice::new_hrs(params.clone()))
+                .collect(),
+            params,
+            stats: ArrayStats::default(),
+        };
+        for w in 0..words {
+            cam.store(w, 0);
+        }
+        cam
+    }
+
+    /// Dimensions `(words, bits)`.
+    pub fn dimensions(&self) -> (usize, usize) {
+        (self.words, self.bits)
+    }
+
+    /// Activity counters (searches are counted as reads).
+    pub fn stats(&self) -> &ArrayStats {
+        &self.stats
+    }
+
+    /// Total cell count (2 per stored bit).
+    pub fn device_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Stores `value` in row `word` (ideal programming; the write path
+    /// costs `bits` write energies and one write pulse).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is out of range or `value` does not fit.
+    pub fn store(&mut self, word: usize, value: u64) {
+        assert!(word < self.words, "word index out of range");
+        if self.bits < 64 {
+            assert!(value < (1u64 << self.bits), "value does not fit");
+        }
+        for j in 0..self.bits {
+            let bit = (value >> j) & 1 == 1;
+            let base = (word * self.bits + j) * 2;
+            self.cells[base].write_bit(bit);
+            self.cells[base + 1].write_bit(!bit);
+        }
+        self.stats.writes += 1;
+        self.stats.cell_energy += self.params.write_energy * self.bits as f64;
+        self.stats.elapsed += self.params.write_time;
+    }
+
+    /// The stored value of row `word` (state inspection).
+    pub fn stored(&self, word: usize) -> u64 {
+        (0..self.bits).fold(0u64, |acc, j| {
+            let base = (word * self.bits + j) * 2;
+            acc | (u64::from(self.cells[base].as_bit()) << j)
+        })
+    }
+
+    /// Exact-match search: all bits significant.
+    pub fn search(&mut self, key: u64) -> SearchOutcome {
+        let mask = if self.bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.bits) - 1
+        };
+        self.search_masked(key, mask)
+    }
+
+    /// Ternary search: only bits set in `mask` participate; the rest are
+    /// wildcards.
+    ///
+    /// One search is **one parallel step** over all rows — the paper's
+    /// massive-parallelism claim in its purest form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` has bits outside the key width.
+    pub fn search_masked(&mut self, key: u64, mask: u64) -> SearchOutcome {
+        if self.bits < 64 {
+            assert!(key < (1u64 << self.bits), "key does not fit");
+        }
+        let v_search = self.params.v_set * 0.5; // sub-threshold: no disturb
+        let mut row_currents = Vec::with_capacity(self.words);
+        let mut energy = Energy::ZERO;
+        let pulse = self.params.write_time;
+        for w in 0..self.words {
+            let mut i_row = Current::new(0.0);
+            for j in 0..self.bits {
+                if (mask >> j) & 1 == 0 {
+                    continue;
+                }
+                let key_bit = (key >> j) & 1 == 1;
+                let base = (w * self.bits + j) * 2;
+                // Drive the cell that conducts when the stored bit
+                // differs from the key bit.
+                let driven = if key_bit { base + 1 } else { base };
+                let i = self.cells[driven].current_at(v_search);
+                i_row += i;
+                energy += v_search * i * pulse;
+            }
+            row_currents.push(i_row);
+        }
+        // Threshold: half of one mismatch's contribution above the
+        // all-HRS leakage floor.
+        let driven_bits = mask.count_ones() as f64;
+        let leak_floor = (v_search / self.params.r_off) * driven_bits;
+        let per_mismatch = v_search / self.params.r_on;
+        let threshold = Current::new(leak_floor.get() + 0.5 * per_mismatch.get());
+        let matches = row_currents
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.get() < threshold.get())
+            .map(|(w, _)| w)
+            .collect();
+        self.stats.reads += 1;
+        self.stats.half_select_energy += energy;
+        self.stats.elapsed += pulse;
+        SearchOutcome {
+            matches,
+            row_currents,
+            threshold,
+        }
+    }
+
+    /// Latency of one search: a single device read time, independent of
+    /// the word count — the CAM's whole point.
+    pub fn search_latency(&self) -> Time {
+        self.params.write_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cam(words: usize, bits: usize) -> Cam {
+        Cam::new(words, bits, DeviceParams::table1_cim())
+    }
+
+    #[test]
+    fn stores_and_recalls_words() {
+        let mut c = cam(8, 16);
+        for (w, v) in [(0usize, 0xBEEFu64), (3, 0x1234), (7, 0xFFFF)] {
+            c.store(w, v);
+            assert_eq!(c.stored(w), v);
+        }
+    }
+
+    #[test]
+    fn exact_search_finds_all_and_only_matches() {
+        let mut c = cam(16, 12);
+        for w in 0..16 {
+            c.store(w, (w as u64) * 37 % 4096);
+        }
+        c.store(5, 999);
+        c.store(11, 999);
+        let outcome = c.search(999);
+        assert_eq!(outcome.matches, vec![5, 11]);
+    }
+
+    #[test]
+    fn search_misses_report_empty() {
+        let mut c = cam(4, 8);
+        for w in 0..4 {
+            c.store(w, w as u64 + 10);
+        }
+        assert!(c.search(200).matches.is_empty());
+    }
+
+    #[test]
+    fn match_line_current_counts_mismatches() {
+        let mut c = cam(2, 8);
+        c.store(0, 0b0000_0000);
+        c.store(1, 0b0000_0111);
+        let outcome = c.search(0b0000_0001);
+        let p = DeviceParams::table1_cim();
+        // Row 0 differs in 1 bit, row 1 in 2 bits.
+        assert_eq!(outcome.mismatch_count(0, &p), 1);
+        assert_eq!(outcome.mismatch_count(1, &p), 2);
+        assert!(outcome.row_currents[1].get() > outcome.row_currents[0].get());
+    }
+
+    #[test]
+    fn ternary_search_ignores_masked_bits() {
+        let mut c = cam(4, 8);
+        c.store(0, 0b1010_0001);
+        c.store(1, 0b1010_1001);
+        c.store(2, 0b0110_0001);
+        c.store(3, 0b1011_0001);
+        // Match on the low nibble only: rows 0, 2 and 3 share it; row 1
+        // differs in bit 3.
+        let outcome = c.search_masked(0b0000_0001, 0x0F);
+        assert_eq!(outcome.matches, vec![0, 2, 3]);
+        // Full-width search distinguishes them again.
+        assert_eq!(c.search(0b1010_0001).matches, vec![0]);
+    }
+
+    #[test]
+    fn search_is_single_step_regardless_of_words() {
+        let mut small = cam(4, 16);
+        let mut large = cam(512, 16);
+        small.store(1, 7);
+        large.store(400, 7);
+        let _ = small.search(7);
+        let _ = large.search(7);
+        assert_eq!(small.search_latency(), large.search_latency());
+        // Time advanced by exactly one pulse per search.
+        assert_eq!(
+            small.stats().elapsed.get(),
+            small.stats().writes as f64 * small.search_latency().get()
+                + small.search_latency().get()
+        );
+    }
+
+    #[test]
+    fn searches_do_not_disturb_stored_words() {
+        let mut c = cam(8, 16);
+        for w in 0..8 {
+            c.store(w, (w as u64) << 8 | w as u64);
+        }
+        for k in 0..100u64 {
+            let _ = c.search(k * 131 % 65536);
+        }
+        for w in 0..8 {
+            assert_eq!(c.stored(w), (w as u64) << 8 | w as u64);
+        }
+    }
+
+    #[test]
+    fn device_count_is_two_per_bit() {
+        let c = cam(8, 16);
+        assert_eq!(c.device_count(), 2 * 8 * 16);
+        assert_eq!(c.dimensions(), (8, 16));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn rejects_oversized_values() {
+        let mut c = cam(2, 4);
+        c.store(0, 16);
+    }
+}

@@ -1,0 +1,77 @@
+//! Physical geometry of a crossbar array.
+
+use cim_units::{Area, Resistance};
+use serde::{Deserialize, Serialize};
+
+/// Wire and layout parameters of a crossbar array.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Geometry {
+    /// Resistance of one nano-wire segment between adjacent crosspoints.
+    /// Zero selects the exact lumped-wire solver.
+    pub line_resistance: Resistance,
+    /// Source resistance of the wordline/bitline drivers.
+    pub driver_resistance: Resistance,
+    /// Sense resistance at the bitline sense amplifier (kept small so the
+    /// sensed bitline approximates a virtual ground).
+    pub sense_resistance: Resistance,
+    /// Area of one crosspoint cell, junction overhead included.
+    pub cell_area: Area,
+}
+
+impl Geometry {
+    /// Ideal wires: zero line resistance, stiff drivers. The paper's
+    /// Table 1 estimates assume this regime.
+    pub fn ideal(cell_area: Area) -> Self {
+        Self {
+            line_resistance: Resistance::ZERO,
+            driver_resistance: Resistance::from_ohms(1.0),
+            sense_resistance: Resistance::from_ohms(100.0),
+            cell_area,
+        }
+    }
+
+    /// Realistic nano-wire parasitics: a few ohms per segment (copper
+    /// nano-wire at a 10 nm half-pitch is ≈ 2–5 Ω per crosspoint).
+    pub fn nanowire(cell_area: Area) -> Self {
+        Self {
+            line_resistance: Resistance::from_ohms(2.5),
+            ..Self::ideal(cell_area)
+        }
+    }
+
+    /// Total array area for `rows × cols` crosspoints.
+    pub fn array_area(&self, rows: usize, cols: usize) -> Area {
+        self.cell_area * (rows as f64 * cols as f64)
+    }
+}
+
+impl Default for Geometry {
+    fn default() -> Self {
+        Self::ideal(Area::from_square_micro_meters(1e-4))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_geometry_has_zero_line_resistance() {
+        let g = Geometry::default();
+        assert_eq!(g.line_resistance, Resistance::ZERO);
+        assert!(g.driver_resistance.get() > 0.0);
+    }
+
+    #[test]
+    fn array_area_scales_with_cells() {
+        let g = Geometry::ideal(Area::from_square_micro_meters(1e-4));
+        let a = g.array_area(100, 200);
+        assert!((a.as_square_micro_meters() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nanowire_parasitics_are_nonzero() {
+        let g = Geometry::nanowire(Area::from_square_micro_meters(1e-4));
+        assert!(g.line_resistance.get() > 0.0);
+    }
+}

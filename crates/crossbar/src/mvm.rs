@@ -1,0 +1,274 @@
+//! Analog matrix-vector multiplication in a crossbar.
+//!
+//! The paper closes by naming "complex self-learning neural networks"
+//! among the memristor's applications. The enabling primitive is the
+//! analog crossbar MVM: program weights as cell *conductances*, drive the
+//! rows with input *voltages*, and every column's current is a
+//! multiply-accumulate by Kirchhoff's law — `O(1)` latency for an `m × n`
+//! product.
+//!
+//! Signed weights use the standard differential-pair trick (two columns
+//! per output, `w = g⁺ − g⁻`). Programming accepts weights in `[-1, 1]`
+//! and maps them to the device's conductance range; the read-out inverts
+//! the mapping, so an ideal array reproduces the floating-point product
+//! to numerical precision, and a variability-perturbed one degrades
+//! gracefully (quantified in the tests).
+
+use cim_units::{Energy, Time, Voltage};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use cim_device::{DeviceParams, ThresholdDevice, TwoTerminal, Variability};
+
+use crate::stats::ArrayStats;
+
+/// An analog crossbar computing `y = Wᵀ·x` in one parallel step.
+///
+/// ```
+/// use cim_crossbar::AnalogMvm;
+/// use cim_device::DeviceParams;
+///
+/// let mut mvm = AnalogMvm::new(2, 1, DeviceParams::table1_cim());
+/// mvm.program_weights(&[vec![0.5], vec![-0.25]]);
+/// let y = mvm.multiply(&[1.0, 1.0]);
+/// assert!((y[0] - 0.25).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalogMvm {
+    inputs: usize,
+    outputs: usize,
+    /// `inputs × (2·outputs)` cells: per output a (g⁺, g⁻) column pair.
+    cells: Vec<ThresholdDevice>,
+    params: DeviceParams,
+    stats: ArrayStats,
+}
+
+impl AnalogMvm {
+    /// Creates an all-zero-weight array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(inputs: usize, outputs: usize, params: DeviceParams) -> Self {
+        assert!(inputs > 0 && outputs > 0, "MVM dimensions must be non-zero");
+        params.validate();
+        Self {
+            inputs,
+            outputs,
+            cells: (0..inputs * outputs * 2)
+                .map(|_| ThresholdDevice::new_hrs(params.clone()))
+                .collect(),
+            params,
+            stats: ArrayStats::default(),
+        }
+    }
+
+    /// Dimensions `(inputs, outputs)`.
+    pub fn dimensions(&self) -> (usize, usize) {
+        (self.inputs, self.outputs)
+    }
+
+    /// Device count (2 per weight).
+    pub fn device_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> &ArrayStats {
+        &self.stats
+    }
+
+    /// Conductance bounds of the technology.
+    fn g_range(&self) -> (f64, f64) {
+        (1.0 / self.params.r_off.get(), 1.0 / self.params.r_on.get())
+    }
+
+    /// Maps a magnitude in `[0, 1]` to a device state hitting the target
+    /// conductance (inverting the linear-resistance interpolation).
+    fn state_for_magnitude(&self, w: f64) -> f64 {
+        let (g_min, g_max) = self.g_range();
+        let g = g_min + w * (g_max - g_min);
+        let r = 1.0 / g;
+        let (r_on, r_off) = (self.params.r_on.get(), self.params.r_off.get());
+        ((r_off - r) / (r_off - r_on)).clamp(0.0, 1.0)
+    }
+
+    /// Programs the weight matrix (`weights[i][j]` = row `i`, output
+    /// `j`), values in `[-1, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or out-of-range weights.
+    pub fn program_weights(&mut self, weights: &[Vec<f64>]) {
+        self.program_weights_with(weights, &Variability::NONE, &mut rand::thread_rng());
+    }
+
+    /// Programs with device-to-device variability: each cell's achieved
+    /// state is what a `variability`-sampled device would reach.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or out-of-range weights.
+    pub fn program_weights_with<R: Rng + ?Sized>(
+        &mut self,
+        weights: &[Vec<f64>],
+        variability: &Variability,
+        rng: &mut R,
+    ) -> usize {
+        assert_eq!(weights.len(), self.inputs, "weight row count mismatch");
+        let mut programmed = 0;
+        for (i, row) in weights.iter().enumerate() {
+            assert_eq!(row.len(), self.outputs, "weight column count mismatch");
+            for (j, &w) in row.iter().enumerate() {
+                assert!((-1.0..=1.0).contains(&w), "weights must lie in [-1, 1]");
+                let (pos, neg) = if w >= 0.0 { (w, 0.0) } else { (0.0, -w) };
+                let base = (i * self.outputs + j) * 2;
+                // Variability: the device the fab delivered differs from
+                // nominal, so the achieved conductance is off target.
+                for (offset, magnitude) in [(0, pos), (1, neg)] {
+                    let sampled = variability.sample(&self.params, rng);
+                    let cell =
+                        ThresholdDevice::with_state(sampled, self.state_for_magnitude(magnitude));
+                    self.cells[base + offset] = cell;
+                    programmed += 1;
+                }
+            }
+        }
+        self.stats.writes += 1;
+        self.stats.cell_energy += self.params.write_energy * programmed as f64;
+        self.stats.elapsed += self.params.write_time;
+        programmed
+    }
+
+    /// Performs `y = Wᵀ·x` electrically: inputs in `[-1, 1]` become row
+    /// voltages, column current differences become outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != inputs` or any input exceeds `[-1, 1]`.
+    pub fn multiply(&mut self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.inputs, "input length mismatch");
+        let v_full = self.params.v_set.get() * 0.5; // sub-threshold reads
+        let (g_min, g_max) = self.g_range();
+        let scale = v_full * (g_max - g_min);
+        let pulse = self.params.write_time;
+        let mut energy = Energy::ZERO;
+        let mut y = vec![0.0; self.outputs];
+        for (i, &xi) in x.iter().enumerate() {
+            assert!((-1.0..=1.0).contains(&xi), "inputs must lie in [-1, 1]");
+            let v = Voltage::new(xi * v_full);
+            for (j, out) in y.iter_mut().enumerate() {
+                let base = (i * self.outputs + j) * 2;
+                let i_pos = self.cells[base].current_at(v).get();
+                let i_neg = self.cells[base + 1].current_at(v).get();
+                // Both columns carry the g_min baseline; it cancels in
+                // the differential sense.
+                *out += (i_pos - i_neg) / scale;
+                energy += Energy::new((i_pos.abs() + i_neg.abs()) * v.get().abs() * pulse.get());
+            }
+        }
+        self.stats.reads += 1;
+        self.stats.half_select_energy += energy;
+        self.stats.elapsed += pulse;
+        y
+    }
+
+    /// Latency of one full MVM: a single read pulse (all rows drive and
+    /// all columns integrate simultaneously).
+    pub fn latency(&self) -> Time {
+        self.params.write_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn matmul(w: &[Vec<f64>], x: &[f64]) -> Vec<f64> {
+        let outputs = w[0].len();
+        (0..outputs)
+            .map(|j| x.iter().zip(w).map(|(xi, row)| xi * row[j]).sum())
+            .collect()
+    }
+
+    #[test]
+    fn ideal_array_reproduces_the_float_product() {
+        let w = vec![
+            vec![0.5, -0.25, 1.0],
+            vec![-1.0, 0.75, 0.0],
+            vec![0.1, 0.2, -0.3],
+            vec![0.0, -0.5, 0.9],
+        ];
+        let mut mvm = AnalogMvm::new(4, 3, DeviceParams::table1_cim());
+        mvm.program_weights(&w);
+        let x = [0.8, -0.6, 1.0, -1.0];
+        let y = mvm.multiply(&x);
+        let reference = matmul(&w, &x);
+        for (a, b) in y.iter().zip(&reference) {
+            assert!((a - b).abs() < 1e-9, "analog {a} vs float {b}");
+        }
+    }
+
+    #[test]
+    fn zero_weights_produce_zero_output() {
+        let mut mvm = AnalogMvm::new(3, 2, DeviceParams::table1_cim());
+        mvm.program_weights(&vec![vec![0.0; 2]; 3]);
+        let y = mvm.multiply(&[1.0, -1.0, 0.5]);
+        assert!(y.iter().all(|v| v.abs() < 1e-9), "{y:?}");
+    }
+
+    #[test]
+    fn variability_degrades_gracefully() {
+        let w = vec![vec![0.5, -0.5], vec![0.25, 0.75]];
+        let x = [1.0, -0.5];
+        let reference = matmul(&w, &x);
+
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut noisy = AnalogMvm::new(2, 2, DeviceParams::table1_cim());
+        noisy.program_weights_with(&w, &Variability::typical(), &mut rng);
+        let y = noisy.multiply(&x);
+        for (a, b) in y.iter().zip(&reference) {
+            let err = (a - b).abs();
+            assert!(err > 1e-12, "10% spread must be visible");
+            assert!(err < 0.35, "error {err} too large for σ = 10%");
+        }
+    }
+
+    #[test]
+    fn mvm_is_single_step_regardless_of_size() {
+        let small = AnalogMvm::new(2, 2, DeviceParams::table1_cim());
+        let large = AnalogMvm::new(64, 32, DeviceParams::table1_cim());
+        assert_eq!(small.latency(), large.latency());
+        assert_eq!(large.device_count(), 64 * 32 * 2);
+    }
+
+    #[test]
+    fn energy_scales_with_activity() {
+        let w = vec![vec![1.0], vec![1.0]];
+        let mut mvm = AnalogMvm::new(2, 1, DeviceParams::table1_cim());
+        mvm.program_weights(&w);
+        mvm.stats.reset();
+        let _ = mvm.multiply(&[1.0, 1.0]);
+        let hot = mvm.stats().total_energy();
+        mvm.stats.reset();
+        let _ = mvm.multiply(&[0.1, 0.1]);
+        let cold = mvm.stats().total_energy();
+        assert!(hot.get() > 5.0 * cold.get());
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in [-1, 1]")]
+    fn rejects_out_of_range_weights() {
+        let mut mvm = AnalogMvm::new(1, 1, DeviceParams::table1_cim());
+        mvm.program_weights(&[vec![1.5]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "input length mismatch")]
+    fn rejects_wrong_input_arity() {
+        let mut mvm = AnalogMvm::new(2, 1, DeviceParams::table1_cim());
+        let _ = mvm.multiply(&[1.0]);
+    }
+}

@@ -1,0 +1,720 @@
+//! Electrical solvers for crossbar accesses.
+//!
+//! Two fidelity levels:
+//!
+//! * [`LumpedSolver`] — each wordline/bitline is one equipotential node
+//!   (valid when wire resistance is negligible, the regime the paper's
+//!   Table 1 assumes). Handles floating lines and non-linear cells by
+//!   Gauss-Seidel iteration with secant-conductance refresh.
+//! * [`DistributedSolver`] — one node per crosspoint per line, capturing
+//!   IR drop along the nano-wires (successive-over-relaxation sweep).
+//!
+//! Both return a [`SolvedRead`]: the sense current plus the full per-cell
+//! voltage map, which the array layer uses for disturb stressing and
+//! half-select power accounting.
+
+use cim_units::{Current, Power, Voltage};
+use serde::{Deserialize, Serialize};
+
+use crate::bias::BiasVoltages;
+use crate::cell::Cell;
+use crate::geometry::Geometry;
+
+/// Solution of one array access.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolvedRead {
+    /// Current delivered into the selected bitline's sense node.
+    pub sense_current: Current,
+    /// Voltage across every cell, row-major (`rows × cols`); positive means
+    /// wordline side higher.
+    pub cell_voltages: Vec<f64>,
+    /// Power dissipated in all cells *except* the selected one.
+    pub parasitic_power: Power,
+    /// Gauss-Seidel sweeps used.
+    pub iterations: usize,
+    /// True if the solver met its tolerance within the sweep budget.
+    pub converged: bool,
+}
+
+impl SolvedRead {
+    /// Voltage across cell `(r, c)`.
+    pub fn cell_voltage(&self, r: usize, c: usize, cols: usize) -> Voltage {
+        Voltage::new(self.cell_voltages[r * cols + c])
+    }
+}
+
+/// Shared solver knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SolverConfig {
+    /// Convergence tolerance on node voltages, in volts.
+    pub tolerance: f64,
+    /// Sweep budget before giving up.
+    pub max_sweeps: usize,
+    /// Over-relaxation factor (1.0 = plain Gauss-Seidel).
+    pub omega: f64,
+    /// Log-space damping of the secant-conductance refresh (1.0 = none;
+    /// smaller = heavier damping for strongly non-linear cells).
+    pub conductance_blend: f64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        Self {
+            tolerance: 1e-9,
+            max_sweeps: 20_000,
+            // Under-relaxation: over-relaxed sweeps diverge on floating
+            // lines with strongly non-linear (selector) cells, and the
+            // linear cases still converge in well under 200 sweeps.
+            omega: 0.7,
+            conductance_blend: 0.1,
+        }
+    }
+}
+
+/// Lumped-wire (equipotential-line) access solver.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LumpedSolver {
+    /// Iteration parameters.
+    pub config: SolverConfig,
+}
+
+impl LumpedSolver {
+    /// Solves an access of `(row, col)` under the given bias voltages.
+    ///
+    /// `gate_row` tells 1T1R cells which wordline's gates are on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells.len() != rows * cols` or the selection is out of
+    /// bounds.
+    pub fn solve<C: Cell>(
+        &self,
+        cells: &[C],
+        rows: usize,
+        cols: usize,
+        selected: (usize, usize),
+        bias: BiasVoltages,
+        geometry: &Geometry,
+    ) -> SolvedRead {
+        assert_eq!(cells.len(), rows * cols, "cell grid shape mismatch");
+        assert!(
+            selected.0 < rows && selected.1 < cols,
+            "selection out of bounds"
+        );
+        let (sel_r, sel_c) = selected;
+        let g_drv = 1.0 / geometry.driver_resistance.get();
+        let g_sense = 1.0 / geometry.sense_resistance.get();
+
+        // Line sources: Some((target_voltage, source_conductance)).
+        let wl_source = |i: usize| -> Option<(f64, f64)> {
+            if i == sel_r {
+                Some((bias.wl_selected.get(), g_drv))
+            } else {
+                bias.wl_unselected.map(|v| (v.get(), g_drv))
+            }
+        };
+        let bl_source = |j: usize| -> Option<(f64, f64)> {
+            if j == sel_c {
+                Some((bias.bl_selected.get(), g_sense))
+            } else {
+                bias.bl_unselected.map(|v| (v.get(), g_drv))
+            }
+        };
+
+        // Initial guess: source targets, or mid-rail for floating lines.
+        let mid = bias.wl_selected.get() / 2.0;
+        let mut w: Vec<f64> = (0..rows)
+            .map(|i| wl_source(i).map_or(mid, |(v, _)| v))
+            .collect();
+        let mut b: Vec<f64> = (0..cols)
+            .map(|j| bl_source(j).map_or(mid, |(v, _)| v))
+            .collect();
+
+        let gate_on = |i: usize| i == sel_r;
+        // Secant conductances, geometrically damped between sweeps: with
+        // strongly non-linear cells (1S1R selectors) an undamped
+        // fixed-point iteration flip-flops between on/off linearisations.
+        let mut g = vec![0.0f64; rows * cols];
+        refresh_conductances(cells, rows, cols, &mut g, gate_on, |i, j| w[i] - b[j], 1.0);
+        let mut iterations = 0;
+        let mut converged = false;
+        while iterations < self.config.max_sweeps {
+            iterations += 1;
+            let mut max_delta: f64 = 0.0;
+            for i in 0..rows {
+                let mut num = 0.0;
+                let mut den = 0.0;
+                if let Some((v_src, g_src)) = wl_source(i) {
+                    num += g_src * v_src;
+                    den += g_src;
+                }
+                for j in 0..cols {
+                    let gc = g[i * cols + j];
+                    num += gc * b[j];
+                    den += gc;
+                }
+                if den > 0.0 {
+                    let next = num / den;
+                    let relaxed = w[i] + self.config.omega * (next - w[i]);
+                    max_delta = max_delta.max((relaxed - w[i]).abs());
+                    w[i] = relaxed;
+                }
+            }
+            for j in 0..cols {
+                let mut num = 0.0;
+                let mut den = 0.0;
+                if let Some((v_src, g_src)) = bl_source(j) {
+                    num += g_src * v_src;
+                    den += g_src;
+                }
+                for i in 0..rows {
+                    let gc = g[i * cols + j];
+                    num += gc * w[i];
+                    den += gc;
+                }
+                if den > 0.0 {
+                    let next = num / den;
+                    let relaxed = b[j] + self.config.omega * (next - b[j]);
+                    max_delta = max_delta.max((relaxed - b[j]).abs());
+                    b[j] = relaxed;
+                }
+            }
+            let g_delta = refresh_conductances(
+                cells,
+                rows,
+                cols,
+                &mut g,
+                gate_on,
+                |i, j| w[i] - b[j],
+                self.config.conductance_blend,
+            );
+            if max_delta < self.config.tolerance && g_delta < 1e-3 {
+                converged = true;
+                break;
+            }
+        }
+
+        package_solution(
+            cells,
+            rows,
+            cols,
+            selected,
+            &w,
+            &b,
+            gate_on,
+            // Sense current: everything flowing out of the selected
+            // bitline into its sense source.
+            (b[sel_c] - bias.bl_selected.get()) * g_sense,
+            iterations,
+            converged,
+        )
+    }
+}
+
+/// Distributed-wire (per-crosspoint node) access solver.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DistributedSolver {
+    /// Iteration parameters.
+    pub config: SolverConfig,
+}
+
+impl DistributedSolver {
+    /// Solves an access with per-segment line resistance.
+    ///
+    /// Wordlines are driven at their left end (column 0), bitlines at
+    /// their bottom end (row `rows − 1`), matching the usual peripheral
+    /// placement. Falls back to the lumped solver when the geometry's line
+    /// resistance is zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells.len() != rows * cols` or the selection is out of
+    /// bounds.
+    #[allow(clippy::too_many_lines)]
+    pub fn solve<C: Cell>(
+        &self,
+        cells: &[C],
+        rows: usize,
+        cols: usize,
+        selected: (usize, usize),
+        bias: BiasVoltages,
+        geometry: &Geometry,
+    ) -> SolvedRead {
+        assert_eq!(cells.len(), rows * cols, "cell grid shape mismatch");
+        assert!(
+            selected.0 < rows && selected.1 < cols,
+            "selection out of bounds"
+        );
+        if geometry.line_resistance.get() == 0.0 {
+            return LumpedSolver {
+                config: self.config,
+            }
+            .solve(cells, rows, cols, selected, bias, geometry);
+        }
+        let (sel_r, sel_c) = selected;
+        let g_line = 1.0 / geometry.line_resistance.get();
+        let g_drv = 1.0 / geometry.driver_resistance.get();
+        let g_sense = 1.0 / geometry.sense_resistance.get();
+
+        let wl_source = |i: usize| -> Option<(f64, f64)> {
+            if i == sel_r {
+                Some((bias.wl_selected.get(), g_drv))
+            } else {
+                bias.wl_unselected.map(|v| (v.get(), g_drv))
+            }
+        };
+        let bl_source = |j: usize| -> Option<(f64, f64)> {
+            if j == sel_c {
+                Some((bias.bl_selected.get(), g_sense))
+            } else {
+                bias.bl_unselected.map(|v| (v.get(), g_drv))
+            }
+        };
+
+        let mid = bias.wl_selected.get() / 2.0;
+        let mut w = vec![0.0f64; rows * cols];
+        let mut b = vec![0.0f64; rows * cols];
+        for i in 0..rows {
+            let init = wl_source(i).map_or(mid, |(v, _)| v);
+            for j in 0..cols {
+                w[i * cols + j] = init;
+            }
+        }
+        for j in 0..cols {
+            let init = bl_source(j).map_or(mid, |(v, _)| v);
+            for i in 0..rows {
+                b[i * cols + j] = init;
+            }
+        }
+
+        // Line relaxation: the wire conductance dwarfs the cell
+        // conductances (stiff system), so pointwise Gauss-Seidel stalls.
+        // Instead each sweep solves every wordline and bitline *chain*
+        // exactly (Thomas tridiagonal solve) with the crossing lines held
+        // fixed — the textbook cure for anisotropic coupling.
+        let gate_on = |i: usize| i == sel_r;
+        let mut g = vec![0.0f64; rows * cols];
+        refresh_conductances(
+            cells,
+            rows,
+            cols,
+            &mut g,
+            gate_on,
+            |i, j| w[i * cols + j] - b[i * cols + j],
+            1.0,
+        );
+        let mut tri = Tridiagonal::new(rows.max(cols));
+        let mut iterations = 0;
+        let mut converged = false;
+        while iterations < self.config.max_sweeps {
+            iterations += 1;
+            let mut max_delta: f64 = 0.0;
+            for i in 0..rows {
+                tri.reset(cols);
+                for j in 0..cols {
+                    let idx = i * cols + j;
+                    if j > 0 {
+                        tri.couple(j - 1, j, g_line);
+                    } else if let Some((v_src, g_src)) = wl_source(i) {
+                        tri.source(0, v_src, g_src);
+                    }
+                    tri.source(j, b[idx], g[idx]);
+                }
+                let delta = tri.solve_into(&mut w[i * cols..(i + 1) * cols]);
+                max_delta = max_delta.max(delta);
+            }
+            let mut column = vec![0.0; rows];
+            for j in 0..cols {
+                tri.reset(rows);
+                for i in 0..rows {
+                    let idx = i * cols + j;
+                    if i > 0 {
+                        tri.couple(i - 1, i, g_line);
+                    }
+                    if i + 1 == rows {
+                        if let Some((v_src, g_src)) = bl_source(j) {
+                            tri.source(i, v_src, g_src);
+                        }
+                    }
+                    tri.source(i, w[idx], g[idx]);
+                }
+                for i in 0..rows {
+                    column[i] = b[i * cols + j];
+                }
+                let delta = tri.solve_into(&mut column);
+                for i in 0..rows {
+                    b[i * cols + j] = column[i];
+                }
+                max_delta = max_delta.max(delta);
+            }
+            let g_delta = refresh_conductances(
+                cells,
+                rows,
+                cols,
+                &mut g,
+                gate_on,
+                |i, j| w[i * cols + j] - b[i * cols + j],
+                self.config.conductance_blend,
+            );
+            if max_delta < self.config.tolerance && g_delta < 1e-3 {
+                converged = true;
+                break;
+            }
+        }
+
+        // Per-cell voltages and sense current at the selected bitline's
+        // bottom end.
+        let sense_node = (rows - 1) * cols + sel_c;
+        let sense_current = (b[sense_node] - bias.bl_selected.get()) * g_sense;
+        let mut cell_voltages = vec![0.0; rows * cols];
+        let mut parasitic = 0.0;
+        for i in 0..rows {
+            for j in 0..cols {
+                let idx = i * cols + j;
+                let dv = w[idx] - b[idx];
+                cell_voltages[idx] = dv;
+                if (i, j) != (sel_r, sel_c) {
+                    let current = cells[idx].current(Voltage::new(dv), gate_on(i));
+                    parasitic += (current.get() * dv).abs();
+                }
+            }
+        }
+        SolvedRead {
+            sense_current: Current::new(sense_current),
+            cell_voltages,
+            parasitic_power: Power::new(parasitic),
+            iterations,
+            converged,
+        }
+    }
+}
+
+/// Conductance floor that keeps log-space damping well defined.
+const G_FLOOR: f64 = 1e-18;
+
+/// Refreshes the damped secant conductances; `blend = 1.0` overwrites,
+/// `blend = 0.5` takes the geometric mean of old and new (log-space
+/// damping, natural for power-law selector I-V curves). Returns the
+/// largest relative conductance change.
+fn refresh_conductances<C: Cell>(
+    cells: &[C],
+    rows: usize,
+    cols: usize,
+    g: &mut [f64],
+    gate_on: impl Fn(usize) -> bool,
+    dv: impl Fn(usize, usize) -> f64,
+    blend: f64,
+) -> f64 {
+    let mut max_rel = 0.0f64;
+    for i in 0..rows {
+        for j in 0..cols {
+            let idx = i * cols + j;
+            let secant = cells[idx]
+                .conductance_at(Voltage::new(dv(i, j)), gate_on(i))
+                .max(G_FLOOR);
+            let old = g[idx].max(G_FLOOR);
+            let next = (old.ln() * (1.0 - blend) + secant.ln() * blend).exp();
+            max_rel = max_rel.max((next / old - 1.0).abs());
+            g[idx] = next;
+        }
+    }
+    max_rel
+}
+
+/// A reusable symmetric tridiagonal system `A·x = rhs` built from
+/// chain couplings and grounded sources, solved by the Thomas algorithm.
+#[derive(Debug, Clone)]
+struct Tridiagonal {
+    diag: Vec<f64>,
+    off: Vec<f64>,
+    rhs: Vec<f64>,
+    n: usize,
+    // Scratch for the forward sweep.
+    c_star: Vec<f64>,
+    d_star: Vec<f64>,
+}
+
+impl Tridiagonal {
+    fn new(capacity: usize) -> Self {
+        Self {
+            diag: vec![0.0; capacity],
+            off: vec![0.0; capacity],
+            rhs: vec![0.0; capacity],
+            n: 0,
+            c_star: vec![0.0; capacity],
+            d_star: vec![0.0; capacity],
+        }
+    }
+
+    fn reset(&mut self, n: usize) {
+        self.n = n;
+        self.diag[..n].fill(0.0);
+        self.off[..n].fill(0.0);
+        self.rhs[..n].fill(0.0);
+    }
+
+    /// Adds a conductance `g` between chain nodes `a` and `a + 1 == b`.
+    fn couple(&mut self, a: usize, b: usize, g: f64) {
+        debug_assert_eq!(b, a + 1, "tridiagonal coupling must be adjacent");
+        self.diag[a] += g;
+        self.diag[b] += g;
+        self.off[a] -= g;
+    }
+
+    /// Adds a conductance `g` from node `i` to a fixed potential `v`.
+    fn source(&mut self, i: usize, v: f64, g: f64) {
+        self.diag[i] += g;
+        self.rhs[i] += g * v;
+    }
+
+    /// Solves in place, writing the solution over `x` (which also provides
+    /// the fallback for singular rows) and returning the max |Δx|.
+    #[allow(clippy::needless_range_loop)] // i-1 lookbacks across four arrays
+    fn solve_into(&mut self, x: &mut [f64]) -> f64 {
+        let n = self.n;
+        debug_assert_eq!(x.len(), n);
+        // Thomas forward sweep.
+        let mut prev_cs = 0.0;
+        for i in 0..n {
+            let denom = self.diag[i]
+                - if i > 0 {
+                    self.off[i - 1] * prev_cs
+                } else {
+                    0.0
+                };
+            if denom.abs() < 1e-300 {
+                // Fully floating isolated node: keep its previous value.
+                self.c_star[i] = 0.0;
+                self.d_star[i] = x[i];
+                prev_cs = 0.0;
+                continue;
+            }
+            self.c_star[i] = self.off[i] / denom;
+            let prev_ds = if i > 0 { self.d_star[i - 1] } else { 0.0 };
+            self.d_star[i] = (self.rhs[i]
+                - if i > 0 {
+                    self.off[i - 1] * prev_ds
+                } else {
+                    0.0
+                })
+                / denom;
+            prev_cs = self.c_star[i];
+        }
+        // Back substitution, tracking the largest update.
+        let mut max_delta = 0.0f64;
+        let mut next = 0.0;
+        for i in (0..n).rev() {
+            let value = self.d_star[i]
+                - if i + 1 < n {
+                    self.c_star[i] * next
+                } else {
+                    0.0
+                };
+            max_delta = max_delta.max((value - x[i]).abs());
+            x[i] = value;
+            next = value;
+        }
+        max_delta
+    }
+}
+
+/// Builds the result struct for the lumped solver.
+#[allow(clippy::too_many_arguments)]
+fn package_solution<C: Cell>(
+    cells: &[C],
+    rows: usize,
+    cols: usize,
+    selected: (usize, usize),
+    w: &[f64],
+    b: &[f64],
+    gate_on: impl Fn(usize) -> bool,
+    sense_current: f64,
+    iterations: usize,
+    converged: bool,
+) -> SolvedRead {
+    let mut cell_voltages = vec![0.0; rows * cols];
+    let mut parasitic = 0.0;
+    for i in 0..rows {
+        for j in 0..cols {
+            let dv = w[i] - b[j];
+            cell_voltages[i * cols + j] = dv;
+            if (i, j) != selected {
+                let current = cells[i * cols + j].current(Voltage::new(dv), gate_on(i));
+                parasitic += (current.get() * dv).abs();
+            }
+        }
+    }
+    SolvedRead {
+        sense_current: Current::new(sense_current),
+        cell_voltages,
+        parasitic_power: Power::new(parasitic),
+        iterations,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bias::BiasScheme;
+    use crate::cell::ResistiveCell;
+    use cim_device::DeviceParams;
+    use cim_units::{Area, Resistance};
+
+    fn grid(rows: usize, cols: usize, bits: impl Fn(usize, usize) -> bool) -> Vec<ResistiveCell> {
+        let p = DeviceParams::table1_cim();
+        (0..rows * cols)
+            .map(|k| {
+                let mut c = ResistiveCell::new(p.clone());
+                c.program(bits(k / cols, k % cols));
+                c
+            })
+            .collect()
+    }
+
+    fn geometry() -> Geometry {
+        Geometry::ideal(Area::from_square_micro_meters(1e-4))
+    }
+
+    #[test]
+    fn single_cell_read_matches_ohms_law() {
+        let cells = grid(1, 1, |_, _| true);
+        let v = Voltage::from_volts(1.0);
+        let solved = LumpedSolver::default().solve(
+            &cells,
+            1,
+            1,
+            (0, 0),
+            BiasScheme::HalfV.voltages(v),
+            &geometry(),
+        );
+        assert!(solved.converged);
+        let p = DeviceParams::table1_cim();
+        // Current limited by R_on + driver + sense resistances.
+        let r_total = p.r_on.get() + 1.0 + 100.0;
+        let expect = 1.0 / r_total;
+        assert!((solved.sense_current.get() / expect - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn half_v_isolates_unselected_cells() {
+        // All-LRS worst case: with V/2 bias the sense current must still
+        // be dominated by the selected cell.
+        let rows = 8;
+        let cells = grid(rows, rows, |_, _| true);
+        let v = Voltage::from_volts(1.0);
+        let solved = LumpedSolver::default().solve(
+            &cells,
+            rows,
+            rows,
+            (3, 4),
+            BiasScheme::HalfV.voltages(v),
+            &geometry(),
+        );
+        assert!(solved.converged);
+        // Fully unselected cells see ~0 V.
+        let dv_unsel = solved.cell_voltage(0, 0, rows);
+        assert!(dv_unsel.get().abs() < 1e-3);
+        // Selected cell sees ~full V.
+        let dv_sel = solved.cell_voltage(3, 4, rows);
+        assert!((dv_sel.as_volts() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn floating_bias_worst_case_matches_analytic_sneak() {
+        // Selected cell HRS, all others LRS, floating unselected lines:
+        // the classic sneak network R_on/(C−1) + R_on/((R−1)(C−1)) +
+        // R_on/(R−1) in parallel with the selected cell.
+        let n = 8;
+        let cells = grid(n, n, |i, j| (i, j) != (0, 0));
+        let p = DeviceParams::table1_cim();
+        let v = 1.0;
+        let solved = LumpedSolver::default().solve(
+            &cells,
+            n,
+            n,
+            (0, 0),
+            BiasScheme::Floating.voltages(Voltage::from_volts(v)),
+            &geometry(),
+        );
+        assert!(solved.converged);
+        let nf = n as f64;
+        let r_sneak = p.r_on.get() / (nf - 1.0)
+            + p.r_on.get() / ((nf - 1.0) * (nf - 1.0))
+            + p.r_on.get() / (nf - 1.0);
+        let r_cell = p.r_off.get();
+        let r_parallel = 1.0 / (1.0 / r_sneak + 1.0 / r_cell);
+        let expect = v / (r_parallel + 1.0 + 100.0);
+        assert!(
+            (solved.sense_current.get() / expect - 1.0).abs() < 0.02,
+            "sneak current {} vs analytic {}",
+            solved.sense_current.get(),
+            expect
+        );
+    }
+
+    #[test]
+    fn distributed_with_tiny_line_resistance_matches_lumped() {
+        let n = 6;
+        let cells = grid(n, n, |i, j| (i + j) % 2 == 0);
+        let v = Voltage::from_volts(1.0);
+        let bias = BiasScheme::HalfV.voltages(v);
+        let lumped = LumpedSolver::default().solve(&cells, n, n, (2, 3), bias, &geometry());
+        let mut geo = geometry();
+        geo.line_resistance = Resistance::from_ohms(1e-3);
+        let dist = DistributedSolver::default().solve(&cells, n, n, (2, 3), bias, &geo);
+        assert!(lumped.converged && dist.converged);
+        assert!(
+            (dist.sense_current.get() / lumped.sense_current.get() - 1.0).abs() < 1e-3,
+            "distributed {} vs lumped {}",
+            dist.sense_current.get(),
+            lumped.sense_current.get()
+        );
+    }
+
+    #[test]
+    fn line_resistance_degrades_far_corner_access() {
+        let n = 16;
+        let cells = grid(n, n, |_, _| true);
+        let v = Voltage::from_volts(1.0);
+        let bias = BiasScheme::HalfV.voltages(v);
+        let mut geo = geometry();
+        geo.line_resistance = Resistance::from_ohms(50.0);
+        let solver = DistributedSolver::default();
+        // Near corner: (rows-1, 0) is adjacent to both the wordline driver
+        // (left end) and bitline sense (bottom end). Far corner: (0, n-1).
+        let near = solver.solve(&cells, n, n, (n - 1, 0), bias, &geo);
+        let far = solver.solve(&cells, n, n, (0, n - 1), bias, &geo);
+        assert!(near.converged && far.converged);
+        assert!(
+            near.sense_current.get() > far.sense_current.get() * 1.05,
+            "IR drop should penalise the far corner: near {} vs far {}",
+            near.sense_current.get(),
+            far.sense_current.get()
+        );
+    }
+
+    #[test]
+    fn zero_line_resistance_falls_back_to_lumped() {
+        let cells = grid(3, 3, |_, _| true);
+        let v = Voltage::from_volts(1.0);
+        let bias = BiasScheme::HalfV.voltages(v);
+        let a = DistributedSolver::default().solve(&cells, 3, 3, (1, 1), bias, &geometry());
+        let b = LumpedSolver::default().solve(&cells, 3, 3, (1, 1), bias, &geometry());
+        assert_eq!(a.sense_current, b.sense_current);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn rejects_wrong_grid_shape() {
+        let cells = grid(2, 2, |_, _| true);
+        let _ = LumpedSolver::default().solve(
+            &cells,
+            3,
+            3,
+            (0, 0),
+            BiasScheme::HalfV.voltages(Voltage::from_volts(1.0)),
+            &geometry(),
+        );
+    }
+}

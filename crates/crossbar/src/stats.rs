@@ -1,0 +1,96 @@
+//! Energy/latency/operation accounting for array activity.
+
+use cim_units::{Energy, Time};
+use serde::{Deserialize, Serialize};
+
+/// Running counters for a crossbar array.
+///
+/// All array operations (reads, writes, logic steps driven by `cim-logic`)
+/// accumulate here; the architecture layer converts these into the Table-2
+/// metrics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArrayStats {
+    /// Completed read operations.
+    pub reads: u64,
+    /// Completed write operations.
+    pub writes: u64,
+    /// Switching (cell programming) energy.
+    pub cell_energy: Energy,
+    /// Energy burned in half-selected cells (bias-scheme overhead).
+    pub half_select_energy: Energy,
+    /// Ohmic losses in wires and drivers.
+    pub wire_energy: Energy,
+    /// Busy time of the array.
+    pub elapsed: Time,
+}
+
+impl ArrayStats {
+    /// Total dynamic energy from all sources.
+    pub fn total_energy(&self) -> Energy {
+        self.cell_energy + self.half_select_energy + self.wire_energy
+    }
+
+    /// Merges counters from another stats block (e.g. per-tile totals).
+    pub fn merge(&mut self, other: &ArrayStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.cell_energy += other.cell_energy;
+        self.half_select_energy += other.half_select_energy;
+        self.wire_energy += other.wire_energy;
+        // Tiles operate in parallel: busy time is the max, not the sum.
+        self.elapsed = self.elapsed.max(other.elapsed);
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&mut self) {
+        *self = ArrayStats::default();
+    }
+}
+
+impl std::fmt::Display for ArrayStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} reads, {} writes, {} total energy, {} busy",
+            self.reads,
+            self.writes,
+            self.total_energy(),
+            self.elapsed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_merge() {
+        let mut a = ArrayStats {
+            reads: 2,
+            writes: 1,
+            cell_energy: Energy::from_femto_joules(1.0),
+            half_select_energy: Energy::from_femto_joules(2.0),
+            wire_energy: Energy::from_femto_joules(3.0),
+            elapsed: Time::from_nano_seconds(5.0),
+        };
+        assert!((a.total_energy().as_femto_joules() - 6.0).abs() < 1e-12);
+
+        let b = ArrayStats {
+            reads: 1,
+            elapsed: Time::from_nano_seconds(7.0),
+            ..ArrayStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.reads, 3);
+        assert_eq!(a.elapsed, Time::from_nano_seconds(7.0));
+
+        a.reset();
+        assert_eq!(a, ArrayStats::default());
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!ArrayStats::default().to_string().is_empty());
+    }
+}

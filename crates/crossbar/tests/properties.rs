@@ -1,0 +1,102 @@
+//! Property-based tests for array-level invariants.
+
+use cim_crossbar::{BiasScheme, Crossbar, CrsCell, ResistiveCell, TransistorCell};
+use cim_device::DeviceParams;
+use proptest::prelude::*;
+
+fn any_bias() -> impl Strategy<Value = BiasScheme> {
+    prop_oneof![
+        Just(BiasScheme::HalfV),
+        Just(BiasScheme::ThirdV),
+        Just(BiasScheme::Floating),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn resistive_write_read_round_trip(
+        bits in prop::collection::vec(any::<bool>(), 4),
+        bias in any_bias(),
+    ) {
+        let p = DeviceParams::table1_cim();
+        let mut array = Crossbar::homogeneous(4, 4, || ResistiveCell::new(p.clone()));
+        for (k, &bit) in bits.iter().enumerate() {
+            let (r, c) = (k / 4 + k % 2, k % 4);
+            let w = array.write(r, c, bit, bias);
+            prop_assert!(w.verified, "write {bit} at ({r},{c}) under {bias}");
+            let read = array.read(r, c, bias);
+            prop_assert_eq!(read.bit, bit, "read back under {}", bias);
+        }
+    }
+
+    #[test]
+    fn transistor_array_is_disturb_free(
+        pattern in prop::collection::vec(any::<bool>(), 16),
+        writes in prop::collection::vec((0usize..4, 0usize..4, any::<bool>()), 1..8),
+    ) {
+        let p = DeviceParams::table1_cim();
+        let mut array = Crossbar::homogeneous(4, 4, || TransistorCell::new(p.clone()));
+        array.fill(|r, c| pattern[r * 4 + c]);
+        let mut expected = pattern.clone();
+        for &(r, c, bit) in &writes {
+            let w = array.write(r, c, bit, BiasScheme::HalfV);
+            prop_assert!(w.verified);
+            expected[r * 4 + c] = bit;
+        }
+        for r in 0..4 {
+            for c in 0..4 {
+                prop_assert_eq!(
+                    array.stored(r, c),
+                    expected[r * 4 + c],
+                    "1T1R cell ({}, {}) disturbed",
+                    r,
+                    c
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crs_reads_always_restore(
+        pattern in prop::collection::vec(any::<bool>(), 9),
+        accesses in prop::collection::vec((0usize..3, 0usize..3), 1..6),
+    ) {
+        let p = DeviceParams::table1_cim();
+        let mut array = Crossbar::homogeneous(3, 3, || CrsCell::new(p.clone()));
+        array.fill(|r, c| pattern[r * 3 + c]);
+        for &(r, c) in &accesses {
+            let read = array.read(r, c, BiasScheme::ThirdV);
+            prop_assert_eq!(read.bit, pattern[r * 3 + c]);
+        }
+        // Every cell still holds its original bit after arbitrary reads.
+        for r in 0..3 {
+            for c in 0..3 {
+                prop_assert_eq!(array.stored(r, c), pattern[r * 3 + c]);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_monotonically_accumulate(ops in prop::collection::vec(any::<bool>(), 1..10)) {
+        let p = DeviceParams::table1_cim();
+        let mut array = Crossbar::homogeneous(4, 4, || ResistiveCell::new(p.clone()));
+        let mut last_elapsed = 0.0;
+        let mut last_energy = 0.0;
+        for (k, &is_write) in ops.iter().enumerate() {
+            if is_write {
+                let _ = array.write(k % 4, (k / 4) % 4, k % 2 == 0, BiasScheme::HalfV);
+            } else {
+                let _ = array.read(k % 4, (k / 4) % 4, BiasScheme::HalfV);
+            }
+            let s = array.stats();
+            prop_assert!(s.elapsed.get() > last_elapsed);
+            prop_assert!(s.total_energy().get() >= last_energy);
+            last_elapsed = s.elapsed.get();
+            last_energy = s.total_energy().get();
+        }
+        let s = *array.stats();
+        prop_assert_eq!(s.reads + s.writes, ops.len() as u64);
+    }
+}

@@ -1,0 +1,386 @@
+//! Complementary resistive switch (CRS) — Linn et al., Nature Materials 2010.
+//!
+//! A CRS cell stacks two bipolar switches **anti-serially**: element A SETs
+//! under positive cell voltage, element B under negative. The logical
+//! states `'0'` (A HRS / B LRS) and `'1'` (A LRS / B HRS) both present a
+//! high resistance at low voltage — which is exactly why a passive CRS
+//! crossbar has no sneak paths (paper Fig. 3/4): an unselected cell passes
+//! almost no current regardless of the bit it stores.
+//!
+//! The four cell-level thresholds of the paper's Fig. 4 *emerge* here from
+//! the voltage divider across the two elements rather than being
+//! hand-coded: in state `'0'` nearly all of a positive cell voltage drops
+//! over the high-resistive A, so A SETs once the cell voltage exceeds
+//! roughly `v_set` (= Vth1) and the cell snaps to ON; in ON the drop
+//! divides evenly, so B only RESETs (completing the transition to `'1'`)
+//! once the cell voltage exceeds roughly `2·v_reset` (= Vth2). Negative
+//! voltages mirror this as Vth3/Vth4.
+
+use cim_units::{Current, Resistance, Time, Voltage};
+use serde::{Deserialize, Serialize};
+
+use crate::memristor::{Memristor, Polarity, TwoTerminal};
+use crate::{DeviceParams, ThresholdDevice};
+
+/// Logical state of a CRS cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CrsState {
+    /// A HRS / B LRS — stores logic 0.
+    Zero,
+    /// A LRS / B HRS — stores logic 1.
+    One,
+    /// Both elements LRS — transient state entered when reading a `'0'`;
+    /// the only low-resistance state (current spike = read signal).
+    On,
+    /// Both elements HRS — pristine/unformed cell.
+    Off,
+}
+
+impl CrsState {
+    /// The stored bit, if the cell is in a valid storage state.
+    pub fn bit(self) -> Option<bool> {
+        match self {
+            CrsState::Zero => Some(false),
+            CrsState::One => Some(true),
+            CrsState::On | CrsState::Off => None,
+        }
+    }
+}
+
+impl std::fmt::Display for CrsState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CrsState::Zero => "'0'",
+            CrsState::One => "'1'",
+            CrsState::On => "ON",
+            CrsState::Off => "OFF",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Result of an electrical CRS read pulse.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrsReadOutcome {
+    /// The bit that was stored before the read.
+    pub bit: bool,
+    /// Sense current at the end of the read pulse.
+    pub current: Current,
+    /// True if the read destroyed the stored value (`'0'` → ON) and a
+    /// write-back is required — the behaviour the paper calls out:
+    /// "reading ON state is a destructive operation".
+    pub destructive: bool,
+}
+
+/// A complementary resistive switch: two anti-serial [`ThresholdDevice`]s.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Crs {
+    a: ThresholdDevice,
+    b: ThresholdDevice,
+    params: DeviceParams,
+}
+
+impl Crs {
+    /// Integration substeps per read/write pulse. The divider ratio changes
+    /// as the elements switch, so pulses are integrated piecewise.
+    const PULSE_STEPS: u32 = 64;
+
+    /// Pulse-length multiplier relative to the single-device write time:
+    /// the divider leaves each element with reduced overdrive, so CRS
+    /// operations take a ~10× longer pulse than raw device writes.
+    const PULSE_SCALE: f64 = 10.0;
+
+    /// Creates a pristine (OFF, both elements HRS) cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fails [`DeviceParams::validate`].
+    pub fn pristine(params: DeviceParams) -> Self {
+        params.validate();
+        Self {
+            a: ThresholdDevice::new_hrs(params.clone()),
+            b: ThresholdDevice::new_hrs(params.clone()).with_polarity(Polarity::Reversed),
+            params,
+        }
+    }
+
+    /// Creates a cell storing logic 0 (A HRS / B LRS).
+    pub fn new_zero(params: DeviceParams) -> Self {
+        let mut cell = Self::pristine(params);
+        cell.a.set_state(0.0);
+        cell.b.set_state(1.0);
+        cell
+    }
+
+    /// Creates a cell storing logic 1 (A LRS / B HRS).
+    pub fn new_one(params: DeviceParams) -> Self {
+        let mut cell = Self::pristine(params);
+        cell.a.set_state(1.0);
+        cell.b.set_state(0.0);
+        cell
+    }
+
+    /// The technology parameters of the constituent elements.
+    pub fn params(&self) -> &DeviceParams {
+        &self.params
+    }
+
+    /// Classifies the present logical state.
+    pub fn state(&self) -> CrsState {
+        match (self.a.is_lrs(), self.b.is_lrs()) {
+            (false, true) => CrsState::Zero,
+            (true, false) => CrsState::One,
+            (true, true) => CrsState::On,
+            (false, false) => CrsState::Off,
+        }
+    }
+
+    /// Internal states `(x_a, x_b)` of the two elements.
+    pub fn element_states(&self) -> (f64, f64) {
+        (self.a.state(), self.b.state())
+    }
+
+    /// Cell voltage used for writes; must exceed Vth2 ≈ 2·v_reset
+    /// (paper: "writing '1' requires V > Vth,2").
+    pub fn write_voltage(&self) -> Voltage {
+        self.params.write_voltage * 1.5
+    }
+
+    /// Cell voltage used for reads; sits between Vth1 and Vth2 so a stored
+    /// `'0'` snaps to ON (current spike) while a `'1'` stays put.
+    pub fn read_voltage(&self) -> Voltage {
+        self.params.write_voltage * 0.75
+    }
+
+    /// Duration of a read or write pulse.
+    pub fn pulse_time(&self) -> Time {
+        self.params.write_time * Self::PULSE_SCALE
+    }
+
+    /// Sense-current threshold separating ON (LRS/LRS) from the storage
+    /// states at the read voltage: the geometric mean of the two extremes.
+    pub fn sense_threshold(&self) -> Current {
+        let i_on = self.read_voltage() / (self.params.r_on * 2.0);
+        let i_off = self.read_voltage() / (self.params.r_on + self.params.r_off);
+        Current::new((i_on.get() * i_off.get()).sqrt())
+    }
+
+    /// Electrically writes a bit: a positive over-Vth2 pulse for `1`, a
+    /// negative under-Vth4 pulse for `0`.
+    pub fn write(&mut self, bit: bool) {
+        let v = if bit {
+            self.write_voltage()
+        } else {
+            -self.write_voltage()
+        };
+        self.apply(v, self.pulse_time());
+        debug_assert_eq!(self.state().bit(), Some(bit), "CRS write failed");
+    }
+
+    /// Ideal (non-electrical) programming, for array initialisation.
+    pub fn write_bit_ideal(&mut self, bit: bool) {
+        let (xa, xb) = if bit { (1.0, 0.0) } else { (0.0, 1.0) };
+        self.a.set_state(xa);
+        self.b.set_state(xb);
+    }
+
+    /// Performs a destructive-read pulse and classifies the result.
+    ///
+    /// A stored `'0'` transitions to ON under the read voltage and produces
+    /// a current spike; a stored `'1'` remains high-resistive. The caller
+    /// is responsible for the write-back when `destructive` is set (or use
+    /// [`Crs::read_restore`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the cell is not in a valid storage state.
+    pub fn read(&mut self) -> CrsReadOutcome {
+        debug_assert!(
+            matches!(self.state(), CrsState::Zero | CrsState::One),
+            "reading a CRS cell that holds no bit (state {})",
+            self.state()
+        );
+        self.apply(self.read_voltage(), self.pulse_time());
+        let current = self.current_at(self.read_voltage());
+        let went_on = current.get() > self.sense_threshold().get();
+        CrsReadOutcome {
+            // ON after a read pulse means the cell *was* '0'.
+            bit: !went_on,
+            current,
+            destructive: went_on,
+        }
+    }
+
+    /// Reads the stored bit and restores it if the read was destructive.
+    pub fn read_restore(&mut self) -> bool {
+        let outcome = self.read();
+        if outcome.destructive {
+            self.write(outcome.bit);
+        }
+        outcome.bit
+    }
+}
+
+impl TwoTerminal for Crs {
+    fn resistance(&self) -> Resistance {
+        TwoTerminal::resistance(&self.a) + TwoTerminal::resistance(&self.b)
+    }
+
+    fn apply(&mut self, v: Voltage, dt: Time) {
+        if dt.get() <= 0.0 {
+            return;
+        }
+        let h = dt / f64::from(Self::PULSE_STEPS);
+        for _ in 0..Self::PULSE_STEPS {
+            let ra = TwoTerminal::resistance(&self.a).get();
+            let rb = TwoTerminal::resistance(&self.b).get();
+            let va = v * (ra / (ra + rb));
+            let vb = v * (rb / (ra + rb));
+            TwoTerminal::apply(&mut self.a, va, h);
+            TwoTerminal::apply(&mut self.b, vb, h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zero() -> Crs {
+        Crs::new_zero(DeviceParams::table1_cim())
+    }
+
+    fn one() -> Crs {
+        Crs::new_one(DeviceParams::table1_cim())
+    }
+
+    #[test]
+    fn storage_states_classify_and_carry_bits() {
+        assert_eq!(zero().state(), CrsState::Zero);
+        assert_eq!(one().state(), CrsState::One);
+        assert_eq!(zero().state().bit(), Some(false));
+        assert_eq!(one().state().bit(), Some(true));
+        assert_eq!(CrsState::On.bit(), None);
+        assert_eq!(CrsState::Off.bit(), None);
+    }
+
+    #[test]
+    fn both_storage_states_are_high_resistive() {
+        // The sneak-path-immunity property: '0' and '1' are
+        // indistinguishable (both ~HRS) at low voltage.
+        let p = DeviceParams::table1_cim();
+        let r0 = zero().resistance();
+        let r1 = one().resistance();
+        assert!(r0.get() > p.r_off.get());
+        assert!(r1.get() > p.r_off.get());
+        assert!((r0 / r1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn positive_write_pulse_stores_one() {
+        let mut cell = zero();
+        cell.write(true);
+        assert_eq!(cell.state(), CrsState::One);
+    }
+
+    #[test]
+    fn negative_write_pulse_stores_zero() {
+        let mut cell = one();
+        cell.write(false);
+        assert_eq!(cell.state(), CrsState::Zero);
+    }
+
+    #[test]
+    fn write_is_idempotent() {
+        let mut cell = zero();
+        cell.write(true);
+        cell.write(true);
+        assert_eq!(cell.state(), CrsState::One);
+        cell.write(false);
+        cell.write(false);
+        assert_eq!(cell.state(), CrsState::Zero);
+    }
+
+    #[test]
+    fn reading_zero_is_destructive_and_spikes_current() {
+        let mut cell = zero();
+        let outcome = cell.read();
+        assert!(!outcome.bit);
+        assert!(outcome.destructive);
+        assert_eq!(cell.state(), CrsState::On);
+        assert!(outcome.current.get() > cell.sense_threshold().get());
+    }
+
+    #[test]
+    fn reading_one_is_non_destructive() {
+        let mut cell = one();
+        let outcome = cell.read();
+        assert!(outcome.bit);
+        assert!(!outcome.destructive);
+        assert_eq!(cell.state(), CrsState::One);
+        assert!(outcome.current.get() < cell.sense_threshold().get());
+    }
+
+    #[test]
+    fn read_restore_round_trips_both_bits() {
+        for bit in [false, true] {
+            let mut cell = zero();
+            cell.write_bit_ideal(bit);
+            assert_eq!(cell.read_restore(), bit);
+            assert_eq!(cell.state().bit(), Some(bit));
+            // Read again: value survives.
+            assert_eq!(cell.read_restore(), bit);
+        }
+    }
+
+    #[test]
+    fn pristine_cell_is_off_and_undisturbed_by_reads() {
+        let mut cell = Crs::pristine(DeviceParams::table1_cim());
+        assert_eq!(cell.state(), CrsState::Off);
+        // A read-level voltage halves across two HRS elements — below
+        // threshold, so the pristine cell stays OFF.
+        let v = cell.read_voltage();
+        let t = cell.pulse_time();
+        cell.apply(v, t);
+        assert_eq!(cell.state(), CrsState::Off);
+    }
+
+    #[test]
+    fn low_voltage_never_disturbs_storage() {
+        for bit in [false, true] {
+            let mut cell = zero();
+            cell.write_bit_ideal(bit);
+            let before = cell.element_states();
+            // Half the read voltage (a V/2-scheme half-select) for a long
+            // time must leave the cell untouched.
+            let v = cell.read_voltage() / 2.0;
+            for _ in 0..100 {
+                cell.apply(v, cell.pulse_time());
+                cell.apply(-v, cell.pulse_time());
+            }
+            assert_eq!(cell.element_states(), before);
+        }
+    }
+
+    #[test]
+    fn on_state_current_exceeds_storage_current_by_margin() {
+        let mut on = zero();
+        on.apply(on.read_voltage(), on.pulse_time()); // '0' -> ON
+        assert_eq!(on.state(), CrsState::On);
+        let stored = one();
+        let i_on = on.current_at(on.read_voltage());
+        let i_stored = stored.current_at(stored.read_voltage());
+        assert!(
+            i_on.get() / i_stored.get() > 10.0,
+            "ON/stored read margin too small: {} vs {}",
+            i_on,
+            i_stored
+        );
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(CrsState::Zero.to_string(), "'0'");
+        assert_eq!(CrsState::On.to_string(), "ON");
+    }
+}

@@ -1,0 +1,60 @@
+//! Device-level error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by device wrappers that track physical limits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DeviceError {
+    /// The device has consumed its write endurance budget and no longer
+    /// switches reliably.
+    EnduranceExhausted {
+        /// Cycles performed when the limit was hit.
+        cycles: u64,
+        /// The technology's rated endurance.
+        rated: u64,
+    },
+    /// A stored state decayed past the retention limit before being
+    /// refreshed.
+    RetentionViolated,
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::EnduranceExhausted { cycles, rated } => write!(
+                f,
+                "device endurance exhausted after {cycles} cycles (rated {rated})"
+            ),
+            DeviceError::RetentionViolated => {
+                write!(f, "stored state exceeded the retention window")
+            }
+        }
+    }
+}
+
+impl Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = DeviceError::EnduranceExhausted {
+            cycles: 10,
+            rated: 10,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("10 cycles"));
+        assert!(msg.starts_with("device endurance"));
+        assert!(!DeviceError::RetentionViolated.to_string().is_empty());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DeviceError>();
+    }
+}

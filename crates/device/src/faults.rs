@@ -1,0 +1,164 @@
+//! Stuck-at and drift fault injection.
+
+use cim_units::{Resistance, Time, Voltage};
+use serde::{Deserialize, Serialize};
+
+use crate::memristor::{Memristor, TwoTerminal};
+
+/// A manufacturing or wear-out fault mode of a resistive cell.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Fault {
+    /// The cell is permanently shorted in its low-resistive state
+    /// (over-formed filament); writes have no effect.
+    StuckAtLrs,
+    /// The cell is permanently open in its high-resistive state (broken
+    /// filament / unformed cell); writes have no effect.
+    StuckAtHrs,
+    /// The stored state relaxes towards HRS at `rate_per_second` — a crude
+    /// retention-loss model.
+    Drift {
+        /// State decay per second of simulated time.
+        rate_per_second: f64,
+    },
+}
+
+/// Wraps a device model and injects a [`Fault`].
+///
+/// Used by the failure-injection tests and the reliability examples: a
+/// stuck cell silently corrupts IMPLY logic, and the comparator tests
+/// demonstrate the resulting wrong answers are *detectable* by
+/// read-after-write.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultyDevice<D> {
+    inner: D,
+    fault: Fault,
+}
+
+impl<D: Memristor> FaultyDevice<D> {
+    /// Injects `fault` into `device`.
+    pub fn new(device: D, fault: Fault) -> Self {
+        let mut faulty = Self {
+            inner: device,
+            fault,
+        };
+        faulty.enforce();
+        faulty
+    }
+
+    /// The injected fault.
+    pub fn fault(&self) -> Fault {
+        self.fault
+    }
+
+    /// Consumes the wrapper, returning the underlying device.
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+
+    fn enforce(&mut self) {
+        match self.fault {
+            Fault::StuckAtLrs => self.inner.set_state(1.0),
+            Fault::StuckAtHrs => self.inner.set_state(0.0),
+            Fault::Drift { .. } => {}
+        }
+    }
+}
+
+impl<D: Memristor> Memristor for FaultyDevice<D> {
+    fn state(&self) -> f64 {
+        self.inner.state()
+    }
+
+    fn set_state(&mut self, x: f64) {
+        self.inner.set_state(x);
+        self.enforce();
+    }
+}
+
+impl<D: Memristor> TwoTerminal for FaultyDevice<D> {
+    fn resistance(&self) -> Resistance {
+        self.inner.resistance()
+    }
+
+    fn apply(&mut self, v: Voltage, dt: Time) {
+        match self.fault {
+            Fault::StuckAtLrs | Fault::StuckAtHrs => {
+                // Electrically the terminal still conducts, but the state
+                // is pinned.
+            }
+            Fault::Drift { rate_per_second } => {
+                self.inner.apply(v, dt);
+                let decayed = self.inner.state() - rate_per_second * dt.get();
+                self.inner.set_state(decayed.clamp(0.0, 1.0));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DeviceParams, ThresholdDevice};
+
+    fn base() -> ThresholdDevice {
+        ThresholdDevice::new_hrs(DeviceParams::table1_cim())
+    }
+
+    #[test]
+    fn stuck_at_lrs_ignores_writes() {
+        let mut d = FaultyDevice::new(base(), Fault::StuckAtLrs);
+        assert!(d.is_lrs());
+        let p = DeviceParams::table1_cim();
+        d.apply(-p.write_voltage, p.write_time * 100.0);
+        assert!(d.is_lrs());
+        d.write_bit(false);
+        assert!(d.is_lrs(), "set_state must re-pin a stuck cell");
+    }
+
+    #[test]
+    fn stuck_at_hrs_ignores_writes() {
+        let mut d = FaultyDevice::new(base(), Fault::StuckAtHrs);
+        let p = DeviceParams::table1_cim();
+        d.apply(p.write_voltage, p.write_time * 100.0);
+        assert!(d.is_hrs());
+    }
+
+    #[test]
+    fn drift_decays_stored_state_over_time() {
+        let mut d = FaultyDevice::new(
+            base(),
+            Fault::Drift {
+                rate_per_second: 0.1,
+            },
+        );
+        d.write_bit(true);
+        // 5 simulated seconds at 0.1/s → state 0.5.
+        d.apply(Voltage::ZERO, Time::from_seconds(5.0));
+        assert!((d.state() - 0.5).abs() < 1e-9);
+        // Long enough and the bit flips — a retention failure.
+        d.apply(Voltage::ZERO, Time::from_seconds(10.0));
+        assert!(d.is_hrs());
+    }
+
+    #[test]
+    fn drift_device_still_switches_under_writes() {
+        let p = DeviceParams::table1_cim();
+        let mut d = FaultyDevice::new(
+            base(),
+            Fault::Drift {
+                rate_per_second: 1e-3,
+            },
+        );
+        d.apply(p.write_voltage, p.write_time);
+        assert!(d.is_lrs());
+    }
+
+    #[test]
+    fn into_inner_returns_device() {
+        let d = FaultyDevice::new(base(), Fault::StuckAtLrs);
+        assert_eq!(d.fault(), Fault::StuckAtLrs);
+        let inner = d.into_inner();
+        assert!(inner.is_lrs());
+    }
+}

@@ -1,0 +1,275 @@
+//! The Strukov/HP linear ion-drift model with window functions.
+//!
+//! Kept alongside [`crate::ThresholdDevice`] for model comparison: the
+//! paper (Section IV.A) notes that "simple memristor models fail to predict
+//! the correct device behaviour", and the ablation bench `device.rs` makes
+//! that concrete by contrasting drift dynamics under different window
+//! functions with the threshold model's sharp conditional switching.
+
+use cim_units::{Resistance, Time, Voltage};
+use serde::{Deserialize, Serialize};
+
+use crate::memristor::{clamp_state, substeps, Memristor, TwoTerminal};
+
+/// Boundary window function `f(x)` multiplying the drift velocity.
+///
+/// Window functions model the non-linear dopant drift near the film
+/// boundaries; without one (`None`), the state can pin at the boundaries
+/// and the model overestimates switching speed.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WindowFunction {
+    /// No window: `f(x) = 1` (the original Strukov formulation).
+    #[default]
+    None,
+    /// Joglekar: `f(x) = 1 − (2x − 1)^{2p}`. Symmetric, zero at both
+    /// boundaries (which makes them sticky).
+    Joglekar {
+        /// Steepness parameter; higher keeps `f ≈ 1` longer mid-range.
+        p: u32,
+    },
+    /// Biolek: `f(x, i) = 1 − (x − step(−i))^{2p}`. Direction-dependent, so
+    /// the state can always leave a boundary.
+    Biolek {
+        /// Steepness parameter.
+        p: u32,
+    },
+    /// Prodromakis: `f(x) = j·(1 − ((x − 0.5)² + 0.75)^p)`.
+    Prodromakis {
+        /// Steepness parameter.
+        p: u32,
+        /// Amplitude scale `j` (usually ≤ 1).
+        j: f64,
+    },
+}
+
+impl WindowFunction {
+    /// Evaluates the window at state `x` with current sign `i_sign`.
+    pub fn eval(self, x: f64, i_sign: f64) -> f64 {
+        match self {
+            WindowFunction::None => 1.0,
+            WindowFunction::Joglekar { p } => 1.0 - (2.0 * x - 1.0).powi(2 * p as i32),
+            WindowFunction::Biolek { p } => {
+                let step = if i_sign >= 0.0 { 0.0 } else { 1.0 };
+                1.0 - (x - step).powi(2 * p as i32)
+            }
+            WindowFunction::Prodromakis { p, j } => {
+                j * (1.0 - ((x - 0.5).powi(2) + 0.75).powi(p as i32))
+            }
+        }
+    }
+}
+
+/// Parameters of the linear ion-drift model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IonDriftParams {
+    /// Fully-doped (LRS) resistance.
+    pub r_on: Resistance,
+    /// Fully-undoped (HRS) resistance.
+    pub r_off: Resistance,
+    /// Dopant mobility `μ_v` in m²·s⁻¹·V⁻¹ (HP TiO₂: ~1e-14).
+    pub mobility: f64,
+    /// Film thickness `D` in metres (HP TiO₂: ~10 nm).
+    pub thickness: f64,
+    /// Boundary window function.
+    pub window: WindowFunction,
+}
+
+impl IonDriftParams {
+    /// The HP Labs TiO₂ device of Strukov et al. (2008).
+    pub fn hp_tio2() -> Self {
+        Self {
+            r_on: Resistance::from_ohms(100.0),
+            r_off: Resistance::from_kilo_ohms(16.0),
+            mobility: 1e-14,
+            thickness: 10e-9,
+            window: WindowFunction::Joglekar { p: 2 },
+        }
+    }
+}
+
+/// The Strukov linear ion-drift memristor.
+///
+/// State `x` is the normalised doped-region width `w/D`; the device is a
+/// series combination `R(x) = x·R_on + (1 − x)·R_off` and the state drifts
+/// with the instantaneous current:
+///
+/// ```text
+/// dx/dt = (μ_v · R_on / D²) · i(t) · f(x)
+/// ```
+///
+/// Unlike [`crate::ThresholdDevice`] there is **no threshold**: any voltage
+/// moves the state, which is why the paper considers such models inadequate
+/// for predicting array behaviour (reads disturb, half-select fails).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearIonDrift {
+    params: IonDriftParams,
+    x: f64,
+}
+
+impl LinearIonDrift {
+    /// Creates a device at the given initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x ∉ [0, 1]`, resistances are inverted, or `D ≤ 0`.
+    pub fn new(params: IonDriftParams, x: f64) -> Self {
+        assert!((0.0..=1.0).contains(&x), "state must lie in [0, 1]");
+        assert!(params.r_off > params.r_on, "r_off must exceed r_on");
+        assert!(params.thickness > 0.0, "thickness must be positive");
+        Self { params, x }
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> &IonDriftParams {
+        &self.params
+    }
+
+    fn drift_coefficient(&self) -> f64 {
+        self.params.mobility * self.params.r_on.get() / self.params.thickness.powi(2)
+    }
+}
+
+impl Memristor for LinearIonDrift {
+    fn state(&self) -> f64 {
+        self.x
+    }
+
+    fn set_state(&mut self, x: f64) {
+        debug_assert!((0.0..=1.0).contains(&x), "state must lie in [0, 1]");
+        self.x = clamp_state(x);
+    }
+}
+
+impl TwoTerminal for LinearIonDrift {
+    fn resistance(&self) -> Resistance {
+        let p = &self.params;
+        Resistance::new(self.x * p.r_on.get() + (1.0 - self.x) * p.r_off.get())
+    }
+
+    fn apply(&mut self, v: Voltage, dt: Time) {
+        if dt.get() <= 0.0 || v.get() == 0.0 {
+            return;
+        }
+        // Characteristic time: full-range drift at the initial current.
+        let i0 = (v / self.resistance()).get();
+        let k = self.drift_coefficient();
+        let rate0 = (k * i0).abs().max(1e-30);
+        let n = substeps(dt, Time::new(1.0 / rate0));
+        let h = dt.get() / f64::from(n);
+        for _ in 0..n {
+            let i = (v / self.resistance()).get();
+            let f = self.params.window.eval(self.x, i.signum());
+            self.x = clamp_state(self.x + k * i * f * h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_units::Voltage;
+
+    fn dev(window: WindowFunction) -> LinearIonDrift {
+        let params = IonDriftParams {
+            window,
+            ..IonDriftParams::hp_tio2()
+        };
+        LinearIonDrift::new(params, 0.1)
+    }
+
+    #[test]
+    fn positive_voltage_drives_towards_lrs() {
+        let mut d = dev(WindowFunction::None);
+        let r0 = d.resistance();
+        d.apply(Voltage::from_volts(1.0), Time::from_micro_seconds(1.0));
+        assert!(d.state() > 0.1);
+        assert!(d.resistance() < r0);
+    }
+
+    #[test]
+    fn negative_voltage_drives_towards_hrs() {
+        let mut d = dev(WindowFunction::None);
+        d.set_state(0.9);
+        d.apply(Voltage::from_volts(-1.0), Time::from_micro_seconds(1.0));
+        assert!(d.state() < 0.9);
+    }
+
+    #[test]
+    fn no_threshold_means_any_voltage_disturbs() {
+        // The key inadequacy vs ThresholdDevice: small read voltages move
+        // the state.
+        let mut d = dev(WindowFunction::None);
+        let before = d.state();
+        d.apply(
+            Voltage::from_milli_volts(100.0),
+            Time::from_micro_seconds(10.0),
+        );
+        assert!(d.state() > before);
+    }
+
+    #[test]
+    fn state_remains_bounded_under_overdrive() {
+        let mut d = dev(WindowFunction::None);
+        d.apply(Voltage::from_volts(5.0), Time::from_milli_seconds(1.0));
+        assert!(d.state() <= 1.0);
+        d.apply(Voltage::from_volts(-5.0), Time::from_milli_seconds(1.0));
+        assert!(d.state() >= 0.0);
+    }
+
+    #[test]
+    fn joglekar_window_is_zero_at_boundaries() {
+        let w = WindowFunction::Joglekar { p: 2 };
+        assert!(w.eval(0.0, 1.0).abs() < 1e-12);
+        assert!(w.eval(1.0, 1.0).abs() < 1e-12);
+        assert!((w.eval(0.5, 1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn biolek_window_unsticks_boundaries() {
+        let w = WindowFunction::Biolek { p: 2 };
+        // At x = 1 with positive current the window is 0 (can't overgrow)…
+        assert!(w.eval(1.0, 1.0).abs() < 1e-12);
+        // …but with negative current it is 1 (free to shrink).
+        assert!((w.eval(1.0, -1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prodromakis_window_scales_with_j() {
+        let w1 = WindowFunction::Prodromakis { p: 2, j: 1.0 };
+        let w2 = WindowFunction::Prodromakis { p: 2, j: 0.5 };
+        assert!((w1.eval(0.5, 1.0) - 2.0 * w2.eval(0.5, 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn joglekar_slows_switching_near_boundary() {
+        let mut plain = dev(WindowFunction::None);
+        let mut windowed = dev(WindowFunction::Joglekar { p: 2 });
+        plain.set_state(0.95);
+        windowed.set_state(0.95);
+        let v = Voltage::from_volts(1.0);
+        let t = Time::from_nano_seconds(100.0);
+        plain.apply(v, t);
+        windowed.apply(v, t);
+        assert!(windowed.state() <= plain.state());
+    }
+
+    #[test]
+    fn resistance_is_linear_in_state() {
+        let d = dev(WindowFunction::None);
+        let p = d.params().clone();
+        let mut mid = d.clone();
+        mid.set_state(0.5);
+        let expect = 0.5 * (p.r_on.get() + p.r_off.get());
+        assert!((mid.resistance().get() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "r_off must exceed r_on")]
+    fn rejects_inverted_resistances() {
+        let params = IonDriftParams {
+            r_on: Resistance::from_kilo_ohms(100.0),
+            ..IonDriftParams::hp_tio2()
+        };
+        let _ = LinearIonDrift::new(params, 0.5);
+    }
+}

@@ -1,0 +1,70 @@
+//! Memristive device models for the CIM simulator.
+//!
+//! The DATE'15 CIM paper (Section IV) argues that redox-based resistive
+//! switches (ReRAM "memristors") are the key enabler of
+//! computation-in-memory because one two-terminal device implements **both**
+//! storage and logic. This crate provides the device-level substrate that
+//! the rest of the simulator builds on:
+//!
+//! * [`Memristor`] — the behavioural trait: apply a voltage for a duration,
+//!   observe the (state-dependent) resistance.
+//! * [`LinearIonDrift`] — the classic Strukov/HP TiO₂ model with selectable
+//!   [`WindowFunction`]s (Joglekar, Biolek, Prodromakis), kept for model
+//!   comparison; the paper notes "simple memristor models fail to predict
+//!   the correct device behaviour".
+//! * [`ThresholdDevice`] — a VTEAM-style bipolar switch with strongly
+//!   non-linear switching kinetics; the workhorse used for stateful logic
+//!   and crossbar storage. Parameterised by [`DeviceParams`] presets that
+//!   encode Table 1 / Section IV technology numbers (200 ps writes, 1 fJ
+//!   per write, 10 nm feature size, …).
+//! * [`Crs`] — a complementary resistive switch: two anti-serial bipolar
+//!   devices in one cell (Linn et al.), whose four-threshold hysteresis is
+//!   the subject of the paper's Fig. 4 and whose sneak-path immunity
+//!   motivates the crossbar of Fig. 3.
+//! * [`Variability`], [`FaultyDevice`], [`WearTracking`] — device-to-device
+//!   and cycle-to-cycle spread, stuck-at faults, endurance/retention
+//!   bookkeeping for failure-injection experiments.
+//! * [`IvSweep`] — triangular-sweep harness producing the I-V traces used
+//!   to regenerate Fig. 4.
+//!
+//! # Example: switching a device and reading it back
+//!
+//! ```
+//! use cim_device::{DeviceParams, Memristor, ThresholdDevice, TwoTerminal};
+//!
+//! let params = DeviceParams::table1_cim();
+//! let mut cell = ThresholdDevice::new_hrs(params.clone());
+//!
+//! // A nominal write pulse (Table 1: 200 ps) switches HRS -> LRS.
+//! cell.apply(params.write_voltage, params.write_time);
+//! assert!(cell.is_lrs());
+//!
+//! // A half-select pulse must NOT disturb the cell (sneak-path safety).
+//! let mut other = ThresholdDevice::new_hrs(params.clone());
+//! other.apply(params.write_voltage / 2.0, params.write_time);
+//! assert!(other.is_hrs());
+//! ```
+
+mod crs;
+mod error;
+mod faults;
+mod ion_drift;
+mod memristor;
+mod params;
+mod pickett;
+mod sweep;
+mod threshold;
+mod variability;
+mod wear;
+
+pub use crs::{Crs, CrsState};
+pub use error::DeviceError;
+pub use faults::{Fault, FaultyDevice};
+pub use ion_drift::{IonDriftParams, LinearIonDrift, WindowFunction};
+pub use memristor::{Memristor, Polarity, TwoTerminal};
+pub use params::DeviceParams;
+pub use pickett::{PickettDevice, PickettParams};
+pub use sweep::{IvPoint, IvSweep};
+pub use threshold::ThresholdDevice;
+pub use variability::Variability;
+pub use wear::WearTracking;

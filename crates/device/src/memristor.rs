@@ -1,0 +1,147 @@
+//! The behavioural trait shared by every device model.
+
+use cim_units::{Conductance, Current, Resistance, Time, Voltage};
+
+/// Electrical polarity of a bipolar resistive switch.
+///
+/// A [`Polarity::Forward`] device SETs (switches towards its low-resistive
+/// state) under positive applied voltage and RESETs under negative voltage;
+/// [`Polarity::Reversed`] swaps the two. Anti-serial pairs of opposite
+/// polarity form a complementary resistive switch ([`crate::Crs`]).
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub enum Polarity {
+    /// Positive voltage SETs, negative voltage RESETs.
+    #[default]
+    Forward,
+    /// Negative voltage SETs, positive voltage RESETs.
+    Reversed,
+}
+
+impl Polarity {
+    /// The voltage as seen in the device's own SET-positive frame.
+    pub fn oriented(self, v: Voltage) -> Voltage {
+        match self {
+            Polarity::Forward => v,
+            Polarity::Reversed => -v,
+        }
+    }
+}
+
+/// Any two-terminal resistive element that evolves under voltage pulses.
+///
+/// Implementations are *state machines driven by voltage-time pulses*: the
+/// crossbar and logic layers decompose whatever waveform they produce into
+/// piecewise-constant `(voltage, duration)` segments and feed them to
+/// [`TwoTerminal::apply`]. Between pulses the element holds its state
+/// (non-volatility is the whole point of the technology — the paper's
+/// "practically zero leakage" argument).
+///
+/// Single filamentary switches additionally implement [`Memristor`];
+/// composite cells like the anti-serial [`crate::Crs`] implement only this
+/// trait, since their internal state is not a single scalar.
+pub trait TwoTerminal {
+    /// Present two-terminal resistance.
+    fn resistance(&self) -> Resistance;
+
+    /// Applies `v` across the element for duration `dt`, evolving state.
+    fn apply(&mut self, v: Voltage, dt: Time);
+
+    /// Present conductance (`1/R`).
+    fn conductance(&self) -> Conductance {
+        self.resistance().to_conductance()
+    }
+
+    /// The current that flows if `v` is applied *right now* (no state
+    /// evolution) — used by read circuits and the nodal solver.
+    fn current_at(&self, v: Voltage) -> Current {
+        v / self.resistance()
+    }
+}
+
+/// A two-terminal memristive device with a scalar internal state.
+///
+/// The internal state is exposed as a normalised coordinate `x ∈ [0, 1]`
+/// where `1` is the fully-formed low-resistive state (LRS) and `0` the
+/// high-resistive state (HRS). Binary data is conventionally encoded
+/// LRS = logic 1, HRS = logic 0.
+pub trait Memristor: TwoTerminal {
+    /// Normalised internal state, `0.0` = fully HRS … `1.0` = fully LRS.
+    fn state(&self) -> f64;
+
+    /// Forces the internal state (used to initialise arrays and by tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `x` is outside `[0, 1]`.
+    fn set_state(&mut self, x: f64);
+
+    /// True if the device is in (or near) its low-resistive state.
+    fn is_lrs(&self) -> bool {
+        self.state() >= 0.5
+    }
+
+    /// True if the device is in (or near) its high-resistive state.
+    fn is_hrs(&self) -> bool {
+        !self.is_lrs()
+    }
+
+    /// The stored bit under the LRS=1 / HRS=0 convention.
+    fn as_bit(&self) -> bool {
+        self.is_lrs()
+    }
+
+    /// Writes a bit by forcing the corresponding saturated state.
+    ///
+    /// This is the "ideal programming" path used to initialise experiments;
+    /// electrically accurate writes go through [`TwoTerminal::apply`].
+    fn write_bit(&mut self, bit: bool) {
+        self.set_state(if bit { 1.0 } else { 0.0 });
+    }
+}
+
+/// Clamps a state coordinate to the valid `[0, 1]` interval.
+pub(crate) fn clamp_state(x: f64) -> f64 {
+    x.clamp(0.0, 1.0)
+}
+
+/// Number of integration substeps for a pulse of duration `dt` given a
+/// characteristic switching time `tau`: enough that each substep moves the
+/// state by at most ~2%, bounded to keep pathological pulses cheap.
+pub(crate) fn substeps(dt: Time, tau: Time) -> u32 {
+    if tau.get() <= 0.0 {
+        return 1;
+    }
+    let ratio = dt.get() / tau.get();
+    (ratio * 50.0).ceil().clamp(1.0, 10_000.0) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polarity_orients_voltages() {
+        let v = Voltage::from_volts(1.5);
+        assert_eq!(Polarity::Forward.oriented(v), v);
+        assert_eq!(Polarity::Reversed.oriented(v), -v);
+        assert_eq!(Polarity::Reversed.oriented(-v), v);
+    }
+
+    #[test]
+    fn substep_counts_are_bounded() {
+        let tau = Time::from_pico_seconds(200.0);
+        assert_eq!(substeps(Time::ZERO, tau), 1);
+        assert!(substeps(Time::from_pico_seconds(200.0), tau) >= 50);
+        assert_eq!(substeps(Time::from_seconds(1.0), tau), 10_000);
+        assert_eq!(substeps(Time::from_pico_seconds(1.0), Time::ZERO), 1);
+    }
+
+    #[test]
+    fn clamp_state_bounds() {
+        assert_eq!(clamp_state(-0.5), 0.0);
+        assert_eq!(clamp_state(0.25), 0.25);
+        assert_eq!(clamp_state(7.0), 1.0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Technology parameter sets for bipolar resistive switches.
+
+use cim_units::{Area, Energy, Resistance, Time, Voltage};
+use serde::{Deserialize, Serialize};
+
+/// Electrical and technology parameters of a bipolar resistive switch.
+///
+/// The presets encode the numbers the DATE'15 paper quotes in Table 1 and
+/// Section IV for the technologies it surveys. All fields are public — this
+/// is a passive parameter record in the C-struct spirit, and ablation
+/// benches sweep individual fields.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceParams {
+    /// Low-resistive-state (fully SET) resistance.
+    pub r_on: Resistance,
+    /// High-resistive-state (fully RESET) resistance.
+    pub r_off: Resistance,
+    /// SET threshold: no switching towards LRS below this voltage.
+    pub v_set: Voltage,
+    /// RESET threshold magnitude: no switching towards HRS above `-v_reset`.
+    pub v_reset: Voltage,
+    /// Nominal programming voltage (applied full-select during writes).
+    pub write_voltage: Voltage,
+    /// Full HRS↔LRS switching time at `write_voltage` (Table 1: 200 ps).
+    pub write_time: Time,
+    /// Dynamic energy of one write operation (Table 1: 1 fJ).
+    pub write_energy: Energy,
+    /// Cell footprint (Table 1: 1×10⁻⁴ µm² at a 5 nm feature size).
+    pub cell_area: Area,
+    /// Exponent of the VTEAM-style switching-kinetics power law; larger
+    /// values give sharper thresholds (stronger half-select immunity).
+    pub kinetics_exponent: f64,
+    /// Filamentary SET is regenerative: once the filament is half formed
+    /// the current runaway completes it even as the terminal voltage
+    /// collapses. When set, a SET transition that crosses the mid-state
+    /// within a pulse completes to the full LRS. Stateful (IMPLY) logic
+    /// relies on this — a smooth self-limiting SET stalls at the load-line
+    /// equilibrium and the output cannot condition downstream gates.
+    pub abrupt_set: bool,
+    /// Write endurance in SET/RESET cycles (10¹² for TaOx VCM, 10¹⁰ for
+    /// Ag-GeSe ECM per Section IV).
+    pub endurance_cycles: u64,
+    /// Extrapolated retention (Section IV: > 10 years).
+    pub retention: Time,
+}
+
+const YEAR: f64 = 365.25 * 24.0 * 3600.0;
+
+impl DeviceParams {
+    /// The CIM-architecture device of Table 1: 5 nm feature size, 200 ps
+    /// write, 1 fJ per write, 10⁻⁴ µm² per cell.
+    pub fn table1_cim() -> Self {
+        Self {
+            r_on: Resistance::from_kilo_ohms(10.0),
+            r_off: Resistance::from_mega_ohms(1.0),
+            v_set: Voltage::from_volts(1.0),
+            v_reset: Voltage::from_volts(1.0),
+            write_voltage: Voltage::from_volts(2.0),
+            write_time: Time::from_pico_seconds(200.0),
+            write_energy: Energy::from_femto_joules(1.0),
+            cell_area: Area::from_square_micro_meters(1e-4),
+            kinetics_exponent: 3.0,
+            abrupt_set: true,
+            endurance_cycles: 1_000_000_000_000,
+            retention: Time::from_seconds(10.0 * YEAR),
+        }
+    }
+
+    /// TaOx-based VCM cell (Section IV): < 200 ps switching, > 10¹² cycles.
+    pub fn vcm_taox() -> Self {
+        Self {
+            r_on: Resistance::from_kilo_ohms(10.0),
+            r_off: Resistance::from_mega_ohms(1.0),
+            endurance_cycles: 1_000_000_000_000,
+            ..Self::table1_cim()
+        }
+    }
+
+    /// HfOx-based VCM cell (Section IV: F = 10 nm demonstrated).
+    pub fn vcm_hfox() -> Self {
+        Self {
+            r_on: Resistance::from_kilo_ohms(20.0),
+            r_off: Resistance::from_mega_ohms(2.0),
+            write_time: Time::from_nano_seconds(1.0),
+            cell_area: Area::from_square_nano_meters(10.0 * 10.0 * 4.0),
+            ..Self::table1_cim()
+        }
+    }
+
+    /// Ag-chalcogenide ECM cell (Section IV): < 10 ns switching, 10¹⁰
+    /// cycles, larger OFF/ON ratio.
+    pub fn ecm_ag() -> Self {
+        Self {
+            r_on: Resistance::from_kilo_ohms(5.0),
+            r_off: Resistance::from_mega_ohms(5.0),
+            v_set: Voltage::from_volts(0.6),
+            v_reset: Voltage::from_volts(0.4),
+            write_voltage: Voltage::from_volts(1.5),
+            write_time: Time::from_nano_seconds(10.0),
+            endurance_cycles: 10_000_000_000,
+            ..Self::table1_cim()
+        }
+    }
+
+    /// OFF/ON resistance ratio (Section IV praises the "high OFF/ON
+    /// resistance ratio" of ReRAM).
+    pub fn off_on_ratio(&self) -> f64 {
+        self.r_off / self.r_on
+    }
+
+    /// Rate constant `k` of the VTEAM-style power law
+    /// `dx/dt = k·((|v| − v_th)/v_th)^α`, calibrated so that a full switch
+    /// at `write_voltage` takes exactly `write_time`.
+    pub(crate) fn rate_constant(&self, threshold: Voltage) -> f64 {
+        let overdrive = (self.write_voltage.get() - threshold.get()) / threshold.get();
+        debug_assert!(
+            overdrive > 0.0,
+            "write voltage must exceed the switching threshold"
+        );
+        1.0 / (self.write_time.get() * overdrive.powf(self.kinetics_exponent))
+    }
+
+    /// Instantaneous switching rate (fraction of full transition per
+    /// second) at oriented voltage `v` against `threshold`.
+    pub(crate) fn switching_rate(&self, v: Voltage, threshold: Voltage) -> f64 {
+        let over = (v.get().abs() - threshold.get()) / threshold.get();
+        if over <= 0.0 {
+            0.0
+        } else {
+            self.rate_constant(threshold) * over.powf(self.kinetics_exponent)
+        }
+    }
+
+    /// Validates internal consistency; called by device constructors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if resistances are non-positive, `r_off ≤ r_on`, or the write
+    /// voltage does not exceed both thresholds.
+    pub fn validate(&self) {
+        assert!(self.r_on.get() > 0.0, "r_on must be positive");
+        assert!(self.r_off > self.r_on, "r_off must exceed r_on");
+        assert!(
+            self.write_voltage > self.v_set && self.write_voltage > self.v_reset,
+            "write voltage must exceed both switching thresholds"
+        );
+        assert!(self.write_time.get() > 0.0, "write time must be positive");
+        assert!(
+            self.kinetics_exponent >= 1.0,
+            "kinetics exponent must be at least 1"
+        );
+    }
+}
+
+impl Default for DeviceParams {
+    fn default() -> Self {
+        Self::table1_cim()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_self_consistent() {
+        for params in [
+            DeviceParams::table1_cim(),
+            DeviceParams::vcm_taox(),
+            DeviceParams::vcm_hfox(),
+            DeviceParams::ecm_ag(),
+        ] {
+            params.validate();
+            assert!(params.off_on_ratio() >= 50.0);
+        }
+    }
+
+    #[test]
+    fn rate_constant_calibrated_to_write_time() {
+        let p = DeviceParams::table1_cim();
+        // At the nominal write voltage the switching rate must complete a
+        // full transition in exactly `write_time`.
+        let rate = p.switching_rate(p.write_voltage, p.v_set);
+        let full_switch = 1.0 / rate;
+        assert!((full_switch - p.write_time.get()).abs() < 1e-18);
+    }
+
+    #[test]
+    fn no_switching_below_threshold() {
+        let p = DeviceParams::table1_cim();
+        assert_eq!(p.switching_rate(Voltage::from_volts(0.99), p.v_set), 0.0);
+        assert_eq!(p.switching_rate(Voltage::from_volts(-0.5), p.v_reset), 0.0);
+        assert_eq!(p.switching_rate(Voltage::ZERO, p.v_set), 0.0);
+    }
+
+    #[test]
+    fn kinetics_are_strongly_nonlinear() {
+        let p = DeviceParams::table1_cim();
+        let full = p.switching_rate(p.write_voltage, p.v_set);
+        let half_over = p.switching_rate(Voltage::from_volts(1.5), p.v_set);
+        // Halving the overdrive must slow switching by 2^alpha = 8.
+        assert!((full / half_over - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "r_off must exceed r_on")]
+    fn validate_rejects_inverted_resistances() {
+        let params = DeviceParams {
+            r_off: Resistance::from_ohms(1.0),
+            ..DeviceParams::table1_cim()
+        };
+        params.validate();
+    }
+
+    #[test]
+    fn table1_numbers_match_paper() {
+        let p = DeviceParams::table1_cim();
+        assert_eq!(p.write_time.as_pico_seconds(), 200.0);
+        assert_eq!(p.write_energy.as_femto_joules(), 1.0);
+        assert!((p.cell_area.as_square_micro_meters() - 1e-4).abs() < 1e-19);
+        assert!(p.retention.as_seconds() > 3.0e8); // > 10 years
+    }
+}

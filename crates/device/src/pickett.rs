@@ -1,0 +1,292 @@
+//! The Pickett tunnel-barrier model (Pickett et al., J. Appl. Phys. 2009)
+//! — the physics-based TiO₂ model the paper cites for "switching dynamics
+//! in titanium dioxide memristive devices" (its reference [71]).
+//!
+//! The state variable is the tunnel-barrier width `w`: Joule-heating-
+//! driven drift widens it under positive current (OFF-switching) and
+//! narrows it under negative current (ON-switching), with strongly
+//! asymmetric, `sinh`-shaped current dependence:
+//!
+//! ```text
+//! dw/dt = f_off · sinh(i/i_off) · exp[ −exp((w − a_off)/w_c − |i|/b) − w/w_c ]   (i > 0)
+//! dw/dt = −f_on · sinh(|i|/i_on) · exp[ −exp((a_on − w)/w_c − |i|/b) − w/w_c ]   (i < 0)
+//! ```
+//!
+//! The published constants are retained. The Simmons tunnelling I-V is
+//! approximated by an exponential resistance map `R(w)` between the
+//! measured ON/OFF levels — the standard simplification when the model is
+//! used at array level. Compared with [`crate::ThresholdDevice`], Pickett
+//! switching has no hard voltage threshold but an extremely steep current
+//! dependence, which the tests contrast.
+
+use cim_units::{Resistance, Time, Voltage};
+use serde::{Deserialize, Serialize};
+
+use crate::memristor::{Memristor, TwoTerminal};
+
+/// Published constants of the Pickett model (TiO₂, HP Labs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PickettParams {
+    /// OFF-switching velocity prefactor (m/s).
+    pub f_off: f64,
+    /// OFF-switching current scale (A).
+    pub i_off: f64,
+    /// OFF asymptotic barrier width (m).
+    pub a_off: f64,
+    /// ON-switching velocity prefactor (m/s).
+    pub f_on: f64,
+    /// ON-switching current scale (A).
+    pub i_on: f64,
+    /// ON asymptotic barrier width (m).
+    pub a_on: f64,
+    /// Current roll-off scale (A).
+    pub b: f64,
+    /// Barrier-width scale (m).
+    pub w_c: f64,
+    /// Barrier width range `[w_min, w_max]` (m).
+    pub w_min: f64,
+    /// Upper barrier bound (m).
+    pub w_max: f64,
+    /// Resistance at `w_min` (fully ON).
+    pub r_on: Resistance,
+    /// Resistance at `w_max` (fully OFF).
+    pub r_off: Resistance,
+}
+
+impl PickettParams {
+    /// The constants published for the HP TiO₂ device.
+    pub fn hp_tio2() -> Self {
+        Self {
+            f_off: 3.5e-6,
+            i_off: 115e-6,
+            a_off: 1.2e-9,
+            f_on: 40e-6,
+            i_on: 8.9e-6,
+            a_on: 1.8e-9,
+            b: 500e-6,
+            w_c: 107e-12,
+            w_min: 1.1e-9,
+            w_max: 1.9e-9,
+            r_on: Resistance::from_kilo_ohms(1.0),
+            r_off: Resistance::from_kilo_ohms(200.0),
+        }
+    }
+
+    /// Validates physical consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ranges are inverted or scales are non-positive.
+    pub fn validate(&self) {
+        assert!(self.w_min < self.w_max, "barrier range inverted");
+        assert!(self.r_off > self.r_on, "resistance range inverted");
+        assert!(
+            self.f_off > 0.0 && self.f_on > 0.0 && self.i_off > 0.0 && self.i_on > 0.0,
+            "velocity/current scales must be positive"
+        );
+        assert!(self.b > 0.0 && self.w_c > 0.0, "scales must be positive");
+    }
+}
+
+/// The Pickett tunnel-barrier memristor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PickettDevice {
+    params: PickettParams,
+    /// Barrier width in metres, clamped to `[w_min, w_max]`.
+    w: f64,
+}
+
+impl PickettDevice {
+    /// Creates a device at normalised state `x` (1 = ON/LRS).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` is inconsistent or `x ∉ [0, 1]`.
+    pub fn new(params: PickettParams, x: f64) -> Self {
+        params.validate();
+        assert!((0.0..=1.0).contains(&x), "state must lie in [0, 1]");
+        let w = params.w_max - x * (params.w_max - params.w_min);
+        Self { params, w }
+    }
+
+    /// The model constants.
+    pub fn params(&self) -> &PickettParams {
+        &self.params
+    }
+
+    /// Present barrier width in metres.
+    pub fn barrier_width(&self) -> f64 {
+        self.w
+    }
+
+    /// Barrier drift velocity (m/s) at current `i` (A).
+    fn dw_dt(&self, i: f64) -> f64 {
+        let p = &self.params;
+        if i > 0.0 {
+            let gate = (-((self.w - p.a_off) / p.w_c - i.abs() / p.b).exp() - self.w / p.w_c).exp();
+            p.f_off * (i / p.i_off).sinh() * gate
+        } else if i < 0.0 {
+            let gate = (-((p.a_on - self.w) / p.w_c - i.abs() / p.b).exp() - self.w / p.w_c).exp();
+            -p.f_on * (i.abs() / p.i_on).sinh() * gate
+        } else {
+            0.0
+        }
+    }
+}
+
+impl Memristor for PickettDevice {
+    fn state(&self) -> f64 {
+        let p = &self.params;
+        (p.w_max - self.w) / (p.w_max - p.w_min)
+    }
+
+    fn set_state(&mut self, x: f64) {
+        debug_assert!((0.0..=1.0).contains(&x), "state must lie in [0, 1]");
+        let p = &self.params;
+        self.w = p.w_max - x.clamp(0.0, 1.0) * (p.w_max - p.w_min);
+    }
+
+    fn is_lrs(&self) -> bool {
+        self.state() >= 0.5
+    }
+}
+
+impl TwoTerminal for PickettDevice {
+    fn resistance(&self) -> Resistance {
+        // Exponential map between the measured ON/OFF levels (tunnelling
+        // resistance grows exponentially with barrier width).
+        let p = &self.params;
+        let frac = (self.w - p.w_min) / (p.w_max - p.w_min);
+        let lambda = (p.r_off.get() / p.r_on.get()).ln();
+        Resistance::new(p.r_on.get() * (lambda * frac).exp())
+    }
+
+    fn apply(&mut self, v: Voltage, dt: Time) {
+        if dt.get() <= 0.0 || v.get() == 0.0 {
+            return;
+        }
+        // Adaptive substepping: barrier motion per step ≤ 1% of range.
+        let p_range = self.params.w_max - self.params.w_min;
+        let mut remaining = dt.get();
+        let mut guard = 0;
+        while remaining > 0.0 && guard < 100_000 {
+            guard += 1;
+            let i = (v / self.resistance()).get();
+            let velocity = self.dw_dt(i);
+            if velocity == 0.0 {
+                break;
+            }
+            let max_step = 0.01 * p_range / velocity.abs();
+            let h = remaining.min(max_step);
+            self.w = (self.w + velocity * h).clamp(self.params.w_min, self.params.w_max);
+            remaining -= h;
+            if (self.w <= self.params.w_min && velocity < 0.0)
+                || (self.w >= self.params.w_max && velocity > 0.0)
+            {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device(x: f64) -> PickettDevice {
+        PickettDevice::new(PickettParams::hp_tio2(), x)
+    }
+
+    #[test]
+    fn state_and_barrier_width_are_consistent() {
+        let d = device(1.0);
+        assert!((d.barrier_width() - 1.1e-9).abs() < 1e-15);
+        assert!((d.state() - 1.0).abs() < 1e-12);
+        let d = device(0.0);
+        assert!((d.barrier_width() - 1.9e-9).abs() < 1e-15);
+        assert!(d.is_hrs());
+    }
+
+    #[test]
+    fn resistance_spans_published_levels() {
+        let p = PickettParams::hp_tio2();
+        let on = device(1.0);
+        let off = device(0.0);
+        assert!((on.resistance() / p.r_on - 1.0).abs() < 1e-9);
+        assert!((off.resistance() / p.r_off - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn positive_current_switches_off() {
+        // Positive current widens the barrier (RESET direction).
+        let mut d = device(1.0);
+        d.apply(Voltage::from_volts(1.2), Time::from_micro_seconds(100.0));
+        assert!(d.state() < 1.0, "barrier should widen");
+    }
+
+    #[test]
+    fn negative_current_switches_on() {
+        let mut d = device(0.0);
+        d.apply(Voltage::from_volts(-1.5), Time::from_micro_seconds(100.0));
+        assert!(d.state() > 0.0, "barrier should narrow");
+    }
+
+    #[test]
+    fn sinh_kinetics_are_superlinear_in_current() {
+        // Doubling the current must much-more-than-double the speed —
+        // the "strong non-linearity of the switching kinetics" the paper
+        // demands of device models.
+        let d = device(1.0);
+        let i1 = 200e-6;
+        let v1 = d.dw_dt(i1);
+        let v2 = d.dw_dt(2.0 * i1);
+        assert!(v2 > 4.0 * v1, "sinh superlinearity: {v1} vs {v2}");
+    }
+
+    #[test]
+    fn switching_is_asymmetric() {
+        // ON-switching (f_on = 40 µm/s) is intrinsically faster than
+        // OFF-switching (f_off = 3.5 µm/s) at matched current magnitude.
+        let on = device(0.5).dw_dt(-100e-6).abs();
+        let off = device(0.5).dw_dt(100e-6).abs();
+        assert!(on > off, "ON {on} should outpace OFF {off}");
+    }
+
+    #[test]
+    fn state_remains_bounded_under_overdrive() {
+        let mut d = device(0.5);
+        d.apply(Voltage::from_volts(3.0), Time::from_milli_seconds(10.0));
+        assert!((0.0..=1.0).contains(&d.state()));
+        d.apply(Voltage::from_volts(-3.0), Time::from_milli_seconds(10.0));
+        assert!((0.0..=1.0).contains(&d.state()));
+    }
+
+    #[test]
+    fn low_currents_barely_move_the_barrier() {
+        // No hard threshold, but the sinh gate makes µA-scale reads
+        // effectively inert over realistic read pulses.
+        let mut d = device(1.0);
+        let before = d.barrier_width();
+        for _ in 0..1_000 {
+            d.apply(
+                Voltage::from_milli_volts(50.0),
+                Time::from_nano_seconds(10.0),
+            );
+        }
+        let moved = (d.barrier_width() - before).abs();
+        assert!(
+            moved < 0.001 * (1.9e-9 - 1.1e-9),
+            "read disturb {moved} too large"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "barrier range inverted")]
+    fn rejects_inverted_ranges() {
+        let params = PickettParams {
+            w_min: 2e-9,
+            ..PickettParams::hp_tio2()
+        };
+        let _ = PickettDevice::new(params, 0.5);
+    }
+}

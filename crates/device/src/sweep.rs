@@ -1,0 +1,156 @@
+//! Quasi-static I-V sweep harness (regenerates the paper's Fig. 4).
+
+use cim_units::{Current, Time, Voltage};
+use serde::{Deserialize, Serialize};
+
+use crate::memristor::TwoTerminal;
+
+/// One sample of a quasi-static I-V trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IvPoint {
+    /// Applied cell voltage.
+    pub v: Voltage,
+    /// Measured current at that voltage.
+    pub i: Current,
+}
+
+/// A triangular quasi-static voltage sweep `0 → +v_max → −v_max → 0`.
+///
+/// This is the standard characterisation waveform behind hysteresis plots
+/// like the paper's Fig. 4: the voltage ramps slowly enough that the device
+/// state tracks it, and the current is sampled at each step.
+///
+/// ```
+/// use cim_device::{Crs, DeviceParams, IvSweep};
+/// use cim_units::{Time, Voltage};
+///
+/// let mut cell = Crs::new_zero(DeviceParams::table1_cim());
+/// let sweep = IvSweep::new(Voltage::from_volts(3.5), 200, Time::from_nano_seconds(1.0));
+/// let trace = sweep.run(&mut cell);
+/// assert_eq!(trace.len(), 4 * 200);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IvSweep {
+    /// Peak sweep amplitude (both polarities).
+    pub v_max: Voltage,
+    /// Samples per quarter-ramp (total points = 4 × this).
+    pub points_per_ramp: usize,
+    /// Dwell time at each voltage step (sets the sweep rate).
+    pub dwell: Time,
+}
+
+impl IvSweep {
+    /// Creates a sweep description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points_per_ramp` is zero or amplitudes/durations are not
+    /// positive.
+    pub fn new(v_max: Voltage, points_per_ramp: usize, dwell: Time) -> Self {
+        assert!(points_per_ramp > 0, "sweep needs at least one point");
+        assert!(v_max.get() > 0.0, "sweep amplitude must be positive");
+        assert!(dwell.get() > 0.0, "dwell time must be positive");
+        Self {
+            v_max,
+            points_per_ramp,
+            dwell,
+        }
+    }
+
+    /// The voltage waveform: `0 → +v_max → 0 → −v_max → 0`.
+    pub fn waveform(&self) -> impl Iterator<Item = Voltage> + '_ {
+        let n = self.points_per_ramp as f64;
+        let up = (1..=self.points_per_ramp).map(move |k| self.v_max * (k as f64 / n));
+        let down = (1..=self.points_per_ramp).map(move |k| self.v_max * (1.0 - k as f64 / n));
+        let neg_down = (1..=self.points_per_ramp).map(move |k| -self.v_max * (k as f64 / n));
+        let neg_up = (1..=self.points_per_ramp).map(move |k| -self.v_max * (1.0 - k as f64 / n));
+        up.chain(down).chain(neg_down).chain(neg_up)
+    }
+
+    /// Runs the sweep against a device, evolving its state and sampling
+    /// the current at every step.
+    pub fn run<D: TwoTerminal>(&self, device: &mut D) -> Vec<IvPoint> {
+        self.waveform()
+            .map(|v| {
+                device.apply(v, self.dwell);
+                IvPoint {
+                    v,
+                    i: device.current_at(v),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Crs, DeviceParams, Memristor, ThresholdDevice};
+
+    fn sweep() -> IvSweep {
+        IvSweep::new(Voltage::from_volts(3.5), 100, Time::from_nano_seconds(2.0))
+    }
+
+    #[test]
+    fn waveform_is_triangular_and_closed() {
+        let s = IvSweep::new(Voltage::from_volts(2.0), 4, Time::from_nano_seconds(1.0));
+        let vs: Vec<f64> = s.waveform().map(|v| v.as_volts()).collect();
+        assert_eq!(vs.len(), 16);
+        let peak = vs.iter().cloned().fold(f64::MIN, f64::max);
+        let trough = vs.iter().cloned().fold(f64::MAX, f64::min);
+        assert!((peak - 2.0).abs() < 1e-12);
+        assert!((trough + 2.0).abs() < 1e-12);
+        assert!(vs.last().expect("nonempty").abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_device_shows_bipolar_hysteresis() {
+        let mut d = ThresholdDevice::new_hrs(DeviceParams::table1_cim());
+        let trace = sweep().run(&mut d);
+        // Device must have SET during the positive ramp…
+        let peak_i = trace
+            .iter()
+            .map(|p| p.i.get().abs())
+            .fold(f64::MIN, f64::max);
+        let r_on_current = 3.5 / DeviceParams::table1_cim().r_on.get();
+        assert!(peak_i > 0.5 * r_on_current, "device never reached LRS");
+        // …and RESET by the end of the negative ramp.
+        assert!(d.is_hrs());
+    }
+
+    #[test]
+    fn crs_sweep_shows_current_spike_then_blocking() {
+        // Fig. 4: sweeping a '0' cell positive produces the ON window
+        // (current spike between Vth1 and Vth2) and ends in '1'.
+        let mut cell = Crs::new_zero(DeviceParams::table1_cim());
+        let trace = sweep().run(&mut cell);
+        let quarter = trace.len() / 4;
+        let up = &trace[..quarter];
+        let peak_up = up.iter().map(|p| p.i.get()).fold(f64::MIN, f64::max);
+        let low_v_leak = up[quarter / 10].i.get();
+        assert!(
+            peak_up > 100.0 * low_v_leak.abs().max(1e-12),
+            "no ON-window current spike: peak {peak_up}, leak {low_v_leak}"
+        );
+        assert_eq!(cell.state().bit(), Some(false), "full sweep returns to '0'");
+    }
+
+    #[test]
+    fn crs_low_voltage_region_blocks_both_states() {
+        // The storage states must be indistinguishable below Vth1.
+        let p = DeviceParams::table1_cim();
+        for make in [Crs::new_zero, Crs::new_one] {
+            let cell = make(p.clone());
+            let i = cell.current_at(Voltage::from_milli_volts(500.0));
+            // Less than 1% of an LRS-level current.
+            let i_lrs = Voltage::from_milli_volts(500.0) / p.r_on;
+            assert!(i.get() < 0.01 * i_lrs.get());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn rejects_empty_sweep() {
+        let _ = IvSweep::new(Voltage::from_volts(1.0), 0, Time::from_nano_seconds(1.0));
+    }
+}

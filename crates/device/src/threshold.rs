@@ -1,0 +1,257 @@
+//! VTEAM-style threshold-kinetics bipolar switch.
+
+use cim_units::{Resistance, Time, Voltage};
+use serde::{Deserialize, Serialize};
+
+use crate::memristor::{clamp_state, substeps, Memristor, Polarity, TwoTerminal};
+use crate::DeviceParams;
+
+/// A bipolar resistive switch with threshold voltages and strongly
+/// non-linear switching kinetics.
+///
+/// This is the workhorse model of the simulator (storage cells, IMPLY
+/// logic, CRS halves). It follows the VTEAM modelling approach: the state
+/// does not move at all below the threshold voltages, and above them it
+/// moves with a power-law dependence on the overdrive,
+///
+/// ```text
+/// dx/dt =  k_set   · ((v − v_set)/v_set)^α      for v >  v_set
+/// dx/dt = −k_reset · ((|v| − v_reset)/v_reset)^α for v < −v_reset
+/// dx/dt =  0                                     otherwise
+/// ```
+///
+/// with `k` calibrated by [`DeviceParams`] so a full switch at the nominal
+/// write voltage takes exactly the technology's write time (Table 1:
+/// 200 ps). The threshold + non-linearity combination is what makes
+/// half-select (V/2) bias schemes and IMPLY conditional switching work.
+///
+/// The resistance interpolates linearly between `r_off` and `r_on`,
+/// `R(x) = x·r_on + (1 − x)·r_off`, as in the VTEAM/IMPLY simulation
+/// literature. Linear interpolation matters for stateful logic: a
+/// partially-SET device already conducts well, so self-limiting SET
+/// transitions (load-line equilibria in IMPLY and CRS cells) saturate deep
+/// in the LRS instead of stalling at an ambiguous mid-state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdDevice {
+    params: DeviceParams,
+    polarity: Polarity,
+    /// Normalised filament state; 0 = HRS, 1 = LRS.
+    x: f64,
+}
+
+impl ThresholdDevice {
+    /// Creates a device in the fully high-resistive (erased, logic 0) state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fails [`DeviceParams::validate`].
+    pub fn new_hrs(params: DeviceParams) -> Self {
+        Self::with_state(params, 0.0)
+    }
+
+    /// Creates a device in the fully low-resistive (logic 1) state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fails [`DeviceParams::validate`].
+    pub fn new_lrs(params: DeviceParams) -> Self {
+        Self::with_state(params, 1.0)
+    }
+
+    /// Creates a device at an arbitrary initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` is inconsistent or `x ∉ [0, 1]`.
+    pub fn with_state(params: DeviceParams, x: f64) -> Self {
+        params.validate();
+        assert!((0.0..=1.0).contains(&x), "state must lie in [0, 1]");
+        Self {
+            params,
+            polarity: Polarity::Forward,
+            x,
+        }
+    }
+
+    /// Returns the same device with the given electrical polarity.
+    pub fn with_polarity(mut self, polarity: Polarity) -> Self {
+        self.polarity = polarity;
+        self
+    }
+
+    /// The technology parameters this device was built from.
+    pub fn params(&self) -> &DeviceParams {
+        &self.params
+    }
+
+    /// The device's electrical polarity.
+    pub fn polarity(&self) -> Polarity {
+        self.polarity
+    }
+
+    /// State derivative at oriented voltage `v` (per second).
+    fn dx_dt(&self, v: Voltage) -> f64 {
+        let p = &self.params;
+        if v.get() > p.v_set.get() {
+            p.switching_rate(v, p.v_set)
+        } else if v.get() < -p.v_reset.get() {
+            -p.switching_rate(v, p.v_reset)
+        } else {
+            0.0
+        }
+    }
+}
+
+impl Memristor for ThresholdDevice {
+    fn state(&self) -> f64 {
+        self.x
+    }
+
+    fn set_state(&mut self, x: f64) {
+        debug_assert!((0.0..=1.0).contains(&x), "state must lie in [0, 1]");
+        self.x = clamp_state(x);
+    }
+}
+
+impl TwoTerminal for ThresholdDevice {
+    fn resistance(&self) -> Resistance {
+        let p = &self.params;
+        Resistance::new(self.x * p.r_on.get() + (1.0 - self.x) * p.r_off.get())
+    }
+
+    fn apply(&mut self, v: Voltage, dt: Time) {
+        let v = self.polarity.oriented(v);
+        let rate = self.dx_dt(v);
+        if rate == 0.0 || dt.get() <= 0.0 {
+            return;
+        }
+        // The rate is constant for a constant applied voltage, so a single
+        // explicit step is exact; substeps only matter for callers that
+        // want intermediate clamping, which clamping at the end subsumes.
+        let n = substeps(dt, Time::new(1.0 / rate.abs()));
+        let h = dt.get() / f64::from(n);
+        for _ in 0..n {
+            self.x = clamp_state(self.x + rate * h);
+            if self.x == 0.0 && rate < 0.0 || self.x == 1.0 && rate > 0.0 {
+                break;
+            }
+        }
+        // Regenerative SET: past the mid-state the filament completes on
+        // its own (current runaway), independent of the external load.
+        if self.params.abrupt_set && rate > 0.0 && self.x >= 0.5 {
+            self.x = 1.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_units::Voltage;
+
+    fn dev() -> ThresholdDevice {
+        ThresholdDevice::new_hrs(DeviceParams::table1_cim())
+    }
+
+    #[test]
+    fn nominal_write_sets_in_write_time() {
+        let mut d = dev();
+        let p = d.params().clone();
+        d.apply(p.write_voltage, p.write_time);
+        assert!((d.state() - 1.0).abs() < 1e-9);
+        assert!(d.is_lrs());
+        assert!(d.as_bit());
+    }
+
+    #[test]
+    fn nominal_reset_clears_in_write_time() {
+        let p = DeviceParams::table1_cim();
+        let mut d = ThresholdDevice::new_lrs(p.clone());
+        d.apply(-p.write_voltage, p.write_time);
+        assert!(d.state() < 1e-9);
+        assert!(d.is_hrs());
+    }
+
+    #[test]
+    fn half_select_does_not_disturb() {
+        let mut d = dev();
+        let p = d.params().clone();
+        // V/2 of a 2 V write is exactly the 1 V threshold: zero overdrive.
+        for _ in 0..1_000 {
+            d.apply(p.write_voltage / 2.0, p.write_time);
+        }
+        assert_eq!(d.state(), 0.0);
+    }
+
+    #[test]
+    fn sub_threshold_reads_do_not_disturb() {
+        let p = DeviceParams::table1_cim();
+        let mut d = ThresholdDevice::new_lrs(p.clone());
+        for _ in 0..1_000 {
+            d.apply(Voltage::from_milli_volts(300.0), p.write_time);
+            d.apply(Voltage::from_milli_volts(-300.0), p.write_time);
+        }
+        assert_eq!(d.state(), 1.0);
+    }
+
+    #[test]
+    fn partial_pulses_accumulate() {
+        let mut d = dev();
+        let p = d.params().clone();
+        // Four quarter-length pulses at nominal voltage = one full write.
+        for _ in 0..4 {
+            d.apply(p.write_voltage, p.write_time / 4.0);
+        }
+        assert!((d.state() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn resistance_endpoints_match_params() {
+        let p = DeviceParams::table1_cim();
+        let hrs = ThresholdDevice::new_hrs(p.clone());
+        let lrs = ThresholdDevice::new_lrs(p.clone());
+        assert!((hrs.resistance() / p.r_off - 1.0).abs() < 1e-12);
+        assert!((lrs.resistance() / p.r_on - 1.0).abs() < 1e-12);
+        // Linear interpolation: mid-state is the arithmetic mean.
+        let mid = ThresholdDevice::with_state(p.clone(), 0.5);
+        let mean = 0.5 * (p.r_on.get() + p.r_off.get());
+        assert!((mid.resistance().get() / mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reversed_polarity_sets_under_negative_voltage() {
+        let p = DeviceParams::table1_cim();
+        let mut d = ThresholdDevice::new_hrs(p.clone()).with_polarity(Polarity::Reversed);
+        d.apply(-p.write_voltage, p.write_time);
+        assert!(d.is_lrs());
+        // And positive voltage now resets.
+        d.apply(p.write_voltage, p.write_time);
+        assert!(d.is_hrs());
+    }
+
+    #[test]
+    fn overdrive_speeds_up_switching() {
+        let p = DeviceParams::table1_cim();
+        let mut slow = ThresholdDevice::new_hrs(p.clone());
+        let mut fast = ThresholdDevice::new_hrs(p.clone());
+        let dt = p.write_time / 10.0;
+        slow.apply(Voltage::from_volts(1.5), dt);
+        fast.apply(Voltage::from_volts(3.0), dt);
+        assert!(fast.state() > slow.state());
+    }
+
+    #[test]
+    fn write_bit_round_trips() {
+        let mut d = dev();
+        d.write_bit(true);
+        assert!(d.as_bit());
+        d.write_bit(false);
+        assert!(!d.as_bit());
+    }
+
+    #[test]
+    #[should_panic(expected = "state must lie in [0, 1]")]
+    fn rejects_out_of_range_initial_state() {
+        let _ = ThresholdDevice::with_state(DeviceParams::table1_cim(), 1.5);
+    }
+}

@@ -1,0 +1,137 @@
+//! Device-to-device and cycle-to-cycle variability sampling.
+
+use cim_units::Resistance;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::DeviceParams;
+
+/// Log-normal spread applied to device parameters.
+///
+/// ReRAM resistance levels vary log-normally across devices
+/// (device-to-device, D2D) and across SET/RESET events of one device
+/// (cycle-to-cycle, C2C). `Variability` samples perturbed
+/// [`DeviceParams`] for array construction; sigma values are in natural-log
+/// units (σ = 0.1 ≈ ±10% one-sigma spread).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Variability {
+    /// Device-to-device σ on `r_on` and `r_off` (log-normal).
+    pub sigma_resistance: f64,
+    /// Device-to-device σ on the switching thresholds (log-normal).
+    pub sigma_threshold: f64,
+    /// Cycle-to-cycle σ on the switching time (log-normal).
+    pub sigma_switching_time: f64,
+}
+
+impl Variability {
+    /// No variability: every sampled device is nominal.
+    pub const NONE: Self = Self {
+        sigma_resistance: 0.0,
+        sigma_threshold: 0.0,
+        sigma_switching_time: 0.0,
+    };
+
+    /// A typical mature-process corner (≈10% resistance spread, 5%
+    /// threshold spread, 15% switching-time jitter).
+    pub fn typical() -> Self {
+        Self {
+            sigma_resistance: 0.10,
+            sigma_threshold: 0.05,
+            sigma_switching_time: 0.15,
+        }
+    }
+
+    /// Samples one log-normally perturbed parameter set.
+    ///
+    /// Uses Box–Muller on the caller's `rng` so array construction is
+    /// reproducible from a seed.
+    pub fn sample<R: Rng + ?Sized>(&self, nominal: &DeviceParams, rng: &mut R) -> DeviceParams {
+        let mut params = nominal.clone();
+        params.r_on = Resistance::new(nominal.r_on.get() * lognormal(rng, self.sigma_resistance));
+        params.r_off = Resistance::new(nominal.r_off.get() * lognormal(rng, self.sigma_resistance));
+        params.v_set = nominal.v_set * lognormal(rng, self.sigma_threshold);
+        params.v_reset = nominal.v_reset * lognormal(rng, self.sigma_threshold);
+        params.write_time = nominal.write_time * lognormal(rng, self.sigma_switching_time);
+        // Guard the invariants `validate` enforces: keep the window between
+        // thresholds and write voltage open even at extreme samples.
+        let vmax = params.v_set.max(params.v_reset);
+        if params.write_voltage.get() <= vmax.get() * 1.2 {
+            params.write_voltage = vmax * 1.5;
+        }
+        if params.r_off.get() <= params.r_on.get() * 2.0 {
+            params.r_off = Resistance::new(params.r_on.get() * 2.0);
+        }
+        params
+    }
+}
+
+impl Default for Variability {
+    fn default() -> Self {
+        Self::NONE
+    }
+}
+
+/// Draws `exp(σ·N(0,1))` via Box–Muller.
+fn lognormal<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> f64 {
+    if sigma == 0.0 {
+        return 1.0;
+    }
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let normal = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (sigma * normal).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_reproduces_nominal() {
+        let nominal = DeviceParams::table1_cim();
+        let mut rng = StdRng::seed_from_u64(7);
+        let sampled = Variability::NONE.sample(&nominal, &mut rng);
+        assert_eq!(sampled, nominal);
+    }
+
+    #[test]
+    fn sampling_is_reproducible_from_seed() {
+        let nominal = DeviceParams::table1_cim();
+        let v = Variability::typical();
+        let a = v.sample(&nominal, &mut StdRng::seed_from_u64(42));
+        let b = v.sample(&nominal, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn samples_always_validate() {
+        let nominal = DeviceParams::table1_cim();
+        let v = Variability {
+            sigma_resistance: 0.5,
+            sigma_threshold: 0.3,
+            sigma_switching_time: 0.5,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1_000 {
+            v.sample(&nominal, &mut rng).validate();
+        }
+    }
+
+    #[test]
+    fn spread_has_roughly_unit_median() {
+        let nominal = DeviceParams::table1_cim();
+        let v = Variability::typical();
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples: Vec<f64> = (0..2_000)
+            .map(|_| v.sample(&nominal, &mut rng).r_on / nominal.r_on)
+            .collect();
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = sorted[sorted.len() / 2];
+        assert!((median - 1.0).abs() < 0.05, "median ratio {median}");
+        // And there is actual spread.
+        assert!(sorted.last().expect("nonempty") / sorted[0] > 1.2);
+    }
+}

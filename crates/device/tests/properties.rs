@@ -1,0 +1,115 @@
+//! Property-based tests for device-model invariants.
+
+use cim_device::{
+    Crs, DeviceParams, IonDriftParams, LinearIonDrift, Memristor, ThresholdDevice, TwoTerminal,
+    WindowFunction,
+};
+use cim_units::{Time, Voltage};
+use proptest::prelude::*;
+
+fn any_window() -> impl Strategy<Value = WindowFunction> {
+    prop_oneof![
+        Just(WindowFunction::None),
+        (1u32..4).prop_map(|p| WindowFunction::Joglekar { p }),
+        (1u32..4).prop_map(|p| WindowFunction::Biolek { p }),
+        (1u32..4, 0.1f64..1.0).prop_map(|(p, j)| WindowFunction::Prodromakis { p, j }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn threshold_state_stays_bounded(
+        x0 in 0.0f64..=1.0,
+        volts in -5.0f64..5.0,
+        ns in 0.0f64..100.0,
+    ) {
+        let mut d = ThresholdDevice::with_state(DeviceParams::table1_cim(), x0);
+        d.apply(Voltage::from_volts(volts), Time::from_nano_seconds(ns));
+        prop_assert!((0.0..=1.0).contains(&d.state()));
+    }
+
+    #[test]
+    fn threshold_resistance_within_envelope(x in 0.0f64..=1.0) {
+        let p = DeviceParams::table1_cim();
+        let d = ThresholdDevice::with_state(p.clone(), x);
+        let r = d.resistance();
+        prop_assert!(r >= p.r_on);
+        prop_assert!(r <= p.r_off);
+    }
+
+    #[test]
+    fn sub_threshold_voltage_never_moves_state(
+        x0 in 0.0f64..=1.0,
+        frac in -0.99f64..0.99,
+        ns in 0.0f64..1000.0,
+    ) {
+        let p = DeviceParams::table1_cim();
+        let mut d = ThresholdDevice::with_state(p.clone(), x0);
+        // Any voltage strictly inside (−v_reset, v_set) is inert.
+        let v = Voltage::from_volts(frac * p.v_set.as_volts());
+        d.apply(v, Time::from_nano_seconds(ns));
+        prop_assert_eq!(d.state(), x0);
+    }
+
+    #[test]
+    fn switching_is_monotone_in_time(
+        ns_short in 0.01f64..1.0,
+        scale in 1.0f64..10.0,
+    ) {
+        let p = DeviceParams::table1_cim();
+        let mut short = ThresholdDevice::new_hrs(p.clone());
+        let mut long = ThresholdDevice::new_hrs(p.clone());
+        short.apply(p.write_voltage, Time::from_nano_seconds(ns_short));
+        long.apply(p.write_voltage, Time::from_nano_seconds(ns_short * scale));
+        prop_assert!(long.state() >= short.state());
+    }
+
+    #[test]
+    fn ion_drift_state_stays_bounded(
+        x0 in 0.0f64..=1.0,
+        volts in -3.0f64..3.0,
+        us in 0.0f64..10.0,
+        window in any_window(),
+    ) {
+        let params = IonDriftParams { window, ..IonDriftParams::hp_tio2() };
+        let mut d = LinearIonDrift::new(params, x0);
+        d.apply(Voltage::from_volts(volts), Time::from_micro_seconds(us));
+        prop_assert!((0.0..=1.0).contains(&d.state()));
+        prop_assert!(d.resistance().get() > 0.0);
+    }
+
+    #[test]
+    fn window_functions_bounded_on_unit_interval(
+        x in 0.0f64..=1.0,
+        sign in prop_oneof![Just(1.0f64), Just(-1.0f64)],
+        window in any_window(),
+    ) {
+        let f = window.eval(x, sign);
+        prop_assert!(f <= 1.0 + 1e-12);
+        // Windows may only *slow* drift, never reverse it.
+        prop_assert!(f >= -1e-12, "window went negative: {f}");
+    }
+
+    #[test]
+    fn crs_write_read_round_trip(bits in prop::collection::vec(any::<bool>(), 1..12)) {
+        let mut cell = Crs::new_zero(DeviceParams::table1_cim());
+        for bit in bits {
+            cell.write(bit);
+            prop_assert_eq!(cell.state().bit(), Some(bit));
+            prop_assert_eq!(cell.read_restore(), bit);
+            prop_assert_eq!(cell.state().bit(), Some(bit));
+        }
+    }
+
+    #[test]
+    fn crs_storage_states_block_low_voltage(bit in any::<bool>(), mv in 1.0f64..900.0) {
+        let p = DeviceParams::table1_cim();
+        let mut cell = Crs::new_zero(p.clone());
+        cell.write_bit_ideal(bit);
+        let i = cell.current_at(Voltage::from_milli_volts(mv));
+        let i_lrs_level = Voltage::from_milli_volts(mv) / p.r_on;
+        // Sneak-path immunity: below Vth1 a CRS cell passes < 2% of an
+        // LRS-level current regardless of the stored bit.
+        prop_assert!(i.get() < 0.02 * i_lrs_level.get());
+    }
+}

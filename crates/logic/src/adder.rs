@@ -1,0 +1,345 @@
+//! Memristive adders: the arithmetic blocks behind the paper's
+//! "Mathematics: 10⁶ parallel additions" experiment.
+
+use cim_units::{Energy, Time};
+use serde::{Deserialize, Serialize};
+
+use cim_device::DeviceParams;
+
+use crate::cost::LogicCost;
+use crate::crs_logic::CrsImp;
+use crate::engine::ImplyEngine;
+use crate::program::{Program, ProgramBuilder, Reg};
+
+/// An `n`-bit ripple-carry adder compiled to IMPLY microcode.
+///
+/// Each full adder is built from the gate library (`sum = a⊕b⊕c`,
+/// `cout = ab ∨ c(a⊕b)`) and the whole word executes on one
+/// [`ImplyEngine`] — bit-exact against integer addition (see the
+/// property tests).
+#[derive(Debug, Clone)]
+pub struct ImplyAdder {
+    program: Program,
+    bits: u32,
+}
+
+impl ImplyAdder {
+    /// Compiles an `n`-bit adder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or exceeds 64.
+    pub fn new(bits: u32) -> Self {
+        assert!((1..=64).contains(&bits), "supported widths: 1..=64 bits");
+        let mut b = ProgramBuilder::new();
+        let a_regs: Vec<Reg> = (0..bits).map(|_| b.input()).collect();
+        let b_regs: Vec<Reg> = (0..bits).map(|_| b.input()).collect();
+        let mut carry: Option<Reg> = None;
+        let mut sums = Vec::with_capacity(bits as usize + 1);
+        for i in 0..bits as usize {
+            let x = b.xor(a_regs[i], b_regs[i]);
+            let (sum, cout) = match carry {
+                None => {
+                    // First bit: sum = a⊕b, cout = a∧b.
+                    let cout = b.and(a_regs[i], b_regs[i]);
+                    (x, cout)
+                }
+                Some(c) => {
+                    let sum = b.xor(x, c);
+                    let t1 = b.and(a_regs[i], b_regs[i]);
+                    let t2 = b.and(x, c);
+                    let cout = b.or(t1, t2);
+                    b.recycle(t1);
+                    b.recycle(t2);
+                    b.recycle(c);
+                    b.recycle(x);
+                    (sum, cout)
+                }
+            };
+            sums.push(sum);
+            carry = Some(cout);
+        }
+        sums.push(carry.expect("at least one bit"));
+        let program = b.finish(sums);
+        Self { program, bits }
+    }
+
+    /// The compiled microprogram.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Word width in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Adds two words electrically on `engine`, returning `a + b`
+    /// (including the carry-out bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands do not fit in the adder width or the engine
+    /// is too small.
+    pub fn add(&self, engine: &mut ImplyEngine, a: u64, b: u64) -> u64 {
+        self.check_operand(a);
+        self.check_operand(b);
+        let mut inputs = Vec::with_capacity(2 * self.bits as usize);
+        for i in 0..self.bits {
+            inputs.push((a >> i) & 1 == 1);
+        }
+        for i in 0..self.bits {
+            inputs.push((b >> i) & 1 == 1);
+        }
+        let out = engine.run(&self.program, &inputs);
+        out.iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &bit)| acc | (u64::from(bit) << i))
+    }
+
+    /// Pure-Boolean evaluation (fast path for large sweeps).
+    pub fn add_reference(&self, a: u64, b: u64) -> u64 {
+        self.check_operand(a);
+        self.check_operand(b);
+        let mut inputs = Vec::with_capacity(2 * self.bits as usize);
+        for i in 0..self.bits {
+            inputs.push((a >> i) & 1 == 1);
+        }
+        for i in 0..self.bits {
+            inputs.push((b >> i) & 1 == 1);
+        }
+        self.program
+            .evaluate(&inputs)
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &bit)| acc | (u64::from(bit) << i))
+    }
+
+    /// The adder's measured step/device cost.
+    pub fn cost(&self, device: &DeviceParams) -> LogicCost {
+        LogicCost {
+            steps: self.program.len() as u64,
+            devices: self.program.registers,
+            latency: device.write_time * self.program.len() as f64,
+            energy: Energy::ZERO, // measured by the engine at run time
+        }
+    }
+
+    fn check_operand(&self, v: u64) {
+        if self.bits < 64 {
+            assert!(v < (1u64 << self.bits), "operand does not fit in width");
+        }
+    }
+}
+
+/// A ripple adder built from single-CRS implication gates (Fig. 5b
+/// style), with CMOS periphery reading intermediate bits and re-encoding
+/// them as terminal levels.
+#[derive(Debug, Clone)]
+pub struct CrsAdder {
+    params: DeviceParams,
+    bits: u32,
+    imp_ops: u64,
+}
+
+impl CrsAdder {
+    /// Creates an adder for the given width and device technology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or exceeds 64.
+    pub fn new(bits: u32, params: DeviceParams) -> Self {
+        assert!((1..=64).contains(&bits), "supported widths: 1..=64 bits");
+        Self {
+            params,
+            bits,
+            imp_ops: 0,
+        }
+    }
+
+    fn imp(&mut self, p: bool, q: bool) -> bool {
+        let mut gate = CrsImp::new(self.params.clone());
+        self.imp_ops += 1;
+        gate.imp(p, q)
+    }
+
+    fn not(&mut self, p: bool) -> bool {
+        self.imp(p, false)
+    }
+
+    fn xor(&mut self, a: bool, b: bool) -> bool {
+        let u = self.imp(a, b);
+        let v = self.imp(b, a);
+        let nv = self.not(v);
+        self.imp(u, nv)
+    }
+
+    fn and(&mut self, a: bool, b: bool) -> bool {
+        let nb = self.not(b);
+        let nand = self.imp(a, nb);
+        self.not(nand)
+    }
+
+    fn or(&mut self, a: bool, b: bool) -> bool {
+        let na = self.not(a);
+        self.imp(na, b)
+    }
+
+    /// Adds two words, executing every gate on a CRS cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands do not fit in the adder width.
+    pub fn add(&mut self, a: u64, b: u64) -> u64 {
+        if self.bits < 64 {
+            assert!(
+                a < (1u64 << self.bits) && b < (1u64 << self.bits),
+                "operand does not fit in width"
+            );
+        }
+        let mut carry = false;
+        let mut result = 0u64;
+        for i in 0..self.bits {
+            let ai = (a >> i) & 1 == 1;
+            let bi = (b >> i) & 1 == 1;
+            let x = self.xor(ai, bi);
+            let sum = self.xor(x, carry);
+            let t1 = self.and(ai, bi);
+            let t2 = self.and(x, carry);
+            carry = self.or(t1, t2);
+            result |= u64::from(sum) << i;
+        }
+        result | (u64::from(carry) << self.bits)
+    }
+
+    /// Measured cost so far: 2 pulses per IMP, one CRS cell reused.
+    pub fn cost(&self) -> LogicCost {
+        LogicCost {
+            steps: self.imp_ops * 2,
+            devices: 1,
+            latency: self.params.write_time * 10.0 * (self.imp_ops * 2) as f64,
+            energy: self.params.write_energy * (self.imp_ops * 2) as f64,
+        }
+    }
+}
+
+/// The paper's CRS "TC adder" (Siemon et al., arXiv:1410.2031) as a cost
+/// model: N+2 devices, 4N+5 steps, 8 write-energies per bit.
+///
+/// The TC adder's internal schedule is far more efficient than naive
+/// gate-by-gate composition (compare [`CrsAdder::cost`]); the architecture
+/// model uses these numbers to reproduce Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TcAdderModel {
+    /// Word width in bits.
+    pub bits: u32,
+}
+
+impl TcAdderModel {
+    /// Creates the model for `bits`-wide words.
+    pub fn new(bits: u32) -> Self {
+        Self { bits }
+    }
+
+    /// Functional semantics (the executor's fast path).
+    pub fn add(self, a: u64, b: u64) -> u64 {
+        a.wrapping_add(b)
+    }
+
+    /// Paper cost: `4N+5` steps of one write time, `N+2` devices, `8N`
+    /// write energies.
+    pub fn cost(self, write_time: Time, write_energy: Energy) -> LogicCost {
+        LogicCost::tc_adder_paper(self.bits, write_time, write_energy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_bit_imply_adder_is_exact_electrically() {
+        let adder = ImplyAdder::new(4);
+        let mut engine = ImplyEngine::for_program(adder.program());
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                assert_eq!(adder.add(&mut engine, a, b), a + b, "{a} + {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn thirty_two_bit_reference_addition_is_exact() {
+        let adder = ImplyAdder::new(32);
+        let cases = [
+            (0u64, 0u64),
+            (1, 1),
+            (0xFFFF_FFFF, 1),
+            (0xDEAD_BEEF, 0x1234_5678),
+            (0x8000_0000, 0x8000_0000),
+        ];
+        for (a, b) in cases {
+            assert_eq!(adder.add_reference(a, b), a + b, "{a:#x} + {b:#x}");
+        }
+    }
+
+    #[test]
+    fn adder_cost_scales_linearly() {
+        let device = DeviceParams::table1_cim();
+        let c8 = ImplyAdder::new(8).cost(&device);
+        let c32 = ImplyAdder::new(32).cost(&device);
+        let ratio = c32.steps as f64 / c8.steps as f64;
+        assert!((3.0..=5.0).contains(&ratio), "steps ratio {ratio}");
+        assert!(c32.devices > c8.devices);
+    }
+
+    #[test]
+    fn crs_adder_is_exact() {
+        let mut adder = CrsAdder::new(8, DeviceParams::table1_cim());
+        for (a, b) in [(0u64, 0u64), (1, 1), (200, 55), (255, 255), (127, 128)] {
+            assert_eq!(adder.add(a, b), a + b, "{a} + {b}");
+        }
+    }
+
+    #[test]
+    fn tc_adder_model_matches_paper_formulas() {
+        let m = TcAdderModel::new(32);
+        assert_eq!(m.add(7, 8), 15);
+        let cost = m.cost(
+            Time::from_pico_seconds(200.0),
+            Energy::from_femto_joules(1.0),
+        );
+        assert_eq!(cost.steps, 133);
+        assert_eq!(cost.devices, 34);
+    }
+
+    #[test]
+    fn tc_adder_beats_naive_crs_composition() {
+        let mut naive = CrsAdder::new(32, DeviceParams::table1_cim());
+        let _ = naive.add(123456, 654321);
+        let naive_cost = naive.cost();
+        let tc = TcAdderModel::new(32).cost(
+            Time::from_pico_seconds(200.0),
+            Energy::from_femto_joules(1.0),
+        );
+        assert!(
+            tc.steps * 3 < naive_cost.steps,
+            "TC {} vs naive {}",
+            tc.steps,
+            naive_cost.steps
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn rejects_oversized_operands() {
+        let adder = ImplyAdder::new(4);
+        let _ = adder.add_reference(16, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "supported widths")]
+    fn rejects_zero_width() {
+        let _ = ImplyAdder::new(0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Cost accounting for stateful-logic blocks.
+
+use cim_units::{Area, Energy, Time};
+use serde::{Deserialize, Serialize};
+
+/// Execution cost of a stateful-logic block.
+///
+/// `steps` counts sequential micro-operations (each one memristor write
+/// time in the paper's accounting), `devices` the memristor footprint.
+/// The paper's Table 1 quotes these for its two blocks; the constructors
+/// below encode those numbers so the architecture model can reproduce
+/// Table 2, while the electrical engines *measure* their own costs for
+/// comparison.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogicCost {
+    /// Sequential steps executed.
+    pub steps: u64,
+    /// Memristors occupied.
+    pub devices: usize,
+    /// Wall-clock latency of the block.
+    pub latency: Time,
+    /// Dynamic energy consumed.
+    pub energy: Energy,
+}
+
+impl LogicCost {
+    /// Table 1's IMPLY comparator: "2 XOR and a NAND … 13 memristors …
+    /// 16 steps … 3.2 ns … 45 fJ" (the two XORs run in parallel; a step
+    /// takes one memristor write time).
+    pub fn comparator_paper() -> Self {
+        Self {
+            steps: 16,
+            devices: 13,
+            latency: Time::from_nano_seconds(3.2),
+            energy: Energy::from_femto_joules(45.0),
+        }
+    }
+
+    /// Table 1's CRS "TC adder" for `n`-bit words: N+2 devices, 4N+5
+    /// steps of one write time each, 8 operations (writes) per bit at
+    /// 1 fJ. For N = 32 the paper prints "246 fJ" and "16 600 ps"; the
+    /// formulas it quotes give 256 fJ and 26 600 ps — we follow the
+    /// formulas (see EXPERIMENTS.md).
+    pub fn tc_adder_paper(n: u32, write_time: Time, write_energy: Energy) -> Self {
+        let steps = u64::from(4 * n + 5);
+        Self {
+            steps,
+            devices: n as usize + 2,
+            latency: write_time * steps as f64,
+            energy: write_energy * f64::from(8 * n),
+        }
+    }
+
+    /// Area footprint given a per-device cell area.
+    pub fn area(&self, cell_area: Area) -> Area {
+        cell_area * self.devices as f64
+    }
+
+    /// Merges a sequentially-executed block (steps/latency/energy add,
+    /// devices take the maximum of the two footprints if reused).
+    pub fn then(&self, next: &LogicCost) -> Self {
+        Self {
+            steps: self.steps + next.steps,
+            devices: self.devices.max(next.devices),
+            latency: self.latency + next.latency,
+            energy: self.energy + next.energy,
+        }
+    }
+
+    /// Merges a block executed in parallel on disjoint devices.
+    pub fn alongside(&self, other: &LogicCost) -> Self {
+        Self {
+            steps: self.steps.max(other.steps),
+            devices: self.devices + other.devices,
+            latency: self.latency.max(other.latency),
+            energy: self.energy + other.energy,
+        }
+    }
+}
+
+impl std::fmt::Display for LogicCost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} steps / {} devices / {} / {}",
+            self.steps, self.devices, self.latency, self.energy
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_comparator_numbers() {
+        let c = LogicCost::comparator_paper();
+        assert_eq!(c.steps, 16);
+        assert_eq!(c.devices, 13);
+        assert!((c.latency.as_nano_seconds() - 3.2).abs() < 1e-12);
+        assert!((c.energy.as_femto_joules() - 45.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_tc_adder_follows_formulas() {
+        let c = LogicCost::tc_adder_paper(
+            32,
+            Time::from_pico_seconds(200.0),
+            Energy::from_femto_joules(1.0),
+        );
+        assert_eq!(c.steps, 133); // 4·32 + 5
+        assert_eq!(c.devices, 34); // 32 + 2
+                                   // The formula gives 26.6 ns (the paper's prose prints 16.6 ns).
+        assert!((c.latency.as_nano_seconds() - 26.6).abs() < 1e-9);
+        // And 256 fJ (the paper's prose prints 246 fJ).
+        assert!((c.energy.as_femto_joules() - 256.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn composition_rules() {
+        let a = LogicCost {
+            steps: 10,
+            devices: 5,
+            latency: Time::from_nano_seconds(2.0),
+            energy: Energy::from_femto_joules(10.0),
+        };
+        let b = LogicCost {
+            steps: 3,
+            devices: 3,
+            latency: Time::from_nano_seconds(0.6),
+            energy: Energy::from_femto_joules(3.0),
+        };
+        let seq = a.then(&b);
+        assert_eq!(seq.steps, 13);
+        assert_eq!(seq.devices, 5);
+        assert!((seq.latency.as_nano_seconds() - 2.6).abs() < 1e-12);
+        let par = a.alongside(&b);
+        assert_eq!(par.steps, 10);
+        assert_eq!(par.devices, 8);
+        assert!((par.energy.as_femto_joules() - 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn area_scales_with_devices() {
+        let c = LogicCost::comparator_paper();
+        let area = c.area(Area::from_square_micro_meters(1e-4));
+        assert!((area.as_square_micro_meters() - 1.3e-3).abs() < 1e-12);
+    }
+}

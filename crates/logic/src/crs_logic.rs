@@ -1,0 +1,153 @@
+//! Single-CRS implication (Fig. 5b — Linn et al., Nanotechnology 2012).
+//!
+//! The alternative IMP implementation "with superior performance": the
+//! input bits are encoded as voltage levels `±½V_write` applied to the two
+//! terminals of **one** CRS cell, and the result lands in the cell's
+//! resistive state `Z`:
+//!
+//! 1. initialise `Z` to `'1'`;
+//! 2. apply `(V_T1, V_T2) = (V_q, V_p)` — the cell sees `V_q − V_p`, which
+//!    is `−V_write` exactly when `p = 1, q = 0` (writing `'0'`), `+V_write`
+//!    when `p = 0, q = 1` (re-writing `'1'`), and `0` otherwise;
+//! 3. read `Z'` — which now holds `p IMP q`.
+//!
+//! Two pulses instead of the three of the two-device scheme, no load
+//! resistor, and no static current in either storage state.
+
+use cim_units::{Time, Voltage};
+use serde::{Deserialize, Serialize};
+
+use cim_device::{Crs, DeviceParams, TwoTerminal};
+
+use crate::cost::LogicCost;
+
+/// A logic level encoded as a terminal voltage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Level {
+    /// Logic 0 → `−½V_write`.
+    Low,
+    /// Logic 1 → `+½V_write`.
+    High,
+}
+
+impl Level {
+    /// Creates a level from a bit.
+    pub fn from_bit(bit: bool) -> Self {
+        if bit {
+            Level::High
+        } else {
+            Level::Low
+        }
+    }
+
+    fn voltage(self, half_write: Voltage) -> Voltage {
+        match self {
+            Level::Low => -half_write,
+            Level::High => half_write,
+        }
+    }
+}
+
+/// Executes `Z ← p IMP q` on a single CRS cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrsImp {
+    cell: Crs,
+    write_voltage: Voltage,
+    pulse: Time,
+    steps: u64,
+}
+
+impl CrsImp {
+    /// Creates the gate for a device technology.
+    pub fn new(params: DeviceParams) -> Self {
+        let cell = Crs::new_one(params.clone());
+        // The cell-level write point: above Vth2 ≈ 2·v_reset.
+        let write_voltage = params.write_voltage * 1.5;
+        let pulse = params.write_time * 10.0;
+        Self {
+            cell,
+            write_voltage,
+            pulse,
+            steps: 0,
+        }
+    }
+
+    /// Performs the two-pulse IMP and returns the stored result.
+    pub fn imp(&mut self, p: bool, q: bool) -> bool {
+        // Pulse 1: init Z to '1' (full positive write).
+        self.cell.apply(self.write_voltage, self.pulse);
+        debug_assert_eq!(self.cell.state().bit(), Some(true), "init-to-1 failed");
+        // Pulse 2: apply (V_T1, V_T2) = (V_q, V_p) ⇒ cell sees V_q − V_p.
+        let half = self.write_voltage / 2.0;
+        let v_cell = Voltage::new(
+            Level::from_bit(q).voltage(half).get() - Level::from_bit(p).voltage(half).get(),
+        );
+        self.cell.apply(v_cell, self.pulse);
+        self.steps += 2;
+        self.cell
+            .state()
+            .bit()
+            .expect("CRS IMP must end in a storage state")
+    }
+
+    /// The stored result of the last operation (destructive to read
+    /// electrically; this inspects the state).
+    pub fn result(&self) -> Option<bool> {
+        self.cell.state().bit()
+    }
+
+    /// Cost of the operations performed so far (2 pulses per IMP, one
+    /// device).
+    pub fn cost(&self) -> LogicCost {
+        LogicCost {
+            steps: self.steps,
+            devices: 1,
+            latency: self.pulse * self.steps as f64,
+            energy: self.cell.params().write_energy * self.steps as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imp_truth_table() {
+        for (p, q) in [(false, false), (false, true), (true, false), (true, true)] {
+            let mut gate = CrsImp::new(DeviceParams::table1_cim());
+            let out = gate.imp(p, q);
+            assert_eq!(out, !p || q, "{p} IMP {q}");
+            assert_eq!(gate.result(), Some(!p || q));
+        }
+    }
+
+    #[test]
+    fn imp_is_two_steps_on_one_device() {
+        let mut gate = CrsImp::new(DeviceParams::table1_cim());
+        let _ = gate.imp(true, false);
+        let cost = gate.cost();
+        assert_eq!(cost.steps, 2);
+        assert_eq!(cost.devices, 1);
+        // Strictly faster than the 3-pulse two-device scheme for one IMP.
+        assert!(cost.steps < 3);
+    }
+
+    #[test]
+    fn gate_is_reusable_across_operations() {
+        let mut gate = CrsImp::new(DeviceParams::table1_cim());
+        for (p, q) in [(true, false), (false, false), (true, true), (true, false)] {
+            assert_eq!(gate.imp(p, q), !p || q);
+        }
+        assert_eq!(gate.cost().steps, 8);
+    }
+
+    #[test]
+    fn levels_map_to_half_write_voltages() {
+        assert_eq!(Level::from_bit(true), Level::High);
+        assert_eq!(Level::from_bit(false), Level::Low);
+        let half = Voltage::from_volts(1.5);
+        assert_eq!(Level::High.voltage(half), half);
+        assert_eq!(Level::Low.voltage(half), -half);
+    }
+}

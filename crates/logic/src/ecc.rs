@@ -1,0 +1,334 @@
+//! Hamming SECDED error correction, with parity computed in IMPLY logic.
+//!
+//! The paper's reliability discussion (finite endurance, variability,
+//! stuck cells) implies CIM arrays need in-memory error handling. This
+//! module provides single-error-correct / double-error-detect Hamming
+//! codes whose parity trees are *compiled to IMPLY microcode* — encoding
+//! and scrubbing can therefore run inside the same crossbar that stores
+//! the data, completing the failure-injection story of
+//! `examples/reliability.rs`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::engine::ImplyEngine;
+use crate::program::{Program, ProgramBuilder, Reg};
+
+/// Decode failure: the codeword holds more errors than SECDED corrects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DoubleError;
+
+impl std::fmt::Display for DoubleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("double-bit error detected (uncorrectable)")
+    }
+}
+
+impl std::error::Error for DoubleError {}
+
+/// What a decode found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Correction {
+    /// The codeword was clean.
+    Clean,
+    /// One bit (at the given codeword position) was flipped and fixed.
+    SingleBit(u32),
+}
+
+/// A Hamming SECDED code over `data_bits` of payload.
+///
+/// Standard layout: codeword positions are 1-indexed, parity bits sit at
+/// the powers of two, data fills the rest, and an overall parity bit at
+/// position 0 upgrades single-error correction to double-error detection.
+///
+/// ```
+/// use cim_logic::{Correction, Hamming};
+///
+/// let code = Hamming::new(8);
+/// let word = code.encode(0xA5);
+/// let (data, fix) = code.decode(word ^ (1 << 5)).expect("one flip");
+/// assert_eq!(data, 0xA5);
+/// assert_eq!(fix, Correction::SingleBit(5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hamming {
+    data_bits: u32,
+    parity_bits: u32,
+}
+
+impl Hamming {
+    /// Creates a code for the given payload width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data_bits` is 0 or exceeds 57 (the codeword must fit
+    /// in a `u64` including the overall parity bit).
+    pub fn new(data_bits: u32) -> Self {
+        assert!((1..=57).contains(&data_bits), "payload widths of 1..=57");
+        let mut parity_bits = 0u32;
+        while (1u64 << parity_bits) < u64::from(data_bits + parity_bits + 1) {
+            parity_bits += 1;
+        }
+        Self {
+            data_bits,
+            parity_bits,
+        }
+    }
+
+    /// Payload width.
+    pub fn data_bits(self) -> u32 {
+        self.data_bits
+    }
+
+    /// Hamming parity bits (excluding the overall SECDED parity).
+    pub fn parity_bits(self) -> u32 {
+        self.parity_bits
+    }
+
+    /// Total codeword width including the overall parity at position 0.
+    pub fn codeword_bits(self) -> u32 {
+        self.data_bits + self.parity_bits + 1
+    }
+
+    /// Positions (1-indexed) of data bits within the codeword.
+    fn data_positions(self) -> impl Iterator<Item = u32> {
+        (1..=self.data_bits + self.parity_bits).filter(|p| !p.is_power_of_two())
+    }
+
+    /// Encodes a payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` does not fit the payload width.
+    pub fn encode(self, data: u64) -> u64 {
+        if self.data_bits < 64 {
+            assert!(data < (1u64 << self.data_bits), "payload does not fit");
+        }
+        let mut word = 0u64;
+        for (i, pos) in self.data_positions().enumerate() {
+            if (data >> i) & 1 == 1 {
+                word |= 1 << pos;
+            }
+        }
+        for p in 0..self.parity_bits {
+            let mask_bit = 1u32 << p;
+            let parity = (1..=self.data_bits + self.parity_bits)
+                .filter(|pos| pos & mask_bit != 0)
+                .fold(0u64, |acc, pos| acc ^ ((word >> pos) & 1));
+            if parity == 1 {
+                word |= 1 << (1 << p);
+            }
+        }
+        // Overall parity at position 0.
+        if (word.count_ones() % 2) == 1 {
+            word |= 1;
+        }
+        word
+    }
+
+    /// Decodes a codeword, correcting up to one flipped bit.
+    ///
+    /// # Errors
+    ///
+    /// [`DoubleError`] when the syndrome indicates two flipped bits.
+    pub fn decode(self, mut word: u64) -> Result<(u64, Correction), DoubleError> {
+        let mut syndrome = 0u32;
+        for p in 0..self.parity_bits {
+            let mask_bit = 1u32 << p;
+            let parity = (1..=self.data_bits + self.parity_bits)
+                .filter(|pos| pos & mask_bit != 0)
+                .fold(0u64, |acc, pos| acc ^ ((word >> pos) & 1));
+            if parity == 1 {
+                syndrome |= mask_bit;
+            }
+        }
+        let overall_ok = word.count_ones().is_multiple_of(2);
+        let correction = match (syndrome, overall_ok) {
+            (0, true) => Correction::Clean,
+            // Syndrome zero but overall parity wrong: the parity bit
+            // itself flipped.
+            (0, false) => {
+                word ^= 1;
+                Correction::SingleBit(0)
+            }
+            (s, false) => {
+                word ^= 1 << s;
+                Correction::SingleBit(s)
+            }
+            // Non-zero syndrome with clean overall parity = two flips.
+            (_, true) => return Err(DoubleError),
+        };
+        let mut data = 0u64;
+        for (i, pos) in self.data_positions().enumerate() {
+            data |= ((word >> pos) & 1) << i;
+        }
+        Ok((data, correction))
+    }
+
+    /// Compiles the parity-generator as IMPLY microcode: inputs are the
+    /// payload bits, outputs are the Hamming parity bits followed by the
+    /// overall parity — the circuit an in-array scrubber would run.
+    pub fn parity_program(self) -> Program {
+        let mut b = ProgramBuilder::new();
+        let data_regs: Vec<Reg> = (0..self.data_bits).map(|_| b.input()).collect();
+        // Map codeword position -> data register.
+        let by_position: Vec<(u32, Reg)> = self
+            .data_positions()
+            .zip(data_regs.iter().copied())
+            .collect();
+        let mut outputs = Vec::new();
+        let mut parity_regs = Vec::new();
+        for p in 0..self.parity_bits {
+            let mask_bit = 1u32 << p;
+            let members: Vec<Reg> = by_position
+                .iter()
+                .filter(|(pos, _)| pos & mask_bit != 0)
+                .map(|&(_, reg)| reg)
+                .collect();
+            let parity = xor_tree(&mut b, &members);
+            parity_regs.push(parity);
+            outputs.push(parity);
+        }
+        // Overall parity covers every codeword bit = data ⊕ parities.
+        let mut all: Vec<Reg> = data_regs.clone();
+        all.extend(parity_regs.iter().copied());
+        let overall = xor_tree(&mut b, &all);
+        outputs.push(overall);
+        b.finish(outputs)
+    }
+
+    /// Encodes through the electrical IMPLY engine and cross-checks the
+    /// arithmetic encoder — the in-array encode path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload does not fit, or (in debug) if the
+    /// electrical parities diverge from the arithmetic ones (they
+    /// cannot — the check is the point).
+    pub fn encode_electrical(self, engine: &mut ImplyEngine, program: &Program, data: u64) -> u64 {
+        let inputs: Vec<bool> = (0..self.data_bits).map(|i| (data >> i) & 1 == 1).collect();
+        let parities = engine.run(program, &inputs);
+        let reference = self.encode(data);
+        // Rebuild the codeword from the electrically computed parities.
+        let mut word = 0u64;
+        for (i, pos) in self.data_positions().enumerate() {
+            if (data >> i) & 1 == 1 {
+                word |= 1 << pos;
+            }
+        }
+        for (p, &bit) in parities[..self.parity_bits as usize].iter().enumerate() {
+            if bit {
+                word |= 1 << (1 << p);
+            }
+        }
+        // The program's overall parity covers data ⊕ hamming parities,
+        // which equals the parity of the codeword above bit 0.
+        if parities[self.parity_bits as usize] {
+            word |= 1;
+        }
+        assert_eq!(word, reference, "electrical encode diverged");
+        word
+    }
+}
+
+/// Balanced XOR tree over `members` (0 for the empty set).
+fn xor_tree(b: &mut ProgramBuilder, members: &[Reg]) -> Reg {
+    match members {
+        [] => b.alloc(),
+        [only] => b.copy(*only),
+        _ => {
+            let mid = members.len() / 2;
+            let left = xor_tree(b, &members[..mid]);
+            let right = xor_tree(b, &members[mid..]);
+            let out = b.xor(left, right);
+            b.recycle(left);
+            b.recycle(right);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_dimensions_follow_hamming_bound() {
+        assert_eq!(Hamming::new(8).parity_bits(), 4); // (12,8) + overall
+        assert_eq!(Hamming::new(16).parity_bits(), 5);
+        assert_eq!(Hamming::new(32).parity_bits(), 6);
+        assert_eq!(Hamming::new(32).codeword_bits(), 39);
+    }
+
+    #[test]
+    fn clean_round_trip() {
+        let code = Hamming::new(16);
+        for data in [0u64, 1, 0xABCD, 0xFFFF, 0x8000] {
+            let word = code.encode(data);
+            let (decoded, correction) = code.decode(word).expect("clean");
+            assert_eq!(decoded, data);
+            assert_eq!(correction, Correction::Clean);
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_corrected() {
+        let code = Hamming::new(16);
+        let data = 0xBEEF & 0xFFFF;
+        let word = code.encode(data);
+        for bit in 0..code.codeword_bits() {
+            let corrupted = word ^ (1 << bit);
+            let (decoded, correction) = code.decode(corrupted).expect("correctable");
+            assert_eq!(decoded, data, "flip at {bit}");
+            assert_eq!(correction, Correction::SingleBit(bit));
+        }
+    }
+
+    #[test]
+    fn double_flips_are_detected_not_miscorrected() {
+        let code = Hamming::new(8);
+        let word = code.encode(0xA5);
+        let mut detected = 0;
+        let n = code.codeword_bits();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let corrupted = word ^ (1 << i) ^ (1 << j);
+                if code.decode(corrupted).is_err() {
+                    detected += 1;
+                } else {
+                    panic!("double flip ({i},{j}) slipped through");
+                }
+            }
+        }
+        assert_eq!(detected, (n * (n - 1) / 2) as usize);
+    }
+
+    #[test]
+    fn parity_program_matches_arithmetic_encoder() {
+        let code = Hamming::new(8);
+        let program = code.parity_program();
+        let mut engine = ImplyEngine::for_program(&program);
+        for data in [0u64, 1, 0x55, 0xAA, 0xFF, 0x5A] {
+            let word = code.encode_electrical(&mut engine, &program, data);
+            assert_eq!(word, code.encode(data));
+        }
+    }
+
+    #[test]
+    fn scrub_story_end_to_end() {
+        // Store → corrupt (stuck cell) → in-array parity check → correct.
+        let code = Hamming::new(32);
+        let data = 0xDEAD_BEEFu64 & 0xFFFF_FFFF;
+        let stored = code.encode(data);
+        let stuck_bit = 7u32; // a stuck-at fault flips this position
+        let corrupted = stored ^ (1 << stuck_bit);
+        let (recovered, correction) = code.decode(corrupted).expect("SECDED");
+        assert_eq!(recovered, data);
+        assert_eq!(correction, Correction::SingleBit(stuck_bit));
+    }
+
+    #[test]
+    #[should_panic(expected = "payload widths")]
+    fn rejects_oversized_payloads() {
+        let _ = Hamming::new(58);
+    }
+}

@@ -1,0 +1,356 @@
+//! Electrical execution of IMPLY microcode (Fig. 5a).
+
+use cim_units::{Energy, Resistance, Time, Voltage};
+use serde::{Deserialize, Serialize};
+
+use cim_device::{DeviceParams, Memristor, ThresholdDevice, TwoTerminal};
+
+use crate::cost::LogicCost;
+use crate::program::{Program, Step};
+
+/// Operating point of the two-device + load-resistor IMPLY circuit.
+///
+/// The defaults realise the conditional-switching window for the Table-1
+/// device (`v_set` = 1 V, write at 2 V):
+///
+/// * `p = 0, q = 0`: the common node sits low, `q` sees ≈ `v_set_pulse`
+///   and SETs → `q' = 1`;
+/// * `p = 1`: the LRS `p` device pulls the common node to ≈ `v_cond`, so
+///   `q` sees less than the SET threshold and keeps its state;
+/// * in every case `p` itself stays inside `(−v_reset, v_set)`.
+///
+/// `R_G` must satisfy `R_on < R_G < R_off` (Kvatinsky's design rule) for
+/// the window to exist.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImplyParams {
+    /// Voltage applied to the conditioning device `p`.
+    pub v_cond: Voltage,
+    /// Voltage applied to the target device `q`.
+    pub v_set_pulse: Voltage,
+    /// The shared load resistor to ground.
+    pub r_g: Resistance,
+    /// Pulse duration of one step (several write times: the self-limiting
+    /// SET needs headroom to saturate).
+    pub pulse: Time,
+    /// Integration substeps per pulse.
+    pub substeps: u32,
+}
+
+impl ImplyParams {
+    /// The operating point for a given device technology.
+    pub fn for_device(params: &DeviceParams) -> Self {
+        Self {
+            v_cond: params.v_set * 1.15,
+            v_set_pulse: params.write_voltage,
+            r_g: Resistance::new((params.r_on.get() * params.r_off.get()).sqrt()),
+            pulse: params.write_time * 10.0,
+            substeps: 32,
+        }
+    }
+}
+
+/// Executes IMPLY microcode on real device models.
+///
+/// Every register is a [`ThresholdDevice`]; `FALSE` applies a full reset
+/// pulse with the common node grounded, and `IMP` solves the
+/// `V_COND`/`V_SET`/`R_G` divider while integrating both devices' state
+/// equations. Energy is accounted per step: switching energy for each
+/// state flip plus the resistive dissipation in `R_G`.
+#[derive(Debug, Clone)]
+pub struct ImplyEngine {
+    regs: Vec<ThresholdDevice>,
+    device: DeviceParams,
+    params: ImplyParams,
+    steps: u64,
+    energy: Energy,
+}
+
+impl ImplyEngine {
+    /// Creates an engine with `registers` devices of the given technology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the load resistor violates `R_on < R_G < R_off`.
+    pub fn new(registers: usize, device: DeviceParams, params: ImplyParams) -> Self {
+        assert!(
+            params.r_g > device.r_on && params.r_g < device.r_off,
+            "IMPLY load resistor must satisfy R_on < R_G < R_off"
+        );
+        Self {
+            regs: (0..registers)
+                .map(|_| ThresholdDevice::new_hrs(device.clone()))
+                .collect(),
+            device,
+            params,
+            steps: 0,
+            energy: Energy::ZERO,
+        }
+    }
+
+    /// Convenience: an engine sized for `program`, with Table-1 devices.
+    pub fn for_program(program: &Program) -> Self {
+        let device = DeviceParams::table1_cim();
+        let params = ImplyParams::for_device(&device);
+        Self::new(program.registers, device, params)
+    }
+
+    /// Number of registers (memristors) in the fabric.
+    pub fn registers(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Ideally programs a register (input loading).
+    pub fn write(&mut self, reg: usize, bit: bool) {
+        self.regs[reg].write_bit(bit);
+    }
+
+    /// Reads a register's stored bit (non-destructive sense).
+    pub fn read(&mut self, reg: usize) -> bool {
+        self.regs[reg].as_bit()
+    }
+
+    /// Executes one micro-step electrically.
+    pub fn exec_step(&mut self, step: Step) {
+        match step {
+            Step::False(q) => self.exec_false(q),
+            Step::Imply(p, q) => self.exec_imply(p, q),
+        }
+        self.steps += 1;
+    }
+
+    /// Runs a program: loads `inputs`, clears every non-input register,
+    /// executes all steps, returns the output bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program needs more registers than the engine has or
+    /// `inputs.len() != program.inputs.len()`.
+    pub fn run(&mut self, program: &Program, inputs: &[bool]) -> Vec<bool> {
+        assert!(
+            program.registers <= self.regs.len(),
+            "program needs {} registers, engine has {}",
+            program.registers,
+            self.regs.len()
+        );
+        assert_eq!(inputs.len(), program.inputs.len(), "input arity mismatch");
+        for reg in 0..program.registers {
+            self.regs[reg].write_bit(false);
+        }
+        for (&reg, &bit) in program.inputs.iter().zip(inputs) {
+            self.regs[reg].write_bit(bit);
+        }
+        for &step in &program.steps {
+            self.exec_step(step);
+        }
+        program
+            .outputs
+            .iter()
+            .map(|&r| self.regs[r].as_bit())
+            .collect()
+    }
+
+    /// Accumulated execution cost.
+    pub fn cost(&self) -> LogicCost {
+        LogicCost {
+            steps: self.steps,
+            devices: self.regs.len(),
+            latency: self.params.pulse * self.steps as f64,
+            energy: self.energy,
+        }
+    }
+
+    /// Clears the step/energy counters.
+    pub fn reset_cost(&mut self) {
+        self.steps = 0;
+        self.energy = Energy::ZERO;
+    }
+
+    fn exec_false(&mut self, q: usize) {
+        let was = self.regs[q].as_bit();
+        // Reset with the common node grounded: the device sees the full
+        // negative write voltage.
+        self.regs[q].apply(-self.device.write_voltage, self.params.pulse);
+        if was != self.regs[q].as_bit() {
+            self.energy += self.device.write_energy;
+        }
+        // Dissipation in the device during the reset pulse (~V²/R·t,
+        // dominated by the LRS phase when it actually switches).
+        if was {
+            let v = self.device.write_voltage;
+            let i = v / self.device.r_on;
+            self.energy += v * i * self.device.write_time;
+        }
+    }
+
+    fn exec_imply(&mut self, p: usize, q: usize) {
+        assert_ne!(p, q, "IMP requires distinct registers");
+        let was = self.regs[q].as_bit();
+        let h = self.params.pulse / f64::from(self.params.substeps);
+        let g_g = 1.0 / self.params.r_g.get();
+        for _ in 0..self.params.substeps {
+            let g_p = 1.0 / self.regs[p].resistance().get();
+            let g_q = 1.0 / self.regs[q].resistance().get();
+            let v_node = (self.params.v_cond.get() * g_p + self.params.v_set_pulse.get() * g_q)
+                / (g_p + g_q + g_g);
+            let v_across_p = self.params.v_cond - Voltage::new(v_node);
+            let v_across_q = self.params.v_set_pulse - Voltage::new(v_node);
+            self.regs[p].apply(v_across_p, h);
+            self.regs[q].apply(v_across_q, h);
+            // Load-resistor dissipation.
+            self.energy += Energy::new(v_node * v_node * g_g * h.get());
+        }
+        if was != self.regs[q].as_bit() {
+            self.energy += self.device.write_energy;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+
+    fn engine(registers: usize) -> ImplyEngine {
+        let device = DeviceParams::table1_cim();
+        let params = ImplyParams::for_device(&device);
+        ImplyEngine::new(registers, device, params)
+    }
+
+    #[test]
+    fn imply_truth_table_emerges_from_device_physics() {
+        for (p, q, expect) in [
+            (false, false, true),
+            (false, true, true),
+            (true, false, false),
+            (true, true, true),
+        ] {
+            let mut e = engine(2);
+            e.write(0, p);
+            e.write(1, q);
+            e.exec_step(Step::Imply(0, 1));
+            assert_eq!(e.read(1), expect, "{p} IMP {q}");
+            assert_eq!(e.read(0), p, "p must be preserved by {p} IMP {q}");
+        }
+    }
+
+    #[test]
+    fn false_resets_any_state() {
+        let mut e = engine(1);
+        for initial in [false, true] {
+            e.write(0, initial);
+            e.exec_step(Step::False(0));
+            assert!(!e.read(0));
+        }
+    }
+
+    #[test]
+    fn imply_set_saturates_deeply() {
+        // The self-limiting SET must still land well inside the LRS, not
+        // hover at the decision boundary.
+        let mut e = engine(2);
+        e.write(0, false);
+        e.write(1, false);
+        e.exec_step(Step::Imply(0, 1));
+        let state = e.regs[1].state();
+        assert!(state > 0.8, "q saturated at x = {state}");
+    }
+
+    #[test]
+    fn repeated_imply_is_stable() {
+        // q = 1 results must survive arbitrarily many re-executions
+        // (conditional switching must not creep p or overdrive q).
+        let mut e = engine(2);
+        e.write(0, true);
+        e.write(1, true);
+        for _ in 0..50 {
+            e.exec_step(Step::Imply(0, 1));
+            assert!(e.read(0) && e.read(1));
+        }
+        let p_state = e.regs[0].state();
+        assert!(p_state > 0.9, "p drifted to {p_state}");
+    }
+
+    #[test]
+    fn nand_program_runs_electrically() {
+        let mut b = ProgramBuilder::new();
+        let p = b.input();
+        let q = b.input();
+        let out = b.nand(p, q);
+        let program = b.finish(vec![out]);
+        let mut e = ImplyEngine::for_program(&program);
+        for (x, y) in [(false, false), (false, true), (true, false), (true, true)] {
+            assert_eq!(e.run(&program, &[x, y]), vec![!(x && y)]);
+        }
+    }
+
+    #[test]
+    fn xor_program_runs_electrically() {
+        let mut b = ProgramBuilder::new();
+        let p = b.input();
+        let q = b.input();
+        let out = b.xor(p, q);
+        let program = b.finish(vec![out]);
+        let mut e = ImplyEngine::for_program(&program);
+        for (x, y) in [(false, false), (false, true), (true, false), (true, true)] {
+            assert_eq!(e.run(&program, &[x, y]), vec![x ^ y], "{x} xor {y}");
+        }
+    }
+
+    #[test]
+    fn electrical_results_match_boolean_reference() {
+        // Cross-validate the engine against Program::evaluate on a mixed
+        // circuit.
+        let mut b = ProgramBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let z = b.input();
+        let xy = b.and(x, y);
+        let o = b.or(xy, z);
+        let n = b.xor(o, x);
+        let program = b.finish(vec![o, n]);
+        let mut e = ImplyEngine::for_program(&program);
+        for bits in 0..8u8 {
+            let input = [(bits & 1) != 0, (bits & 2) != 0, (bits & 4) != 0];
+            assert_eq!(
+                e.run(&program, &input),
+                program.evaluate(&input),
+                "mismatch at {input:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cost_accumulates_steps_latency_energy() {
+        let mut b = ProgramBuilder::new();
+        let p = b.input();
+        let q = b.input();
+        let out = b.nand(p, q);
+        let program = b.finish(vec![out]);
+        let mut e = ImplyEngine::for_program(&program);
+        let _ = e.run(&program, &[true, true]);
+        let cost = e.cost();
+        assert_eq!(cost.steps, program.len() as u64);
+        assert!(cost.latency.get() > 0.0);
+        assert!(cost.energy.get() > 0.0);
+        e.reset_cost();
+        assert_eq!(e.cost().steps, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "R_on < R_G < R_off")]
+    fn rejects_bad_load_resistor() {
+        let device = DeviceParams::table1_cim();
+        let params = ImplyParams {
+            r_g: Resistance::from_ohms(1.0),
+            ..ImplyParams::for_device(&device)
+        };
+        let _ = ImplyEngine::new(2, device, params);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct registers")]
+    fn rejects_self_implication() {
+        let mut e = engine(1);
+        e.exec_step(Step::Imply(0, 0));
+    }
+}

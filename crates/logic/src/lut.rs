@@ -1,0 +1,245 @@
+//! Look-up-table logic in resistive memory (paper Section IV.C:
+//! "Resistive memories can be either used to implement small LUTs for
+//! FPGAs … or LUTs can be mapped to large-scale crossbar arrays").
+//!
+//! A LUT trades devices for steps: where IMPLY logic computes an
+//! `n`-input function in a *sequence* of pulses over a handful of
+//! memristors, a LUT stores all `2ⁿ` truth-table entries and answers in
+//! **one read** (the input word addresses the entry through a CMOS
+//! decoder). [`Lut::cost_per_eval`] and the logic-style comparison tests
+//! quantify the trade.
+
+use cim_units::{Time, Voltage};
+use serde::{Deserialize, Serialize};
+
+use cim_device::{DeviceParams, Memristor, ThresholdDevice, TwoTerminal};
+
+use crate::cost::LogicCost;
+use crate::synthesis::Expr;
+
+/// A truth table stored as one memristor per entry.
+///
+/// ```
+/// use cim_logic::{DeviceParams, Expr, Lut};
+///
+/// let expr = Expr::var(0).xor(Expr::var(1));
+/// let mut lut = Lut::from_expr(&expr, DeviceParams::table1_cim());
+/// assert!(lut.eval(&[true, false]));
+/// assert!(!lut.eval(&[true, true]));
+/// assert_eq!(lut.cost_per_eval().steps, 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Lut {
+    inputs: usize,
+    entries: Vec<ThresholdDevice>,
+    params: DeviceParams,
+    evaluations: u64,
+}
+
+impl Lut {
+    /// Programs a LUT from an explicit truth table (`table[i]` = output
+    /// for the input word `i`, LSB = input 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table length is not a power of two, is empty, or
+    /// implies more than 20 inputs (a 1M-entry LUT — beyond that, use
+    /// the crossbar directly).
+    pub fn from_table(table: &[bool], params: DeviceParams) -> Self {
+        assert!(
+            !table.is_empty() && table.len().is_power_of_two(),
+            "truth table length must be a power of two"
+        );
+        let inputs = table.len().trailing_zeros() as usize;
+        assert!(inputs <= 20, "LUTs are limited to 20 inputs");
+        params.validate();
+        let entries = table
+            .iter()
+            .map(|&bit| {
+                let mut d = ThresholdDevice::new_hrs(params.clone());
+                d.write_bit(bit);
+                d
+            })
+            .collect();
+        Self {
+            inputs,
+            entries,
+            params,
+            evaluations: 0,
+        }
+    }
+
+    /// Compiles a Boolean expression into a LUT by exhaustive evaluation.
+    pub fn from_expr(expr: &Expr, params: DeviceParams) -> Self {
+        let n = expr.arity().max(1);
+        let table: Vec<bool> = (0..(1usize << n))
+            .map(|word| {
+                let vars: Vec<bool> = (0..n).map(|i| (word >> i) & 1 == 1).collect();
+                expr.eval(&vars)
+            })
+            .collect();
+        Self::from_table(&table, params)
+    }
+
+    /// Number of inputs.
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Number of stored entries (devices).
+    pub fn entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Evaluates the LUT electrically: decodes the input word and reads
+    /// the addressed cell at a sub-threshold voltage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.inputs()`.
+    pub fn eval(&mut self, inputs: &[bool]) -> bool {
+        assert_eq!(inputs.len(), self.inputs, "input arity mismatch");
+        let word = inputs
+            .iter()
+            .enumerate()
+            .fold(0usize, |acc, (i, &b)| acc | (usize::from(b) << i));
+        let v_read = self.params.v_set * 0.5;
+        let cell = &mut self.entries[word];
+        // A read pulse (harmless: sub-threshold).
+        cell.apply(v_read, self.params.write_time);
+        let i = cell.current_at(v_read);
+        let threshold = {
+            let hi = v_read / self.params.r_on;
+            let lo = v_read / self.params.r_off;
+            (hi.get() * lo.get()).sqrt()
+        };
+        self.evaluations += 1;
+        i.get() > threshold
+    }
+
+    /// The cost of one evaluation: a single read pulse, regardless of
+    /// input count (the decoder is CMOS periphery).
+    pub fn cost_per_eval(&self) -> LogicCost {
+        LogicCost {
+            steps: 1,
+            devices: self.entries.len(),
+            latency: self.params.write_time,
+            energy: {
+                let v = self.params.v_set * 0.5;
+                let i = v / self.params.r_on;
+                v * i * self.params.write_time
+            },
+        }
+    }
+
+    /// Reprograms one truth-table entry (e.g. for reconfiguration or
+    /// fault-injection studies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is out of range.
+    pub fn reprogram_entry(&mut self, word: usize, bit: bool) {
+        self.entries[word].write_bit(bit);
+    }
+
+    /// Total evaluations performed.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// One read pulse duration.
+    pub fn read_time(&self) -> Time {
+        self.params.write_time
+    }
+
+    /// The read voltage used (sub-threshold).
+    pub fn read_voltage(&self) -> Voltage {
+        self.params.v_set * 0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthesis::synthesize;
+
+    fn params() -> DeviceParams {
+        DeviceParams::table1_cim()
+    }
+
+    #[test]
+    fn lut_matches_expression_on_all_inputs() {
+        let expr = Expr::var(0)
+            .xor(Expr::var(1))
+            .or(Expr::var(2).and(Expr::var(0)));
+        let mut lut = Lut::from_expr(&expr, params());
+        assert_eq!(lut.inputs(), 3);
+        assert_eq!(lut.entries(), 8);
+        for word in 0..8usize {
+            let vars: Vec<bool> = (0..3).map(|i| (word >> i) & 1 == 1).collect();
+            assert_eq!(lut.eval(&vars), expr.eval(&vars), "word {word}");
+        }
+        assert_eq!(lut.evaluations(), 8);
+    }
+
+    #[test]
+    fn lut_from_raw_table() {
+        let mut lut = Lut::from_table(&[true, false, false, true], params());
+        assert_eq!(lut.inputs(), 2);
+        // XNOR table.
+        assert!(lut.eval(&[false, false]));
+        assert!(!lut.eval(&[true, false]));
+        assert!(lut.eval(&[true, true]));
+    }
+
+    #[test]
+    fn evaluation_does_not_disturb_entries() {
+        let mut lut = Lut::from_table(&[false, true], params());
+        for _ in 0..1_000 {
+            assert!(!lut.eval(&[false]));
+            assert!(lut.eval(&[true]));
+        }
+    }
+
+    #[test]
+    fn lut_vs_imply_cost_trade() {
+        // The logic-style ablation: a 3-input function in one read vs a
+        // multi-step IMPLY program, at 8x the device count.
+        let expr = Expr::var(0).xor(Expr::var(1)).xor(Expr::var(2));
+        let lut = Lut::from_expr(&expr, params());
+        let program = synthesize(&expr);
+        let lut_cost = lut.cost_per_eval();
+        assert_eq!(lut_cost.steps, 1);
+        assert!(program.len() as u64 > 10 * lut_cost.steps);
+        assert!(lut_cost.devices > program.registers.min(lut_cost.devices - 1));
+    }
+
+    #[test]
+    fn reprogramming_reconfigures_the_function() {
+        // AND -> OR by rewriting three entries: the FPGA-style
+        // reconfigurability of Section IV.C.
+        let and_table = [false, false, false, true];
+        let mut lut = Lut::from_table(&and_table, params());
+        assert!(!lut.eval(&[true, false]));
+        lut.reprogram_entry(0b01, true);
+        lut.reprogram_entry(0b10, true);
+        assert!(lut.eval(&[true, false]));
+        assert!(lut.eval(&[false, true]));
+        assert!(!lut.eval(&[false, false]));
+    }
+
+    #[test]
+    fn fault_in_an_entry_corrupts_exactly_that_word() {
+        let expr = Expr::var(0).and(Expr::var(1));
+        let mut lut = Lut::from_expr(&expr, params());
+        lut.reprogram_entry(0b11, false); // stuck-at-HRS fault on entry 3
+        assert!(!lut.eval(&[true, true]), "the faulted word flips");
+        assert!(!lut.eval(&[false, true]), "other words unaffected");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_ragged_tables() {
+        let _ = Lut::from_table(&[true, false, true], params());
+    }
+}

@@ -1,0 +1,183 @@
+//! Row-parallel (SIMD) execution of IMPLY microcode.
+//!
+//! The CIM architecture's throughput comes from issuing the *same* logic
+//! step across many crossbar rows at once ("huge crossbar architectures
+//! allowing massive parallelism"): the controller broadcasts one
+//! `FALSE`/`IMP` micro-operation per time step and every row's devices
+//! respond in parallel. Latency therefore scales with the *program
+//! length*, not with the number of rows; energy scales with both.
+
+use cim_device::DeviceParams;
+use cim_units::Energy;
+
+use crate::cost::LogicCost;
+use crate::engine::{ImplyEngine, ImplyParams};
+use crate::program::Program;
+
+/// Executes one program across many independent rows in lock-step.
+///
+/// ```
+/// use cim_logic::{ProgramBuilder, RowParallelEngine};
+///
+/// let mut b = ProgramBuilder::new();
+/// let p = b.input();
+/// let q = b.input();
+/// let out = b.nand(p, q);
+/// let program = b.finish(vec![out]);
+///
+/// let mut simd = RowParallelEngine::for_program(&program, 4);
+/// let inputs = vec![vec![true, true]; 4];
+/// let outs = simd.run(&program, &inputs);
+/// assert!(outs.iter().all(|o| !o[0]));
+/// // Latency counts broadcast steps, not rows:
+/// assert_eq!(simd.cost().steps, program.len() as u64);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RowParallelEngine {
+    rows: Vec<ImplyEngine>,
+    params: ImplyParams,
+    broadcast_steps: u64,
+}
+
+impl RowParallelEngine {
+    /// Creates `rows` register files sized for `program`, with Table-1
+    /// devices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is zero.
+    pub fn for_program(program: &Program, rows: usize) -> Self {
+        assert!(rows > 0, "need at least one row");
+        let device = DeviceParams::table1_cim();
+        let params = ImplyParams::for_device(&device);
+        Self {
+            rows: (0..rows)
+                .map(|_| ImplyEngine::new(program.registers, device.clone(), params.clone()))
+                .collect(),
+            params,
+            broadcast_steps: 0,
+        }
+    }
+
+    /// Number of rows operating in parallel.
+    pub fn rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Runs `program` on every row with that row's inputs, lock-step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs_per_row.len() != self.rows()` or any row's
+    /// input arity mismatches the program.
+    pub fn run(&mut self, program: &Program, inputs_per_row: &[Vec<bool>]) -> Vec<Vec<bool>> {
+        assert_eq!(
+            inputs_per_row.len(),
+            self.rows.len(),
+            "one input vector per row required"
+        );
+        let outputs: Vec<Vec<bool>> = self
+            .rows
+            .iter_mut()
+            .zip(inputs_per_row)
+            .map(|(engine, inputs)| engine.run(program, inputs))
+            .collect();
+        // Every row executed the same broadcast sequence.
+        self.broadcast_steps += program.len() as u64;
+        outputs
+    }
+
+    /// Aggregate cost: latency counts *broadcast* steps (the whole array
+    /// advances together); energy sums over rows.
+    pub fn cost(&self) -> LogicCost {
+        let energy: Energy = self.rows.iter().map(|r| r.cost().energy).sum();
+        let devices = self.rows.iter().map(|r| r.registers()).sum();
+        LogicCost {
+            steps: self.broadcast_steps,
+            devices,
+            latency: self.params.pulse * self.broadcast_steps as f64,
+            energy,
+        }
+    }
+
+    /// Effective operations per broadcast step (the SIMD width).
+    pub fn throughput_multiplier(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+/// Row-parallel cost summary without execution: `rows` instances of a
+/// block whose single-row cost is `unit`.
+pub fn simd_cost(unit: &LogicCost, rows: u64) -> LogicCost {
+    LogicCost {
+        steps: unit.steps,
+        devices: unit.devices * rows as usize,
+        latency: unit.latency,
+        energy: unit.energy * rows as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comparator::Comparator;
+    use crate::program::ProgramBuilder;
+    use cim_units::Time;
+
+    #[test]
+    fn lockstep_results_match_sequential_execution() {
+        let mut b = ProgramBuilder::new();
+        let p = b.input();
+        let q = b.input();
+        let out = b.xor(p, q);
+        let program = b.finish(vec![out]);
+
+        let inputs: Vec<Vec<bool>> = (0..8u8).map(|k| vec![k & 1 == 1, k & 2 == 2]).collect();
+        let mut simd = RowParallelEngine::for_program(&program, inputs.len());
+        let outputs = simd.run(&program, &inputs);
+        for (input, output) in inputs.iter().zip(&outputs) {
+            assert_eq!(output, &program.evaluate(input));
+        }
+    }
+
+    #[test]
+    fn latency_is_independent_of_row_count() {
+        let cmp = Comparator::new();
+        let program = cmp.eq_program().clone();
+        let mut narrow = RowParallelEngine::for_program(&program, 2);
+        let mut wide = RowParallelEngine::for_program(&program, 64);
+        let one = vec![true, false, true, false];
+        let _ = narrow.run(&program, &vec![one.clone(); 2]);
+        let _ = wide.run(&program, &vec![one.clone(); 64]);
+        assert_eq!(narrow.cost().steps, wide.cost().steps);
+        assert_eq!(narrow.cost().latency, wide.cost().latency);
+        // …while energy scales with the width.
+        assert!(wide.cost().energy.get() > 10.0 * narrow.cost().energy.get());
+        assert_eq!(wide.throughput_multiplier(), 64);
+    }
+
+    #[test]
+    fn simd_cost_helper_scales_energy_and_devices_only() {
+        let unit = LogicCost {
+            steps: 16,
+            devices: 13,
+            latency: Time::from_nano_seconds(3.2),
+            energy: cim_units::Energy::from_femto_joules(45.0),
+        };
+        let wide = simd_cost(&unit, 1_000);
+        assert_eq!(wide.steps, 16);
+        assert_eq!(wide.devices, 13_000);
+        assert_eq!(wide.latency, unit.latency);
+        assert!((wide.energy.as_pico_joules() - 45.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "one input vector per row")]
+    fn rejects_mismatched_input_rows() {
+        let mut b = ProgramBuilder::new();
+        let p = b.input();
+        let program = b.finish(vec![p]);
+        let mut simd = RowParallelEngine::for_program(&program, 4);
+        let _ = simd.run(&program, &[vec![true]]);
+    }
+}

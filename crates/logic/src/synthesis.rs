@@ -1,0 +1,212 @@
+//! Boolean-expression → IMPLY-microcode compilation.
+//!
+//! The paper's closing point — "IMP … paves the path to more complex
+//! memristive in-memory-computing architectures" — implies a tool flow
+//! from Boolean specifications to IMPLY step sequences. This module is
+//! that flow in miniature: an expression AST compiled to [`Program`]s
+//! through the gate library, with the property tests asserting semantic
+//! equivalence between the source expression, the compiled microcode, and
+//! its electrical execution.
+
+use serde::{Deserialize, Serialize};
+
+use crate::program::{Program, ProgramBuilder, Reg};
+
+/// A Boolean expression over numbered variables.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Expr {
+    /// A constant.
+    Const(bool),
+    /// Input variable `i` (0-based).
+    Var(usize),
+    /// Negation.
+    Not(Box<Expr>),
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Exclusive or.
+    Xor(Box<Expr>, Box<Expr>),
+    /// Material implication (the fabric's native operation).
+    Imp(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Variable reference helper.
+    pub fn var(i: usize) -> Self {
+        Expr::Var(i)
+    }
+
+    /// `¬self`
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        Expr::Not(Box::new(self))
+    }
+
+    /// `self ∧ rhs`
+    pub fn and(self, rhs: Expr) -> Self {
+        Expr::And(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self ∨ rhs`
+    pub fn or(self, rhs: Expr) -> Self {
+        Expr::Or(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self ⊕ rhs`
+    pub fn xor(self, rhs: Expr) -> Self {
+        Expr::Xor(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self IMP rhs`
+    pub fn imp(self, rhs: Expr) -> Self {
+        Expr::Imp(Box::new(self), Box::new(rhs))
+    }
+
+    /// Number of variables referenced (highest index + 1).
+    pub fn arity(&self) -> usize {
+        match self {
+            Expr::Const(_) => 0,
+            Expr::Var(i) => i + 1,
+            Expr::Not(e) => e.arity(),
+            Expr::And(a, b) | Expr::Or(a, b) | Expr::Xor(a, b) | Expr::Imp(a, b) => {
+                a.arity().max(b.arity())
+            }
+        }
+    }
+
+    /// Direct evaluation (the reference semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable index is out of range of `vars`.
+    pub fn eval(&self, vars: &[bool]) -> bool {
+        match self {
+            Expr::Const(c) => *c,
+            Expr::Var(i) => vars[*i],
+            Expr::Not(e) => !e.eval(vars),
+            Expr::And(a, b) => a.eval(vars) && b.eval(vars),
+            Expr::Or(a, b) => a.eval(vars) || b.eval(vars),
+            Expr::Xor(a, b) => a.eval(vars) ^ b.eval(vars),
+            Expr::Imp(a, b) => !a.eval(vars) || b.eval(vars),
+        }
+    }
+}
+
+/// Compiles `expr` into an IMPLY microprogram with one input register per
+/// variable and a single output register.
+pub fn synthesize(expr: &Expr) -> Program {
+    let mut b = ProgramBuilder::new();
+    let vars: Vec<Reg> = (0..expr.arity()).map(|_| b.input()).collect();
+    let out = compile(expr, &mut b, &vars);
+    b.finish(vec![out])
+}
+
+fn compile(expr: &Expr, b: &mut ProgramBuilder, vars: &[Reg]) -> Reg {
+    match expr {
+        Expr::Const(false) => b.alloc(),
+        Expr::Const(true) => {
+            let zero = b.alloc();
+            // IMP with itself as antecedent… needs a distinct reg: ¬0 = 1.
+            let one = b.not(zero);
+            b.recycle(zero);
+            one
+        }
+        Expr::Var(i) => {
+            // Copy so the (destructive) downstream gates never clobber an
+            // input register another sub-expression still needs.
+            b.copy(vars[*i])
+        }
+        Expr::Not(e) => {
+            let v = compile(e, b, vars);
+            let out = b.not(v);
+            b.recycle(v);
+            out
+        }
+        Expr::And(x, y) => binary(b, vars, x, y, ProgramBuilder::and),
+        Expr::Or(x, y) => binary(b, vars, x, y, ProgramBuilder::or),
+        Expr::Xor(x, y) => binary(b, vars, x, y, ProgramBuilder::xor),
+        Expr::Imp(x, y) => {
+            // q ← p IMP q natively, but q is a computed temp here: safe.
+            let p = compile(x, b, vars);
+            let q = compile(y, b, vars);
+            b.imply(p, q);
+            b.recycle(p);
+            q
+        }
+    }
+}
+
+fn binary(
+    b: &mut ProgramBuilder,
+    vars: &[Reg],
+    x: &Expr,
+    y: &Expr,
+    gate: impl Fn(&mut ProgramBuilder, Reg, Reg) -> Reg,
+) -> Reg {
+    let p = compile(x, b, vars);
+    let q = compile(y, b, vars);
+    let out = gate(b, p, q);
+    b.recycle(p);
+    b.recycle(q);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exhaustive_check(expr: &Expr) {
+        let n = expr.arity();
+        let program = synthesize(expr);
+        for bits in 0..(1u32 << n) {
+            let vars: Vec<bool> = (0..n).map(|i| (bits >> i) & 1 == 1).collect();
+            assert_eq!(
+                program.evaluate(&vars),
+                vec![expr.eval(&vars)],
+                "{expr:?} at {vars:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn synthesizes_primitive_gates() {
+        exhaustive_check(&Expr::var(0).not());
+        exhaustive_check(&Expr::var(0).and(Expr::var(1)));
+        exhaustive_check(&Expr::var(0).or(Expr::var(1)));
+        exhaustive_check(&Expr::var(0).xor(Expr::var(1)));
+        exhaustive_check(&Expr::var(0).imp(Expr::var(1)));
+    }
+
+    #[test]
+    fn synthesizes_constants() {
+        exhaustive_check(&Expr::Const(true));
+        exhaustive_check(&Expr::Const(false));
+        exhaustive_check(&Expr::var(0).and(Expr::Const(true)));
+        exhaustive_check(&Expr::var(0).or(Expr::Const(false)));
+    }
+
+    #[test]
+    fn synthesizes_shared_variables() {
+        // x ⊕ x and x ∧ ¬x exercise the input-copy discipline.
+        exhaustive_check(&Expr::var(0).xor(Expr::var(0)));
+        exhaustive_check(&Expr::var(0).and(Expr::var(0).not()));
+    }
+
+    #[test]
+    fn synthesizes_majority_and_full_adder_sum() {
+        let maj = Expr::var(0)
+            .and(Expr::var(1))
+            .or(Expr::var(2).and(Expr::var(0).xor(Expr::var(1))));
+        exhaustive_check(&maj);
+        let sum = Expr::var(0).xor(Expr::var(1)).xor(Expr::var(2));
+        exhaustive_check(&sum);
+    }
+
+    #[test]
+    fn arity_reports_highest_variable() {
+        assert_eq!(Expr::Const(true).arity(), 0);
+        assert_eq!(Expr::var(3).arity(), 4);
+        assert_eq!(Expr::var(0).and(Expr::var(2)).arity(), 3);
+    }
+}

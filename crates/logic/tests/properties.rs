@@ -1,0 +1,105 @@
+//! Property-based tests: synthesized microcode ≡ Boolean semantics ≡
+//! electrical execution.
+
+use cim_logic::{synthesize, Correction, Expr, Hamming, ImplyAdder, ImplyEngine};
+use proptest::prelude::*;
+
+/// Random Boolean expressions over `vars` variables, depth-bounded.
+fn arb_expr(vars: usize) -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0..vars).prop_map(Expr::Var),
+        any::<bool>().prop_map(Expr::Const),
+    ];
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| e.not()),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.xor(b)),
+            (inner.clone(), inner).prop_map(|(a, b)| a.imp(b)),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn synthesis_matches_reference_semantics(expr in arb_expr(4)) {
+        let n = expr.arity();
+        let program = synthesize(&expr);
+        for bits in 0..(1u32 << n) {
+            let vars: Vec<bool> = (0..n).map(|i| (bits >> i) & 1 == 1).collect();
+            prop_assert_eq!(program.evaluate(&vars), vec![expr.eval(&vars)]);
+        }
+    }
+
+    #[test]
+    fn electrical_execution_matches_synthesis(expr in arb_expr(3)) {
+        let n = expr.arity();
+        let program = synthesize(&expr);
+        let mut engine = ImplyEngine::for_program(&program);
+        for bits in 0..(1u32 << n) {
+            let vars: Vec<bool> = (0..n).map(|i| (bits >> i) & 1 == 1).collect();
+            prop_assert_eq!(
+                engine.run(&program, &vars),
+                program.evaluate(&vars),
+                "expr {:?} at {:?}", expr, vars
+            );
+        }
+    }
+
+    #[test]
+    fn eight_bit_adder_reference_is_exact(a in 0u64..256, b in 0u64..256) {
+        let adder = ImplyAdder::new(8);
+        prop_assert_eq!(adder.add_reference(a, b), a + b);
+    }
+
+    #[test]
+    fn thirty_two_bit_adder_reference_is_exact(a in any::<u32>(), b in any::<u32>()) {
+        let adder = ImplyAdder::new(32);
+        prop_assert_eq!(adder.add_reference(a as u64, b as u64), a as u64 + b as u64);
+    }
+
+    #[test]
+    fn electrical_adder_matches_integers(a in 0u64..64, b in 0u64..64) {
+        let adder = ImplyAdder::new(6);
+        let mut engine = ImplyEngine::for_program(adder.program());
+        prop_assert_eq!(adder.add(&mut engine, a, b), a + b);
+    }
+
+    #[test]
+    fn secded_corrects_any_single_flip(
+        data in any::<u32>(),
+        bit in 0u32..39,
+    ) {
+        let code = Hamming::new(32);
+        let word = code.encode(u64::from(data));
+        let corrupted = word ^ (1u64 << bit);
+        let (recovered, correction) = code.decode(corrupted).expect("single flip");
+        prop_assert_eq!(recovered, u64::from(data));
+        prop_assert_eq!(correction, Correction::SingleBit(bit));
+    }
+
+    #[test]
+    fn secded_detects_any_double_flip(
+        data in 0u64..65536,
+        i in 0u32..21,
+        j in 0u32..21,
+    ) {
+        prop_assume!(i != j);
+        let code = Hamming::new(16);
+        let word = code.encode(data);
+        let corrupted = word ^ (1u64 << i) ^ (1u64 << j);
+        prop_assert!(code.decode(corrupted).is_err());
+    }
+
+    #[test]
+    fn parity_program_is_faithful(data in 0u64..256) {
+        let code = Hamming::new(8);
+        let program = code.parity_program();
+        let mut engine = ImplyEngine::for_program(&program);
+        prop_assert_eq!(
+            code.encode_electrical(&mut engine, &program, data),
+            code.encode(data)
+        );
+    }
+}

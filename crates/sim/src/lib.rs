@@ -1,0 +1,32 @@
+//! Execution engines for the Table-2 evaluation.
+//!
+//! This crate turns workloads (`cim-workloads`) plus machine models
+//! (`cim-arch`) into [`cim_arch::RunReport`]s:
+//!
+//! * [`CacheSim`] — a set-associative LRU cache driven by the workloads'
+//!   memory traces, so the 50% / 98% hit ratios Table 1 *assumes* are
+//!   *measured* here;
+//! * [`EventQueue`] / [`makespan`] — a small discrete-event core used to
+//!   schedule data-dependent task durations over parallel workers;
+//! * [`ConventionalExecutor`] — runs the DNA pipeline (for real, at a
+//!   scaled size) and the additions workload on the FinFET multi-core
+//!   model, measuring per-task durations through the cache simulator;
+//! * [`CimExecutor`] — runs the same workloads on the CIM machine model,
+//!   with in-crossbar comparators/adders (verified against the
+//!   functional semantics) and massive parallelism.
+//!
+//! Both executors can also *project* a scaled run to the paper's full
+//! problem size using the closed-form operation counts and the measured
+//! hit ratio (DESIGN.md §4 documents the aggregation).
+
+mod cache;
+mod cim_exec;
+mod conventional;
+mod event;
+mod hierarchy;
+
+pub use cache::{CacheConfig, CacheSim};
+pub use cim_exec::CimExecutor;
+pub use conventional::{ConventionalExecutor, DnaRunArtifacts};
+pub use event::{makespan, EventQueue};
+pub use hierarchy::{HierarchyAccess, MemoryHierarchy, MemoryLevel};

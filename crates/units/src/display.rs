@@ -1,0 +1,111 @@
+//! Engineering-notation rendering for quantities.
+
+use std::fmt;
+
+/// Wraps an `f64` so that `Display` renders it with an SI engineering prefix.
+///
+/// The exponent is chosen as a multiple of three so the mantissa falls in
+/// `[1, 1000)`; values outside the yocto–yotta range fall back to scientific
+/// notation. Up to four significant digits are printed and trailing zeros
+/// trimmed, matching how device papers quote figures (`200 ps`, `42.83 nW`).
+///
+/// ```
+/// use cim_units::EngNotation;
+/// assert_eq!(EngNotation(2.45e-18).to_string(), "2.45 a");
+/// assert_eq!(EngNotation(0.0).to_string(), "0 ");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngNotation(pub f64);
+
+const PREFIXES: [(i32, &str); 17] = [
+    (-24, "y"),
+    (-21, "z"),
+    (-18, "a"),
+    (-15, "f"),
+    (-12, "p"),
+    (-9, "n"),
+    (-6, "µ"),
+    (-3, "m"),
+    (0, ""),
+    (3, "k"),
+    (6, "M"),
+    (9, "G"),
+    (12, "T"),
+    (15, "P"),
+    (18, "E"),
+    (21, "Z"),
+    (24, "Y"),
+];
+
+impl fmt::Display for EngNotation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let v = self.0;
+        if v == 0.0 {
+            return write!(f, "0 ");
+        }
+        if !v.is_finite() {
+            return write!(f, "{v} ");
+        }
+        let abs = v.abs();
+        let exp3 = (abs.log10() / 3.0).floor() as i32 * 3;
+        match PREFIXES.iter().find(|(e, _)| *e == exp3) {
+            Some((e, prefix)) => {
+                let mantissa = v / 10f64.powi(*e);
+                write!(f, "{} {prefix}", trim(mantissa))
+            }
+            None => write!(f, "{v:.3e} "),
+        }
+    }
+}
+
+/// Formats with 4 significant digits and strips trailing zeros/point.
+fn trim(mantissa: f64) -> String {
+    // Mantissa is in [1, 1000); 4 significant digits means up to 3 decimals.
+    let decimals = if mantissa.abs() >= 100.0 {
+        1
+    } else if mantissa.abs() >= 10.0 {
+        2
+    } else {
+        3
+    };
+    let s = format!("{mantissa:.decimals$}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    s.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_common_prefixes() {
+        assert_eq!(EngNotation(200e-12).to_string(), "200 p");
+        assert_eq!(EngNotation(45e-15).to_string(), "45 f");
+        assert_eq!(EngNotation(1e9).to_string(), "1 G");
+        assert_eq!(EngNotation(-3.5e-3).to_string(), "-3.5 m");
+    }
+
+    #[test]
+    fn renders_unit_range_without_prefix() {
+        assert_eq!(EngNotation(1.0).to_string(), "1 ");
+        assert_eq!(EngNotation(999.0).to_string(), "999 ");
+    }
+
+    #[test]
+    fn zero_and_non_finite() {
+        assert_eq!(EngNotation(0.0).to_string(), "0 ");
+        assert_eq!(EngNotation(f64::INFINITY).to_string(), "inf ");
+    }
+
+    #[test]
+    fn out_of_range_falls_back_to_scientific() {
+        assert_eq!(EngNotation(1e30).to_string(), "1.000e30 ");
+    }
+
+    #[test]
+    fn four_significant_digits() {
+        assert_eq!(EngNotation(42.83e-9).to_string(), "42.83 n");
+        assert_eq!(EngNotation(123.456e-9).to_string(), "123.5 n");
+        assert_eq!(EngNotation(1.2345e-9).to_string(), "1.234 n");
+    }
+}

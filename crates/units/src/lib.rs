@@ -1,0 +1,44 @@
+//! Physical-quantity newtypes with dimensional arithmetic.
+//!
+//! Every quantity in the CIM simulator — switching times, write energies,
+//! leakage powers, cell areas — is carried as a dedicated newtype over `f64`
+//! in SI base units. The type system then rules out the classic
+//! unit-confusion bugs of performance models (adding a power to an energy,
+//! multiplying two delays and calling it a latency, …), while the
+//! cross-type operator impls encode exactly the physically meaningful
+//! products and quotients:
+//!
+//! ```
+//! use cim_units::{Power, Time, Voltage, Resistance};
+//!
+//! let energy = Power::from_nano_watts(175.0) * Time::from_pico_seconds(14.0);
+//! assert!((energy.as_atto_joules() - 2.45).abs() < 1e-9);
+//!
+//! let i = Voltage::from_volts(1.0) / Resistance::from_kilo_ohms(10.0);
+//! assert!((i.as_micro_amps() - 100.0).abs() < 1e-9);
+//! ```
+//!
+//! Values render in engineering notation (`2.45 aJ`, `14 ps`) via
+//! [`std::fmt::Display`], which the benchmark harness uses to print
+//! paper-style tables.
+
+mod display;
+mod quantity;
+
+pub use display::EngNotation;
+pub use quantity::{
+    Area, Charge, Conductance, Current, Energy, EnergyDelay, Frequency, Power, Resistance, Time,
+    Voltage,
+};
+
+/// Ratio of two like quantities, used for reporting speedups and savings.
+///
+/// ```
+/// use cim_units::{Energy, ratio};
+/// let conv = Energy::from_pico_joules(330.0);
+/// let cim = Energy::from_femto_joules(246.0);
+/// assert!(ratio(conv.as_joules(), cim.as_joules()) > 1000.0);
+/// ```
+pub fn ratio(numerator: f64, denominator: f64) -> f64 {
+    numerator / denominator
+}

@@ -1,0 +1,531 @@
+//! Quantity newtype definitions and their dimensional algebra.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::display::EngNotation;
+
+/// Defines a quantity newtype over `f64` (stored in the SI base unit),
+/// together with same-type arithmetic, scalar scaling, and `Display`.
+macro_rules! quantity {
+    (
+        $(#[$meta:meta])*
+        $name:ident, $base_unit:literal,
+        $( ($from:ident, $as:ident, $scale:expr) ),* $(,)?
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero value of this quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Creates a value directly from the SI base unit.
+            pub const fn new(base: f64) -> Self {
+                Self(base)
+            }
+
+            /// Returns the value in the SI base unit.
+            pub const fn get(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the absolute value.
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns the larger of `self` and `other`.
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// True if the underlying value is finite (not NaN/inf).
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            $(
+                /// Constructs the quantity from the named unit.
+                pub fn $from(value: f64) -> Self {
+                    Self(value * $scale)
+                }
+
+                /// Returns the quantity expressed in the named unit.
+                pub fn $as(self) -> f64 {
+                    self.0 / $scale
+                }
+            )*
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl MulAssign<f64> for $name {
+            fn mul_assign(&mut self, rhs: f64) {
+                self.0 *= rhs;
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl DivAssign<f64> for $name {
+            fn div_assign(&mut self, rhs: f64) {
+                self.0 /= rhs;
+            }
+        }
+
+        /// Dividing two like quantities yields a dimensionless ratio.
+        impl Div for $name {
+            type Output = f64;
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}{}", EngNotation(self.0), $base_unit)
+            }
+        }
+    };
+}
+
+quantity!(
+    /// A duration, stored in seconds.
+    Time, "s",
+    (from_seconds, as_seconds, 1.0),
+    (from_milli_seconds, as_milli_seconds, 1e-3),
+    (from_micro_seconds, as_micro_seconds, 1e-6),
+    (from_nano_seconds, as_nano_seconds, 1e-9),
+    (from_pico_seconds, as_pico_seconds, 1e-12),
+);
+
+quantity!(
+    /// An energy, stored in joules.
+    Energy, "J",
+    (from_joules, as_joules, 1.0),
+    (from_milli_joules, as_milli_joules, 1e-3),
+    (from_micro_joules, as_micro_joules, 1e-6),
+    (from_nano_joules, as_nano_joules, 1e-9),
+    (from_pico_joules, as_pico_joules, 1e-12),
+    (from_femto_joules, as_femto_joules, 1e-15),
+    (from_atto_joules, as_atto_joules, 1e-18),
+);
+
+quantity!(
+    /// A power, stored in watts.
+    Power, "W",
+    (from_watts, as_watts, 1.0),
+    (from_milli_watts, as_milli_watts, 1e-3),
+    (from_micro_watts, as_micro_watts, 1e-6),
+    (from_nano_watts, as_nano_watts, 1e-9),
+);
+
+quantity!(
+    /// A silicon area, stored in square metres.
+    ///
+    /// Device literature quotes µm² and mm²; both constructors are provided.
+    Area, "m²",
+    (from_square_meters, as_square_meters, 1.0),
+    (from_square_milli_meters, as_square_milli_meters, 1e-6),
+    (from_square_micro_meters, as_square_micro_meters, 1e-12),
+    (from_square_nano_meters, as_square_nano_meters, 1e-18),
+);
+
+quantity!(
+    /// An electric potential, stored in volts.
+    Voltage, "V",
+    (from_volts, as_volts, 1.0),
+    (from_milli_volts, as_milli_volts, 1e-3),
+);
+
+quantity!(
+    /// An electric current, stored in amperes.
+    Current, "A",
+    (from_amps, as_amps, 1.0),
+    (from_milli_amps, as_milli_amps, 1e-3),
+    (from_micro_amps, as_micro_amps, 1e-6),
+    (from_nano_amps, as_nano_amps, 1e-9),
+);
+
+quantity!(
+    /// An electrical resistance, stored in ohms.
+    Resistance, "Ω",
+    (from_ohms, as_ohms, 1.0),
+    (from_kilo_ohms, as_kilo_ohms, 1e3),
+    (from_mega_ohms, as_mega_ohms, 1e6),
+);
+
+quantity!(
+    /// An electrical conductance, stored in siemens.
+    Conductance, "S",
+    (from_siemens, as_siemens, 1.0),
+    (from_milli_siemens, as_milli_siemens, 1e-3),
+    (from_micro_siemens, as_micro_siemens, 1e-6),
+);
+
+quantity!(
+    /// A frequency, stored in hertz.
+    Frequency, "Hz",
+    (from_hertz, as_hertz, 1.0),
+    (from_mega_hertz, as_mega_hertz, 1e6),
+    (from_giga_hertz, as_giga_hertz, 1e9),
+);
+
+quantity!(
+    /// An electric charge, stored in coulombs.
+    Charge, "C",
+    (from_coulombs, as_coulombs, 1.0),
+    (from_pico_coulombs, as_pico_coulombs, 1e-12),
+);
+
+quantity!(
+    /// An energy-delay product, stored in joule-seconds.
+    ///
+    /// This is the per-operation figure of merit reported in Table 2 of the
+    /// DATE'15 CIM paper.
+    EnergyDelay, "J·s",
+    (from_joule_seconds, as_joule_seconds, 1.0),
+);
+
+// --- Cross-dimensional algebra -------------------------------------------
+//
+// Only the products/quotients with physical meaning in this simulator are
+// provided; anything else stays a compile error by design.
+
+impl Mul<Time> for Power {
+    type Output = Energy;
+    fn mul(self, rhs: Time) -> Energy {
+        Energy::new(self.get() * rhs.get())
+    }
+}
+
+impl Mul<Power> for Time {
+    type Output = Energy;
+    fn mul(self, rhs: Power) -> Energy {
+        rhs * self
+    }
+}
+
+impl Div<Time> for Energy {
+    type Output = Power;
+    fn div(self, rhs: Time) -> Power {
+        Power::new(self.get() / rhs.get())
+    }
+}
+
+impl Div<Power> for Energy {
+    type Output = Time;
+    fn div(self, rhs: Power) -> Time {
+        Time::new(self.get() / rhs.get())
+    }
+}
+
+impl Mul<Current> for Voltage {
+    type Output = Power;
+    fn mul(self, rhs: Current) -> Power {
+        Power::new(self.get() * rhs.get())
+    }
+}
+
+impl Mul<Voltage> for Current {
+    type Output = Power;
+    fn mul(self, rhs: Voltage) -> Power {
+        rhs * self
+    }
+}
+
+impl Div<Resistance> for Voltage {
+    type Output = Current;
+    fn div(self, rhs: Resistance) -> Current {
+        Current::new(self.get() / rhs.get())
+    }
+}
+
+impl Div<Current> for Voltage {
+    type Output = Resistance;
+    fn div(self, rhs: Current) -> Resistance {
+        Resistance::new(self.get() / rhs.get())
+    }
+}
+
+impl Mul<Resistance> for Current {
+    type Output = Voltage;
+    fn mul(self, rhs: Resistance) -> Voltage {
+        Voltage::new(self.get() * rhs.get())
+    }
+}
+
+impl Mul<Current> for Resistance {
+    type Output = Voltage;
+    fn mul(self, rhs: Current) -> Voltage {
+        rhs * self
+    }
+}
+
+impl Mul<Voltage> for Conductance {
+    type Output = Current;
+    fn mul(self, rhs: Voltage) -> Current {
+        Current::new(self.get() * rhs.get())
+    }
+}
+
+impl Mul<Conductance> for Voltage {
+    type Output = Current;
+    fn mul(self, rhs: Conductance) -> Current {
+        rhs * self
+    }
+}
+
+impl Mul<Time> for Energy {
+    type Output = EnergyDelay;
+    fn mul(self, rhs: Time) -> EnergyDelay {
+        EnergyDelay::new(self.get() * rhs.get())
+    }
+}
+
+impl Mul<Energy> for Time {
+    type Output = EnergyDelay;
+    fn mul(self, rhs: Energy) -> EnergyDelay {
+        rhs * self
+    }
+}
+
+impl Mul<Time> for Current {
+    type Output = Charge;
+    fn mul(self, rhs: Time) -> Charge {
+        Charge::new(self.get() * rhs.get())
+    }
+}
+
+impl Mul<Voltage> for Charge {
+    type Output = Energy;
+    fn mul(self, rhs: Voltage) -> Energy {
+        Energy::new(self.get() * rhs.get())
+    }
+}
+
+/// The I²R dissipation of a current through a resistance.
+impl Current {
+    /// Joule heating power `I²·R` — used for wire-loss accounting in the
+    /// crossbar simulator.
+    pub fn joule_heating(self, r: Resistance) -> Power {
+        Power::new(self.get() * self.get() * r.get())
+    }
+}
+
+impl Resistance {
+    /// The reciprocal conductance `1/R`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the resistance is zero.
+    pub fn to_conductance(self) -> Conductance {
+        debug_assert!(self.get() != 0.0, "zero resistance has no conductance");
+        Conductance::new(1.0 / self.get())
+    }
+}
+
+impl Conductance {
+    /// The reciprocal resistance `1/G`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the conductance is zero.
+    pub fn to_resistance(self) -> Resistance {
+        debug_assert!(self.get() != 0.0, "zero conductance has no resistance");
+        Resistance::new(1.0 / self.get())
+    }
+}
+
+impl Frequency {
+    /// The clock period `1/f`.
+    pub fn period(self) -> Time {
+        Time::new(1.0 / self.get())
+    }
+}
+
+impl Time {
+    /// The frequency whose period is this duration.
+    pub fn to_frequency(self) -> Frequency {
+        Frequency::new(1.0 / self.get())
+    }
+
+    /// Number of cycles of `clock` needed to cover this duration, rounded up.
+    ///
+    /// Values within one part in 10⁹ of an integer cycle count are treated
+    /// as exact, so `3 ns` at `1 GHz` is 3 cycles despite floating-point
+    /// representation error.
+    pub fn in_cycles_of(self, clock: Frequency) -> u64 {
+        let cycles = self.get() * clock.get();
+        let nearest = cycles.round();
+        if (cycles - nearest).abs() <= nearest.abs() * 1e-9 {
+            nearest as u64
+        } else {
+            cycles.ceil() as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn unit_conversions_round_trip() {
+        let t = Time::from_pico_seconds(200.0);
+        assert!((t.as_nano_seconds() - 0.2).abs() < EPS);
+        assert!((t.as_seconds() - 200e-12).abs() < EPS);
+
+        let e = Energy::from_femto_joules(45.0);
+        assert!((e.as_atto_joules() - 45_000.0).abs() < EPS);
+
+        let a = Area::from_square_micro_meters(0.248);
+        assert!((a.as_square_milli_meters() - 0.248e-6).abs() < EPS);
+    }
+
+    #[test]
+    fn power_times_time_is_energy() {
+        // Table 1: 175 nW gate power over a 14 ps gate delay.
+        let e = Power::from_nano_watts(175.0) * Time::from_pico_seconds(14.0);
+        assert!((e.as_atto_joules() - 2.45).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ohms_law_closures() {
+        let v = Voltage::from_volts(2.0);
+        let r = Resistance::from_kilo_ohms(4.0);
+        let i = v / r;
+        assert!((i.as_milli_amps() - 0.5).abs() < EPS);
+        assert!(((i * r).as_volts() - 2.0).abs() < EPS);
+        assert!(((v / i).as_kilo_ohms() - 4.0).abs() < EPS);
+        let p = v * i;
+        assert!((p.as_milli_watts() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn conductance_resistance_reciprocity() {
+        let r = Resistance::from_mega_ohms(1.0);
+        let g = r.to_conductance();
+        assert!((g.as_micro_siemens() - 1.0).abs() < EPS);
+        assert!((g.to_resistance().as_mega_ohms() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn energy_delay_product() {
+        let edp = Energy::from_pico_joules(2.0) * Time::from_nano_seconds(3.0);
+        assert!((edp.as_joule_seconds() - 6e-21).abs() < 1e-33);
+    }
+
+    #[test]
+    fn frequency_period_cycles() {
+        let f = Frequency::from_giga_hertz(1.0);
+        assert!((f.period().as_nano_seconds() - 1.0).abs() < EPS);
+        assert_eq!(Time::from_nano_seconds(3.2).in_cycles_of(f), 4);
+        assert_eq!(Time::from_nano_seconds(3.0).in_cycles_of(f), 3);
+    }
+
+    #[test]
+    fn like_quantity_division_is_ratio() {
+        let speedup = Time::from_nano_seconds(100.0) / Time::from_nano_seconds(4.0);
+        assert!((speedup - 25.0).abs() < EPS);
+    }
+
+    #[test]
+    fn sum_and_scalar_ops() {
+        let total: Energy = (0..4).map(|_| Energy::from_femto_joules(1.0)).sum();
+        assert!((total.as_femto_joules() - 4.0).abs() < EPS);
+        let doubled = total * 2.0;
+        assert!((doubled.as_femto_joules() - 8.0).abs() < EPS);
+        let halved = doubled / 4.0;
+        assert!(((doubled - halved).as_femto_joules() - 6.0).abs() < EPS);
+    }
+
+    #[test]
+    fn joule_heating() {
+        let p = Current::from_milli_amps(2.0).joule_heating(Resistance::from_ohms(100.0));
+        assert!((p.as_milli_watts() - 0.4).abs() < EPS);
+    }
+
+    #[test]
+    fn display_uses_engineering_notation() {
+        assert_eq!(Time::from_pico_seconds(200.0).to_string(), "200 ps");
+        assert_eq!(Energy::from_femto_joules(45.0).to_string(), "45 fJ");
+        assert_eq!(Power::from_nano_watts(42.83).to_string(), "42.83 nW");
+    }
+
+    #[test]
+    fn charge_algebra() {
+        let q = Current::from_milli_amps(10.0) * Time::from_nano_seconds(1.0);
+        assert!((q.as_pico_coulombs() - 10.0).abs() < 1e-9);
+        let e = q * Voltage::from_volts(1.0);
+        assert!((e.as_pico_joules() - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,95 @@
+//! The mathematics experiment: bulk parallel additions.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The paper's "10⁶ parallel addition operations" workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdditionWorkload {
+    /// Number of additions.
+    pub n_ops: u64,
+    /// Operand width in bits (paper: 32).
+    pub bits: u32,
+    /// RNG seed for operand generation.
+    pub seed: u64,
+}
+
+impl AdditionWorkload {
+    /// The paper-scale workload: 10⁶ 32-bit additions.
+    pub fn paper(seed: u64) -> Self {
+        Self {
+            n_ops: 1_000_000,
+            bits: 32,
+            seed,
+        }
+    }
+
+    /// A scaled-down workload with the same shape.
+    pub fn scaled(n_ops: u64, seed: u64) -> Self {
+        Self {
+            n_ops,
+            ..Self::paper(seed)
+        }
+    }
+
+    /// Iterates the operand pairs (deterministic from the seed).
+    pub fn operands(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mask = if self.bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.bits) - 1
+        };
+        (0..self.n_ops).map(move |_| (rng.gen::<u64>() & mask, rng.gen::<u64>() & mask))
+    }
+
+    /// The wrapping-sum checksum of all results — executors compare
+    /// against this to prove they computed every addition.
+    pub fn checksum(&self) -> u64 {
+        self.operands()
+            .fold(0u64, |acc, (a, b)| acc.wrapping_add(a.wrapping_add(b)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_workload_shape() {
+        let w = AdditionWorkload::paper(1);
+        assert_eq!(w.n_ops, 1_000_000);
+        assert_eq!(w.bits, 32);
+    }
+
+    #[test]
+    fn operands_respect_width_and_count() {
+        let w = AdditionWorkload {
+            n_ops: 1_000,
+            bits: 8,
+            seed: 5,
+        };
+        let ops: Vec<_> = w.operands().collect();
+        assert_eq!(ops.len(), 1_000);
+        assert!(ops.iter().all(|&(a, b)| a < 256 && b < 256));
+    }
+
+    #[test]
+    fn checksum_is_deterministic_and_seed_sensitive() {
+        let a = AdditionWorkload::scaled(500, 7);
+        assert_eq!(a.checksum(), a.checksum());
+        let b = AdditionWorkload::scaled(500, 8);
+        assert_ne!(a.checksum(), b.checksum());
+    }
+
+    #[test]
+    fn full_width_operands() {
+        let w = AdditionWorkload {
+            n_ops: 10,
+            bits: 64,
+            seed: 2,
+        };
+        assert_eq!(w.operands().count(), 10);
+    }
+}

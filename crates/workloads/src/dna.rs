@@ -1,0 +1,91 @@
+//! The DNA experiment specification and its paper-scale op counts.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the DNA read-mapping experiment.
+///
+/// Table 1: "200 GB of DNA data is compared to a healthy reference of
+/// 3 GB", coverage 50, read length 100, and the closed-form counts
+///
+/// ```text
+/// no_short_reads  = coverage · ref_len / read_len
+/// no_comparisons  = 4 · no_short_reads   (one per A/C/G/T nucleotide)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DnaSpec {
+    /// Reference length in characters.
+    pub ref_len: u64,
+    /// Coverage factor.
+    pub coverage: u64,
+    /// Read length in characters.
+    pub read_len: u64,
+}
+
+impl DnaSpec {
+    /// The paper-scale experiment: 3 GB reference, 50× coverage,
+    /// 100-character reads.
+    pub fn paper() -> Self {
+        Self {
+            ref_len: 3_000_000_000,
+            coverage: 50,
+            read_len: 100,
+        }
+    }
+
+    /// A laptop-scale configuration with the same shape (used by the
+    /// simulating executors; the closed-form counts extrapolate to paper
+    /// scale).
+    pub fn scaled(ref_len: u64) -> Self {
+        Self {
+            ref_len,
+            ..Self::paper()
+        }
+    }
+
+    /// `no_short_reads = coverage · ref_len / read_len`.
+    pub fn short_reads(&self) -> u64 {
+        self.coverage * self.ref_len / self.read_len
+    }
+
+    /// `no_comparisons = 4 · no_short_reads` — Table 1's comparison count
+    /// ("for each A, C, G, T nucleotides").
+    pub fn comparisons(&self) -> u64 {
+        4 * self.short_reads()
+    }
+
+    /// Total input data volume in bytes (coverage × reference, 1 byte
+    /// per character): the paper's "200 GB of DNA data".
+    pub fn data_volume_bytes(&self) -> u64 {
+        self.coverage * self.ref_len
+    }
+
+    /// Scale factor between this spec and the paper's.
+    pub fn scale_vs_paper(&self) -> f64 {
+        self.ref_len as f64 / Self::paper().ref_len as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_counts_match_table1() {
+        let s = DnaSpec::paper();
+        // 50 · 3e9 / 100 = 1.5e9 short reads.
+        assert_eq!(s.short_reads(), 1_500_000_000);
+        // 4 · 1.5e9 = 6e9 comparisons.
+        assert_eq!(s.comparisons(), 6_000_000_000);
+        // 50 × 3 GB = 150 GB of reads (the paper rounds to "200 GB").
+        assert_eq!(s.data_volume_bytes(), 150_000_000_000);
+    }
+
+    #[test]
+    fn scaled_specs_preserve_shape() {
+        let s = DnaSpec::scaled(3_000_000);
+        assert_eq!(s.coverage, 50);
+        assert_eq!(s.read_len, 100);
+        assert!((s.scale_vs_paper() - 1e-3).abs() < 1e-15);
+        assert_eq!(s.comparisons(), 6_000_000);
+    }
+}

@@ -1,0 +1,162 @@
+//! Reference-genome generation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A DNA nucleotide — a 2-bit symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Nucleotide {
+    /// Adenine.
+    A = 0,
+    /// Cytosine.
+    C = 1,
+    /// Guanine.
+    G = 2,
+    /// Thymine.
+    T = 3,
+}
+
+impl Nucleotide {
+    /// All four symbols — the paper's "each A, C, G, T nucleotides".
+    pub const ALL: [Nucleotide; 4] = [Nucleotide::A, Nucleotide::C, Nucleotide::G, Nucleotide::T];
+
+    /// The 2-bit encoding.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes a 2-bit symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code > 3`.
+    pub fn from_code(code: u8) -> Self {
+        Self::ALL[code as usize]
+    }
+
+    /// The character representation.
+    pub fn to_char(self) -> char {
+        match self {
+            Nucleotide::A => 'A',
+            Nucleotide::C => 'C',
+            Nucleotide::G => 'G',
+            Nucleotide::T => 'T',
+        }
+    }
+}
+
+/// A synthetic reference genome: a seeded uniform nucleotide sequence.
+///
+/// Real genomes have repeat structure; for the paper's experiment what
+/// matters is the *index access pattern*, which uniform sequences
+/// reproduce (uniformly distributed k-mer probes — the worst case for
+/// locality, matching the paper's cache-hostile framing).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Genome {
+    symbols: Vec<u8>,
+}
+
+impl Genome {
+    /// Generates a genome of `length` nucleotides from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` is zero.
+    pub fn generate(length: usize, seed: u64) -> Self {
+        assert!(length > 0, "genome length must be non-zero");
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self {
+            symbols: (0..length).map(|_| rng.gen_range(0..4u8)).collect(),
+        }
+    }
+
+    /// Builds a genome directly from 2-bit codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any code exceeds 3 or the sequence is empty.
+    pub fn from_codes(symbols: Vec<u8>) -> Self {
+        assert!(!symbols.is_empty(), "genome must be non-empty");
+        assert!(symbols.iter().all(|&s| s < 4), "invalid nucleotide code");
+        Self { symbols }
+    }
+
+    /// Genome length in nucleotides.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Always false — construction rejects empty genomes.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The 2-bit codes.
+    pub fn codes(&self) -> &[u8] {
+        &self.symbols
+    }
+
+    /// The nucleotide at `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn at(&self, pos: usize) -> Nucleotide {
+        Nucleotide::from_code(self.symbols[pos])
+    }
+
+    /// Renders a window as characters (diagnostics).
+    pub fn to_string_window(&self, start: usize, len: usize) -> String {
+        self.symbols[start..start + len]
+            .iter()
+            .map(|&c| Nucleotide::from_code(c).to_char())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_seeded_and_uniformish() {
+        let a = Genome::generate(10_000, 7);
+        let b = Genome::generate(10_000, 7);
+        assert_eq!(a, b);
+        let c = Genome::generate(10_000, 8);
+        assert_ne!(a, c);
+        // All four symbols appear with roughly equal frequency.
+        let mut counts = [0usize; 4];
+        for &s in a.codes() {
+            counts[s as usize] += 1;
+        }
+        for &n in &counts {
+            assert!((2_000..3_000).contains(&n), "skewed counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn nucleotide_round_trips() {
+        for n in Nucleotide::ALL {
+            assert_eq!(Nucleotide::from_code(n.code()), n);
+        }
+        assert_eq!(Nucleotide::A.to_char(), 'A');
+        assert_eq!(Nucleotide::T.to_char(), 'T');
+    }
+
+    #[test]
+    fn window_rendering() {
+        let g = Genome::from_codes(vec![0, 1, 2, 3]);
+        assert_eq!(g.to_string_window(0, 4), "ACGT");
+        assert_eq!(g.at(2), Nucleotide::G);
+        assert_eq!(g.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid nucleotide")]
+    fn rejects_bad_codes() {
+        let _ = Genome::from_codes(vec![0, 5]);
+    }
+}

@@ -1,0 +1,292 @@
+//! The sorted k-mer index — the paper's "sorted index of the reference
+//! DNA that can be used to identify the location of matches and
+//! mismatches in another sequence rapidly".
+//!
+//! The index is a position-sorted table of `(k-mer, position)` pairs,
+//! queried by binary search. This is precisely the structure whose access
+//! pattern the paper blames for "eliminating available data locality in
+//! the reference and causing huge number of cache misses": each probe is
+//! a random walk over a table the size of the reference.
+
+use serde::{Deserialize, Serialize};
+
+use crate::genome::Genome;
+use crate::reads::ShortRead;
+use crate::trace::MemoryTrace;
+
+/// Result of mapping one read through the index.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LookupOutcome {
+    /// Reference positions whose seed k-mer matched, verified in full.
+    pub mapped_positions: Vec<usize>,
+    /// Character comparisons performed (index probes + verification).
+    pub comparisons: u64,
+    /// Mismatching characters encountered during verification.
+    pub mismatches: u64,
+}
+
+/// A sorted index over all k-mers of a reference genome.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SortedKmerIndex {
+    /// Seed length.
+    k: usize,
+    /// `(packed k-mer, start position)` sorted by k-mer.
+    entries: Vec<(u64, u32)>,
+    /// Base address of the index in the simulated address space (the
+    /// reference itself occupies `[0, genome_len)`).
+    index_base: u64,
+}
+
+/// Bytes per index entry in the simulated layout (u64 key + u32 pos,
+/// padded).
+const ENTRY_BYTES: u64 = 16;
+
+impl SortedKmerIndex {
+    /// Builds the index of all overlapping `k`-mers of `genome`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero, exceeds 32, or the genome is shorter than
+    /// `k`.
+    pub fn build(genome: &Genome, k: usize) -> Self {
+        assert!(k > 0 && k <= 32, "seed length must be in 1..=32");
+        assert!(genome.len() >= k, "genome shorter than the seed");
+        let codes = genome.codes();
+        let mut entries: Vec<(u64, u32)> = (0..=codes.len() - k)
+            .map(|pos| (Self::pack(&codes[pos..pos + k]), pos as u32))
+            .collect();
+        entries.sort_unstable();
+        Self {
+            k,
+            entries,
+            index_base: genome.len() as u64,
+        }
+    }
+
+    /// Packs up to 32 2-bit symbols into a `u64` key.
+    fn pack(symbols: &[u8]) -> u64 {
+        symbols
+            .iter()
+            .fold(0u64, |acc, &s| (acc << 2) | u64::from(s))
+    }
+
+    /// Seed length.
+    pub fn seed_len(&self) -> usize {
+        self.k
+    }
+
+    /// Number of indexed k-mers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the index is empty (cannot happen post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Maps a read: binary-search the seed, then verify every candidate
+    /// position character-by-character against the reference.
+    ///
+    /// Every index probe and reference character read is appended to
+    /// `trace` (addresses: reference at `[0, L)`, index entries above
+    /// it), and every character comparison is counted — these feed the
+    /// cache simulator and the Table-2 operation accounting respectively.
+    pub fn map_read(
+        &self,
+        genome: &Genome,
+        read: &ShortRead,
+        trace: &mut MemoryTrace,
+    ) -> LookupOutcome {
+        let seed = Self::pack(&read.symbols[..self.k]);
+        let mut comparisons = 0u64;
+
+        // Binary search over the sorted entries: each probe touches one
+        // entry — a random-walk access pattern over the whole table.
+        let mut lo = 0usize;
+        let mut hi = self.entries.len();
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            trace.read(self.index_base + mid as u64 * ENTRY_BYTES);
+            comparisons += 1;
+            if self.entries[mid].0 < seed {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        // Walk the run of equal seeds.
+        let mut mapped_positions = Vec::new();
+        let mut mismatches = 0u64;
+        let mut i = lo;
+        while i < self.entries.len() && self.entries[i].0 == seed {
+            trace.read(self.index_base + i as u64 * ENTRY_BYTES);
+            let pos = self.entries[i].1 as usize;
+            if pos + read.symbols.len() <= genome.len() {
+                let (ok, cmp, mm) = self.verify(genome, read, pos, trace);
+                comparisons += cmp;
+                mismatches += mm;
+                if ok {
+                    mapped_positions.push(pos);
+                }
+            }
+            i += 1;
+        }
+        LookupOutcome {
+            mapped_positions,
+            comparisons,
+            mismatches,
+        }
+    }
+
+    /// Verifies a candidate alignment with early exit after too many
+    /// mismatches (2% of the read length, the usual seed-and-extend
+    /// tolerance).
+    fn verify(
+        &self,
+        genome: &Genome,
+        read: &ShortRead,
+        pos: usize,
+        trace: &mut MemoryTrace,
+    ) -> (bool, u64, u64) {
+        let budget = (read.symbols.len() / 50).max(2) as u64;
+        let mut comparisons = 0u64;
+        let mut mismatches = 0u64;
+        for (i, &symbol) in read.symbols.iter().enumerate() {
+            trace.read((pos + i) as u64);
+            comparisons += 1;
+            if genome.codes()[pos + i] != symbol {
+                mismatches += 1;
+                if mismatches > budget {
+                    return (false, comparisons, mismatches);
+                }
+            }
+        }
+        (true, comparisons, mismatches)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reads::ReadSampler;
+
+    fn setup() -> (Genome, SortedKmerIndex) {
+        let genome = Genome::generate(4_000, 5);
+        let index = SortedKmerIndex::build(&genome, 16);
+        (genome, index)
+    }
+
+    #[test]
+    fn index_contains_all_kmers_sorted() {
+        let (genome, index) = setup();
+        assert_eq!(index.len(), genome.len() - 16 + 1);
+        assert!(!index.is_empty());
+        assert!(index.entries.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert_eq!(index.seed_len(), 16);
+    }
+
+    #[test]
+    fn exact_reads_map_to_their_true_position() {
+        let (genome, index) = setup();
+        let sampler = ReadSampler {
+            read_len: 64,
+            coverage: 2,
+            error_rate: 0.0,
+            seed: 77,
+        };
+        for read in sampler.sample(&genome) {
+            let mut trace = MemoryTrace::new();
+            let outcome = index.map_read(&genome, &read, &mut trace);
+            assert!(
+                outcome.mapped_positions.contains(&read.true_position),
+                "read from {} not mapped",
+                read.true_position
+            );
+            assert!(outcome.comparisons > 0);
+            assert!(!trace.is_empty());
+        }
+    }
+
+    #[test]
+    fn lookup_agrees_with_naive_scan() {
+        let (genome, index) = setup();
+        let sampler = ReadSampler {
+            read_len: 32,
+            coverage: 1,
+            error_rate: 0.0,
+            seed: 13,
+        };
+        for read in sampler.sample(&genome).into_iter().take(20) {
+            let mut trace = MemoryTrace::new();
+            let outcome = index.map_read(&genome, &read, &mut trace);
+            // Naive reference: every position whose window equals the read.
+            let naive: Vec<usize> = (0..=genome.len() - read.symbols.len())
+                .filter(|&p| &genome.codes()[p..p + read.symbols.len()] == read.symbols.as_slice())
+                .collect();
+            assert_eq!(outcome.mapped_positions, naive);
+        }
+    }
+
+    #[test]
+    fn erroneous_reads_tolerate_few_mismatches() {
+        let (genome, index) = setup();
+        let sampler = ReadSampler {
+            read_len: 100,
+            coverage: 1,
+            error_rate: 0.01,
+            seed: 21,
+        };
+        let reads = sampler.sample(&genome);
+        let mut mapped = 0usize;
+        for read in &reads {
+            // Skip reads whose seed itself is corrupted — seed-and-extend
+            // cannot find those (a real mapper retries with other seeds).
+            if read.error_positions.iter().any(|&i| i < index.seed_len()) {
+                continue;
+            }
+            let mut trace = MemoryTrace::new();
+            let outcome = index.map_read(&genome, read, &mut trace);
+            if outcome.mapped_positions.contains(&read.true_position) {
+                mapped += 1;
+            }
+        }
+        assert!(mapped > 0, "no erroneous reads mapped at all");
+    }
+
+    #[test]
+    fn probe_addresses_span_the_index_randomly() {
+        let (genome, index) = setup();
+        let sampler = ReadSampler {
+            read_len: 32,
+            coverage: 4,
+            error_rate: 0.0,
+            seed: 31,
+        };
+        let mut trace = MemoryTrace::new();
+        for read in sampler.sample(&genome) {
+            let _ = index.map_read(&genome, &read, &mut trace);
+        }
+        // The index probes must touch a large fraction of the table's
+        // cache lines — the locality destruction the paper describes.
+        let index_lines_touched = trace
+            .accesses()
+            .iter()
+            .filter(|a| a.address >= genome.len() as u64)
+            .map(|a| a.address / 64)
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        let total_index_lines = (index.len() as u64 * ENTRY_BYTES / 64) as usize;
+        assert!(
+            index_lines_touched * 4 > total_index_lines,
+            "probes touched only {index_lines_touched} of {total_index_lines} lines"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "seed length")]
+    fn rejects_oversized_seeds() {
+        let genome = Genome::generate(100, 0);
+        let _ = SortedKmerIndex::build(&genome, 33);
+    }
+}

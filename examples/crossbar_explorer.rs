@@ -1,0 +1,95 @@
+//! Crossbar design-space exploration: junction options × bias schemes
+//! (the paper's Fig. 3 survey) plus the CRS hysteresis of Fig. 4.
+//!
+//! ```bash
+//! cargo run --release --example crossbar_explorer
+//! ```
+
+use cim::crossbar::{
+    read_margin_study, BiasScheme, CrsCell, ResistiveCell, SelectorCell, TransistorCell,
+    WorstCasePattern,
+};
+use cim::device::{Crs, DeviceParams, IvSweep, TwoTerminal};
+use cim::units::{Time, Voltage};
+
+fn main() {
+    let p = DeviceParams::table1_cim();
+    let sizes = [4usize, 8, 16, 32];
+
+    println!("=== read margin vs array size (worst-case all-LRS background)\n");
+    println!(
+        "{:<10} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "junction", "bias", "n=4", "n=8", "n=16", "n=32"
+    );
+    for bias in [BiasScheme::Floating, BiasScheme::HalfV, BiasScheme::ThirdV] {
+        let rows: Vec<(&str, Vec<f64>)> = vec![
+            (
+                "1R",
+                read_margin_study(
+                    |_, _| ResistiveCell::new(p.clone()),
+                    &sizes,
+                    bias,
+                    WorstCasePattern::AllOnes,
+                )
+                .iter()
+                .map(|m| m.margin)
+                .collect(),
+            ),
+            (
+                "1S1R",
+                read_margin_study(
+                    |_, _| SelectorCell::new(p.clone(), 10.0, p.v_set * 0.5),
+                    &sizes,
+                    bias,
+                    WorstCasePattern::AllOnes,
+                )
+                .iter()
+                .map(|m| m.margin)
+                .collect(),
+            ),
+            (
+                "1T1R",
+                read_margin_study(
+                    |_, _| TransistorCell::new(p.clone()),
+                    &sizes,
+                    bias,
+                    WorstCasePattern::AllOnes,
+                )
+                .iter()
+                .map(|m| m.margin)
+                .collect(),
+            ),
+        ];
+        for (name, margins) in rows {
+            print!("{name:<10} {bias:>8}");
+            for m in margins {
+                print!(" {m:>10.4}");
+            }
+            println!();
+        }
+    }
+
+    println!("\n=== CRS sensing window (differential, V/3 bias)\n");
+    let pts = read_margin_study(
+        |_, _| CrsCell::new(p.clone()),
+        &sizes,
+        BiasScheme::ThirdV,
+        WorstCasePattern::AllOnes,
+    );
+    for m in pts {
+        println!(
+            "n={:<3} stored-1 current {} | stored-0 (ON window) current {}",
+            m.n, m.i_one, m.i_zero
+        );
+    }
+
+    println!("\n=== Fig. 4: CRS quasi-static I-V sweep (cell starts in '0')\n");
+    let mut cell = Crs::new_zero(p.clone());
+    let sweep = IvSweep::new(Voltage::from_volts(3.5), 24, Time::from_nano_seconds(2.0));
+    println!("{:>8} {:>12}  state", "V", "I");
+    for v in sweep.waveform() {
+        cell.apply(v, sweep.dwell);
+        let i = cell.current_at(v);
+        println!("{:>8.2}V {:>12}  {}", v.as_volts(), i, cell.state());
+    }
+}

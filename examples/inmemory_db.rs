@@ -1,0 +1,58 @@
+//! In-memory-database scans in the crossbar.
+//!
+//! ```bash
+//! cargo run --release --example inmemory_db
+//! ```
+//!
+//! Section II.B of the paper lists "in memory computing/database" among
+//! the data-centric architectures CIM generalises. Here three standard
+//! scan queries run as compiled crossbar kernels over a synthetic column,
+//! with functional verification against a software scan and cost
+//! estimates from the mapper.
+
+use cim::compiler::{queries, Mapper};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    const ROWS: usize = 100_000;
+    const BITS: u32 = 16;
+    let mut rng = StdRng::seed_from_u64(77);
+    let column: Vec<u64> = (0..ROWS).map(|_| rng.gen_range(0..50_000)).collect();
+    println!("table: one {BITS}-bit column, {ROWS} rows (resident in-array)\n");
+
+    let mapper = Mapper::paper_tile();
+
+    // --- Q1: SELECT COUNT(*) WHERE col = 4242 --------------------------
+    let q1 = queries::select_count_eq(BITS, ROWS, 4_242);
+    let got = q1.evaluate(std::slice::from_ref(&column))[0][0];
+    let expect = column.iter().filter(|&&v| v == 4_242).count() as u64;
+    assert_eq!(got, expect);
+    let plan = mapper.compile(&q1);
+    println!("Q1 count(col = 4242)        = {got:>6}   | {}", plan.total);
+
+    // --- Q2: SELECT COUNT(*) WHERE 1000 <= col <= 2000 ------------------
+    let q2 = queries::select_count_range(BITS, ROWS, 1_000, 2_000);
+    let got = q2.evaluate(std::slice::from_ref(&column))[0][0];
+    let expect = column
+        .iter()
+        .filter(|&&v| (1_000..=2_000).contains(&v))
+        .count() as u64;
+    assert_eq!(got, expect);
+    let plan = mapper.compile(&q2);
+    println!("Q2 count(1000..=2000)       = {got:>6}   | {}", plan.total);
+
+    // --- Q3: SELECT SUM(col) WHERE col < 100 ----------------------------
+    let q3 = queries::sum_where_lt(BITS, ROWS, 100);
+    let got = q3.evaluate(std::slice::from_ref(&column))[0][0];
+    let expect = column.iter().filter(|&&v| v < 100).sum::<u64>() & 0xFFFF;
+    assert_eq!(got, expect);
+    let plan = mapper.compile(&q3);
+    println!("Q3 sum(col) where col < 100 = {got:>6}   | {}", plan.total);
+
+    println!(
+        "\nevery predicate touches every row — and in the crossbar that is a\n\
+         fixed number of broadcast steps over {ROWS} lanes, not {ROWS} cache-\n\
+         missing loads: the in-memory-database idea taken to its physical limit"
+    );
+}

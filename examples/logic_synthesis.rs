@@ -1,0 +1,66 @@
+//! Boolean synthesis to IMPLY microcode — "IMP … paves the path to more
+//! complex memristive in-memory-computing architectures" (Section IV.C).
+//!
+//! ```bash
+//! cargo run --example logic_synthesis
+//! ```
+//!
+//! Compiles a few Boolean specifications to FALSE/IMP step sequences,
+//! executes them electrically, and contrasts the two IMP circuit styles
+//! of Fig. 5 (two-device + load resistor vs single CRS cell).
+
+use cim::device::DeviceParams;
+use cim::logic::{synthesize, Comparator, CrsImp, Expr, ImplyEngine};
+
+fn main() {
+    println!("=== synthesis: Boolean expression -> IMPLY microcode\n");
+    let specs: Vec<(&str, Expr)> = vec![
+        ("not a", Expr::var(0).not()),
+        ("a xor b", Expr::var(0).xor(Expr::var(1))),
+        (
+            "majority(a,b,c)",
+            Expr::var(0)
+                .and(Expr::var(1))
+                .or(Expr::var(2).and(Expr::var(0).xor(Expr::var(1)))),
+        ),
+        (
+            "full-adder sum",
+            Expr::var(0).xor(Expr::var(1)).xor(Expr::var(2)),
+        ),
+    ];
+    for (name, expr) in specs {
+        let program = synthesize(&expr);
+        let mut engine = ImplyEngine::for_program(&program);
+        let n = expr.arity();
+        print!(
+            "{name:<16} -> {:>3} steps, {:>2} memristors | truth:",
+            program.len(),
+            program.registers
+        );
+        for bits in 0..(1u32 << n) {
+            let vars: Vec<bool> = (0..n).map(|i| (bits >> i) & 1 == 1).collect();
+            let out = engine.run(&program, &vars);
+            print!(" {}", u8::from(out[0]));
+        }
+        println!();
+    }
+
+    println!("\n=== the paper's comparator (2 XOR + combine)\n");
+    let comparator = Comparator::new();
+    let device = DeviceParams::table1_cim();
+    println!("measured:   {}", comparator.measured_cost(&device));
+    println!("paper says: {}", comparator.paper_cost());
+
+    println!("\n=== Fig. 5(b): IMP on a single CRS cell (2 pulses)\n");
+    for (p, q) in [(false, false), (false, true), (true, false), (true, true)] {
+        let mut gate = CrsImp::new(device.clone());
+        let out = gate.imp(p, q);
+        println!(
+            "{} IMP {} = {}   ({})",
+            u8::from(p),
+            u8::from(q),
+            u8::from(out),
+            gate.cost()
+        );
+    }
+}

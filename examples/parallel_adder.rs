@@ -1,0 +1,50 @@
+//! The mathematics experiment: memristive adders, three ways.
+//!
+//! ```bash
+//! cargo run --release --example parallel_adder
+//! ```
+//!
+//! 1. an IMPLY ripple adder executed *electrically* on device models,
+//! 2. a naive CRS-gate adder (every gate a real CRS cell),
+//! 3. the paper's TC-adder cost model (N+2 devices, 4N+5 steps),
+//!
+//! then the Table-2 comparison for the paper's 10⁶ parallel additions.
+
+use cim::logic::{CrsAdder, ImplyAdder, TcAdderModel};
+use cim::prelude::*;
+
+fn main() {
+    let device = DeviceParams::table1_cim();
+
+    // --- 1. Electrical IMPLY adder. ------------------------------------
+    let adder = ImplyAdder::new(8);
+    let mut engine = ImplyEngine::for_program(adder.program());
+    let (a, b) = (173u64, 54u64);
+    let sum = adder.add(&mut engine, a, b);
+    println!("IMPLY adder (electrical): {a} + {b} = {sum}");
+    println!(
+        "  microcode: {} steps over {} memristors; engine cost so far: {}",
+        adder.program().len(),
+        adder.program().registers,
+        engine.cost()
+    );
+
+    // --- 2. Naive CRS-gate adder. ---------------------------------------
+    let mut crs = CrsAdder::new(8, device.clone());
+    let sum = crs.add(a, b);
+    println!("\nCRS gate-by-gate adder:   {a} + {b} = {sum}");
+    println!("  cost: {}", crs.cost());
+
+    // --- 3. The paper's TC adder. ----------------------------------------
+    let tc = TcAdderModel::new(32);
+    let cost = tc.cost(device.write_time, device.write_energy);
+    println!("\nTC adder (paper model, 32-bit): {}", cost);
+    println!(
+        "  paper prints 16 600 ps / 246 fJ; the formulas 4N+5 and 8N give {} / {}",
+        cost.latency, cost.energy
+    );
+
+    // --- 4. Table 2, mathematics column. ---------------------------------
+    let report = AdditionsExperiment::paper(7).run();
+    println!("\n{}", report.to_markdown());
+}

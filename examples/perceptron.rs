@@ -1,0 +1,151 @@
+//! Neural inference in the crossbar — the paper's closing application
+//! ("complex self-learning neural networks … advanced artificial neural
+//! brains").
+//!
+//! ```bash
+//! cargo run --release --example perceptron
+//! ```
+//!
+//! Trains a tiny softmax classifier in floating point (two Gaussian
+//! blobs), deploys the weights into an [`AnalogMvm`] crossbar, and
+//! measures inference accuracy on an **ideal** array and on a
+//! **variability-perturbed** one — the deploy-to-analog workflow of every
+//! memristive neural accelerator, at example scale.
+
+use cim::crossbar::AnalogMvm;
+use cim::device::{DeviceParams, Variability};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const FEATURES: usize = 4; // 2 coords + bias + quadratic feature
+const CLASSES: usize = 2;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2026);
+    let (train, test) = make_blobs(&mut rng);
+
+    // --- train in software --------------------------------------------
+    let mut weights = vec![vec![0.0f64; CLASSES]; FEATURES];
+    let lr = 0.1;
+    for _epoch in 0..200 {
+        for (x, label) in &train {
+            let scores = matmul(&weights, x);
+            let probs = softmax(&scores);
+            for (j, p) in probs.iter().enumerate() {
+                let target = f64::from(*label == j);
+                for i in 0..FEATURES {
+                    weights[i][j] -= lr * (p - target) * x[i];
+                }
+            }
+        }
+    }
+    // Normalise into the crossbar's [-1, 1] weight range.
+    let w_max = weights
+        .iter()
+        .flatten()
+        .fold(0.0f64, |m, w| m.max(w.abs()))
+        .max(1e-12);
+    let deploy: Vec<Vec<f64>> = weights
+        .iter()
+        .map(|row| row.iter().map(|w| w / w_max).collect())
+        .collect();
+
+    let float_acc = accuracy(&test, |x| matmul(&deploy, x));
+    println!(
+        "software (float) accuracy:        {:.1}%",
+        100.0 * float_acc
+    );
+
+    // --- deploy to an ideal crossbar -----------------------------------
+    let params = DeviceParams::table1_cim();
+    let mut ideal = AnalogMvm::new(FEATURES, CLASSES, params.clone());
+    ideal.program_weights(&deploy);
+    let ideal_acc = accuracy(&test, |x| ideal.multiply(x));
+    println!(
+        "ideal crossbar accuracy:          {:.1}%",
+        100.0 * ideal_acc
+    );
+
+    // --- deploy to variability-perturbed crossbars ---------------------
+    for sigma in [0.05, 0.10, 0.25] {
+        let variability = Variability {
+            sigma_resistance: sigma,
+            sigma_threshold: 0.0,
+            sigma_switching_time: 0.0,
+        };
+        let mut accs = Vec::new();
+        for seed in 0..5 {
+            let mut chip_rng = StdRng::seed_from_u64(seed);
+            let mut noisy = AnalogMvm::new(FEATURES, CLASSES, params.clone());
+            noisy.program_weights_with(&deploy, &variability, &mut chip_rng);
+            accs.push(accuracy(&test, |x| noisy.multiply(x)));
+        }
+        let mean = accs.iter().sum::<f64>() / accs.len() as f64;
+        let min = accs.iter().cloned().fold(f64::MAX, f64::min);
+        println!(
+            "σ_R = {sigma:>4}: accuracy {:.1}% mean / {:.1}% worst of 5 chips",
+            100.0 * mean,
+            100.0 * min
+        );
+    }
+    println!(
+        "\none inference = one crossbar step ({}) at {} per MVM",
+        ideal.latency(),
+        ideal.stats().total_energy() / ideal.stats().reads.max(1) as f64,
+    );
+}
+
+type Sample = (Vec<f64>, usize);
+
+fn make_blobs(rng: &mut StdRng) -> (Vec<Sample>, Vec<Sample>) {
+    let mut samples = Vec::new();
+    for _ in 0..400 {
+        let label = rng.gen_range(0..CLASSES);
+        let (cx, cy) = if label == 0 {
+            (-0.4, -0.3)
+        } else {
+            (0.4, 0.35)
+        };
+        let x = (cx + 0.25 * normal(rng)).clamp(-1.0, 1.0);
+        let y = (cy + 0.25 * normal(rng)).clamp(-1.0, 1.0);
+        samples.push((vec![x, y, 1.0, (x * y).clamp(-1.0, 1.0)], label));
+    }
+    let test = samples.split_off(300);
+    (samples, test)
+}
+
+fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+fn matmul(w: &[Vec<f64>], x: &[f64]) -> Vec<f64> {
+    (0..CLASSES)
+        .map(|j| x.iter().zip(w).map(|(xi, row)| xi * row[j]).sum())
+        .collect()
+}
+
+fn softmax(scores: &[f64]) -> Vec<f64> {
+    let max = scores.iter().cloned().fold(f64::MIN, f64::max);
+    let exps: Vec<f64> = scores.iter().map(|s| (s - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.iter().map(|e| e / sum).collect()
+}
+
+fn accuracy(test: &[Sample], mut infer: impl FnMut(&[f64]) -> Vec<f64>) -> f64 {
+    let correct = test
+        .iter()
+        .filter(|(x, label)| {
+            let scores = infer(x);
+            let predicted = scores
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .expect("nonempty")
+                .0;
+            predicted == *label
+        })
+        .count();
+    correct as f64 / test.len() as f64
+}

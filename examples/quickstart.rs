@@ -1,0 +1,58 @@
+//! Quickstart: the whole stack in one file.
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! ```
+//!
+//! Touches each layer of the simulator: a memristor device, a crossbar
+//! write/read, an IMPLY logic gate executed electrically, and the Table-2
+//! comparison of the two architectures on a scaled workload.
+
+use cim::prelude::*;
+
+fn main() {
+    // --- 1. A single device: Table 1's 200 ps / 1 fJ memristor. -------
+    let params = DeviceParams::table1_cim();
+    let mut cell = ThresholdDevice::new_hrs(params.clone());
+    cell.apply(params.write_voltage, params.write_time);
+    println!(
+        "device: SET in {} -> resistance {}",
+        params.write_time,
+        TwoTerminal::resistance(&cell)
+    );
+
+    // --- 2. A crossbar array: write and read a bit electrically. ------
+    let mut array = Crossbar::homogeneous(8, 8, || ResistiveCell::new(params.clone()));
+    array.write(3, 5, true, BiasScheme::HalfV);
+    let read = array.read(3, 5, BiasScheme::HalfV);
+    println!(
+        "crossbar: read bit {} (sense {}, margin {:.1}x), stats: {}",
+        read.bit,
+        read.sense_current,
+        read.margin,
+        array.stats()
+    );
+
+    // --- 3. Stateful logic: a NAND compiled to IMPLY microcode and ----
+    //        executed on device models.
+    let mut builder = ProgramBuilder::new();
+    let p = builder.input();
+    let q = builder.input();
+    let out = builder.nand(p, q);
+    let program = builder.finish(vec![out]);
+    let mut engine = ImplyEngine::for_program(&program);
+    let result = engine.run(&program, &[true, true]);
+    println!(
+        "logic: NAND(1,1) = {} in {} steps ({})",
+        u8::from(result[0]),
+        program.len(),
+        engine.cost()
+    );
+
+    // --- 4. The architecture comparison (scaled Table 2). -------------
+    let additions = AdditionsExperiment::scaled(50_000, 7).run();
+    println!("\n{}", additions.to_markdown());
+
+    let dna = DnaExperiment::scaled(50_000, 7).run();
+    println!("{}", dna.to_markdown());
+}

@@ -1,0 +1,31 @@
+//! # cim — a memristor computation-in-memory architecture simulator
+//!
+//! Umbrella crate re-exporting the full CIM simulator stack. This is the
+//! crate the repository's `examples/` and integration `tests/` build
+//! against; downstream users can depend on it to get everything, or on the
+//! individual `cim-*` crates for a narrower footprint.
+//!
+//! The stack reproduces S. Hamdioui et al., *"Memristor Based
+//! Computation-in-Memory Architecture for Data-Intensive Applications"*,
+//! DATE 2015 — see `DESIGN.md` for the full inventory and `EXPERIMENTS.md`
+//! for the paper-vs-measured record.
+//!
+//! ```
+//! use cim::units::{Energy, Time};
+//!
+//! let write = Energy::from_femto_joules(1.0) ; // Table 1: 1 fJ per memristor write
+//! let step = Time::from_pico_seconds(200.0);   // Table 1: 200 ps write time
+//! assert!((write * step).as_joule_seconds() > 0.0);
+//! ```
+
+pub use cim_arch as arch;
+pub use cim_compiler as compiler;
+pub use cim_core as core;
+pub use cim_crossbar as crossbar;
+pub use cim_device as device;
+pub use cim_logic as logic;
+pub use cim_sim as sim;
+pub use cim_units as units;
+pub use cim_workloads as workloads;
+
+pub use cim_core::prelude;

@@ -1,0 +1,117 @@
+//! End-to-end integration: full experiments spanning every crate.
+
+use cim::core::paper_mode;
+use cim::prelude::*;
+
+#[test]
+fn table2_reproduces_the_papers_qualitative_claims() {
+    // "both applications clearly show that the improvements are orders
+    // of magnitude" — assert it from a full run of both experiments.
+    let dna = DnaExperiment::scaled(40_000, 2).with_hit_ratio_mode(HitRatioMode::PaperAssumption);
+    let dna = DnaExperiment {
+        spec: DnaSpec {
+            coverage: 2,
+            ..dna.spec
+        },
+        ..dna
+    }
+    .run();
+    let math = AdditionsExperiment::scaled(100_000, 2).run();
+
+    let (dna_edp, dna_eff, _) = dna.improvements();
+    assert!(dna_edp > 1e3, "DNA EDP gain only {dna_edp}");
+    assert!(dna_eff > 5.0, "DNA efficiency gain only {dna_eff}");
+
+    let (math_edp, math_eff, math_perf) = math.improvements();
+    assert!(math_edp > 10.0, "math EDP gain only {math_edp}");
+    assert!(math_eff > 50.0, "math efficiency gain only {math_eff}");
+    assert!(math_perf > 1e3, "math perf/area gain only {math_perf}");
+
+    let table = Table2 { dna, math };
+    let md = table.to_markdown();
+    assert!(md.contains("Table 2"));
+    assert!(md.contains("DNA sequencing"));
+    let csv = table.to_csv();
+    assert_eq!(csv.lines().count(), 13);
+}
+
+#[test]
+fn measured_hit_ratio_lands_near_the_papers_assumption() {
+    // Table 1 assumes 50% for the sorted-index workload; the measured
+    // index-probe ratio from a real mapper run should be in that
+    // neighbourhood (binary-search top levels cached, tail random).
+    let exec = cim::sim::ConventionalExecutor::new(9);
+    let run = exec.run_dna(DnaSpec {
+        ref_len: 120_000,
+        coverage: 2,
+        read_len: 100,
+    });
+    assert!(
+        (0.30..0.70).contains(&run.index_hit_ratio),
+        "index-probe hit ratio {} far from the paper's 0.5",
+        run.index_hit_ratio
+    );
+}
+
+#[test]
+fn paper_mode_decodes_most_of_table2() {
+    let cells = paper_mode::decoded_cells();
+    assert_eq!(cells.len(), 8);
+    let exact = cells.iter().filter(|c| c.deviation() < 1e-3).count();
+    assert!(exact >= 3, "only {exact} cells decoded to print precision");
+    for cell in &cells {
+        assert!(
+            cell.deviation() < 0.04,
+            "{} deviates {:.2}%",
+            cell.cell,
+            cell.deviation() * 100.0
+        );
+    }
+}
+
+#[test]
+fn experiments_are_deterministic_given_a_seed() {
+    let a = AdditionsExperiment::scaled(5_000, 77).run();
+    let b = AdditionsExperiment::scaled(5_000, 77).run();
+    assert_eq!(
+        a.conventional_metrics().ops_per_joule,
+        b.conventional_metrics().ops_per_joule
+    );
+    assert_eq!(a.cim().total_time, b.cim().total_time);
+}
+
+#[test]
+fn dna_scaling_preserves_metric_ordering() {
+    // Running the experiment at two different scales must not change who
+    // wins any metric (shape stability).
+    let small = DnaExperiment {
+        spec: DnaSpec {
+            ref_len: 20_000,
+            coverage: 2,
+            read_len: 100,
+        },
+        seed: 4,
+        hit_ratio_mode: HitRatioMode::Measured,
+    }
+    .run();
+    let large = DnaExperiment {
+        spec: DnaSpec {
+            ref_len: 80_000,
+            coverage: 2,
+            read_len: 100,
+        },
+        seed: 4,
+        hit_ratio_mode: HitRatioMode::Measured,
+    }
+    .run();
+    for (s, l) in [small.improvements(), large.improvements()]
+        .windows(2)
+        .flat_map(|w| {
+            let (a, b) = (w[0], w[1]);
+            [(a.0, b.0), (a.1, b.1), (a.2, b.2)]
+        })
+        .collect::<Vec<_>>()
+    {
+        assert_eq!(s > 1.0, l > 1.0, "winner flipped between scales");
+    }
+}

@@ -1,0 +1,115 @@
+//! Integration tests for the figure-regeneration data: every curve the
+//! bench binaries print must be physically sensible.
+
+use cim::arch::{working_set_sweep, WorkingSetLocation};
+use cim::crossbar::{read_margin_study, BiasScheme, ResistiveCell, WorstCasePattern};
+use cim::device::{Crs, DeviceParams, IvSweep, ThresholdDevice};
+use cim::units::{Energy, Time, Voltage};
+
+#[test]
+fn fig1_working_set_ladder_is_monotone() {
+    let rows = working_set_sweep(
+        Time::from_nano_seconds(0.25),
+        Energy::from_femto_joules(45.0),
+    );
+    assert_eq!(rows.len(), 5);
+    for pair in rows.windows(2) {
+        assert!(pair[1].1 < pair[0].1, "latency must improve towards (e)");
+        assert!(pair[1].2 < pair[0].2, "energy must improve towards (e)");
+    }
+    // The end-to-end gap is what motivates CIM: ≥ 100× in latency and
+    // ≥ 1000× in energy from (a) to (e).
+    let first = &rows[0];
+    let last = &rows[4];
+    assert!(first.1 / last.1 > 100.0);
+    assert!(first.2 / last.2 > 1000.0);
+    assert_eq!(last.0.location, WorkingSetLocation::InCore);
+}
+
+#[test]
+fn fig3_margin_collapse_and_rescue() {
+    let p = DeviceParams::table1_cim();
+    let sizes = [4, 8, 16, 32];
+    let bare = read_margin_study(
+        |_, _| ResistiveCell::new(p.clone()),
+        &sizes,
+        BiasScheme::Floating,
+        WorstCasePattern::AllOnes,
+    );
+    // Monotone collapse with size.
+    for w in bare.windows(2) {
+        assert!(w[1].margin <= w[0].margin + 1e-9);
+    }
+    assert!(bare.last().expect("points").margin < 0.1);
+}
+
+#[test]
+fn fig4_crs_iv_shows_on_window_and_returns_to_storage() {
+    let p = DeviceParams::table1_cim();
+    let mut cell = Crs::new_zero(p);
+    let sweep = IvSweep::new(Voltage::from_volts(3.5), 100, Time::from_nano_seconds(2.0));
+    let trace = sweep.run(&mut cell);
+    let quarter = trace.len() / 4;
+
+    // Positive ramp: low leakage, then an ON-window spike, then blocked
+    // again after the transition to '1'.
+    let up = &trace[..quarter];
+    let leak = up[quarter / 8].i.get().abs();
+    let peak = up.iter().map(|pt| pt.i.get()).fold(f64::MIN, f64::max);
+    assert!(peak > 30.0 * leak.max(1e-12), "no ON window: peak {peak}");
+
+    // The sweep writes '1' on the positive lobe and '0' on the negative,
+    // ending where it started — a closed hysteresis loop.
+    assert_eq!(cell.state().bit(), Some(false));
+}
+
+#[test]
+fn fig4_threshold_device_hysteresis_is_bipolar() {
+    let p = DeviceParams::table1_cim();
+    let mut dev = ThresholdDevice::new_hrs(p.clone());
+    let sweep = IvSweep::new(Voltage::from_volts(3.0), 100, Time::from_nano_seconds(1.0));
+    let trace = sweep.run(&mut dev);
+    let n = trace.len();
+    // After the positive lobe the device is LRS: descending-branch
+    // current at +1 V exceeds ascending-branch current at +1 V.
+    let ascending = trace[..n / 4]
+        .iter()
+        .find(|pt| (pt.v.as_volts() - 1.0).abs() < 0.05)
+        .expect("ascending sample");
+    let descending = trace[n / 4..n / 2]
+        .iter()
+        .find(|pt| (pt.v.as_volts() - 1.0).abs() < 0.05)
+        .expect("descending sample");
+    assert!(descending.i.get() > 10.0 * ascending.i.get());
+}
+
+#[test]
+fn fig5_both_imp_implementations_agree() {
+    use cim::logic::{CrsImp, ImplyEngine, ProgramBuilder};
+    // Build p IMP q in the two-device style…
+    let mut b = ProgramBuilder::new();
+    let p_reg = b.input();
+    let q_reg = b.input();
+    b.imply(p_reg, q_reg);
+    let program = b.finish(vec![q_reg]);
+    let mut engine = ImplyEngine::for_program(&program);
+
+    for (p, q) in [(false, false), (false, true), (true, false), (true, true)] {
+        let two_device = engine.run(&program, &[p, q])[0];
+        let mut crs_gate = CrsImp::new(DeviceParams::table1_cim());
+        let single_crs = crs_gate.imp(p, q);
+        assert_eq!(two_device, single_crs, "{p} IMP {q}");
+        assert_eq!(two_device, !p || q);
+    }
+}
+
+#[test]
+fn fig5_crs_variant_uses_fewer_pulses() {
+    use cim::logic::CrsImp;
+    let mut gate = CrsImp::new(DeviceParams::table1_cim());
+    let _ = gate.imp(true, false);
+    // 2 pulses on one device vs 3 pulses on two devices + R_G: the
+    // "superior performance" the paper attributes to Fig. 5(b).
+    assert_eq!(gate.cost().steps, 2);
+    assert_eq!(gate.cost().devices, 1);
+}

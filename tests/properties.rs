@@ -1,0 +1,80 @@
+//! Cross-crate property tests.
+
+use cim::crossbar::{BiasScheme, Crossbar, TransistorCell};
+use cim::device::DeviceParams;
+use cim::logic::{Comparator, ImplyAdder, ImplyEngine};
+use cim::prelude::*;
+use cim::workloads::{Genome, MemoryTrace, ReadSampler, SortedKmerIndex};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn stored_symbols_survive_the_crossbar_and_compare_equal(
+        codes in prop::collection::vec(0u8..4, 8),
+    ) {
+        let params = DeviceParams::table1_cim();
+        let mut plane0 = Crossbar::homogeneous(2, 4, || TransistorCell::new(params.clone()));
+        let mut plane1 = Crossbar::homogeneous(2, 4, || TransistorCell::new(params.clone()));
+        for (i, &code) in codes.iter().enumerate() {
+            let (r, c) = (i / 4, i % 4);
+            plane0.write(r, c, code & 1 == 1, BiasScheme::HalfV);
+            plane1.write(r, c, code & 2 == 2, BiasScheme::HalfV);
+        }
+        let comparator = Comparator::new();
+        let mut engine = ImplyEngine::for_program(comparator.eq_program());
+        for (i, &code) in codes.iter().enumerate() {
+            let (r, c) = (i / 4, i % 4);
+            let got = u8::from(plane0.read(r, c, BiasScheme::HalfV).bit)
+                | (u8::from(plane1.read(r, c, BiasScheme::HalfV).bit) << 1);
+            prop_assert_eq!(got, code);
+            prop_assert!(comparator.matches(&mut engine, got, code));
+        }
+    }
+
+    #[test]
+    fn every_error_free_read_maps_uniquely_or_to_repeats(
+        seed in 0u64..1000,
+    ) {
+        let genome = Genome::generate(3_000, seed);
+        let index = SortedKmerIndex::build(&genome, 16);
+        let sampler = ReadSampler { read_len: 48, coverage: 1, error_rate: 0.0, seed };
+        for read in sampler.sample(&genome) {
+            let mut trace = MemoryTrace::new();
+            let outcome = index.map_read(&genome, &read, &mut trace);
+            prop_assert!(outcome.mapped_positions.contains(&read.true_position));
+            // Every mapped position really matches the read.
+            for &pos in &outcome.mapped_positions {
+                prop_assert_eq!(
+                    &genome.codes()[pos..pos + 48],
+                    read.symbols.as_slice()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn additions_experiment_improvements_are_scale_free(
+        n_ops in 1_000u64..50_000,
+        seed in 0u64..100,
+    ) {
+        // The Table-2 improvement ratios must not depend on problem size
+        // (both machines scale with the workload).
+        let r1 = AdditionsExperiment::scaled(n_ops, seed).run();
+        let r2 = AdditionsExperiment::scaled(n_ops * 2, seed).run();
+        let (e1, f1, p1) = r1.improvements();
+        let (e2, f2, p2) = r2.improvements();
+        prop_assert!((e1 / e2 - 1.0).abs() < 0.1, "EDP ratio drifted: {e1} vs {e2}");
+        prop_assert!((f1 / f2 - 1.0).abs() < 0.1);
+        prop_assert!((p1 / p2 - 1.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn imply_adder_agrees_with_tc_adder_model(a in any::<u32>(), b in any::<u32>()) {
+        let imply = ImplyAdder::new(32);
+        let tc = cim::logic::TcAdderModel::new(32);
+        let full = imply.add_reference(u64::from(a), u64::from(b));
+        prop_assert_eq!(full & 0xFFFF_FFFF, tc.add(u64::from(a), u64::from(b)) & 0xFFFF_FFFF);
+    }
+}
