@@ -1,6 +1,6 @@
 //! The three Table-2 figures of merit.
 
-use cim_units::{Area, Energy, EnergyDelay, Time};
+use cim_units::{Area, Energy, EnergyDelay, Power, Time};
 use serde::{Deserialize, Serialize};
 
 /// The raw outcome of executing a workload on one machine.
@@ -17,6 +17,29 @@ pub struct RunReport {
 }
 
 impl RunReport {
+    /// The shared batch aggregation (DESIGN.md §4): `n_ops` uniform
+    /// operations scheduled as `R = ⌈n_ops / parallel⌉` rounds of
+    /// `op_latency`, with dynamic energy per operation and leakage over
+    /// the makespan.
+    pub fn batched(
+        n_ops: u64,
+        parallel: u64,
+        op_latency: Time,
+        op_energy: Energy,
+        static_power: Power,
+        area: Area,
+    ) -> Self {
+        let rounds = n_ops.div_ceil(parallel.max(1));
+        let total_time = op_latency * rounds as f64;
+        let total_energy = op_energy * n_ops as f64 + static_power * total_time;
+        RunReport {
+            operations: n_ops,
+            total_time,
+            total_energy,
+            area,
+        }
+    }
+
     /// Average latency contribution of one operation (makespan / ops ×
     /// parallelism is folded into the makespan already; this is the
     /// per-op share of the total time).
@@ -101,6 +124,24 @@ mod tests {
             total_energy: Energy::from_micro_joules(2.0),
             area: Area::from_square_milli_meters(4.0),
         }
+    }
+
+    #[test]
+    fn batched_reports_round_up_and_charge_leakage() {
+        let r = RunReport::batched(
+            1_001,
+            100,
+            Time::from_nano_seconds(10.0),
+            Energy::from_pico_joules(2.0),
+            Power::from_milli_watts(1.0),
+            Area::from_square_milli_meters(3.0),
+        );
+        assert_eq!(r.operations, 1_001);
+        // ⌈1001/100⌉ = 11 rounds × 10 ns.
+        assert!((r.total_time.as_nano_seconds() - 110.0).abs() < 1e-9);
+        // 1001 × 2 pJ + 1 mW × 110 ns = 2.002 nJ + 0.11 nJ.
+        assert!((r.total_energy.as_nano_joules() - 2.112).abs() < 1e-9);
+        assert!((r.area.as_square_milli_meters() - 3.0).abs() < 1e-12);
     }
 
     #[test]

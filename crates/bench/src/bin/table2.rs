@@ -5,6 +5,7 @@
 //! ```bash
 //! cargo run --release -p cim-bench --bin table2
 //! cargo run --release -p cim-bench --bin table2 -- --hit-ratio measured
+//! cargo run --release -p cim-bench --bin table2 -- --threads 4
 //! cargo run --release -p cim-bench --bin table2 -- --ablate-comparator
 //! cargo run --release -p cim-bench --bin table2 -- --ablate-hitrate
 //! ```
@@ -15,9 +16,9 @@ use cim_arch::{
 };
 use cim_bench::{write_csv, Args};
 use cim_core::paper_mode;
-use cim_core::{AdditionsExperiment, DnaExperiment, HitRatioMode, Table2};
-use cim_sim::{CimExecutor, ConventionalExecutor};
-use cim_workloads::DnaSpec;
+use cim_core::{AdditionsExperiment, Experiment, HitRatioMode, Table2};
+use cim_sim::{BatchPolicy, CimExecutor, ConventionalExecutor, ExecutionBackend};
+use cim_workloads::{DnaSpec, DnaWorkload};
 
 fn main() {
     let args = Args::capture();
@@ -37,6 +38,12 @@ fn main() {
     let hit_mode = match args.value("--hit-ratio") {
         Some("measured") => HitRatioMode::Measured,
         _ => HitRatioMode::PaperAssumption,
+    };
+    // `--threads 0` (the default) lets the batch driver use every core;
+    // results are bit-identical at any setting.
+    let batch = match args.value("--threads").and_then(|v| v.parse().ok()) {
+        Some(threads) => BatchPolicy::with_threads(threads),
+        None => BatchPolicy::auto(),
     };
 
     println!("== Table 2 reproduction ==\n");
@@ -66,17 +73,22 @@ fn main() {
     }
 
     println!("\n-- our physical model (scaled execution + paper-scale projection) --\n");
-    let dna = DnaExperiment {
+    let dna = Experiment::new(DnaWorkload {
         spec: DnaSpec {
             ref_len: 200_000,
             coverage: 5,
             read_len: 100,
         },
         seed: 42,
-        hit_ratio_mode: hit_mode,
-    }
-    .run();
-    let math = AdditionsExperiment::paper(42).run();
+    })
+    .with_hit_ratio_mode(hit_mode)
+    .with_batch(batch)
+    .run()
+    .expect("scaled DNA experiment executes");
+    let math = AdditionsExperiment::paper(42)
+        .with_batch(batch)
+        .run()
+        .expect("additions experiment executes");
     let table = Table2 { dna, math };
     println!("{}", table.to_markdown());
     write_csv("table2.csv", &table.to_csv());
@@ -119,8 +131,8 @@ fn ablate_comparator() {
 /// Ablation A4: cache hit-rate sensitivity — assumed vs measured.
 fn ablate_hitrate() {
     println!("== Ablation A4: cache hit ratio (DNA workload) ==\n");
-    let conv = ConventionalExecutor::new(42);
-    let cim = CimExecutor::new(42);
+    let conv = ConventionalExecutor::new();
+    let cim = CimExecutor::new();
     println!(
         "{:>6} {:>14} {:>14} {:>12}",
         "hit", "conv EDP/op", "CIM EDP/op", "CIM gain"
@@ -143,14 +155,20 @@ fn ablate_hitrate() {
         ));
     }
     // And the measured point.
-    let run = conv.run_dna(DnaSpec {
-        ref_len: 200_000,
-        coverage: 3,
-        read_len: 100,
-    });
+    let run = conv
+        .run(&DnaWorkload {
+            spec: DnaSpec {
+                ref_len: 200_000,
+                coverage: 3,
+                read_len: 100,
+            },
+            seed: 42,
+        })
+        .expect("scaled DNA run executes");
     println!(
         "\nmeasured on a real sorted-index run: {:.3} overall, {:.3} index probes alone",
-        run.measured_hit_ratio, run.index_hit_ratio
+        run.measured_hit_ratio.unwrap_or(f64::NAN),
+        run.index_hit_ratio.unwrap_or(f64::NAN)
     );
     write_csv("ablation_hitrate.csv", &csv);
 }
@@ -159,9 +177,12 @@ fn ablate_hitrate() {
 /// zero. How much can the CIM math column absorb?
 fn ablate_overhead() {
     println!("== Ablation A5: CIM interconnect/controller overhead (math column) ==\n");
-    let conv = ConventionalExecutor::new(42);
+    let conv = ConventionalExecutor::new();
     let workload = cim_workloads::AdditionWorkload::paper(42);
-    let (conv_report, _) = conv.run_additions(&workload);
+    let conv_report = conv
+        .run(&workload)
+        .expect("additions always execute")
+        .report;
     let conv_metrics = Metrics::from_run(&conv_report);
 
     println!(

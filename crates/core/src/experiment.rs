@@ -1,7 +1,15 @@
-//! One-call experiment builders.
+//! The generic experiment driver.
+//!
+//! [`Experiment<W>`] runs one [`Workload`] on both machines through the
+//! [`ExecutionBackend`] trait, verifies each run's digest against the
+//! workload's ground truth, and assembles the Table-2 comparison. The
+//! concrete experiments are aliases: [`DnaExperiment`] and
+//! [`AdditionsExperiment`].
 
-use cim_sim::{CimExecutor, ConventionalExecutor};
-use cim_workloads::{AdditionWorkload, DnaSpec};
+use cim_sim::{
+    BatchPolicy, CimExecutor, ConventionalExecutor, ExecutionBackend, RunOutcome, SimError,
+};
+use cim_workloads::{AdditionWorkload, DnaWorkload, ProjectionKind, Workload, WorkloadError};
 use serde::{Deserialize, Serialize};
 
 use crate::report::ComparisonReport;
@@ -17,25 +25,74 @@ pub enum HitRatioMode {
     Measured,
 }
 
-/// The paper's healthcare experiment: DNA read mapping, conventional vs
-/// CIM.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct DnaExperiment {
-    /// The scaled specification to actually execute.
-    pub spec: DnaSpec,
-    /// Workload seed.
-    pub seed: u64,
-    /// Hit-ratio source for the paper-scale projection.
-    pub hit_ratio_mode: HitRatioMode,
+/// Why an experiment could not produce a [`ComparisonReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExperimentError {
+    /// A backend refused or failed the execution.
+    Sim(SimError),
+    /// A backend executed, but its digest failed the workload's
+    /// independent verification — a modelling bug, reported with
+    /// evidence instead of panicking mid-experiment.
+    Verification {
+        /// The machine whose run failed verification.
+        machine: &'static str,
+        /// The workload's display name.
+        workload: String,
+        /// What the workload rejected.
+        source: WorkloadError,
+    },
 }
 
-impl DnaExperiment {
-    /// A laptop-scale experiment with the paper's shape.
-    pub fn scaled(ref_len: u64, seed: u64) -> Self {
+impl std::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExperimentError::Sim(err) => write!(f, "execution failed: {err}"),
+            ExperimentError::Verification {
+                machine,
+                workload,
+                source,
+            } => write!(
+                f,
+                "{machine} run of `{workload}` failed verification: {source}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExperimentError::Sim(err) => Some(err),
+            ExperimentError::Verification { source, .. } => Some(source),
+        }
+    }
+}
+
+impl From<SimError> for ExperimentError {
+    fn from(err: SimError) -> Self {
+        ExperimentError::Sim(err)
+    }
+}
+
+/// One workload, both machines, one comparison — the generic driver
+/// behind every (workload × machine) combination.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Experiment<W: Workload> {
+    /// The workload to execute (and verify) on both machines.
+    pub workload: W,
+    /// Hit-ratio source for paper-scale projections.
+    pub hit_ratio_mode: HitRatioMode,
+    /// Batch policy handed to both executors' per-item hot loops.
+    pub batch: BatchPolicy,
+}
+
+impl<W: Workload> Experiment<W> {
+    /// Wraps a workload with default projection and batching choices.
+    pub fn new(workload: W) -> Self {
         Self {
-            spec: DnaSpec::scaled(ref_len),
-            seed,
-            hit_ratio_mode: HitRatioMode::PaperAssumption,
+            workload,
+            hit_ratio_mode: HitRatioMode::default(),
+            batch: BatchPolicy::default(),
         }
     }
 
@@ -45,90 +102,107 @@ impl DnaExperiment {
         self
     }
 
-    /// Runs both machines and builds the comparison.
+    /// Selects the batch policy for both executors.
+    pub fn with_batch(mut self, batch: BatchPolicy) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    fn verified(&self, run: RunOutcome) -> Result<RunOutcome, ExperimentError> {
+        self.workload
+            .verify(&run.digest)
+            .map_err(|source| ExperimentError::Verification {
+                machine: run.machine,
+                workload: self.workload.name(),
+                source,
+            })?;
+        Ok(run)
+    }
+
+    /// Runs the workload on both machines, verifies both digests, and
+    /// builds the comparison.
     ///
-    /// The scaled workload executes for real on the conventional side
-    /// (genome, index, mapping, cache trace) and through the IMPLY
-    /// comparator semantics on the CIM side; the comparison reports the
-    /// paper-scale projections.
-    pub fn run(&self) -> ComparisonReport {
-        let conv_exec = ConventionalExecutor::new(self.seed);
-        let artifacts = conv_exec.run_dna(self.spec);
-        let hit_ratio = match self.hit_ratio_mode {
-            HitRatioMode::PaperAssumption => 0.5,
-            HitRatioMode::Measured => artifacts.measured_hit_ratio,
-        };
-        let conv = conv_exec.project_dna(hit_ratio);
+    /// The workload executes for real on each backend (DNA: genome,
+    /// index, mapping, cache trace on the conventional side, IMPLY
+    /// comparator semantics on the CIM side; additions: checksummed sums
+    /// on both). Workloads whose [`Workload::projection`] is paper-scale
+    /// are then compared at the projected full size; the rest compare at
+    /// the executed size.
+    pub fn run(&self) -> Result<ComparisonReport, ExperimentError>
+    where
+        ConventionalExecutor: ExecutionBackend<W>,
+        CimExecutor: ExecutionBackend<W>,
+    {
+        let conv_exec = ConventionalExecutor::with_batch(self.batch);
+        let cim_exec = CimExecutor::with_batch(self.batch);
+        let conv_run = self.verified(conv_exec.run(&self.workload)?)?;
+        let cim_run = self.verified(cim_exec.run(&self.workload)?)?;
 
-        let cim_exec = CimExecutor::new(self.seed);
-        // CIM executes a bounded-size functional pass; cap the spec.
-        let cim_spec = DnaSpec {
-            ref_len: self.spec.ref_len.min(1 << 20),
-            ..self.spec
+        let (conv, cim) = match self.workload.projection() {
+            ProjectionKind::ExecutedScale => (conv_run.report, cim_run.report),
+            ProjectionKind::PaperScale { assumed_hit_ratio } => {
+                let hit_ratio = match self.hit_ratio_mode {
+                    HitRatioMode::PaperAssumption => assumed_hit_ratio,
+                    HitRatioMode::Measured => {
+                        conv_run.measured_hit_ratio.unwrap_or(assumed_hit_ratio)
+                    }
+                };
+                (
+                    conv_exec.project(&self.workload, hit_ratio),
+                    cim_exec.project(&self.workload, hit_ratio),
+                )
+            }
         };
-        let (_scaled, comparator_invocations) = cim_exec.run_dna_scaled(cim_spec);
-        let cim = cim_exec.project_dna(hit_ratio);
 
-        ComparisonReport::new("DNA sequencing", conv, cim).with_note(format!(
-            "scaled run: {}/{} reads mapped, measured hit ratio {:.3} \
-                 (index probes alone: {:.3}); {} comparator invocations verified",
-            artifacts.reads_mapped,
-            artifacts.reads_total,
-            artifacts.measured_hit_ratio,
-            artifacts.index_hit_ratio,
-            comparator_invocations,
-        ))
+        let mut report = ComparisonReport::new(&self.workload.name(), conv, cim);
+        for note in conv_run.notes.iter().chain(cim_run.notes.iter()) {
+            report = report.with_note(note.clone());
+        }
+        Ok(report)
+    }
+}
+
+/// The paper's healthcare experiment: DNA read mapping, conventional vs
+/// CIM.
+pub type DnaExperiment = Experiment<DnaWorkload>;
+
+impl DnaExperiment {
+    /// A laptop-scale experiment with the paper's shape.
+    pub fn scaled(ref_len: u64, seed: u64) -> Self {
+        Self::new(DnaWorkload::scaled(ref_len, seed))
+    }
+
+    /// The paper-scale experiment. Executing it errors (the conventional
+    /// backend refuses 3 GB references); it exists for projection-style
+    /// drivers.
+    pub fn paper(seed: u64) -> Self {
+        Self::new(DnaWorkload::paper(seed))
     }
 }
 
 /// The paper's mathematics experiment: bulk parallel additions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct AdditionsExperiment {
-    /// The workload to execute (checksums are verified on both machines).
-    pub workload: AdditionWorkload,
-}
+pub type AdditionsExperiment = Experiment<AdditionWorkload>;
 
 impl AdditionsExperiment {
     /// The paper-scale experiment: 10⁶ 32-bit additions.
     pub fn paper(seed: u64) -> Self {
-        Self {
-            workload: AdditionWorkload::paper(seed),
-        }
+        Self::new(AdditionWorkload::paper(seed))
     }
 
     /// A scaled-down experiment with the same shape.
     pub fn scaled(n_ops: u64, seed: u64) -> Self {
-        Self {
-            workload: AdditionWorkload::scaled(n_ops, seed),
-        }
-    }
-
-    /// Runs both machines and builds the comparison.
-    ///
-    /// # Panics
-    ///
-    /// Panics if either executor's checksum diverges from the reference
-    /// (it cannot — the check is the execution).
-    pub fn run(&self) -> ComparisonReport {
-        let reference = self.workload.checksum();
-        let (conv, conv_sum) =
-            ConventionalExecutor::new(self.workload.seed).run_additions(&self.workload);
-        let (cim, cim_sum) = CimExecutor::new(self.workload.seed).run_additions(&self.workload);
-        assert_eq!(conv_sum, reference, "conventional checksum diverged");
-        assert_eq!(cim_sum, reference, "CIM checksum diverged");
-        ComparisonReport::new(&format!("{} additions", self.workload.n_ops), conv, cim).with_note(
-            format!("checksum {reference:#018x} verified on both machines"),
-        )
+        Self::new(AdditionWorkload::scaled(n_ops, seed))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cim_workloads::DnaSpec;
 
     #[test]
     fn additions_experiment_round_trips() {
-        let report = AdditionsExperiment::scaled(5_000, 7).run();
+        let report = AdditionsExperiment::scaled(5_000, 7).run().expect("runs");
         let (edp, eff, perf) = report.improvements();
         assert!(edp > 10.0);
         assert!(eff > 10.0);
@@ -138,16 +212,16 @@ mod tests {
 
     #[test]
     fn dna_experiment_round_trips() {
-        let exp = DnaExperiment::scaled(30_000, 3);
         // Tame the coverage for test speed.
-        let exp = DnaExperiment {
+        let workload = DnaWorkload {
             spec: DnaSpec {
+                ref_len: 30_000,
                 coverage: 2,
-                ..exp.spec
+                read_len: 100,
             },
-            ..exp
+            seed: 3,
         };
-        let report = exp.run();
+        let report = Experiment::new(workload).run().expect("runs");
         let (edp, eff, _) = report.improvements();
         assert!(edp > 100.0, "EDP improvement {edp}");
         assert!(eff > 1.0, "efficiency improvement {eff}");
@@ -156,21 +230,46 @@ mod tests {
 
     #[test]
     fn measured_mode_changes_the_projection() {
-        let base = DnaExperiment {
+        let base = Experiment::new(DnaWorkload {
             spec: DnaSpec {
                 ref_len: 30_000,
                 coverage: 2,
                 read_len: 100,
             },
             seed: 5,
-            hit_ratio_mode: HitRatioMode::PaperAssumption,
-        };
-        let assumed = base.run();
-        let measured = base.with_hit_ratio_mode(HitRatioMode::Measured).run();
+        });
+        let assumed = base.run().expect("assumed-mode run");
+        let measured = base
+            .with_hit_ratio_mode(HitRatioMode::Measured)
+            .run()
+            .expect("measured-mode run");
         // Different hit ratios shift the conventional projection.
         assert_ne!(
             assumed.conventional().total_time,
             measured.conventional().total_time
         );
+    }
+
+    #[test]
+    fn oversized_dna_executions_error_instead_of_panicking() {
+        let err = DnaExperiment::paper(1).run().expect_err("3 GB cannot run");
+        assert!(matches!(
+            err,
+            ExperimentError::Sim(SimError::SpecTooLarge { .. })
+        ));
+        assert!(err.to_string().contains("capped"));
+    }
+
+    #[test]
+    fn experiments_are_batch_policy_invariant() {
+        let serial = AdditionsExperiment::scaled(5_000, 7)
+            .with_batch(BatchPolicy::SERIAL)
+            .run()
+            .expect("serial run");
+        let parallel = AdditionsExperiment::scaled(5_000, 7)
+            .with_batch(BatchPolicy::with_threads(4))
+            .run()
+            .expect("parallel run");
+        assert_eq!(serial, parallel);
     }
 }

@@ -28,6 +28,8 @@ pub struct SolvedRead {
     /// Voltage across every cell, row-major (`rows × cols`); positive means
     /// wordline side higher.
     pub cell_voltages: Vec<f64>,
+    /// Columns in the solved grid (row stride of `cell_voltages`).
+    pub cols: usize,
     /// Power dissipated in all cells *except* the selected one.
     pub parasitic_power: Power,
     /// Gauss-Seidel sweeps used.
@@ -38,8 +40,8 @@ pub struct SolvedRead {
 
 impl SolvedRead {
     /// Voltage across cell `(r, c)`.
-    pub fn cell_voltage(&self, r: usize, c: usize, cols: usize) -> Voltage {
-        Voltage::new(self.cell_voltages[r * cols + c])
+    pub fn cell_voltage(&self, r: usize, c: usize) -> Voltage {
+        Voltage::new(self.cell_voltages[r * self.cols + c])
     }
 }
 
@@ -194,20 +196,21 @@ impl LumpedSolver {
             }
         }
 
-        package_solution(
+        LumpedSolution {
             cells,
             rows,
             cols,
             selected,
-            &w,
-            &b,
+            w: &w,
+            b: &b,
             gate_on,
             // Sense current: everything flowing out of the selected
             // bitline into its sense source.
-            (b[sel_c] - bias.bl_selected.get()) * g_sense,
+            sense_current: (b[sel_c] - bias.bl_selected.get()) * g_sense,
             iterations,
             converged,
-        )
+        }
+        .package()
     }
 }
 
@@ -304,6 +307,7 @@ impl DistributedSolver {
             1.0,
         );
         let mut tri = Tridiagonal::new(rows.max(cols));
+        let mut column = vec![0.0; rows];
         let mut iterations = 0;
         let mut converged = false;
         while iterations < self.config.max_sweeps {
@@ -323,7 +327,6 @@ impl DistributedSolver {
                 let delta = tri.solve_into(&mut w[i * cols..(i + 1) * cols]);
                 max_delta = max_delta.max(delta);
             }
-            let mut column = vec![0.0; rows];
             for j in 0..cols {
                 tri.reset(rows);
                 for i in 0..rows {
@@ -382,6 +385,7 @@ impl DistributedSolver {
         SolvedRead {
             sense_current: Current::new(sense_current),
             cell_voltages,
+            cols,
             parasitic_power: Power::new(parasitic),
             iterations,
             converged,
@@ -518,38 +522,48 @@ impl Tridiagonal {
     }
 }
 
-/// Builds the result struct for the lumped solver.
-#[allow(clippy::too_many_arguments)]
-fn package_solution<C: Cell>(
-    cells: &[C],
+/// Converged lumped-solver state, ready to be packaged into a
+/// [`SolvedRead`].
+struct LumpedSolution<'a, C, G> {
+    cells: &'a [C],
     rows: usize,
     cols: usize,
     selected: (usize, usize),
-    w: &[f64],
-    b: &[f64],
-    gate_on: impl Fn(usize) -> bool,
+    /// Wordline potentials, one per row.
+    w: &'a [f64],
+    /// Bitline potentials, one per column.
+    b: &'a [f64],
+    gate_on: G,
     sense_current: f64,
     iterations: usize,
     converged: bool,
-) -> SolvedRead {
-    let mut cell_voltages = vec![0.0; rows * cols];
-    let mut parasitic = 0.0;
-    for i in 0..rows {
-        for j in 0..cols {
-            let dv = w[i] - b[j];
-            cell_voltages[i * cols + j] = dv;
-            if (i, j) != selected {
-                let current = cells[i * cols + j].current(Voltage::new(dv), gate_on(i));
-                parasitic += (current.get() * dv).abs();
+}
+
+impl<C: Cell, G: Fn(usize) -> bool> LumpedSolution<'_, C, G> {
+    /// Derives per-cell voltages and parasitic power from the line
+    /// potentials.
+    fn package(self) -> SolvedRead {
+        let mut cell_voltages = vec![0.0; self.rows * self.cols];
+        let mut parasitic = 0.0;
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let dv = self.w[i] - self.b[j];
+                cell_voltages[i * self.cols + j] = dv;
+                if (i, j) != self.selected {
+                    let current =
+                        self.cells[i * self.cols + j].current(Voltage::new(dv), (self.gate_on)(i));
+                    parasitic += (current.get() * dv).abs();
+                }
             }
         }
-    }
-    SolvedRead {
-        sense_current: Current::new(sense_current),
-        cell_voltages,
-        parasitic_power: Power::new(parasitic),
-        iterations,
-        converged,
+        SolvedRead {
+            sense_current: Current::new(self.sense_current),
+            cell_voltages,
+            cols: self.cols,
+            parasitic_power: Power::new(parasitic),
+            iterations: self.iterations,
+            converged: self.converged,
+        }
     }
 }
 
@@ -613,10 +627,10 @@ mod tests {
         );
         assert!(solved.converged);
         // Fully unselected cells see ~0 V.
-        let dv_unsel = solved.cell_voltage(0, 0, rows);
+        let dv_unsel = solved.cell_voltage(0, 0);
         assert!(dv_unsel.get().abs() < 1e-3);
         // Selected cell sees ~full V.
-        let dv_sel = solved.cell_voltage(3, 4, rows);
+        let dv_sel = solved.cell_voltage(3, 4);
         assert!((dv_sel.as_volts() - 1.0).abs() < 0.05);
     }
 

@@ -1,0 +1,126 @@
+//! The [`ExecutionBackend`] seam between machines and workloads.
+//!
+//! A backend is a machine model that can execute a [`Workload`]'s items
+//! for real and summarise the run: `ConventionalExecutor` and
+//! `CimExecutor` both implement `ExecutionBackend<DnaWorkload>` and
+//! `ExecutionBackend<AdditionWorkload>`, so the generic
+//! `cim-core::Experiment<W>` driver handles all four (workload ×
+//! machine) combinations through one code path.
+//!
+//! Contracts every implementation upholds:
+//!
+//! * **Determinism** — `run` is a pure function of `(self, workload)`;
+//!   in particular the [`RunOutcome`] is bit-identical whatever the
+//!   executor's `BatchPolicy` thread count (see `crate::batch`).
+//! * **Typed failure** — impossible sizes and semantic divergence are
+//!   [`SimError`]s, never panics.
+//! * **Honest digests** — `RunOutcome::digest` reports what was actually
+//!   executed so [`Workload::verify`] can hold it against ground truth.
+
+use cim_arch::RunReport;
+use cim_workloads::{ExecutionDigest, Workload};
+use serde::{Deserialize, Serialize};
+
+/// Everything one backend produces for one workload run: the
+/// executed-scale [`RunReport`], the functional [`ExecutionDigest`], and
+/// machine-specific measurements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunOutcome {
+    /// Which machine produced this (`"conventional"` / `"cim"`).
+    pub machine: &'static str,
+    /// Timing/energy/area of the run at the executed scale.
+    pub report: RunReport,
+    /// Functional summary for [`Workload::verify`].
+    pub digest: ExecutionDigest,
+    /// Cache hit ratio measured on the run's real memory trace, when the
+    /// backend models a cache (conventional DNA runs).
+    pub measured_hit_ratio: Option<f64>,
+    /// Hit ratio of the sorted-index probes alone, when applicable.
+    pub index_hit_ratio: Option<f64>,
+    /// Human-readable provenance notes, in significance order.
+    pub notes: Vec<String>,
+}
+
+/// Why a backend could not produce a [`RunOutcome`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The workload exceeds what this backend can execute in memory;
+    /// use the projection for paper scale.
+    SpecTooLarge {
+        /// The refusing machine.
+        machine: &'static str,
+        /// Requested problem size (reference characters / operations).
+        requested: u64,
+        /// The backend's executable cap.
+        cap: u64,
+    },
+    /// The machine's primitive semantics disagreed with ground truth
+    /// mid-run (a modelling bug — fail loudly, with evidence).
+    Diverged {
+        /// The diverging machine.
+        machine: &'static str,
+        /// What disagreed, with enough context to reproduce.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::SpecTooLarge {
+                machine,
+                requested,
+                cap,
+            } => write!(
+                f,
+                "{machine}: spec of {requested} exceeds the executable cap \
+                 ({cap}); executable specs are capped — project instead"
+            ),
+            SimError::Diverged { machine, detail } => {
+                write!(
+                    f,
+                    "{machine}: execution diverged from ground truth: {detail}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A machine model that can execute workloads of type `W`.
+pub trait ExecutionBackend<W: Workload> {
+    /// Short machine label used in errors and reports.
+    fn machine(&self) -> &'static str;
+
+    /// Executes the workload per-item through this machine's primitive
+    /// semantics and summarises the run.
+    fn run(&self, workload: &W) -> Result<RunOutcome, SimError>;
+
+    /// Projects the workload to paper scale via the closed-form counts,
+    /// with the conventional cache modelled at `hit_ratio` (backends
+    /// without a cache ignore it).
+    fn project(&self, workload: &W, hit_ratio: f64) -> RunReport;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_machine_and_evidence() {
+        let too_large = SimError::SpecTooLarge {
+            machine: "conventional",
+            requested: 3_000_000_000,
+            cap: 1 << 28,
+        };
+        let rendered = too_large.to_string();
+        assert!(rendered.contains("conventional") && rendered.contains("capped"));
+
+        let diverged = SimError::Diverged {
+            machine: "cim",
+            detail: "comparator read 0 at position 17".into(),
+        };
+        assert!(diverged.to_string().contains("position 17"));
+    }
+}

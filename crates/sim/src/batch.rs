@@ -1,0 +1,221 @@
+//! Deterministic parallel batch driver for per-item hot loops.
+//!
+//! Both executors iterate large item collections (short reads, operand
+//! pairs) whose per-item work is independent. This module fans that work
+//! out over `std::thread::scope` workers while keeping results
+//! **bit-identical to the serial run regardless of thread count**:
+//!
+//! * items are split into fixed-size chunks ([`CHUNK_SIZE`], independent
+//!   of thread count);
+//! * workers claim chunk *indices* from an atomic counter (dynamic load
+//!   balancing, order of execution unspecified);
+//! * each chunk is processed serially, producing `(chunk_index, result)`;
+//! * results are sorted by chunk index and merged left-to-right.
+//!
+//! Floating-point accumulation order is therefore a pure function of the
+//! item order and chunk size — never of scheduling. Stateful phases that
+//! genuinely need global order (e.g. cache replay) stay sequential; see
+//! `ConventionalExecutor`'s two-phase DNA run.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// Items per chunk. Fixed — NOT derived from the thread count — so the
+/// chunk decomposition (and with it every merge order) is identical on
+/// every machine.
+pub const CHUNK_SIZE: usize = 1024;
+
+/// How a batch loop is driven.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchPolicy {
+    /// Worker threads; `0` means "ask the OS" (`available_parallelism`).
+    pub threads: usize,
+}
+
+impl BatchPolicy {
+    /// Single-threaded reference execution.
+    pub const SERIAL: BatchPolicy = BatchPolicy { threads: 1 };
+
+    /// Use every core the OS reports.
+    pub fn auto() -> Self {
+        BatchPolicy { threads: 0 }
+    }
+
+    /// Exactly `threads` workers.
+    pub fn with_threads(threads: usize) -> Self {
+        BatchPolicy { threads }
+    }
+
+    /// Worker count for a batch of `items` items: resolves `0`, then
+    /// caps so no worker starves (< 1 chunk) and degenerate batches run
+    /// inline.
+    pub fn effective_threads(&self, items: usize) -> usize {
+        let requested = if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.threads
+        };
+        requested.min(items.div_ceil(CHUNK_SIZE)).max(1)
+    }
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+/// Runs `fold` over every item, merging per-chunk accumulators in chunk
+/// order. Equivalent to
+/// `items.chunks(CHUNK_SIZE).map(serial fold).fold(init(), merge)` —
+/// and bit-identical to it at any thread count.
+pub fn par_fold_chunks<T, A, I, F, M>(
+    policy: BatchPolicy,
+    items: &[T],
+    init: I,
+    fold: F,
+    merge: M,
+) -> A
+where
+    T: Sync,
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(A, &T) -> A + Sync,
+    M: Fn(A, A) -> A,
+{
+    let chunk_results = run_chunks(policy, items, |chunk| chunk.iter().fold(init(), &fold));
+    chunk_results.into_iter().fold(init(), merge)
+}
+
+/// Maps every item, preserving item order in the output.
+pub fn par_map<T, U, F>(policy: BatchPolicy, items: &[T], map: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let chunk_results = run_chunks(policy, items, |chunk| {
+        chunk.iter().map(&map).collect::<Vec<U>>()
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for mut part in chunk_results {
+        out.append(&mut part);
+    }
+    out
+}
+
+/// Shared engine: applies `work` to each fixed-size chunk (serially per
+/// chunk, chunks claimed dynamically by workers) and returns the chunk
+/// results **in chunk order**.
+fn run_chunks<T, R, W>(policy: BatchPolicy, items: &[T], work: W) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    W: Fn(&[T]) -> R + Sync,
+{
+    let chunks: Vec<&[T]> = items.chunks(CHUNK_SIZE).collect();
+    let threads = policy.effective_threads(items.len());
+    if threads <= 1 || chunks.len() <= 1 {
+        return chunks.into_iter().map(&work).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let (work, next, chunks) = (&work, &next, &chunks);
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(chunk) = chunks.get(index) else {
+                            break;
+                        };
+                        local.push((index, work(chunk)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|handle| handle.join().expect("batch worker panicked"))
+            .collect()
+    });
+    indexed.sort_unstable_by_key(|(index, _)| *index);
+    indexed.into_iter().map(|(_, result)| result).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policies() -> [BatchPolicy; 4] {
+        [
+            BatchPolicy::SERIAL,
+            BatchPolicy::with_threads(2),
+            BatchPolicy::with_threads(5),
+            BatchPolicy::auto(),
+        ]
+    }
+
+    #[test]
+    fn fold_is_thread_count_invariant_for_floats() {
+        // Non-associative f64 sums: only a fixed merge order keeps these
+        // bit-identical across thread counts.
+        let items: Vec<f64> = (0..10_000).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let reference = par_fold_chunks(
+            BatchPolicy::SERIAL,
+            &items,
+            || 0.0f64,
+            |acc, x| acc + x,
+            |a, b| a + b,
+        );
+        for policy in policies() {
+            let sum = par_fold_chunks(policy, &items, || 0.0f64, |acc, x| acc + x, |a, b| a + b);
+            assert_eq!(sum.to_bits(), reference.to_bits(), "policy {policy:?}");
+        }
+    }
+
+    #[test]
+    fn map_preserves_item_order() {
+        let items: Vec<u64> = (0..5_000).collect();
+        for policy in policies() {
+            let squares = par_map(policy, &items, |&x| x * x);
+            assert_eq!(squares.len(), items.len());
+            assert!(squares
+                .iter()
+                .enumerate()
+                .all(|(i, &s)| s == (i as u64).pow(2)));
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_batches_work() {
+        let empty: Vec<u32> = Vec::new();
+        assert_eq!(
+            par_map(BatchPolicy::auto(), &empty, |&x| x),
+            Vec::<u32>::new()
+        );
+        let one = [7u32];
+        assert_eq!(par_map(BatchPolicy::auto(), &one, |&x| x + 1), vec![8]);
+        let sum = par_fold_chunks(
+            BatchPolicy::auto(),
+            &empty,
+            || 0u32,
+            |a, &b| a + b,
+            |a, b| a + b,
+        );
+        assert_eq!(sum, 0);
+    }
+
+    #[test]
+    fn effective_threads_respects_request_and_batch_size() {
+        assert_eq!(BatchPolicy::SERIAL.effective_threads(1 << 20), 1);
+        assert_eq!(BatchPolicy::with_threads(4).effective_threads(1 << 20), 4);
+        // 100 items = 1 chunk → a single worker no matter the request.
+        assert_eq!(BatchPolicy::with_threads(16).effective_threads(100), 1);
+        assert!(BatchPolicy::auto().effective_threads(1 << 20) >= 1);
+    }
+}

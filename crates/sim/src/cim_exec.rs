@@ -2,10 +2,12 @@
 
 use cim_arch::{CimMachine, RunReport};
 use cim_logic::{Comparator, TcAdderModel};
-use cim_workloads::{AdditionWorkload, DnaSpec, Genome, ReadSampler};
+use cim_workloads::{AdditionWorkload, DnaSpec, DnaWorkload, ExecutionDigest, Genome};
 use serde::{Deserialize, Serialize};
 
-use crate::conventional::batched_report;
+use crate::backend::{ExecutionBackend, RunOutcome, SimError};
+use crate::batch::{par_fold_chunks, BatchPolicy};
+use crate::conventional::dna_sampler;
 use crate::event::makespan;
 
 /// Runs workloads on the CIM machine model.
@@ -16,68 +18,120 @@ use crate::event::makespan;
 /// [`TcAdderModel`], and the results are checked against ground truth.
 /// Timing/energy then follow the batch aggregation with the machine's
 /// Table-1 costs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CimExecutor {
-    /// Seed for workload generation.
-    pub seed: u64,
+    /// How per-item loops are parallelised. Results are identical for
+    /// every policy (see `crate::batch`); only wall-clock time changes.
+    pub batch: BatchPolicy,
 }
 
 impl CimExecutor {
-    /// Creates an executor with the given workload seed.
-    pub fn new(seed: u64) -> Self {
-        Self { seed }
+    /// Machine label used in errors and reports.
+    pub const MACHINE: &'static str = "cim";
+
+    /// Largest reference the in-crossbar DNA pass will execute; larger
+    /// workloads are clamped to this (shape preserved) since the
+    /// paper-scale answer comes from the projection anyway.
+    pub const DNA_EXEC_CAP: u64 = 1 << 20;
+
+    /// Creates an executor with automatic thread-count selection.
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    /// Executes a scaled DNA comparison pass in-crossbar: every character
-    /// comparison of every read against its mapped window runs through
-    /// the IMPLY comparator microprogram. Returns the scaled report and
-    /// the number of comparator invocations.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the comparator microprogram ever disagrees with direct
-    /// symbol equality (it cannot — the program is verified — but the
-    /// check *is* the execution), or if the spec exceeds the executable
-    /// cap.
-    pub fn run_dna_scaled(&self, spec: DnaSpec) -> (RunReport, u64) {
-        assert!(
-            spec.ref_len <= (1 << 24),
-            "executable specs are capped at 16M characters; project instead"
-        );
-        let genome = Genome::generate(spec.ref_len as usize, self.seed);
-        let sampler = ReadSampler {
-            read_len: spec.read_len as usize,
-            coverage: spec.coverage as u32,
-            error_rate: 0.01,
-            seed: self.seed ^ 0x5eed,
-        };
-        let reads = sampler.sample(&genome);
+    /// Creates an executor with an explicit batch policy.
+    pub fn with_batch(batch: BatchPolicy) -> Self {
+        Self { batch }
+    }
+
+    /// Projects the paper-scale DNA run (6×10⁹ comparisons on the
+    /// 1.536×10⁸-device crossbar) with a given resident ratio.
+    pub fn project_dna(&self, memory_hit_ratio: f64) -> RunReport {
+        let mut machine = CimMachine::dna_paper();
+        machine.memory_hit_ratio = memory_hit_ratio;
+        RunReport::batched(
+            DnaSpec::paper().comparisons(),
+            machine.parallel_ops(),
+            machine.op_latency(),
+            machine.op_dynamic_energy(),
+            machine.static_power(),
+            machine.area(),
+        )
+    }
+
+    fn additions_report(&self, workload: &AdditionWorkload) -> RunReport {
+        let machine = CimMachine::math_paper(workload.n_ops, workload.bits);
+        RunReport::batched(
+            workload.n_ops,
+            machine.parallel_ops(),
+            machine.op_latency(),
+            machine.op_dynamic_energy(),
+            machine.static_power(),
+            machine.area(),
+        )
+    }
+}
+
+impl ExecutionBackend<DnaWorkload> for CimExecutor {
+    fn machine(&self) -> &'static str {
+        Self::MACHINE
+    }
+
+    /// Executes the (clamped) DNA comparison pass in-crossbar: every
+    /// character comparison of every read against its true window runs
+    /// through the IMPLY comparator microprogram and is checked against
+    /// direct symbol equality — the check *is* the execution. A
+    /// disagreement surfaces as [`SimError::Diverged`].
+    fn run(&self, workload: &DnaWorkload) -> Result<RunOutcome, SimError> {
+        let spec = workload.executable_spec(Self::DNA_EXEC_CAP);
+        let genome = Genome::generate(spec.ref_len as usize, workload.seed);
+        let reads = dna_sampler(&spec, workload.seed).sample(&genome);
         let comparator = Comparator::new();
         let program = comparator.eq_program();
 
-        let mut comparisons = 0u64;
-        for read in &reads {
-            let pos = read.true_position;
-            for (i, &symbol) in read.symbols.iter().enumerate() {
-                let reference = genome.codes()[pos + i];
-                let inputs = [
-                    symbol & 1 == 1,
-                    symbol & 2 == 2,
-                    reference & 1 == 1,
-                    reference & 2 == 2,
-                ];
-                let eq = program.evaluate(&inputs)[0];
-                assert_eq!(eq, symbol == reference, "comparator diverged");
-                comparisons += 1;
-            }
+        // Each read's comparisons are independent of every other read's,
+        // so the hot loop fans out; divergence evidence (if any) merges
+        // to the earliest chunk's report.
+        let (comparisons, diverged) = par_fold_chunks(
+            self.batch,
+            &reads,
+            || (0u64, None::<String>),
+            |(mut count, mut diverged), read| {
+                let pos = read.true_position;
+                for (i, &symbol) in read.symbols.iter().enumerate() {
+                    let reference = genome.codes()[pos + i];
+                    let inputs = [
+                        symbol & 1 == 1,
+                        symbol & 2 == 2,
+                        reference & 1 == 1,
+                        reference & 2 == 2,
+                    ];
+                    let eq = program.evaluate(&inputs)[0];
+                    if eq != (symbol == reference) && diverged.is_none() {
+                        diverged = Some(format!(
+                            "comparator returned {eq} for symbols ({symbol}, {reference}) \
+                             at reference position {}",
+                            pos + i
+                        ));
+                    }
+                    count += 1;
+                }
+                (count, diverged)
+            },
+            |(c1, d1), (c2, d2)| (c1 + c2, d1.or(d2)),
+        );
+        if let Some(detail) = diverged {
+            return Err(SimError::Diverged {
+                machine: Self::MACHINE,
+                detail,
+            });
         }
 
         let machine = CimMachine::dna_paper();
-        let parallel = machine.parallel_ops();
         // Scale the crossbar with the problem, as the conventional
         // executor scales its clusters.
         let scale = spec.scale_vs_paper();
-        let parallel_scaled = ((parallel as f64 * scale).round() as u64).max(1);
+        let parallel_scaled = ((machine.parallel_ops() as f64 * scale).round() as u64).max(1);
         let durations = (0..comparisons.div_ceil(parallel_scaled)).map(|_| machine.op_latency());
         let total_time = makespan(durations, 1);
         let report = RunReport {
@@ -87,50 +141,74 @@ impl CimExecutor {
                 + machine.static_power() * total_time,
             area: machine.area() * scale.max(f64::MIN_POSITIVE),
         };
-        (report, comparisons)
+
+        Ok(RunOutcome {
+            machine: Self::MACHINE,
+            report,
+            digest: ExecutionDigest {
+                items_total: reads.len() as u64,
+                // Every comparison agreed with ground truth (divergence
+                // would have errored above), so every read is verified.
+                items_verified: reads.len() as u64,
+                operations: comparisons,
+                checksum: None,
+            },
+            measured_hit_ratio: None,
+            index_hit_ratio: None,
+            notes: vec![format!(
+                "{comparisons} comparator invocations verified against direct symbol equality"
+            )],
+        })
     }
 
-    /// Projects the paper-scale DNA run (6×10⁹ comparisons on the
-    /// 1.536×10⁸-device crossbar) with a given resident ratio.
-    pub fn project_dna(&self, memory_hit_ratio: f64) -> RunReport {
-        let mut machine = CimMachine::dna_paper();
-        machine.memory_hit_ratio = memory_hit_ratio;
-        let ops = DnaSpec::paper().comparisons();
-        batched_report(
-            ops,
-            machine.parallel_ops(),
-            machine.op_latency(),
-            machine.op_dynamic_energy(),
-            machine.static_power(),
-            machine.area(),
-        )
+    fn project(&self, _workload: &DnaWorkload, hit_ratio: f64) -> RunReport {
+        self.project_dna(hit_ratio)
+    }
+}
+
+impl ExecutionBackend<AdditionWorkload> for CimExecutor {
+    fn machine(&self) -> &'static str {
+        Self::MACHINE
     }
 
-    /// Executes the additions workload on TC adders: every sum is
-    /// computed through the adder model and checksummed.
-    ///
-    /// Returns the report and the verified checksum.
-    pub fn run_additions(&self, workload: &AdditionWorkload) -> (RunReport, u64) {
+    /// Executes every addition through the TC adder model, checksumming
+    /// the (width-masked) sums for [`Workload::verify`] — an adder bug
+    /// shows up as a checksum mismatch there.
+    fn run(&self, workload: &AdditionWorkload) -> Result<RunOutcome, SimError> {
         let adder = TcAdderModel::new(workload.bits);
-        let mut checksum = 0u64;
         let mask = if workload.bits == 64 {
             u64::MAX
         } else {
             (1u64 << workload.bits) - 1
         };
-        for (a, b) in workload.operands() {
-            checksum = checksum.wrapping_add(adder.add(a, b) & ((mask << 1) | 1));
-        }
-        let machine = CimMachine::math_paper(workload.n_ops, workload.bits);
-        let report = batched_report(
-            workload.n_ops,
-            machine.parallel_ops(),
-            machine.op_latency(),
-            machine.op_dynamic_energy(),
-            machine.static_power(),
-            machine.area(),
+        let sum_mask = (mask << 1) | 1;
+        let operands: Vec<(u64, u64)> = workload.operands().collect();
+        let (count, checksum) = par_fold_chunks(
+            self.batch,
+            &operands,
+            || (0u64, 0u64),
+            |(count, sum), &(a, b)| (count + 1, sum.wrapping_add(adder.add(a, b) & sum_mask)),
+            |(c1, s1), (c2, s2)| (c1 + c2, s1.wrapping_add(s2)),
         );
-        (report, checksum)
+        Ok(RunOutcome {
+            machine: Self::MACHINE,
+            report: self.additions_report(workload),
+            digest: ExecutionDigest {
+                items_total: count,
+                items_verified: count,
+                operations: count,
+                checksum: Some(checksum),
+            },
+            measured_hit_ratio: None,
+            index_hit_ratio: None,
+            notes: vec![format!(
+                "checksum {checksum:#018x} over {count} TC-adder additions"
+            )],
+        })
+    }
+
+    fn project(&self, workload: &AdditionWorkload, _hit_ratio: f64) -> RunReport {
+        self.additions_report(workload)
     }
 }
 
@@ -138,25 +216,55 @@ impl CimExecutor {
 mod tests {
     use super::*;
     use cim_arch::Metrics;
+    use cim_workloads::Workload;
 
     #[test]
     fn scaled_dna_runs_all_comparisons_through_the_comparator() {
-        let exec = CimExecutor::new(11);
-        let spec = DnaSpec {
-            ref_len: 10_000,
-            coverage: 2,
-            read_len: 100,
+        let exec = CimExecutor::new();
+        let workload = DnaWorkload {
+            spec: DnaSpec {
+                ref_len: 10_000,
+                coverage: 2,
+                read_len: 100,
+            },
+            seed: 11,
         };
-        let (report, comparisons) = exec.run_dna_scaled(spec);
+        let run = exec.run(&workload).expect("comparator cannot diverge");
         // coverage · L = 20 000 characters compared.
-        assert_eq!(comparisons, 20_000);
-        assert_eq!(report.operations, 20_000);
-        assert!(report.total_time.get() > 0.0);
+        assert_eq!(run.digest.operations, 20_000);
+        assert_eq!(run.report.operations, 20_000);
+        assert!(run.report.total_time.get() > 0.0);
+        assert!(workload.verify(&run.digest).is_ok());
+        assert!(run.notes[0].contains("comparator"));
+    }
+
+    #[test]
+    fn oversized_dna_specs_clamp_to_the_cap() {
+        let exec = CimExecutor::new();
+        let run = exec
+            .run(&DnaWorkload::scaled(CimExecutor::DNA_EXEC_CAP * 4, 2))
+            .expect("clamped spec executes");
+        // Clamped to 2^20 characters at coverage 50 → 50·2^20 comparisons.
+        assert_eq!(run.digest.operations, CimExecutor::DNA_EXEC_CAP * 50);
+    }
+
+    #[test]
+    fn dna_run_is_identical_at_every_thread_count() {
+        let workload = DnaWorkload::scaled(30_000, 21);
+        let reference = CimExecutor::with_batch(BatchPolicy::SERIAL)
+            .run(&workload)
+            .expect("serial run");
+        for threads in [2, 3, 8] {
+            let parallel = CimExecutor::with_batch(BatchPolicy::with_threads(threads))
+                .run(&workload)
+                .expect("parallel run");
+            assert_eq!(parallel, reference, "diverged at {threads} threads");
+        }
     }
 
     #[test]
     fn paper_projection_shape() {
-        let exec = CimExecutor::new(0);
+        let exec = CimExecutor::new();
         let report = exec.project_dna(0.5);
         assert_eq!(report.operations, 6_000_000_000);
         // 6e9 / 11.8M comparators = 508 rounds × 85.7 ns ≈ 43.6 µs.
@@ -167,19 +275,20 @@ mod tests {
 
     #[test]
     fn additions_checksum_matches_reference() {
-        let exec = CimExecutor::new(5);
+        let exec = CimExecutor::new();
         let w = AdditionWorkload::scaled(20_000, 9);
-        let (report, checksum) = exec.run_additions(&w);
-        assert_eq!(checksum, w.checksum());
-        assert_eq!(report.operations, 20_000);
+        let run = exec.run(&w).expect("additions always execute");
+        assert_eq!(run.digest.checksum, Some(w.checksum()));
+        assert!(w.verify(&run.digest).is_ok());
+        assert_eq!(run.report.operations, 20_000);
     }
 
     #[test]
     fn cim_beats_conventional_on_both_workloads() {
         // The Table-2 headline, asserted as an invariant of the models:
         // orders-of-magnitude EDP and efficiency advantage.
-        let cim = CimExecutor::new(1);
-        let conv = crate::conventional::ConventionalExecutor::new(1);
+        let cim = CimExecutor::new();
+        let conv = crate::conventional::ConventionalExecutor::new();
 
         let cim_dna = Metrics::from_run(&cim.project_dna(0.5));
         let conv_dna = Metrics::from_run(&conv.project_dna(0.5));
@@ -188,8 +297,8 @@ mod tests {
         assert!(eff > 5.0, "DNA efficiency improvement only {eff}");
 
         let w = AdditionWorkload::paper(1);
-        let (cim_math, _) = cim.run_additions(&w);
-        let (conv_math, _) = conv.run_additions(&w);
+        let cim_math = cim.run(&w).expect("cim additions run").report;
+        let conv_math = conv.run(&w).expect("conventional additions run").report;
         let (edp, eff, perf) =
             Metrics::from_run(&cim_math).improvement_over(&Metrics::from_run(&conv_math));
         assert!(edp > 10.0, "math EDP improvement only {edp}");

@@ -1,106 +1,165 @@
 //! Executor for the conventional (FinFET multi-core) machine.
 
 use cim_arch::{ConventionalMachine, RunReport};
-use cim_units::Area;
-use cim_units::{Energy, Power, Time};
-use cim_workloads::{AdditionWorkload, DnaSpec, Genome, MemoryTrace, ReadSampler, SortedKmerIndex};
+use cim_units::Energy;
+use cim_workloads::{
+    AdditionWorkload, DnaSpec, DnaWorkload, ExecutionDigest, Genome, MemoryTrace, ReadSampler,
+    SortedKmerIndex,
+};
 use serde::{Deserialize, Serialize};
 
+use crate::backend::{ExecutionBackend, RunOutcome, SimError};
+use crate::batch::{par_fold_chunks, par_map, BatchPolicy};
 use crate::cache::{CacheConfig, CacheSim};
 use crate::event::makespan;
 use crate::hierarchy::MemoryHierarchy;
 
-/// Everything a scaled DNA run produces: functional results, the
-/// *measured* cache behaviour, and run reports at both scales.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct DnaRunArtifacts {
-    /// The scaled specification that was actually executed.
-    pub spec: DnaSpec,
-    /// Character comparisons executed by the mapper.
-    pub comparisons_executed: u64,
-    /// Reads whose true position was recovered.
-    pub reads_mapped: u64,
-    /// Total reads processed.
-    pub reads_total: u64,
-    /// Hit ratio measured by replaying the mapper's memory trace
-    /// through the 8 kB cluster cache (Table 1 *assumes* 50%).
-    pub measured_hit_ratio: f64,
-    /// Hit ratio of the sorted-index probes alone — the accesses whose
-    /// locality the paper says the index "eliminates". (Sequential
-    /// verification reads are cache-friendly and dilute the overall
-    /// ratio; this isolates the hostile component.)
-    pub index_hit_ratio: f64,
-    /// Report of the scaled run on the proportionally scaled machine.
-    pub scaled_report: RunReport,
-    /// Projection to the paper-scale machine and operation counts, using
-    /// the measured hit ratio.
-    pub paper_projection: RunReport,
-}
-
-/// Shared batch aggregation (DESIGN.md §4): `R = ⌈n/P⌉` rounds of
-/// uniform operations.
-pub(crate) fn batched_report(
-    n_ops: u64,
-    parallel: u64,
-    op_latency: Time,
-    op_energy: Energy,
-    static_power: Power,
-    area: Area,
-) -> RunReport {
-    let rounds = n_ops.div_ceil(parallel.max(1));
-    let total_time = op_latency * rounds as f64;
-    let total_energy = op_energy * n_ops as f64 + static_power * total_time;
-    RunReport {
-        operations: n_ops,
-        total_time,
-        total_energy,
-        area,
-    }
-}
-
 /// Runs workloads on the conventional machine model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// A pure machine model: workload content (and its seed) comes in
+/// through the [`ExecutionBackend`] methods; the only state here is how
+/// the per-item hot loops are driven ([`BatchPolicy`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ConventionalExecutor {
-    /// Seed for workload generation.
-    pub seed: u64,
+    /// How per-item loops are parallelised. Results are identical for
+    /// every policy (see `crate::batch`); only wall-clock time changes.
+    pub batch: BatchPolicy,
 }
 
 impl ConventionalExecutor {
-    /// Creates an executor with the given workload seed.
-    pub fn new(seed: u64) -> Self {
-        Self { seed }
+    /// Machine label used in errors and reports.
+    pub const MACHINE: &'static str = "conventional";
+
+    /// Largest reference the DNA pipeline will execute in memory.
+    pub const DNA_EXEC_CAP: u64 = 1 << 28;
+
+    /// Creates an executor with automatic thread-count selection.
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    /// Executes the DNA pipeline at `spec`'s (scaled) size: generates the
-    /// genome, builds the sorted index, samples reads, maps every read,
-    /// measures cache behaviour on the real access trace, and schedules
-    /// the per-read durations over the scaled machine's clusters.
+    /// Creates an executor with an explicit batch policy.
+    pub fn with_batch(batch: BatchPolicy) -> Self {
+        Self { batch }
+    }
+
+    /// Replays the DNA mapper's memory trace through an arbitrary
+    /// [`MemoryHierarchy`], returning `(avg cycles/access, DRAM ratio,
+    /// per-level hit ratios)` — the hierarchy-sensitivity study the
+    /// paper's flat 165-cycle model cannot express.
     ///
     /// # Panics
     ///
-    /// Panics if the spec is too large to execute in memory (refuse
-    /// above 2²⁸ reference characters — use the projection for paper
-    /// scale).
-    pub fn run_dna(&self, spec: DnaSpec) -> DnaRunArtifacts {
+    /// Panics if the spec exceeds the executable cap.
+    pub fn measure_hierarchy(
+        &self,
+        spec: DnaSpec,
+        seed: u64,
+        hierarchy: &mut MemoryHierarchy,
+    ) -> (f64, f64, Vec<f64>) {
         assert!(
-            spec.ref_len <= (1 << 28),
+            spec.ref_len <= Self::DNA_EXEC_CAP,
             "executable specs are capped at 256M characters; project instead"
         );
-        let genome = Genome::generate(spec.ref_len as usize, self.seed);
+        let genome = Genome::generate(spec.ref_len as usize, seed);
         let index = SortedKmerIndex::build(&genome, 16);
-        let sampler = ReadSampler {
-            read_len: spec.read_len as usize,
-            coverage: spec.coverage as u32,
-            error_rate: 0.01,
-            seed: self.seed ^ 0x5eed,
-        };
-        let reads = sampler.sample(&genome);
+        let sampler = dna_sampler(&spec, seed);
+        let mut trace = MemoryTrace::new();
+        for read in sampler.sample(&genome) {
+            let _ = index.map_read(&genome, &read, &mut trace);
+        }
+        let avg_cycles = hierarchy.run_trace(&trace);
+        (
+            avg_cycles,
+            hierarchy.dram_ratio(),
+            hierarchy.level_hit_ratios(),
+        )
+    }
+
+    /// Projects the paper-scale DNA run with a given hit ratio (use the
+    /// measured one, or Table 1's 0.5 for as-published numbers).
+    pub fn project_dna(&self, hit_ratio: f64) -> RunReport {
+        let mut machine = ConventionalMachine::dna_paper();
+        machine.cache = machine.cache.with_hit_ratio(hit_ratio);
+        RunReport::batched(
+            DnaSpec::paper().comparisons(),
+            machine.parallel_units(),
+            machine.op_latency(),
+            machine.op_dynamic_energy(),
+            machine.static_power(),
+            machine.area(),
+        )
+    }
+
+    fn additions_report(&self, workload: &AdditionWorkload) -> RunReport {
+        let machine = ConventionalMachine::math_paper(workload.n_ops);
+        RunReport::batched(
+            workload.n_ops,
+            machine.parallel_units(),
+            machine.op_latency(),
+            machine.op_dynamic_energy(),
+            machine.static_power(),
+            machine.area(),
+        )
+    }
+}
+
+/// The workloads' shared read-sampling configuration (1% sequencing
+/// error, seed decorrelated from the genome's).
+pub(crate) fn dna_sampler(spec: &DnaSpec, seed: u64) -> ReadSampler {
+    ReadSampler {
+        read_len: spec.read_len as usize,
+        coverage: spec.coverage as u32,
+        error_rate: 0.01,
+        seed: seed ^ 0x5eed,
+    }
+}
+
+impl ExecutionBackend<DnaWorkload> for ConventionalExecutor {
+    fn machine(&self) -> &'static str {
+        Self::MACHINE
+    }
+
+    /// Executes the DNA pipeline at the workload's (scaled) size:
+    /// generates the genome, builds the sorted index, samples reads,
+    /// maps every read, measures cache behaviour on the real access
+    /// trace, and schedules the per-read durations over the scaled
+    /// machine's clusters.
+    ///
+    /// Two phases keep the parallel run bit-identical to the serial one:
+    /// the pure per-read index lookups fan out over the batch driver,
+    /// then the stateful cache replay and f64 energy accumulation walk
+    /// the results sequentially in read order.
+    fn run(&self, workload: &DnaWorkload) -> Result<RunOutcome, SimError> {
+        let spec = workload.spec;
+        if spec.ref_len > Self::DNA_EXEC_CAP {
+            return Err(SimError::SpecTooLarge {
+                machine: Self::MACHINE,
+                requested: spec.ref_len,
+                cap: Self::DNA_EXEC_CAP,
+            });
+        }
+        let genome = Genome::generate(spec.ref_len as usize, workload.seed);
+        let index = SortedKmerIndex::build(&genome, 16);
+        let reads = dna_sampler(&spec, workload.seed).sample(&genome);
 
         let machine = ConventionalMachine::dna_paper();
         let clusters_scaled =
             ((machine.clusters as f64 * spec.scale_vs_paper()).round() as u64).max(1);
         let workers = (clusters_scaled * machine.units_per_cluster) as usize;
 
+        // Phase 1 — parallel map: per-read index lookups are pure, so
+        // they fan out; each yields the lookup outcome plus the memory
+        // trace the sequential phase will replay.
+        let lookups = par_map(self.batch, &reads, |read| {
+            let mut trace = MemoryTrace::new();
+            let outcome = index.map_read(&genome, read, &mut trace);
+            (outcome, trace)
+        });
+
+        // Phase 2 — sequential replay: the cache is one shared stateful
+        // resource and the energy sum is order-sensitive f64, so this
+        // walks the reads in order, exactly as a serial run would.
         let mut cache = CacheSim::new(CacheConfig::table1_8kb());
         let cycle = machine.tech.cycle();
         let mut durations = Vec::with_capacity(reads.len());
@@ -109,9 +168,7 @@ impl ConventionalExecutor {
         let mut dynamic = Energy::ZERO;
         let mut index_hits = 0u64;
         let mut index_misses = 0u64;
-        for read in &reads {
-            let mut trace = MemoryTrace::new();
-            let outcome = index.map_read(&genome, read, &mut trace);
+        for (read, (outcome, trace)) in reads.iter().zip(&lookups) {
             comparisons += outcome.comparisons;
             if outcome.mapped_positions.contains(&read.true_position) {
                 mapped += 1;
@@ -141,7 +198,7 @@ impl ConventionalExecutor {
         let static_scaled =
             machine.static_power() * (clusters_scaled as f64 / machine.clusters as f64);
         let area_scaled = machine.area() * (clusters_scaled as f64 / machine.clusters as f64);
-        let scaled_report = RunReport {
+        let report = RunReport {
             operations: comparisons,
             total_time,
             total_energy: dynamic + static_scaled * total_time,
@@ -150,99 +207,66 @@ impl ConventionalExecutor {
 
         let measured_hit_ratio = cache.hit_ratio();
         let index_hit_ratio = index_hits as f64 / (index_hits + index_misses).max(1) as f64;
-        let paper_projection = self.project_dna(measured_hit_ratio);
 
-        DnaRunArtifacts {
-            spec,
-            comparisons_executed: comparisons,
-            reads_mapped: mapped,
-            reads_total: reads.len() as u64,
-            measured_hit_ratio,
-            index_hit_ratio,
-            scaled_report,
-            paper_projection,
-        }
+        Ok(RunOutcome {
+            machine: Self::MACHINE,
+            report,
+            digest: ExecutionDigest {
+                items_total: reads.len() as u64,
+                items_verified: mapped,
+                operations: comparisons,
+                checksum: None,
+            },
+            measured_hit_ratio: Some(measured_hit_ratio),
+            index_hit_ratio: Some(index_hit_ratio),
+            notes: vec![format!(
+                "scaled run: {mapped}/{} reads mapped, measured hit ratio {measured_hit_ratio:.3} \
+                 (index probes alone: {index_hit_ratio:.3})",
+                reads.len(),
+            )],
+        })
     }
 
-    /// Replays the DNA mapper's memory trace through an arbitrary
-    /// [`MemoryHierarchy`], returning `(avg cycles/access, DRAM ratio,
-    /// per-level hit ratios)` — the hierarchy-sensitivity study the
-    /// paper's flat 165-cycle model cannot express.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the spec exceeds the executable cap.
-    pub fn measure_hierarchy(
-        &self,
-        spec: DnaSpec,
-        hierarchy: &mut MemoryHierarchy,
-    ) -> (f64, f64, Vec<f64>) {
-        assert!(
-            spec.ref_len <= (1 << 28),
-            "executable specs are capped at 256M characters; project instead"
+    fn project(&self, _workload: &DnaWorkload, hit_ratio: f64) -> RunReport {
+        self.project_dna(hit_ratio)
+    }
+}
+
+impl ExecutionBackend<AdditionWorkload> for ConventionalExecutor {
+    fn machine(&self) -> &'static str {
+        Self::MACHINE
+    }
+
+    /// Executes every addition (checksumming the results for
+    /// [`Workload::verify`]), then reports via the batch model on the
+    /// paper machine. The wrapping checksum merges associatively, so the
+    /// chunked fold is exact at any thread count.
+    fn run(&self, workload: &AdditionWorkload) -> Result<RunOutcome, SimError> {
+        let operands: Vec<(u64, u64)> = workload.operands().collect();
+        let (count, checksum) = par_fold_chunks(
+            self.batch,
+            &operands,
+            || (0u64, 0u64),
+            |(count, sum), &(a, b)| (count + 1, sum.wrapping_add(a.wrapping_add(b))),
+            |(c1, s1), (c2, s2)| (c1 + c2, s1.wrapping_add(s2)),
         );
-        let genome = Genome::generate(spec.ref_len as usize, self.seed);
-        let index = SortedKmerIndex::build(&genome, 16);
-        let sampler = ReadSampler {
-            read_len: spec.read_len as usize,
-            coverage: spec.coverage as u32,
-            error_rate: 0.01,
-            seed: self.seed ^ 0x5eed,
-        };
-        let mut trace = MemoryTrace::new();
-        for read in sampler.sample(&genome) {
-            let _ = index.map_read(&genome, &read, &mut trace);
-        }
-        let avg_cycles = hierarchy.run_trace(&trace);
-        (
-            avg_cycles,
-            hierarchy.dram_ratio(),
-            hierarchy.level_hit_ratios(),
-        )
+        Ok(RunOutcome {
+            machine: Self::MACHINE,
+            report: self.additions_report(workload),
+            digest: ExecutionDigest {
+                items_total: count,
+                items_verified: count,
+                operations: count,
+                checksum: Some(checksum),
+            },
+            measured_hit_ratio: None,
+            index_hit_ratio: None,
+            notes: vec![format!("checksum {checksum:#018x} over {count} additions")],
+        })
     }
 
-    /// Projects the paper-scale DNA run with a given hit ratio (use the
-    /// measured one, or Table 1's 0.5 for as-published numbers).
-    pub fn project_dna(&self, hit_ratio: f64) -> RunReport {
-        let mut machine = ConventionalMachine::dna_paper();
-        machine.cache = machine.cache.with_hit_ratio(hit_ratio);
-        let ops = DnaSpec::paper().comparisons();
-        batched_report(
-            ops,
-            machine.parallel_units(),
-            machine.op_latency(),
-            machine.op_dynamic_energy(),
-            machine.static_power(),
-            machine.area(),
-        )
-    }
-
-    /// Executes the additions workload: computes (and checks) every sum,
-    /// then reports via the batch model on the paper machine.
-    ///
-    /// Returns the report and the verified checksum.
-    pub fn run_additions(&self, workload: &AdditionWorkload) -> (RunReport, u64) {
-        let mask = if workload.bits == 64 {
-            u64::MAX
-        } else {
-            (1u64 << workload.bits) - 1
-        };
-        let mut checksum = 0u64;
-        for (a, b) in workload.operands() {
-            debug_assert!(a <= mask && b <= mask);
-            checksum = checksum.wrapping_add(a.wrapping_add(b));
-        }
-        assert_eq!(checksum, workload.checksum(), "execution diverged");
-        let machine = ConventionalMachine::math_paper(workload.n_ops);
-        let report = batched_report(
-            workload.n_ops,
-            machine.parallel_units(),
-            machine.op_latency(),
-            machine.op_dynamic_energy(),
-            machine.static_power(),
-            machine.area(),
-        );
-        (report, checksum)
+    fn project(&self, workload: &AdditionWorkload, _hit_ratio: f64) -> RunReport {
+        self.additions_report(workload)
     }
 }
 
@@ -250,26 +274,32 @@ impl ConventionalExecutor {
 mod tests {
     use super::*;
     use cim_arch::Metrics;
+    use cim_workloads::Workload;
 
     #[test]
     fn scaled_dna_run_maps_most_reads() {
-        let exec = ConventionalExecutor::new(42);
-        let spec = DnaSpec {
-            ref_len: 20_000,
-            coverage: 3,
-            read_len: 100,
+        let exec = ConventionalExecutor::new();
+        let workload = DnaWorkload {
+            spec: DnaSpec {
+                ref_len: 20_000,
+                coverage: 3,
+                read_len: 100,
+            },
+            seed: 42,
         };
-        let run = exec.run_dna(spec);
-        assert_eq!(run.reads_total, 600);
+        let run = exec.run(&workload).expect("in-cap spec executes");
+        assert_eq!(run.digest.items_total, 600);
         // Seed-and-extend maps the vast majority of 1%-error reads.
         assert!(
-            run.reads_mapped * 10 >= run.reads_total * 7,
+            run.digest.items_verified * 10 >= run.digest.items_total * 7,
             "only {}/{} mapped",
-            run.reads_mapped,
-            run.reads_total
+            run.digest.items_verified,
+            run.digest.items_total
         );
-        assert!(run.comparisons_executed > 0);
-        assert!(run.scaled_report.total_time.get() > 0.0);
+        assert!(workload.verify(&run.digest).is_ok());
+        assert!(run.digest.operations > 0);
+        assert!(run.report.total_time.get() > 0.0);
+        assert!(run.notes[0].contains("reads mapped"));
     }
 
     #[test]
@@ -277,31 +307,53 @@ mod tests {
         // The paper's core claim about the sorted index: it destroys
         // locality. With a reference + index far exceeding 8 kB the
         // measured hit ratio lands well under sequential-workload levels.
-        let exec = ConventionalExecutor::new(7);
-        let spec = DnaSpec {
-            ref_len: 200_000,
-            coverage: 2,
-            read_len: 100,
+        let exec = ConventionalExecutor::new();
+        let workload = DnaWorkload {
+            spec: DnaSpec {
+                ref_len: 200_000,
+                coverage: 2,
+                read_len: 100,
+            },
+            seed: 7,
         };
-        let run = exec.run_dna(spec);
+        let run = exec.run(&workload).expect("in-cap spec executes");
+        let index_hit_ratio = run.index_hit_ratio.expect("DNA runs measure index probes");
+        let measured_hit_ratio = run.measured_hit_ratio.expect("DNA runs measure the cache");
         // The index probes are the locality-hostile component: a binary
         // search's top levels stay cached but the tail is a random walk.
         assert!(
-            run.index_hit_ratio < 0.75,
-            "index hit ratio {} unexpectedly high",
-            run.index_hit_ratio
+            index_hit_ratio < 0.75,
+            "index hit ratio {index_hit_ratio} unexpectedly high"
         );
-        assert!(
-            run.index_hit_ratio > 0.05,
-            "probes should reuse the tree top"
-        );
+        assert!(index_hit_ratio > 0.05, "probes should reuse the tree top");
         // Sequential verification dilutes the overall ratio upwards.
-        assert!(run.measured_hit_ratio > run.index_hit_ratio);
+        assert!(measured_hit_ratio > index_hit_ratio);
+    }
+
+    #[test]
+    fn dna_run_is_identical_at_every_thread_count() {
+        let workload = DnaWorkload {
+            spec: DnaSpec {
+                ref_len: 50_000,
+                coverage: 2,
+                read_len: 100,
+            },
+            seed: 13,
+        };
+        let reference = ConventionalExecutor::with_batch(BatchPolicy::SERIAL)
+            .run(&workload)
+            .expect("serial run");
+        for threads in [2, 3, 8] {
+            let parallel = ConventionalExecutor::with_batch(BatchPolicy::with_threads(threads))
+                .run(&workload)
+                .expect("parallel run");
+            assert_eq!(parallel, reference, "diverged at {threads} threads");
+        }
     }
 
     #[test]
     fn paper_projection_uses_full_scale_counts() {
-        let exec = ConventionalExecutor::new(1);
+        let exec = ConventionalExecutor::new();
         let report = exec.project_dna(0.5);
         assert_eq!(report.operations, 6_000_000_000);
         // 6e9 comparisons / 600k units = 10 000 rounds × 84 ns = 840 µs.
@@ -312,27 +364,29 @@ mod tests {
 
     #[test]
     fn additions_checksum_verifies() {
-        let exec = ConventionalExecutor::new(3);
+        let exec = ConventionalExecutor::new();
         let w = AdditionWorkload::scaled(10_000, 3);
-        let (report, checksum) = exec.run_additions(&w);
-        assert_eq!(checksum, w.checksum());
-        assert_eq!(report.operations, 10_000);
+        let run = exec.run(&w).expect("additions always execute");
+        assert_eq!(run.digest.checksum, Some(w.checksum()));
+        assert!(w.verify(&run.digest).is_ok());
+        assert_eq!(run.report.operations, 10_000);
         // 10 000 ops on ≥313 clusters × 32 units → single round.
-        assert!((report.total_time.as_nano_seconds() - 5.28).abs() < 0.01);
+        assert!((run.report.total_time.as_nano_seconds() - 5.28).abs() < 0.01);
+        assert!(run.notes[0].contains("checksum"));
     }
 
     #[test]
     fn hierarchy_study_shows_l2_absorbing_index_probes() {
-        let exec = ConventionalExecutor::new(4);
+        let exec = ConventionalExecutor::new();
         let spec = DnaSpec {
             ref_len: 60_000,
             coverage: 2,
             read_len: 100,
         };
         let mut flat = crate::hierarchy::MemoryHierarchy::table1_flat();
-        let (flat_cycles, flat_dram, _) = exec.measure_hierarchy(spec, &mut flat);
+        let (flat_cycles, flat_dram, _) = exec.measure_hierarchy(spec, 4, &mut flat);
         let mut deep = crate::hierarchy::MemoryHierarchy::table1_with_l2();
-        let (deep_cycles, deep_dram, levels) = exec.measure_hierarchy(spec, &mut deep);
+        let (deep_cycles, deep_dram, levels) = exec.measure_hierarchy(spec, 4, &mut deep);
         assert!(
             deep_dram < flat_dram,
             "L2 must reduce DRAM traffic: {deep_dram} vs {flat_dram}"
@@ -345,9 +399,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "capped")]
     fn refuses_paper_scale_execution() {
-        let exec = ConventionalExecutor::new(0);
-        let _ = exec.run_dna(DnaSpec::paper());
+        let exec = ConventionalExecutor::new();
+        let err = exec
+            .run(&DnaWorkload::paper(0))
+            .expect_err("paper scale must not execute in memory");
+        assert!(matches!(
+            err,
+            SimError::SpecTooLarge {
+                machine: "conventional",
+                cap: ConventionalExecutor::DNA_EXEC_CAP,
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("capped"));
     }
 }

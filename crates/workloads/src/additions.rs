@@ -4,6 +4,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use crate::workload::{ExecutionDigest, ProjectionKind, Workload, WorkloadError};
+
 /// The paper's "10⁶ parallel addition operations" workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AdditionWorkload {
@@ -52,6 +54,47 @@ impl AdditionWorkload {
     }
 }
 
+impl Workload for AdditionWorkload {
+    fn name(&self) -> String {
+        format!("{} additions", self.n_ops)
+    }
+
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn paper_ops(&self) -> u64 {
+        // The workload executes in full at whatever size it is; its
+        // "paper" count is its own count.
+        self.n_ops
+    }
+
+    fn scale_vs_paper(&self) -> f64 {
+        self.n_ops as f64 / Self::paper(self.seed).n_ops as f64
+    }
+
+    fn projection(&self) -> ProjectionKind {
+        ProjectionKind::ExecutedScale
+    }
+
+    fn verify(&self, digest: &ExecutionDigest) -> Result<(), WorkloadError> {
+        if digest.items_total != self.n_ops {
+            return Err(WorkloadError::ItemCountMismatch {
+                expected: self.n_ops,
+                got: digest.items_total,
+            });
+        }
+        let expected = self.checksum();
+        if digest.checksum != Some(expected) {
+            return Err(WorkloadError::ChecksumMismatch {
+                expected,
+                got: digest.checksum,
+            });
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,5 +134,47 @@ mod tests {
             seed: 2,
         };
         assert_eq!(w.operands().count(), 10);
+    }
+
+    #[test]
+    fn workload_verifies_count_and_checksum() {
+        let w = AdditionWorkload::scaled(256, 3);
+        let good = ExecutionDigest {
+            items_total: 256,
+            items_verified: 256,
+            operations: 256,
+            checksum: Some(w.checksum()),
+        };
+        assert!(w.verify(&good).is_ok());
+
+        let wrong_sum = ExecutionDigest {
+            checksum: Some(w.checksum() ^ 1),
+            ..good
+        };
+        assert!(matches!(
+            w.verify(&wrong_sum),
+            Err(WorkloadError::ChecksumMismatch { .. })
+        ));
+
+        let missing_sum = ExecutionDigest {
+            checksum: None,
+            ..good
+        };
+        assert!(matches!(
+            w.verify(&missing_sum),
+            Err(WorkloadError::ChecksumMismatch { got: None, .. })
+        ));
+
+        let short = ExecutionDigest {
+            items_total: 255,
+            ..good
+        };
+        assert_eq!(
+            w.verify(&short),
+            Err(WorkloadError::ItemCountMismatch {
+                expected: 256,
+                got: 255
+            })
+        );
     }
 }

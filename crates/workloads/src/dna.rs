@@ -2,6 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::workload::{ExecutionDigest, ProjectionKind, Workload, WorkloadError};
+
 /// Parameters of the DNA read-mapping experiment.
 ///
 /// Table 1: "200 GB of DNA data is compared to a healthy reference of
@@ -65,6 +67,95 @@ impl DnaSpec {
     }
 }
 
+/// The healthcare workload: a [`DnaSpec`] plus the seed that generates
+/// its genome and short reads.
+///
+/// Executors run the read-mapping pipeline per short read; the digest
+/// counts reads processed (`items_total`), reads that recovered their
+/// true position (`items_verified`), and character comparisons
+/// (`operations`). Verification requires ≥70% of 1%-error reads to map —
+/// the seed-and-extend mapper's expected recovery floor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DnaWorkload {
+    /// The (scaled) specification to execute.
+    pub spec: DnaSpec,
+    /// Seed for genome generation and read sampling.
+    pub seed: u64,
+}
+
+impl DnaWorkload {
+    /// Minimum fraction of reads that must recover their true position.
+    pub const MIN_MAPPED_PERCENT: u32 = 70;
+
+    /// The paper-scale workload (projection-only; far above any
+    /// executable cap).
+    pub fn paper(seed: u64) -> Self {
+        Self {
+            spec: DnaSpec::paper(),
+            seed,
+        }
+    }
+
+    /// A laptop-scale workload with the paper's shape.
+    pub fn scaled(ref_len: u64, seed: u64) -> Self {
+        Self {
+            spec: DnaSpec::scaled(ref_len),
+            seed,
+        }
+    }
+
+    /// The spec clamped to an executor's reference-length cap, shape
+    /// preserved (backends with bounded functional passes execute this).
+    pub fn executable_spec(&self, ref_len_cap: u64) -> DnaSpec {
+        DnaSpec {
+            ref_len: self.spec.ref_len.min(ref_len_cap),
+            ..self.spec
+        }
+    }
+}
+
+impl Workload for DnaWorkload {
+    fn name(&self) -> String {
+        "DNA sequencing".to_string()
+    }
+
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn paper_ops(&self) -> u64 {
+        DnaSpec::paper().comparisons()
+    }
+
+    fn scale_vs_paper(&self) -> f64 {
+        self.spec.scale_vs_paper()
+    }
+
+    fn projection(&self) -> ProjectionKind {
+        // Table 1's assumption for the sorted-index workload.
+        ProjectionKind::PaperScale {
+            assumed_hit_ratio: 0.5,
+        }
+    }
+
+    fn verify(&self, digest: &ExecutionDigest) -> Result<(), WorkloadError> {
+        if digest.items_total == 0 {
+            return Err(WorkloadError::EmptyExecution);
+        }
+        // Backends may execute a capped spec, so the read count is
+        // checked for consistency against itself (mapping ratio) rather
+        // than the uncapped closed form.
+        if digest.items_verified * 100 < digest.items_total * u64::from(Self::MIN_MAPPED_PERCENT) {
+            return Err(WorkloadError::VerificationShortfall {
+                verified: digest.items_verified,
+                total: digest.items_total,
+                required_percent: Self::MIN_MAPPED_PERCENT,
+            });
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,5 +178,55 @@ mod tests {
         assert_eq!(s.read_len, 100);
         assert!((s.scale_vs_paper() - 1e-3).abs() < 1e-15);
         assert_eq!(s.comparisons(), 6_000_000);
+    }
+
+    #[test]
+    fn workload_verifies_on_mapping_ratio() {
+        let w = DnaWorkload::scaled(30_000, 1);
+        let good = ExecutionDigest {
+            items_total: 100,
+            items_verified: 92,
+            operations: 40_000,
+            checksum: None,
+        };
+        assert!(w.verify(&good).is_ok());
+
+        let shortfall = ExecutionDigest {
+            items_verified: 42,
+            ..good
+        };
+        assert!(matches!(
+            w.verify(&shortfall),
+            Err(WorkloadError::VerificationShortfall { verified: 42, .. })
+        ));
+
+        let empty = ExecutionDigest {
+            items_total: 0,
+            items_verified: 0,
+            operations: 0,
+            checksum: None,
+        };
+        assert_eq!(w.verify(&empty), Err(WorkloadError::EmptyExecution));
+    }
+
+    #[test]
+    fn executable_spec_clamps_only_the_reference() {
+        let w = DnaWorkload::paper(0);
+        let capped = w.executable_spec(1 << 20);
+        assert_eq!(capped.ref_len, 1 << 20);
+        assert_eq!(capped.coverage, 50);
+        assert_eq!(capped.read_len, 100);
+        let small = DnaWorkload::scaled(10_000, 0);
+        assert_eq!(small.executable_spec(1 << 20), small.spec);
+    }
+
+    #[test]
+    fn projection_carries_table1_assumption() {
+        match DnaWorkload::scaled(10_000, 0).projection() {
+            ProjectionKind::PaperScale { assumed_hit_ratio } => {
+                assert!((assumed_hit_ratio - 0.5).abs() < 1e-12)
+            }
+            other => panic!("unexpected projection {other:?}"),
+        }
     }
 }

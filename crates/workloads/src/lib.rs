@@ -18,6 +18,11 @@
 //! 50× coverage, 100-character reads) and their closed-form operation
 //! counts; the generators run at any scaled-down size with the same
 //! access-pattern shape.
+//!
+//! Both applications implement the [`Workload`] trait — deterministic
+//! generation, per-item execution by a `cim-sim` backend condensed into
+//! an [`ExecutionDigest`], and independent [`Workload::verify`]
+//! checking — so drivers handle them uniformly.
 
 mod additions;
 mod dna;
@@ -25,10 +30,12 @@ mod genome;
 mod index;
 mod reads;
 mod trace;
+mod workload;
 
 pub use additions::AdditionWorkload;
-pub use dna::DnaSpec;
+pub use dna::{DnaSpec, DnaWorkload};
 pub use genome::{Genome, Nucleotide};
 pub use index::{LookupOutcome, SortedKmerIndex};
 pub use reads::{ReadSampler, ShortRead};
 pub use trace::{Access, MemoryTrace};
+pub use workload::{ExecutionDigest, ProjectionKind, Workload, WorkloadError};

@@ -1,0 +1,165 @@
+//! The [`Workload`] abstraction: what the paper's applications share.
+//!
+//! A workload owns three responsibilities, mirroring the evaluation
+//! recipe of Section III.B:
+//!
+//! 1. **generate** — deterministic input synthesis from a seed (operand
+//!    streams, genomes, short reads);
+//! 2. **execute-per-item** — an executor runs every item through real
+//!    machine semantics and condenses the functional results into an
+//!    [`ExecutionDigest`];
+//! 3. **verify** — the workload checks the digest against ground truth
+//!    it can recompute independently ([`Workload::verify`]).
+//!
+//! The closed-form paper-scale hook ([`Workload::paper_ops`] +
+//! [`Workload::projection`]) lets drivers decide whether Table-2 numbers
+//! come from the executed scale or from a projection to the paper's
+//! problem size.
+//!
+//! Execution itself lives behind `cim-sim`'s `ExecutionBackend` trait;
+//! this crate stays machine-agnostic.
+
+use serde::{Deserialize, Serialize};
+
+/// Functional summary of one executed run, produced by a backend and
+/// checked by [`Workload::verify`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecutionDigest {
+    /// Items processed (short reads mapped, additions computed, …).
+    pub items_total: u64,
+    /// Items whose result matched ground truth (reads that recovered
+    /// their true position, additions folded into the checksum, …).
+    pub items_verified: u64,
+    /// Machine operations executed (character comparisons, additions).
+    pub operations: u64,
+    /// Order-insensitive checksum over the results, when the workload
+    /// defines one.
+    pub checksum: Option<u64>,
+}
+
+/// How a workload's Table-2 numbers reach paper scale.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ProjectionKind {
+    /// The run already executes at the scale being reported.
+    ExecutedScale,
+    /// Project via the closed-form operation counts, parameterised by a
+    /// conventional-cache hit ratio (Table 1 assumes this value).
+    PaperScale {
+        /// The hit ratio Table 1 assumes for this workload.
+        assumed_hit_ratio: f64,
+    },
+}
+
+/// Why a digest failed verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// The executor's checksum disagrees with the reference (or the
+    /// executor reported none where one is required).
+    ChecksumMismatch {
+        /// Reference checksum recomputed by the workload.
+        expected: u64,
+        /// What the executor reported.
+        got: Option<u64>,
+    },
+    /// The executor processed the wrong number of items.
+    ItemCountMismatch {
+        /// Items the workload generated.
+        expected: u64,
+        /// Items the digest accounts for.
+        got: u64,
+    },
+    /// Too few items passed their ground-truth check.
+    VerificationShortfall {
+        /// Items that passed.
+        verified: u64,
+        /// Items processed.
+        total: u64,
+        /// Minimum passing fraction, in percent.
+        required_percent: u32,
+    },
+    /// The executor processed no items at all.
+    EmptyExecution,
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadError::ChecksumMismatch { expected, got } => match got {
+                Some(got) => {
+                    write!(
+                        f,
+                        "checksum mismatch: expected {expected:#018x}, got {got:#018x}"
+                    )
+                }
+                None => write!(
+                    f,
+                    "checksum mismatch: expected {expected:#018x}, executor reported none"
+                ),
+            },
+            WorkloadError::ItemCountMismatch { expected, got } => {
+                write!(f, "item count mismatch: expected {expected}, got {got}")
+            }
+            WorkloadError::VerificationShortfall {
+                verified,
+                total,
+                required_percent,
+            } => write!(
+                f,
+                "verification shortfall: {verified}/{total} items passed \
+                 (at least {required_percent}% required)"
+            ),
+            WorkloadError::EmptyExecution => write!(f, "executor processed no items"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+/// A paper application: deterministic generation, per-item execution by
+/// a backend, and independent verification of the digest.
+pub trait Workload {
+    /// Human-readable label used in reports ("DNA sequencing", …).
+    fn name(&self) -> String;
+
+    /// Seed driving input generation (and, by convention, the executors).
+    fn seed(&self) -> u64;
+
+    /// Closed-form operation count at the paper's full problem size.
+    fn paper_ops(&self) -> u64;
+
+    /// Ratio of this workload's size to the paper's.
+    fn scale_vs_paper(&self) -> f64;
+
+    /// Whether reports come from the executed scale or the paper-scale
+    /// projection.
+    fn projection(&self) -> ProjectionKind;
+
+    /// Checks an executor's digest against independently recomputed
+    /// ground truth.
+    fn verify(&self, digest: &ExecutionDigest) -> Result<(), WorkloadError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_their_evidence() {
+        let checksum = WorkloadError::ChecksumMismatch {
+            expected: 0xabcd,
+            got: Some(0x1234),
+        };
+        let rendered = checksum.to_string();
+        assert!(rendered.contains("0x000000000000abcd") && rendered.contains("0x0000000000001234"));
+
+        let shortfall = WorkloadError::VerificationShortfall {
+            verified: 3,
+            total: 10,
+            required_percent: 70,
+        };
+        assert!(shortfall.to_string().contains("3/10"));
+        assert!(WorkloadError::EmptyExecution
+            .to_string()
+            .contains("no items"));
+    }
+}

@@ -40,22 +40,24 @@ fn main() {
     );
     println!("reference head: {}…", genome.to_string_window(0, 60));
 
-    // Run the full pipeline on the conventional executor.
-    let artifacts = ConventionalExecutor::new(42).run_dna(spec);
+    // Run the full pipeline on the conventional backend.
+    let workload = DnaWorkload { spec, seed: 42 };
+    let run = ConventionalExecutor::new()
+        .run(&workload)
+        .expect("scaled spec executes");
     println!(
         "\nmapper: {}/{} reads recovered their true position",
-        artifacts.reads_mapped, artifacts.reads_total
+        run.digest.items_verified, run.digest.items_total
     );
     println!(
         "cache:  measured hit ratio {:.3} overall, {:.3} on index probes \
          (Table 1 assumes 0.50)",
-        artifacts.measured_hit_ratio, artifacts.index_hit_ratio
+        run.measured_hit_ratio.unwrap_or(f64::NAN),
+        run.index_hit_ratio.unwrap_or(f64::NAN)
     );
     println!(
         "scaled run: {} comparisons in {} using {}",
-        artifacts.comparisons_executed,
-        artifacts.scaled_report.total_time,
-        artifacts.scaled_report.total_energy
+        run.digest.operations, run.report.total_time, run.report.total_energy
     );
 
     // Hierarchy sensitivity: what an L2 between the 8 kB cluster cache
@@ -63,10 +65,10 @@ fn main() {
     use cim::sim::MemoryHierarchy;
     let mut flat = MemoryHierarchy::table1_flat();
     let (flat_cycles, flat_dram, _) =
-        ConventionalExecutor::new(42).measure_hierarchy(spec, &mut flat);
+        ConventionalExecutor::new().measure_hierarchy(spec, 42, &mut flat);
     let mut deep = MemoryHierarchy::table1_with_l2();
     let (deep_cycles, deep_dram, level_hits) =
-        ConventionalExecutor::new(42).measure_hierarchy(spec, &mut deep);
+        ConventionalExecutor::new().measure_hierarchy(spec, 42, &mut deep);
     println!(
         "\nhierarchy: flat {flat_cycles:.1} cy/access ({:.0}% DRAM) vs \
          +L2 {deep_cycles:.1} cy/access ({:.0}% DRAM; L1 {:.2}, L2 {:.2} hits)",
@@ -78,12 +80,10 @@ fn main() {
 
     // Project to paper scale with both hit-ratio sources.
     for mode in [HitRatioMode::PaperAssumption, HitRatioMode::Measured] {
-        let report = DnaExperiment {
-            spec,
-            seed: 42,
-            hit_ratio_mode: mode,
-        }
-        .run();
+        let report = Experiment::new(workload)
+            .with_hit_ratio_mode(mode)
+            .run()
+            .expect("scaled DNA experiment executes");
         println!("\n--- projection with {mode:?} ---");
         println!("{}", report.to_markdown());
     }

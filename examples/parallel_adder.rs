@@ -45,6 +45,8 @@ fn main() {
     );
 
     // --- 4. Table 2, mathematics column. ---------------------------------
-    let report = AdditionsExperiment::paper(7).run();
+    let report = AdditionsExperiment::paper(7)
+        .run()
+        .expect("additions experiment executes");
     println!("\n{}", report.to_markdown());
 }

@@ -49,10 +49,16 @@ fn main() {
         engine.cost()
     );
 
-    // --- 4. The architecture comparison (scaled Table 2). -------------
-    let additions = AdditionsExperiment::scaled(50_000, 7).run();
+    // --- 4. The architecture comparison (scaled Table 2): one generic
+    //        Experiment<W> driver over the Workload/ExecutionBackend
+    //        traits, for both workloads.
+    let additions = AdditionsExperiment::scaled(50_000, 7)
+        .run()
+        .expect("additions experiment executes");
     println!("\n{}", additions.to_markdown());
 
-    let dna = DnaExperiment::scaled(50_000, 7).run();
+    let dna = DnaExperiment::scaled(50_000, 7)
+        .run()
+        .expect("scaled DNA experiment executes");
     println!("{}", dna.to_markdown());
 }

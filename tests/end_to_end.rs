@@ -7,16 +7,20 @@ use cim::prelude::*;
 fn table2_reproduces_the_papers_qualitative_claims() {
     // "both applications clearly show that the improvements are orders
     // of magnitude" — assert it from a full run of both experiments.
-    let dna = DnaExperiment::scaled(40_000, 2).with_hit_ratio_mode(HitRatioMode::PaperAssumption);
-    let dna = DnaExperiment {
+    let dna = Experiment::new(DnaWorkload {
         spec: DnaSpec {
+            ref_len: 40_000,
             coverage: 2,
-            ..dna.spec
+            read_len: 100,
         },
-        ..dna
-    }
-    .run();
-    let math = AdditionsExperiment::scaled(100_000, 2).run();
+        seed: 2,
+    })
+    .with_hit_ratio_mode(HitRatioMode::PaperAssumption)
+    .run()
+    .expect("scaled DNA experiment executes");
+    let math = AdditionsExperiment::scaled(100_000, 2)
+        .run()
+        .expect("additions experiment executes");
 
     let (dna_edp, dna_eff, _) = dna.improvements();
     assert!(dna_edp > 1e3, "DNA EDP gain only {dna_edp}");
@@ -40,16 +44,21 @@ fn measured_hit_ratio_lands_near_the_papers_assumption() {
     // Table 1 assumes 50% for the sorted-index workload; the measured
     // index-probe ratio from a real mapper run should be in that
     // neighbourhood (binary-search top levels cached, tail random).
-    let exec = cim::sim::ConventionalExecutor::new(9);
-    let run = exec.run_dna(DnaSpec {
-        ref_len: 120_000,
-        coverage: 2,
-        read_len: 100,
-    });
+    let exec = cim::sim::ConventionalExecutor::new();
+    let run = exec
+        .run(&DnaWorkload {
+            spec: DnaSpec {
+                ref_len: 120_000,
+                coverage: 2,
+                read_len: 100,
+            },
+            seed: 9,
+        })
+        .expect("scaled spec executes");
+    let index_hit_ratio = run.index_hit_ratio.expect("DNA runs measure index probes");
     assert!(
-        (0.30..0.70).contains(&run.index_hit_ratio),
-        "index-probe hit ratio {} far from the paper's 0.5",
-        run.index_hit_ratio
+        (0.30..0.70).contains(&index_hit_ratio),
+        "index-probe hit ratio {index_hit_ratio} far from the paper's 0.5"
     );
 }
 
@@ -71,8 +80,8 @@ fn paper_mode_decodes_most_of_table2() {
 
 #[test]
 fn experiments_are_deterministic_given_a_seed() {
-    let a = AdditionsExperiment::scaled(5_000, 77).run();
-    let b = AdditionsExperiment::scaled(5_000, 77).run();
+    let a = AdditionsExperiment::scaled(5_000, 77).run().expect("runs");
+    let b = AdditionsExperiment::scaled(5_000, 77).run().expect("runs");
     assert_eq!(
         a.conventional_metrics().ops_per_joule,
         b.conventional_metrics().ops_per_joule
@@ -84,26 +93,21 @@ fn experiments_are_deterministic_given_a_seed() {
 fn dna_scaling_preserves_metric_ordering() {
     // Running the experiment at two different scales must not change who
     // wins any metric (shape stability).
-    let small = DnaExperiment {
-        spec: DnaSpec {
-            ref_len: 20_000,
-            coverage: 2,
-            read_len: 100,
-        },
-        seed: 4,
-        hit_ratio_mode: HitRatioMode::Measured,
-    }
-    .run();
-    let large = DnaExperiment {
-        spec: DnaSpec {
-            ref_len: 80_000,
-            coverage: 2,
-            read_len: 100,
-        },
-        seed: 4,
-        hit_ratio_mode: HitRatioMode::Measured,
-    }
-    .run();
+    let run_at = |ref_len| {
+        Experiment::new(DnaWorkload {
+            spec: DnaSpec {
+                ref_len,
+                coverage: 2,
+                read_len: 100,
+            },
+            seed: 4,
+        })
+        .with_hit_ratio_mode(HitRatioMode::Measured)
+        .run()
+        .expect("scaled DNA experiment executes")
+    };
+    let small = run_at(20_000);
+    let large = run_at(80_000);
     for (s, l) in [small.improvements(), large.improvements()]
         .windows(2)
         .flat_map(|w| {

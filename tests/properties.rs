@@ -61,8 +61,8 @@ proptest! {
     ) {
         // The Table-2 improvement ratios must not depend on problem size
         // (both machines scale with the workload).
-        let r1 = AdditionsExperiment::scaled(n_ops, seed).run();
-        let r2 = AdditionsExperiment::scaled(n_ops * 2, seed).run();
+        let r1 = AdditionsExperiment::scaled(n_ops, seed).run().expect("runs");
+        let r2 = AdditionsExperiment::scaled(n_ops * 2, seed).run().expect("runs");
         let (e1, f1, p1) = r1.improvements();
         let (e2, f2, p2) = r2.improvements();
         prop_assert!((e1 / e2 - 1.0).abs() < 0.1, "EDP ratio drifted: {e1} vs {e2}");

@@ -1,0 +1,204 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build container cannot reach a crates registry, so this crate
+//! provides the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `Bencher`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — backed by a simple median-of-samples
+//! timer instead of criterion's statistical machinery. Good enough to
+//! exercise the bench code paths and print comparable numbers; swap the
+//! path dependency back to crates.io `criterion` for real measurements.
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+
+/// Entry point handed to bench functions by `criterion_group!`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        assert!(samples >= 2, "sample size must be at least 2");
+        self.sample_size = samples;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) {
+        run_benchmark(&id.into().0, self.sample_size, &mut f);
+    }
+}
+
+/// Named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.criterion.sample_size(samples);
+        self
+    }
+
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) {
+        let label = format!("{}/{}", self.name, id.into().0);
+        run_benchmark(&label, self.criterion.sample_size, &mut f);
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let label = format!("{}/{}", self.name, id.into().0);
+        run_benchmark(&label, self.criterion.sample_size, &mut |b| f(b, input));
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId(name.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId(name)
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Timer handle passed to the measured closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine` `sample_size` times (after one warm-up call) and
+    /// records each duration.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_benchmark(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        sample_size,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{label:<48} (no samples: Bencher::iter never called)");
+        return;
+    }
+    bencher.samples.sort();
+    let median = bencher.samples[bencher.samples.len() / 2];
+    let best = bencher.samples[0];
+    let worst = *bencher.samples.last().expect("non-empty samples");
+    println!(
+        "{label:<48} median {:>12?}   best {:>12?}   worst {:>12?}   ({} samples)",
+        median,
+        best,
+        worst,
+        bencher.samples.len()
+    );
+}
+
+/// Bundles bench functions into a group runner, mirroring criterion's
+/// simple (non-configured) form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                let mut criterion = $crate::Criterion::default();
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Generates `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut counter = 0u32;
+        Criterion::default()
+            .sample_size(3)
+            .bench_function("counter", |b| b.iter(|| counter += 1));
+        // one warm-up + three samples
+        assert_eq!(counter, 4);
+    }
+
+    #[test]
+    fn group_labels_and_inputs_flow_through() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(2);
+        let mut seen = 0u64;
+        group.bench_with_input(BenchmarkId::new("sq", 7), &7u64, |b, &n| {
+            b.iter(|| seen = n * n)
+        });
+        group.finish();
+        assert_eq!(seen, 49);
+    }
+}

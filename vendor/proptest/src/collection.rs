@@ -1,0 +1,85 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Inclusive length bounds for generated collections.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange {
+            lo: exact,
+            hi: exact,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(range.end > range.start, "empty size range");
+        SizeRange {
+            lo: range.start,
+            hi: range.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(range: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *range.start(),
+            hi: *range.end(),
+        }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with lengths drawn from a [`SizeRange`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let len = rng.gen_range(self.size.lo..=self.size.hi);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// `vec(element, 4)`, `vec(element, 1..32)`, `vec(element, 1..=8)`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::{ProptestConfig, TestRunner};
+
+    #[test]
+    fn lengths_stay_in_bounds() {
+        let mut runner = TestRunner::new(ProptestConfig::default(), "collection::len");
+        let exact = vec(0u8..10, 4);
+        let ranged = vec(0u8..10, 1..8);
+        for _ in 0..100 {
+            assert_eq!(exact.sample(runner.rng()).len(), 4);
+            let len = ranged.sample(runner.rng()).len();
+            assert!((1..8).contains(&len));
+        }
+    }
+}

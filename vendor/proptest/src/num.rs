@@ -1,0 +1,63 @@
+//! Numeric domain strategies (`prop::num::f64::{POSITIVE, ANY}`).
+
+#[allow(non_snake_case)]
+pub mod f64 {
+    use rand::{Rng, RngCore};
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[derive(Clone, Copy, Debug)]
+    enum Kind {
+        /// Finite strictly-positive values, log-uniform across the full
+        /// normal exponent range so both tiny and huge magnitudes occur.
+        Positive,
+        /// Uniform over bit patterns: negatives, zeros, infinities, NaN.
+        Any,
+    }
+
+    /// Strategy over a class of `f64` values.
+    #[derive(Clone, Copy, Debug)]
+    pub struct FloatStrategy(Kind);
+
+    pub const POSITIVE: FloatStrategy = FloatStrategy(Kind::Positive);
+    pub const ANY: FloatStrategy = FloatStrategy(Kind::Any);
+
+    impl Strategy for FloatStrategy {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            match self.0 {
+                Kind::Positive => {
+                    // exponent in ±307 decades keeps the value normal.
+                    let exponent = rng.gen_range(-307.0f64..307.0);
+                    let mantissa = rng.gen_range(1.0f64..10.0);
+                    mantissa * 10f64.powf(exponent)
+                }
+                Kind::Any => f64::from_bits(rng.next_u64()),
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::test_runner::{ProptestConfig, TestRunner};
+
+        #[test]
+        fn positive_is_finite_and_positive() {
+            let mut runner = TestRunner::new(ProptestConfig::default(), "num::positive");
+            for _ in 0..500 {
+                let v = POSITIVE.sample(runner.rng());
+                assert!(v.is_finite() && v > 0.0, "bad POSITIVE sample: {v}");
+            }
+        }
+
+        #[test]
+        fn any_eventually_produces_negatives() {
+            let mut runner = TestRunner::new(ProptestConfig::default(), "num::any");
+            let negative = (0..200).any(|_| ANY.sample(runner.rng()).is_sign_negative());
+            assert!(negative);
+        }
+    }
+}

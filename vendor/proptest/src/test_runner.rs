@@ -1,0 +1,127 @@
+//! Config, RNG, and case-loop driver behind the `proptest!` macro.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Subset of upstream's config: only `cases` is consulted.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+}
+
+/// Deterministic RNG handed to strategies. Wraps the vendored xoshiro
+/// generator; seeded from the test's fully-qualified name so failures
+/// reproduce run-to-run without a persistence file.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    fn from_name(name: &str) -> Self {
+        // FNV-1a, good enough to decorrelate sibling test names.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(hash))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Runs the case loop for one property.
+pub struct TestRunner {
+    cases: u32,
+    rng: TestRng,
+    name: String,
+}
+
+impl TestRunner {
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        Self {
+            cases: config.cases,
+            rng: TestRng::from_name(name),
+            name: name.to_string(),
+        }
+    }
+
+    pub fn cases(&self) -> u32 {
+        self.cases
+    }
+
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+
+    /// Panics on `Fail` (so the surrounding `#[test]` fails); `Reject`ed
+    /// cases are simply skipped — with no shrinking there is nothing
+    /// else to do with them.
+    pub fn check(&mut self, outcome: Result<(), TestCaseError>) {
+        match outcome {
+            Ok(()) | Err(TestCaseError::Reject) => {}
+            Err(TestCaseError::Fail(message)) => {
+                panic!("property `{}` failed: {}", self.name, message)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::from_name("mod::prop");
+        let mut b = TestRng::from_name("mod::prop");
+        let mut c = TestRng::from_name("mod::other");
+        let (x, y, z) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(x, y);
+        assert_ne!(x, z);
+    }
+
+    #[test]
+    fn reject_is_not_a_failure() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(1), "t");
+        runner.check(Err(TestCaseError::Reject));
+        runner.check(Ok(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "property `t` failed: boom")]
+    fn fail_panics_with_message() {
+        let mut runner = TestRunner::new(ProptestConfig::default(), "t");
+        runner.check(Err(TestCaseError::fail("boom")));
+    }
+}

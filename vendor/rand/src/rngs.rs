@@ -1,0 +1,107 @@
+//! Concrete generators.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::{splitmix64, RngCore, SeedableRng};
+
+/// The workspace's standard seedable generator: xoshiro256++.
+///
+/// Not the upstream ChaCha12 `StdRng` — see the crate docs for why a
+/// different (but still high-quality, seed-stable) stream is acceptable
+/// here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (word, chunk) in s.iter_mut().zip(seed.chunks(8)) {
+            *word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        // An all-zero state is a fixed point of xoshiro; nudge it through
+        // SplitMix64 the way the reference implementation recommends.
+        if s == [0; 4] {
+            let mut sm = 0xDEAD_BEEF_CAFE_F00Du64;
+            for word in &mut s {
+                *word = splitmix64(&mut sm);
+            }
+        }
+        Self { s }
+    }
+}
+
+/// Monotonic disambiguator so two `thread_rng` calls in the same
+/// nanosecond still diverge.
+static THREAD_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A freshly, non-deterministically seeded generator.
+#[derive(Debug, Clone)]
+pub struct ThreadRng(StdRng);
+
+impl ThreadRng {
+    pub(crate) fn fresh() -> Self {
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x5EED);
+        let seq = THREAD_SEQ.fetch_add(1, Ordering::Relaxed);
+        Self(StdRng::seed_from_u64(nanos ^ seq.rotate_left(32)))
+    }
+}
+
+impl RngCore for ThreadRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_seed_round_trips_words() {
+        let mut seed = [0u8; 32];
+        seed[0] = 1;
+        let mut rng = StdRng::from_seed(seed);
+        // Just exercise the path; the stream must be stable.
+        let first = rng.next_u64();
+        let mut again = StdRng::from_seed(seed);
+        assert_eq!(first, again.next_u64());
+    }
+
+    #[test]
+    fn zero_seed_is_rescued() {
+        let mut rng = StdRng::from_seed([0u8; 32]);
+        assert_ne!(rng.next_u64(), 0);
+    }
+
+    #[test]
+    fn thread_rngs_differ() {
+        let mut a = ThreadRng::fresh();
+        let mut b = ThreadRng::fresh();
+        assert_ne!((a.next_u64(), a.next_u64()), (b.next_u64(), b.next_u64()));
+    }
+}

@@ -1,0 +1,40 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace annotates many types with `#[derive(Serialize,
+//! Deserialize)]` for downstream consumers, but nothing inside the
+//! workspace actually drives a serializer (there is no `serde_json` or
+//! similar in the tree). Since the build container cannot reach a crates
+//! registry, this crate supplies just enough surface for those
+//! annotations to compile: marker traits blanket-implemented for every
+//! type, and derive macros (behind the usual `derive` feature) that
+//! accept-and-ignore `#[serde(...)]` attributes.
+//!
+//! If real serialization is ever needed, swap this path dependency back
+//! to crates.io `serde` — the annotations are already upstream-correct.
+
+/// Marker for serializable types. Blanket-implemented: the workspace
+/// never calls serializer methods, it only needs the bound to exist.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserializable types. Blanket-implemented; the upstream
+/// `'de` lifetime is dropped because no bound in the workspace names it.
+pub trait Deserialize {}
+
+impl<T: ?Sized> Deserialize for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn blanket_impls_cover_arbitrary_types() {
+        fn assert_serialize<T: crate::Serialize>() {}
+        fn assert_deserialize<T: crate::Deserialize>() {}
+        struct Local(#[allow(dead_code)] u8);
+        assert_serialize::<Local>();
+        assert_deserialize::<Vec<String>>();
+    }
+}

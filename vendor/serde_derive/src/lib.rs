@@ -1,0 +1,18 @@
+//! Inert derive macros for the offline `serde` stand-in.
+//!
+//! The sibling `serde` crate blanket-implements its marker traits, so
+//! these derives only need to exist (and to register the `serde` helper
+//! attribute so container/field annotations like `#[serde(transparent)]`
+//! stay legal). They expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
