@@ -1,7 +1,7 @@
 //! The memristor CIM machine of Table 1.
 
 use cim_logic::LogicCost;
-use cim_units::{Area, Energy, Power, Time};
+use cim_units::{Area, Component, CostLedger, Energy, Phase, Power, Time};
 use serde::{Deserialize, Serialize};
 
 /// The 5 nm memristor technology of Table 1.
@@ -140,6 +140,54 @@ impl CimMachine {
     pub fn op_dynamic_energy(&self) -> Energy {
         self.op.cost(&self.tech).energy + self.controller_energy_per_op
     }
+
+    /// Attributes the dynamic energy of `n_ops` in-array operations: the
+    /// op's own component ([`Component::ImplyStep`] for the comparator,
+    /// [`Component::CrossbarWrite`] for the CRS adder) takes the
+    /// switching energy; [`Component::Controller`] the per-op CMOS
+    /// overhead (zero in the paper's model).
+    pub fn charge_op_energy(&self, ledger: &mut CostLedger, phase: Phase, n_ops: u64) {
+        let n = n_ops as f64;
+        let cost = self.op.cost(&self.tech);
+        ledger.charge_energy(cost.component, phase, cost.energy * n, n_ops);
+        ledger.charge_energy(
+            Component::Controller,
+            phase,
+            self.controller_energy_per_op * n,
+            0,
+        );
+    }
+
+    /// Attributes the makespan of `n_ops` operations over the crossbar's
+    /// parallel slots: the compute share to the op's component, the
+    /// expected operand stream-in residual to [`Component::DramAccess`]
+    /// (Table 1 quotes no energy for it, so only time lands there), and
+    /// static power over the makespan to [`Component::Controller`] (zero
+    /// — "practically zero leakage"). Time charges sum to
+    /// `op_latency × ⌈n_ops / parallel_ops⌉` exactly.
+    pub fn charge_makespan(&self, ledger: &mut CostLedger, phase: Phase, n_ops: u64) {
+        let cost = self.op.cost(&self.tech);
+        let rounds = n_ops.div_ceil(self.parallel_ops().max(1)) as f64;
+        let makespan = self.op_latency() * rounds;
+        let compute_time = cost.latency * rounds;
+        let stream_time = makespan - compute_time;
+        ledger.charge_time(cost.component, phase, compute_time);
+        ledger.charge_time(Component::DramAccess, phase, stream_time);
+        ledger.charge_energy(
+            Component::Controller,
+            phase,
+            self.static_power() * makespan,
+            0,
+        );
+    }
+
+    /// Attributes a full batch of `n_ops` in-array operations:
+    /// [`charge_op_energy`](Self::charge_op_energy) plus
+    /// [`charge_makespan`](Self::charge_makespan).
+    pub fn charge_batched(&self, ledger: &mut CostLedger, phase: Phase, n_ops: u64) {
+        self.charge_op_energy(ledger, phase, n_ops);
+        self.charge_makespan(ledger, phase, n_ops);
+    }
 }
 
 #[cfg(test)]
@@ -183,6 +231,37 @@ mod tests {
         assert!((cim.area().as_square_milli_meters() - 0.01536).abs() < 1e-9);
         let conv = crate::conventional::ConventionalMachine::dna_paper();
         assert!(conv.area().as_square_milli_meters() > 100.0);
+    }
+
+    #[test]
+    fn charge_batched_decomposes_the_batched_aggregate() {
+        let m = CimMachine::dna_paper();
+        let n = 10_000_000;
+        let mut ledger = CostLedger::new();
+        m.charge_batched(&mut ledger, Phase::Map, n);
+        let reference = crate::RunReport::batched(
+            n,
+            m.parallel_ops(),
+            m.op_latency(),
+            m.op_dynamic_energy(),
+            m.static_power(),
+            m.area(),
+        );
+        assert!((ledger.total_energy() / reference.total_energy - 1.0).abs() < 1e-12);
+        assert!((ledger.total_time() / reference.total_time - 1.0).abs() < 1e-12);
+        let report = crate::RunReport::from_ledger(n, m.area(), &ledger);
+        assert!(report.conserves(&ledger));
+        // The comparator's switching lands on ImplyStep, the expected
+        // operand stream-in (time only — Table 1 quotes no energy for
+        // it) on DramAccess.
+        let imply = ledger.component_totals(Component::ImplyStep);
+        assert!(imply.energy.get() > 0.0 && imply.time.get() > 0.0);
+        let stream = ledger.component_totals(Component::DramAccess);
+        assert!(stream.time.get() > 0.0);
+        assert_eq!(stream.energy.get(), 0.0);
+        // Zero controller overhead and zero leakage stay zero.
+        assert!(ledger.component_totals(Component::Controller).is_zero());
+        assert!(ledger.component_totals(Component::GateLeakage).is_zero());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The conventional 22 nm FinFET multi-core machine of Table 1.
 
-use cim_units::{Area, Energy, Power, Time};
+use cim_units::{Area, Component, CostLedger, Energy, Phase, Power, Time};
 use serde::{Deserialize, Serialize};
 
 use crate::cache::CacheSpec;
@@ -152,6 +152,66 @@ impl ConventionalMachine {
     pub fn op_dynamic_energy(&self) -> Energy {
         self.unit.dynamic_energy(&self.tech) + self.cache.expected_access_energy()
     }
+
+    /// Attributes the dynamic energy of `n_ops` uniform operations:
+    /// [`Component::GateDynamic`] takes the functional-unit switching,
+    /// [`Component::CacheAccess`] the expected hit energy, and
+    /// [`Component::DramAccess`] the miss residual — so the three sum to
+    /// `op_dynamic_energy × n_ops`.
+    pub fn charge_op_energy(&self, ledger: &mut CostLedger, phase: Phase, n_ops: u64) {
+        let n = n_ops as f64;
+        let gate_energy = self.unit.dynamic_energy(&self.tech) * n;
+        let hit_energy = self.cache.hit_energy * self.cache.hit_ratio * n;
+        let miss_energy = self.op_dynamic_energy() * n - gate_energy - hit_energy;
+        ledger.charge_energy(Component::GateDynamic, phase, gate_energy, n_ops);
+        ledger.charge_energy(Component::CacheAccess, phase, hit_energy, n_ops);
+        ledger.charge_energy(Component::DramAccess, phase, miss_energy, 0);
+    }
+
+    /// Attributes the makespan of `n_ops` operations scheduled over the
+    /// machine's units, plus static power over that makespan. Time
+    /// charges are makespan *shares* — compute cycles to
+    /// [`Component::GateDynamic`], expected hit cycles to
+    /// [`Component::CacheAccess`], the miss residual to
+    /// [`Component::DramAccess`] — and sum to
+    /// `op_latency × ⌈n_ops / parallel_units⌉` exactly. Statics split
+    /// into [`Component::GateLeakage`] with [`Component::CacheStatic`]
+    /// taking the residual.
+    pub fn charge_makespan(&self, ledger: &mut CostLedger, phase: Phase, n_ops: u64) {
+        let rounds = n_ops.div_ceil(self.parallel_units().max(1)) as f64;
+        let makespan = self.op_latency() * rounds;
+        let compute_cycles = self
+            .unit
+            .latency(&self.tech)
+            .in_cycles_of(self.tech.clock)
+            .max(1);
+        let compute_time = self.tech.cycle() * compute_cycles as f64 * rounds;
+        let hit_time =
+            self.tech.cycle() * self.cache.hit_ratio * self.cache.hit_cycles as f64 * rounds;
+        let miss_time = makespan - compute_time - hit_time;
+        ledger.charge_time(Component::GateDynamic, phase, compute_time);
+        ledger.charge_time(Component::CacheAccess, phase, hit_time);
+        ledger.charge_time(Component::DramAccess, phase, miss_time);
+
+        let gate_leak =
+            self.unit.leakage_power(&self.tech) * self.parallel_units() as f64 * makespan;
+        let cache_static = self.static_power() * makespan - gate_leak;
+        ledger.charge_energy(Component::GateLeakage, phase, gate_leak, 0);
+        ledger.charge_energy(Component::CacheStatic, phase, cache_static, 0);
+    }
+
+    /// Attributes a full batch of `n_ops` uniform operations into the
+    /// ledger — the component-wise decomposition of the DESIGN.md §4
+    /// aggregation ([`RunReport::batched`] with this machine's
+    /// parameters): [`charge_op_energy`](Self::charge_op_energy) for the
+    /// dynamic side, [`charge_makespan`](Self::charge_makespan) for time
+    /// and statics.
+    ///
+    /// [`RunReport::batched`]: crate::RunReport::batched
+    pub fn charge_batched(&self, ledger: &mut CostLedger, phase: Phase, n_ops: u64) {
+        self.charge_op_energy(ledger, phase, n_ops);
+        self.charge_makespan(ledger, phase, n_ops);
+    }
 }
 
 #[cfg(test)]
@@ -209,6 +269,54 @@ mod tests {
         // Cache static dominates gate leakage: 1/64 W ≫ 208·32·42.83 nW.
         let cache_only = m.cache.static_power * m.clusters as f64;
         assert!(m.static_power().get() < cache_only.get() * 1.05);
+    }
+
+    #[test]
+    fn charge_batched_decomposes_the_batched_aggregate() {
+        let m = ConventionalMachine::dna_paper();
+        let n = 1_000_000;
+        let mut ledger = CostLedger::new();
+        m.charge_batched(&mut ledger, Phase::Map, n);
+        // Component-wise charges re-sum to the DESIGN.md §4 aggregate…
+        let reference = crate::RunReport::batched(
+            n,
+            m.parallel_units(),
+            m.op_latency(),
+            m.op_dynamic_energy(),
+            m.static_power(),
+            m.area(),
+        );
+        assert!((ledger.total_energy() / reference.total_energy - 1.0).abs() < 1e-12);
+        assert!((ledger.total_time() / reference.total_time - 1.0).abs() < 1e-12);
+        // …and a report derived from the ledger conserves it to the bit.
+        let report = crate::RunReport::from_ledger(n, m.area(), &ledger);
+        assert!(report.conserves(&ledger));
+        // Every conventional-side component is represented…
+        for c in [
+            Component::GateDynamic,
+            Component::GateLeakage,
+            Component::CacheAccess,
+            Component::CacheStatic,
+            Component::DramAccess,
+        ] {
+            assert!(
+                !ledger.component_totals(c).is_zero(),
+                "{c} unexpectedly zero"
+            );
+        }
+        // …and nothing leaks into the CIM-side components.
+        for c in [
+            Component::CrossbarWrite,
+            Component::CrossbarRead,
+            Component::ImplyStep,
+            Component::Controller,
+            Component::Interconnect,
+        ] {
+            assert!(
+                ledger.component_totals(c).is_zero(),
+                "{c} unexpectedly charged"
+            );
+        }
     }
 
     #[test]

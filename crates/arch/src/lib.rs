@@ -30,6 +30,6 @@ pub use cache::CacheSpec;
 pub use cim::{CimMachine, CimOp, MemristorTech};
 pub use conventional::{ByteComparator, ClaAdder, ConventionalMachine, FunctionalUnit};
 pub use finfet::FinfetTech;
-pub use metrics::{Metrics, RunReport};
+pub use metrics::{Metrics, MetricsError, RunReport};
 pub use taxonomy::{working_set_sweep, LocationCost, WorkingSetLocation};
 pub use tiles::{Controller, Interconnect, TiledCim};

@@ -1,6 +1,6 @@
 //! The three Table-2 figures of merit.
 
-use cim_units::{Area, Energy, EnergyDelay, Power, Time};
+use cim_units::{Area, CostLedger, Energy, EnergyDelay, Power, Time};
 use serde::{Deserialize, Serialize};
 
 /// The raw outcome of executing a workload on one machine.
@@ -40,6 +40,29 @@ impl RunReport {
         }
     }
 
+    /// Derives the report from a [`CostLedger`]: the totals are the
+    /// ledger's canonical-order sums, so the conservation invariant
+    /// ([`conserves`](Self::conserves)) holds bit-exactly by
+    /// construction — and keeps holding as long as nobody edits the
+    /// totals behind the ledger's back.
+    pub fn from_ledger(operations: u64, area: Area, ledger: &CostLedger) -> Self {
+        RunReport {
+            operations,
+            total_time: ledger.total_time(),
+            total_energy: ledger.total_energy(),
+            area,
+        }
+    }
+
+    /// The conservation invariant: the ledger's component-wise sums
+    /// reproduce this report's totals **to the bit**. Reports built via
+    /// [`from_ledger`](Self::from_ledger) satisfy this by construction;
+    /// tests hold every executor to it.
+    pub fn conserves(&self, ledger: &CostLedger) -> bool {
+        ledger.total_energy().get().to_bits() == self.total_energy.get().to_bits()
+            && ledger.total_time().get().to_bits() == self.total_time.get().to_bits()
+    }
+
     /// Average latency contribution of one operation (makespan / ops ×
     /// parallelism is folded into the makespan already; this is the
     /// per-op share of the total time).
@@ -52,6 +75,35 @@ impl RunReport {
         self.total_energy / self.operations as f64
     }
 }
+
+/// Why a [`RunReport`] cannot yield [`Metrics`]: the run is degenerate
+/// in a way that would divide by zero. Degenerate runs are *data*
+/// errors (an empty workload, a zero-cost machine model), not programmer
+/// errors, so they surface as a typed error instead of a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MetricsError {
+    /// The run completed zero operations.
+    NoOperations,
+    /// The run took zero time.
+    NoTime,
+    /// The run consumed zero energy.
+    NoEnergy,
+    /// The machine occupies zero area.
+    NoArea,
+}
+
+impl std::fmt::Display for MetricsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetricsError::NoOperations => write!(f, "run must contain operations"),
+            MetricsError::NoTime => write!(f, "run must take time"),
+            MetricsError::NoEnergy => write!(f, "run must consume energy"),
+            MetricsError::NoArea => write!(f, "machine must occupy area"),
+        }
+    }
+}
+
+impl std::error::Error for MetricsError {}
 
 /// Table 2's three metrics, computed from a [`RunReport`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -72,22 +124,34 @@ impl Metrics {
     /// share of the makespan (DESIGN.md §4 documents this aggregation —
     /// the paper's own is unspecified).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the report has zero operations, time, energy, or area.
-    pub fn from_run(run: &RunReport) -> Self {
-        assert!(run.operations > 0, "run must contain operations");
-        assert!(run.total_time.get() > 0.0, "run must take time");
-        assert!(run.total_energy.get() > 0.0, "run must consume energy");
-        assert!(run.area.get() > 0.0, "machine must occupy area");
+    /// Returns a [`MetricsError`] if the report has zero operations,
+    /// time, energy, or area — a degenerate run the ratios are undefined
+    /// for.
+    pub fn from_run(run: &RunReport) -> Result<Self, MetricsError> {
+        if run.operations == 0 {
+            return Err(MetricsError::NoOperations);
+        }
+        // NaN slips past `<= 0.0`, so reject it explicitly — a NaN total
+        // is as degenerate as a zero one.
+        if run.total_time.get() <= 0.0 || run.total_time.get().is_nan() {
+            return Err(MetricsError::NoTime);
+        }
+        if run.total_energy.get() <= 0.0 || run.total_energy.get().is_nan() {
+            return Err(MetricsError::NoEnergy);
+        }
+        if run.area.get() <= 0.0 || run.area.get().is_nan() {
+            return Err(MetricsError::NoArea);
+        }
         let ops = run.operations as f64;
-        Self {
+        Ok(Self {
             energy_delay_per_op: run.energy_per_op() * run.time_per_op(),
             ops_per_joule: ops / run.total_energy.as_joules(),
             ops_per_second_per_mm2: ops
                 / run.total_time.as_seconds()
                 / run.area.as_square_milli_meters(),
-        }
+        })
     }
 
     /// Improvement ratios of `self` over `baseline` for the three metrics
@@ -153,7 +217,7 @@ mod tests {
 
     #[test]
     fn metric_values() {
-        let m = Metrics::from_run(&run());
+        let m = Metrics::from_run(&run()).expect("non-degenerate run");
         // EDP/op = 2 nJ × 1 ns = 2e-18 J·s.
         assert!((m.energy_delay_per_op.get() - 2e-18).abs() < 1e-30);
         // 1000 ops / 2 µJ = 5e8 ops/J.
@@ -164,7 +228,7 @@ mod tests {
 
     #[test]
     fn improvement_ratios_point_the_right_way() {
-        let base = Metrics::from_run(&run());
+        let base = Metrics::from_run(&run()).expect("non-degenerate run");
         let better = Metrics {
             energy_delay_per_op: base.energy_delay_per_op / 100.0,
             ops_per_joule: base.ops_per_joule * 10.0,
@@ -177,16 +241,30 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "must contain operations")]
     fn rejects_empty_runs() {
         let mut r = run();
         r.operations = 0;
-        let _ = Metrics::from_run(&r);
+        assert_eq!(Metrics::from_run(&r), Err(MetricsError::NoOperations));
+        r = run();
+        r.total_time = Time::from_seconds(0.0);
+        assert_eq!(Metrics::from_run(&r), Err(MetricsError::NoTime));
+        r = run();
+        r.total_energy = Energy::from_joules(0.0);
+        assert_eq!(Metrics::from_run(&r), Err(MetricsError::NoEnergy));
+        r = run();
+        r.area = Area::from_square_milli_meters(0.0);
+        assert_eq!(Metrics::from_run(&r), Err(MetricsError::NoArea));
+        assert_eq!(
+            MetricsError::NoOperations.to_string(),
+            "run must contain operations"
+        );
     }
 
     #[test]
     fn display_is_scientific() {
-        let s = Metrics::from_run(&run()).to_string();
+        let s = Metrics::from_run(&run())
+            .expect("non-degenerate run")
+            .to_string();
         assert!(s.contains("ops/J"));
         assert!(s.contains("e"));
     }

@@ -10,7 +10,7 @@
 //! architecture absorb before the orders-of-magnitude story degrades?
 //! (`table2 --ablate-overhead` sweeps this.)
 
-use cim_units::{Area, Energy, Power, Time};
+use cim_units::{Area, Component, CostLedger, Energy, Phase, Power, Time};
 use serde::{Deserialize, Serialize};
 
 use crate::cim::{CimMachine, CimOp, MemristorTech};
@@ -198,6 +198,36 @@ impl TiledCim {
         let ideal = self.op.cost(&self.tech).energy;
         self.op_energy().get() / ideal.get()
     }
+
+    /// Attributes a batch of `n_ops` operations into the ledger: the op's
+    /// own component (in-array switching, compute makespan share),
+    /// [`Component::Interconnect`] (expected operand movement — the
+    /// makespan residual plus hop energy), and [`Component::Controller`]
+    /// (sequencer broadcast steps plus leakage over the makespan).
+    pub fn charge_batched(&self, ledger: &mut CostLedger, phase: Phase, n_ops: u64) {
+        let n = n_ops as f64;
+        let cost = self.op.cost(&self.tech);
+        let rounds = n_ops.div_ceil(self.parallel_ops().max(1)) as f64;
+        let makespan = self.op_latency() * rounds;
+        let compute_time = cost.latency * rounds;
+        let movement_time = makespan - compute_time;
+        let movement_energy = self.interconnect.hop_energy
+            * self.average_hops()
+            * (1.0 - self.interconnect.locality)
+            * n;
+        let control_energy =
+            self.controller.step_energy() * cost.steps as f64 * n + self.static_power() * makespan;
+
+        ledger.charge(cost.component, phase, cost.energy * n, compute_time, n_ops);
+        ledger.charge(
+            Component::Interconnect,
+            phase,
+            movement_energy,
+            movement_time,
+            0,
+        );
+        ledger.charge_energy(Component::Controller, phase, control_energy, 0);
+    }
 }
 
 #[cfg(test)]
@@ -255,6 +285,36 @@ mod tests {
         // Perfect locality removes movement entirely.
         let monolith = CimMachine::dna_paper();
         assert!((a.op_energy() / monolith.op_dynamic_energy() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn charge_batched_decomposes_the_batched_aggregate() {
+        let m = TiledCim::math(
+            1_000_000,
+            32,
+            Interconnect::realistic(),
+            Controller::realistic(),
+        );
+        let n = 1_000_000;
+        let mut ledger = CostLedger::new();
+        m.charge_batched(&mut ledger, Phase::Add, n);
+        let reference = crate::RunReport::batched(
+            n,
+            m.parallel_ops(),
+            m.op_latency(),
+            m.op_energy(),
+            m.static_power(),
+            m.area(),
+        );
+        assert!((ledger.total_energy() / reference.total_energy - 1.0).abs() < 1e-12);
+        assert!((ledger.total_time() / reference.total_time - 1.0).abs() < 1e-12);
+        let report = crate::RunReport::from_ledger(n, m.area(), &ledger);
+        assert!(report.conserves(&ledger));
+        // The CRS adder charges CrossbarWrite; realistic overheads make
+        // the interconnect and controller visible in the breakdown.
+        assert!(!ledger.component_totals(Component::CrossbarWrite).is_zero());
+        assert!(!ledger.component_totals(Component::Interconnect).is_zero());
+        assert!(!ledger.component_totals(Component::Controller).is_zero());
     }
 
     #[test]

@@ -6,9 +6,16 @@
 //! cargo run --release -p cim-bench --bin table2
 //! cargo run --release -p cim-bench --bin table2 -- --hit-ratio measured
 //! cargo run --release -p cim-bench --bin table2 -- --threads 4
+//! cargo run --release -p cim-bench --bin table2 -- --breakdown
+//! cargo run --release -p cim-bench --bin table2 -- --smoke --breakdown
 //! cargo run --release -p cim-bench --bin table2 -- --ablate-comparator
 //! cargo run --release -p cim-bench --bin table2 -- --ablate-hitrate
 //! ```
+//!
+//! `--breakdown` additionally renders the per-component cost-ledger
+//! tables (where every joule and picosecond of each Table-2 cell landed)
+//! and writes `results/table2_breakdown.csv`. `--smoke` shrinks both
+//! workloads for CI-speed runs.
 
 use cim_arch::{
     ByteComparator, Controller, ConventionalMachine, FunctionalUnit, Interconnect, Metrics,
@@ -18,6 +25,7 @@ use cim_bench::{write_csv, Args};
 use cim_core::paper_mode;
 use cim_core::{AdditionsExperiment, Experiment, HitRatioMode, Table2};
 use cim_sim::{BatchPolicy, CimExecutor, ConventionalExecutor, ExecutionBackend};
+use cim_units::{CostLedger, Phase};
 use cim_workloads::{DnaSpec, DnaWorkload};
 
 fn main() {
@@ -40,9 +48,16 @@ fn main() {
         _ => HitRatioMode::PaperAssumption,
     };
     // `--threads 0` (the default) lets the batch driver use every core;
-    // results are bit-identical at any setting.
-    let batch = match args.value("--threads").and_then(|v| v.parse().ok()) {
-        Some(threads) => BatchPolicy::with_threads(threads),
+    // results are bit-identical at any setting. A value that is present
+    // but unparseable is an error, not a silent fallback to auto.
+    let batch = match args.value("--threads") {
+        Some(raw) => match raw.parse() {
+            Ok(threads) => BatchPolicy::with_threads(threads),
+            Err(_) => {
+                eprintln!("error: --threads expects a non-negative integer, got `{raw}`");
+                std::process::exit(2);
+            }
+        },
         None => BatchPolicy::auto(),
     };
 
@@ -73,25 +88,45 @@ fn main() {
     }
 
     println!("\n-- our physical model (scaled execution + paper-scale projection) --\n");
-    let dna = Experiment::new(DnaWorkload {
-        spec: DnaSpec {
+    // `--smoke` shrinks both workloads so CI can exercise the full
+    // pipeline (execution, projection, breakdown) in seconds.
+    let smoke = args.has("--smoke");
+    let dna_spec = if smoke {
+        DnaSpec {
+            ref_len: 30_000,
+            coverage: 2,
+            read_len: 100,
+        }
+    } else {
+        DnaSpec {
             ref_len: 200_000,
             coverage: 5,
             read_len: 100,
-        },
+        }
+    };
+    let dna = Experiment::new(DnaWorkload {
+        spec: dna_spec,
         seed: 42,
     })
     .with_hit_ratio_mode(hit_mode)
     .with_batch(batch)
     .run()
     .expect("scaled DNA experiment executes");
-    let math = AdditionsExperiment::paper(42)
-        .with_batch(batch)
-        .run()
-        .expect("additions experiment executes");
+    let math = if smoke {
+        AdditionsExperiment::scaled(5_000, 42)
+    } else {
+        AdditionsExperiment::paper(42)
+    }
+    .with_batch(batch)
+    .run()
+    .expect("additions experiment executes");
     let table = Table2 { dna, math };
     println!("{}", table.to_markdown());
     write_csv("table2.csv", &table.to_csv());
+    if args.has("--breakdown") {
+        println!("{}", table.breakdown_markdown());
+        write_csv("table2_breakdown.csv", &table.breakdown_csv());
+    }
 }
 
 /// Ablation A3: sensitivity of the conventional DNA column to the
@@ -110,7 +145,7 @@ fn ablate_comparator() {
             ..ByteComparator::unit()
         };
         let report = project(&machine);
-        let m = Metrics::from_run(&report);
+        let m = Metrics::from_run(&report).expect("paper-scale projection is non-degenerate");
         println!(
             "{gates:>6} {:>14.4e} {:>14.4e} {:>14.4e}",
             m.energy_delay_per_op.get(),
@@ -139,8 +174,8 @@ fn ablate_hitrate() {
     );
     let mut csv = String::from("hit_ratio,conv_edp,cim_edp,gain\n");
     for hit in [0.30, 0.50, 0.70, 0.90, 0.98] {
-        let c = Metrics::from_run(&conv.project_dna(hit));
-        let i = Metrics::from_run(&cim.project_dna(hit));
+        let c = Metrics::from_run(&conv.project_dna(hit)).expect("projection is non-degenerate");
+        let i = Metrics::from_run(&cim.project_dna(hit)).expect("projection is non-degenerate");
         let gain = c.energy_delay_per_op.get() / i.energy_delay_per_op.get();
         println!(
             "{hit:>6.2} {:>14.4e} {:>14.4e} {:>12.1}",
@@ -183,7 +218,7 @@ fn ablate_overhead() {
         .run(&workload)
         .expect("additions always execute")
         .report;
-    let conv_metrics = Metrics::from_run(&conv_report);
+    let conv_metrics = Metrics::from_run(&conv_report).expect("executed run is non-degenerate");
 
     println!(
         "{:>28} {:>10} {:>14} {:>12} {:>12}",
@@ -220,16 +255,10 @@ fn ablate_overhead() {
     ];
     for (name, ic, ctl) in configs {
         let machine = TiledCim::math(workload.n_ops, workload.bits, ic, ctl);
-        let rounds = workload.n_ops.div_ceil(machine.parallel_ops().max(1));
-        let total_time = machine.op_latency() * rounds as f64;
-        let report = cim_arch::RunReport {
-            operations: workload.n_ops,
-            total_time,
-            total_energy: machine.op_energy() * workload.n_ops as f64
-                + machine.static_power() * total_time,
-            area: machine.area(),
-        };
-        let m = Metrics::from_run(&report);
+        let mut ledger = CostLedger::new();
+        machine.charge_batched(&mut ledger, Phase::Add, workload.n_ops);
+        let report = cim_arch::RunReport::from_ledger(workload.n_ops, machine.area(), &ledger);
+        let m = Metrics::from_run(&report).expect("overhead configs are non-degenerate");
         let (edp_gain, eff_gain, _) = m.improvement_over(&conv_metrics);
         println!(
             "{:>28} {:>10.2} {:>14.4e} {:>12.1} {:>12.1}",
@@ -256,13 +285,7 @@ fn ablate_overhead() {
 
 fn project(machine: &ConventionalMachine) -> cim_arch::RunReport {
     let ops = DnaSpec::paper().comparisons();
-    let rounds = ops.div_ceil(machine.parallel_units());
-    let total_time = machine.op_latency() * rounds as f64;
-    cim_arch::RunReport {
-        operations: ops,
-        total_time,
-        total_energy: machine.op_dynamic_energy() * ops as f64
-            + machine.static_power() * total_time,
-        area: machine.area(),
-    }
+    let mut ledger = CostLedger::new();
+    machine.charge_batched(&mut ledger, Phase::Map, ops);
+    cim_arch::RunReport::from_ledger(ops, machine.area(), &ledger)
 }

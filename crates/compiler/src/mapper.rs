@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use cim_arch::MemristorTech;
 use cim_logic::{simd_cost, LogicCost};
+use cim_units::Component;
 use cim_units::Time;
 
 use crate::graph::{Graph, Node, Op, TensorId};
@@ -91,6 +92,7 @@ impl Mapper {
             devices: devices * bits as usize,
             latency: t * (steps * u64::from(bits)) as f64,
             energy: e * (steps * u64::from(bits)) as f64,
+            component: Component::ImplyStep,
         };
         match op {
             Op::Input { .. } | Op::Const { .. } => None,
@@ -106,6 +108,7 @@ impl Mapper {
                     devices: cmp.devices * slices as usize + slices as usize,
                     latency: t * (cmp.steps + tree_steps) as f64,
                     energy: cmp.energy * slices as f64,
+                    component: cmp.component,
                 })
             }
             Op::Lt => {
@@ -165,6 +168,7 @@ impl Mapper {
                     devices: one_wave.devices,
                     latency: one_wave.latency * waves as f64,
                     energy: unit.energy * (lanes * stages) as f64,
+                    component: unit.component,
                 };
                 level_latency = level_latency.max(cost.latency);
                 total.energy += cost.energy;

@@ -6,6 +6,7 @@
 //! concrete experiments are aliases: [`DnaExperiment`] and
 //! [`AdditionsExperiment`].
 
+use cim_arch::MetricsError;
 use cim_sim::{
     BatchPolicy, CimExecutor, ConventionalExecutor, ExecutionBackend, RunOutcome, SimError,
 };
@@ -41,6 +42,9 @@ pub enum ExperimentError {
         /// What the workload rejected.
         source: WorkloadError,
     },
+    /// Both runs executed and verified, but one report is degenerate
+    /// (zero operations, time, energy, or area) so no metrics exist.
+    Degenerate(MetricsError),
 }
 
 impl std::fmt::Display for ExperimentError {
@@ -55,6 +59,7 @@ impl std::fmt::Display for ExperimentError {
                 f,
                 "{machine} run of `{workload}` failed verification: {source}"
             ),
+            ExperimentError::Degenerate(err) => write!(f, "comparison is degenerate: {err}"),
         }
     }
 }
@@ -64,6 +69,7 @@ impl std::error::Error for ExperimentError {
         match self {
             ExperimentError::Sim(err) => Some(err),
             ExperimentError::Verification { source, .. } => Some(source),
+            ExperimentError::Degenerate(err) => Some(err),
         }
     }
 }
@@ -71,6 +77,12 @@ impl std::error::Error for ExperimentError {
 impl From<SimError> for ExperimentError {
     fn from(err: SimError) -> Self {
         ExperimentError::Sim(err)
+    }
+}
+
+impl From<MetricsError> for ExperimentError {
+    fn from(err: MetricsError) -> Self {
+        ExperimentError::Degenerate(err)
     }
 }
 
@@ -138,8 +150,13 @@ impl<W: Workload> Experiment<W> {
         let conv_run = self.verified(conv_exec.run(&self.workload)?)?;
         let cim_run = self.verified(cim_exec.run(&self.workload)?)?;
 
-        let (conv, cim) = match self.workload.projection() {
-            ProjectionKind::ExecutedScale => (conv_run.report, cim_run.report),
+        let (conv, conv_ledger, cim, cim_ledger) = match self.workload.projection() {
+            ProjectionKind::ExecutedScale => (
+                conv_run.report,
+                conv_run.ledger.clone(),
+                cim_run.report,
+                cim_run.ledger.clone(),
+            ),
             ProjectionKind::PaperScale { assumed_hit_ratio } => {
                 let hit_ratio = match self.hit_ratio_mode {
                     HitRatioMode::PaperAssumption => assumed_hit_ratio,
@@ -147,14 +164,14 @@ impl<W: Workload> Experiment<W> {
                         conv_run.measured_hit_ratio.unwrap_or(assumed_hit_ratio)
                     }
                 };
-                (
-                    conv_exec.project(&self.workload, hit_ratio),
-                    cim_exec.project(&self.workload, hit_ratio),
-                )
+                let (conv, conv_ledger) = conv_exec.project_attributed(&self.workload, hit_ratio);
+                let (cim, cim_ledger) = cim_exec.project_attributed(&self.workload, hit_ratio);
+                (conv, conv_ledger, cim, cim_ledger)
             }
         };
 
-        let mut report = ComparisonReport::new(&self.workload.name(), conv, cim);
+        let mut report =
+            ComparisonReport::new(&self.workload.name(), conv, cim, conv_ledger, cim_ledger)?;
         for note in conv_run.notes.iter().chain(cim_run.notes.iter()) {
             report = report.with_note(note.clone());
         }
@@ -258,6 +275,28 @@ mod tests {
             ExperimentError::Sim(SimError::SpecTooLarge { .. })
         ));
         assert!(err.to_string().contains("capped"));
+    }
+
+    #[test]
+    fn experiment_reports_conserve_their_ledgers() {
+        let additions = AdditionsExperiment::scaled(5_000, 7).run().expect("runs");
+        assert!(additions
+            .conventional()
+            .conserves(additions.conventional_ledger()));
+        assert!(additions.cim().conserves(additions.cim_ledger()));
+
+        let dna = Experiment::new(DnaWorkload {
+            spec: DnaSpec {
+                ref_len: 30_000,
+                coverage: 2,
+                read_len: 100,
+            },
+            seed: 3,
+        })
+        .run()
+        .expect("runs");
+        assert!(dna.conventional().conserves(dna.conventional_ledger()));
+        assert!(dna.cim().conserves(dna.cim_ledger()));
     }
 
     #[test]

@@ -39,13 +39,13 @@ pub mod prelude {
         AdditionsExperiment, ComparisonReport, DnaExperiment, Experiment, ExperimentError,
         HitRatioMode, Table2,
     };
-    pub use cim_arch::{CimMachine, ConventionalMachine, Metrics, RunReport};
+    pub use cim_arch::{CimMachine, ConventionalMachine, Metrics, MetricsError, RunReport};
     pub use cim_crossbar::{BiasScheme, Crossbar, ResistiveCell};
     pub use cim_device::{Crs, DeviceParams, Memristor, ThresholdDevice, TwoTerminal};
     pub use cim_logic::{ImplyAdder, ImplyEngine, Program, ProgramBuilder};
     pub use cim_sim::{
         BatchPolicy, CimExecutor, ConventionalExecutor, ExecutionBackend, RunOutcome, SimError,
     };
-    pub use cim_units::{Area, Energy, Power, Time, Voltage};
+    pub use cim_units::{Area, Component, CostLedger, Energy, Phase, Power, Time, Voltage};
     pub use cim_workloads::{AdditionWorkload, DnaSpec, DnaWorkload, Genome, Workload};
 }

@@ -1,6 +1,7 @@
 //! Comparison reports rendered in the paper's Table-2 shape.
 
-use cim_arch::{Metrics, RunReport};
+use cim_arch::{Metrics, MetricsError, RunReport};
+use cim_units::{Component, CostEntry, CostLedger};
 use serde::{Deserialize, Serialize};
 
 /// Conventional-vs-CIM results for one workload.
@@ -9,22 +10,39 @@ pub struct ComparisonReport {
     workload: String,
     conventional: RunReport,
     cim: RunReport,
+    conventional_ledger: CostLedger,
+    cim_ledger: CostLedger,
     conventional_metrics: Metrics,
     cim_metrics: Metrics,
     notes: Vec<String>,
 }
 
 impl ComparisonReport {
-    /// Builds the comparison and derives both metric sets.
-    pub fn new(workload: &str, conventional: RunReport, cim: RunReport) -> Self {
-        Self {
+    /// Builds the comparison and derives both metric sets. The ledgers
+    /// carry the component/phase attribution behind each report's totals
+    /// (see [`RunReport::conserves`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`MetricsError`] of whichever run is degenerate
+    /// (zero operations, time, energy, or area).
+    pub fn new(
+        workload: &str,
+        conventional: RunReport,
+        cim: RunReport,
+        conventional_ledger: CostLedger,
+        cim_ledger: CostLedger,
+    ) -> Result<Self, MetricsError> {
+        Ok(Self {
             workload: workload.to_string(),
-            conventional_metrics: Metrics::from_run(&conventional),
-            cim_metrics: Metrics::from_run(&cim),
+            conventional_metrics: Metrics::from_run(&conventional)?,
+            cim_metrics: Metrics::from_run(&cim)?,
             conventional,
             cim,
+            conventional_ledger,
+            cim_ledger,
             notes: Vec::new(),
-        }
+        })
     }
 
     /// Attaches a free-form provenance note.
@@ -46,6 +64,16 @@ impl ComparisonReport {
     /// The CIM machine's run.
     pub fn cim(&self) -> &RunReport {
         &self.cim
+    }
+
+    /// The conventional run's component/phase attribution.
+    pub fn conventional_ledger(&self) -> &CostLedger {
+        &self.conventional_ledger
+    }
+
+    /// The CIM run's component/phase attribution.
+    pub fn cim_ledger(&self) -> &CostLedger {
+        &self.cim_ledger
     }
 
     /// The conventional machine's Table-2 metrics.
@@ -93,6 +121,65 @@ impl ComparisonReport {
         ));
         for note in &self.notes {
             out.push_str(&format!("\n_{note}_\n"));
+        }
+        out
+    }
+
+    /// The components either machine spent anything in, canonical order,
+    /// with both machines' totals.
+    fn breakdown_rows(&self) -> Vec<(Component, CostEntry, CostEntry)> {
+        Component::ALL
+            .iter()
+            .filter_map(|&component| {
+                let conv = self.conventional_ledger.component_totals(component);
+                let cim = self.cim_ledger.component_totals(component);
+                (!conv.is_zero() || !cim.is_zero()).then_some((component, conv, cim))
+            })
+            .collect()
+    }
+
+    /// Renders the per-component breakdown as a markdown table: where
+    /// each machine's joules and seconds went. Rows sum to the Table-2
+    /// totals (the conservation invariant, rendered).
+    pub fn breakdown_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {} — component breakdown\n\n", self.workload));
+        out.push_str("| Component | Conv energy | Conv time | Conv ops | CIM energy | CIM time | CIM ops |\n");
+        out.push_str("|---|---|---|---|---|---|---|\n");
+        for (component, conv, cim) in self.breakdown_rows() {
+            out.push_str(&format!(
+                "| {component} | {} | {} | {} | {} | {} | {} |\n",
+                conv.energy, conv.time, conv.count, cim.energy, cim.time, cim.count
+            ));
+        }
+        out.push_str(&format!(
+            "| **total** | {} | {} | {} | {} | {} | {} |\n",
+            self.conventional.total_energy,
+            self.conventional.total_time,
+            self.conventional_ledger.total_count(),
+            self.cim.total_energy,
+            self.cim.total_time,
+            self.cim_ledger.total_count(),
+        ));
+        out
+    }
+
+    /// Renders breakdown CSV rows (no header):
+    /// `workload,component,conv_energy_j,conv_time_s,conv_count,cim_energy_j,cim_time_s,cim_count`.
+    pub fn breakdown_csv(&self) -> String {
+        let mut out = String::new();
+        for (component, conv, cim) in self.breakdown_rows() {
+            out.push_str(&format!(
+                "{},{},{:e},{:e},{},{:e},{:e},{}\n",
+                self.workload,
+                component,
+                conv.energy.as_joules(),
+                conv.time.as_seconds(),
+                conv.count,
+                cim.energy.as_joules(),
+                cim.time.as_seconds(),
+                cim.count,
+            ));
         }
         out
     }
@@ -150,24 +237,72 @@ impl Table2 {
             self.math.to_csv()
         )
     }
+
+    /// Renders both workloads' component breakdowns as markdown.
+    pub fn breakdown_markdown(&self) -> String {
+        format!(
+            "## Table 2 — component breakdown\n\n{}\n{}",
+            self.dna.breakdown_markdown(),
+            self.math.breakdown_markdown()
+        )
+    }
+
+    /// The breakdown CSV header.
+    pub const BREAKDOWN_CSV_HEADER: &'static str =
+        "workload,component,conv_energy_j,conv_time_s,conv_count,cim_energy_j,cim_time_s,cim_count";
+
+    /// Renders combined breakdown CSV (header + both workloads).
+    pub fn breakdown_csv(&self) -> String {
+        format!(
+            "{}\n{}{}",
+            Self::BREAKDOWN_CSV_HEADER,
+            self.dna.breakdown_csv(),
+            self.math.breakdown_csv()
+        )
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cim_units::{Area, Energy, Time};
+    use cim_units::{Area, Energy, Phase, Time};
 
-    fn report(scale: f64) -> RunReport {
-        RunReport {
-            operations: 1_000,
-            total_time: Time::from_micro_seconds(scale),
-            total_energy: Energy::from_micro_joules(scale),
-            area: Area::from_square_milli_meters(1.0),
-        }
+    /// A toy ledger whose totals *are* the toy report's totals: the
+    /// energy/time split 70/30 across two components so breakdowns have
+    /// more than one row.
+    fn ledger(scale: f64, component_a: Component, component_b: Component) -> CostLedger {
+        let mut ledger = CostLedger::new();
+        let energy = Energy::from_micro_joules(scale);
+        let time = Time::from_micro_seconds(scale);
+        ledger.charge(component_a, Phase::Map, energy * 0.7, time * 0.7, 700);
+        ledger.charge(
+            component_b,
+            Phase::Map,
+            energy - energy * 0.7,
+            time - time * 0.7,
+            300,
+        );
+        ledger
+    }
+
+    fn report(scale: f64, lead: Component) -> RunReport {
+        RunReport::from_ledger(
+            1_000,
+            Area::from_square_milli_meters(1.0),
+            &ledger(scale, lead, Component::DramAccess),
+        )
     }
 
     fn comparison() -> ComparisonReport {
-        ComparisonReport::new("toy", report(100.0), report(1.0)).with_note("synthetic".to_string())
+        ComparisonReport::new(
+            "toy",
+            report(100.0, Component::CacheAccess),
+            report(1.0, Component::ImplyStep),
+            ledger(100.0, Component::CacheAccess, Component::DramAccess),
+            ledger(1.0, Component::ImplyStep, Component::DramAccess),
+        )
+        .expect("toy runs are non-degenerate")
+        .with_note("synthetic".to_string())
     }
 
     #[test]
@@ -216,5 +351,70 @@ mod tests {
         assert_eq!(c.cim().operations, 1_000);
         assert!(c.conventional_metrics().ops_per_joule > 0.0);
         assert!(c.cim_metrics().ops_per_joule > 0.0);
+    }
+
+    #[test]
+    fn degenerate_runs_surface_a_typed_error() {
+        let zero_ops = RunReport {
+            operations: 0,
+            ..report(1.0, Component::ImplyStep)
+        };
+        let err = ComparisonReport::new(
+            "toy",
+            zero_ops,
+            report(1.0, Component::ImplyStep),
+            CostLedger::new(),
+            CostLedger::new(),
+        )
+        .expect_err("zero operations cannot yield metrics");
+        assert_eq!(err, MetricsError::NoOperations);
+    }
+
+    #[test]
+    fn breakdown_conserves_and_renders_every_component() {
+        let c = comparison();
+        // The reports were derived from these very ledgers, so the
+        // invariant holds to the bit.
+        assert!(c.conventional().conserves(c.conventional_ledger()));
+        assert!(c.cim().conserves(c.cim_ledger()));
+        let md = c.breakdown_markdown();
+        for label in ["cache_access", "imply_step", "dram_access", "total"] {
+            assert!(md.contains(label), "missing {label} in\n{md}");
+        }
+        let csv = c.breakdown_csv();
+        assert_eq!(csv.lines().count(), 3, "one row per spent component");
+        for line in csv.lines() {
+            assert_eq!(line.split(',').count(), 8, "malformed row {line}");
+            assert!(line.starts_with("toy,"));
+        }
+    }
+
+    #[test]
+    fn breakdown_csv_columns_sum_to_the_report_totals() {
+        let c = comparison();
+        let (mut conv_e, mut conv_t, mut cim_e, mut cim_t) = (0.0, 0.0, 0.0, 0.0);
+        for line in c.breakdown_csv().lines() {
+            let cells: Vec<&str> = line.split(',').collect();
+            conv_e += cells[2].parse::<f64>().unwrap();
+            conv_t += cells[3].parse::<f64>().unwrap();
+            cim_e += cells[5].parse::<f64>().unwrap();
+            cim_t += cells[6].parse::<f64>().unwrap();
+        }
+        assert!((conv_e / c.conventional().total_energy.as_joules() - 1.0).abs() < 1e-12);
+        assert!((conv_t / c.conventional().total_time.as_seconds() - 1.0).abs() < 1e-12);
+        assert!((cim_e / c.cim().total_energy.as_joules() - 1.0).abs() < 1e-12);
+        assert!((cim_t / c.cim().total_time.as_seconds() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table2_breakdown_has_header_and_both_workloads() {
+        let t = Table2 {
+            dna: comparison(),
+            math: comparison(),
+        };
+        let csv = t.breakdown_csv();
+        assert_eq!(csv.lines().next(), Some(Table2::BREAKDOWN_CSV_HEADER));
+        assert_eq!(csv.lines().count(), 7); // header + 2 × 3 rows
+        assert!(t.breakdown_markdown().contains("component breakdown"));
     }
 }

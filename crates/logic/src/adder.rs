@@ -1,7 +1,7 @@
 //! Memristive adders: the arithmetic blocks behind the paper's
 //! "Mathematics: 10⁶ parallel additions" experiment.
 
-use cim_units::{Energy, Time};
+use cim_units::{Component, Energy, Time};
 use serde::{Deserialize, Serialize};
 
 use cim_device::DeviceParams;
@@ -122,6 +122,7 @@ impl ImplyAdder {
             devices: self.program.registers,
             latency: device.write_time * self.program.len() as f64,
             energy: Energy::ZERO, // measured by the engine at run time
+            component: Component::ImplyStep,
         }
     }
 
@@ -219,6 +220,7 @@ impl CrsAdder {
             devices: 1,
             latency: self.params.write_time * 10.0 * (self.imp_ops * 2) as f64,
             energy: self.params.write_energy * (self.imp_ops * 2) as f64,
+            component: Component::CrossbarWrite,
         }
     }
 }

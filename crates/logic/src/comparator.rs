@@ -4,6 +4,7 @@
 use serde::{Deserialize, Serialize};
 
 use cim_device::DeviceParams;
+use cim_units::Component;
 
 use crate::cost::LogicCost;
 use crate::engine::ImplyEngine;
@@ -77,6 +78,7 @@ impl Comparator {
             devices: self.eq.registers,
             latency: device.write_time * self.eq.len() as f64,
             energy: device.write_energy * self.eq.len() as f64,
+            component: Component::ImplyStep,
         }
     }
 

@@ -1,16 +1,18 @@
 //! Cost accounting for stateful-logic blocks.
 
-use cim_units::{Area, Energy, Time};
+use cim_units::{Area, Component, CostLedger, Energy, Phase, Time};
 use serde::{Deserialize, Serialize};
 
 /// Execution cost of a stateful-logic block.
 ///
 /// `steps` counts sequential micro-operations (each one memristor write
-/// time in the paper's accounting), `devices` the memristor footprint.
-/// The paper's Table 1 quotes these for its two blocks; the constructors
-/// below encode those numbers so the architecture model can reproduce
-/// Table 2, while the electrical engines *measure* their own costs for
-/// comparison.
+/// time in the paper's accounting), `devices` the memristor footprint,
+/// and `component` tags which ledger bucket the block charges
+/// ([`Component::ImplyStep`] for IMPLY microprograms,
+/// [`Component::CrossbarWrite`] for CRS logic, …). The paper's Table 1
+/// quotes these for its two blocks; the constructors below encode those
+/// numbers so the architecture model can reproduce Table 2, while the
+/// electrical engines *measure* their own costs for comparison.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LogicCost {
     /// Sequential steps executed.
@@ -21,6 +23,8 @@ pub struct LogicCost {
     pub latency: Time,
     /// Dynamic energy consumed.
     pub energy: Energy,
+    /// The ledger component this block's cost is attributed to.
+    pub component: Component,
 }
 
 impl LogicCost {
@@ -33,6 +37,7 @@ impl LogicCost {
             devices: 13,
             latency: Time::from_nano_seconds(3.2),
             energy: Energy::from_femto_joules(45.0),
+            component: Component::ImplyStep,
         }
     }
 
@@ -48,6 +53,7 @@ impl LogicCost {
             devices: n as usize + 2,
             latency: write_time * steps as f64,
             energy: write_energy * f64::from(8 * n),
+            component: Component::CrossbarWrite,
         }
     }
 
@@ -56,24 +62,46 @@ impl LogicCost {
         cell_area * self.devices as f64
     }
 
+    /// Charges `invocations` serial executions of this block into the
+    /// ledger under its component tag: `invocations × energy`,
+    /// `invocations × latency`, counting one primitive op per invocation.
+    ///
+    /// Callers that schedule invocations in parallel charge the makespan
+    /// themselves (see the machine models' `charge_batched`) and use
+    /// [`CostLedger::charge_energy`] for the energy side.
+    pub fn charge(&self, ledger: &mut CostLedger, phase: Phase, invocations: u64) {
+        ledger.charge(
+            self.component,
+            phase,
+            self.energy * invocations as f64,
+            self.latency * invocations as f64,
+            invocations,
+        );
+    }
+
     /// Merges a sequentially-executed block (steps/latency/energy add,
-    /// devices take the maximum of the two footprints if reused).
+    /// devices take the maximum of the two footprints if reused). The
+    /// combined block keeps `self`'s component tag; charge heterogeneous
+    /// stages separately if their attribution must stay distinct.
     pub fn then(&self, next: &LogicCost) -> Self {
         Self {
             steps: self.steps + next.steps,
             devices: self.devices.max(next.devices),
             latency: self.latency + next.latency,
             energy: self.energy + next.energy,
+            component: self.component,
         }
     }
 
-    /// Merges a block executed in parallel on disjoint devices.
+    /// Merges a block executed in parallel on disjoint devices. Keeps
+    /// `self`'s component tag, like [`then`](Self::then).
     pub fn alongside(&self, other: &LogicCost) -> Self {
         Self {
             steps: self.steps.max(other.steps),
             devices: self.devices + other.devices,
             latency: self.latency.max(other.latency),
             energy: self.energy + other.energy,
+            component: self.component,
         }
     }
 }
@@ -123,12 +151,14 @@ mod tests {
             devices: 5,
             latency: Time::from_nano_seconds(2.0),
             energy: Energy::from_femto_joules(10.0),
+            component: Component::ImplyStep,
         };
         let b = LogicCost {
             steps: 3,
             devices: 3,
             latency: Time::from_nano_seconds(0.6),
             energy: Energy::from_femto_joules(3.0),
+            component: Component::CrossbarWrite,
         };
         let seq = a.then(&b);
         assert_eq!(seq.steps, 13);
@@ -138,6 +168,21 @@ mod tests {
         assert_eq!(par.steps, 10);
         assert_eq!(par.devices, 8);
         assert!((par.energy.as_femto_joules() - 13.0).abs() < 1e-12);
+        // Composite blocks inherit the first block's attribution tag.
+        assert_eq!(seq.component, Component::ImplyStep);
+        assert_eq!(par.component, Component::ImplyStep);
+    }
+
+    #[test]
+    fn charge_attributes_serial_invocations() {
+        let mut ledger = CostLedger::new();
+        LogicCost::comparator_paper().charge(&mut ledger, Phase::Map, 100);
+        let cell = ledger.entry(Component::ImplyStep, Phase::Map);
+        assert_eq!(cell.count, 100);
+        assert!((cell.energy.as_femto_joules() - 4_500.0).abs() < 1e-9);
+        assert!((cell.time.as_nano_seconds() - 320.0).abs() < 1e-9);
+        // Nothing leaks into other components.
+        assert_eq!(ledger.total_count(), 100);
     }
 
     #[test]

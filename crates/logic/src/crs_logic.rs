@@ -14,7 +14,7 @@
 //! Two pulses instead of the three of the two-device scheme, no load
 //! resistor, and no static current in either storage state.
 
-use cim_units::{Time, Voltage};
+use cim_units::{Component, Time, Voltage};
 use serde::{Deserialize, Serialize};
 
 use cim_device::{Crs, DeviceParams, TwoTerminal};
@@ -104,6 +104,7 @@ impl CrsImp {
             devices: 1,
             latency: self.pulse * self.steps as f64,
             energy: self.cell.params().write_energy * self.steps as f64,
+            component: Component::CrossbarWrite,
         }
     }
 }

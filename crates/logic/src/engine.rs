@@ -1,6 +1,6 @@
 //! Electrical execution of IMPLY microcode (Fig. 5a).
 
-use cim_units::{Energy, Resistance, Time, Voltage};
+use cim_units::{Component, Energy, Resistance, Time, Voltage};
 use serde::{Deserialize, Serialize};
 
 use cim_device::{DeviceParams, Memristor, ThresholdDevice, TwoTerminal};
@@ -156,6 +156,7 @@ impl ImplyEngine {
             devices: self.regs.len(),
             latency: self.params.pulse * self.steps as f64,
             energy: self.energy,
+            component: Component::ImplyStep,
         }
     }
 

@@ -9,7 +9,7 @@
 //! decoder). [`Lut::cost_per_eval`] and the logic-style comparison tests
 //! quantify the trade.
 
-use cim_units::{Time, Voltage};
+use cim_units::{Component, Time, Voltage};
 use serde::{Deserialize, Serialize};
 
 use cim_device::{DeviceParams, Memristor, ThresholdDevice, TwoTerminal};
@@ -129,6 +129,7 @@ impl Lut {
                 let i = v / self.params.r_on;
                 v * i * self.params.write_time
             },
+            component: Component::CrossbarRead,
         }
     }
 

@@ -8,7 +8,7 @@
 //! length*, not with the number of rows; energy scales with both.
 
 use cim_device::DeviceParams;
-use cim_units::Energy;
+use cim_units::{Component, Energy};
 
 use crate::cost::LogicCost;
 use crate::engine::{ImplyEngine, ImplyParams};
@@ -97,6 +97,7 @@ impl RowParallelEngine {
             devices,
             latency: self.params.pulse * self.broadcast_steps as f64,
             energy,
+            component: Component::ImplyStep,
         }
     }
 
@@ -114,6 +115,7 @@ pub fn simd_cost(unit: &LogicCost, rows: u64) -> LogicCost {
         devices: unit.devices * rows as usize,
         latency: unit.latency,
         energy: unit.energy * rows as f64,
+        component: unit.component,
     }
 }
 
@@ -163,6 +165,7 @@ mod tests {
             devices: 13,
             latency: Time::from_nano_seconds(3.2),
             energy: cim_units::Energy::from_femto_joules(45.0),
+            component: cim_units::Component::ImplyStep,
         };
         let wide = simd_cost(&unit, 1_000);
         assert_eq!(wide.steps, 16);

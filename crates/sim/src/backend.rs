@@ -15,9 +15,10 @@
 //! * **Typed failure** — impossible sizes and semantic divergence are
 //!   [`SimError`]s, never panics.
 //! * **Honest digests** — `RunOutcome::digest` reports what was actually
-//!   executed so [`Workload::verify`] can hold it against ground truth.
+//!   executed so [`Workload::verify`](cim_workloads::Workload::verify) can hold it against ground truth.
 
 use cim_arch::RunReport;
+use cim_units::CostLedger;
 use cim_workloads::{ExecutionDigest, Workload};
 use serde::{Deserialize, Serialize};
 
@@ -30,7 +31,11 @@ pub struct RunOutcome {
     pub machine: &'static str,
     /// Timing/energy/area of the run at the executed scale.
     pub report: RunReport,
-    /// Functional summary for [`Workload::verify`].
+    /// Component/phase attribution of the run. `report` is derived from
+    /// this ledger (`RunReport::from_ledger`), so
+    /// `report.conserves(&ledger)` holds bit-exactly.
+    pub ledger: CostLedger,
+    /// Functional summary for [`Workload::verify`](cim_workloads::Workload::verify).
     pub digest: ExecutionDigest,
     /// Cache hit ratio measured on the run's real memory trace, when the
     /// backend models a cache (conventional DNA runs).
@@ -99,8 +104,15 @@ pub trait ExecutionBackend<W: Workload> {
 
     /// Projects the workload to paper scale via the closed-form counts,
     /// with the conventional cache modelled at `hit_ratio` (backends
-    /// without a cache ignore it).
-    fn project(&self, workload: &W, hit_ratio: f64) -> RunReport;
+    /// without a cache ignore it), attributing every joule and picosecond
+    /// into a [`CostLedger`]. The report is derived from the ledger, so
+    /// `report.conserves(&ledger)` holds bit-exactly.
+    fn project_attributed(&self, workload: &W, hit_ratio: f64) -> (RunReport, CostLedger);
+
+    /// Projects the workload to paper scale, totals only.
+    fn project(&self, workload: &W, hit_ratio: f64) -> RunReport {
+        self.project_attributed(workload, hit_ratio).0
+    }
 }
 
 #[cfg(test)]

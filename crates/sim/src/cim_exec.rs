@@ -2,11 +2,12 @@
 
 use cim_arch::{CimMachine, RunReport};
 use cim_logic::{Comparator, TcAdderModel};
+use cim_units::{CostLedger, Phase};
 use cim_workloads::{AdditionWorkload, DnaSpec, DnaWorkload, ExecutionDigest, Genome};
 use serde::{Deserialize, Serialize};
 
 use crate::backend::{ExecutionBackend, RunOutcome, SimError};
-use crate::batch::{par_fold_chunks, BatchPolicy};
+use crate::batch::{par_charge_chunks, par_fold_chunks, BatchPolicy};
 use crate::conventional::dna_sampler;
 use crate::event::makespan;
 
@@ -45,29 +46,32 @@ impl CimExecutor {
     }
 
     /// Projects the paper-scale DNA run (6×10⁹ comparisons on the
-    /// 1.536×10⁸-device crossbar) with a given resident ratio.
-    pub fn project_dna(&self, memory_hit_ratio: f64) -> RunReport {
+    /// 1.536×10⁸-device crossbar) with a given resident ratio,
+    /// attributing the closed-form batch into a ledger.
+    pub fn project_dna_attributed(&self, memory_hit_ratio: f64) -> (RunReport, CostLedger) {
         let mut machine = CimMachine::dna_paper();
         machine.memory_hit_ratio = memory_hit_ratio;
-        RunReport::batched(
-            DnaSpec::paper().comparisons(),
-            machine.parallel_ops(),
-            machine.op_latency(),
-            machine.op_dynamic_energy(),
-            machine.static_power(),
-            machine.area(),
+        let comparisons = DnaSpec::paper().comparisons();
+        let mut ledger = CostLedger::new();
+        machine.charge_batched(&mut ledger, Phase::Map, comparisons);
+        (
+            RunReport::from_ledger(comparisons, machine.area(), &ledger),
+            ledger,
         )
     }
 
-    fn additions_report(&self, workload: &AdditionWorkload) -> RunReport {
+    /// Projects the paper-scale DNA run, totals only.
+    pub fn project_dna(&self, memory_hit_ratio: f64) -> RunReport {
+        self.project_dna_attributed(memory_hit_ratio).0
+    }
+
+    fn additions_attributed(&self, workload: &AdditionWorkload) -> (RunReport, CostLedger) {
         let machine = CimMachine::math_paper(workload.n_ops, workload.bits);
-        RunReport::batched(
-            workload.n_ops,
-            machine.parallel_ops(),
-            machine.op_latency(),
-            machine.op_dynamic_energy(),
-            machine.static_power(),
-            machine.area(),
+        let mut ledger = CostLedger::new();
+        machine.charge_batched(&mut ledger, Phase::Add, workload.n_ops);
+        (
+            RunReport::from_ledger(workload.n_ops, machine.area(), &ledger),
+            ledger,
         )
     }
 }
@@ -132,19 +136,35 @@ impl ExecutionBackend<DnaWorkload> for CimExecutor {
         // executor scales its clusters.
         let scale = spec.scale_vs_paper();
         let parallel_scaled = ((machine.parallel_ops() as f64 * scale).round() as u64).max(1);
-        let durations = (0..comparisons.div_ceil(parallel_scaled)).map(|_| machine.op_latency());
+        let rounds = comparisons.div_ceil(parallel_scaled);
+        let durations = (0..rounds).map(|_| machine.op_latency());
         let total_time = makespan(durations, 1);
-        let report = RunReport {
-            operations: comparisons,
-            total_time,
-            total_energy: machine.op_dynamic_energy() * comparisons as f64
-                + machine.static_power() * total_time,
-            area: machine.area() * scale.max(f64::MIN_POSITIVE),
-        };
+
+        // Per-read dynamic energy (one IMPLY comparator invocation per
+        // character) flows through the batch driver's deterministic
+        // ledger merge; the makespan is then attributed once — the
+        // compute share to the array, the stream-in residual to DRAM.
+        let mut ledger = par_charge_chunks(self.batch, &reads, |sub, read| {
+            machine.charge_op_energy(sub, Phase::Map, read.symbols.len() as u64);
+        });
+        let cost = machine.op.cost(&machine.tech);
+        let compute_time = cost.latency * rounds as f64;
+        ledger.charge_time(cost.component, Phase::Map, compute_time);
+        ledger.charge_time(
+            cim_units::Component::DramAccess,
+            Phase::Map,
+            total_time - compute_time,
+        );
+        let report = RunReport::from_ledger(
+            comparisons,
+            machine.area() * scale.max(f64::MIN_POSITIVE),
+            &ledger,
+        );
 
         Ok(RunOutcome {
             machine: Self::MACHINE,
             report,
+            ledger,
             digest: ExecutionDigest {
                 items_total: reads.len() as u64,
                 // Every comparison agreed with ground truth (divergence
@@ -161,8 +181,12 @@ impl ExecutionBackend<DnaWorkload> for CimExecutor {
         })
     }
 
-    fn project(&self, _workload: &DnaWorkload, hit_ratio: f64) -> RunReport {
-        self.project_dna(hit_ratio)
+    fn project_attributed(
+        &self,
+        _workload: &DnaWorkload,
+        hit_ratio: f64,
+    ) -> (RunReport, CostLedger) {
+        self.project_dna_attributed(hit_ratio)
     }
 }
 
@@ -172,7 +196,7 @@ impl ExecutionBackend<AdditionWorkload> for CimExecutor {
     }
 
     /// Executes every addition through the TC adder model, checksumming
-    /// the (width-masked) sums for [`Workload::verify`] — an adder bug
+    /// the (width-masked) sums for [`Workload::verify`](cim_workloads::Workload::verify) — an adder bug
     /// shows up as a checksum mismatch there.
     fn run(&self, workload: &AdditionWorkload) -> Result<RunOutcome, SimError> {
         let adder = TcAdderModel::new(workload.bits);
@@ -190,9 +214,16 @@ impl ExecutionBackend<AdditionWorkload> for CimExecutor {
             |(count, sum), &(a, b)| (count + 1, sum.wrapping_add(adder.add(a, b) & sum_mask)),
             |(c1, s1), (c2, s2)| (c1 + c2, s1.wrapping_add(s2)),
         );
+        let machine = CimMachine::math_paper(workload.n_ops, workload.bits);
+        let mut ledger = par_charge_chunks(self.batch, &operands, |sub, _| {
+            machine.charge_op_energy(sub, Phase::Add, 1);
+        });
+        machine.charge_makespan(&mut ledger, Phase::Add, count);
+        let report = RunReport::from_ledger(count, machine.area(), &ledger);
         Ok(RunOutcome {
             machine: Self::MACHINE,
-            report: self.additions_report(workload),
+            report,
+            ledger,
             digest: ExecutionDigest {
                 items_total: count,
                 items_verified: count,
@@ -207,8 +238,12 @@ impl ExecutionBackend<AdditionWorkload> for CimExecutor {
         })
     }
 
-    fn project(&self, workload: &AdditionWorkload, _hit_ratio: f64) -> RunReport {
-        self.additions_report(workload)
+    fn project_attributed(
+        &self,
+        workload: &AdditionWorkload,
+        _hit_ratio: f64,
+    ) -> (RunReport, CostLedger) {
+        self.additions_attributed(workload)
     }
 }
 
@@ -290,8 +325,8 @@ mod tests {
         let cim = CimExecutor::new();
         let conv = crate::conventional::ConventionalExecutor::new();
 
-        let cim_dna = Metrics::from_run(&cim.project_dna(0.5));
-        let conv_dna = Metrics::from_run(&conv.project_dna(0.5));
+        let cim_dna = Metrics::from_run(&cim.project_dna(0.5)).expect("non-degenerate");
+        let conv_dna = Metrics::from_run(&conv.project_dna(0.5)).expect("non-degenerate");
         let (edp, eff, _) = cim_dna.improvement_over(&conv_dna);
         assert!(edp > 100.0, "DNA EDP improvement only {edp}");
         assert!(eff > 5.0, "DNA efficiency improvement only {eff}");
@@ -299,8 +334,9 @@ mod tests {
         let w = AdditionWorkload::paper(1);
         let cim_math = cim.run(&w).expect("cim additions run").report;
         let conv_math = conv.run(&w).expect("conventional additions run").report;
-        let (edp, eff, perf) =
-            Metrics::from_run(&cim_math).improvement_over(&Metrics::from_run(&conv_math));
+        let (edp, eff, perf) = Metrics::from_run(&cim_math)
+            .expect("non-degenerate")
+            .improvement_over(&Metrics::from_run(&conv_math).expect("non-degenerate"));
         assert!(edp > 10.0, "math EDP improvement only {edp}");
         assert!(eff > 10.0, "math efficiency improvement only {eff}");
         assert!(perf > 100.0, "math perf/area improvement only {perf}");

@@ -1,7 +1,7 @@
 //! Executor for the conventional (FinFET multi-core) machine.
 
 use cim_arch::{ConventionalMachine, RunReport};
-use cim_units::Energy;
+use cim_units::{Component, CostLedger, Energy, Phase, Time};
 use cim_workloads::{
     AdditionWorkload, DnaSpec, DnaWorkload, ExecutionDigest, Genome, MemoryTrace, ReadSampler,
     SortedKmerIndex,
@@ -9,7 +9,7 @@ use cim_workloads::{
 use serde::{Deserialize, Serialize};
 
 use crate::backend::{ExecutionBackend, RunOutcome, SimError};
-use crate::batch::{par_fold_chunks, par_map, BatchPolicy};
+use crate::batch::{par_charge_chunks, par_fold_chunks, par_map, BatchPolicy};
 use crate::cache::{CacheConfig, CacheSim};
 use crate::event::makespan;
 use crate::hierarchy::MemoryHierarchy;
@@ -77,29 +77,32 @@ impl ConventionalExecutor {
     }
 
     /// Projects the paper-scale DNA run with a given hit ratio (use the
-    /// measured one, or Table 1's 0.5 for as-published numbers).
-    pub fn project_dna(&self, hit_ratio: f64) -> RunReport {
+    /// measured one, or Table 1's 0.5 for as-published numbers),
+    /// attributing the closed-form batch into a ledger.
+    pub fn project_dna_attributed(&self, hit_ratio: f64) -> (RunReport, CostLedger) {
         let mut machine = ConventionalMachine::dna_paper();
         machine.cache = machine.cache.with_hit_ratio(hit_ratio);
-        RunReport::batched(
-            DnaSpec::paper().comparisons(),
-            machine.parallel_units(),
-            machine.op_latency(),
-            machine.op_dynamic_energy(),
-            machine.static_power(),
-            machine.area(),
+        let comparisons = DnaSpec::paper().comparisons();
+        let mut ledger = CostLedger::new();
+        machine.charge_batched(&mut ledger, Phase::Map, comparisons);
+        (
+            RunReport::from_ledger(comparisons, machine.area(), &ledger),
+            ledger,
         )
     }
 
-    fn additions_report(&self, workload: &AdditionWorkload) -> RunReport {
+    /// Projects the paper-scale DNA run, totals only.
+    pub fn project_dna(&self, hit_ratio: f64) -> RunReport {
+        self.project_dna_attributed(hit_ratio).0
+    }
+
+    fn additions_attributed(&self, workload: &AdditionWorkload) -> (RunReport, CostLedger) {
         let machine = ConventionalMachine::math_paper(workload.n_ops);
-        RunReport::batched(
-            workload.n_ops,
-            machine.parallel_units(),
-            machine.op_latency(),
-            machine.op_dynamic_energy(),
-            machine.static_power(),
-            machine.area(),
+        let mut ledger = CostLedger::new();
+        machine.charge_batched(&mut ledger, Phase::Add, workload.n_ops);
+        (
+            RunReport::from_ledger(workload.n_ops, machine.area(), &ledger),
+            ledger,
         )
     }
 }
@@ -158,16 +161,31 @@ impl ExecutionBackend<DnaWorkload> for ConventionalExecutor {
         });
 
         // Phase 2 — sequential replay: the cache is one shared stateful
-        // resource and the energy sum is order-sensitive f64, so this
-        // walks the reads in order, exactly as a serial run would.
+        // resource and the energy sums are order-sensitive f64, so this
+        // walks the reads in order, exactly as a serial run would. Costs
+        // accumulate into per-(component, phase) buckets: index probes
+        // (addresses past the genome) land in `Phase::Index`, data
+        // accesses and comparisons in `Phase::Map`; hits charge the
+        // cache, misses the DRAM behind it.
         let mut cache = CacheSim::new(CacheConfig::table1_8kb());
         let cycle = machine.tech.cycle();
         let mut durations = Vec::with_capacity(reads.len());
         let mut comparisons = 0u64;
         let mut mapped = 0u64;
-        let mut dynamic = Energy::ZERO;
         let mut index_hits = 0u64;
         let mut index_misses = 0u64;
+        // Attribution buckets of (cycles, energy, count); `BUCKET_CELLS`
+        // below names the (component, phase) each one lands in. The
+        // compare bucket sits last so it absorbs the makespan-share
+        // residual.
+        const HIT_INDEX: usize = 0;
+        const HIT_MAP: usize = 1;
+        const MISS_INDEX: usize = 2;
+        const MISS_MAP: usize = 3;
+        const COMPARE: usize = 4;
+        let mut buckets = [(0u64, Energy::ZERO, 0u64); 5];
+        let hit_cost = machine.cache.hit_cycles;
+        let miss_cost = machine.cache.hit_cycles + machine.cache.miss_penalty_cycles;
         for (read, (outcome, trace)) in reads.iter().zip(&lookups) {
             comparisons += outcome.comparisons;
             if outcome.mapped_positions.contains(&read.true_position) {
@@ -180,30 +198,77 @@ impl ExecutionBackend<DnaWorkload> for ConventionalExecutor {
             let mut cycles = outcome.comparisons;
             for access in trace.accesses() {
                 let is_index_probe = access.address >= genome.len() as u64;
-                if cache.access(access.address) {
-                    cycles += machine.cache.hit_cycles;
-                    dynamic += machine.cache.hit_energy;
+                let slot = if cache.access(access.address) {
+                    cycles += hit_cost;
                     index_hits += u64::from(is_index_probe);
+                    if is_index_probe {
+                        HIT_INDEX
+                    } else {
+                        HIT_MAP
+                    }
                 } else {
-                    cycles += machine.cache.hit_cycles + machine.cache.miss_penalty_cycles;
-                    dynamic += machine.cache.miss_energy;
+                    cycles += miss_cost;
                     index_misses += u64::from(is_index_probe);
-                }
+                    if is_index_probe {
+                        MISS_INDEX
+                    } else {
+                        MISS_MAP
+                    }
+                };
+                let (access_cycles, access_energy) = if slot <= HIT_MAP {
+                    (hit_cost, machine.cache.hit_energy)
+                } else {
+                    (miss_cost, machine.cache.miss_energy)
+                };
+                buckets[slot].0 += access_cycles;
+                buckets[slot].1 += access_energy;
+                buckets[slot].2 += 1;
             }
-            dynamic += machine.unit.dynamic_energy(&machine.tech) * outcome.comparisons as f64;
+            buckets[COMPARE].0 += outcome.comparisons;
+            buckets[COMPARE].1 +=
+                machine.unit.dynamic_energy(&machine.tech) * outcome.comparisons as f64;
+            buckets[COMPARE].2 += outcome.comparisons;
             durations.push(cycle * cycles as f64);
         }
 
         let total_time = makespan(durations.iter().copied(), workers);
+
+        // Charge the buckets: dynamic energy as accumulated, the measured
+        // makespan split across buckets proportionally to their cycle
+        // weights (the compare bucket, last, absorbs the residual so the
+        // shares sum to `total_time` exactly).
+        const BUCKET_CELLS: [(Component, Phase); 5] = [
+            (Component::CacheAccess, Phase::Index),
+            (Component::CacheAccess, Phase::Map),
+            (Component::DramAccess, Phase::Index),
+            (Component::DramAccess, Phase::Map),
+            (Component::GateDynamic, Phase::Map),
+        ];
+        let total_cycles: u64 = buckets.iter().map(|b| b.0).sum();
+        let mut ledger = CostLedger::new();
+        let mut attributed = Time::ZERO;
+        for (slot, &(component, phase)) in BUCKET_CELLS.iter().enumerate() {
+            let (cycles, energy, count) = buckets[slot];
+            let share = if slot == COMPARE {
+                total_time - attributed
+            } else {
+                total_time * (cycles as f64 / total_cycles.max(1) as f64)
+            };
+            attributed += share;
+            ledger.charge(component, phase, energy, share, count);
+        }
+
+        // Statics over the makespan, scaled with the cluster count: gate
+        // leakage exactly, the cache taking the residual.
         let static_scaled =
             machine.static_power() * (clusters_scaled as f64 / machine.clusters as f64);
+        let gate_leak = machine.unit.leakage_power(&machine.tech) * workers as f64 * total_time;
+        let cache_static = static_scaled * total_time - gate_leak;
+        ledger.charge_energy(Component::GateLeakage, Phase::Map, gate_leak, 0);
+        ledger.charge_energy(Component::CacheStatic, Phase::Map, cache_static, 0);
+
         let area_scaled = machine.area() * (clusters_scaled as f64 / machine.clusters as f64);
-        let report = RunReport {
-            operations: comparisons,
-            total_time,
-            total_energy: dynamic + static_scaled * total_time,
-            area: area_scaled,
-        };
+        let report = RunReport::from_ledger(comparisons, area_scaled, &ledger);
 
         let measured_hit_ratio = cache.hit_ratio();
         let index_hit_ratio = index_hits as f64 / (index_hits + index_misses).max(1) as f64;
@@ -211,6 +276,7 @@ impl ExecutionBackend<DnaWorkload> for ConventionalExecutor {
         Ok(RunOutcome {
             machine: Self::MACHINE,
             report,
+            ledger,
             digest: ExecutionDigest {
                 items_total: reads.len() as u64,
                 items_verified: mapped,
@@ -227,8 +293,12 @@ impl ExecutionBackend<DnaWorkload> for ConventionalExecutor {
         })
     }
 
-    fn project(&self, _workload: &DnaWorkload, hit_ratio: f64) -> RunReport {
-        self.project_dna(hit_ratio)
+    fn project_attributed(
+        &self,
+        _workload: &DnaWorkload,
+        hit_ratio: f64,
+    ) -> (RunReport, CostLedger) {
+        self.project_dna_attributed(hit_ratio)
     }
 }
 
@@ -238,9 +308,12 @@ impl ExecutionBackend<AdditionWorkload> for ConventionalExecutor {
     }
 
     /// Executes every addition (checksumming the results for
-    /// [`Workload::verify`]), then reports via the batch model on the
+    /// [`Workload::verify`](cim_workloads::Workload::verify)), then reports via the batch model on the
     /// paper machine. The wrapping checksum merges associatively, so the
-    /// chunked fold is exact at any thread count.
+    /// chunked fold is exact at any thread count; the per-item dynamic
+    /// energy flows through the batch driver's deterministic ledger merge
+    /// ([`par_charge_chunks`]), with the makespan and statics attributed
+    /// once at the end.
     fn run(&self, workload: &AdditionWorkload) -> Result<RunOutcome, SimError> {
         let operands: Vec<(u64, u64)> = workload.operands().collect();
         let (count, checksum) = par_fold_chunks(
@@ -250,9 +323,16 @@ impl ExecutionBackend<AdditionWorkload> for ConventionalExecutor {
             |(count, sum), &(a, b)| (count + 1, sum.wrapping_add(a.wrapping_add(b))),
             |(c1, s1), (c2, s2)| (c1 + c2, s1.wrapping_add(s2)),
         );
+        let machine = ConventionalMachine::math_paper(workload.n_ops);
+        let mut ledger = par_charge_chunks(self.batch, &operands, |sub, _| {
+            machine.charge_op_energy(sub, Phase::Add, 1);
+        });
+        machine.charge_makespan(&mut ledger, Phase::Add, count);
+        let report = RunReport::from_ledger(count, machine.area(), &ledger);
         Ok(RunOutcome {
             machine: Self::MACHINE,
-            report: self.additions_report(workload),
+            report,
+            ledger,
             digest: ExecutionDigest {
                 items_total: count,
                 items_verified: count,
@@ -265,8 +345,12 @@ impl ExecutionBackend<AdditionWorkload> for ConventionalExecutor {
         })
     }
 
-    fn project(&self, workload: &AdditionWorkload, _hit_ratio: f64) -> RunReport {
-        self.additions_report(workload)
+    fn project_attributed(
+        &self,
+        workload: &AdditionWorkload,
+        _hit_ratio: f64,
+    ) -> (RunReport, CostLedger) {
+        self.additions_attributed(workload)
     }
 }
 
@@ -358,7 +442,7 @@ mod tests {
         assert_eq!(report.operations, 6_000_000_000);
         // 6e9 comparisons / 600k units = 10 000 rounds × 84 ns = 840 µs.
         assert!((report.total_time.as_micro_seconds() - 840.0).abs() < 1.0);
-        let m = Metrics::from_run(&report);
+        let m = Metrics::from_run(&report).expect("projection is non-degenerate");
         assert!(m.ops_per_joule > 0.0);
     }
 

@@ -34,7 +34,7 @@ mod event;
 mod hierarchy;
 
 pub use backend::{ExecutionBackend, RunOutcome, SimError};
-pub use batch::{par_fold_chunks, par_map, BatchPolicy, CHUNK_SIZE};
+pub use batch::{par_charge_chunks, par_fold_chunks, par_map, BatchPolicy, CHUNK_SIZE};
 pub use cache::{CacheConfig, CacheSim};
 pub use cim_exec::CimExecutor;
 pub use conventional::ConventionalExecutor;

@@ -23,9 +23,11 @@
 //! paper-style tables.
 
 mod display;
+mod ledger;
 mod quantity;
 
 pub use display::EngNotation;
+pub use ledger::{Component, CostEntry, CostLedger, LedgerEntry, Phase, PhaseScope};
 pub use quantity::{
     Area, Charge, Conductance, Current, Energy, EnergyDelay, Frequency, Power, Resistance, Time,
     Voltage,

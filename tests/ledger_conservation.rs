@@ -1,0 +1,143 @@
+//! Tier-1 conservation properties for the hierarchical cost ledger.
+//!
+//! Every joule and picosecond an executor reports must be attributed to
+//! exactly one `(component, phase)` cell. Three guarantees, on both
+//! backends, for arbitrary small workload specs:
+//!
+//! 1. **conservation** — `RunReport::conserves` holds: the ledger's
+//!    canonical-order sums reproduce the report totals to the bit;
+//! 2. **thread invariance** — the ledger itself (not just the totals) is
+//!    identical at every thread count;
+//! 3. **decomposition** — re-summing the per-component subtotals
+//!    reproduces the totals (up to f64 reassociation).
+
+use cim::prelude::*;
+use proptest::prelude::*;
+
+fn dna_workload(ref_len: u64, seed: u64) -> DnaWorkload {
+    DnaWorkload {
+        spec: DnaSpec {
+            ref_len,
+            coverage: 2,
+            read_len: 100,
+        },
+        seed,
+    }
+}
+
+/// Conservation + decomposition checks shared by every case below.
+fn check_outcome(run: &RunOutcome, context: &str) -> Result<(), TestCaseError> {
+    prop_assert!(
+        run.report.conserves(&run.ledger),
+        "{context}: report totals diverged from the ledger"
+    );
+    prop_assert!(!run.ledger.is_empty(), "{context}: nothing was attributed");
+    let energy: f64 = Component::ALL
+        .iter()
+        .map(|&c| run.ledger.component_totals(c).energy.get())
+        .sum();
+    let time: f64 = Component::ALL
+        .iter()
+        .map(|&c| run.ledger.component_totals(c).time.get())
+        .sum();
+    prop_assert!(
+        (energy / run.report.total_energy.get() - 1.0).abs() < 1e-12,
+        "{context}: component energies do not re-sum to the total"
+    );
+    prop_assert!(
+        (time / run.report.total_time.get() - 1.0).abs() < 1e-12,
+        "{context}: component times do not re-sum to the total"
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn executed_runs_conserve_their_ledgers_at_any_thread_count(
+        seed in 0u64..500,
+        n_ops in 500u64..4_000,
+        ref_len in 20_000u64..40_000,
+    ) {
+        let additions = AdditionWorkload::scaled(n_ops, seed);
+        let dna = dna_workload(ref_len, seed);
+
+        // Conventional × {additions, DNA} and CIM × {additions, DNA},
+        // each at 1 and 4 threads.
+        let serial = BatchPolicy::with_threads(1);
+        let wide = BatchPolicy::with_threads(4);
+        let cases: [(&str, RunOutcome, RunOutcome); 4] = [
+            (
+                "conventional/additions",
+                ConventionalExecutor::with_batch(serial).run(&additions).expect("runs"),
+                ConventionalExecutor::with_batch(wide).run(&additions).expect("runs"),
+            ),
+            (
+                "cim/additions",
+                CimExecutor::with_batch(serial).run(&additions).expect("runs"),
+                CimExecutor::with_batch(wide).run(&additions).expect("runs"),
+            ),
+            (
+                "conventional/dna",
+                ConventionalExecutor::with_batch(serial).run(&dna).expect("runs"),
+                ConventionalExecutor::with_batch(wide).run(&dna).expect("runs"),
+            ),
+            (
+                "cim/dna",
+                CimExecutor::with_batch(serial).run(&dna).expect("runs"),
+                CimExecutor::with_batch(wide).run(&dna).expect("runs"),
+            ),
+        ];
+        for (context, one_thread, four_threads) in &cases {
+            check_outcome(one_thread, context)?;
+            check_outcome(four_threads, context)?;
+            // Bit-exact thread invariance of the whole attribution, not
+            // just the totals.
+            prop_assert_eq!(
+                &one_thread.ledger,
+                &four_threads.ledger,
+                "{} ledger diverged across thread counts",
+                context
+            );
+            prop_assert_eq!(
+                one_thread.report.total_energy.get().to_bits(),
+                four_threads.report.total_energy.get().to_bits()
+            );
+            prop_assert_eq!(
+                one_thread.report.total_time.get().to_bits(),
+                four_threads.report.total_time.get().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn paper_scale_projections_conserve_their_ledgers(
+        hit in 0.05f64..0.95,
+        seed in 0u64..100,
+    ) {
+        let dna = DnaWorkload::paper(seed);
+        let additions = AdditionWorkload::paper(seed);
+        for threads in [1usize, 4] {
+            let batch = BatchPolicy::with_threads(threads);
+            let conv = ConventionalExecutor::with_batch(batch);
+            let cim = CimExecutor::with_batch(batch);
+
+            for (context, (report, ledger)) in [
+                ("conventional/dna", conv.project_attributed(&dna, hit)),
+                ("cim/dna", cim.project_attributed(&dna, hit)),
+                ("conventional/additions", conv.project_attributed(&additions, hit)),
+                ("cim/additions", cim.project_attributed(&additions, hit)),
+            ] {
+                prop_assert!(
+                    report.conserves(&ledger),
+                    "{context} projection at {threads} threads is not conserved"
+                );
+                // `project` is exactly the report half of the pair.
+                prop_assert!(!ledger.is_empty(), "{context}: empty projection ledger");
+            }
+            prop_assert_eq!(conv.project(&dna, hit), conv.project_attributed(&dna, hit).0);
+            prop_assert_eq!(cim.project(&dna, hit), cim.project_attributed(&dna, hit).0);
+        }
+    }
+}
