@@ -1,5 +1,6 @@
 //! Crossbar solver benchmarks: lumped vs distributed, size scaling,
-//! junction types (ablation A2 companion).
+//! junction types (ablation A2 companion), and the warm-vs-cold /
+//! parallel line-relaxation measurements behind `BENCH_solver.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -18,7 +19,7 @@ fn bench_lumped_sizes(c: &mut Criterion) {
     let mut group = c.benchmark_group("solver/lumped_read");
     for n in [8usize, 16, 32, 64] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let a = array(n);
+            let mut a = array(n);
             let v = a.cell(0, 0).params().v_set * 0.5;
             b.iter(|| black_box(a.solve_access(0, n - 1, v, BiasScheme::HalfV)))
         });
@@ -31,10 +32,70 @@ fn bench_distributed(c: &mut Criterion) {
     for n in [8usize, 16, 32] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             let p = DeviceParams::table1_cim();
-            let a = array(n).with_geometry(Geometry::nanowire(p.cell_area));
+            let mut a = array(n).with_geometry(Geometry::nanowire(p.cell_area));
             let v = p.v_set * 0.5;
             b.iter(|| black_box(a.solve_access(0, n - 1, v, BiasScheme::HalfV)))
         });
+    }
+    group.finish();
+}
+
+/// The tentpole measurement: cold (seed-equivalent) vs warm-started
+/// solves of the same 64×64 access. `warm_after_flip` reprograms one
+/// cell between solves — the realistic logic-program cadence.
+fn bench_warm_vs_cold_64(c: &mut Criterion) {
+    let n = 64;
+    let mut group = c.benchmark_group("solver/warm_vs_cold_64");
+    group.bench_function("cold", |b| {
+        let a = array(n);
+        let v = a.cell(0, 0).params().v_set * 0.5;
+        b.iter(|| black_box(a.solve_access_cold(0, n - 1, v, BiasScheme::HalfV)))
+    });
+    group.bench_function("warm_same", |b| {
+        let mut a = array(n);
+        let v = a.cell(0, 0).params().v_set * 0.5;
+        let _ = a.solve_access(0, n - 1, v, BiasScheme::HalfV);
+        b.iter(|| black_box(a.solve_access(0, n - 1, v, BiasScheme::HalfV)))
+    });
+    group.bench_function("warm_after_flip", |b| {
+        let mut a = array(n);
+        let v = a.cell(0, 0).params().v_set * 0.5;
+        let _ = a.solve_access(0, n - 1, v, BiasScheme::HalfV);
+        let mut bit = false;
+        b.iter(|| {
+            a.program(n / 2, n / 2, bit);
+            bit = !bit;
+            black_box(a.solve_access(0, n - 1, v, BiasScheme::HalfV))
+        })
+    });
+    group.finish();
+}
+
+/// Deterministic parallel line relaxation on a wire-resistive 64×64
+/// array: serial vs 4 workers (bit-identical results by contract).
+fn bench_parallel_distributed_64(c: &mut Criterion) {
+    let n = 64;
+    let p = DeviceParams::table1_cim();
+    let mut group = c.benchmark_group("solver/distributed_threads_64");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                let mut a = array(n)
+                    .with_geometry(Geometry::nanowire(p.cell_area))
+                    .with_solver_threads(threads);
+                let v = p.v_set * 0.5;
+                let _ = a.solve_access(0, n - 1, v, BiasScheme::HalfV);
+                let mut bit = false;
+                b.iter(|| {
+                    a.program(n / 2, n / 2, bit);
+                    bit = !bit;
+                    black_box(a.solve_access(0, n - 1, v, BiasScheme::HalfV))
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -92,12 +153,31 @@ fn bench_multistage_read(c: &mut Criterion) {
     group.finish();
 }
 
+/// Read styles at the Fig. 3 margin-collapse size, where the two-phase
+/// multistage read earns its keep.
+fn bench_multistage_read_64(c: &mut Criterion) {
+    let mut group = c.benchmark_group("read_style_64x64");
+    group.sample_size(10);
+    group.bench_function("plain", |b| {
+        let mut a = array(64);
+        b.iter(|| black_box(a.read(0, 63, BiasScheme::HalfV)))
+    });
+    group.bench_function("multistage", |b| {
+        let mut a = array(64);
+        b.iter(|| black_box(a.read_multistage(0, 63, BiasScheme::HalfV)))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_lumped_sizes,
     bench_distributed,
+    bench_warm_vs_cold_64,
+    bench_parallel_distributed_64,
     bench_junctions,
     bench_cam_search,
-    bench_multistage_read
+    bench_multistage_read,
+    bench_multistage_read_64
 );
 criterion_main!(benches);

@@ -1,0 +1,177 @@
+//! Solver hot-path snapshot: measures the warm-start / workspace-reuse /
+//! parallel-relaxation wins against the cold seed path and writes them to
+//! `BENCH_solver.json` at the workspace root, so the perf trajectory is
+//! tracked in-repo from PR to PR.
+//!
+//! ```bash
+//! cargo run --release -p cim-bench --bin bench_solver            # full run
+//! cargo run --release -p cim-bench --bin bench_solver -- --quick # CI-sized
+//! cargo run --release -p cim-bench --bin bench_solver -- --check # schema only
+//! ```
+//!
+//! `--check` validates the checked-in snapshot against the
+//! `cim-bench-solver/1` schema without re-measuring (used by CI so the
+//! snapshot can't rot); `--quick` trims the sample count for smoke runs.
+
+use std::time::Instant;
+
+use cim_bench::{repo_root_file, Args};
+use cim_crossbar::{BiasScheme, Crossbar, Geometry, ResistiveCell};
+use cim_device::DeviceParams;
+
+const SCHEMA: &str = "cim-bench-solver/1";
+const N: usize = 64;
+
+/// Every field a valid snapshot must carry, in schema order.
+const REQUIRED_FIELDS: [&str; 12] = [
+    "schema",
+    "array",
+    "samples",
+    "cold_solve_ns",
+    "warm_same_ns",
+    "warm_after_flip_ns",
+    "warm_same_speedup",
+    "warm_after_flip_speedup",
+    "distributed_serial_ns",
+    "distributed_threads4_ns",
+    "distributed_speedup",
+    "read_ns",
+];
+
+/// Median wall-clock nanoseconds of `routine` over `samples` runs (one
+/// un-timed warm-up first).
+fn median_ns(samples: usize, mut routine: impl FnMut()) -> f64 {
+    routine();
+    let mut times: Vec<u128> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            routine();
+            start.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2] as f64
+}
+
+fn array() -> Crossbar<ResistiveCell> {
+    let p = DeviceParams::table1_cim();
+    let mut a = Crossbar::homogeneous(N, N, || ResistiveCell::new(p.clone()));
+    a.fill(|r, c| (r + c) % 2 == 0);
+    a
+}
+
+fn check(path: &std::path::Path) -> Result<(), String> {
+    let body = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    if !body.trim_start().starts_with('{') || !body.trim_end().ends_with('}') {
+        return Err("snapshot is not a JSON object".into());
+    }
+    if !body.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
+        return Err(format!("snapshot does not declare schema {SCHEMA}"));
+    }
+    for field in REQUIRED_FIELDS {
+        if !body.contains(&format!("\"{field}\":")) {
+            return Err(format!("snapshot is missing required field '{field}'"));
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let args = Args::capture();
+    let path = repo_root_file("BENCH_solver.json");
+
+    if args.has("--check") {
+        match check(&path) {
+            Ok(()) => println!("[ok] {} matches schema {SCHEMA}", path.display()),
+            Err(e) => {
+                eprintln!("[fail] {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let samples = if args.has("--quick") { 20 } else { 200 };
+    let p = DeviceParams::table1_cim();
+    let v = p.v_set * 0.5;
+
+    // Before: the seed's cold path, preserved as `solve_access_cold`.
+    let cold_ref = array();
+    let cold = median_ns(samples, || {
+        std::hint::black_box(cold_ref.solve_access_cold(0, N - 1, v, BiasScheme::HalfV));
+    });
+
+    // After: warm-started solves of the same access, and the realistic
+    // logic-program cadence where one cell flips between accesses.
+    let mut warm_arr = array();
+    let _ = warm_arr.solve_access(0, N - 1, v, BiasScheme::HalfV);
+    let warm_same = median_ns(samples, || {
+        std::hint::black_box(warm_arr.solve_access(0, N - 1, v, BiasScheme::HalfV));
+    });
+
+    let mut flip_arr = array();
+    let _ = flip_arr.solve_access(0, N - 1, v, BiasScheme::HalfV);
+    let mut bit = false;
+    let warm_flip = median_ns(samples, || {
+        flip_arr.program(N / 2, N / 2, bit);
+        bit = !bit;
+        std::hint::black_box(flip_arr.solve_access(0, N - 1, v, BiasScheme::HalfV));
+    });
+
+    // Distributed line relaxation: serial vs 4 deterministic workers.
+    let dist_samples = samples.div_ceil(10).max(5);
+    let dist = |threads: usize| {
+        let mut a = array()
+            .with_geometry(Geometry::nanowire(p.cell_area))
+            .with_solver_threads(threads);
+        let _ = a.solve_access(0, N - 1, v, BiasScheme::HalfV);
+        let mut bit = false;
+        median_ns(dist_samples, || {
+            a.program(N / 2, N / 2, bit);
+            bit = !bit;
+            std::hint::black_box(a.solve_access(0, N - 1, v, BiasScheme::HalfV));
+        })
+    };
+    let dist_serial = dist(1);
+    let dist_par = dist(4);
+
+    // Full read, now a single solve for non-destructive junctions.
+    let mut read_arr = array();
+    let read_ns = median_ns(samples, || {
+        std::hint::black_box(read_arr.read(0, N - 1, BiasScheme::HalfV));
+    });
+
+    let warm_same_speedup = cold / warm_same;
+    let warm_flip_speedup = cold / warm_flip;
+    let dist_speedup = dist_serial / dist_par;
+
+    println!("== solver snapshot ({N}x{N}, {samples} samples, median ns) ==");
+    println!("cold (seed path)        {cold:>12.0}");
+    println!("warm, same access       {warm_same:>12.0}   ({warm_same_speedup:.1}x)");
+    println!("warm, after cell flip   {warm_flip:>12.0}   ({warm_flip_speedup:.1}x)");
+    println!("distributed serial      {dist_serial:>12.0}");
+    println!("distributed 4 threads   {dist_par:>12.0}   ({dist_speedup:.1}x)");
+    println!("full read               {read_ns:>12.0}");
+
+    // The vendored serde is a no-op stub, so the snapshot is written by
+    // hand; `--check` validates exactly this shape.
+    let json = format!(
+        "{{\n  \"schema\": \"{SCHEMA}\",\n  \"array\": {N},\n  \"samples\": {samples},\n  \
+         \"cold_solve_ns\": {cold:.0},\n  \"warm_same_ns\": {warm_same:.0},\n  \
+         \"warm_after_flip_ns\": {warm_flip:.0},\n  \"warm_same_speedup\": {warm_same_speedup:.2},\n  \
+         \"warm_after_flip_speedup\": {warm_flip_speedup:.2},\n  \
+         \"distributed_serial_ns\": {dist_serial:.0},\n  \
+         \"distributed_threads4_ns\": {dist_par:.0},\n  \
+         \"distributed_speedup\": {dist_speedup:.2},\n  \"read_ns\": {read_ns:.0}\n}}\n"
+    );
+    std::fs::write(&path, &json).expect("write BENCH_solver.json");
+    println!("\n[written] {}", path.display());
+
+    if warm_same_speedup < 3.0 {
+        eprintln!(
+            "[warn] warm-path speedup {warm_same_speedup:.1}x is below the 3x target \
+             (noisy machine?)"
+        );
+    }
+}

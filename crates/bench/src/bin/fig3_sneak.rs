@@ -5,12 +5,16 @@
 //! ```bash
 //! cargo run --release -p cim-bench --bin fig3_sneak
 //! cargo run --release -p cim-bench --bin fig3_sneak -- --bias-sweep
+//! cargo run --release -p cim-bench --bin fig3_sneak -- --threads 4
 //! ```
+//!
+//! `--threads N` fans the solver's line relaxation over N workers
+//! (0 = all cores); the results are bit-identical at any setting.
 
 use cim_bench::{write_csv, Args};
 use cim_crossbar::{
-    max_readable_size, read_margin_study, BiasScheme, CrsCell, ResistiveCell, SelectorCell,
-    TransistorCell, WorstCasePattern,
+    max_readable_size, read_margin_study_threaded, BiasScheme, CrsCell, ResistiveCell,
+    SelectorCell, TransistorCell, WorstCasePattern,
 };
 use cim_device::DeviceParams;
 
@@ -18,6 +22,10 @@ const SIZES: [usize; 5] = [4, 8, 16, 32, 64];
 
 fn main() {
     let args = Args::capture();
+    let threads: usize = args
+        .value("--threads")
+        .map(|v| v.parse().expect("--threads takes an integer"))
+        .unwrap_or(1);
     let p = DeviceParams::table1_cim();
     let mut csv = String::from("junction,bias,n,i_one_a,i_zero_a,margin\n");
 
@@ -37,38 +45,42 @@ fn main() {
         let studies: Vec<(&str, Vec<cim_crossbar::MarginPoint>)> = vec![
             (
                 "1R",
-                read_margin_study(
+                read_margin_study_threaded(
                     |_, _| ResistiveCell::new(p.clone()),
                     &SIZES,
                     bias,
                     WorstCasePattern::AllOnes,
+                    threads,
                 ),
             ),
             (
                 "1S1R",
-                read_margin_study(
+                read_margin_study_threaded(
                     |_, _| SelectorCell::new(p.clone(), 10.0, p.v_set * 0.5),
                     &SIZES,
                     bias,
                     WorstCasePattern::AllOnes,
+                    threads,
                 ),
             ),
             (
                 "1T1R",
-                read_margin_study(
+                read_margin_study_threaded(
                     |_, _| TransistorCell::new(p.clone()),
                     &SIZES,
                     bias,
                     WorstCasePattern::AllOnes,
+                    threads,
                 ),
             ),
             (
                 "CRS",
-                read_margin_study(
+                read_margin_study_threaded(
                     |_, _| CrsCell::new(p.clone()),
                     &SIZES,
                     bias,
                     WorstCasePattern::AllOnes,
+                    threads,
                 ),
             ),
         ];

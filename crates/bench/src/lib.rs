@@ -38,6 +38,19 @@ pub fn write_csv(name: &str, contents: &str) {
     println!("\n[written] {}", path.display());
 }
 
+/// Resolves `name` against the workspace root (where `BENCH_*.json`
+/// snapshots are checked in), whether the binary runs via `cargo run`
+/// from the root or directly from the target directory.
+pub fn repo_root_file(name: &str) -> PathBuf {
+    if Path::new("Cargo.toml").exists() {
+        PathBuf::from(name)
+    } else {
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(name)
+    }
+}
+
 /// Minimal flag scanner for the bench binaries: `has("--flag")` and
 /// `value("--key")`.
 #[derive(Debug, Clone)]

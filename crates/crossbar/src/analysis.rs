@@ -55,16 +55,30 @@ pub struct MarginPoint {
 ///
 /// `make(r, c)` builds the cell for each position (fresh cells per size).
 pub fn read_margin_study<C: Cell>(
+    make: impl FnMut(usize, usize) -> C,
+    sizes: &[usize],
+    bias: BiasScheme,
+    pattern: WorstCasePattern,
+) -> Vec<MarginPoint> {
+    read_margin_study_threaded(make, sizes, bias, pattern, 1)
+}
+
+/// [`read_margin_study`] with an explicit solver thread count (0 = all
+/// cores). Parallel line relaxation is deterministic, so the points are
+/// bit-identical at any thread count — this only changes wall-clock time
+/// for the large-`n` distributed studies.
+pub fn read_margin_study_threaded<C: Cell>(
     mut make: impl FnMut(usize, usize) -> C,
     sizes: &[usize],
     bias: BiasScheme,
     pattern: WorstCasePattern,
+    threads: usize,
 ) -> Vec<MarginPoint> {
     sizes
         .iter()
         .map(|&n| {
             assert!(n >= 2, "margin study needs at least a 2x2 array");
-            let mut array = Crossbar::new(n, n, &mut make);
+            let mut array = Crossbar::new(n, n, &mut make).with_solver_threads(threads);
             let sel = (0, n - 1);
             array.fill(|r, c| pattern.bit(r, c));
 
@@ -258,6 +272,24 @@ mod tests {
             WorstCasePattern::Checkerboard,
         );
         assert!(checker[0].margin >= all[0].margin);
+    }
+
+    #[test]
+    fn threaded_study_is_bit_identical_to_serial() {
+        let serial = read_margin_study(
+            |_, _| ResistiveCell::new(params()),
+            &[8, 16],
+            BiasScheme::HalfV,
+            WorstCasePattern::AllOnes,
+        );
+        let threaded = read_margin_study_threaded(
+            |_, _| ResistiveCell::new(params()),
+            &[8, 16],
+            BiasScheme::HalfV,
+            WorstCasePattern::AllOnes,
+            4,
+        );
+        assert_eq!(serial, threaded);
     }
 
     #[test]

@@ -48,6 +48,19 @@ pub trait Cell {
     /// Applies `v` for `dt`, evolving the storage element (disturb!).
     fn stress(&mut self, v: Voltage, dt: Time, gate_on: bool);
 
+    /// Like [`Cell::stress`], but reports whether the cell's *internal*
+    /// state actually moved (bitwise, not just the stored bit). The array
+    /// layer uses this to maintain its cell-state epoch: when a whole
+    /// pulse moves nothing, the post-pulse network is identical to the
+    /// pre-pulse one and a re-solve can be skipped.
+    ///
+    /// The default conservatively reports `true`; cell types override it
+    /// with an exact state comparison.
+    fn stress_tracked(&mut self, v: Voltage, dt: Time, gate_on: bool) -> bool {
+        self.stress(v, dt, gate_on);
+        true
+    }
+
     /// The stored bit under the LRS = 1 convention.
     fn stored(&self) -> bool;
 
@@ -130,6 +143,12 @@ impl Cell for ResistiveCell {
         self.enforce_fault();
     }
 
+    fn stress_tracked(&mut self, v: Voltage, dt: Time, gate_on: bool) -> bool {
+        let before = self.device.state();
+        self.stress(v, dt, gate_on);
+        self.device.state() != before
+    }
+
     fn stored(&self) -> bool {
         self.device.as_bit()
     }
@@ -202,6 +221,12 @@ impl Cell for SelectorCell {
         self.device.apply(effective, dt);
     }
 
+    fn stress_tracked(&mut self, v: Voltage, dt: Time, gate_on: bool) -> bool {
+        let before = self.device.state();
+        self.stress(v, dt, gate_on);
+        self.device.state() != before
+    }
+
     fn stored(&self) -> bool {
         self.device.as_bit()
     }
@@ -269,6 +294,15 @@ impl Cell for TransistorCell {
         // Gate off: the device sees almost none of the voltage.
     }
 
+    fn stress_tracked(&mut self, v: Voltage, dt: Time, gate_on: bool) -> bool {
+        if !gate_on {
+            return false;
+        }
+        let before = self.device.state();
+        self.stress(v, dt, gate_on);
+        self.device.state() != before
+    }
+
     fn stored(&self) -> bool {
         self.device.as_bit()
     }
@@ -318,6 +352,12 @@ impl Cell for CrsCell {
 
     fn stress(&mut self, v: Voltage, dt: Time, _gate_on: bool) {
         self.cell.apply(v, dt);
+    }
+
+    fn stress_tracked(&mut self, v: Voltage, dt: Time, gate_on: bool) -> bool {
+        let before = self.cell.element_states();
+        self.stress(v, dt, gate_on);
+        self.cell.element_states() != before
     }
 
     fn stored(&self) -> bool {
@@ -449,6 +489,26 @@ mod tests {
         // Near zero volts it falls back to the probe voltage.
         let g0 = c.conductance_at(Voltage::ZERO, true);
         assert!((g0 / expected - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stress_tracked_reports_state_motion_exactly() {
+        let p = params();
+        let mut c = ResistiveCell::new(p.clone());
+        c.program(false);
+        // Sub-threshold read stress: the hard-threshold device does not
+        // move at all.
+        assert!(!c.stress_tracked(p.v_set * 0.5, p.write_time, true));
+        assert!(!c.stored());
+        // A full write pulse moves it.
+        assert!(c.stress_tracked(p.write_voltage, p.write_time, true));
+        // Gate-off 1T1R stress is a guaranteed no-op.
+        let mut t = TransistorCell::new(p.clone());
+        assert!(!t.stress_tracked(p.write_voltage, p.write_time, false));
+        // CRS: sub-threshold stress moves nothing either.
+        let mut crs = CrsCell::new(p.clone());
+        crs.program(true);
+        assert!(!crs.stress_tracked(Voltage::new(0.01), p.write_time, true));
     }
 
     #[test]

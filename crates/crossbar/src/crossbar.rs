@@ -3,10 +3,10 @@
 use cim_units::{Area, Current, Time, Voltage};
 use serde::{Deserialize, Serialize};
 
-use crate::bias::BiasScheme;
+use crate::bias::{BiasScheme, BiasVoltages};
 use crate::cell::{Cell, JunctionKind};
 use crate::geometry::Geometry;
-use crate::solver::{DistributedSolver, SolvedRead};
+use crate::solver::{DistributedSolver, SolvedRead, SolverWorkspace};
 use crate::stats::ArrayStats;
 
 /// Outcome of an electrical read.
@@ -50,6 +50,14 @@ pub struct Crossbar<C> {
     stats: ArrayStats,
     /// Per-cell state-flip counts (endurance consumption).
     flips: Vec<u64>,
+    /// Monotone counter bumped whenever any cell's internal state changes
+    /// (stress, programming, direct mutation). Lets `read` prove the
+    /// network did not move during a pulse and skip the re-solve.
+    epoch: u64,
+    /// Persistent solver scratch + warm-start state (a pure cache: it
+    /// never changes what is computed, only how fast).
+    #[serde(skip)]
+    workspace: SolverWorkspace,
 }
 
 impl<C: Cell> Crossbar<C> {
@@ -71,6 +79,8 @@ impl<C: Cell> Crossbar<C> {
             solver: DistributedSolver::default(),
             stats: ArrayStats::default(),
             flips,
+            epoch: 0,
+            workspace: SolverWorkspace::new(),
         }
     }
 
@@ -83,6 +93,19 @@ impl<C: Cell> Crossbar<C> {
     pub fn with_geometry(mut self, geometry: Geometry) -> Self {
         self.geometry = geometry;
         self
+    }
+
+    /// Opt-in deterministic parallel solving: fans each half-sweep's
+    /// independent line updates over `threads` workers (`0` = all cores).
+    /// Results are bit-identical at any thread count.
+    pub fn with_solver_threads(mut self, threads: usize) -> Self {
+        self.set_solver_threads(threads);
+        self
+    }
+
+    /// Sets the solver worker count; see [`Crossbar::with_solver_threads`].
+    pub fn set_solver_threads(&mut self, threads: usize) {
+        self.solver.config.threads = threads;
     }
 
     /// Array dimensions `(rows, cols)`.
@@ -127,6 +150,9 @@ impl<C: Cell> Crossbar<C> {
     /// Panics if out of bounds.
     pub fn cell_mut(&mut self, r: usize, c: usize) -> &mut C {
         assert!(r < self.rows && c < self.cols, "cell index out of bounds");
+        // Assume the caller mutates: the epoch must never under-count
+        // state changes (it only gates a solver shortcut).
+        self.epoch += 1;
         &mut self.cells[r * self.cols + c]
     }
 
@@ -147,10 +173,30 @@ impl<C: Cell> Crossbar<C> {
                 self.cells[r * self.cols + c].program(pattern(r, c));
             }
         }
+        self.epoch += 1;
     }
 
     /// Solves an access electrically without stressing any cell (analysis).
+    ///
+    /// Runs out of the array's persistent [`SolverWorkspace`]: scratch is
+    /// reused and the previous converged solution warm-starts the
+    /// iteration, so repeated accesses converge in a handful of sweeps.
+    /// Agrees with [`Crossbar::solve_access_cold`] to the solver
+    /// tolerance.
     pub fn solve_access(
+        &mut self,
+        r: usize,
+        c: usize,
+        amplitude: Voltage,
+        scheme: BiasScheme,
+    ) -> SolvedRead {
+        self.solve_bias((r, c), scheme.voltages(amplitude))
+    }
+
+    /// Cold-start reference solve: no workspace, no warm start — exactly
+    /// the access [`Crossbar::solve_access`] computes, from scratch.
+    /// Immutable, for analysis call sites and equivalence testing.
+    pub fn solve_access_cold(
         &self,
         r: usize,
         c: usize,
@@ -165,6 +211,22 @@ impl<C: Cell> Crossbar<C> {
             scheme.voltages(amplitude),
             &self.geometry,
         )
+    }
+
+    /// Workspace-backed solve of an arbitrary bias point, with sweep
+    /// accounting.
+    fn solve_bias(&mut self, selected: (usize, usize), bias: BiasVoltages) -> SolvedRead {
+        let solved = self.solver.solve_in(
+            &mut self.workspace,
+            &self.cells,
+            self.rows,
+            self.cols,
+            selected,
+            bias,
+            &self.geometry,
+        );
+        self.stats.solver_sweeps += solved.iterations as u64;
+        solved
     }
 
     /// Electrically writes `bit` at `(r, c)` under `scheme`.
@@ -193,6 +255,7 @@ impl<C: Cell> Crossbar<C> {
         self.stats.half_select_energy += solved.parasitic_power * pulse;
         self.account_wire_losses(&solved, pulse);
         self.stats.elapsed += pulse;
+        self.workspace.recycle(solved.cell_voltages);
         WriteOutcome {
             flipped,
             verified: after == bit,
@@ -209,11 +272,25 @@ impl<C: Cell> Crossbar<C> {
         let destructive = cell.destructive_read();
         let before = cell.stored();
 
+        let epoch_before = self.epoch;
         let solved = self.solve_access(r, c, v_read, scheme);
         self.stress_all(&solved, r, pulse);
+        let pre_pulse_current = solved.sense_current;
+        let pre_pulse_parasitic = solved.parasitic_power;
         // Sense after the pulse (CRS needs the pulse to develop its ON
         // window; memristive cells are unchanged by a sub-threshold read).
-        let sensed = self.solve_access(r, c, v_read, scheme);
+        // When the junction is non-destructive and the pulse moved no
+        // cell state (epoch check), the post-pulse network is *identical*
+        // to the pre-pulse one and the re-solve would reproduce `solved`
+        // — reuse it instead of solving twice.
+        let sensed = if destructive || self.epoch != epoch_before {
+            let fresh = self.solve_access(r, c, v_read, scheme);
+            self.workspace.recycle(solved.cell_voltages);
+            fresh
+        } else {
+            self.stats.sense_reuses += 1;
+            solved
+        };
         let i = sensed.sense_current;
         // CRS senses *differentially*: the before/after current step
         // cancels the half-select leakage of the selected column, which
@@ -221,7 +298,7 @@ impl<C: Cell> Crossbar<C> {
         // A current step ⇒ the cell snapped to ON ⇒ it stored '0'.
         // Resistive junctions sense absolutely: high current ⇒ LRS ⇒ 1.
         let (signal, bit) = if destructive {
-            let step = (i.get() - solved.sense_current.get()).abs();
+            let step = (i.get() - pre_pulse_current.get()).abs();
             (step, step <= threshold.get())
         } else {
             let level = i.get().abs();
@@ -232,10 +309,11 @@ impl<C: Cell> Crossbar<C> {
         if destructive && above {
             // '0' became ON; write the 0 back.
             self.cells[r * self.cols + c].program(before);
+            self.epoch += 1;
             restored = true;
         }
         self.stats.reads += 1;
-        self.stats.half_select_energy += solved.parasitic_power * pulse;
+        self.stats.half_select_energy += pre_pulse_parasitic * pulse;
         self.account_wire_losses(&sensed, pulse);
         self.stats.elapsed += pulse;
         ReadResult {
@@ -289,14 +367,7 @@ impl<C: Cell> Crossbar<C> {
         // unselected potential, removing the cell's drive.
         let mut bias = scheme.voltages(v_read);
         bias.wl_selected = bias.wl_unselected.expect("driven scheme");
-        let reference = self.solver.solve(
-            &self.cells,
-            self.rows,
-            self.cols,
-            (r, c),
-            bias,
-            &self.geometry,
-        );
+        let reference = self.solve_bias((r, c), bias);
         self.stress_all(&reference, r, pulse);
         let i_ref = reference.sense_current;
 
@@ -319,6 +390,7 @@ impl<C: Cell> Crossbar<C> {
         self.account_wire_losses(&solved, pulse);
         self.account_wire_losses(&reference, pulse);
         self.stats.elapsed += pulse * 2.0;
+        self.workspace.recycle(reference.cell_voltages);
         ReadResult {
             bit,
             sense_current: Current::new(delta),
@@ -329,19 +401,26 @@ impl<C: Cell> Crossbar<C> {
     }
 
     /// Stresses every cell with its solved voltage for `pulse`, counting
-    /// endurance-consuming state flips per cell.
+    /// endurance-consuming state flips per cell. Bumps the state epoch if
+    /// any cell's internal state moved.
     fn stress_all(&mut self, solved: &SolvedRead, selected_row: usize, pulse: Time) {
+        let mut state_changed = false;
         for i in 0..self.rows {
             let gate_on = i == selected_row;
             for j in 0..self.cols {
                 let idx = i * self.cols + j;
                 let dv = Voltage::new(solved.cell_voltages[idx]);
                 let before = self.cells[idx].stored();
-                self.cells[idx].stress(dv, pulse, gate_on);
+                if self.cells[idx].stress_tracked(dv, pulse, gate_on) {
+                    state_changed = true;
+                }
                 if self.cells[idx].stored() != before {
                     self.flips[idx] += 1;
                 }
             }
+        }
+        if state_changed {
+            self.epoch += 1;
         }
     }
 
@@ -536,6 +615,45 @@ mod tests {
             TransistorCell::new(p.clone())
         }));
         check(Crossbar::homogeneous(4, 4, || CrsCell::new(p.clone())));
+    }
+
+    #[test]
+    fn non_destructive_reads_reuse_the_pulse_solution() {
+        let mut array = one_r(8);
+        array.fill(|r, c| (r + c) % 2 == 0);
+        array.reset_stats();
+        for _ in 0..5 {
+            let _ = array.read(2, 2, BiasScheme::HalfV);
+        }
+        assert_eq!(array.stats().reads, 5);
+        assert_eq!(
+            array.stats().sense_reuses,
+            5,
+            "sub-threshold 1R reads move no state and must skip the re-solve"
+        );
+        assert!(array.stats().solver_sweeps > 0);
+
+        // CRS reads develop their ON window during the pulse: state moves,
+        // so differential sensing keeps the two-solve path.
+        let mut crs = Crossbar::homogeneous(4, 4, || CrsCell::new(params()));
+        crs.program(1, 1, false);
+        crs.reset_stats();
+        let _ = crs.read(1, 1, BiasScheme::HalfV);
+        assert_eq!(crs.stats().sense_reuses, 0);
+    }
+
+    #[test]
+    fn warm_starts_collapse_solver_sweeps() {
+        let mut array = one_r(16);
+        array.fill(|_, _| true);
+        let _ = array.read(3, 3, BiasScheme::HalfV);
+        let first = array.stats().solver_sweeps;
+        let _ = array.read(3, 3, BiasScheme::HalfV);
+        let second = array.stats().solver_sweeps - first;
+        assert!(
+            second * 4 < first,
+            "repeat access must warm-start: {first} then {second} sweeps"
+        );
     }
 
     #[test]

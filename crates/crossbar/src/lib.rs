@@ -41,12 +41,14 @@ mod mvm;
 mod solver;
 mod stats;
 
-pub use analysis::{max_readable_size, read_margin_study, MarginPoint, WorstCasePattern};
+pub use analysis::{
+    max_readable_size, read_margin_study, read_margin_study_threaded, MarginPoint, WorstCasePattern,
+};
 pub use bias::BiasScheme;
 pub use cam::{Cam, SearchOutcome};
 pub use cell::{Cell, CrsCell, JunctionKind, ResistiveCell, SelectorCell, TransistorCell};
 pub use crossbar::{CellOps, Crossbar, ReadResult, WriteOutcome};
 pub use geometry::Geometry;
 pub use mvm::AnalogMvm;
-pub use solver::{DistributedSolver, LumpedSolver, SolvedRead, SolverConfig};
+pub use solver::{DistributedSolver, LumpedSolver, SolvedRead, SolverConfig, SolverWorkspace};
 pub use stats::ArrayStats;

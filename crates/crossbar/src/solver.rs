@@ -12,6 +12,31 @@
 //! Both return a [`SolvedRead`]: the sense current plus the full per-cell
 //! voltage map, which the array layer uses for disturb stressing and
 //! half-select power accounting.
+//!
+//! # Performance model
+//!
+//! The plain `solve` entry points are *cold*: every call starts from the
+//! bias-derived initial guess and allocates its own scratch. The `solve_in`
+//! entry points run the same iteration out of a persistent
+//! [`SolverWorkspace`]:
+//!
+//! * **warm start** — the workspace keeps the previous converged `w`/`b`
+//!   potentials; a repeat solve of the same-shape network seeds from them.
+//!   The iteration is a fixed-point contraction to the (unique) nodal
+//!   solution of the resistive network, so the starting guess trades
+//!   sweeps, never accuracy: warm and cold answers agree to the solver
+//!   tolerance.
+//! * **buffer reuse** — conductance grids, tridiagonal systems, and
+//!   `cell_voltages` output buffers are recycled instead of reallocated.
+//!   The distributed solver stores bitline potentials column-major and
+//!   keeps a transposed conductance copy so *both* half-sweeps stream
+//!   memory contiguously.
+//! * **deterministic parallelism** — [`SolverConfig::threads`] fans the
+//!   independent per-line updates of each half-sweep over scoped threads.
+//!   A line update only reads the *other* axis's potentials and writes its
+//!   own line, and the convergence reduction is a `max`, so the result is
+//!   bit-identical at any thread count (the same determinism contract
+//!   `cim-sim`'s batch driver establishes).
 
 use cim_units::{Current, Power, Voltage};
 use serde::{Deserialize, Serialize};
@@ -57,6 +82,10 @@ pub struct SolverConfig {
     /// Log-space damping of the secant-conductance refresh (1.0 = none;
     /// smaller = heavier damping for strongly non-linear cells).
     pub conductance_blend: f64,
+    /// Worker threads for the per-line half-sweep updates: `1` = serial
+    /// (the default), `0` = all cores. Any value produces bit-identical
+    /// results; see the module docs for why.
+    pub threads: usize,
 }
 
 impl Default for SolverConfig {
@@ -69,7 +98,131 @@ impl Default for SolverConfig {
             // linear cases still converge in well under 200 sweeps.
             omega: 0.7,
             conductance_blend: 0.1,
+            threads: 1,
         }
+    }
+}
+
+impl SolverConfig {
+    /// Worker count for a half-sweep over `lines` independent lines:
+    /// resolves `0` to the OS parallelism, never exceeds the line count.
+    fn workers(&self, lines: usize) -> usize {
+        let requested = if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.threads
+        };
+        requested.clamp(1, lines.max(1))
+    }
+}
+
+/// Which solver's potentials a workspace currently holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SolverKind {
+    Lumped,
+    Distributed,
+}
+
+/// Persistent scratch + warm-start state for the solvers.
+///
+/// Owned by each `Crossbar` and threaded through `solve_in`; holds the
+/// node-potential grids (which double as the warm start for the next
+/// solve of the same shape), the conductance grid and its transpose, the
+/// per-worker tridiagonal systems, and a free list of recycled
+/// `cell_voltages` buffers.
+///
+/// A workspace is a pure cache: it never changes *what* is computed, only
+/// how fast, so it deliberately compares equal to any other workspace and
+/// is skipped by serialization.
+#[derive(Debug, Default, Clone)]
+pub struct SolverWorkspace {
+    /// Wordline potentials: per row (lumped) or per crosspoint, row-major
+    /// (distributed).
+    w: Vec<f64>,
+    /// Bitline potentials: per column (lumped) or per crosspoint,
+    /// **column-major** (distributed) so the column half-sweep reads and
+    /// writes contiguously.
+    b: Vec<f64>,
+    /// Secant cell conductances, row-major.
+    g: Vec<f64>,
+    /// Transposed (column-major) copy of `g` for the column half-sweep.
+    g_t: Vec<f64>,
+    /// Per-worker tridiagonal systems for the distributed line solves.
+    tri: Vec<Tridiagonal>,
+    /// Recycled `cell_voltages` buffers.
+    spare: Vec<Vec<f64>>,
+    /// What converged solution `w`/`b` hold, if any.
+    warm: Option<(SolverKind, usize, usize)>,
+}
+
+/// Retained `spare` buffers; enough for the deepest caller pipeline
+/// (read_multistage holds two solutions plus the in-flight one).
+const MAX_SPARE_BUFFERS: usize = 4;
+
+impl SolverWorkspace {
+    /// An empty workspace (first solve through it runs cold).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops the warm-start state, forcing the next solve to start from
+    /// the bias-derived guess. Scratch allocations are kept.
+    pub fn invalidate(&mut self) {
+        self.warm = None;
+    }
+
+    /// Hands a consumed `cell_voltages` buffer back for reuse.
+    pub fn recycle(&mut self, buffer: Vec<f64>) {
+        if self.spare.len() < MAX_SPARE_BUFFERS {
+            self.spare.push(buffer);
+        }
+    }
+
+    /// Sizes the grids for a solve and reports whether `w`/`b` hold a
+    /// usable warm start (previous converged solve of the same kind and
+    /// shape). Disarms the warm flag; [`Self::finish`] re-arms it.
+    fn begin(&mut self, kind: SolverKind, rows: usize, cols: usize) -> bool {
+        let warm = self.warm == Some((kind, rows, cols));
+        self.warm = None;
+        let (w_len, b_len) = match kind {
+            SolverKind::Lumped => (rows, cols),
+            SolverKind::Distributed => (rows * cols, rows * cols),
+        };
+        self.w.resize(w_len, 0.0);
+        self.b.resize(b_len, 0.0);
+        self.g.resize(rows * cols, 0.0);
+        self.g_t.resize(rows * cols, 0.0);
+        warm
+    }
+
+    /// Records that `w`/`b` now hold the final potentials of a solve.
+    fn finish(&mut self, kind: SolverKind, rows: usize, cols: usize) {
+        self.warm = Some((kind, rows, cols));
+    }
+
+    /// Ensures `workers` tridiagonal systems of at least `capacity` nodes.
+    fn grow_tridiagonals(&mut self, workers: usize, capacity: usize) {
+        let too_small = self.tri.first().is_some_and(|t| t.capacity() < capacity);
+        if self.tri.len() < workers || too_small {
+            self.tri = (0..workers.max(1))
+                .map(|_| Tridiagonal::new(capacity))
+                .collect();
+        }
+    }
+
+    /// A zeroed buffer of `len` f64s, recycled if possible.
+    fn take_voltage_buffer(&mut self, len: usize) -> Vec<f64> {
+        let mut buffer = self.spare.pop().unwrap_or_default();
+        buffer.clear();
+        buffer.resize(len, 0.0);
+        buffer
+    }
+}
+
+/// A workspace is an ephemeral cache with no logical identity.
+impl PartialEq for SolverWorkspace {
+    fn eq(&self, _other: &Self) -> bool {
+        true
     }
 }
 
@@ -83,7 +236,9 @@ pub struct LumpedSolver {
 impl LumpedSolver {
     /// Solves an access of `(row, col)` under the given bias voltages.
     ///
-    /// `gate_row` tells 1T1R cells which wordline's gates are on.
+    /// Cold-start reference entry point: equivalent to [`Self::solve_in`]
+    /// with a fresh workspace. `gate_row` tells 1T1R cells which
+    /// wordline's gates are on.
     ///
     /// # Panics
     ///
@@ -91,6 +246,37 @@ impl LumpedSolver {
     /// bounds.
     pub fn solve<C: Cell>(
         &self,
+        cells: &[C],
+        rows: usize,
+        cols: usize,
+        selected: (usize, usize),
+        bias: BiasVoltages,
+        geometry: &Geometry,
+    ) -> SolvedRead {
+        self.solve_in(
+            &mut SolverWorkspace::new(),
+            cells,
+            rows,
+            cols,
+            selected,
+            bias,
+            geometry,
+        )
+    }
+
+    /// Workspace-backed solve: scratch comes from `ws`, and when `ws`
+    /// holds the converged potentials of a previous same-shape lumped
+    /// solve they seed the iteration (warm start). Agrees with the cold
+    /// [`Self::solve`] to the solver tolerance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells.len() != rows * cols` or the selection is out of
+    /// bounds.
+    #[allow(clippy::too_many_arguments)]
+    pub fn solve_in<C: Cell>(
+        &self,
+        ws: &mut SolverWorkspace,
         cells: &[C],
         rows: usize,
         cols: usize,
@@ -123,69 +309,74 @@ impl LumpedSolver {
             }
         };
 
-        // Initial guess: source targets, or mid-rail for floating lines.
+        let warm = ws.begin(SolverKind::Lumped, rows, cols);
+        let workers = self.config.workers(rows.max(cols));
+        let mut unit = vec![(); workers];
+        let out = ws.take_voltage_buffer(rows * cols);
+        let SolverWorkspace { w, b, g, g_t, .. } = ws;
+
+        // Initial guess: previous converged solution if warm, else source
+        // targets / mid-rail for floating lines.
         let mid = bias.wl_selected.get() / 2.0;
-        let mut w: Vec<f64> = (0..rows)
-            .map(|i| wl_source(i).map_or(mid, |(v, _)| v))
-            .collect();
-        let mut b: Vec<f64> = (0..cols)
-            .map(|j| bl_source(j).map_or(mid, |(v, _)| v))
-            .collect();
+        if !warm {
+            for (i, node) in w.iter_mut().enumerate() {
+                *node = wl_source(i).map_or(mid, |(v, _)| v);
+            }
+            for (j, node) in b.iter_mut().enumerate() {
+                *node = bl_source(j).map_or(mid, |(v, _)| v);
+            }
+        }
 
         let gate_on = |i: usize| i == sel_r;
         // Secant conductances, geometrically damped between sweeps: with
         // strongly non-linear cells (1S1R selectors) an undamped
         // fixed-point iteration flip-flops between on/off linearisations.
-        let mut g = vec![0.0f64; rows * cols];
-        refresh_conductances(cells, rows, cols, &mut g, gate_on, |i, j| w[i] - b[j], 1.0);
+        // blend = 1.0 overwrites, so stale warm conductances are replaced.
+        refresh_conductances(cells, rows, cols, g, g_t, gate_on, |i, j| w[i] - b[j], 1.0);
+        let omega = self.config.omega;
         let mut iterations = 0;
         let mut converged = false;
         while iterations < self.config.max_sweeps {
             iterations += 1;
-            let mut max_delta: f64 = 0.0;
-            for i in 0..rows {
-                let mut num = 0.0;
-                let mut den = 0.0;
-                if let Some((v_src, g_src)) = wl_source(i) {
-                    num += g_src * v_src;
-                    den += g_src;
-                }
-                for j in 0..cols {
-                    let gc = g[i * cols + j];
-                    num += gc * b[j];
-                    den += gc;
-                }
-                if den > 0.0 {
-                    let next = num / den;
-                    let relaxed = w[i] + self.config.omega * (next - w[i]);
-                    max_delta = max_delta.max((relaxed - w[i]).abs());
-                    w[i] = relaxed;
-                }
-            }
-            for j in 0..cols {
-                let mut num = 0.0;
-                let mut den = 0.0;
-                if let Some((v_src, g_src)) = bl_source(j) {
-                    num += g_src * v_src;
-                    den += g_src;
-                }
-                for i in 0..rows {
-                    let gc = g[i * cols + j];
-                    num += gc * w[i];
-                    den += gc;
-                }
-                if den > 0.0 {
-                    let next = num / den;
-                    let relaxed = b[j] + self.config.omega * (next - b[j]);
-                    max_delta = max_delta.max((relaxed - b[j]).abs());
-                    b[j] = relaxed;
-                }
-            }
+            let row_delta = {
+                let (g, b) = (&g[..], &b[..]);
+                par_line_pass(workers, w, 1, &mut unit, |(), i, line| {
+                    let mut num = 0.0;
+                    let mut den = 0.0;
+                    if let Some((v_src, g_src)) = wl_source(i) {
+                        num += g_src * v_src;
+                        den += g_src;
+                    }
+                    for (gc, node) in g[i * cols..(i + 1) * cols].iter().zip(b) {
+                        num += gc * node;
+                        den += gc;
+                    }
+                    relax_node(&mut line[0], num, den, omega)
+                })
+            };
+            let col_delta = {
+                let (g_t, w) = (&g_t[..], &w[..]);
+                par_line_pass(workers, b, 1, &mut unit, |(), j, line| {
+                    let mut num = 0.0;
+                    let mut den = 0.0;
+                    if let Some((v_src, g_src)) = bl_source(j) {
+                        num += g_src * v_src;
+                        den += g_src;
+                    }
+                    for (gc, node) in g_t[j * rows..(j + 1) * rows].iter().zip(w) {
+                        num += gc * node;
+                        den += gc;
+                    }
+                    relax_node(&mut line[0], num, den, omega)
+                })
+            };
+            let max_delta = row_delta.max(col_delta);
             let g_delta = refresh_conductances(
                 cells,
                 rows,
                 cols,
-                &mut g,
+                g,
+                g_t,
                 gate_on,
                 |i, j| w[i] - b[j],
                 self.config.conductance_blend,
@@ -196,13 +387,13 @@ impl LumpedSolver {
             }
         }
 
-        LumpedSolution {
+        let solved = LumpedSolution {
             cells,
             rows,
             cols,
             selected,
-            w: &w,
-            b: &b,
+            w,
+            b,
             gate_on,
             // Sense current: everything flowing out of the selected
             // bitline into its sense source.
@@ -210,7 +401,22 @@ impl LumpedSolver {
             iterations,
             converged,
         }
-        .package()
+        .package(out);
+        ws.finish(SolverKind::Lumped, rows, cols);
+        solved
+    }
+}
+
+/// One Gauss-Seidel node update with under-relaxation; returns |Δv|.
+fn relax_node(node: &mut f64, num: f64, den: f64, omega: f64) -> f64 {
+    if den > 0.0 {
+        let next = num / den;
+        let relaxed = *node + omega * (next - *node);
+        let delta = (relaxed - *node).abs();
+        *node = relaxed;
+        delta
+    } else {
+        0.0
     }
 }
 
@@ -224,18 +430,47 @@ pub struct DistributedSolver {
 impl DistributedSolver {
     /// Solves an access with per-segment line resistance.
     ///
-    /// Wordlines are driven at their left end (column 0), bitlines at
-    /// their bottom end (row `rows − 1`), matching the usual peripheral
-    /// placement. Falls back to the lumped solver when the geometry's line
-    /// resistance is zero.
+    /// Cold-start reference entry point: equivalent to [`Self::solve_in`]
+    /// with a fresh workspace. Wordlines are driven at their left end
+    /// (column 0), bitlines at their bottom end (row `rows − 1`), matching
+    /// the usual peripheral placement. Falls back to the lumped solver
+    /// when the geometry's line resistance is zero.
     ///
     /// # Panics
     ///
     /// Panics if `cells.len() != rows * cols` or the selection is out of
     /// bounds.
-    #[allow(clippy::too_many_lines)]
     pub fn solve<C: Cell>(
         &self,
+        cells: &[C],
+        rows: usize,
+        cols: usize,
+        selected: (usize, usize),
+        bias: BiasVoltages,
+        geometry: &Geometry,
+    ) -> SolvedRead {
+        self.solve_in(
+            &mut SolverWorkspace::new(),
+            cells,
+            rows,
+            cols,
+            selected,
+            bias,
+            geometry,
+        )
+    }
+
+    /// Workspace-backed solve; see [`LumpedSolver::solve_in`] for the
+    /// warm-start contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells.len() != rows * cols` or the selection is out of
+    /// bounds.
+    #[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+    pub fn solve_in<C: Cell>(
+        &self,
+        ws: &mut SolverWorkspace,
         cells: &[C],
         rows: usize,
         cols: usize,
@@ -252,7 +487,7 @@ impl DistributedSolver {
             return LumpedSolver {
                 config: self.config,
             }
-            .solve(cells, rows, cols, selected, bias, geometry);
+            .solve_in(ws, cells, rows, cols, selected, bias, geometry);
         }
         let (sel_r, sel_c) = selected;
         let g_line = 1.0 / geometry.line_resistance.get();
@@ -274,19 +509,27 @@ impl DistributedSolver {
             }
         };
 
+        let warm = ws.begin(SolverKind::Distributed, rows, cols);
+        let workers = self.config.workers(rows.max(cols));
+        ws.grow_tridiagonals(workers, rows.max(cols));
+        let out = ws.take_voltage_buffer(rows * cols);
+        let SolverWorkspace {
+            w, b, g, g_t, tri, ..
+        } = ws;
+        let tri = &mut tri[..workers];
+
+        // `w` is row-major (each wordline contiguous); `b` is
+        // column-major (each bitline contiguous) so both half-sweeps
+        // solve their chains in place without gather/scatter copies.
         let mid = bias.wl_selected.get() / 2.0;
-        let mut w = vec![0.0f64; rows * cols];
-        let mut b = vec![0.0f64; rows * cols];
-        for i in 0..rows {
-            let init = wl_source(i).map_or(mid, |(v, _)| v);
-            for j in 0..cols {
-                w[i * cols + j] = init;
-            }
-        }
-        for j in 0..cols {
-            let init = bl_source(j).map_or(mid, |(v, _)| v);
+        if !warm {
             for i in 0..rows {
-                b[i * cols + j] = init;
+                let init = wl_source(i).map_or(mid, |(v, _)| v);
+                w[i * cols..(i + 1) * cols].fill(init);
+            }
+            for j in 0..cols {
+                let init = bl_source(j).map_or(mid, |(v, _)| v);
+                b[j * rows..(j + 1) * rows].fill(init);
             }
         }
 
@@ -296,67 +539,62 @@ impl DistributedSolver {
         // exactly (Thomas tridiagonal solve) with the crossing lines held
         // fixed — the textbook cure for anisotropic coupling.
         let gate_on = |i: usize| i == sel_r;
-        let mut g = vec![0.0f64; rows * cols];
         refresh_conductances(
             cells,
             rows,
             cols,
-            &mut g,
+            g,
+            g_t,
             gate_on,
-            |i, j| w[i * cols + j] - b[i * cols + j],
+            |i, j| w[i * cols + j] - b[j * rows + i],
             1.0,
         );
-        let mut tri = Tridiagonal::new(rows.max(cols));
-        let mut column = vec![0.0; rows];
         let mut iterations = 0;
         let mut converged = false;
         while iterations < self.config.max_sweeps {
             iterations += 1;
-            let mut max_delta: f64 = 0.0;
-            for i in 0..rows {
-                tri.reset(cols);
-                for j in 0..cols {
-                    let idx = i * cols + j;
-                    if j > 0 {
-                        tri.couple(j - 1, j, g_line);
-                    } else if let Some((v_src, g_src)) = wl_source(i) {
-                        tri.source(0, v_src, g_src);
-                    }
-                    tri.source(j, b[idx], g[idx]);
-                }
-                let delta = tri.solve_into(&mut w[i * cols..(i + 1) * cols]);
-                max_delta = max_delta.max(delta);
-            }
-            for j in 0..cols {
-                tri.reset(rows);
-                for i in 0..rows {
-                    let idx = i * cols + j;
-                    if i > 0 {
-                        tri.couple(i - 1, i, g_line);
-                    }
-                    if i + 1 == rows {
-                        if let Some((v_src, g_src)) = bl_source(j) {
-                            tri.source(i, v_src, g_src);
+            let row_delta = {
+                let (g, b) = (&g[..], &b[..]);
+                par_line_pass(workers, w, cols, tri, |tri, i, line| {
+                    tri.reset(cols);
+                    for j in 0..cols {
+                        if j > 0 {
+                            tri.couple(j - 1, j, g_line);
+                        } else if let Some((v_src, g_src)) = wl_source(i) {
+                            tri.source(0, v_src, g_src);
                         }
+                        tri.source(j, b[j * rows + i], g[i * cols + j]);
                     }
-                    tri.source(i, w[idx], g[idx]);
-                }
-                for i in 0..rows {
-                    column[i] = b[i * cols + j];
-                }
-                let delta = tri.solve_into(&mut column);
-                for i in 0..rows {
-                    b[i * cols + j] = column[i];
-                }
-                max_delta = max_delta.max(delta);
-            }
+                    tri.solve_into(line)
+                })
+            };
+            let col_delta = {
+                let (g_t, w) = (&g_t[..], &w[..]);
+                par_line_pass(workers, b, rows, tri, |tri, j, line| {
+                    tri.reset(rows);
+                    for i in 0..rows {
+                        if i > 0 {
+                            tri.couple(i - 1, i, g_line);
+                        }
+                        if i + 1 == rows {
+                            if let Some((v_src, g_src)) = bl_source(j) {
+                                tri.source(i, v_src, g_src);
+                            }
+                        }
+                        tri.source(i, w[i * cols + j], g_t[j * rows + i]);
+                    }
+                    tri.solve_into(line)
+                })
+            };
+            let max_delta = row_delta.max(col_delta);
             let g_delta = refresh_conductances(
                 cells,
                 rows,
                 cols,
-                &mut g,
+                g,
+                g_t,
                 gate_on,
-                |i, j| w[i * cols + j] - b[i * cols + j],
+                |i, j| w[i * cols + j] - b[j * rows + i],
                 self.config.conductance_blend,
             );
             if max_delta < self.config.tolerance && g_delta < 1e-3 {
@@ -367,14 +605,14 @@ impl DistributedSolver {
 
         // Per-cell voltages and sense current at the selected bitline's
         // bottom end.
-        let sense_node = (rows - 1) * cols + sel_c;
+        let sense_node = sel_c * rows + (rows - 1);
         let sense_current = (b[sense_node] - bias.bl_selected.get()) * g_sense;
-        let mut cell_voltages = vec![0.0; rows * cols];
+        let mut cell_voltages = out;
         let mut parasitic = 0.0;
         for i in 0..rows {
             for j in 0..cols {
                 let idx = i * cols + j;
-                let dv = w[idx] - b[idx];
+                let dv = w[idx] - b[j * rows + i];
                 cell_voltages[idx] = dv;
                 if (i, j) != (sel_r, sel_c) {
                     let current = cells[idx].current(Voltage::new(dv), gate_on(i));
@@ -382,44 +620,120 @@ impl DistributedSolver {
                 }
             }
         }
-        SolvedRead {
+        let solved = SolvedRead {
             sense_current: Current::new(sense_current),
             cell_voltages,
             cols,
             parasitic_power: Power::new(parasitic),
             iterations,
             converged,
-        }
+        };
+        ws.finish(SolverKind::Distributed, rows, cols);
+        solved
     }
+}
+
+/// Applies `line_fn` to every line of `grid` (`lines × line_len`,
+/// line-major) and returns the largest per-line delta.
+///
+/// With more than one worker the lines split into contiguous bands, one
+/// scoped thread per band, each with its own `scratch` entry. Every line
+/// is still processed by the same `line_fn` on the same inputs as the
+/// serial walk — line updates only read the *other* axis's potentials,
+/// never their neighbours' — and the `max` reduction is order-independent,
+/// so the result is bit-identical at any worker count.
+fn par_line_pass<S, F>(
+    workers: usize,
+    grid: &mut [f64],
+    line_len: usize,
+    scratch: &mut [S],
+    line_fn: F,
+) -> f64
+where
+    S: Send,
+    F: Fn(&mut S, usize, &mut [f64]) -> f64 + Sync,
+{
+    let lines = grid.len() / line_len.max(1);
+    let workers = workers.clamp(1, lines.max(1)).min(scratch.len().max(1));
+    if workers <= 1 {
+        let state = &mut scratch[0];
+        let mut max_delta = 0.0f64;
+        for (index, line) in grid.chunks_mut(line_len).enumerate() {
+            max_delta = max_delta.max(line_fn(state, index, line));
+        }
+        return max_delta;
+    }
+    let band = lines.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let line_fn = &line_fn;
+        let handles: Vec<_> = grid
+            .chunks_mut(band * line_len)
+            .zip(scratch.iter_mut())
+            .enumerate()
+            .map(|(slot, (band_grid, state))| {
+                scope.spawn(move || {
+                    let mut max_delta = 0.0f64;
+                    for (k, line) in band_grid.chunks_mut(line_len).enumerate() {
+                        max_delta = max_delta.max(line_fn(state, slot * band + k, line));
+                    }
+                    max_delta
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("solver worker panicked"))
+            .fold(0.0f64, f64::max)
+    })
 }
 
 /// Conductance floor that keeps log-space damping well defined.
 const G_FLOOR: f64 = 1e-18;
 
-/// Refreshes the damped secant conductances; `blend = 1.0` overwrites,
-/// `blend = 0.5` takes the geometric mean of old and new (log-space
-/// damping, natural for power-law selector I-V curves). Returns the
-/// largest relative conductance change.
+/// Refreshes the damped secant conductances in `g` and its transpose
+/// `g_t`; `blend = 1.0` overwrites, `blend = 0.5` takes the geometric
+/// mean of old and new (log-space damping, natural for power-law selector
+/// I-V curves). Returns the largest relative conductance change.
+#[allow(clippy::too_many_arguments)]
 fn refresh_conductances<C: Cell>(
     cells: &[C],
     rows: usize,
     cols: usize,
     g: &mut [f64],
+    g_t: &mut [f64],
     gate_on: impl Fn(usize) -> bool,
     dv: impl Fn(usize, usize) -> f64,
     blend: f64,
 ) -> f64 {
     let mut max_rel = 0.0f64;
-    for i in 0..rows {
-        for j in 0..cols {
-            let idx = i * cols + j;
-            let secant = cells[idx]
-                .conductance_at(Voltage::new(dv(i, j)), gate_on(i))
-                .max(G_FLOOR);
-            let old = g[idx].max(G_FLOOR);
-            let next = (old.ln() * (1.0 - blend) + secant.ln() * blend).exp();
-            max_rel = max_rel.max((next / old - 1.0).abs());
-            g[idx] = next;
+    if blend >= 1.0 {
+        // Overwrite fast path: the ln/exp damping round-trip is the
+        // identity at blend = 1.0, so skip it.
+        for i in 0..rows {
+            for j in 0..cols {
+                let idx = i * cols + j;
+                let secant = cells[idx]
+                    .conductance_at(Voltage::new(dv(i, j)), gate_on(i))
+                    .max(G_FLOOR);
+                let old = g[idx].max(G_FLOOR);
+                max_rel = max_rel.max((secant / old - 1.0).abs());
+                g[idx] = secant;
+                g_t[j * rows + i] = secant;
+            }
+        }
+    } else {
+        for i in 0..rows {
+            for j in 0..cols {
+                let idx = i * cols + j;
+                let secant = cells[idx]
+                    .conductance_at(Voltage::new(dv(i, j)), gate_on(i))
+                    .max(G_FLOOR);
+                let old = g[idx].max(G_FLOOR);
+                let next = (old.ln() * (1.0 - blend) + secant.ln() * blend).exp();
+                max_rel = max_rel.max((next / old - 1.0).abs());
+                g[idx] = next;
+                g_t[j * rows + i] = next;
+            }
         }
     }
     max_rel
@@ -448,6 +762,10 @@ impl Tridiagonal {
             c_star: vec![0.0; capacity],
             d_star: vec![0.0; capacity],
         }
+    }
+
+    fn capacity(&self) -> usize {
+        self.diag.len()
     }
 
     fn reset(&mut self, n: usize) {
@@ -541,9 +859,9 @@ struct LumpedSolution<'a, C, G> {
 
 impl<C: Cell, G: Fn(usize) -> bool> LumpedSolution<'_, C, G> {
     /// Derives per-cell voltages and parasitic power from the line
-    /// potentials.
-    fn package(self) -> SolvedRead {
-        let mut cell_voltages = vec![0.0; self.rows * self.cols];
+    /// potentials, filling the (pre-sized) `cell_voltages` buffer.
+    fn package(self, mut cell_voltages: Vec<f64>) -> SolvedRead {
+        debug_assert_eq!(cell_voltages.len(), self.rows * self.cols);
         let mut parasitic = 0.0;
         for i in 0..self.rows {
             for j in 0..self.cols {
@@ -716,6 +1034,60 @@ mod tests {
         let a = DistributedSolver::default().solve(&cells, 3, 3, (1, 1), bias, &geometry());
         let b = LumpedSolver::default().solve(&cells, 3, 3, (1, 1), bias, &geometry());
         assert_eq!(a.sense_current, b.sense_current);
+    }
+
+    #[test]
+    fn parallel_line_relaxation_is_bit_identical() {
+        // The determinism contract: any thread count reproduces the
+        // serial solve bit for bit, for both solvers.
+        let n = 12;
+        let cells = grid(n, n, |i, j| (i * 3 + j) % 2 == 0);
+        let v = Voltage::from_volts(1.0);
+        let bias = BiasScheme::HalfV.voltages(v);
+        let mut nanowire = geometry();
+        nanowire.line_resistance = Resistance::from_ohms(2.5);
+        for threads in [2, 4, 0] {
+            let config = SolverConfig {
+                threads,
+                ..SolverConfig::default()
+            };
+            let serial = LumpedSolver::default().solve(&cells, n, n, (1, 9), bias, &geometry());
+            let parallel = LumpedSolver { config }.solve(&cells, n, n, (1, 9), bias, &geometry());
+            assert_eq!(serial, parallel, "lumped, threads = {threads}");
+            let serial = DistributedSolver::default().solve(&cells, n, n, (1, 9), bias, &nanowire);
+            let parallel =
+                DistributedSolver { config }.solve(&cells, n, n, (1, 9), bias, &nanowire);
+            assert_eq!(serial, parallel, "distributed, threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn warm_start_matches_cold_solution_and_saves_sweeps() {
+        let n = 16;
+        let cells = grid(n, n, |i, j| (i + j) % 2 == 0);
+        let v = Voltage::from_volts(1.0);
+        let bias = BiasScheme::HalfV.voltages(v);
+        let solver = LumpedSolver::default();
+        let mut ws = SolverWorkspace::new();
+        let cold = solver.solve_in(&mut ws, &cells, n, n, (2, 3), bias, &geometry());
+        let warm = solver.solve_in(&mut ws, &cells, n, n, (2, 3), bias, &geometry());
+        assert!(cold.converged && warm.converged);
+        assert!(
+            (warm.sense_current.get() - cold.sense_current.get()).abs() < 1e-9,
+            "warm {} vs cold {}",
+            warm.sense_current.get(),
+            cold.sense_current.get()
+        );
+        assert!(
+            warm.iterations < cold.iterations,
+            "warm start must collapse sweeps: {} vs {}",
+            warm.iterations,
+            cold.iterations
+        );
+        // Invalidation forces a cold start again.
+        ws.invalidate();
+        let recold = solver.solve_in(&mut ws, &cells, n, n, (2, 3), bias, &geometry());
+        assert_eq!(recold.iterations, cold.iterations);
     }
 
     #[test]

@@ -22,6 +22,11 @@ pub struct ArrayStats {
     pub wire_energy: Energy,
     /// Busy time of the array.
     pub elapsed: Time,
+    /// Solver sweeps spent across all accesses (warm starts shrink this).
+    pub solver_sweeps: u64,
+    /// Reads that reused the pulse solution for sensing instead of
+    /// re-solving (non-destructive junction, no cell-state motion).
+    pub sense_reuses: u64,
 }
 
 impl ArrayStats {
@@ -39,6 +44,8 @@ impl ArrayStats {
         self.wire_energy += other.wire_energy;
         // Tiles operate in parallel: busy time is the max, not the sum.
         self.elapsed = self.elapsed.max(other.elapsed);
+        self.solver_sweeps += other.solver_sweeps;
+        self.sense_reuses += other.sense_reuses;
     }
 
     /// Resets all counters to zero.
@@ -73,6 +80,8 @@ mod tests {
             half_select_energy: Energy::from_femto_joules(2.0),
             wire_energy: Energy::from_femto_joules(3.0),
             elapsed: Time::from_nano_seconds(5.0),
+            solver_sweeps: 9,
+            sense_reuses: 1,
         };
         assert!((a.total_energy().as_femto_joules() - 6.0).abs() < 1e-12);
 
@@ -84,6 +93,8 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.reads, 3);
         assert_eq!(a.elapsed, Time::from_nano_seconds(7.0));
+        assert_eq!(a.solver_sweeps, 9);
+        assert_eq!(a.sense_reuses, 1);
 
         a.reset();
         assert_eq!(a, ArrayStats::default());

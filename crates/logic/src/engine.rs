@@ -188,7 +188,10 @@ impl ImplyEngine {
         let was = self.regs[q].as_bit();
         let h = self.params.pulse / f64::from(self.params.substeps);
         let g_g = 1.0 / self.params.r_g.get();
-        for _ in 0..self.params.substeps {
+        let mut substep = 0;
+        while substep < self.params.substeps {
+            let x_p = self.regs[p].state();
+            let x_q = self.regs[q].state();
             let g_p = 1.0 / self.regs[p].resistance().get();
             let g_q = 1.0 / self.regs[q].resistance().get();
             let v_node = (self.params.v_cond.get() * g_p + self.params.v_set_pulse.get() * g_q)
@@ -199,6 +202,16 @@ impl ImplyEngine {
             self.regs[q].apply(v_across_q, h);
             // Load-resistor dissipation.
             self.energy += Energy::new(v_node * v_node * g_g * h.get());
+            substep += 1;
+            if self.regs[p].state() == x_p && self.regs[q].state() == x_q {
+                // Steady state: both device states are pinned (sub-threshold
+                // or clamped), so every remaining substep recomputes the
+                // identical divider and moves nothing. Charge the remaining
+                // load dissipation in one go and fast-forward the pulse.
+                let remaining = f64::from(self.params.substeps - substep);
+                self.energy += Energy::new(v_node * v_node * g_g * h.get() * remaining);
+                break;
+            }
         }
         if was != self.regs[q].as_bit() {
             self.energy += self.device.write_energy;
@@ -318,6 +331,31 @@ mod tests {
                 "mismatch at {input:?}"
             );
         }
+    }
+
+    #[test]
+    fn non_switching_imply_charges_full_pulse_dissipation() {
+        // p = 1, q = 1: both devices sit sub-threshold, so the divider is
+        // a fixed point from the first substep and the engine fast-forwards
+        // the pulse. The charged energy must still be the *full* pulse's
+        // load dissipation at that operating point, not one substep's.
+        let device = DeviceParams::table1_cim();
+        let params = ImplyParams::for_device(&device);
+        let mut e = ImplyEngine::new(2, device.clone(), params.clone());
+        e.write(0, true);
+        e.write(1, true);
+        e.exec_step(Step::Imply(0, 1));
+        let g_g = 1.0 / params.r_g.get();
+        let g_lrs = 1.0 / device.r_on.get();
+        let v_node =
+            (params.v_cond.get() * g_lrs + params.v_set_pulse.get() * g_lrs) / (2.0 * g_lrs + g_g);
+        let expect = v_node * v_node * g_g * params.pulse.get();
+        let got = e.cost().energy.get();
+        assert!(
+            (got / expect - 1.0).abs() < 1e-12,
+            "fast-forwarded energy {got} vs analytic full-pulse {expect}"
+        );
+        assert!(e.read(0) && e.read(1));
     }
 
     #[test]

@@ -16,6 +16,12 @@
 //! item order and chunk size — never of scheduling. Stateful phases that
 //! genuinely need global order (e.g. cache replay) stay sequential; see
 //! `ConventionalExecutor`'s two-phase DNA run.
+//!
+//! The same contract governs parallelism below this layer:
+//! `cim-crossbar`'s opt-in parallel line relaxation
+//! (`SolverConfig::threads`) splits solver half-sweeps into fixed bands
+//! and merges in band order, so electrical results are likewise
+//! bit-identical at any thread count (DESIGN.md §5).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 

@@ -19,12 +19,16 @@ const DEFAULT_SAMPLE_SIZE: usize = 10;
 /// Entry point handed to bench functions by `criterion_group!`.
 pub struct Criterion {
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         Criterion {
             sample_size: DEFAULT_SAMPLE_SIZE,
+            // Mirror criterion's `cargo bench -- --test` smoke mode: run
+            // each routine once to prove it works, skip the measurement.
+            test_mode: std::env::args().skip(1).any(|a| a == "--test"),
         }
     }
 }
@@ -44,7 +48,7 @@ impl Criterion {
     }
 
     pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) {
-        run_benchmark(&id.into().0, self.sample_size, &mut f);
+        run_benchmark(&id.into().0, self.sample_size, self.test_mode, &mut f);
     }
 }
 
@@ -62,7 +66,12 @@ impl BenchmarkGroup<'_> {
 
     pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) {
         let label = format!("{}/{}", self.name, id.into().0);
-        run_benchmark(&label, self.criterion.sample_size, &mut f);
+        run_benchmark(
+            &label,
+            self.criterion.sample_size,
+            self.criterion.test_mode,
+            &mut f,
+        );
     }
 
     pub fn bench_with_input<I: ?Sized>(
@@ -72,7 +81,12 @@ impl BenchmarkGroup<'_> {
         mut f: impl FnMut(&mut Bencher, &I),
     ) {
         let label = format!("{}/{}", self.name, id.into().0);
-        run_benchmark(&label, self.criterion.sample_size, &mut |b| f(b, input));
+        run_benchmark(
+            &label,
+            self.criterion.sample_size,
+            self.criterion.test_mode,
+            &mut |b| f(b, input),
+        );
     }
 
     pub fn finish(self) {}
@@ -128,7 +142,23 @@ impl Bencher {
     }
 }
 
-fn run_benchmark(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+fn run_benchmark(
+    label: &str,
+    sample_size: usize,
+    test_mode: bool,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    if test_mode {
+        // One un-timed pass per routine: enough to catch panics and API
+        // rot without paying for samples. Matches `cargo bench -- --test`.
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: 0,
+        };
+        f(&mut bencher);
+        println!("Testing {label}: ok");
+        return;
+    }
     let mut bencher = Bencher {
         samples: Vec::with_capacity(sample_size),
         sample_size,
@@ -179,10 +209,19 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    /// A `Criterion` with test mode pinned, so the suite is independent
+    /// of whatever arguments the test harness itself received.
+    fn measuring() -> Criterion {
+        Criterion {
+            test_mode: false,
+            ..Criterion::default()
+        }
+    }
+
     #[test]
     fn bench_function_runs_routine() {
         let mut counter = 0u32;
-        Criterion::default()
+        measuring()
             .sample_size(3)
             .bench_function("counter", |b| b.iter(|| counter += 1));
         // one warm-up + three samples
@@ -190,8 +229,20 @@ mod tests {
     }
 
     #[test]
+    fn test_mode_runs_each_routine_once() {
+        let mut criterion = Criterion {
+            test_mode: true,
+            ..Criterion::default()
+        };
+        let mut counter = 0u32;
+        criterion.bench_function("smoke", |b| b.iter(|| counter += 1));
+        // warm-up call only: sample_size is forced to zero in test mode.
+        assert_eq!(counter, 1);
+    }
+
+    #[test]
     fn group_labels_and_inputs_flow_through() {
-        let mut criterion = Criterion::default();
+        let mut criterion = measuring();
         let mut group = criterion.benchmark_group("g");
         group.sample_size(2);
         let mut seen = 0u64;
