@@ -4,7 +4,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use cim_device::DeviceParams;
-use cim_logic::{Comparator, CrsImp, ImplyAdder, ImplyEngine, ProgramBuilder, Step};
+use cim_logic::{
+    BitSliceEngine, Comparator, CrsImp, ImplyAdder, ImplyEngine, ProgramBuilder, Step, LANES,
+};
 
 fn bench_imply_step(c: &mut Criterion) {
     let device = DeviceParams::table1_cim();
@@ -36,6 +38,18 @@ fn bench_comparator(c: &mut Criterion) {
         let program = cmp.eq_program();
         b.iter(|| black_box(program.evaluate(&[true, false, true, true])))
     });
+    c.bench_function("comparator/bitsliced_64lanes", |b| {
+        let mut engine = BitSliceEngine::new();
+        b.iter(|| {
+            black_box(cmp.matches_sliced(
+                &mut engine,
+                black_box(0xAAAA_5555_AAAA_5555),
+                black_box(0x0F0F_0F0F_0F0F_0F0F),
+                black_box(0x3333_CCCC_3333_CCCC),
+                black_box(0x00FF_00FF_00FF_00FF),
+            ))
+        })
+    });
 }
 
 fn bench_adders(c: &mut Criterion) {
@@ -53,6 +67,24 @@ fn bench_adders(c: &mut Criterion) {
     c.bench_function("adder/boolean_reference_32bit", |b| {
         let adder = ImplyAdder::new(32);
         b.iter(|| black_box(adder.add_reference(black_box(0xDEAD_BEEF), black_box(0x1234_5678))))
+    });
+
+    c.bench_function("adder/bitsliced_32bit_64pairs", |b| {
+        let adder = ImplyAdder::new(32);
+        let mut engine = BitSliceEngine::new();
+        let pairs: Vec<(u64, u64)> = (0..LANES as u64)
+            .map(|k| {
+                (
+                    k.wrapping_mul(0x9E37_79B9) & 0xFFFF_FFFF,
+                    k.wrapping_mul(0x85EB_CA6B) & 0xFFFF_FFFF,
+                )
+            })
+            .collect();
+        let mut sums = [0u64; LANES];
+        b.iter(|| {
+            adder.add_sliced(&mut engine, black_box(&pairs), &mut sums);
+            black_box(sums[0])
+        })
     });
 }
 
@@ -108,6 +140,17 @@ fn bench_simd(c: &mut Criterion) {
                 .collect();
             b.iter(|| {
                 let mut simd = RowParallelEngine::for_program(&program, rows);
+                black_box(simd.run(&program, &inputs))
+            })
+        });
+    }
+    for rows in [64usize, 256] {
+        group.bench_with_input(BenchmarkId::new("bitsliced", rows), &rows, |b, &rows| {
+            let inputs: Vec<Vec<bool>> = (0..rows)
+                .map(|k| vec![k % 2 == 0, k % 3 == 0, true, false])
+                .collect();
+            b.iter(|| {
+                let mut simd = RowParallelEngine::for_program_bitsliced(&program, rows);
                 black_box(simd.run(&program, &inputs))
             })
         });

@@ -1,0 +1,242 @@
+//! Functional-kernel snapshot: measures the bit-sliced IMPLY kernels
+//! against the scalar interpreter — the eq-comparator and ripple-adder
+//! microkernels plus end-to-end scaled DNA + additions executor runs —
+//! and writes the numbers to `BENCH_logic.json` at the workspace root,
+//! so the perf trajectory is tracked in-repo from PR to PR.
+//!
+//! ```bash
+//! cargo run --release -p cim-bench --bin bench_logic            # full run
+//! cargo run --release -p cim-bench --bin bench_logic -- --quick # CI-sized
+//! cargo run --release -p cim-bench --bin bench_logic -- --check # schema only
+//! ```
+//!
+//! `--check` validates the checked-in snapshot against the
+//! `cim-bench-logic/1` schema without re-measuring (used by CI so the
+//! snapshot can't rot); `--quick` trims workload sizes and sample
+//! counts for smoke runs.
+
+use std::time::Instant;
+
+use cim_bench::{repo_root_file, Args};
+use cim_logic::{BitSliceEngine, Comparator, ImplyAdder, LANES};
+use cim_sim::{BatchPolicy, CimExecutor, ExecutionBackend, KernelPolicy};
+use cim_workloads::{AdditionWorkload, DnaWorkload};
+
+const SCHEMA: &str = "cim-bench-logic/1";
+
+/// Every field a valid snapshot must carry, in schema order.
+const REQUIRED_FIELDS: [&str; 12] = [
+    "schema",
+    "samples",
+    "comparator_ops",
+    "comparator_scalar_ns",
+    "comparator_sliced_ns",
+    "comparator_speedup",
+    "adder_ops",
+    "adder_scalar_ns",
+    "adder_sliced_ns",
+    "adder_speedup",
+    "e2e_scalar_ns",
+    "e2e_sliced_ns",
+];
+
+/// Median wall-clock nanoseconds of `routine` over `samples` runs (one
+/// un-timed warm-up first).
+fn median_ns(samples: usize, mut routine: impl FnMut()) -> f64 {
+    routine();
+    let mut times: Vec<u128> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            routine();
+            start.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2] as f64
+}
+
+fn check(path: &std::path::Path) -> Result<(), String> {
+    let body = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    if !body.trim_start().starts_with('{') || !body.trim_end().ends_with('}') {
+        return Err("snapshot is not a JSON object".into());
+    }
+    if !body.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
+        return Err(format!("snapshot does not declare schema {SCHEMA}"));
+    }
+    for field in REQUIRED_FIELDS {
+        if !body.contains(&format!("\"{field}\":")) {
+            return Err(format!("snapshot is missing required field '{field}'"));
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let args = Args::capture();
+    let path = repo_root_file("BENCH_logic.json");
+
+    if args.has("--check") {
+        match check(&path) {
+            Ok(()) => println!("[ok] {} matches schema {SCHEMA}", path.display()),
+            Err(e) => {
+                eprintln!("[fail] {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let quick = args.has("--quick");
+    let samples = if quick { 10 } else { 50 };
+    let e2e_samples = if quick { 3 } else { 9 };
+
+    // ── Eq-comparator kernel: one pass over `cmp_ops` symbol pairs ──
+    // Inputs are marshalled outside the timed region on both sides so
+    // the comparison isolates kernel execution (the e2e section below
+    // charges packing/transposition at its real place in the pipeline).
+    let cmp = Comparator::new();
+    let cmp_ops: usize = if quick { 1 << 14 } else { 1 << 17 };
+    let pairs: Vec<(u8, u8)> = (0..cmp_ops)
+        .map(|k| ((k % 4) as u8, ((k / 4) % 4) as u8))
+        .collect();
+    let scalar_inputs: Vec<[bool; 4]> = pairs
+        .iter()
+        .map(|&(a, b)| [a & 1 == 1, a & 2 == 2, b & 1 == 1, b & 2 == 2])
+        .collect();
+    let packed_groups: Vec<(u64, u64, u64, u64, u64)> = pairs
+        .chunks(LANES)
+        .map(|group| {
+            let (mut a0, mut a1, mut b0, mut b1) = (0u64, 0u64, 0u64, 0u64);
+            for (lane, &(a, b)) in group.iter().enumerate() {
+                a0 |= u64::from(a & 1) << lane;
+                a1 |= u64::from(a >> 1) << lane;
+                b0 |= u64::from(b & 1) << lane;
+                b1 |= u64::from(b >> 1) << lane;
+            }
+            let lane_mask = if group.len() == LANES {
+                u64::MAX
+            } else {
+                (1u64 << group.len()) - 1
+            };
+            (a0, a1, b0, b1, lane_mask)
+        })
+        .collect();
+
+    let cmp_scalar = {
+        let program = cmp.eq_program();
+        median_ns(samples, || {
+            let (mut scratch, mut out) = (Vec::new(), Vec::new());
+            let mut matches = 0u64;
+            for inputs in &scalar_inputs {
+                program.evaluate_into(inputs, &mut scratch, &mut out);
+                matches += u64::from(out[0]);
+            }
+            std::hint::black_box(matches);
+        })
+    };
+    let cmp_sliced = median_ns(samples, || {
+        let mut engine = BitSliceEngine::new();
+        let mut matches = 0u64;
+        for &(a0, a1, b0, b1, lane_mask) in &packed_groups {
+            let eq = cmp.matches_sliced(&mut engine, a0, a1, b0, b1) & lane_mask;
+            matches += u64::from(eq.count_ones());
+        }
+        std::hint::black_box(matches);
+    });
+    let cmp_speedup = cmp_scalar / cmp_sliced;
+
+    // ── 32-bit ripple adder: one pass over `add_ops` operand pairs ──
+    let adder = ImplyAdder::new(32);
+    let add_ops: usize = if quick { 1 << 10 } else { 1 << 13 };
+    let operands: Vec<(u64, u64)> = (0..add_ops as u64)
+        .map(|k| {
+            (
+                k.wrapping_mul(0x9E37_79B9) & 0xFFFF_FFFF,
+                k.wrapping_mul(0x85EB_CA6B).rotate_left(9) & 0xFFFF_FFFF,
+            )
+        })
+        .collect();
+
+    let add_scalar = median_ns(samples, || {
+        let mut checksum = 0u64;
+        for &(a, b) in &operands {
+            checksum = checksum.wrapping_add(adder.add_reference(a, b));
+        }
+        std::hint::black_box(checksum);
+    });
+    let add_sliced = median_ns(samples, || {
+        let mut engine = BitSliceEngine::new();
+        let mut sums = [0u64; LANES];
+        let mut checksum = 0u64;
+        for group in operands.chunks(LANES) {
+            adder.add_sliced(&mut engine, group, &mut sums[..group.len()]);
+            for &s in &sums[..group.len()] {
+                checksum = checksum.wrapping_add(s);
+            }
+        }
+        std::hint::black_box(checksum);
+    });
+    let add_speedup = add_scalar / add_sliced;
+
+    // ── End-to-end: CimExecutor DNA + additions, scalar vs sliced ──
+    // Serial batch isolates the kernel effect from thread scaling.
+    let dna = DnaWorkload::scaled(if quick { 8_000 } else { 40_000 }, 23);
+    let adds = AdditionWorkload::scaled(if quick { 20_000 } else { 50_000 }, 24);
+    let e2e = |kernel: KernelPolicy| {
+        let exec = CimExecutor::with_policies(BatchPolicy::SERIAL, kernel);
+        median_ns(e2e_samples, || {
+            let d = ExecutionBackend::<DnaWorkload>::run(&exec, &dna).expect("dna run");
+            let a = ExecutionBackend::<AdditionWorkload>::run(&exec, &adds).expect("additions run");
+            std::hint::black_box((d.digest.operations, a.digest.checksum));
+        })
+    };
+    let e2e_scalar = e2e(KernelPolicy::Scalar);
+    let e2e_sliced = e2e(KernelPolicy::BitSliced);
+    let e2e_speedup = e2e_scalar / e2e_sliced;
+
+    let per = |total_ns: f64, ops: usize| total_ns / ops as f64;
+    println!("== logic kernel snapshot ({samples} samples, median ns per pass) ==");
+    println!(
+        "comparator scalar       {cmp_scalar:>12.0}   ({:.2} ns/op, {cmp_ops} ops)",
+        per(cmp_scalar, cmp_ops)
+    );
+    println!(
+        "comparator bit-sliced   {cmp_sliced:>12.0}   ({:.2} ns/op, {cmp_speedup:.1}x)",
+        per(cmp_sliced, cmp_ops)
+    );
+    println!(
+        "adder scalar            {add_scalar:>12.0}   ({:.1} ns/op, {add_ops} ops)",
+        per(add_scalar, add_ops)
+    );
+    println!(
+        "adder bit-sliced        {add_sliced:>12.0}   ({:.1} ns/op, {add_speedup:.1}x)",
+        per(add_sliced, add_ops)
+    );
+    println!("e2e dna+adds scalar     {e2e_scalar:>12.0}");
+    println!("e2e dna+adds bit-sliced {e2e_sliced:>12.0}   ({e2e_speedup:.1}x)");
+
+    // The vendored serde is a no-op stub, so the snapshot is written by
+    // hand; `--check` validates exactly this shape.
+    let json = format!(
+        "{{\n  \"schema\": \"{SCHEMA}\",\n  \"samples\": {samples},\n  \
+         \"comparator_ops\": {cmp_ops},\n  \"comparator_scalar_ns\": {cmp_scalar:.0},\n  \
+         \"comparator_sliced_ns\": {cmp_sliced:.0},\n  \
+         \"comparator_speedup\": {cmp_speedup:.1},\n  \"adder_ops\": {add_ops},\n  \
+         \"adder_scalar_ns\": {add_scalar:.0},\n  \"adder_sliced_ns\": {add_sliced:.0},\n  \
+         \"adder_speedup\": {add_speedup:.1},\n  \"e2e_scalar_ns\": {e2e_scalar:.0},\n  \
+         \"e2e_sliced_ns\": {e2e_sliced:.0},\n  \"e2e_speedup\": {e2e_speedup:.1}\n}}\n"
+    );
+    std::fs::write(&path, &json).expect("write BENCH_logic.json");
+    println!("\n[written] {}", path.display());
+
+    if cmp_speedup < 10.0 {
+        eprintln!(
+            "[warn] comparator speedup {cmp_speedup:.1}x is below the 10x target \
+             (noisy machine?)"
+        );
+    }
+    if e2e_speedup < 5.0 {
+        eprintln!("[warn] end-to-end speedup {e2e_speedup:.1}x is below the 5x target");
+    }
+}

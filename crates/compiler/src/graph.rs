@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use cim_logic::{Comparator, TcAdderModel};
+use cim_logic::{BitSliceEngine, Comparator, TcAdderModel};
 
 /// Handle to a tensor (a fixed-width integer vector) in the graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -281,7 +281,7 @@ impl Graph {
         let mask = self.lane_mask();
         let adder = TcAdderModel::new(self.bits);
         let comparator = Comparator::new();
-        let eq_program = comparator.eq_program();
+        let mut eq_engine = BitSliceEngine::new();
 
         let mut values: Vec<Vec<u64>> = Vec::with_capacity(self.nodes.len());
         let mut next_input = 0usize;
@@ -306,7 +306,9 @@ impl Graph {
                     let (a, b) = (&values[node.inputs[0].0], &values[node.inputs[1].0]);
                     a.iter()
                         .zip(b)
-                        .map(|(&x, &y)| u64::from(self.eq_via_comparator(eq_program, x, y)))
+                        .map(|(&x, &y)| {
+                            u64::from(self.eq_via_comparator(&comparator, &mut eq_engine, x, y))
+                        })
                         .collect()
                 }
                 Op::Lt => {
@@ -340,13 +342,28 @@ impl Graph {
         self.outputs.iter().map(|t| values[t.0].clone()).collect()
     }
 
-    /// Equality through the IMPLY comparator, 2 bits at a time.
-    fn eq_via_comparator(&self, program: &cim_logic::Program, x: u64, y: u64) -> bool {
-        (0..self.bits).step_by(2).all(|shift| {
-            let (sx, sy) = (((x >> shift) & 3) as u8, ((y >> shift) & 3) as u8);
-            let inputs = [sx & 1 == 1, sx & 2 == 2, sy & 1 == 1, sy & 2 == 2];
-            program.evaluate(&inputs)[0]
-        })
+    /// Equality through the IMPLY comparator: every 2-bit slice of the
+    /// word pair occupies one bit-slice lane, so the whole comparison is
+    /// a single compiled-comparator pass instead of one interpreted
+    /// program evaluation per slice.
+    fn eq_via_comparator(
+        &self,
+        comparator: &Comparator,
+        engine: &mut BitSliceEngine,
+        x: u64,
+        y: u64,
+    ) -> bool {
+        let slices = (self.bits as usize).div_ceil(2);
+        let (mut x0, mut x1, mut y0, mut y1) = (0u64, 0u64, 0u64, 0u64);
+        for lane in 0..slices {
+            let (sx, sy) = ((x >> (2 * lane)) & 3, (y >> (2 * lane)) & 3);
+            x0 |= (sx & 1) << lane;
+            x1 |= (sx >> 1) << lane;
+            y0 |= (sy & 1) << lane;
+            y1 |= (sy >> 1) << lane;
+        }
+        let lane_mask = (1u64 << slices) - 1;
+        comparator.matches_sliced(engine, x0, x1, y0, y1) & lane_mask == lane_mask
     }
 
     fn bitwise(&self, values: &[Vec<u64>], node: &Node, f: impl Fn(u64, u64) -> u64) -> Vec<u64> {

@@ -6,6 +6,7 @@ use serde::{Deserialize, Serialize};
 
 use cim_device::DeviceParams;
 
+use crate::bitslice::{transpose64, BitSliceEngine, CompiledProgram};
 use crate::cost::LogicCost;
 use crate::crs_logic::CrsImp;
 use crate::engine::ImplyEngine;
@@ -20,6 +21,7 @@ use crate::program::{Program, ProgramBuilder, Reg};
 #[derive(Debug, Clone)]
 pub struct ImplyAdder {
     program: Program,
+    compiled: CompiledProgram,
     bits: u32,
 }
 
@@ -61,12 +63,22 @@ impl ImplyAdder {
         }
         sums.push(carry.expect("at least one bit"));
         let program = b.finish(sums);
-        Self { program, bits }
+        let compiled = CompiledProgram::compile(&program).expect("builder output is always valid");
+        Self {
+            program,
+            compiled,
+            bits,
+        }
     }
 
     /// The compiled microprogram.
     pub fn program(&self) -> &Program {
         &self.program
+    }
+
+    /// The microprogram lowered for [`BitSliceEngine`] execution.
+    pub fn compiled(&self) -> &CompiledProgram {
+        &self.compiled
     }
 
     /// Word width in bits.
@@ -113,6 +125,52 @@ impl ImplyAdder {
             .iter()
             .enumerate()
             .fold(0u64, |acc, (i, &bit)| acc | (u64::from(bit) << i))
+    }
+
+    /// Adds up to 64 operand pairs in one bit-sliced pass of the ripple
+    /// microprogram: operands transpose into slice-major form (bit `i`
+    /// of every lane's word packs into one `u64` slice), the compiled
+    /// program runs once computing all lanes together, and the sum
+    /// slices transpose back to one word per lane.
+    ///
+    /// Lane `k`'s result includes the carry-out at bit `self.bits()` —
+    /// identical to [`ImplyAdder::add_reference`] — except for a 64-bit
+    /// adder, whose 65th sum bit cannot fit the `u64` result word and is
+    /// dropped (the sum wraps, like `u64::wrapping_add`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 64 pairs are given, `sums.len()` mismatches
+    /// `pairs.len()`, or an operand exceeds the adder width.
+    pub fn add_sliced(&self, engine: &mut BitSliceEngine, pairs: &[(u64, u64)], sums: &mut [u64]) {
+        assert!(pairs.len() <= 64, "at most 64 lanes per sliced pass");
+        assert_eq!(pairs.len(), sums.len(), "one sum slot per operand pair");
+        let bits = self.bits as usize;
+        let mut ma = [0u64; 64];
+        let mut mb = [0u64; 64];
+        for (lane, &(a, b)) in pairs.iter().enumerate() {
+            self.check_operand(a);
+            self.check_operand(b);
+            ma[lane] = a;
+            mb[lane] = b;
+        }
+        transpose64(&mut ma);
+        transpose64(&mut mb);
+        // Program input order: a's bits LSB-first, then b's.
+        let mut in_slices = [0u64; 128];
+        in_slices[..bits].copy_from_slice(&ma[..bits]);
+        in_slices[bits..2 * bits].copy_from_slice(&mb[..bits]);
+        let mut out_slices = [0u64; 65];
+        engine.run(
+            &self.compiled,
+            &in_slices[..2 * bits],
+            &mut out_slices[..bits + 1],
+        );
+        let mut mo = [0u64; 64];
+        let kept = (bits + 1).min(64);
+        mo[..kept].copy_from_slice(&out_slices[..kept]);
+        transpose64(&mut mo);
+        sums.copy_from_slice(&mo[..pairs.len()]);
     }
 
     /// The adder's measured step/device cost.
@@ -282,6 +340,56 @@ mod tests {
         ];
         for (a, b) in cases {
             assert_eq!(adder.add_reference(a, b), a + b, "{a:#x} + {b:#x}");
+        }
+    }
+
+    #[test]
+    fn sliced_addition_matches_reference_for_four_bits_exhaustively() {
+        let adder = ImplyAdder::new(4);
+        let mut engine = BitSliceEngine::new();
+        // All 256 operand pairs in four 64-lane passes.
+        let pairs: Vec<(u64, u64)> = (0..16u64)
+            .flat_map(|a| (0..16u64).map(move |b| (a, b)))
+            .collect();
+        for chunk in pairs.chunks(64) {
+            let mut sums = vec![0u64; chunk.len()];
+            adder.add_sliced(&mut engine, chunk, &mut sums);
+            for (&(a, b), &sum) in chunk.iter().zip(&sums) {
+                // The carry-out rides at bit 4, exactly as in
+                // `add_reference`.
+                assert_eq!(sum, a + b, "{a} + {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn sliced_addition_matches_reference_at_32_bits() {
+        let adder = ImplyAdder::new(32);
+        let mut engine = BitSliceEngine::new();
+        let pairs: Vec<(u64, u64)> = (0..64u64)
+            .map(|k| {
+                let a = k.wrapping_mul(0x9E37_79B9) & 0xFFFF_FFFF;
+                let b = k.wrapping_mul(0x85EB_CA6B).rotate_left(7) & 0xFFFF_FFFF;
+                (a, b)
+            })
+            .collect();
+        let mut sums = vec![0u64; 64];
+        adder.add_sliced(&mut engine, &pairs, &mut sums);
+        for (&(a, b), &sum) in pairs.iter().zip(&sums) {
+            assert_eq!(sum, adder.add_reference(a, b), "{a:#x} + {b:#x}");
+            assert_eq!(sum, a + b, "{a:#x} + {b:#x}");
+        }
+    }
+
+    #[test]
+    fn sliced_addition_wraps_at_64_bits() {
+        let adder = ImplyAdder::new(64);
+        let mut engine = BitSliceEngine::new();
+        let pairs = [(u64::MAX, 1u64), (u64::MAX, u64::MAX), (5, 7)];
+        let mut sums = [0u64; 3];
+        adder.add_sliced(&mut engine, &pairs, &mut sums);
+        for (&(a, b), &sum) in pairs.iter().zip(&sums) {
+            assert_eq!(sum, a.wrapping_add(b), "{a:#x} + {b:#x}");
         }
     }
 

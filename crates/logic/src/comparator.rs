@@ -6,6 +6,7 @@ use serde::{Deserialize, Serialize};
 use cim_device::DeviceParams;
 use cim_units::Component;
 
+use crate::bitslice::{BitSliceEngine, CompiledProgram};
 use crate::cost::LogicCost;
 use crate::engine::ImplyEngine;
 use crate::program::{Program, ProgramBuilder};
@@ -27,14 +28,19 @@ use crate::program::{Program, ProgramBuilder};
 pub struct Comparator {
     eq: Program,
     nand: Program,
+    eq_compiled: CompiledProgram,
 }
 
 impl Comparator {
-    /// Compiles both comparator variants.
+    /// Compiles both comparator variants (plus the bit-sliced artifact
+    /// of the equality program, which is the DNA hot kernel).
     pub fn new() -> Self {
+        let eq = Self::build(true);
+        let eq_compiled = CompiledProgram::compile(&eq).expect("builder output is always valid");
         Self {
-            eq: Self::build(true),
+            eq,
             nand: Self::build(false),
+            eq_compiled,
         }
     }
 
@@ -65,10 +71,32 @@ impl Comparator {
         &self.nand
     }
 
+    /// The equality program lowered for [`BitSliceEngine`] execution.
+    pub fn eq_compiled(&self) -> &CompiledProgram {
+        &self.eq_compiled
+    }
+
     /// Compares two 2-bit symbols electrically.
     pub fn matches(&self, engine: &mut ImplyEngine, a: u8, b: u8) -> bool {
         let inputs = [a & 1 == 1, a & 2 == 2, b & 1 == 1, b & 2 == 2];
         engine.run(&self.eq, &inputs)[0]
+    }
+
+    /// Compares up to 64 symbol pairs at once: bit `k` of each input
+    /// slice is lane `k`'s bit, and bit `k` of the result is lane `k`'s
+    /// equality. `a0`/`a1` carry the low/high bits of the first symbols,
+    /// `b0`/`b1` those of the second.
+    pub fn matches_sliced(
+        &self,
+        engine: &mut BitSliceEngine,
+        a0: u64,
+        a1: u64,
+        b0: u64,
+        b1: u64,
+    ) -> u64 {
+        let mut out = [0u64];
+        engine.run(&self.eq_compiled, &[a0, a1, b0, b1], &mut out);
+        out[0]
     }
 
     /// Measured cost of the equality comparator.
@@ -105,6 +133,31 @@ mod tests {
         for a in 0..4u8 {
             for b in 0..4u8 {
                 assert_eq!(cmp.matches(&mut engine, a, b), a == b, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn sliced_comparison_matches_scalar_for_all_pairs() {
+        let cmp = Comparator::new();
+        assert!(cmp.eq_compiled().is_lut());
+        // All 16 symbol pairs in the low 16 lanes: lane = a * 4 + b.
+        let (mut a0, mut a1, mut b0, mut b1) = (0u64, 0u64, 0u64, 0u64);
+        for a in 0..4u64 {
+            for b in 0..4u64 {
+                let lane = a * 4 + b;
+                a0 |= (a & 1) << lane;
+                a1 |= ((a >> 1) & 1) << lane;
+                b0 |= (b & 1) << lane;
+                b1 |= ((b >> 1) & 1) << lane;
+            }
+        }
+        let mut engine = BitSliceEngine::new();
+        let eq = cmp.matches_sliced(&mut engine, a0, a1, b0, b1);
+        for a in 0..4u64 {
+            for b in 0..4u64 {
+                let lane = a * 4 + b;
+                assert_eq!((eq >> lane) & 1 == 1, a == b, "{a} vs {b}");
             }
         }
     }

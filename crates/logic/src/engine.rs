@@ -323,13 +323,11 @@ mod tests {
         let n = b.xor(o, x);
         let program = b.finish(vec![o, n]);
         let mut e = ImplyEngine::for_program(&program);
+        let (mut scratch, mut reference) = (Vec::new(), Vec::new());
         for bits in 0..8u8 {
             let input = [(bits & 1) != 0, (bits & 2) != 0, (bits & 4) != 0];
-            assert_eq!(
-                e.run(&program, &input),
-                program.evaluate(&input),
-                "mismatch at {input:?}"
-            );
+            program.evaluate_into(&input, &mut scratch, &mut reference);
+            assert_eq!(e.run(&program, &input), reference, "mismatch at {input:?}");
         }
     }
 

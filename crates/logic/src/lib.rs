@@ -20,6 +20,11 @@
 //!   through [`ProgramBuilder`];
 //! * [`synthesize`]: compilation of Boolean [`Expr`]essions to IMPLY
 //!   microcode;
+//! * a **bit-sliced executor**: [`CompiledProgram`] lowers a program
+//!   once (flat op stream, or a ≤6-input truth-table fast path) and
+//!   [`BitSliceEngine`] runs 64 lanes per host instruction — the
+//!   paper's row-broadcast parallelism mirrored in the simulator, bit
+//!   identical to the scalar and electrical paths;
 //! * the paper's circuit blocks: the DNA [`Comparator`] ("2 XOR and a
 //!   NAND … 13 memristors … 16 steps") and ripple adders —
 //!   [`ImplyAdder`] (bit-exact, electrically executed) plus the
@@ -46,6 +51,7 @@
 //! ```
 
 mod adder;
+mod bitslice;
 mod comparator;
 mod cost;
 mod crs_logic;
@@ -57,13 +63,14 @@ mod simd;
 mod synthesis;
 
 pub use adder::{CrsAdder, ImplyAdder, TcAdderModel};
+pub use bitslice::{transpose64, BitSliceEngine, CompiledProgram, SliceOp, LANES, LUT_MAX_INPUTS};
 pub use comparator::Comparator;
 pub use cost::LogicCost;
 pub use crs_logic::{CrsImp, Level};
 pub use ecc::{Correction, DoubleError, Hamming};
 pub use engine::{ImplyEngine, ImplyParams};
 pub use lut::Lut;
-pub use program::{Program, ProgramBuilder, Reg, Step};
+pub use program::{Program, ProgramBuilder, ProgramError, Reg, Step};
 pub use simd::{simd_cost, RowParallelEngine};
 pub use synthesis::{synthesize, Expr};
 

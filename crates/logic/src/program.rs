@@ -27,6 +27,65 @@ impl Step {
     }
 }
 
+/// Why a [`Program`] is structurally invalid (see [`Program::validate`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgramError {
+    /// A step, input, or output names a register `>= registers`.
+    RegisterOutOfRange {
+        /// The offending register.
+        reg: Reg,
+        /// The program's declared register count.
+        registers: usize,
+        /// Where the register appeared (`"step"`, `"input"`, `"output"`).
+        site: &'static str,
+    },
+    /// Two inputs share a register, making input loading ambiguous.
+    DuplicateInput {
+        /// The register claimed twice.
+        reg: Reg,
+    },
+    /// An input register is also an output register. Outputs must be
+    /// disjoint from inputs (copy the input if it must be observable) so
+    /// engines may treat input registers as read-only operand stores.
+    InputIsOutput {
+        /// The overlapping register.
+        reg: Reg,
+    },
+    /// `IMP(p, p)`: the electrical circuit requires distinct devices,
+    /// and the Boolean reading (`q ← ¬q ∨ q = 1`) diverges from it.
+    SelfImplication {
+        /// The register implied onto itself.
+        reg: Reg,
+    },
+}
+
+impl std::fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProgramError::RegisterOutOfRange {
+                reg,
+                registers,
+                site,
+            } => write!(
+                f,
+                "{site} register r{reg} out of range (program declares {registers} registers)"
+            ),
+            ProgramError::DuplicateInput { reg } => {
+                write!(f, "register r{reg} is claimed by two inputs")
+            }
+            ProgramError::InputIsOutput { reg } => write!(
+                f,
+                "input register r{reg} is also an output; copy it into a fresh register instead"
+            ),
+            ProgramError::SelfImplication { reg } => {
+                write!(f, "IMP(r{reg}, r{reg}) requires two distinct devices")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
 /// A compiled IMPLY microprogram.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Program {
@@ -54,26 +113,91 @@ impl Program {
     /// Pure-Boolean reference semantics, used to cross-check the
     /// electrical engine: evaluates the program on a bit vector.
     ///
+    /// Allocates its register file and output vector per call; hot loops
+    /// should hold buffers and use [`Program::evaluate_into`] instead.
+    ///
     /// # Panics
     ///
     /// Panics if `input_bits.len() != self.inputs.len()`.
     pub fn evaluate(&self, input_bits: &[bool]) -> Vec<bool> {
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        self.evaluate_into(input_bits, &mut scratch, &mut out);
+        out
+    }
+
+    /// Allocation-free [`Program::evaluate`]: `scratch` is the register
+    /// file (resized and cleared here; contents are otherwise the
+    /// caller's to recycle between calls) and `out` receives the output
+    /// bits (cleared first). Amortised over a hot loop, neither buffer
+    /// reallocates after the first call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_bits.len() != self.inputs.len()`.
+    pub fn evaluate_into(&self, input_bits: &[bool], scratch: &mut Vec<bool>, out: &mut Vec<bool>) {
         assert_eq!(
             input_bits.len(),
             self.inputs.len(),
             "wrong number of input bits"
         );
-        let mut regs = vec![false; self.registers];
+        scratch.clear();
+        scratch.resize(self.registers, false);
         for (&reg, &bit) in self.inputs.iter().zip(input_bits) {
-            regs[reg] = bit;
+            scratch[reg] = bit;
         }
         for &step in &self.steps {
             match step {
-                Step::False(q) => regs[q] = false,
-                Step::Imply(p, q) => regs[q] = !regs[p] || regs[q],
+                Step::False(q) => scratch[q] = false,
+                Step::Imply(p, q) => scratch[q] = !scratch[p] || scratch[q],
             }
         }
-        self.outputs.iter().map(|&r| regs[r]).collect()
+        out.clear();
+        out.extend(self.outputs.iter().map(|&r| scratch[r]));
+    }
+
+    /// Checks structural well-formedness: every step/input/output
+    /// register in range, inputs pairwise distinct and disjoint from
+    /// outputs, no self-implication. [`ProgramBuilder::finish`] and the
+    /// bit-slice compiler ([`crate::CompiledProgram::compile`]) enforce
+    /// this, so a `Program` reaching any engine is known-executable.
+    pub fn validate(&self) -> Result<(), ProgramError> {
+        let in_range = |reg: Reg, site: &'static str| {
+            if reg >= self.registers {
+                Err(ProgramError::RegisterOutOfRange {
+                    reg,
+                    registers: self.registers,
+                    site,
+                })
+            } else {
+                Ok(())
+            }
+        };
+        for &step in &self.steps {
+            match step {
+                Step::False(q) => in_range(q, "step")?,
+                Step::Imply(p, q) => {
+                    in_range(p, "step")?;
+                    in_range(q, "step")?;
+                    if p == q {
+                        return Err(ProgramError::SelfImplication { reg: p });
+                    }
+                }
+            }
+        }
+        for (i, &reg) in self.inputs.iter().enumerate() {
+            in_range(reg, "input")?;
+            if self.inputs[..i].contains(&reg) {
+                return Err(ProgramError::DuplicateInput { reg });
+            }
+        }
+        for &reg in &self.outputs {
+            in_range(reg, "output")?;
+            if self.inputs.contains(&reg) {
+                return Err(ProgramError::InputIsOutput { reg });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -212,13 +336,23 @@ impl ProgramBuilder {
     }
 
     /// Finalises the program with the given output registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assembled program fails [`Program::validate`]
+    /// (out-of-range register, duplicated input, an output aliasing an
+    /// input, or a self-implication).
     pub fn finish(self, outputs: Vec<Reg>) -> Program {
-        Program {
+        let program = Program {
             steps: self.steps,
             registers: self.next,
             inputs: self.inputs,
             outputs,
+        };
+        if let Err(e) = program.validate() {
+            panic!("invalid program: {e}");
         }
+        program
     }
 }
 
@@ -243,8 +377,10 @@ mod tests {
         let mut b = ProgramBuilder::new();
         let p = b.input();
         let q = b.input();
-        b.imply(p, q);
-        let program = b.finish(vec![q]);
+        // Work on a copy: input registers can't double as outputs.
+        let t = b.copy(q);
+        b.imply(p, t);
+        let program = b.finish(vec![t]);
         assert_eq!(program.evaluate(&[false, false]), vec![true]);
         assert_eq!(program.evaluate(&[false, true]), vec![true]);
         assert_eq!(program.evaluate(&[true, false]), vec![false]);
@@ -316,7 +452,10 @@ mod tests {
         let mut b = ProgramBuilder::new();
         let p = b.input();
         let c = b.copy(p);
-        let program = b.finish(vec![p, c]);
+        // A second copy taken *after* the first proves `p` survived it
+        // (outputs may not alias inputs, so `p` is observed indirectly).
+        let witness = b.copy(p);
+        let program = b.finish(vec![c, witness]);
         assert_eq!(program.evaluate(&[true]), vec![true, true]);
         assert_eq!(program.evaluate(&[false]), vec![false, false]);
     }
@@ -344,7 +483,136 @@ mod tests {
     fn evaluate_validates_input_arity() {
         let mut b = ProgramBuilder::new();
         let p = b.input();
-        let program = b.finish(vec![p]);
+        let out = b.not(p);
+        let program = b.finish(vec![out]);
         let _ = program.evaluate(&[true, false]);
+    }
+
+    #[test]
+    fn evaluate_into_matches_evaluate_and_reuses_buffers() {
+        let mut b = ProgramBuilder::new();
+        let p = b.input();
+        let q = b.input();
+        let out = b.xor(p, q);
+        let program = b.finish(vec![out]);
+        let mut scratch = Vec::new();
+        let mut out_bits = Vec::new();
+        for bits in 0..4u8 {
+            let inputs = [bits & 1 == 1, bits & 2 == 2];
+            program.evaluate_into(&inputs, &mut scratch, &mut out_bits);
+            assert_eq!(out_bits, program.evaluate(&inputs), "word {bits}");
+        }
+        // Buffers stay sized for the program: nothing grows past it.
+        assert_eq!(scratch.len(), program.registers);
+        assert_eq!(out_bits.len(), 1);
+    }
+
+    #[test]
+    fn validate_accepts_builder_output() {
+        let mut b = ProgramBuilder::new();
+        let p = b.input();
+        let q = b.input();
+        let out = b.xor(p, q);
+        assert_eq!(b.finish(vec![out]).validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_step_register() {
+        let program = Program {
+            steps: vec![Step::Imply(0, 5)],
+            registers: 2,
+            inputs: vec![0],
+            outputs: vec![1],
+        };
+        assert_eq!(
+            program.validate(),
+            Err(ProgramError::RegisterOutOfRange {
+                reg: 5,
+                registers: 2,
+                site: "step"
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_input_and_output() {
+        let input_oob = Program {
+            steps: vec![],
+            registers: 1,
+            inputs: vec![3],
+            outputs: vec![],
+        };
+        assert_eq!(
+            input_oob.validate(),
+            Err(ProgramError::RegisterOutOfRange {
+                reg: 3,
+                registers: 1,
+                site: "input"
+            })
+        );
+        let output_oob = Program {
+            steps: vec![],
+            registers: 1,
+            inputs: vec![0],
+            outputs: vec![9],
+        };
+        assert_eq!(
+            output_oob.validate(),
+            Err(ProgramError::RegisterOutOfRange {
+                reg: 9,
+                registers: 1,
+                site: "output"
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_inputs() {
+        let program = Program {
+            steps: vec![],
+            registers: 2,
+            inputs: vec![0, 0],
+            outputs: vec![1],
+        };
+        assert_eq!(
+            program.validate(),
+            Err(ProgramError::DuplicateInput { reg: 0 })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_inputs_overlapping_outputs() {
+        let program = Program {
+            steps: vec![],
+            registers: 2,
+            inputs: vec![0],
+            outputs: vec![0],
+        };
+        assert_eq!(
+            program.validate(),
+            Err(ProgramError::InputIsOutput { reg: 0 })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_self_implication() {
+        let program = Program {
+            steps: vec![Step::Imply(1, 1)],
+            registers: 2,
+            inputs: vec![0],
+            outputs: vec![],
+        };
+        assert_eq!(
+            program.validate(),
+            Err(ProgramError::SelfImplication { reg: 1 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "is also an output")]
+    fn finish_panics_on_input_aliasing_output() {
+        let mut b = ProgramBuilder::new();
+        let p = b.input();
+        let _ = b.finish(vec![p]);
     }
 }

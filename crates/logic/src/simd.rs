@@ -10,6 +10,7 @@
 use cim_device::DeviceParams;
 use cim_units::{Component, Energy};
 
+use crate::bitslice::{BitSliceEngine, CompiledProgram, LANES};
 use crate::cost::LogicCost;
 use crate::engine::{ImplyEngine, ImplyParams};
 use crate::program::Program;
@@ -34,9 +35,33 @@ use crate::program::Program;
 /// ```
 #[derive(Debug, Clone)]
 pub struct RowParallelEngine {
-    rows: Vec<ImplyEngine>,
+    backend: Backend,
     params: ImplyParams,
     broadcast_steps: u64,
+}
+
+/// How the rows execute. Both backends follow the same cost law —
+/// latency counts broadcast steps, energy scales with rows × steps —
+/// but the electrical one integrates device physics per row while the
+/// bit-sliced one runs a [`CompiledProgram`] 64 rows per instruction
+/// and charges the nominal write energy.
+#[derive(Debug, Clone)]
+enum Backend {
+    /// One electrical register file per row.
+    Electrical(Vec<ImplyEngine>),
+    /// Functional: a compiled artifact shared by all rows (boxed — the
+    /// payload dwarfs the electrical variant's `Vec` header).
+    BitSliced(Box<SlicedRows>),
+}
+
+/// State of the bit-sliced backend.
+#[derive(Debug, Clone)]
+struct SlicedRows {
+    compiled: CompiledProgram,
+    engine: BitSliceEngine,
+    rows: usize,
+    device: DeviceParams,
+    energy: Energy,
 }
 
 impl RowParallelEngine {
@@ -51,9 +76,39 @@ impl RowParallelEngine {
         let device = DeviceParams::table1_cim();
         let params = ImplyParams::for_device(&device);
         Self {
-            rows: (0..rows)
-                .map(|_| ImplyEngine::new(program.registers, device.clone(), params.clone()))
-                .collect(),
+            backend: Backend::Electrical(
+                (0..rows)
+                    .map(|_| ImplyEngine::new(program.registers, device.clone(), params.clone()))
+                    .collect(),
+            ),
+            params,
+            broadcast_steps: 0,
+        }
+    }
+
+    /// Creates a bit-sliced engine: `program` is compiled once and every
+    /// [`RowParallelEngine::run`] executes it across all rows, 64 lanes
+    /// per host instruction. Cost accounting follows the same law as the
+    /// electrical backend (latency = broadcast steps, energy ∝ rows ×
+    /// steps) using the Table-1 nominal write energy per device step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is zero or `program` fails [`Program::validate`].
+    pub fn for_program_bitsliced(program: &Program, rows: usize) -> Self {
+        assert!(rows > 0, "need at least one row");
+        let device = DeviceParams::table1_cim();
+        let params = ImplyParams::for_device(&device);
+        let compiled =
+            CompiledProgram::compile(program).unwrap_or_else(|e| panic!("invalid program: {e}"));
+        Self {
+            backend: Backend::BitSliced(Box::new(SlicedRows {
+                compiled,
+                engine: BitSliceEngine::new(),
+                rows,
+                device,
+                energy: Energy::ZERO,
+            })),
             params,
             broadcast_steps: 0,
         }
@@ -61,27 +116,71 @@ impl RowParallelEngine {
 
     /// Number of rows operating in parallel.
     pub fn rows(&self) -> usize {
-        self.rows.len()
+        match &self.backend {
+            Backend::Electrical(rows) => rows.len(),
+            Backend::BitSliced(sliced) => sliced.rows,
+        }
     }
 
     /// Runs `program` on every row with that row's inputs, lock-step.
+    /// A bit-sliced engine executes its compiled artifact; `program`
+    /// must be the one it was built from.
     ///
     /// # Panics
     ///
-    /// Panics if `inputs_per_row.len() != self.rows()` or any row's
-    /// input arity mismatches the program.
+    /// Panics if `inputs_per_row.len() != self.rows()`, any row's input
+    /// arity mismatches the program, or a bit-sliced engine is handed a
+    /// program of different shape than it compiled.
     pub fn run(&mut self, program: &Program, inputs_per_row: &[Vec<bool>]) -> Vec<Vec<bool>> {
         assert_eq!(
             inputs_per_row.len(),
-            self.rows.len(),
+            self.rows(),
             "one input vector per row required"
         );
-        let outputs: Vec<Vec<bool>> = self
-            .rows
-            .iter_mut()
-            .zip(inputs_per_row)
-            .map(|(engine, inputs)| engine.run(program, inputs))
-            .collect();
+        let outputs = match &mut self.backend {
+            Backend::Electrical(rows) => rows
+                .iter_mut()
+                .zip(inputs_per_row)
+                .map(|(engine, inputs)| engine.run(program, inputs))
+                .collect(),
+            Backend::BitSliced(sliced) => {
+                let SlicedRows {
+                    compiled,
+                    engine,
+                    rows,
+                    device,
+                    energy,
+                } = sliced.as_mut();
+                assert_eq!(
+                    (program.inputs.len(), program.outputs.len(), program.len()),
+                    (
+                        compiled.num_inputs(),
+                        compiled.num_outputs(),
+                        compiled.steps()
+                    ),
+                    "program does not match the compiled artifact"
+                );
+                let mut outputs = Vec::with_capacity(*rows);
+                let mut in_slices = vec![0u64; compiled.num_inputs()];
+                let mut out_slices = vec![0u64; compiled.num_outputs()];
+                for group in inputs_per_row.chunks(LANES) {
+                    in_slices.iter_mut().for_each(|s| *s = 0);
+                    for (lane, row) in group.iter().enumerate() {
+                        assert_eq!(row.len(), compiled.num_inputs(), "input arity mismatch");
+                        for (slice, &bit) in in_slices.iter_mut().zip(row) {
+                            *slice |= u64::from(bit) << lane;
+                        }
+                    }
+                    engine.run(compiled, &in_slices, &mut out_slices);
+                    for lane in 0..group.len() {
+                        outputs.push(out_slices.iter().map(|&s| (s >> lane) & 1 == 1).collect());
+                    }
+                }
+                // One write per row per broadcast step, at nominal energy.
+                *energy += device.write_energy * (compiled.steps() * *rows) as f64;
+                outputs
+            }
+        };
         // Every row executed the same broadcast sequence.
         self.broadcast_steps += program.len() as u64;
         outputs
@@ -90,8 +189,15 @@ impl RowParallelEngine {
     /// Aggregate cost: latency counts *broadcast* steps (the whole array
     /// advances together); energy sums over rows.
     pub fn cost(&self) -> LogicCost {
-        let energy: Energy = self.rows.iter().map(|r| r.cost().energy).sum();
-        let devices = self.rows.iter().map(|r| r.registers()).sum();
+        let (energy, devices) = match &self.backend {
+            Backend::Electrical(rows) => (
+                rows.iter().map(|r| r.cost().energy).sum(),
+                rows.iter().map(|r| r.registers()).sum(),
+            ),
+            Backend::BitSliced(sliced) => {
+                (sliced.energy, sliced.compiled.registers() * sliced.rows)
+            }
+        };
         LogicCost {
             steps: self.broadcast_steps,
             devices,
@@ -103,7 +209,7 @@ impl RowParallelEngine {
 
     /// Effective operations per broadcast step (the SIMD width).
     pub fn throughput_multiplier(&self) -> usize {
-        self.rows.len()
+        self.rows()
     }
 }
 
@@ -159,6 +265,45 @@ mod tests {
     }
 
     #[test]
+    fn bitsliced_backend_matches_electrical_results() {
+        let cmp = Comparator::new();
+        let program = cmp.eq_program().clone();
+        // 100 rows exercises a full 64-lane group plus a ragged tail.
+        let inputs: Vec<Vec<bool>> = (0..100u32)
+            .map(|k| {
+                let (a, b) = (k % 4, (k / 4) % 4);
+                vec![a & 1 == 1, a & 2 == 2, b & 1 == 1, b & 2 == 2]
+            })
+            .collect();
+        let mut electrical = RowParallelEngine::for_program(&program, inputs.len());
+        let mut sliced = RowParallelEngine::for_program_bitsliced(&program, inputs.len());
+        assert_eq!(
+            electrical.run(&program, &inputs),
+            sliced.run(&program, &inputs)
+        );
+    }
+
+    #[test]
+    fn bitsliced_backend_follows_the_simd_cost_law() {
+        let cmp = Comparator::new();
+        let program = cmp.eq_program().clone();
+        let one = vec![true, false, true, false];
+        let mut narrow = RowParallelEngine::for_program_bitsliced(&program, 2);
+        let mut wide = RowParallelEngine::for_program_bitsliced(&program, 128);
+        let _ = narrow.run(&program, &vec![one.clone(); 2]);
+        let _ = wide.run(&program, &vec![one.clone(); 128]);
+        // Latency counts broadcast steps regardless of width…
+        assert_eq!(narrow.cost().steps, program.len() as u64);
+        assert_eq!(narrow.cost().steps, wide.cost().steps);
+        assert_eq!(narrow.cost().latency, wide.cost().latency);
+        // …energy and devices scale with the width.
+        let ratio = wide.cost().energy.get() / narrow.cost().energy.get();
+        assert!((ratio - 64.0).abs() < 1e-9, "energy ratio {ratio}");
+        assert_eq!(wide.cost().devices, 64 * narrow.cost().devices);
+        assert_eq!(wide.throughput_multiplier(), 128);
+    }
+
+    #[test]
     fn simd_cost_helper_scales_energy_and_devices_only() {
         let unit = LogicCost {
             steps: 16,
@@ -179,7 +324,8 @@ mod tests {
     fn rejects_mismatched_input_rows() {
         let mut b = ProgramBuilder::new();
         let p = b.input();
-        let program = b.finish(vec![p]);
+        let out = b.not(p);
+        let program = b.finish(vec![out]);
         let mut simd = RowParallelEngine::for_program(&program, 4);
         let _ = simd.run(&program, &[vec![true]]);
     }

@@ -159,13 +159,11 @@ mod tests {
     fn exhaustive_check(expr: &Expr) {
         let n = expr.arity();
         let program = synthesize(expr);
+        let (mut scratch, mut out) = (Vec::new(), Vec::new());
         for bits in 0..(1u32 << n) {
             let vars: Vec<bool> = (0..n).map(|i| (bits >> i) & 1 == 1).collect();
-            assert_eq!(
-                program.evaluate(&vars),
-                vec![expr.eval(&vars)],
-                "{expr:?} at {vars:?}"
-            );
+            program.evaluate_into(&vars, &mut scratch, &mut out);
+            assert_eq!(out, vec![expr.eval(&vars)], "{expr:?} at {vars:?}");
         }
     }
 

@@ -26,9 +26,11 @@ proptest! {
     fn synthesis_matches_reference_semantics(expr in arb_expr(4)) {
         let n = expr.arity();
         let program = synthesize(&expr);
+        let (mut scratch, mut out) = (Vec::new(), Vec::new());
         for bits in 0..(1u32 << n) {
             let vars: Vec<bool> = (0..n).map(|i| (bits >> i) & 1 == 1).collect();
-            prop_assert_eq!(program.evaluate(&vars), vec![expr.eval(&vars)]);
+            program.evaluate_into(&vars, &mut scratch, &mut out);
+            prop_assert_eq!(&out, &vec![expr.eval(&vars)]);
         }
     }
 
@@ -37,11 +39,13 @@ proptest! {
         let n = expr.arity();
         let program = synthesize(&expr);
         let mut engine = ImplyEngine::for_program(&program);
+        let (mut scratch, mut reference) = (Vec::new(), Vec::new());
         for bits in 0..(1u32 << n) {
             let vars: Vec<bool> = (0..n).map(|i| (bits >> i) & 1 == 1).collect();
+            program.evaluate_into(&vars, &mut scratch, &mut reference);
             prop_assert_eq!(
-                engine.run(&program, &vars),
-                program.evaluate(&vars),
+                &engine.run(&program, &vars),
+                &reference,
                 "expr {:?} at {:?}", expr, vars
             );
         }

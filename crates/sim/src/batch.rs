@@ -95,6 +95,36 @@ where
     chunk_results.into_iter().fold(init(), merge)
 }
 
+/// Runs `fold` over every chunk *slice*, merging per-chunk accumulators
+/// in chunk order. Equivalent to
+/// `items.chunks(CHUNK_SIZE).map(|c| fold(init(), c)).fold(init(), merge)`
+/// — and bit-identical to it at any thread count.
+///
+/// This is the chunk-at-a-time twin of [`par_fold_chunks`]: handing the
+/// fold a whole `&[T]` lets it set up per-chunk state — scratch
+/// buffers, a bit-slice engine, lane packers — once per [`CHUNK_SIZE`]
+/// items instead of once per item, and lets it group items into
+/// sub-chunk lanes (e.g. 64-wide bit-sliced passes) without the
+/// grouping ever crossing a chunk boundary, which would break the fixed
+/// merge decomposition.
+pub fn par_fold_slices<T, A, I, F, M>(
+    policy: BatchPolicy,
+    items: &[T],
+    init: I,
+    fold: F,
+    merge: M,
+) -> A
+where
+    T: Sync,
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(A, &[T]) -> A + Sync,
+    M: Fn(A, A) -> A,
+{
+    let chunk_results = run_chunks(policy, items, |chunk| fold(init(), chunk));
+    chunk_results.into_iter().fold(init(), merge)
+}
+
 /// Charges every item into a [`CostLedger`], merging per-chunk
 /// sub-ledgers in chunk order.
 ///
@@ -213,6 +243,56 @@ mod tests {
             let sum = par_fold_chunks(policy, &items, || 0.0f64, |acc, x| acc + x, |a, b| a + b);
             assert_eq!(sum.to_bits(), reference.to_bits(), "policy {policy:?}");
         }
+    }
+
+    #[test]
+    fn slice_fold_matches_item_fold_at_every_policy() {
+        // Same chunk decomposition, same merge order: the slice-level
+        // fold must reproduce the item-level fold's bits exactly, even
+        // when the slice fold groups items into sub-chunk lanes.
+        let items: Vec<f64> = (0..5 * CHUNK_SIZE + 321)
+            .map(|i| 1.0 / (i as f64 + 1.0))
+            .collect();
+        let reference = par_fold_chunks(
+            BatchPolicy::SERIAL,
+            &items,
+            || 0.0f64,
+            |acc, x| acc + x,
+            |a, b| a + b,
+        );
+        for policy in policies() {
+            let sum = par_fold_slices(
+                policy,
+                &items,
+                || 0.0f64,
+                |acc, chunk| {
+                    // Walk the chunk in 64-item groups, as a bit-sliced
+                    // consumer would.
+                    let mut acc = acc;
+                    for group in chunk.chunks(64) {
+                        for x in group {
+                            acc += x;
+                        }
+                    }
+                    acc
+                },
+                |a, b| a + b,
+            );
+            assert_eq!(sum.to_bits(), reference.to_bits(), "policy {policy:?}");
+        }
+    }
+
+    #[test]
+    fn slice_fold_handles_empty_batches() {
+        let empty: Vec<u32> = Vec::new();
+        let sum = par_fold_slices(
+            BatchPolicy::auto(),
+            &empty,
+            || 0u32,
+            |acc, chunk| acc + chunk.iter().sum::<u32>(),
+            |a, b| a + b,
+        );
+        assert_eq!(sum, 0);
     }
 
     #[test]

@@ -1,22 +1,42 @@
 //! Executor for the CIM (memristor crossbar) machine.
 
 use cim_arch::{CimMachine, RunReport};
-use cim_logic::{Comparator, TcAdderModel};
+use cim_logic::{BitSliceEngine, Comparator, ImplyAdder, TcAdderModel, LANES};
 use cim_units::{CostLedger, Phase};
-use cim_workloads::{AdditionWorkload, DnaSpec, DnaWorkload, ExecutionDigest, Genome};
+use cim_workloads::{AdditionWorkload, DnaSpec, DnaWorkload, ExecutionDigest, Genome, ShortRead};
 use serde::{Deserialize, Serialize};
 
 use crate::backend::{ExecutionBackend, RunOutcome, SimError};
-use crate::batch::{par_charge_chunks, par_fold_chunks, BatchPolicy};
+use crate::batch::{par_charge_chunks, par_fold_slices, BatchPolicy};
 use crate::conventional::dna_sampler;
 use crate::event::makespan;
+
+/// Which functional kernel executes the hot loops.
+///
+/// Both kernels run the same IMPLY semantics and produce bit-identical
+/// digests, checksums, and ledgers (asserted by the equivalence tests);
+/// they differ only in host throughput. The ledger is computed from the
+/// workload shape by the batch driver either way, so costs cannot drift
+/// between kernels by construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KernelPolicy {
+    /// Compile each microprogram once and execute 64 lanes per host
+    /// instruction ([`BitSliceEngine`]) — the crossbar's row-broadcast
+    /// parallelism mirrored in the simulator. The default.
+    #[default]
+    BitSliced,
+    /// One lane at a time through [`cim_logic::Program::evaluate_into`]
+    /// — the reference the bit-sliced kernel is checked against.
+    Scalar,
+}
 
 /// Runs workloads on the CIM machine model.
 ///
 /// Functional correctness is established by actually executing the
 /// in-crossbar primitives' semantics: DNA comparisons run through the
-/// IMPLY [`Comparator`] microprogram, additions through the
-/// [`TcAdderModel`], and the results are checked against ground truth.
+/// IMPLY [`Comparator`] microprogram, additions through the ripple
+/// adder microcode (bit-sliced kernel) or the [`TcAdderModel`] (scalar
+/// kernel), and the results are checked against ground truth.
 /// Timing/energy then follow the batch aggregation with the machine's
 /// Table-1 costs.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -24,6 +44,9 @@ pub struct CimExecutor {
     /// How per-item loops are parallelised. Results are identical for
     /// every policy (see `crate::batch`); only wall-clock time changes.
     pub batch: BatchPolicy,
+    /// Which functional kernel runs the hot loops. Results are
+    /// identical for both; only host throughput changes.
+    pub kernel: KernelPolicy,
 }
 
 impl CimExecutor {
@@ -42,7 +65,15 @@ impl CimExecutor {
 
     /// Creates an executor with an explicit batch policy.
     pub fn with_batch(batch: BatchPolicy) -> Self {
-        Self { batch }
+        Self {
+            batch,
+            kernel: KernelPolicy::default(),
+        }
+    }
+
+    /// Creates an executor with explicit batch and kernel policies.
+    pub fn with_policies(batch: BatchPolicy, kernel: KernelPolicy) -> Self {
+        Self { batch, kernel }
     }
 
     /// Projects the paper-scale DNA run (6×10⁹ comparisons on the
@@ -74,6 +105,132 @@ impl CimExecutor {
             ledger,
         )
     }
+
+    /// Reference DNA pass: one comparator evaluation per character,
+    /// with the register file and output buffer reused across the whole
+    /// chunk and the genome window hoisted out of the inner loop. On a
+    /// divergence the rest of the read's comparisons are skipped — they
+    /// cannot change the (first-hit) evidence — and counted in closed
+    /// form so `operations` is unaffected.
+    fn dna_pass_scalar(
+        &self,
+        comparator: &Comparator,
+        codes: &[u8],
+        reads: &[ShortRead],
+    ) -> (u64, Option<String>) {
+        let program = comparator.eq_program();
+        par_fold_slices(
+            self.batch,
+            reads,
+            || (0u64, None::<String>),
+            |(mut count, mut diverged), chunk| {
+                let mut scratch = Vec::new();
+                let mut out = Vec::new();
+                let mut inputs = [false; 4];
+                for read in chunk {
+                    let pos = read.true_position;
+                    let window = &codes[pos..pos + read.symbols.len()];
+                    for (i, (&symbol, &reference)) in read.symbols.iter().zip(window).enumerate() {
+                        inputs[0] = symbol & 1 == 1;
+                        inputs[1] = symbol & 2 == 2;
+                        inputs[2] = reference & 1 == 1;
+                        inputs[3] = reference & 2 == 2;
+                        program.evaluate_into(&inputs, &mut scratch, &mut out);
+                        let eq = out[0];
+                        if eq != (symbol == reference) {
+                            if diverged.is_none() {
+                                diverged = Some(divergence_note(eq, symbol, reference, pos + i));
+                            }
+                            count += (read.symbols.len() - i) as u64;
+                            break;
+                        }
+                        count += 1;
+                    }
+                }
+                (count, diverged)
+            },
+            |(c1, d1), (c2, d2)| (c1 + c2, d1.or(d2)),
+        )
+    }
+
+    /// Bit-sliced DNA pass: 64 character comparisons per comparator
+    /// invocation. Each read's symbols pack lane-wise against the
+    /// genome window (bit `k` of each input slice = lane `k`'s bit),
+    /// one [`BitSliceEngine`] run compares the whole group, and the
+    /// result slice is diffed against direct equality as a mask —
+    /// per-lane evidence is extracted only on a mismatch, where the
+    /// lowest diverging lane reproduces the scalar path's first-hit
+    /// report exactly.
+    fn dna_pass_bitsliced(
+        &self,
+        comparator: &Comparator,
+        codes: &[u8],
+        reads: &[ShortRead],
+    ) -> (u64, Option<String>) {
+        par_fold_slices(
+            self.batch,
+            reads,
+            || (0u64, None::<String>),
+            |(mut count, mut diverged), chunk| {
+                let mut engine = BitSliceEngine::new();
+                for read in chunk {
+                    let pos = read.true_position;
+                    let window = &codes[pos..pos + read.symbols.len()];
+                    count += read.symbols.len() as u64;
+                    for (group, (symbols, references)) in read
+                        .symbols
+                        .chunks(LANES)
+                        .zip(window.chunks(LANES))
+                        .enumerate()
+                    {
+                        let (mut s0, mut s1, mut r0, mut r1) = (0u64, 0u64, 0u64, 0u64);
+                        let mut expect = 0u64;
+                        for (lane, (&s, &r)) in symbols.iter().zip(references).enumerate() {
+                            s0 |= u64::from(s & 1) << lane;
+                            s1 |= u64::from(s >> 1 & 1) << lane;
+                            r0 |= u64::from(r & 1) << lane;
+                            r1 |= u64::from(r >> 1 & 1) << lane;
+                            expect |= u64::from(s == r) << lane;
+                        }
+                        let lane_mask = if symbols.len() == LANES {
+                            u64::MAX
+                        } else {
+                            (1u64 << symbols.len()) - 1
+                        };
+                        let eq = comparator.matches_sliced(&mut engine, s0, s1, r0, r1);
+                        let diff = (eq ^ expect) & lane_mask;
+                        if diff != 0 {
+                            if diverged.is_none() {
+                                let lane = diff.trailing_zeros() as usize;
+                                let i = group * LANES + lane;
+                                diverged = Some(divergence_note(
+                                    eq >> lane & 1 == 1,
+                                    read.symbols[i],
+                                    window[i],
+                                    pos + i,
+                                ));
+                            }
+                            // Like the scalar path, stop at the first
+                            // divergence in the read (count is already
+                            // closed-form).
+                            break;
+                        }
+                    }
+                }
+                (count, diverged)
+            },
+            |(c1, d1), (c2, d2)| (c1 + c2, d1.or(d2)),
+        )
+    }
+}
+
+/// The divergence evidence format, shared verbatim by both kernels so a
+/// [`RunOutcome`] never depends on [`KernelPolicy`].
+fn divergence_note(eq: bool, symbol: u8, reference: u8, position: usize) -> String {
+    format!(
+        "comparator returned {eq} for symbols ({symbol}, {reference}) \
+         at reference position {position}"
+    )
 }
 
 impl ExecutionBackend<DnaWorkload> for CimExecutor {
@@ -91,39 +248,14 @@ impl ExecutionBackend<DnaWorkload> for CimExecutor {
         let genome = Genome::generate(spec.ref_len as usize, workload.seed);
         let reads = dna_sampler(&spec, workload.seed).sample(&genome);
         let comparator = Comparator::new();
-        let program = comparator.eq_program();
 
         // Each read's comparisons are independent of every other read's,
         // so the hot loop fans out; divergence evidence (if any) merges
         // to the earliest chunk's report.
-        let (comparisons, diverged) = par_fold_chunks(
-            self.batch,
-            &reads,
-            || (0u64, None::<String>),
-            |(mut count, mut diverged), read| {
-                let pos = read.true_position;
-                for (i, &symbol) in read.symbols.iter().enumerate() {
-                    let reference = genome.codes()[pos + i];
-                    let inputs = [
-                        symbol & 1 == 1,
-                        symbol & 2 == 2,
-                        reference & 1 == 1,
-                        reference & 2 == 2,
-                    ];
-                    let eq = program.evaluate(&inputs)[0];
-                    if eq != (symbol == reference) && diverged.is_none() {
-                        diverged = Some(format!(
-                            "comparator returned {eq} for symbols ({symbol}, {reference}) \
-                             at reference position {}",
-                            pos + i
-                        ));
-                    }
-                    count += 1;
-                }
-                (count, diverged)
-            },
-            |(c1, d1), (c2, d2)| (c1 + c2, d1.or(d2)),
-        );
+        let (comparisons, diverged) = match self.kernel {
+            KernelPolicy::BitSliced => self.dna_pass_bitsliced(&comparator, genome.codes(), &reads),
+            KernelPolicy::Scalar => self.dna_pass_scalar(&comparator, genome.codes(), &reads),
+        };
         if let Some(detail) = diverged {
             return Err(SimError::Diverged {
                 machine: Self::MACHINE,
@@ -195,11 +327,16 @@ impl ExecutionBackend<AdditionWorkload> for CimExecutor {
         Self::MACHINE
     }
 
-    /// Executes every addition through the TC adder model, checksumming
-    /// the (width-masked) sums for [`Workload::verify`](cim_workloads::Workload::verify) — an adder bug
-    /// shows up as a checksum mismatch there.
+    /// Executes every addition in-crossbar, checksumming the
+    /// (width-masked) sums for [`Workload::verify`](cim_workloads::Workload::verify) — an adder bug
+    /// shows up as a checksum mismatch there. The bit-sliced kernel
+    /// runs the actual ripple [`ImplyAdder`] microprogram, 64 additions
+    /// per pass in slice-major form; the scalar kernel uses the
+    /// [`TcAdderModel`]'s functional semantics. The checksums agree by
+    /// construction: a `bits`-wide exact sum masked to `bits + 1` bits
+    /// equals the wrapping sum masked the same way (for `bits == 64`
+    /// the dropped carry slice *is* the wrap).
     fn run(&self, workload: &AdditionWorkload) -> Result<RunOutcome, SimError> {
-        let adder = TcAdderModel::new(workload.bits);
         let mask = if workload.bits == 64 {
             u64::MAX
         } else {
@@ -207,13 +344,44 @@ impl ExecutionBackend<AdditionWorkload> for CimExecutor {
         };
         let sum_mask = (mask << 1) | 1;
         let operands: Vec<(u64, u64)> = workload.operands().collect();
-        let (count, checksum) = par_fold_chunks(
-            self.batch,
-            &operands,
-            || (0u64, 0u64),
-            |(count, sum), &(a, b)| (count + 1, sum.wrapping_add(adder.add(a, b) & sum_mask)),
-            |(c1, s1), (c2, s2)| (c1 + c2, s1.wrapping_add(s2)),
-        );
+        let merge = |(c1, s1): (u64, u64), (c2, s2): (u64, u64)| (c1 + c2, s1.wrapping_add(s2));
+        let (count, checksum) = match self.kernel {
+            KernelPolicy::BitSliced => {
+                let adder = ImplyAdder::new(workload.bits);
+                par_fold_slices(
+                    self.batch,
+                    &operands,
+                    || (0u64, 0u64),
+                    |(mut count, mut sum), chunk| {
+                        let mut engine = BitSliceEngine::new();
+                        let mut sums = [0u64; LANES];
+                        for group in chunk.chunks(LANES) {
+                            adder.add_sliced(&mut engine, group, &mut sums[..group.len()]);
+                            for &s in &sums[..group.len()] {
+                                sum = sum.wrapping_add(s & sum_mask);
+                            }
+                            count += group.len() as u64;
+                        }
+                        (count, sum)
+                    },
+                    merge,
+                )
+            }
+            KernelPolicy::Scalar => {
+                let adder = TcAdderModel::new(workload.bits);
+                par_fold_slices(
+                    self.batch,
+                    &operands,
+                    || (0u64, 0u64),
+                    |acc, chunk| {
+                        chunk.iter().fold(acc, |(count, sum), &(a, b)| {
+                            (count + 1, sum.wrapping_add(adder.add(a, b) & sum_mask))
+                        })
+                    },
+                    merge,
+                )
+            }
+        };
         let machine = CimMachine::math_paper(workload.n_ops, workload.bits);
         let mut ledger = par_charge_chunks(self.batch, &operands, |sub, _| {
             machine.charge_op_energy(sub, Phase::Add, 1);
@@ -233,7 +401,7 @@ impl ExecutionBackend<AdditionWorkload> for CimExecutor {
             measured_hit_ratio: None,
             index_hit_ratio: None,
             notes: vec![format!(
-                "checksum {checksum:#018x} over {count} TC-adder additions"
+                "checksum {checksum:#018x} over {count} in-crossbar additions"
             )],
         })
     }
@@ -295,6 +463,51 @@ mod tests {
                 .expect("parallel run");
             assert_eq!(parallel, reference, "diverged at {threads} threads");
         }
+    }
+
+    #[test]
+    fn kernels_agree_bit_for_bit_on_dna_and_additions() {
+        // The policy-flag contract: the bit-sliced kernel must be
+        // indistinguishable from the scalar reference in every output —
+        // digest, checksum, ledger, report, notes — at 1 and 4 threads.
+        let dna = DnaWorkload::scaled(50_000, 13);
+        let adds = AdditionWorkload::scaled(30_000, 14);
+        for threads in [1, 4] {
+            let batch = BatchPolicy::with_threads(threads);
+            let scalar = CimExecutor::with_policies(batch, KernelPolicy::Scalar);
+            let sliced = CimExecutor::with_policies(batch, KernelPolicy::BitSliced);
+
+            let dna_scalar = scalar.run(&dna).expect("scalar DNA run");
+            let dna_sliced = sliced.run(&dna).expect("bitsliced DNA run");
+            assert_eq!(dna_sliced, dna_scalar, "DNA outcome at {threads} threads");
+            assert_eq!(dna_sliced.digest, dna_scalar.digest);
+
+            let add_scalar = ExecutionBackend::<AdditionWorkload>::run(&scalar, &adds)
+                .expect("scalar additions run");
+            let add_sliced = ExecutionBackend::<AdditionWorkload>::run(&sliced, &adds)
+                .expect("bitsliced additions run");
+            assert_eq!(
+                add_sliced, add_scalar,
+                "additions outcome at {threads} threads"
+            );
+            assert_eq!(add_sliced.digest.checksum, Some(adds.checksum()));
+        }
+    }
+
+    #[test]
+    fn kernels_agree_at_64_bit_width_where_the_carry_wraps() {
+        // bits == 64 is the edge where the sliced adder's 65th sum bit
+        // is dropped; the checksum must still match the wrapping scalar.
+        let adds = AdditionWorkload {
+            n_ops: 2_000,
+            bits: 64,
+            seed: 15,
+        };
+        let scalar = CimExecutor::with_policies(BatchPolicy::SERIAL, KernelPolicy::Scalar);
+        let sliced = CimExecutor::with_policies(BatchPolicy::SERIAL, KernelPolicy::BitSliced);
+        let a = ExecutionBackend::<AdditionWorkload>::run(&scalar, &adds).expect("scalar");
+        let b = ExecutionBackend::<AdditionWorkload>::run(&sliced, &adds).expect("sliced");
+        assert_eq!(a.digest.checksum, b.digest.checksum);
     }
 
     #[test]

@@ -34,9 +34,11 @@ mod event;
 mod hierarchy;
 
 pub use backend::{ExecutionBackend, RunOutcome, SimError};
-pub use batch::{par_charge_chunks, par_fold_chunks, par_map, BatchPolicy, CHUNK_SIZE};
+pub use batch::{
+    par_charge_chunks, par_fold_chunks, par_fold_slices, par_map, BatchPolicy, CHUNK_SIZE,
+};
 pub use cache::{CacheConfig, CacheSim};
-pub use cim_exec::CimExecutor;
+pub use cim_exec::{CimExecutor, KernelPolicy};
 pub use conventional::ConventionalExecutor;
 pub use event::{makespan, EventQueue};
 pub use hierarchy::{HierarchyAccess, MemoryHierarchy, MemoryLevel};

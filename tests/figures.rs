@@ -86,12 +86,14 @@ fn fig4_threshold_device_hysteresis_is_bipolar() {
 #[test]
 fn fig5_both_imp_implementations_agree() {
     use cim::logic::{CrsImp, ImplyEngine, ProgramBuilder};
-    // Build p IMP q in the two-device style…
+    // Build p IMP q in the two-device style… (on a copy of q — input
+    // registers can't double as outputs)
     let mut b = ProgramBuilder::new();
     let p_reg = b.input();
     let q_reg = b.input();
-    b.imply(p_reg, q_reg);
-    let program = b.finish(vec![q_reg]);
+    let t_reg = b.copy(q_reg);
+    b.imply(p_reg, t_reg);
+    let program = b.finish(vec![t_reg]);
     let mut engine = ImplyEngine::for_program(&program);
 
     for (p, q) in [(false, false), (false, true), (true, false), (true, true)] {
