@@ -100,7 +100,7 @@ mod tests {
         let c = CacheSpec::table1_dna();
         assert_eq!(c.capacity_bytes, 8192);
         assert!((c.area.as_square_milli_meters() - 0.0092).abs() < 1e-12);
-        assert!((c.static_power.as_watts() - 0.015625).abs() < 1e-12);
+        assert!((c.static_power.as_watts() - 0.015_625).abs() < 1e-12);
         assert_eq!(c.miss_penalty_cycles, 165);
         assert_eq!(CacheSpec::table1_math().hit_ratio, 0.98);
     }

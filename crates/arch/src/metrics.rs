@@ -266,6 +266,6 @@ mod tests {
             .expect("non-degenerate run")
             .to_string();
         assert!(s.contains("ops/J"));
-        assert!(s.contains("e"));
+        assert!(s.contains('e'));
     }
 }

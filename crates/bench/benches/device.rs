@@ -16,7 +16,7 @@ fn bench_threshold_device(c: &mut Criterion) {
             let mut d = ThresholdDevice::new_hrs(p.clone());
             d.apply(black_box(p.write_voltage), p.write_time);
             black_box(d.state())
-        })
+        });
     });
 }
 
@@ -43,7 +43,7 @@ fn bench_window_functions(c: &mut Criterion) {
                     Time::from_micro_seconds(1.0),
                 );
                 black_box(d.state())
-            })
+            });
         });
     }
     group.finish();
@@ -56,7 +56,7 @@ fn bench_crs(c: &mut Criterion) {
             let mut cell = Crs::new_zero(p.clone());
             cell.write(black_box(true));
             black_box(cell.read_restore())
-        })
+        });
     });
     c.bench_function("crs/iv_sweep_100pts", |b| {
         let sweep =
@@ -64,7 +64,7 @@ fn bench_crs(c: &mut Criterion) {
         b.iter(|| {
             let mut cell = Crs::new_zero(p.clone());
             black_box(sweep.run(&mut cell))
-        })
+        });
     });
 }
 

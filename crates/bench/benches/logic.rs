@@ -18,13 +18,13 @@ fn bench_imply_step(c: &mut Criterion) {
             engine.write(1, false);
             engine.exec_step(black_box(Step::Imply(0, 1)));
             black_box(engine.read(1))
-        })
+        });
     });
     c.bench_function("imply/crs_single_gate", |b| {
         b.iter(|| {
-            let mut gate = CrsImp::new(device.clone());
+            let mut gate = CrsImp::new(&device);
             black_box(gate.imp(black_box(true), black_box(false)))
-        })
+        });
     });
 }
 
@@ -32,11 +32,11 @@ fn bench_comparator(c: &mut Criterion) {
     let cmp = Comparator::new();
     c.bench_function("comparator/electrical_match", |b| {
         let mut engine = ImplyEngine::for_program(cmp.eq_program());
-        b.iter(|| black_box(cmp.matches(&mut engine, black_box(2), black_box(3))))
+        b.iter(|| black_box(cmp.matches(&mut engine, black_box(2), black_box(3))));
     });
     c.bench_function("comparator/boolean_reference", |b| {
         let program = cmp.eq_program();
-        b.iter(|| black_box(program.evaluate(&[true, false, true, true])))
+        b.iter(|| black_box(program.evaluate(&[true, false, true, true])));
     });
     c.bench_function("comparator/bitsliced_64lanes", |b| {
         let mut engine = BitSliceEngine::new();
@@ -48,7 +48,7 @@ fn bench_comparator(c: &mut Criterion) {
                 black_box(0x3333_CCCC_3333_CCCC),
                 black_box(0x00FF_00FF_00FF_00FF),
             ))
-        })
+        });
     });
 }
 
@@ -59,14 +59,14 @@ fn bench_adders(c: &mut Criterion) {
             let adder = ImplyAdder::new(bits);
             let mut engine = ImplyEngine::for_program(adder.program());
             let mask = (1u64 << bits) - 1;
-            b.iter(|| black_box(adder.add(&mut engine, 0xA5A5 & mask, 0x5A5A & mask)))
+            b.iter(|| black_box(adder.add(&mut engine, 0xA5A5 & mask, 0x5A5A & mask)));
         });
     }
     group.finish();
 
     c.bench_function("adder/boolean_reference_32bit", |b| {
         let adder = ImplyAdder::new(32);
-        b.iter(|| black_box(adder.add_reference(black_box(0xDEAD_BEEF), black_box(0x1234_5678))))
+        b.iter(|| black_box(adder.add_reference(black_box(0xDEAD_BEEF), black_box(0x1234_5678))));
     });
 
     c.bench_function("adder/bitsliced_32bit_64pairs", |b| {
@@ -84,7 +84,7 @@ fn bench_adders(c: &mut Criterion) {
         b.iter(|| {
             adder.add_sliced(&mut engine, black_box(&pairs), &mut sums);
             black_box(sums[0])
-        })
+        });
     });
 }
 
@@ -94,7 +94,7 @@ fn bench_synthesis(c: &mut Criterion) {
         b.iter(|| {
             let expr = Expr::var(0).xor(Expr::var(1)).xor(Expr::var(2));
             black_box(synthesize(&expr))
-        })
+        });
     });
     c.bench_function("synthesis/compile_nand_chain", |b| {
         b.iter(|| {
@@ -105,7 +105,7 @@ fn bench_synthesis(c: &mut Criterion) {
                 reg = builder.nand(reg, other);
             }
             black_box(builder.finish(vec![reg]))
-        })
+        });
     });
 }
 
@@ -117,12 +117,12 @@ fn bench_logic_styles(c: &mut Criterion) {
     let mut group = c.benchmark_group("logic_style");
     group.bench_function("lut_eval", |b| {
         let mut lut = Lut::from_expr(&expr, DeviceParams::table1_cim());
-        b.iter(|| black_box(lut.eval(&[true, false, true])))
+        b.iter(|| black_box(lut.eval(&[true, false, true])));
     });
     group.bench_function("imply_electrical", |b| {
         let program = synthesize(&expr);
         let mut engine = ImplyEngine::for_program(&program);
-        b.iter(|| black_box(engine.run(&program, &[true, false, true])))
+        b.iter(|| black_box(engine.run(&program, &[true, false, true])));
     });
     group.finish();
 }
@@ -141,7 +141,7 @@ fn bench_simd(c: &mut Criterion) {
             b.iter(|| {
                 let mut simd = RowParallelEngine::for_program(&program, rows);
                 black_box(simd.run(&program, &inputs))
-            })
+            });
         });
     }
     for rows in [64usize, 256] {
@@ -152,7 +152,7 @@ fn bench_simd(c: &mut Criterion) {
             b.iter(|| {
                 let mut simd = RowParallelEngine::for_program_bitsliced(&program, rows);
                 black_box(simd.run(&program, &inputs))
-            })
+            });
         });
     }
     group.finish();

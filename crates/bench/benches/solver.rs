@@ -21,7 +21,7 @@ fn bench_lumped_sizes(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             let mut a = array(n);
             let v = a.cell(0, 0).params().v_set * 0.5;
-            b.iter(|| black_box(a.solve_access(0, n - 1, v, BiasScheme::HalfV)))
+            b.iter(|| black_box(a.solve_access(0, n - 1, v, BiasScheme::HalfV)));
         });
     }
     group.finish();
@@ -34,7 +34,7 @@ fn bench_distributed(c: &mut Criterion) {
             let p = DeviceParams::table1_cim();
             let mut a = array(n).with_geometry(Geometry::nanowire(p.cell_area));
             let v = p.v_set * 0.5;
-            b.iter(|| black_box(a.solve_access(0, n - 1, v, BiasScheme::HalfV)))
+            b.iter(|| black_box(a.solve_access(0, n - 1, v, BiasScheme::HalfV)));
         });
     }
     group.finish();
@@ -49,13 +49,13 @@ fn bench_warm_vs_cold_64(c: &mut Criterion) {
     group.bench_function("cold", |b| {
         let a = array(n);
         let v = a.cell(0, 0).params().v_set * 0.5;
-        b.iter(|| black_box(a.solve_access_cold(0, n - 1, v, BiasScheme::HalfV)))
+        b.iter(|| black_box(a.solve_access_cold(0, n - 1, v, BiasScheme::HalfV)));
     });
     group.bench_function("warm_same", |b| {
         let mut a = array(n);
         let v = a.cell(0, 0).params().v_set * 0.5;
         let _ = a.solve_access(0, n - 1, v, BiasScheme::HalfV);
-        b.iter(|| black_box(a.solve_access(0, n - 1, v, BiasScheme::HalfV)))
+        b.iter(|| black_box(a.solve_access(0, n - 1, v, BiasScheme::HalfV)));
     });
     group.bench_function("warm_after_flip", |b| {
         let mut a = array(n);
@@ -66,7 +66,7 @@ fn bench_warm_vs_cold_64(c: &mut Criterion) {
             a.program(n / 2, n / 2, bit);
             bit = !bit;
             black_box(a.solve_access(0, n - 1, v, BiasScheme::HalfV))
-        })
+        });
     });
     group.finish();
 }
@@ -93,7 +93,7 @@ fn bench_parallel_distributed_64(c: &mut Criterion) {
                     a.program(n / 2, n / 2, bit);
                     bit = !bit;
                     black_box(a.solve_access(0, n - 1, v, BiasScheme::HalfV))
-                })
+                });
             },
         );
     }
@@ -107,18 +107,18 @@ fn bench_junctions(c: &mut Criterion) {
     group.bench_function("1R", |b| {
         let mut a = Crossbar::homogeneous(n, n, || ResistiveCell::new(p.clone()));
         a.fill(|_, _| true);
-        b.iter(|| black_box(a.solve_access(0, n - 1, p.v_set * 0.5, BiasScheme::HalfV)))
+        b.iter(|| black_box(a.solve_access(0, n - 1, p.v_set * 0.5, BiasScheme::HalfV)));
     });
     group.bench_function("1S1R", |b| {
         let mut a =
             Crossbar::homogeneous(n, n, || SelectorCell::new(p.clone(), 10.0, p.v_set * 0.5));
         a.fill(|_, _| true);
-        b.iter(|| black_box(a.solve_access(0, n - 1, p.v_set * 0.5, BiasScheme::HalfV)))
+        b.iter(|| black_box(a.solve_access(0, n - 1, p.v_set * 0.5, BiasScheme::HalfV)));
     });
     group.bench_function("CRS", |b| {
         let mut a = Crossbar::homogeneous(n, n, || CrsCell::new(p.clone()));
         a.fill(|_, _| true);
-        b.iter(|| black_box(a.solve_access(0, n - 1, p.write_voltage * 0.95, BiasScheme::ThirdV)))
+        b.iter(|| black_box(a.solve_access(0, n - 1, p.write_voltage * 0.95, BiasScheme::ThirdV)));
     });
     group.finish();
 }
@@ -132,9 +132,9 @@ fn bench_cam_search(c: &mut Criterion) {
             let p = DeviceParams::table1_cim();
             let mut cam = Cam::new(words, 32, p);
             for w in 0..words {
-                cam.store(w, (w as u64).wrapping_mul(2654435761) & 0xFFFF_FFFF);
+                cam.store(w, (w as u64).wrapping_mul(2_654_435_761) & 0xFFFF_FFFF);
             }
-            b.iter(|| black_box(cam.search(12345)))
+            b.iter(|| black_box(cam.search(12345)));
         });
     }
     group.finish();
@@ -144,11 +144,11 @@ fn bench_multistage_read(c: &mut Criterion) {
     let mut group = c.benchmark_group("read_style_16x16");
     group.bench_function("plain", |b| {
         let mut a = array(16);
-        b.iter(|| black_box(a.read(0, 15, BiasScheme::HalfV)))
+        b.iter(|| black_box(a.read(0, 15, BiasScheme::HalfV)));
     });
     group.bench_function("multistage", |b| {
         let mut a = array(16);
-        b.iter(|| black_box(a.read_multistage(0, 15, BiasScheme::HalfV)))
+        b.iter(|| black_box(a.read_multistage(0, 15, BiasScheme::HalfV)));
     });
     group.finish();
 }
@@ -160,11 +160,11 @@ fn bench_multistage_read_64(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("plain", |b| {
         let mut a = array(64);
-        b.iter(|| black_box(a.read(0, 63, BiasScheme::HalfV)))
+        b.iter(|| black_box(a.read(0, 63, BiasScheme::HalfV)));
     });
     group.bench_function("multistage", |b| {
         let mut a = array(64);
-        b.iter(|| black_box(a.read_multistage(0, 63, BiasScheme::HalfV)))
+        b.iter(|| black_box(a.read_multistage(0, 63, BiasScheme::HalfV)));
     });
     group.finish();
 }

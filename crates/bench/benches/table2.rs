@@ -24,18 +24,18 @@ fn bench_experiments(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2");
     group.sample_size(10);
     group.bench_function("additions_experiment_10k", |b| {
-        b.iter(|| black_box(AdditionsExperiment::scaled(10_000, 1).run()))
+        b.iter(|| black_box(AdditionsExperiment::scaled(10_000, 1).run()));
     });
     group.bench_function("dna_experiment_20k", |b| {
-        b.iter(|| black_box(dna_experiment(20_000).run()))
+        b.iter(|| black_box(dna_experiment(20_000).run()));
     });
     group.bench_function("dna_experiment_200k_serial", |b| {
         let exp = dna_experiment(200_000).with_batch(BatchPolicy::SERIAL);
-        b.iter(|| black_box(exp.run()))
+        b.iter(|| black_box(exp.run()));
     });
     group.bench_function("dna_experiment_200k_parallel", |b| {
         let exp = dna_experiment(200_000).with_batch(BatchPolicy::auto());
-        b.iter(|| black_box(exp.run()))
+        b.iter(|| black_box(exp.run()));
     });
     group.bench_function("projections_only", |b| {
         let conv = ConventionalExecutor::new();
@@ -43,7 +43,7 @@ fn bench_experiments(c: &mut Criterion) {
         b.iter(|| {
             black_box(conv.project_dna(0.5));
             black_box(cim.project_dna(0.5));
-        })
+        });
     });
     group.finish();
 }

@@ -12,7 +12,7 @@ fn bench_index_build(c: &mut Criterion) {
     for len in [10_000usize, 100_000] {
         group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, &len| {
             let genome = Genome::generate(len, 1);
-            b.iter(|| black_box(SortedKmerIndex::build(&genome, 16)))
+            b.iter(|| black_box(SortedKmerIndex::build(&genome, 16)));
         });
     }
     group.finish();
@@ -35,7 +35,7 @@ fn bench_read_mapping(c: &mut Criterion) {
             k += 1;
             let mut trace = MemoryTrace::new();
             black_box(index.map_read(&genome, read, &mut trace))
-        })
+        });
     });
 }
 
@@ -57,14 +57,14 @@ fn bench_cache_sim(c: &mut Criterion) {
         b.iter(|| {
             let mut cache = CacheSim::new(CacheConfig::table1_8kb());
             black_box(cache.run_trace(&trace))
-        })
+        });
     });
 }
 
 fn bench_additions(c: &mut Criterion) {
     c.bench_function("additions/checksum_100k", |b| {
         let w = AdditionWorkload::scaled(100_000, 5);
-        b.iter(|| black_box(w.checksum()))
+        b.iter(|| black_box(w.checksum()));
     });
 }
 

@@ -24,8 +24,7 @@ fn main() {
     let args = Args::capture();
     let threads: usize = args
         .value("--threads")
-        .map(|v| v.parse().expect("--threads takes an integer"))
-        .unwrap_or(1);
+        .map_or(1, |v| v.parse().expect("--threads takes an integer"));
     let p = DeviceParams::table1_cim();
     let mut csv = String::from("junction,bias,n,i_one_a,i_zero_a,margin\n");
 
@@ -101,13 +100,13 @@ fn main() {
                     pt.margin
                 ));
             }
-            if *name != "CRS" {
+            if *name == "CRS" {
+                println!("{name:<10}   (CRS senses differentially: I(0) ≫ I(1) is the signal)");
+            } else {
                 match max_readable_size(points, 0.1) {
                     Some(n) => println!("{name:<10}   readable (margin ≥ 0.1) up to n = {n}"),
                     None => println!("{name:<10}   never readable at these sizes"),
                 }
-            } else {
-                println!("{name:<10}   (CRS senses differentially: I(0) ≫ I(1) is the signal)");
             }
         }
     }

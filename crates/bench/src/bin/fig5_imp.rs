@@ -52,7 +52,7 @@ fn main() {
     println!("steps per IMP: 2 (init Z to '1', apply (V_q, V_p))\n");
     println!("{:>3} {:>3} {:>8} {:>26}", "p", "q", "p IMP q", "cost");
     for (p, q) in [(false, false), (false, true), (true, false), (true, true)] {
-        let mut gate = CrsImp::new(device.clone());
+        let mut gate = CrsImp::new(&device);
         let out = gate.imp(p, q);
         let cost = gate.cost();
         println!(

@@ -43,4 +43,4 @@ mod mapper;
 pub mod queries;
 
 pub use graph::{Graph, GraphBuilder, Node, Op, TensorId};
-pub use mapper::{CompiledPlan, Mapper, PlacedOp};
+pub use mapper::{CompiledPlan, MapError, Mapper, PlacedOp};

@@ -20,6 +20,74 @@ pub struct Mapper {
     pub tech: MemristorTech,
 }
 
+/// Why a graph cannot be *legally* mapped onto a [`Mapper`] budget.
+///
+/// [`Mapper::compile`] is a cost model and will happily produce a plan
+/// for an illegal mapping (its `.max(1)` clamps quietly pretend one lane
+/// always fits); [`Mapper::check`] / [`Mapper::compile_checked`] reject
+/// those graphs with a diagnostic instead.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MapError {
+    /// One lane of a node needs more devices than the node's share of
+    /// the capacity at its BSP level — the plan would schedule lanes on
+    /// devices that do not exist.
+    CapacityExceeded {
+        /// The unmappable node's tensor.
+        tensor: TensorId,
+        /// Its op mnemonic.
+        op: String,
+        /// Its BSP level.
+        level: usize,
+        /// Devices one lane of the op requires.
+        devices_needed: u64,
+        /// Devices the level share actually offers it.
+        share: u64,
+    },
+    /// A node reads the same tensor through two operand ports. Operand
+    /// tensors live in crossbar columns; both ports would address the
+    /// same columns and the in-place IMPLY sequences would clobber the
+    /// shared operand mid-op.
+    OperandColumnConflict {
+        /// The conflicting node's tensor.
+        tensor: TensorId,
+        /// Its op mnemonic.
+        op: String,
+        /// The tensor wired into more than one operand port.
+        operand: TensorId,
+    },
+}
+
+impl std::fmt::Display for MapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapError::CapacityExceeded {
+                tensor,
+                op,
+                level,
+                devices_needed,
+                share,
+            } => write!(
+                f,
+                "node t{} ({op}, level {level}) needs {devices_needed} devices per lane \
+                 but its level share is only {share}",
+                tensor.0
+            ),
+            MapError::OperandColumnConflict {
+                tensor,
+                op,
+                operand,
+            } => write!(
+                f,
+                "node t{} ({op}) reads tensor t{} through two operand ports; both map \
+                 to the same crossbar columns (insert an explicit copy)",
+                tensor.0, operand.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
 /// One scheduled node.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PlacedOp {
@@ -124,6 +192,66 @@ impl Mapper {
         }
     }
 
+    /// Checks that `graph` can be *legally* mapped onto this budget:
+    /// every costed node's unit fits its level share (no lanes scheduled
+    /// onto devices that don't exist) and no node reads one tensor
+    /// through two operand ports (no register-to-column conflict).
+    pub fn check(&self, graph: &Graph) -> Result<(), MapError> {
+        for (i, node) in graph.nodes().iter().enumerate() {
+            if self.unit_cost(&node.op, graph.bits()).is_none() {
+                continue;
+            }
+            for (k, operand) in node.inputs.iter().enumerate() {
+                if node.inputs[..k].contains(operand) {
+                    return Err(MapError::OperandColumnConflict {
+                        tensor: TensorId(i),
+                        op: node.op.mnemonic().to_string(),
+                        operand: *operand,
+                    });
+                }
+            }
+        }
+        let levels = assign_levels(graph.nodes());
+        let max_level = levels.iter().copied().max().unwrap_or(0);
+        for level in 0..=max_level {
+            let member_ids: Vec<usize> = (0..graph.nodes().len())
+                .filter(|&i| levels[i] == level)
+                .filter(|&i| self.unit_cost(&graph.nodes()[i].op, graph.bits()).is_some())
+                .collect();
+            if member_ids.is_empty() {
+                continue;
+            }
+            let share = self.capacity() / member_ids.len() as u64;
+            for &i in &member_ids {
+                let unit = self
+                    .unit_cost(&graph.nodes()[i].op, graph.bits())
+                    .expect("filtered to costed ops");
+                if unit.devices as u64 > share {
+                    return Err(MapError::CapacityExceeded {
+                        tensor: TensorId(i),
+                        op: graph.nodes()[i].op.mnemonic().to_string(),
+                        level,
+                        devices_needed: unit.devices as u64,
+                        share,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// [`Mapper::check`] followed by [`Mapper::compile`]: the compiler's
+    /// verified lowering path. Prefer this over bare `compile` anywhere a
+    /// graph's legality is not already established.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`MapError`] found, naming the offending node.
+    pub fn compile_checked(&self, graph: &Graph) -> Result<CompiledPlan, MapError> {
+        self.check(graph)?;
+        Ok(self.compile(graph))
+    }
+
     /// Schedules `graph`, returning the plan.
     ///
     /// Model (documented in DESIGN.md): nodes execute level by level
@@ -131,6 +259,10 @@ impl Mapper {
     /// level's ops; lanes beyond an op's share run as sequential waves;
     /// a level's latency is its slowest op; reductions run `⌈log₂ n⌉`
     /// sequential tree stages.
+    ///
+    /// `compile` is a pure cost model: it does **not** reject illegal
+    /// mappings (see [`MapError`]); use [`Mapper::compile_checked`] when
+    /// legality matters.
     pub fn compile(&self, graph: &Graph) -> CompiledPlan {
         let levels = assign_levels(graph.nodes());
         let max_level = levels.iter().copied().max().unwrap_or(0);
@@ -313,6 +445,49 @@ mod tests {
         };
         assert_eq!(lvl("add"), lvl("xor"));
         assert_eq!(lvl("and"), lvl("add") + 1);
+    }
+
+    #[test]
+    fn check_accepts_legal_graphs() {
+        let graph = count_graph(64);
+        assert_eq!(Mapper::paper_tile().check(&graph), Ok(()));
+        let plan = Mapper::paper_tile().compile_checked(&graph).expect("legal");
+        assert_eq!(plan, Mapper::paper_tile().compile(&graph));
+    }
+
+    #[test]
+    fn check_rejects_units_larger_than_their_share() {
+        // An 8-bit eq needs 4 comparators (13 devices) + 4 tree flags =
+        // 56 devices per lane; a 16-device tile cannot host one lane.
+        let graph = count_graph(64);
+        let err = Mapper::with_budget(16, 1).check(&graph).unwrap_err();
+        match err {
+            MapError::CapacityExceeded {
+                op,
+                devices_needed,
+                share,
+                ..
+            } => {
+                assert!(devices_needed > share, "{op}: {devices_needed} vs {share}");
+            }
+            other => panic!("expected CapacityExceeded, got {other:?}"),
+        }
+        // …and compile() silently produces a plan for the same graph.
+        let _ = Mapper::with_budget(16, 1).compile(&graph);
+    }
+
+    #[test]
+    fn check_rejects_operand_column_conflicts() {
+        let mut b = GraphBuilder::new(8);
+        let x = b.input(8);
+        let doubled = b.add(x, x); // both ports read x's columns
+        let graph = b.finish(vec![doubled]);
+        let err = Mapper::paper_tile().check(&graph).unwrap_err();
+        assert!(
+            matches!(&err, MapError::OperandColumnConflict { operand, .. } if *operand == x),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("two operand ports"), "{err}");
     }
 
     #[test]

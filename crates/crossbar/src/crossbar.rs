@@ -498,15 +498,14 @@ impl<C: Cell> CellOps for C {
 
     fn sense_threshold(&self, v_read: Voltage) -> Current {
         let p = self.params();
-        match self.junction() {
+        if self.junction() == JunctionKind::Crs {
             // Differential sensing: the ON-window current step is roughly
             // v/(2·r_on); trigger at a quarter of it.
-            JunctionKind::Crs => v_read / (p.r_on * 8.0),
-            _ => {
-                let i_hi = v_read / p.r_on;
-                let i_lo = v_read / p.r_off;
-                Current::new((i_hi.get() * i_lo.get()).sqrt())
-            }
+            v_read / (p.r_on * 8.0)
+        } else {
+            let i_hi = v_read / p.r_on;
+            let i_lo = v_read / p.r_off;
+            Current::new((i_hi.get() * i_lo.get()).sqrt())
         }
     }
 

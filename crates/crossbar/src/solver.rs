@@ -108,7 +108,7 @@ impl SolverConfig {
     /// resolves `0` to the OS parallelism, never exceeds the line count.
     fn workers(&self, lines: usize) -> usize {
         let requested = if self.threads == 0 {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
+            std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
         } else {
             self.threads
         };

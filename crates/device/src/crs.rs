@@ -372,9 +372,7 @@ mod tests {
         let i_stored = stored.current_at(stored.read_voltage());
         assert!(
             i_on.get() / i_stored.get() > 10.0,
-            "ON/stored read margin too small: {} vs {}",
-            i_on,
-            i_stored
+            "ON/stored read margin too small: {i_on} vs {i_stored}"
         );
     }
 

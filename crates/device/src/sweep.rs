@@ -94,10 +94,10 @@ mod tests {
     #[test]
     fn waveform_is_triangular_and_closed() {
         let s = IvSweep::new(Voltage::from_volts(2.0), 4, Time::from_nano_seconds(1.0));
-        let vs: Vec<f64> = s.waveform().map(|v| v.as_volts()).collect();
+        let vs: Vec<f64> = s.waveform().map(cim_units::Voltage::as_volts).collect();
         assert_eq!(vs.len(), 16);
-        let peak = vs.iter().cloned().fold(f64::MIN, f64::max);
-        let trough = vs.iter().cloned().fold(f64::MAX, f64::min);
+        let peak = vs.iter().copied().fold(f64::MIN, f64::max);
+        let trough = vs.iter().copied().fold(f64::MAX, f64::min);
         assert!((peak - 2.0).abs() < 1e-12);
         assert!((trough + 2.0).abs() < 1e-12);
         assert!(vs.last().expect("nonempty").abs() < 1e-12);

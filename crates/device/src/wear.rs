@@ -67,12 +67,12 @@ impl<D: Memristor> WearTracking<D> {
     pub fn try_apply(&mut self, v: Voltage, dt: Time) -> Result<(), DeviceError> {
         self.inner.apply(v, dt);
         let now_lrs = self.inner.is_lrs();
-        if now_lrs != self.was_lrs {
+        if now_lrs == self.was_lrs {
+            self.age += dt;
+        } else {
             self.cycles += 1;
             self.age = Time::ZERO;
             self.was_lrs = now_lrs;
-        } else {
-            self.age += dt;
         }
         if self.cycles > self.rated_cycles {
             return Err(DeviceError::EnduranceExhausted {

@@ -164,7 +164,7 @@ impl ImplyAdder {
         engine.run(
             &self.compiled,
             &in_slices[..2 * bits],
-            &mut out_slices[..bits + 1],
+            &mut out_slices[..=bits],
         );
         let mut mo = [0u64; 64];
         let kept = (bits + 1).min(64);
@@ -217,7 +217,7 @@ impl CrsAdder {
     }
 
     fn imp(&mut self, p: bool, q: bool) -> bool {
-        let mut gate = CrsImp::new(self.params.clone());
+        let mut gate = CrsImp::new(&self.params);
         self.imp_ops += 1;
         gate.imp(p, q)
     }
@@ -426,7 +426,7 @@ mod tests {
     #[test]
     fn tc_adder_beats_naive_crs_composition() {
         let mut naive = CrsAdder::new(32, DeviceParams::table1_cim());
-        let _ = naive.add(123456, 654321);
+        let _ = naive.add(123_456, 654_321);
         let naive_cost = naive.cost();
         let tc = TcAdderModel::new(32).cost(
             Time::from_pico_seconds(200.0),

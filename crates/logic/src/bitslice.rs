@@ -393,8 +393,8 @@ mod tests {
         let mut m = [0u64; 64];
         for row in &mut m {
             state = state
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
             *row = state;
         }
         let original = m;

@@ -59,7 +59,7 @@ pub struct CrsImp {
 
 impl CrsImp {
     /// Creates the gate for a device technology.
-    pub fn new(params: DeviceParams) -> Self {
+    pub fn new(params: &DeviceParams) -> Self {
         let cell = Crs::new_one(params.clone());
         // The cell-level write point: above Vth2 ≈ 2·v_reset.
         let write_voltage = params.write_voltage * 1.5;
@@ -116,7 +116,7 @@ mod tests {
     #[test]
     fn imp_truth_table() {
         for (p, q) in [(false, false), (false, true), (true, false), (true, true)] {
-            let mut gate = CrsImp::new(DeviceParams::table1_cim());
+            let mut gate = CrsImp::new(&DeviceParams::table1_cim());
             let out = gate.imp(p, q);
             assert_eq!(out, !p || q, "{p} IMP {q}");
             assert_eq!(gate.result(), Some(!p || q));
@@ -125,7 +125,7 @@ mod tests {
 
     #[test]
     fn imp_is_two_steps_on_one_device() {
-        let mut gate = CrsImp::new(DeviceParams::table1_cim());
+        let mut gate = CrsImp::new(&DeviceParams::table1_cim());
         let _ = gate.imp(true, false);
         let cost = gate.cost();
         assert_eq!(cost.steps, 2);
@@ -136,7 +136,7 @@ mod tests {
 
     #[test]
     fn gate_is_reusable_across_operations() {
-        let mut gate = CrsImp::new(DeviceParams::table1_cim());
+        let mut gate = CrsImp::new(&DeviceParams::table1_cim());
         for (p, q) in [(true, false), (false, false), (true, true), (true, false)] {
             assert_eq!(gate.imp(p, q), !p || q);
         }

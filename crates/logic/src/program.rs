@@ -57,6 +57,29 @@ pub enum ProgramError {
         /// The register implied onto itself.
         reg: Reg,
     },
+    /// An `IMP(p, q)` antecedent `p` is neither an input nor written by
+    /// any earlier step. The engines clear scratch to 0 before running,
+    /// so such a read always sees stale `false` and the step computes an
+    /// input-independent constant — almost certainly a sequencing bug.
+    /// (Reading a cleared register as the *target* is legal: that is the
+    /// 1-step NOT idiom, `q ← ¬p ∨ 0`.)
+    UninitializedRead {
+        /// The antecedent register read before any definition.
+        reg: Reg,
+        /// Index of the offending step.
+        step: usize,
+    },
+    /// A step writes an input register. Under the broadcast (CIM) model
+    /// the operand columns *are* the stored data shared by every row;
+    /// overwriting one is a write-after-read clobber that corrupts the
+    /// operand store for the rest of the program and for every later
+    /// program run against the same columns.
+    InputClobbered {
+        /// The input register being overwritten.
+        reg: Reg,
+        /// Index of the offending step.
+        step: usize,
+    },
 }
 
 impl std::fmt::Display for ProgramError {
@@ -80,6 +103,16 @@ impl std::fmt::Display for ProgramError {
             ProgramError::SelfImplication { reg } => {
                 write!(f, "IMP(r{reg}, r{reg}) requires two distinct devices")
             }
+            ProgramError::UninitializedRead { reg, step } => write!(
+                f,
+                "step {step} reads register r{reg} as an IMP antecedent, but r{reg} is \
+                 neither an input nor written by any earlier step (it would read stale 0)"
+            ),
+            ProgramError::InputClobbered { reg, step } => write!(
+                f,
+                "step {step} overwrites input register r{reg}; operand columns are \
+                 read-only under the broadcast model (copy the input first)"
+            ),
         }
     }
 }
@@ -156,11 +189,15 @@ impl Program {
         out.extend(self.outputs.iter().map(|&r| scratch[r]));
     }
 
-    /// Checks structural well-formedness: every step/input/output
-    /// register in range, inputs pairwise distinct and disjoint from
-    /// outputs, no self-implication. [`ProgramBuilder::finish`] and the
-    /// bit-slice compiler ([`crate::CompiledProgram::compile`]) enforce
-    /// this, so a `Program` reaching any engine is known-executable.
+    /// Checks structural well-formedness and first-order dataflow:
+    /// every step/input/output register in range, inputs pairwise
+    /// distinct and disjoint from outputs, no self-implication, no IMP
+    /// antecedent read before its first definition
+    /// ([`ProgramError::UninitializedRead`]), and no step writing an
+    /// input register ([`ProgramError::InputClobbered`]).
+    /// [`ProgramBuilder::finish`] and the bit-slice compiler
+    /// ([`crate::CompiledProgram::compile`]) enforce this, so a
+    /// `Program` reaching any engine is known-executable.
     pub fn validate(&self) -> Result<(), ProgramError> {
         let in_range = |reg: Reg, site: &'static str| {
             if reg >= self.registers {
@@ -196,6 +233,30 @@ impl Program {
             if self.inputs.contains(&reg) {
                 return Err(ProgramError::InputIsOutput { reg });
             }
+        }
+        // Forward dataflow pass. Register state starts as "defined" only
+        // for inputs; a FALSE or IMP target defines its register. An IMP
+        // antecedent must be defined (target reads are legal: engines
+        // clear scratch, so `q ← ¬p ∨ 0` is the 1-step NOT idiom), and no
+        // step may target an input register (operand columns are the
+        // stored data under the broadcast model).
+        let mut defined = vec![false; self.registers];
+        let mut is_input = vec![false; self.registers];
+        for &reg in &self.inputs {
+            defined[reg] = true;
+            is_input[reg] = true;
+        }
+        for (i, &step) in self.steps.iter().enumerate() {
+            if let Step::Imply(p, _) = step {
+                if !defined[p] {
+                    return Err(ProgramError::UninitializedRead { reg: p, step: i });
+                }
+            }
+            let q = step.target();
+            if is_input[q] {
+                return Err(ProgramError::InputClobbered { reg: q, step: i });
+            }
+            defined[q] = true;
         }
         Ok(())
     }
@@ -238,6 +299,21 @@ impl ProgramBuilder {
         }
         let r = self.next;
         self.next += 1;
+        r
+    }
+
+    /// Allocates a scratch register holding a *program-defined* logic 0.
+    ///
+    /// [`ProgramBuilder::alloc`] relies on the engines' scratch-clear for
+    /// its initial 0, which the static verifier treats as "no data"; use
+    /// `zero` when the 0 itself is an operand (e.g. the antecedent of an
+    /// IMP), so the program carries its own `FALSE` definition. Recycled
+    /// registers already get one from `alloc`; fresh ones get it here.
+    pub fn zero(&mut self) -> Reg {
+        let r = self.alloc();
+        if !matches!(self.steps.last(), Some(Step::False(q)) if *q == r) {
+            self.steps.push(Step::False(r));
+        }
         r
     }
 
@@ -402,7 +478,7 @@ mod tests {
     #[test]
     fn nand_gate() {
         assert_eq!(
-            truth_table_2(|b, p, q| b.nand(p, q)),
+            truth_table_2(super::ProgramBuilder::nand),
             vec![true, true, true, false]
         );
     }
@@ -410,7 +486,7 @@ mod tests {
     #[test]
     fn or_gate() {
         assert_eq!(
-            truth_table_2(|b, p, q| b.or(p, q)),
+            truth_table_2(super::ProgramBuilder::or),
             vec![false, true, true, true]
         );
     }
@@ -418,7 +494,7 @@ mod tests {
     #[test]
     fn and_gate() {
         assert_eq!(
-            truth_table_2(|b, p, q| b.and(p, q)),
+            truth_table_2(super::ProgramBuilder::and),
             vec![false, false, false, true]
         );
     }
@@ -426,7 +502,7 @@ mod tests {
     #[test]
     fn xor_gate() {
         assert_eq!(
-            truth_table_2(|b, p, q| b.xor(p, q)),
+            truth_table_2(super::ProgramBuilder::xor),
             vec![false, true, true, false]
         );
     }
@@ -614,5 +690,102 @@ mod tests {
         let mut b = ProgramBuilder::new();
         let p = b.input();
         let _ = b.finish(vec![p]);
+    }
+
+    #[test]
+    fn validate_rejects_uninitialized_antecedent_read() {
+        // r1 is neither an input nor written before step 0 reads it.
+        let program = Program {
+            steps: vec![Step::Imply(1, 2)],
+            registers: 3,
+            inputs: vec![0],
+            outputs: vec![2],
+        };
+        assert_eq!(
+            program.validate(),
+            Err(ProgramError::UninitializedRead { reg: 1, step: 0 })
+        );
+        // Defining r1 first (even with FALSE) makes the same read legal.
+        let fixed = Program {
+            steps: vec![Step::False(1), Step::Imply(1, 2)],
+            registers: 3,
+            inputs: vec![0],
+            outputs: vec![2],
+        };
+        assert_eq!(fixed.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_accepts_cleared_scratch_as_imply_target() {
+        // The 1-step NOT idiom: target read of engine-cleared scratch.
+        let program = Program {
+            steps: vec![Step::Imply(0, 1)],
+            registers: 2,
+            inputs: vec![0],
+            outputs: vec![1],
+        };
+        assert_eq!(program.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_writes_to_input_registers() {
+        let false_clobber = Program {
+            steps: vec![Step::False(0)],
+            registers: 2,
+            inputs: vec![0],
+            outputs: vec![1],
+        };
+        assert_eq!(
+            false_clobber.validate(),
+            Err(ProgramError::InputClobbered { reg: 0, step: 0 })
+        );
+        let imply_clobber = Program {
+            steps: vec![Step::Imply(0, 1)],
+            registers: 2,
+            inputs: vec![0, 1],
+            outputs: vec![],
+        };
+        assert_eq!(
+            imply_clobber.validate(),
+            Err(ProgramError::InputClobbered { reg: 1, step: 0 })
+        );
+    }
+
+    #[test]
+    fn zero_emits_exactly_one_false_per_register() {
+        let mut b = ProgramBuilder::new();
+        let p = b.input();
+        // Fresh register: one explicit FALSE.
+        let z = b.zero();
+        let t = b.not(p);
+        b.recycle(t);
+        // Recycled register: alloc's clearing FALSE suffices; no double.
+        let z2 = b.zero();
+        assert_eq!(z2, t);
+        let falses = b
+            .steps
+            .iter()
+            .filter(|s| matches!(s, Step::False(q) if *q == z2))
+            .count();
+        assert_eq!(falses, 1, "recycled zero must not emit a second FALSE");
+        let fresh_falses = b
+            .steps
+            .iter()
+            .filter(|s| matches!(s, Step::False(q) if *q == z))
+            .count();
+        assert_eq!(fresh_falses, 1, "fresh zero gets exactly one FALSE");
+    }
+
+    #[test]
+    fn zero_is_a_defined_antecedent() {
+        // not(zero) = 1 constant, as used by synthesized Const exprs.
+        let mut b = ProgramBuilder::new();
+        let _p = b.input();
+        let z = b.zero();
+        let one = b.not(z);
+        let program = b.finish(vec![one]);
+        assert_eq!(program.validate(), Ok(()));
+        assert_eq!(program.evaluate(&[false]), vec![true]);
+        assert_eq!(program.evaluate(&[true]), vec![true]);
     }
 }

@@ -164,7 +164,7 @@ impl RowParallelEngine {
                 let mut in_slices = vec![0u64; compiled.num_inputs()];
                 let mut out_slices = vec![0u64; compiled.num_outputs()];
                 for group in inputs_per_row.chunks(LANES) {
-                    in_slices.iter_mut().for_each(|s| *s = 0);
+                    in_slices.fill(0);
                     for (lane, row) in group.iter().enumerate() {
                         assert_eq!(row.len(), compiled.num_inputs(), "input arity mismatch");
                         for (slice, &bit) in in_slices.iter_mut().zip(row) {
@@ -192,7 +192,7 @@ impl RowParallelEngine {
         let (energy, devices) = match &self.backend {
             Backend::Electrical(rows) => (
                 rows.iter().map(|r| r.cost().energy).sum(),
-                rows.iter().map(|r| r.registers()).sum(),
+                rows.iter().map(super::engine::ImplyEngine::registers).sum(),
             ),
             Backend::BitSliced(sliced) => {
                 (sliced.energy, sliced.compiled.registers() * sliced.rows)

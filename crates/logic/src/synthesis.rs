@@ -104,9 +104,12 @@ pub fn synthesize(expr: &Expr) -> Program {
 
 fn compile(expr: &Expr, b: &mut ProgramBuilder, vars: &[Reg]) -> Reg {
     match expr {
-        Expr::Const(false) => b.alloc(),
+        // Constants carry their own FALSE definition (`zero`, not `alloc`)
+        // so downstream gates never read an engine-cleared register as an
+        // antecedent — the static verifier flags that as uninitialized.
+        Expr::Const(false) => b.zero(),
         Expr::Const(true) => {
-            let zero = b.alloc();
+            let zero = b.zero();
             // IMP with itself as antecedent… needs a distinct reg: ¬0 = 1.
             let one = b.not(zero);
             b.recycle(zero);

@@ -12,7 +12,7 @@ fn arb_expr(vars: usize) -> impl Strategy<Value = Expr> {
     ];
     leaf.prop_recursive(4, 24, 2, |inner| {
         prop_oneof![
-            inner.clone().prop_map(|e| e.not()),
+            inner.clone().prop_map(cim_logic::Expr::not),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.xor(b)),

@@ -59,7 +59,7 @@ impl BatchPolicy {
     /// inline.
     pub fn effective_threads(&self, items: usize) -> usize {
         let requested = if self.threads == 0 {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
+            std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
         } else {
             self.threads
         };
@@ -344,6 +344,8 @@ mod tests {
         ledger
     }
 
+    // `&f64` is dictated by the `par_charge_chunks` callback signature.
+    #[allow(clippy::trivially_copy_pass_by_ref)]
     fn charge_one(ledger: &mut CostLedger, x: &f64) {
         use cim_units::{Component, Energy, Phase, Time};
         ledger.charge(

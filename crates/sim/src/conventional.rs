@@ -96,7 +96,7 @@ impl ConventionalExecutor {
         self.project_dna_attributed(hit_ratio).0
     }
 
-    fn additions_attributed(&self, workload: &AdditionWorkload) -> (RunReport, CostLedger) {
+    fn additions_attributed(self, workload: &AdditionWorkload) -> (RunReport, CostLedger) {
         let machine = ConventionalMachine::math_paper(workload.n_ops);
         let mut ledger = CostLedger::new();
         machine.charge_batched(&mut ledger, Phase::Add, workload.n_ops);

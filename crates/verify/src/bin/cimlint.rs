@@ -1,0 +1,130 @@
+//! `cimlint` — the static-verification gate for shipped CIM artifacts.
+//!
+//! ```text
+//! cimlint                  lint every shipped program and graph
+//! cimlint --deny-warnings  CI mode: warnings fail too
+//! cimlint --fixtures       run the five seeded-defect fixtures and
+//!                          require each to be rejected
+//! cimlint --list           list the registry and exit
+//! ```
+//!
+//! Exit status: 0 when the gate passes, 1 on findings (or a fixture the
+//! verifier failed to reject), 2 on usage errors.
+
+use std::process::ExitCode;
+
+use cim_device::DeviceParams;
+use cim_verify::{
+    certify_plan, check_graph_mapping, check_program_mapping, removable_steps, seeded_defects,
+    shipped_graphs, shipped_programs, verify_program, CostCertificate, FabricSpec,
+};
+
+fn lint_shipped(deny_warnings: bool) -> bool {
+    let spec = FabricSpec::paper();
+    let device = DeviceParams::table1_cim();
+    let mut ok = true;
+    for entry in shipped_programs() {
+        let mut report = verify_program(entry.name, &entry.program);
+        report.merge(check_program_mapping(
+            entry.name,
+            &entry.program,
+            entry.rows,
+            &spec,
+        ));
+        let cert = CostCertificate::broadcast(&entry.program, &device, entry.rows);
+        let cost = cert.to_cost();
+        println!(
+            "{report}  [{} rows; certified {cost}; {} removable step(s)]",
+            entry.rows,
+            removable_steps(&entry.program)
+        );
+        ok &= report.passes(deny_warnings);
+    }
+    for entry in shipped_graphs() {
+        let mut report = check_graph_mapping(entry.name, &entry.graph, &spec);
+        // On Err, compile_checked repeats check_graph_mapping's verdict;
+        // the diagnostics above already carry it.
+        if let Ok(plan) = spec.mapper.compile_checked(&entry.graph) {
+            report.merge(certify_plan(entry.name, &plan));
+        }
+        println!("{report}");
+        ok &= report.passes(deny_warnings);
+    }
+    ok
+}
+
+fn run_fixtures() -> bool {
+    let mut ok = true;
+    for fixture in seeded_defects() {
+        let report = fixture.verify();
+        let rejected = fixture.rejected_as_expected();
+        println!(
+            "{}: {} (expected code `{}`)",
+            fixture.name(),
+            if rejected { "rejected" } else { "NOT REJECTED" },
+            fixture.expected_code()
+        );
+        for d in &report.diagnostics {
+            println!("  {d}");
+        }
+        ok &= rejected;
+    }
+    ok
+}
+
+fn list_registry() {
+    for entry in shipped_programs() {
+        println!(
+            "program  {:<22} {:>4} steps {:>4} registers {:>3} rows",
+            entry.name,
+            entry.program.len(),
+            entry.program.registers,
+            entry.rows
+        );
+    }
+    for entry in shipped_graphs() {
+        println!(
+            "graph    {:<22} {:>4} nodes",
+            entry.name,
+            entry.graph.nodes().len()
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let mut deny_warnings = false;
+    let mut fixtures = false;
+    let mut list = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--deny-warnings" => deny_warnings = true,
+            "--fixtures" => fixtures = true,
+            "--list" => list = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: cimlint [--deny-warnings] [--fixtures] [--list]\n\
+                     lints every shipped program/graph; see crate docs"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("cimlint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if list {
+        list_registry();
+        return ExitCode::SUCCESS;
+    }
+    let ok = if fixtures {
+        run_fixtures()
+    } else {
+        lint_shipped(deny_warnings)
+    };
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

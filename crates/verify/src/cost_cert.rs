@@ -1,0 +1,248 @@
+//! Compile-time cost certification.
+//!
+//! PR 2 made the runtime conserve cost: every joule/picosecond a run
+//! charges lands in exactly one [`CostLedger`] cell. This module turns
+//! that into a *compile-time contract*: a [`CostCertificate`] derives the
+//! broadcast cost law — latency = pulse × steps, energy = write-energy ×
+//! steps × rows — in closed form from the program text alone, and the
+//! test suite asserts the dynamic engine's ledger equals the certificate
+//! **bit for bit** (same `f64`s, not approximately). The arithmetic here
+//! deliberately mirrors the engine's expression shapes and accumulation
+//! order, because IEEE-754 addition is not associative.
+
+use serde::{Deserialize, Serialize};
+
+use cim_compiler::CompiledPlan;
+use cim_device::DeviceParams;
+use cim_logic::{ImplyParams, LogicCost, Program};
+use cim_units::{Component, CostLedger, Energy, Phase, Time};
+
+use crate::diagnostics::{Diagnostic, Report};
+
+/// Closed-form cost bound of one program under the row-broadcast model,
+/// matching `cim_logic::RowParallelEngine`'s bit-sliced accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostCertificate {
+    /// Broadcast steps of one execution (= program length).
+    pub steps: u64,
+    /// Devices occupied: one register file per row.
+    pub devices: usize,
+    /// Rows executing in lock-step.
+    pub rows: usize,
+    /// Step pulse duration (from [`ImplyParams::for_device`]).
+    pub pulse: Time,
+    /// Nominal energy of one device write.
+    pub write_energy: Energy,
+}
+
+impl CostCertificate {
+    /// Certifies `program` broadcast across `rows` rows of `device`s.
+    pub fn broadcast(program: &Program, device: &DeviceParams, rows: usize) -> Self {
+        let params = ImplyParams::for_device(device);
+        Self {
+            steps: program.len() as u64,
+            devices: program.registers * rows,
+            rows,
+            pulse: params.pulse,
+            write_energy: device.write_energy,
+        }
+    }
+
+    /// The certified cost after `runs` consecutive executions.
+    ///
+    /// Replicates the dynamic accounting exactly: the engine adds one
+    /// energy increment per `run` call (so the energy is a *loop* of
+    /// `f64` additions, reproduced here term by term) and computes
+    /// latency once from the accumulated step counter.
+    pub fn after_runs(&self, runs: u64) -> LogicCost {
+        let increment = self.write_energy * (self.steps as usize * self.rows) as f64;
+        let mut energy = Energy::ZERO;
+        for _ in 0..runs {
+            energy += increment;
+        }
+        let steps = self.steps * runs;
+        LogicCost {
+            steps,
+            devices: self.devices,
+            latency: self.pulse * steps as f64,
+            energy,
+            component: Component::ImplyStep,
+        }
+    }
+
+    /// The certified cost of a single execution.
+    pub fn to_cost(&self) -> LogicCost {
+        self.after_runs(1)
+    }
+
+    /// The ledger a run charging this block `invocations` times under
+    /// `phase` must produce (via [`LogicCost::charge`]).
+    pub fn ledger(&self, phase: Phase, invocations: u64) -> CostLedger {
+        let mut ledger = CostLedger::new();
+        self.to_cost().charge(&mut ledger, phase, invocations);
+        ledger
+    }
+
+    /// Checks a claimed cost against the certificate, reporting every
+    /// field that disagrees. Equality is exact — a bound that drifts by
+    /// one ULP is a broken conservation law, not a rounding error.
+    pub fn check_claim(&self, name: &str, claim: &LogicCost) -> Report {
+        let mut report = Report::new(name);
+        let actual = self.to_cost();
+        let mut mismatch = |field: &str, claimed: String, certified: String| {
+            report.push(Diagnostic::error(
+                "cost-claim-mismatch",
+                format!("claimed {field} {claimed} but the certificate derives {certified}"),
+            ));
+        };
+        if claim.steps != actual.steps {
+            mismatch("steps", claim.steps.to_string(), actual.steps.to_string());
+        }
+        if claim.devices != actual.devices {
+            mismatch(
+                "devices",
+                claim.devices.to_string(),
+                actual.devices.to_string(),
+            );
+        }
+        if claim.latency != actual.latency {
+            mismatch(
+                "latency",
+                claim.latency.to_string(),
+                actual.latency.to_string(),
+            );
+        }
+        if claim.energy != actual.energy {
+            mismatch(
+                "energy",
+                claim.energy.to_string(),
+                actual.energy.to_string(),
+            );
+        }
+        report
+    }
+}
+
+/// Re-derives a [`CompiledPlan`]'s roll-up totals from its per-node
+/// placements — in the mapper's canonical accumulation order — and
+/// reports any disagreement with the stored `total`.
+///
+/// This is the conservation law for the tensor-IR path: a plan whose
+/// totals cannot be reproduced from its own placements (hand-edited,
+/// mis-merged, or produced by a future mapper change that forgets a
+/// term) is rejected before anything is costed against it.
+pub fn certify_plan(name: &str, plan: &CompiledPlan) -> Report {
+    let mut report = Report::new(name);
+    let mut total = LogicCost::default();
+    let mut level = usize::MAX;
+    let mut level_latency = Time::ZERO;
+    for p in &plan.placed {
+        if p.level != level {
+            total.latency += level_latency;
+            level_latency = Time::ZERO;
+            level = p.level;
+        }
+        level_latency = level_latency.max(p.cost.latency);
+        total.energy += p.cost.energy;
+        total.steps += p.cost.steps;
+        total.devices = total.devices.max(p.cost.devices);
+    }
+    total.latency += level_latency;
+    if total.steps != plan.total.steps {
+        report.push(Diagnostic::error(
+            "plan-total-mismatch",
+            format!(
+                "plan total claims {} steps; its placements sum to {}",
+                plan.total.steps, total.steps
+            ),
+        ));
+    }
+    if total.energy != plan.total.energy {
+        report.push(Diagnostic::error(
+            "plan-total-mismatch",
+            format!(
+                "plan total claims {}; its placements sum to {}",
+                plan.total.energy, total.energy
+            ),
+        ));
+    }
+    if total.latency != plan.total.latency {
+        report.push(Diagnostic::error(
+            "plan-total-mismatch",
+            format!(
+                "plan total claims {} latency; its levels sum to {}",
+                plan.total.latency, total.latency
+            ),
+        ));
+    }
+    if total.devices != plan.total.devices {
+        report.push(Diagnostic::error(
+            "plan-total-mismatch",
+            format!(
+                "plan total claims {} devices; its placements peak at {}",
+                plan.total.devices, total.devices
+            ),
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_compiler::{queries, Mapper};
+    use cim_logic::{Comparator, RowParallelEngine};
+
+    #[test]
+    fn certificate_matches_dynamic_engine_bit_for_bit() {
+        let cmp = Comparator::new();
+        let program = cmp.eq_program();
+        let device = DeviceParams::table1_cim();
+        for rows in [1usize, 2, 64, 100] {
+            let cert = CostCertificate::broadcast(program, &device, rows);
+            let mut engine = RowParallelEngine::for_program_bitsliced(program, rows);
+            let inputs = vec![vec![true, false, true, false]; rows];
+            let _ = engine.run(program, &inputs);
+            assert_eq!(cert.to_cost(), engine.cost(), "{rows} rows");
+            // Multiple runs follow the same accumulation law.
+            let _ = engine.run(program, &inputs);
+            let _ = engine.run(program, &inputs);
+            assert_eq!(cert.after_runs(3), engine.cost(), "{rows} rows x3");
+        }
+    }
+
+    #[test]
+    fn certificate_ledger_matches_charged_ledger() {
+        let cmp = Comparator::new();
+        let device = DeviceParams::table1_cim();
+        let cert = CostCertificate::broadcast(cmp.eq_program(), &device, 64);
+        let mut dynamic = CostLedger::new();
+        cert.to_cost().charge(&mut dynamic, Phase::Map, 1000);
+        assert_eq!(cert.ledger(Phase::Map, 1000), dynamic);
+    }
+
+    #[test]
+    fn claim_checking_names_the_field() {
+        let cmp = Comparator::new();
+        let device = DeviceParams::table1_cim();
+        let cert = CostCertificate::broadcast(cmp.eq_program(), &device, 1);
+        let good = cert.to_cost();
+        assert!(cert.check_claim("cmp", &good).is_clean());
+        let mut bad = good;
+        bad.steps = 10;
+        let report = cert.check_claim("cmp", &bad);
+        assert!(report.has_code("cost-claim-mismatch"));
+        assert!(report.to_string().contains("steps"), "{report}");
+    }
+
+    #[test]
+    fn compiled_plans_conserve_their_totals() {
+        let graph = queries::select_count_eq(8, 64, 17);
+        let plan = Mapper::paper_tile().compile(&graph);
+        assert!(certify_plan("count-eq", &plan).is_clean());
+        // Corrupt the roll-up: the certificate notices.
+        let mut broken = plan;
+        broken.total.steps += 1;
+        assert!(certify_plan("count-eq", &broken).has_code("plan-total-mismatch"));
+    }
+}

@@ -1,0 +1,479 @@
+//! Dataflow analysis over IMPLY microprograms.
+//!
+//! The analysis is a forward abstract interpretation over the 4-point
+//! value lattice [`AbstractBit`] plus a backward liveness pass. Both are
+//! exact for this IR: programs are straight-line (no branches), so the
+//! abstract state before each step is the *meet over all executions*
+//! with no joins to lose precision — `Zero`/`One` means "this register
+//! holds that constant on every input".
+
+use cim_logic::{Program, Reg, Step};
+
+use crate::diagnostics::{Diagnostic, Report};
+
+/// Abstract value of one register at one program point.
+///
+/// `Cleared` is distinct from `Zero`: both read as logic 0, but a
+/// `Cleared` register carries no *program-defined* data — it holds the
+/// engine's pre-run scratch clear. Reading one as an IMP target is the
+/// legal 1-step NOT idiom; reading one as an IMP *antecedent* means the
+/// step computes an input-independent constant and is flagged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbstractBit {
+    /// Engine-cleared scratch: reads 0, but no step has defined it.
+    Cleared,
+    /// Provably 0 on every input, via a program-defined write.
+    Zero,
+    /// Provably 1 on every input.
+    One,
+    /// Input-dependent.
+    Unknown,
+}
+
+impl AbstractBit {
+    /// The value as a runtime bit, if it is input-independent.
+    pub fn as_const(self) -> Option<bool> {
+        match self {
+            AbstractBit::Cleared | AbstractBit::Zero => Some(false),
+            AbstractBit::One => Some(true),
+            AbstractBit::Unknown => None,
+        }
+    }
+
+    /// Whether a program-defined write (or input load) produced it.
+    pub fn is_defined(self) -> bool {
+        self != AbstractBit::Cleared
+    }
+
+    /// Transfer function of `q ← p IMP q = ¬p ∨ q`.
+    pub fn imp(p: AbstractBit, q: AbstractBit) -> AbstractBit {
+        match (p.as_const(), q.as_const()) {
+            // ¬0 ∨ q = 1, whatever q holds.
+            (Some(false), _) => AbstractBit::One,
+            // ¬1 ∨ q = q: the value (and definedness) of q is preserved.
+            (Some(true), _) => q,
+            // Unknown p: ¬p ∨ 1 = 1; otherwise the result follows p.
+            (None, Some(true)) => AbstractBit::One,
+            (None, _) => AbstractBit::Unknown,
+        }
+    }
+}
+
+/// Def/use chains of a program: which steps write and read each register.
+///
+/// `Imply(p, q)` *reads* both `p` and the old value of `q` (the result is
+/// `¬p ∨ q`) and writes `q`; `False(q)` reads nothing and writes `q`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DefUse {
+    /// Step indices writing each register, in program order.
+    pub defs: Vec<Vec<usize>>,
+    /// Step indices reading each register (antecedent or old-target).
+    pub uses: Vec<Vec<usize>>,
+}
+
+impl DefUse {
+    /// Builds the chains. Registers must be in range (see
+    /// [`Program::validate`]).
+    pub fn of(program: &Program) -> Self {
+        let mut defs = vec![Vec::new(); program.registers];
+        let mut uses = vec![Vec::new(); program.registers];
+        for (i, &step) in program.steps.iter().enumerate() {
+            match step {
+                Step::False(q) => defs[q].push(i),
+                Step::Imply(p, q) => {
+                    uses[p].push(i);
+                    uses[q].push(i);
+                    defs[q].push(i);
+                }
+            }
+        }
+        Self { defs, uses }
+    }
+}
+
+/// Backward liveness: `live[i]` is true iff step `i`'s write can reach an
+/// output. Removing any non-live step cannot change the program's
+/// observable results.
+pub fn live_steps(program: &Program) -> Vec<bool> {
+    let mut live_reg = vec![false; program.registers];
+    for &r in &program.outputs {
+        live_reg[r] = true;
+    }
+    let mut live = vec![false; program.steps.len()];
+    for (i, &step) in program.steps.iter().enumerate().rev() {
+        match step {
+            Step::False(q) => {
+                if live_reg[q] {
+                    live[i] = true;
+                    // FALSE fully defines q: older values are dead here.
+                    live_reg[q] = false;
+                }
+            }
+            Step::Imply(p, q) => {
+                if live_reg[q] {
+                    live[i] = true;
+                    live_reg[p] = true;
+                    // q stays live upstream: IMP reads its old value.
+                }
+            }
+        }
+    }
+    live
+}
+
+/// The abstract register file *before* each step, plus the final state.
+///
+/// `states[i]` is the state entering step `i`; `states[len]` is the state
+/// after the last step. Inputs start [`AbstractBit::Unknown`], scratch
+/// starts [`AbstractBit::Cleared`].
+pub fn abstract_states(program: &Program) -> Vec<Vec<AbstractBit>> {
+    let mut state = vec![AbstractBit::Cleared; program.registers];
+    for &r in &program.inputs {
+        state[r] = AbstractBit::Unknown;
+    }
+    let mut states = Vec::with_capacity(program.steps.len() + 1);
+    for &step in &program.steps {
+        states.push(state.clone());
+        match step {
+            Step::False(q) => state[q] = AbstractBit::Zero,
+            Step::Imply(p, q) => state[q] = AbstractBit::imp(state[p], state[q]),
+        }
+    }
+    states.push(state);
+    states
+}
+
+fn structurally_sound(program: &Program, report: &mut Report) -> bool {
+    let mut sound = true;
+    fn check(
+        program: &Program,
+        report: &mut Report,
+        sound: &mut bool,
+        reg: Reg,
+        what: &str,
+        step: Option<usize>,
+    ) {
+        if reg >= program.registers {
+            let mut d = Diagnostic::error(
+                "register-out-of-range",
+                format!(
+                    "{what} register r{reg} out of range (program declares {} registers)",
+                    program.registers
+                ),
+            )
+            .at_register(reg);
+            if let Some(s) = step {
+                d = d.at_step(s);
+            }
+            report.push(d);
+            *sound = false;
+        }
+    }
+    for (i, &step) in program.steps.iter().enumerate() {
+        match step {
+            Step::False(q) => check(program, report, &mut sound, q, "step", Some(i)),
+            Step::Imply(p, q) => {
+                check(program, report, &mut sound, p, "step", Some(i));
+                check(program, report, &mut sound, q, "step", Some(i));
+                if p == q {
+                    report.push(
+                        Diagnostic::error(
+                            "self-implication",
+                            format!("IMP(r{p}, r{p}) requires two distinct devices"),
+                        )
+                        .at_step(i)
+                        .at_register(p),
+                    );
+                    sound = false;
+                }
+            }
+        }
+    }
+    for &r in program.inputs.iter().chain(&program.outputs) {
+        check(program, report, &mut sound, r, "interface", None);
+    }
+    sound
+}
+
+/// Runs the full dataflow analysis and returns every finding.
+///
+/// Errors (`uninitialized-read`, `input-clobber`, plus the structural
+/// codes) mirror [`Program::validate`] — this function re-derives them so
+/// `cimlint` can report on raw fixture programs that never pass through
+/// [`cim_logic::ProgramBuilder::finish`]. Warnings flag legal-but-wasteful
+/// microcode: dead steps and registers, self-stabilizing no-ops
+/// (`Imply(p,q)` with `q` provably 1), implications from a provably-1
+/// antecedent, redundant `FALSE`s on a provably-0 register, and outputs
+/// that are input-independent constants.
+pub fn analyze_program(name: &str, program: &Program) -> Report {
+    let mut report = Report::new(name);
+    if !structurally_sound(program, &mut report) {
+        return report;
+    }
+
+    let mut is_input = vec![false; program.registers];
+    for &r in &program.inputs {
+        is_input[r] = true;
+    }
+
+    let states = abstract_states(program);
+    for (i, &step) in program.steps.iter().enumerate() {
+        let before = &states[i];
+        match step {
+            Step::False(q) => {
+                if before[q] == AbstractBit::Zero {
+                    report.push(
+                        Diagnostic::warning(
+                            "redundant-false",
+                            format!("FALSE r{q} clears a register that is provably 0 already"),
+                        )
+                        .at_step(i)
+                        .at_register(q),
+                    );
+                }
+            }
+            Step::Imply(p, q) => {
+                if !before[p].is_defined() {
+                    report.push(
+                        Diagnostic::error(
+                            "uninitialized-read",
+                            format!(
+                                "IMP antecedent r{p} is neither an input nor written by any \
+                                 earlier step; the step computes an input-independent constant"
+                            ),
+                        )
+                        .at_step(i)
+                        .at_register(p),
+                    );
+                }
+                if before[q] == AbstractBit::One {
+                    report.push(
+                        Diagnostic::warning(
+                            "noop-imply",
+                            format!(
+                                "IMP(r{p}, r{q}) is a self-stabilizing no-op: r{q} is provably 1 \
+                                 and ¬p ∨ 1 = 1"
+                            ),
+                        )
+                        .at_step(i)
+                        .at_register(q),
+                    );
+                } else if before[p] == AbstractBit::One {
+                    report.push(
+                        Diagnostic::warning(
+                            "antecedent-one",
+                            format!(
+                                "IMP(r{p}, r{q}) cannot change r{q}: antecedent r{p} is provably 1"
+                            ),
+                        )
+                        .at_step(i)
+                        .at_register(p),
+                    );
+                }
+            }
+        }
+        let q = step.target();
+        if is_input[q] {
+            report.push(
+                Diagnostic::error(
+                    "input-clobber",
+                    format!(
+                        "step writes input register r{q}; operand columns are read-only under \
+                         the broadcast model (copy the input first)"
+                    ),
+                )
+                .at_step(i)
+                .at_register(q),
+            );
+        }
+    }
+
+    let live = live_steps(program);
+    for (i, (&step, &is_live)) in program.steps.iter().zip(&live).enumerate() {
+        if !is_live {
+            report.push(
+                Diagnostic::warning(
+                    "dead-step",
+                    format!("write to r{} never reaches an output", step.target()),
+                )
+                .at_step(i)
+                .at_register(step.target()),
+            );
+        }
+    }
+
+    // Dead scratch register: allocated but no live step touches it.
+    let mut touched = vec![false; program.registers];
+    for (i, &step) in program.steps.iter().enumerate() {
+        if live[i] {
+            touched[step.target()] = true;
+            if let Step::Imply(p, _) = step {
+                touched[p] = true;
+            }
+        }
+    }
+    for r in 0..program.registers {
+        if !touched[r] && !is_input[r] && !program.outputs.contains(&r) {
+            report.push(
+                Diagnostic::warning(
+                    "dead-register",
+                    format!("scratch register r{r} is allocated but never used by a live step"),
+                )
+                .at_register(r),
+            );
+        }
+    }
+
+    let end = &states[program.steps.len()];
+    for (pos, &r) in program.outputs.iter().enumerate() {
+        if let Some(bit) = end[r].as_const() {
+            report.push(
+                Diagnostic::warning(
+                    "constant-output",
+                    format!(
+                        "output {pos} (r{r}) is the constant {} on every input",
+                        u8::from(bit)
+                    ),
+                )
+                .at_register(r),
+            );
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_logic::ProgramBuilder;
+
+    fn program(steps: Vec<Step>, registers: usize, inputs: Vec<Reg>, outputs: Vec<Reg>) -> Program {
+        Program {
+            steps,
+            registers,
+            inputs,
+            outputs,
+        }
+    }
+
+    #[test]
+    fn imp_transfer_function_is_sound() {
+        use AbstractBit::*;
+        // Exhaustive check against the concrete semantics where defined.
+        for (p, q) in [
+            (Cleared, Cleared),
+            (Zero, One),
+            (One, Zero),
+            (One, Unknown),
+            (Unknown, One),
+            (Unknown, Zero),
+        ] {
+            let r = AbstractBit::imp(p, q);
+            if let (Some(pc), Some(qc)) = (p.as_const(), q.as_const()) {
+                assert_eq!(r.as_const(), Some(!pc || qc), "{p:?} {q:?}");
+            }
+        }
+        assert_eq!(AbstractBit::imp(Unknown, Zero), Unknown);
+        assert_eq!(AbstractBit::imp(Unknown, One), One);
+        // ¬1 ∨ Cleared preserves Cleared (and its undefinedness).
+        assert_eq!(AbstractBit::imp(One, Cleared), Cleared);
+    }
+
+    #[test]
+    fn flags_uninitialized_antecedent() {
+        let p = program(vec![Step::Imply(1, 2)], 3, vec![0], vec![2]);
+        let r = analyze_program("p", &p);
+        assert!(r.has_code("uninitialized-read"));
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "uninitialized-read")
+            .unwrap();
+        assert_eq!((d.step, d.register), (Some(0), Some(1)));
+    }
+
+    #[test]
+    fn flags_dead_step_and_register() {
+        // Step 1 writes r2, which nothing reads and no output names.
+        let p = program(
+            vec![Step::Imply(0, 1), Step::Imply(0, 2)],
+            3,
+            vec![0],
+            vec![1],
+        );
+        let r = analyze_program("p", &p);
+        assert!(r.has_code("dead-step"));
+        assert!(r.has_code("dead-register"));
+        assert_eq!(r.errors(), 0);
+    }
+
+    #[test]
+    fn flags_self_stabilizing_noop() {
+        // r1 ← ¬x ∨ 0; r2 ← ¬r1 ∨ 0 … then make a provable 1 and imply
+        // onto it.
+        let mut b = ProgramBuilder::new();
+        let x = b.input();
+        let z = b.zero();
+        let one = b.not(z); // provably 1
+        b.imply(x, one); // ¬x ∨ 1 = 1: the no-op
+        let p = b.finish(vec![one]);
+        let r = analyze_program("p", &p);
+        assert!(r.has_code("noop-imply"), "{r}");
+        // The constant output is also reported.
+        assert!(r.has_code("constant-output"));
+    }
+
+    #[test]
+    fn flags_redundant_false_and_antecedent_one() {
+        let mut b = ProgramBuilder::new();
+        let x = b.input();
+        let z = b.zero();
+        b.false_(z); // provably 0 already
+        let one = b.not(z);
+        let t = b.not(x);
+        b.imply(one, t); // antecedent provably 1: t unchanged
+        let p = b.finish(vec![t]);
+        let r = analyze_program("p", &p);
+        assert!(r.has_code("redundant-false"), "{r}");
+        assert!(r.has_code("antecedent-one"), "{r}");
+    }
+
+    #[test]
+    fn clean_programs_report_clean() {
+        let mut b = ProgramBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let out = b.xor(x, y);
+        let p = b.finish(vec![out]);
+        let r = analyze_program("xor", &p);
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn liveness_keeps_imply_read_of_old_target() {
+        // FALSE r1; IMP(x, r1): the FALSE is live because IMP reads r1.
+        let p = program(vec![Step::False(1), Step::Imply(0, 1)], 2, vec![0], vec![1]);
+        assert_eq!(live_steps(&p), vec![true, true]);
+        // …but a FALSE *after* the last read is dead if overwritten
+        // before any output use.
+        let p = program(vec![Step::False(1), Step::False(1)], 2, vec![0], vec![1]);
+        assert_eq!(live_steps(&p), vec![false, true]);
+    }
+
+    #[test]
+    fn def_use_chains_record_imply_target_reads() {
+        let p = program(vec![Step::False(1), Step::Imply(0, 1)], 2, vec![0], vec![1]);
+        let du = DefUse::of(&p);
+        assert_eq!(du.defs[1], vec![0, 1]);
+        assert_eq!(du.uses[1], vec![1]); // IMP reads old r1
+        assert_eq!(du.uses[0], vec![1]);
+    }
+
+    #[test]
+    fn out_of_range_registers_bail_early() {
+        let p = program(vec![Step::Imply(0, 9)], 2, vec![0], vec![1]);
+        let r = analyze_program("p", &p);
+        assert!(r.has_code("register-out-of-range"));
+        assert_eq!(r.errors(), 1);
+    }
+}

@@ -1,0 +1,222 @@
+//! Diagnostic records: what the verifier found, where, and how bad.
+
+use serde::{Deserialize, Serialize};
+
+/// How serious a finding is.
+///
+/// `Error` means the artifact must not reach the array (it would compute
+/// garbage or destroy state); `Warning` means it executes correctly but
+/// wastes steps, devices, or energy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// Legal but wasteful or suspicious.
+    Warning,
+    /// Illegal: rejected before execution.
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One verifier finding, anchored to a step index and/or register (for
+/// microprograms) or a graph node (for the tensor IR).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Severity class.
+    pub severity: Severity,
+    /// Stable kebab-case code (e.g. `"uninitialized-read"`), used by
+    /// tests and `cimlint --fixtures` to match expected findings.
+    pub code: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Program step index the finding anchors to, if any.
+    pub step: Option<usize>,
+    /// Register the finding anchors to, if any.
+    pub register: Option<usize>,
+    /// Tensor-IR node the finding anchors to, if any.
+    pub node: Option<usize>,
+}
+
+impl Diagnostic {
+    /// A new error with no anchors (attach them with the builders below).
+    pub fn error(code: &'static str, message: impl Into<String>) -> Self {
+        Self {
+            severity: Severity::Error,
+            code,
+            message: message.into(),
+            step: None,
+            register: None,
+            node: None,
+        }
+    }
+
+    /// A new warning with no anchors.
+    pub fn warning(code: &'static str, message: impl Into<String>) -> Self {
+        Self {
+            severity: Severity::Warning,
+            code,
+            message: message.into(),
+            step: None,
+            register: None,
+            node: None,
+        }
+    }
+
+    /// Anchors the finding to a step index.
+    pub fn at_step(mut self, step: usize) -> Self {
+        self.step = Some(step);
+        self
+    }
+
+    /// Anchors the finding to a register.
+    pub fn at_register(mut self, reg: usize) -> Self {
+        self.register = Some(reg);
+        self
+    }
+
+    /// Anchors the finding to a tensor-IR node.
+    pub fn at_node(mut self, node: usize) -> Self {
+        self.node = Some(node);
+        self
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}[{}]", self.severity, self.code)?;
+        if let Some(step) = self.step {
+            write!(f, " step {step}")?;
+        }
+        if let Some(reg) = self.register {
+            write!(f, " r{reg}")?;
+        }
+        if let Some(node) = self.node {
+            write!(f, " t{node}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// All findings for one artifact (a program, a graph, or a fabric).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Report {
+    /// Name of the artifact the findings belong to.
+    pub artifact: String,
+    /// The findings, in discovery order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report for `artifact`.
+    pub fn new(artifact: impl Into<String>) -> Self {
+        Self {
+            artifact: artifact.into(),
+            diagnostics: Vec::new(),
+        }
+    }
+
+    /// Appends a finding.
+    pub fn push(&mut self, diagnostic: Diagnostic) {
+        self.diagnostics.push(diagnostic);
+    }
+
+    /// Absorbs another report's findings (keeps `self`'s artifact name).
+    pub fn merge(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Number of error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// True when there are no findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// True when the artifact may execute (`deny_warnings` widens the
+    /// gate to warnings, the `cimlint --deny-warnings` contract).
+    pub fn passes(&self, deny_warnings: bool) -> bool {
+        if deny_warnings {
+            self.is_clean()
+        } else {
+            self.errors() == 0
+        }
+    }
+
+    /// True when a finding with the given code is present.
+    pub fn has_code(&self, code: &str) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_clean() {
+            return write!(f, "{}: clean", self.artifact);
+        }
+        writeln!(
+            f,
+            "{}: {} error(s), {} warning(s)",
+            self.artifact,
+            self.errors(),
+            self.warnings()
+        )?;
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i + 1 == self.diagnostics.len() {
+                write!(f, "  {d}")?;
+            } else {
+                writeln!(f, "  {d}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_step_and_register() {
+        let d = Diagnostic::error("uninitialized-read", "reads stale 0")
+            .at_step(3)
+            .at_register(5);
+        assert_eq!(
+            d.to_string(),
+            "error[uninitialized-read] step 3 r5: reads stale 0"
+        );
+    }
+
+    #[test]
+    fn report_gates_on_severity() {
+        let mut r = Report::new("p");
+        assert!(r.passes(true));
+        r.push(Diagnostic::warning("dead-step", "unused"));
+        assert!(r.passes(false));
+        assert!(!r.passes(true));
+        r.push(Diagnostic::error("input-clobber", "writes input"));
+        assert!(!r.passes(false));
+        assert_eq!((r.errors(), r.warnings()), (1, 1));
+        assert!(r.has_code("dead-step"));
+        assert!(!r.has_code("noop-imply"));
+    }
+}

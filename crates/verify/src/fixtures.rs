@@ -1,0 +1,209 @@
+//! The five seeded-defect fixtures the acceptance criteria require
+//! `cimlint` to reject, each with the diagnostic code it must raise.
+//!
+//! They are deliberately minimal: one defect per fixture, anchored to a
+//! specific step/register/node so the diagnostics can be asserted on.
+
+use cim_compiler::{queries, Graph, Mapper};
+use cim_logic::{Comparator, LogicCost, Program, Step};
+
+use crate::diagnostics::Report;
+
+/// One artifact carrying a seeded defect.
+#[derive(Debug, Clone)]
+pub enum Fixture {
+    /// A broken microprogram.
+    Program {
+        /// Fixture name.
+        name: &'static str,
+        /// The program.
+        program: Program,
+        /// Diagnostic code the verifier must raise.
+        expect: &'static str,
+    },
+    /// A graph that cannot be mapped onto the given budget.
+    Graph {
+        /// Fixture name.
+        name: &'static str,
+        /// The graph.
+        graph: Graph,
+        /// The (deliberately insufficient) budget.
+        mapper: Mapper,
+        /// Diagnostic code the verifier must raise.
+        expect: &'static str,
+    },
+    /// A program shipped with a wrong closed-form cost claim.
+    Claim {
+        /// Fixture name.
+        name: &'static str,
+        /// The program.
+        program: Program,
+        /// The wrong claim.
+        claim: LogicCost,
+        /// Diagnostic code the verifier must raise.
+        expect: &'static str,
+    },
+}
+
+impl Fixture {
+    /// The fixture's name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Fixture::Program { name, .. }
+            | Fixture::Graph { name, .. }
+            | Fixture::Claim { name, .. } => name,
+        }
+    }
+
+    /// The diagnostic code the verifier must raise.
+    pub fn expected_code(&self) -> &'static str {
+        match self {
+            Fixture::Program { expect, .. }
+            | Fixture::Graph { expect, .. }
+            | Fixture::Claim { expect, .. } => expect,
+        }
+    }
+
+    /// Runs the appropriate verifier over the fixture.
+    pub fn verify(&self) -> Report {
+        match self {
+            Fixture::Program { name, program, .. } => {
+                crate::dataflow::analyze_program(name, program)
+            }
+            Fixture::Graph {
+                name,
+                graph,
+                mapper,
+                ..
+            } => {
+                let spec = crate::mapping::FabricSpec {
+                    mapper: mapper.clone(),
+                    ..crate::mapping::FabricSpec::paper()
+                };
+                crate::mapping::check_graph_mapping(name, graph, &spec)
+            }
+            Fixture::Claim {
+                name,
+                program,
+                claim,
+                ..
+            } => {
+                let device = cim_device::DeviceParams::table1_cim();
+                let cert = crate::cost_cert::CostCertificate::broadcast(program, &device, 1);
+                cert.check_claim(name, claim)
+            }
+        }
+    }
+
+    /// True when the verifier rejects the fixture with the expected code.
+    pub fn rejected_as_expected(&self) -> bool {
+        let report = self.verify();
+        report.has_code(self.expected_code()) && report.errors() + report.warnings() > 0
+    }
+}
+
+/// The five seeded defects of the acceptance criteria.
+pub fn seeded_defects() -> Vec<Fixture> {
+    let cmp = Comparator::new();
+    let comparator = cmp.eq_program().clone();
+    let mut wrong_claim = LogicCost::comparator_paper();
+    wrong_claim.steps = 10; // the certificate derives the true count
+    vec![
+        // 1. Uninitialized read: step 0 reads r1 which nothing defines.
+        Fixture::Program {
+            name: "defect-uninitialized-read",
+            program: Program {
+                steps: vec![Step::Imply(1, 2)],
+                registers: 3,
+                inputs: vec![0],
+                outputs: vec![2],
+            },
+            expect: "uninitialized-read",
+        },
+        // 2. Dead step: step 1 writes r2, which no output observes.
+        Fixture::Program {
+            name: "defect-dead-step",
+            program: Program {
+                steps: vec![Step::Imply(0, 1), Step::Imply(0, 2)],
+                registers: 3,
+                inputs: vec![0],
+                outputs: vec![1],
+            },
+            expect: "dead-step",
+        },
+        // 3. WAR clobber: step 0 overwrites input register r0.
+        Fixture::Program {
+            name: "defect-war-clobber",
+            program: Program {
+                steps: vec![Step::Imply(1, 0)],
+                registers: 2,
+                inputs: vec![0, 1],
+                outputs: vec![],
+            },
+            expect: "input-clobber",
+        },
+        // 4. Unmappable graph: an 8-bit eq needs 56 devices per lane; a
+        // 16-device tile cannot host one.
+        Fixture::Graph {
+            name: "defect-unmappable-graph",
+            graph: queries::select_count_eq(8, 64, 17),
+            mapper: Mapper::with_budget(16, 1),
+            expect: "unmappable-node",
+        },
+        // 5. Cost-bound mismatch: the claim says 10 steps.
+        Fixture::Claim {
+            name: "defect-cost-claim",
+            program: comparator,
+            claim: wrong_claim,
+            expect: "cost-claim-mismatch",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_five_defects_are_rejected_with_their_codes() {
+        let fixtures = seeded_defects();
+        assert_eq!(fixtures.len(), 5);
+        for fixture in &fixtures {
+            let report = fixture.verify();
+            assert!(
+                report.has_code(fixture.expected_code()),
+                "{}: expected {} in\n{report}",
+                fixture.name(),
+                fixture.expected_code()
+            );
+        }
+    }
+
+    #[test]
+    fn diagnostics_name_the_offending_site() {
+        for fixture in seeded_defects() {
+            let report = fixture.verify();
+            let d = report
+                .diagnostics
+                .iter()
+                .find(|d| d.code == fixture.expected_code())
+                .expect("expected code present");
+            match fixture.name() {
+                "defect-uninitialized-read" => {
+                    assert_eq!((d.step, d.register), (Some(0), Some(1)));
+                }
+                "defect-dead-step" => {
+                    assert_eq!((d.step, d.register), (Some(1), Some(2)));
+                }
+                "defect-war-clobber" => {
+                    assert_eq!((d.step, d.register), (Some(0), Some(0)));
+                }
+                "defect-unmappable-graph" => assert!(d.node.is_some()),
+                "defect-cost-claim" => {
+                    assert!(d.message.contains("steps"), "{}", d.message);
+                }
+                other => panic!("unknown fixture {other}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Mapping legality: can this artifact be placed on that fabric at all?
+//!
+//! Three check families, all static:
+//!
+//! * **Capacity / operand-conflict** over tensor graphs, delegated to
+//!   [`Mapper::check`] (a node whose unit exceeds its level share, or a
+//!   node reading one tensor through two operand ports, produces garbage
+//!   rather than an error at run time);
+//! * **Register-to-column conflict** over microprograms: a program's
+//!   registers map 1:1 onto the columns of its logic row — more
+//!   registers than columns means two registers share a column;
+//! * **Half-select exposure** against the device thresholds: the bias
+//!   scheme's worst-case stress on unselected cells must stay at or
+//!   below both switching thresholds, or every broadcast step disturbs
+//!   the rest of the array (paper Section IV.B).
+
+use serde::{Deserialize, Serialize};
+
+use cim_compiler::{Graph, Mapper};
+use cim_crossbar::{BiasScheme, Geometry};
+use cim_device::DeviceParams;
+use cim_logic::Program;
+
+use crate::diagnostics::{Diagnostic, Report};
+
+/// Everything the mapping checks need to know about the target fabric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FabricSpec {
+    /// Tile budget for tensor graphs.
+    pub mapper: Mapper,
+    /// Wire/layout parameters of the array.
+    pub geometry: Geometry,
+    /// Bias scheme applied during logic steps.
+    pub bias: BiasScheme,
+    /// Device technology.
+    pub device: DeviceParams,
+    /// Columns available to one logic row (the register budget of a
+    /// single microprogram).
+    pub logic_columns: usize,
+}
+
+impl FabricSpec {
+    /// The paper's fabric: Table-1 devices on ideal wires, V/2 bias,
+    /// the 34M-device mathematics tile, 2048-column logic rows.
+    pub fn paper() -> Self {
+        let device = DeviceParams::table1_cim();
+        Self {
+            mapper: Mapper::paper_tile(),
+            geometry: Geometry::ideal(device.cell_area),
+            bias: BiasScheme::HalfV,
+            device,
+            logic_columns: 2048,
+        }
+    }
+
+    /// Worst-case half-select stress of one broadcast step on this
+    /// fabric.
+    pub fn half_select_stress(&self) -> cim_units::Voltage {
+        self.bias.worst_unselected_stress(self.device.write_voltage)
+    }
+}
+
+/// Checks the fabric itself: bias scheme vs. device thresholds.
+///
+/// The stress may sit exactly *at* a threshold — the kinetics give zero
+/// switching rate at zero overdrive (the Table-1 device under V/2 bias
+/// is this marginal-but-safe case) — but any positive overdrive disturbs
+/// unselected cells on every one of the billions of broadcast steps.
+pub fn check_fabric(name: &str, spec: &FabricSpec) -> Report {
+    let mut report = Report::new(name);
+    let stress = spec.half_select_stress();
+    let threshold = spec.device.v_set.min(spec.device.v_reset);
+    if stress > threshold {
+        report.push(Diagnostic::error(
+            "half-select-disturb",
+            format!(
+                "{} bias exposes unselected cells to {stress} but the device switches \
+                 beyond {threshold}; every broadcast step corrupts stored bits",
+                spec.bias
+            ),
+        ));
+    }
+    report
+}
+
+/// Checks one microprogram against the fabric: register-to-column fit
+/// and (for multi-row broadcast) sneak-path exposure of the bias scheme.
+pub fn check_program_mapping(
+    name: &str,
+    program: &Program,
+    rows: usize,
+    spec: &FabricSpec,
+) -> Report {
+    let mut report = check_fabric(name, spec);
+    if program.registers > spec.logic_columns {
+        report.push(
+            Diagnostic::error(
+                "column-conflict",
+                format!(
+                    "program needs {} registers but a logic row offers {} columns \
+                     (array area {} for {rows} rows); at least two registers would \
+                     share a column",
+                    program.registers,
+                    spec.logic_columns,
+                    spec.geometry.array_area(rows, spec.logic_columns),
+                ),
+            )
+            .at_register(spec.logic_columns),
+        );
+    }
+    if spec.bias == BiasScheme::Floating && rows > 1 {
+        report.push(Diagnostic::error(
+            "sneak-exposure",
+            format!(
+                "floating bias with {rows} broadcast rows leaves unselected lines \
+                 undriven; sneak paths couple the rows and reads are not isolated"
+            ),
+        ));
+    }
+    report
+}
+
+/// Checks a tensor graph against the fabric's tile budget, converting
+/// [`cim_compiler::MapError`]s into diagnostics carrying the node id.
+pub fn check_graph_mapping(name: &str, graph: &Graph, spec: &FabricSpec) -> Report {
+    let mut report = check_fabric(name, spec);
+    match spec.mapper.check(graph) {
+        Ok(()) => {}
+        Err(cim_compiler::MapError::CapacityExceeded {
+            tensor,
+            op,
+            level,
+            devices_needed,
+            share,
+        }) => {
+            report.push(
+                Diagnostic::error(
+                    "unmappable-node",
+                    format!(
+                        "{op} needs {devices_needed} devices per lane but its share of the \
+                         capacity at level {level} is {share}"
+                    ),
+                )
+                .at_node(tensor.0),
+            );
+        }
+        Err(cim_compiler::MapError::OperandColumnConflict {
+            tensor,
+            op,
+            operand,
+        }) => {
+            report.push(
+                Diagnostic::error(
+                    "operand-conflict",
+                    format!(
+                        "{op} reads tensor t{} through two operand ports; both map to the \
+                         same crossbar columns",
+                        operand.0
+                    ),
+                )
+                .at_node(tensor.0),
+            );
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_compiler::{queries, GraphBuilder};
+    use cim_logic::{Comparator, ProgramBuilder};
+
+    #[test]
+    fn paper_fabric_is_marginal_but_safe() {
+        // V/2 of the 2 V write pulse is exactly the 1 V threshold: zero
+        // overdrive, zero switching rate — legal, and deliberately so.
+        let spec = FabricSpec::paper();
+        assert!(check_fabric("paper", &spec).is_clean());
+    }
+
+    #[test]
+    fn soft_devices_fail_half_select() {
+        // ECM Ag: 1.5 V write under V/2 bias stresses cells at 0.75 V,
+        // above the 0.4 V RESET threshold.
+        let spec = FabricSpec {
+            device: DeviceParams::ecm_ag(),
+            ..FabricSpec::paper()
+        };
+        let report = check_fabric("ecm", &spec);
+        assert!(report.has_code("half-select-disturb"), "{report}");
+    }
+
+    #[test]
+    fn programs_wider_than_the_row_conflict() {
+        let cmp = Comparator::new();
+        let spec = FabricSpec {
+            logic_columns: 4,
+            ..FabricSpec::paper()
+        };
+        let report = check_program_mapping("cmp", cmp.eq_program(), 1, &spec);
+        assert!(report.has_code("column-conflict"), "{report}");
+        let roomy = check_program_mapping("cmp", cmp.eq_program(), 1, &FabricSpec::paper());
+        assert!(roomy.is_clean(), "{roomy}");
+    }
+
+    #[test]
+    fn floating_bias_rejects_multi_row_broadcast() {
+        let mut b = ProgramBuilder::new();
+        let x = b.input();
+        let out = b.not(x);
+        let program = b.finish(vec![out]);
+        let spec = FabricSpec {
+            bias: BiasScheme::Floating,
+            ..FabricSpec::paper()
+        };
+        assert!(check_program_mapping("p", &program, 64, &spec).has_code("sneak-exposure"));
+        assert!(check_program_mapping("p", &program, 1, &spec).is_clean());
+    }
+
+    #[test]
+    fn graph_checks_surface_mapper_errors_with_node_ids() {
+        let graph = queries::select_count_eq(8, 64, 17);
+        let tight = FabricSpec {
+            mapper: Mapper::with_budget(16, 1),
+            ..FabricSpec::paper()
+        };
+        let report = check_graph_mapping("count-eq", &graph, &tight);
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "unmappable-node")
+            .expect("rejected");
+        assert!(d.node.is_some());
+
+        let mut b = GraphBuilder::new(8);
+        let x = b.input(8);
+        let y = b.add(x, x);
+        let conflicted = b.finish(vec![y]);
+        let report = check_graph_mapping("self-add", &conflicted, &FabricSpec::paper());
+        assert!(report.has_code("operand-conflict"), "{report}");
+
+        assert!(check_graph_mapping("count-eq", &graph, &FabricSpec::paper()).is_clean());
+    }
+}

@@ -1,0 +1,218 @@
+//! Semantics-preserving microprogram optimization.
+//!
+//! Two rewrites, both justified by the analyses in [`crate::dataflow`]:
+//!
+//! * **Dead-step elimination** — a step whose write can never reach an
+//!   output (backward liveness) is removed.
+//! * **No-op elimination** — a step the abstract interpretation proves
+//!   value-preserving is removed: `IMP(p,q)` with `q` provably 1
+//!   (¬p ∨ 1 = 1), `IMP(p,q)` with `p` provably 1 (¬1 ∨ q = q), and
+//!   `FALSE q` with `q` provably 0.
+//!
+//! The passes run to a fixpoint. The equivalence proof is executable:
+//! `tests/verifier.rs` property-checks `optimize(p).evaluate ≡ p.evaluate`
+//! over random valid programs and all their inputs.
+
+use cim_logic::{Program, Step};
+
+use crate::dataflow::{abstract_states, live_steps, AbstractBit};
+
+/// Removes steps the abstract interpretation proves value-preserving.
+///
+/// Every removal here leaves the register-file trajectory *identical* at
+/// every program point (a no-op write does not change its target), so
+/// any number of simultaneous removals compose soundly: the states
+/// computed on the input program stay exact for the output program.
+fn noop_pass(program: &Program) -> Program {
+    let states = abstract_states(program);
+
+    // Definedness in the *output* stream: inputs plus emitted targets.
+    let mut defined = vec![false; program.registers];
+    for &r in &program.inputs {
+        defined[r] = true;
+    }
+    // Registers read as an IMP antecedent at some later original step:
+    // used to keep a definedness witness when a no-op write is dropped.
+    let mut read_later = vec![vec![false; program.registers]];
+    for &step in program.steps.iter().rev() {
+        let mut row = read_later.last().expect("seeded").clone();
+        if let Step::Imply(p, _) = step {
+            row[p] = true;
+        }
+        read_later.push(row);
+    }
+    read_later.reverse(); // read_later[i] = antecedent reads at steps > i-1
+
+    let mut steps = Vec::with_capacity(program.steps.len());
+    for (i, &step) in program.steps.iter().enumerate() {
+        let before = &states[i];
+        let noop = match step {
+            Step::False(q) => before[q] == AbstractBit::Zero,
+            Step::Imply(p, q) => before[q] == AbstractBit::One || before[p] == AbstractBit::One,
+        };
+        if noop {
+            let q = step.target();
+            // A skipped no-op leaves q at its pre-step value. If every
+            // earlier write of q was also skipped, that value is the
+            // engine's cleared 0 — substitute an explicit FALSE when a
+            // later step still reads q as an antecedent, so the result
+            // stays `validate`-clean (same value, defined provenance).
+            if !defined[q] && read_later[i + 1][q] {
+                steps.push(Step::False(q));
+                defined[q] = true;
+            }
+            continue;
+        }
+        steps.push(step);
+        defined[step.target()] = true;
+    }
+    Program {
+        steps,
+        registers: program.registers,
+        inputs: program.inputs.clone(),
+        outputs: program.outputs.clone(),
+    }
+}
+
+/// Removes steps whose writes can never reach an output.
+///
+/// This pass runs on the program *after* [`noop_pass`], with liveness
+/// recomputed on that program. The separation is load-bearing: dead-step
+/// removal changes intermediate values of dead registers, so a no-op
+/// verdict justified by a step that liveness deletes (e.g. `FALSE q`
+/// called a no-op because an earlier, dead `FALSE q` made `q` Zero)
+/// would be unsound. Keeping the passes sequential means each one's
+/// analysis describes exactly the program it rewrites.
+fn dead_pass(program: &Program) -> Program {
+    let live = live_steps(program);
+    Program {
+        steps: program
+            .steps
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &step)| live[i].then_some(step))
+            .collect(),
+        registers: program.registers,
+        inputs: program.inputs.clone(),
+        outputs: program.outputs.clone(),
+    }
+}
+
+/// Removes dead steps and provable no-ops until nothing changes.
+///
+/// The returned program has the same registers, inputs, and outputs, and
+/// evaluates identically on every input vector; only the step stream
+/// shrinks. The input must pass [`Program::validate`]; so does the
+/// result.
+pub fn eliminate_dead_steps(program: &Program) -> Program {
+    let mut current = program.clone();
+    loop {
+        let next = dead_pass(&noop_pass(&current));
+        if next.steps == current.steps {
+            debug_assert!(next.validate().is_ok());
+            return next;
+        }
+        current = next;
+    }
+}
+
+/// Number of steps [`eliminate_dead_steps`] would remove — the waste the
+/// `dead-step`/`noop-imply` warnings quantify.
+pub fn removable_steps(program: &Program) -> usize {
+    program.len() - eliminate_dead_steps(program).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_logic::ProgramBuilder;
+
+    fn equivalent(a: &Program, b: &Program) {
+        assert_eq!(a.inputs.len(), b.inputs.len());
+        let n = a.inputs.len();
+        assert!(n <= 16, "exhaustive check only");
+        for bits in 0..(1u32 << n) {
+            let v: Vec<bool> = (0..n).map(|k| (bits >> k) & 1 == 1).collect();
+            assert_eq!(a.evaluate(&v), b.evaluate(&v), "diverge at {v:?}");
+        }
+    }
+
+    #[test]
+    fn removes_dead_writes() {
+        let mut b = ProgramBuilder::new();
+        let x = b.input();
+        let used = b.not(x);
+        let _unused = b.not(x); // never reaches an output
+        let p = b.finish(vec![used]);
+        let opt = eliminate_dead_steps(&p);
+        assert!(opt.len() < p.len());
+        assert_eq!(removable_steps(&p), p.len() - opt.len());
+        equivalent(&p, &opt);
+    }
+
+    #[test]
+    fn removes_self_stabilizing_noops() {
+        let mut b = ProgramBuilder::new();
+        let x = b.input();
+        let z = b.zero();
+        let one = b.not(z);
+        b.imply(x, one); // no-op: one is provably 1
+        let out = b.not(one); // observable (constant 0) so `one` is live
+        let p = b.finish(vec![out]);
+        let opt = eliminate_dead_steps(&p);
+        assert!(opt.len() < p.len(), "{} vs {}", opt.len(), p.len());
+        equivalent(&p, &opt);
+        assert_eq!(opt.validate(), Ok(()));
+    }
+
+    #[test]
+    fn keeps_a_definedness_witness_for_later_antecedent_reads() {
+        use cim_logic::Step;
+        // r2's only write is a no-op (antecedent r1 is provably 1), but
+        // step 3 reads r2 as an antecedent: elimination must leave r2
+        // with a defined 0, not an uninitialized read.
+        let p = Program {
+            steps: vec![
+                Step::False(1),    // r1 ← 0
+                Step::Imply(1, 3), // r3 ← ¬0 ∨ 0 = 1 (provable)
+                Step::Imply(3, 2), // no-op on value: ¬1 ∨ r2 = r2 (cleared 0)
+                Step::Imply(2, 4), // r4 ← ¬r2 ∨ r4 — reads r2
+            ],
+            registers: 5,
+            inputs: vec![0],
+            outputs: vec![4],
+        };
+        assert_eq!(p.validate(), Ok(()));
+        let opt = eliminate_dead_steps(&p);
+        assert_eq!(opt.validate(), Ok(()), "witness FALSE must keep r2 defined");
+        equivalent(&p, &opt);
+    }
+
+    #[test]
+    fn fixpoint_handles_cascading_death() {
+        // A chain t1 → t2 → t3 where only killing t3 reveals t2, etc.
+        let mut b = ProgramBuilder::new();
+        let x = b.input();
+        let t1 = b.not(x);
+        let t2 = b.not(t1);
+        let _t3 = b.not(t2); // dead; once gone, t2's write is dead, then t1's
+        let out = b.copy(x);
+        let p = b.finish(vec![out]);
+        let opt = eliminate_dead_steps(&p);
+        equivalent(&p, &opt);
+        // Everything feeding only t3 disappears.
+        assert!(opt.len() <= p.len() - 3, "{} vs {}", opt.len(), p.len());
+    }
+
+    #[test]
+    fn clean_programs_are_untouched() {
+        let mut b = ProgramBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let out = b.xor(x, y);
+        let p = b.finish(vec![out]);
+        let opt = eliminate_dead_steps(&p);
+        assert_eq!(opt.steps, p.steps, "no spurious rewrites");
+        assert_eq!(removable_steps(&p), 0);
+    }
+}

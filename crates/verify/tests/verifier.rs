@@ -1,0 +1,157 @@
+//! End-to-end acceptance tests for the static verifier:
+//!
+//! * dead-step elimination is semantics-preserving on random valid
+//!   programs (exhaustive over inputs) and reaches a lint-clean fixpoint;
+//! * every shipped program and graph lints clean under `--deny-warnings`;
+//! * the five seeded-defect fixtures are each rejected with their code;
+//! * the closed-form cost certificate equals the dynamic
+//!   `RowParallelEngine` ledger **bit for bit** for every shipped program.
+
+use cim_device::DeviceParams;
+use cim_logic::{Program, RowParallelEngine, Step};
+use cim_units::{CostLedger, Phase};
+use cim_verify::{
+    certify_plan, check_graph_mapping, check_program_mapping, eliminate_dead_steps,
+    removable_steps, seeded_defects, shipped_graphs, shipped_programs, verify_program,
+    CostCertificate, FabricSpec,
+};
+use proptest::prelude::*;
+
+/// Raw entropy for one deterministic program-construction step.
+type RawStep = (u8, usize, usize);
+
+/// Builds a *valid* program from raw entropy: the construction tracks
+/// which registers are defined so every IMP antecedent is an input or a
+/// previously-written scratch register, writes only to scratch (inputs
+/// are read-only under the broadcast model), and never self-implies.
+fn build_valid_program(inputs: usize, scratch: usize, raw: &[RawStep]) -> Program {
+    let registers = inputs + scratch;
+    let mut defined: Vec<usize> = (0..inputs).collect();
+    let mut steps = Vec::with_capacity(raw.len());
+    for &(op, a, b) in raw {
+        let q = inputs + b % scratch;
+        if op % 2 == 0 {
+            steps.push(Step::False(q));
+        } else {
+            let p = defined[a % defined.len()];
+            if p == q {
+                steps.push(Step::False(q));
+            } else {
+                steps.push(Step::Imply(p, q));
+            }
+        }
+        if !defined.contains(&q) {
+            defined.push(q);
+        }
+    }
+    Program {
+        steps,
+        registers,
+        inputs: (0..inputs).collect(),
+        outputs: (inputs..registers).collect(),
+    }
+}
+
+proptest! {
+    #[test]
+    fn dead_step_elimination_preserves_semantics(
+        raw in proptest::collection::vec(
+            (any::<u8>(), any::<usize>(), any::<usize>()),
+            1..40,
+        ),
+        inputs in 1usize..4,
+        scratch in 2usize..6,
+    ) {
+        let program = build_valid_program(inputs, scratch, &raw);
+        prop_assert_eq!(program.validate(), Ok(()));
+        let optimized = eliminate_dead_steps(&program);
+        // The optimized program is still valid, no longer than the
+        // original, and a fixpoint of the pass.
+        prop_assert_eq!(optimized.validate(), Ok(()));
+        prop_assert!(optimized.len() <= program.len());
+        prop_assert_eq!(removable_steps(&optimized), 0);
+        // Exhaustive equivalence over every input assignment.
+        let (mut scratch_buf, mut a, mut b) = (Vec::new(), Vec::new(), Vec::new());
+        for bits in 0..(1u32 << inputs) {
+            let vars: Vec<bool> = (0..inputs).map(|i| (bits >> i) & 1 == 1).collect();
+            program.evaluate_into(&vars, &mut scratch_buf, &mut a);
+            let original = a.clone();
+            optimized.evaluate_into(&vars, &mut scratch_buf, &mut b);
+            prop_assert_eq!(&original, &b, "inputs {:?}", vars);
+        }
+    }
+}
+
+#[test]
+fn every_shipped_program_lints_clean() {
+    let spec = FabricSpec::paper();
+    for entry in shipped_programs() {
+        let mut report = verify_program(entry.name, &entry.program);
+        report.merge(check_program_mapping(
+            entry.name,
+            &entry.program,
+            entry.rows,
+            &spec,
+        ));
+        assert!(report.is_clean(), "{}:\n{report}", entry.name);
+        assert_eq!(removable_steps(&entry.program), 0, "{}", entry.name);
+    }
+}
+
+#[test]
+fn every_shipped_graph_maps_and_conserves_cost() {
+    let spec = FabricSpec::paper();
+    for entry in shipped_graphs() {
+        let report = check_graph_mapping(entry.name, &entry.graph, &spec);
+        assert!(report.is_clean(), "{}:\n{report}", entry.name);
+        let plan = spec
+            .mapper
+            .compile_checked(&entry.graph)
+            .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+        let cert = certify_plan(entry.name, &plan);
+        assert!(cert.is_clean(), "{}:\n{cert}", entry.name);
+    }
+}
+
+#[test]
+fn all_seeded_defect_fixtures_are_rejected() {
+    let fixtures = seeded_defects();
+    assert_eq!(fixtures.len(), 5);
+    for fixture in &fixtures {
+        assert!(
+            fixture.rejected_as_expected(),
+            "{} not rejected with `{}`:\n{}",
+            fixture.name(),
+            fixture.expected_code(),
+            fixture.verify()
+        );
+    }
+}
+
+#[test]
+fn certificates_match_dynamic_ledgers_for_every_shipped_program() {
+    let device = DeviceParams::table1_cim();
+    for entry in shipped_programs() {
+        let program = &entry.program;
+        let cert = CostCertificate::broadcast(program, &device, entry.rows);
+        let mut engine = RowParallelEngine::for_program_bitsliced(program, entry.rows);
+        // Exercise a non-trivial input pattern per row.
+        let inputs: Vec<Vec<bool>> = (0..entry.rows)
+            .map(|row| {
+                (0..program.inputs.len())
+                    .map(|i| (row + i) % 3 == 0)
+                    .collect()
+            })
+            .collect();
+        let _ = engine.run(program, &inputs);
+        assert_eq!(cert.to_cost(), engine.cost(), "{} single run", entry.name);
+        let _ = engine.run(program, &inputs);
+        let _ = engine.run(program, &inputs);
+        assert_eq!(cert.after_runs(3), engine.cost(), "{} x3", entry.name);
+        // Ledger-level identity: charging the certified cost reproduces
+        // the dynamic ledger cell exactly.
+        let mut dynamic = CostLedger::new();
+        cert.to_cost().charge(&mut dynamic, Phase::Map, 1);
+        assert_eq!(cert.ledger(Phase::Map, 1), dynamic, "{}", entry.name);
+    }
+}

@@ -224,7 +224,7 @@ mod tests {
     fn projection_carries_table1_assumption() {
         match DnaWorkload::scaled(10_000, 0).projection() {
             ProjectionKind::PaperScale { assumed_hit_ratio } => {
-                assert!((assumed_hit_ratio - 0.5).abs() < 1e-12)
+                assert!((assumed_hit_ratio - 0.5).abs() < 1e-12);
             }
             other => panic!("unexpected projection {other:?}"),
         }

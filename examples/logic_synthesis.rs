@@ -53,7 +53,7 @@ fn main() {
 
     println!("\n=== Fig. 5(b): IMP on a single CRS cell (2 pulses)\n");
     for (p, q) in [(false, false), (false, true), (true, false), (true, true)] {
-        let mut gate = CrsImp::new(device.clone());
+        let mut gate = CrsImp::new(&device);
         let out = gate.imp(p, q);
         println!(
             "{} IMP {} = {}   ({})",

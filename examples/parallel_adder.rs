@@ -38,7 +38,7 @@ fn main() {
     // --- 3. The paper's TC adder. ----------------------------------------
     let tc = TcAdderModel::new(32);
     let cost = tc.cost(device.write_time, device.write_energy);
-    println!("\nTC adder (paper model, 32-bit): {}", cost);
+    println!("\nTC adder (paper model, 32-bit): {cost}");
     println!(
         "  paper prints 16 600 ps / 246 fJ; the formulas 4N+5 and 8N give {} / {}",
         cost.latency, cost.energy

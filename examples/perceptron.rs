@@ -81,7 +81,7 @@ fn main() {
             accs.push(accuracy(&test, |x| noisy.multiply(x)));
         }
         let mean = accs.iter().sum::<f64>() / accs.len() as f64;
-        let min = accs.iter().cloned().fold(f64::MAX, f64::min);
+        let min = accs.iter().copied().fold(f64::MAX, f64::min);
         println!(
             "σ_R = {sigma:>4}: accuracy {:.1}% mean / {:.1}% worst of 5 chips",
             100.0 * mean,
@@ -127,7 +127,7 @@ fn matmul(w: &[Vec<f64>], x: &[f64]) -> Vec<f64> {
 }
 
 fn softmax(scores: &[f64]) -> Vec<f64> {
-    let max = scores.iter().cloned().fold(f64::MIN, f64::max);
+    let max = scores.iter().copied().fold(f64::MIN, f64::max);
     let exps: Vec<f64> = scores.iter().map(|s| (s - max).exp()).collect();
     let sum: f64 = exps.iter().sum();
     exps.iter().map(|e| e / sum).collect()

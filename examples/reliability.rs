@@ -40,8 +40,8 @@ fn main() {
             array.program(r, c, false);
         }
     }
-    let min = margins.iter().cloned().fold(f64::MAX, f64::min);
-    let max = margins.iter().cloned().fold(f64::MIN, f64::max);
+    let min = margins.iter().copied().fold(f64::MAX, f64::min);
+    let max = margins.iter().copied().fold(f64::MIN, f64::max);
     println!("read margins across 64 sampled cells: {min:.2}x .. {max:.2}x\n");
 
     // --- 2. Endurance: hot-spot wear vs wear-levelling. ---------------

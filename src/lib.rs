@@ -26,6 +26,7 @@ pub use cim_device as device;
 pub use cim_logic as logic;
 pub use cim_sim as sim;
 pub use cim_units as units;
+pub use cim_verify as verify;
 pub use cim_workloads as workloads;
 
 pub use cim_core::prelude;

@@ -98,7 +98,7 @@ fn fig5_both_imp_implementations_agree() {
 
     for (p, q) in [(false, false), (false, true), (true, false), (true, true)] {
         let two_device = engine.run(&program, &[p, q])[0];
-        let mut crs_gate = CrsImp::new(DeviceParams::table1_cim());
+        let mut crs_gate = CrsImp::new(&DeviceParams::table1_cim());
         let single_crs = crs_gate.imp(p, q);
         assert_eq!(two_device, single_crs, "{p} IMP {q}");
         assert_eq!(two_device, !p || q);
@@ -108,7 +108,7 @@ fn fig5_both_imp_implementations_agree() {
 #[test]
 fn fig5_crs_variant_uses_fewer_pulses() {
     use cim::logic::CrsImp;
-    let mut gate = CrsImp::new(DeviceParams::table1_cim());
+    let mut gate = CrsImp::new(&DeviceParams::table1_cim());
     let _ = gate.imp(true, false);
     // 2 pulses on one device vs 3 pulses on two devices + R_G: the
     // "superior performance" the paper attributes to Fig. 5(b).

@@ -34,12 +34,14 @@ impl Default for Criterion {
 }
 
 impl Criterion {
+    /// Sets samples recorded per benchmark (minimum 2).
     pub fn sample_size(&mut self, samples: usize) -> &mut Self {
         assert!(samples >= 2, "sample size must be at least 2");
         self.sample_size = samples;
         self
     }
 
+    /// Starts a named group; benchmark labels are prefixed with it.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
             criterion: self,
@@ -47,6 +49,7 @@ impl Criterion {
         }
     }
 
+    /// Times one benchmark routine.
     pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) {
         run_benchmark(&id.into().0, self.sample_size, self.test_mode, &mut f);
     }
@@ -59,11 +62,13 @@ pub struct BenchmarkGroup<'a> {
 }
 
 impl BenchmarkGroup<'_> {
+    /// Sets samples recorded per benchmark in this group.
     pub fn sample_size(&mut self, samples: usize) -> &mut Self {
         self.criterion.sample_size(samples);
         self
     }
 
+    /// Times one benchmark routine under the group's label.
     pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) {
         let label = format!("{}/{}", self.name, id.into().0);
         run_benchmark(
@@ -74,6 +79,7 @@ impl BenchmarkGroup<'_> {
         );
     }
 
+    /// Times one benchmark routine over a borrowed input.
     pub fn bench_with_input<I: ?Sized>(
         &mut self,
         id: impl Into<BenchmarkId>,
@@ -89,6 +95,7 @@ impl BenchmarkGroup<'_> {
         );
     }
 
+    /// Ends the group (reports are printed as benchmarks run).
     pub fn finish(self) {}
 }
 
@@ -96,10 +103,12 @@ impl BenchmarkGroup<'_> {
 pub struct BenchmarkId(String);
 
 impl BenchmarkId {
+    /// An id labelled `function_name/parameter`.
     pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
         BenchmarkId(format!("{}/{}", function_name.into(), parameter))
     }
 
+    /// An id labelled by the parameter alone.
     pub fn from_parameter(parameter: impl Display) -> Self {
         BenchmarkId(parameter.to_string())
     }
@@ -186,6 +195,7 @@ fn run_benchmark(
 #[macro_export]
 macro_rules! criterion_group {
     ($name:ident, $($target:path),+ $(,)?) => {
+        /// Runs every bench function registered in this group.
         pub fn $name() {
             $(
                 let mut criterion = $crate::Criterion::default();
@@ -247,7 +257,7 @@ mod tests {
         group.sample_size(2);
         let mut seen = 0u64;
         group.bench_with_input(BenchmarkId::new("sq", 7), &7u64, |b, &n| {
-            b.iter(|| seen = n * n)
+            b.iter(|| seen = n * n);
         });
         group.finish();
         assert_eq!(seen, 49);

@@ -9,6 +9,7 @@ use crate::test_runner::TestRng;
 
 /// Types with a canonical whole-domain strategy.
 pub trait Arbitrary: Sized {
+    /// Draws one value from the type's whole domain.
     fn arbitrary(rng: &mut TestRng) -> Self;
 }
 

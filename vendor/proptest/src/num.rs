@@ -1,6 +1,7 @@
 //! Numeric domain strategies (`prop::num::f64::{POSITIVE, ANY}`).
 
 #[allow(non_snake_case)]
+/// `f64` strategies.
 pub mod f64 {
     use rand::{Rng, RngCore};
 
@@ -20,7 +21,9 @@ pub mod f64 {
     #[derive(Clone, Copy, Debug)]
     pub struct FloatStrategy(Kind);
 
+    /// Finite strictly-positive values, log-uniform in magnitude.
     pub const POSITIVE: FloatStrategy = FloatStrategy(Kind::Positive);
+    /// Uniform over bit patterns: negatives, zeros, infinities, NaN.
     pub const ANY: FloatStrategy = FloatStrategy(Kind::Any);
 
     impl Strategy for FloatStrategy {

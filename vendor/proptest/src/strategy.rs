@@ -12,6 +12,7 @@ use crate::test_runner::TestRng;
 
 /// A generator of test values.
 pub trait Strategy {
+    /// The type of the generated values.
     type Value;
 
     /// Draws one value.
@@ -177,6 +178,7 @@ pub struct Union<T> {
 }
 
 impl<T> Union<T> {
+    /// A strategy choosing uniformly between `arms`.
     pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
         assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
         Union { arms }

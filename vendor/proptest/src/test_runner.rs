@@ -4,7 +4,7 @@ use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
 /// Subset of upstream's config: only `cases` is consulted.
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub struct ProptestConfig {
     /// Number of cases each property runs.
     pub cases: u32,
@@ -17,6 +17,7 @@ impl Default for ProptestConfig {
 }
 
 impl ProptestConfig {
+    /// A config running `cases` cases per property.
     pub fn with_cases(cases: u32) -> Self {
         Self { cases }
     }
@@ -32,6 +33,7 @@ pub enum TestCaseError {
 }
 
 impl TestCaseError {
+    /// A failure carrying `message`.
     pub fn fail(message: impl Into<String>) -> Self {
         TestCaseError::Fail(message.into())
     }
@@ -68,6 +70,7 @@ pub struct TestRunner {
 }
 
 impl TestRunner {
+    /// A runner for the property named `name`.
     pub fn new(config: ProptestConfig, name: &str) -> Self {
         Self {
             cases: config.cases,
@@ -76,10 +79,12 @@ impl TestRunner {
         }
     }
 
+    /// Cases to run per property.
     pub fn cases(&self) -> u32 {
         self.cases
     }
 
+    /// The deterministic per-test RNG.
     pub fn rng(&mut self) -> &mut TestRng {
         &mut self.rng
     }

@@ -64,8 +64,7 @@ impl ThreadRng {
     pub(crate) fn fresh() -> Self {
         let nanos = SystemTime::now()
             .duration_since(UNIX_EPOCH)
-            .map(|d| d.as_nanos() as u64)
-            .unwrap_or(0x5EED);
+            .map_or(0x5EED, |d| d.as_nanos() as u64);
         let seq = THREAD_SEQ.fetch_add(1, Ordering::Relaxed);
         Self(StdRng::seed_from_u64(nanos ^ seq.rotate_left(32)))
     }

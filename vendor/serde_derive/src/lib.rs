@@ -7,11 +7,13 @@
 
 use proc_macro::TokenStream;
 
+/// Inert `#[derive(Serialize)]`: expands to nothing (blanket impl).
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
+/// Inert `#[derive(Deserialize)]`: expands to nothing (blanket impl).
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
