@@ -1,0 +1,445 @@
+//! A real tile grid: the fabric's physical substrate.
+//!
+//! [`TiledCim`] (tiles.rs) prices tiling *overheads* but still models one
+//! logical array — nothing actually owns a tile or shards work across
+//! tiles. [`TileGrid`] promotes the tile to a first-class unit: a grid of
+//! independent crossbar tiles, each with its own device budget, plus a
+//! [`Placement`] map recording which resident working set and operand
+//! columns live on which tile. Placement legality mirrors the
+//! `Mapper::check` model from `cim-compiler` (capacity per tile, no two
+//! operands sharing columns), re-expressed here so the architecture layer
+//! stays below the compiler in the dependency order.
+//!
+//! **Modelled vs executed scale.** The paper's DNA machine is 18 750
+//! clusters; the fabric executes on a handful of tiles as host-side
+//! dispatch shards. Routing costs are therefore priced from the *fixed*
+//! [`TileGrid::modeled_tiles`] (H-tree depth over the paper's cluster
+//! count), never from the executed tile count — that keeps every ledger
+//! bit-identical no matter how many tiles the run was sharded over, the
+//! same executed-scale-vs-paper-projection split the workloads use.
+
+use cim_units::Energy;
+use serde::{Deserialize, Serialize};
+
+use crate::cim::{CimMachine, CimOp, MemristorTech};
+use crate::tiles::{Controller, Interconnect};
+
+/// Position of one tile in the grid, row-major.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TileCoord {
+    /// Row index, from zero.
+    pub row: u32,
+    /// Column index, from zero.
+    pub col: u32,
+}
+
+impl std::fmt::Display for TileCoord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({},{})", self.row, self.col)
+    }
+}
+
+/// A grid of independent crossbar tiles sharing one technology and one
+/// interconnect/controller model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TileGrid {
+    /// Grid rows.
+    pub rows: u32,
+    /// Grid columns.
+    pub cols: u32,
+    /// Device budget of one tile.
+    pub tile_devices: u64,
+    /// The in-array operation tiles execute.
+    pub op: CimOp,
+    /// Device technology.
+    pub tech: MemristorTech,
+    /// Operand-movement model (H-tree hops).
+    pub interconnect: Interconnect,
+    /// Per-tile sequencer model.
+    pub controller: Controller,
+    /// Cluster count of the machine being *modelled* — routing depth is
+    /// priced from this fixed value, not from `rows × cols`, so ledgers
+    /// do not depend on how many tiles the host actually executed.
+    pub modeled_tiles: u64,
+}
+
+impl TileGrid {
+    /// The paper's DNA fabric: Table-1 5 nm devices, comparator tiles,
+    /// realistic interconnect/controller, 18 750 modelled clusters —
+    /// executed as a `rows × cols` grid of 1 Mb dispatch shards.
+    pub fn paper_dna(rows: u32, cols: u32) -> Self {
+        let monolith = CimMachine::dna_paper();
+        Self {
+            rows,
+            cols,
+            tile_devices: 1 << 20,
+            op: monolith.op,
+            tech: monolith.tech,
+            interconnect: Interconnect::realistic(),
+            controller: Controller::realistic(),
+            modeled_tiles: 18_750,
+        }
+    }
+
+    /// Number of executed tiles.
+    pub fn tiles(&self) -> u64 {
+        u64::from(self.rows) * u64::from(self.cols)
+    }
+
+    /// Total devices across the executed grid.
+    pub fn devices(&self) -> u64 {
+        self.tiles() * self.tile_devices
+    }
+
+    /// Coordinate of the tile at row-major `index`.
+    ///
+    /// # Panics
+    /// If `index` is outside the grid.
+    pub fn coord_of(&self, index: u64) -> TileCoord {
+        assert!(index < self.tiles(), "tile index {index} out of grid");
+        TileCoord {
+            row: u32::try_from(index / u64::from(self.cols)).expect("grid bound"),
+            col: u32::try_from(index % u64::from(self.cols)).expect("grid bound"),
+        }
+    }
+
+    /// Row-major index of a coordinate.
+    pub fn index_of(&self, coord: TileCoord) -> u64 {
+        u64::from(coord.row) * u64::from(self.cols) + u64::from(coord.col)
+    }
+
+    /// H-tree hops for one non-local operand at *modelled* scale: the
+    /// root round trip over `modeled_tiles` leaves. Deliberately
+    /// independent of the executed tile count.
+    pub fn route_hops(&self) -> u64 {
+        let tiles = self.modeled_tiles.max(2) as f64;
+        let hops = tiles.log2().ceil();
+        assert!(hops.is_finite() && hops >= 0.0, "hop depth must be finite");
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        {
+            hops as u64
+        }
+    }
+
+    /// Energy to move one operand word from a remote tile: hop energy ×
+    /// modelled hop depth.
+    pub fn route_energy(&self) -> Energy {
+        self.interconnect.hop_energy * self.route_hops() as f64
+    }
+
+    /// The tile that owns `key` under deterministic modular sharding.
+    /// A pure function of `(key, tiles)` so dispatch is reproducible.
+    pub fn home_tile(&self, key: u64) -> u64 {
+        key % self.tiles().max(1)
+    }
+
+    /// Simultaneous in-array operations on one tile.
+    pub fn parallel_ops_per_tile(&self) -> u64 {
+        (self.tile_devices / self.op.cost(&self.tech).devices as u64).max(1)
+    }
+}
+
+/// A span of crossbar columns `[column, column + width)` holding one
+/// operand on a tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OperandSpan {
+    /// First column of the span.
+    pub column: u32,
+    /// Columns occupied.
+    pub width: u32,
+}
+
+impl OperandSpan {
+    /// One-past-the-last column.
+    pub fn end(&self) -> u32 {
+        self.column + self.width
+    }
+
+    /// True when two spans share at least one column.
+    pub fn overlaps(&self, other: &OperandSpan) -> bool {
+        self.column < other.end() && other.column < self.end()
+    }
+}
+
+impl std::fmt::Display for OperandSpan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cols[{}..{})", self.column, self.end())
+    }
+}
+
+/// What one tile hosts: its resident device demand and the operand
+/// columns programs on it read through.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TileAssignment {
+    /// The tile.
+    pub tile: TileCoord,
+    /// Devices the resident working set requires on this tile.
+    pub devices_needed: u64,
+    /// Operand column spans; no two may overlap (two operands through
+    /// the same columns produce garbage, the `OperandColumnConflict`
+    /// failure mode of `Mapper::check`).
+    pub operands: Vec<OperandSpan>,
+}
+
+/// Why a placement is illegal, mirroring `cim_compiler::MapError` at
+/// tile granularity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlaceError {
+    /// An assignment names a tile outside the grid.
+    UnknownTile {
+        /// The out-of-grid coordinate.
+        tile: TileCoord,
+    },
+    /// Two assignments claim the same tile.
+    DuplicateTile {
+        /// The doubly-claimed coordinate.
+        tile: TileCoord,
+    },
+    /// A tile's resident working set exceeds its device budget.
+    TileCapacity {
+        /// The overcommitted tile.
+        tile: TileCoord,
+        /// Devices the assignment needs.
+        needed: u64,
+        /// Devices the tile has.
+        capacity: u64,
+    },
+    /// Two operands on one tile map to overlapping columns.
+    OperandOverlap {
+        /// The conflicted tile.
+        tile: TileCoord,
+        /// First span.
+        a: OperandSpan,
+        /// Second span.
+        b: OperandSpan,
+    },
+}
+
+impl std::fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlaceError::UnknownTile { tile } => {
+                write!(f, "tile {tile} is outside the grid")
+            }
+            PlaceError::DuplicateTile { tile } => {
+                write!(f, "tile {tile} is assigned twice")
+            }
+            PlaceError::TileCapacity {
+                tile,
+                needed,
+                capacity,
+            } => write!(f, "tile {tile} needs {needed} devices but has {capacity}"),
+            PlaceError::OperandOverlap { tile, a, b } => {
+                write!(f, "tile {tile}: operand {a} overlaps operand {b}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlaceError {}
+
+/// The placement map: which working set and operand columns live on
+/// which tile of a [`TileGrid`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Per-tile assignments.
+    pub assignments: Vec<TileAssignment>,
+}
+
+impl Placement {
+    /// A uniform placement: every tile hosts the same working set
+    /// (`devices_needed` devices) and two disjoint operand spans of
+    /// `operand_width` columns each — the layout the DNA fabric uses
+    /// (reference window in one span, query in the other).
+    pub fn uniform(grid: &TileGrid, devices_needed: u64, operand_width: u32) -> Self {
+        let assignments = (0..grid.tiles())
+            .map(|index| TileAssignment {
+                tile: grid.coord_of(index),
+                devices_needed,
+                operands: vec![
+                    OperandSpan {
+                        column: 0,
+                        width: operand_width,
+                    },
+                    OperandSpan {
+                        column: operand_width,
+                        width: operand_width,
+                    },
+                ],
+            })
+            .collect();
+        Self { assignments }
+    }
+
+    /// Checks legality against the grid: every tile exists and is
+    /// claimed at most once, no tile is over capacity, and no two
+    /// operand spans on one tile overlap. First violation wins.
+    pub fn check(&self, grid: &TileGrid) -> Result<(), PlaceError> {
+        let mut seen = std::collections::BTreeSet::new();
+        for assignment in &self.assignments {
+            let tile = assignment.tile;
+            if tile.row >= grid.rows || tile.col >= grid.cols {
+                return Err(PlaceError::UnknownTile { tile });
+            }
+            if !seen.insert(tile) {
+                return Err(PlaceError::DuplicateTile { tile });
+            }
+            if assignment.devices_needed > grid.tile_devices {
+                return Err(PlaceError::TileCapacity {
+                    tile,
+                    needed: assignment.devices_needed,
+                    capacity: grid.tile_devices,
+                });
+            }
+            for (i, a) in assignment.operands.iter().enumerate() {
+                for b in &assignment.operands[i + 1..] {
+                    if a.overlaps(b) {
+                        return Err(PlaceError::OperandOverlap { tile, a: *a, b: *b });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_indexing_round_trips() {
+        let grid = TileGrid::paper_dna(2, 3);
+        assert_eq!(grid.tiles(), 6);
+        for index in 0..grid.tiles() {
+            let coord = grid.coord_of(index);
+            assert_eq!(grid.index_of(coord), index);
+        }
+        assert_eq!(grid.coord_of(5), TileCoord { row: 1, col: 2 });
+        assert_eq!(grid.coord_of(5).to_string(), "(1,2)");
+    }
+
+    #[test]
+    fn route_hops_price_modelled_scale_not_executed_scale() {
+        // ceil(log2 18750) = 15 regardless of the executed grid shape.
+        for (r, c) in [(1, 1), (1, 2), (2, 2), (4, 4)] {
+            let grid = TileGrid::paper_dna(r, c);
+            assert_eq!(grid.route_hops(), 15, "{r}x{c}");
+            assert_eq!(grid.route_energy(), grid.interconnect.hop_energy * 15.0);
+        }
+    }
+
+    #[test]
+    fn home_tile_is_deterministic_modular_sharding() {
+        let grid = TileGrid::paper_dna(2, 2);
+        for key in 0..100 {
+            assert_eq!(grid.home_tile(key), key % 4);
+            assert!(grid.home_tile(key) < grid.tiles());
+        }
+    }
+
+    #[test]
+    fn uniform_placement_is_legal_on_its_grid() {
+        let grid = TileGrid::paper_dna(2, 2);
+        let placement = Placement::uniform(&grid, grid.tile_devices / 2, 64);
+        assert_eq!(placement.assignments.len(), 4);
+        assert_eq!(placement.check(&grid), Ok(()));
+    }
+
+    #[test]
+    fn capacity_violations_carry_the_tile_coordinate() {
+        let grid = TileGrid::paper_dna(2, 2);
+        let placement = Placement::uniform(&grid, grid.tile_devices + 1, 64);
+        match placement.check(&grid) {
+            Err(PlaceError::TileCapacity {
+                tile,
+                needed,
+                capacity,
+            }) => {
+                assert_eq!(tile, TileCoord { row: 0, col: 0 });
+                assert_eq!(needed, grid.tile_devices + 1);
+                assert_eq!(capacity, grid.tile_devices);
+            }
+            other => panic!("expected TileCapacity, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn operand_overlap_and_bad_tiles_are_rejected() {
+        let grid = TileGrid::paper_dna(1, 2);
+        let span = OperandSpan {
+            column: 10,
+            width: 32,
+        };
+        let clash = OperandSpan {
+            column: 41,
+            width: 8,
+        };
+        assert!(span.overlaps(&clash));
+        let placement = Placement {
+            assignments: vec![TileAssignment {
+                tile: TileCoord { row: 0, col: 1 },
+                devices_needed: 1,
+                operands: vec![span, clash],
+            }],
+        };
+        assert!(matches!(
+            placement.check(&grid),
+            Err(PlaceError::OperandOverlap { tile, .. }) if tile == TileCoord { row: 0, col: 1 }
+        ));
+
+        let outside = Placement {
+            assignments: vec![TileAssignment {
+                tile: TileCoord { row: 3, col: 0 },
+                devices_needed: 1,
+                operands: vec![],
+            }],
+        };
+        assert!(matches!(
+            outside.check(&grid),
+            Err(PlaceError::UnknownTile { .. })
+        ));
+
+        let twice = Placement {
+            assignments: vec![
+                TileAssignment {
+                    tile: TileCoord { row: 0, col: 0 },
+                    devices_needed: 1,
+                    operands: vec![],
+                },
+                TileAssignment {
+                    tile: TileCoord { row: 0, col: 0 },
+                    devices_needed: 1,
+                    operands: vec![],
+                },
+            ],
+        };
+        assert!(matches!(
+            twice.check(&grid),
+            Err(PlaceError::DuplicateTile { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_render_their_evidence() {
+        let err = PlaceError::TileCapacity {
+            tile: TileCoord { row: 1, col: 2 },
+            needed: 100,
+            capacity: 64,
+        };
+        let text = err.to_string();
+        assert!(text.contains("(1,2)") && text.contains("100") && text.contains("64"));
+        let overlap = PlaceError::OperandOverlap {
+            tile: TileCoord { row: 0, col: 0 },
+            a: OperandSpan {
+                column: 0,
+                width: 8,
+            },
+            b: OperandSpan {
+                column: 4,
+                width: 8,
+            },
+        };
+        assert!(overlap.to_string().contains("cols[0..8)"));
+    }
+}

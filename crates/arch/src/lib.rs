@@ -22,6 +22,7 @@ mod cache;
 mod cim;
 mod conventional;
 mod finfet;
+mod grid;
 mod metrics;
 mod taxonomy;
 mod tiles;
@@ -30,6 +31,7 @@ pub use cache::CacheSpec;
 pub use cim::{CimMachine, CimOp, MemristorTech};
 pub use conventional::{ByteComparator, ClaAdder, ConventionalMachine, FunctionalUnit};
 pub use finfet::FinfetTech;
+pub use grid::{OperandSpan, PlaceError, Placement, TileAssignment, TileCoord, TileGrid};
 pub use metrics::{Metrics, MetricsError, RunReport};
 pub use taxonomy::{working_set_sweep, LocationCost, WorkingSetLocation};
 pub use tiles::{Controller, Interconnect, TiledCim};

@@ -1,0 +1,225 @@
+//! Serving snapshot: drives sustained multi-tenant DNA query traffic
+//! (lookup / compare / add) through the tiled fabric's serving
+//! front-end and writes throughput and latency numbers to
+//! `BENCH_serve.json` at the workspace root, so the serving-path
+//! trajectory is tracked in-repo from PR to PR.
+//!
+//! ```bash
+//! cargo run --release -p cim-bench --bin bench_serve              # full run
+//! cargo run --release -p cim-bench --bin bench_serve -- --quick   # CI-sized
+//! cargo run --release -p cim-bench --bin bench_serve -- --check   # schema only
+//! cargo run --release -p cim-bench --bin bench_serve -- \
+//!     --tiles 4 --threads 4 --queue-depth 256 --tenant-quota 96
+//! ```
+//!
+//! Every run re-proves the fabric's two contracts before writing the
+//! snapshot: the serve trace is bit-identical across executed tile
+//! counts and thread counts, and the per-tile ledgers sum bit-for-bit
+//! to the fabric ledger (checked through `cim_verify::certify_tiles`).
+
+use std::time::Instant;
+
+use cim_bench::{repo_root_file, Args};
+use cim_fabric::{FabricExecutor, ServeConfig, ServeFrontEnd, ServeReport, TrafficSpec};
+use cim_sim::BatchPolicy;
+use cim_verify::{certify_tiles, TileClaim};
+
+const SCHEMA: &str = "cim-bench-serve/1";
+
+/// Every field a valid snapshot must carry, in schema order.
+const REQUIRED_FIELDS: [&str; 20] = [
+    "schema",
+    "queries",
+    "tenants",
+    "tiles",
+    "threads",
+    "queue_depth",
+    "tenant_quota",
+    "max_batch",
+    "admitted",
+    "rejected_queue_full",
+    "rejected_quota",
+    "batches",
+    "peak_queue",
+    "modelled_makespan_ns",
+    "modelled_throughput_qps",
+    "p50_ns",
+    "p99_ns",
+    "host_wall_ns",
+    "host_throughput_qps",
+    "fabric_energy_j",
+];
+
+fn check(path: &std::path::Path) -> Result<(), String> {
+    let body = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    if !body.trim_start().starts_with('{') || !body.trim_end().ends_with('}') {
+        return Err("snapshot is not a JSON object".into());
+    }
+    if !body.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
+        return Err(format!("snapshot does not declare schema {SCHEMA}"));
+    }
+    for field in REQUIRED_FIELDS {
+        if !body.contains(&format!("\"{field}\":")) {
+            return Err(format!("snapshot is missing required field '{field}'"));
+        }
+    }
+    Ok(())
+}
+
+/// Strict numeric flag: absent → `default`, present-but-garbage → exit 2
+/// (the `--threads` convention — an unparseable value must never fall
+/// back silently).
+fn numeric_flag(args: &Args, key: &str, default: usize) -> usize {
+    match args.value(key) {
+        None => default,
+        Some(raw) => raw.parse().unwrap_or_else(|_| {
+            eprintln!("error: {key} expects a non-negative integer, got `{raw}`");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn front_end(tiles: usize, threads: usize, config: ServeConfig) -> ServeFrontEnd {
+    ServeFrontEnd {
+        fabric: FabricExecutor::paper(1, tiles as u32, BatchPolicy::with_threads(threads)),
+        config,
+    }
+}
+
+/// Asserts the full determinism + conservation contract of `report`
+/// against re-runs on other partitions, and certifies the tile ledgers.
+fn prove_contracts(
+    fe: &ServeFrontEnd,
+    report: &ServeReport,
+    traffic: &TrafficSpec,
+    config: ServeConfig,
+) {
+    assert!(report.conserves(), "serve report does not conserve");
+    for (tiles, threads) in [(1usize, 1usize), (2, 4)] {
+        let other = front_end(tiles, threads, config)
+            .serve(traffic)
+            .expect("contract re-run");
+        assert_eq!(
+            other.checksum, report.checksum,
+            "{tiles}x{threads} checksum"
+        );
+        assert_eq!(
+            other.fabric_ledger, report.fabric_ledger,
+            "{tiles}x{threads} ledger"
+        );
+        assert_eq!(
+            other.histogram, report.histogram,
+            "{tiles}x{threads} latencies"
+        );
+    }
+    let claims: Vec<TileClaim> = report
+        .tiles
+        .iter()
+        .map(|t| TileClaim {
+            tile: t.tile,
+            counts: t.counts.clone(),
+            ledger: t.ledger.clone(),
+        })
+        .collect();
+    let cert = certify_tiles(
+        "serve",
+        fe.fabric.prices(),
+        &claims,
+        &report.fabric_counts,
+        &report.fabric_ledger,
+    );
+    assert!(cert.is_clean(), "tile certification failed:\n{cert}");
+}
+
+fn main() {
+    let args = Args::capture();
+    let path = repo_root_file("BENCH_serve.json");
+
+    if args.has("--check") {
+        match check(&path) {
+            Ok(()) => println!("[ok] {} matches schema {SCHEMA}", path.display()),
+            Err(e) => {
+                eprintln!("[fail] {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let quick = args.has("--quick");
+    let queries = numeric_flag(&args, "--queries", if quick { 4_000 } else { 20_000 });
+    let tiles = numeric_flag(&args, "--tiles", 4).max(1);
+    let threads = numeric_flag(&args, "--threads", 4);
+    let config = ServeConfig {
+        queue_depth: numeric_flag(&args, "--queue-depth", 256),
+        tenant_quota: numeric_flag(&args, "--tenant-quota", 96),
+        max_batch: numeric_flag(&args, "--max-batch", 64),
+        mean_gap_ps: 2_000,
+    };
+    let traffic = TrafficSpec::sustained(queries as u64, 2015);
+    let fe = front_end(tiles, threads, config);
+
+    // Host wall clock: median of a few full serve replays.
+    let samples = if quick { 3 } else { 7 };
+    let mut wall: Vec<u128> = Vec::with_capacity(samples);
+    let mut report = fe.serve(&traffic).expect("warm-up serve");
+    for _ in 0..samples {
+        let start = Instant::now();
+        report = fe.serve(&traffic).expect("timed serve");
+        wall.push(start.elapsed().as_nanos());
+    }
+    wall.sort_unstable();
+    let host_wall_ns = wall[wall.len() / 2] as f64;
+    let host_qps = report.completed as f64 * 1e9 / host_wall_ns;
+
+    prove_contracts(&fe, &report, &traffic, config);
+
+    let p50_ns = report.p50().get() * 1e9;
+    let p99_ns = report.p99().get() * 1e9;
+    let makespan_ns = report.makespan.get() * 1e9;
+    let energy_j = report.fabric_ledger.total_energy().get();
+
+    println!("== serving snapshot ({queries} queries, {tiles} tiles, {threads} threads) ==");
+    println!(
+        "admitted {:>8}   rejected {:>6} (queue) + {:>5} (quota)   batches {:>6}   peak queue {}",
+        report.admitted,
+        report.rejected_queue_full,
+        report.rejected_quota,
+        report.batches,
+        report.peak_queue
+    );
+    println!(
+        "modelled makespan  {makespan_ns:>12.1} ns   throughput {:>12.3e} q/s",
+        report.throughput_qps
+    );
+    println!("modelled latency   p50 {p50_ns:>8.1} ns   p99 {p99_ns:>8.1} ns");
+    println!("host wall          {host_wall_ns:>12.0} ns   throughput {host_qps:>12.0} q/s");
+    println!("fabric energy      {energy_j:>12.3e} J   (ledger conserves bit-for-bit)");
+
+    // The vendored serde is a no-op stub, so the snapshot is written by
+    // hand; `--check` validates exactly this shape.
+    let json = format!(
+        "{{\n  \"schema\": \"{SCHEMA}\",\n  \"queries\": {queries},\n  \
+         \"tenants\": {},\n  \"tiles\": {tiles},\n  \"threads\": {threads},\n  \
+         \"queue_depth\": {},\n  \"tenant_quota\": {},\n  \"max_batch\": {},\n  \
+         \"admitted\": {},\n  \"rejected_queue_full\": {},\n  \"rejected_quota\": {},\n  \
+         \"batches\": {},\n  \"peak_queue\": {},\n  \
+         \"modelled_makespan_ns\": {makespan_ns:.1},\n  \
+         \"modelled_throughput_qps\": {:.3e},\n  \"p50_ns\": {p50_ns:.1},\n  \
+         \"p99_ns\": {p99_ns:.1},\n  \"host_wall_ns\": {host_wall_ns:.0},\n  \
+         \"host_throughput_qps\": {host_qps:.0},\n  \"fabric_energy_j\": {energy_j:.3e}\n}}\n",
+        traffic.tenants,
+        config.queue_depth,
+        config.tenant_quota,
+        config.max_batch,
+        report.admitted,
+        report.rejected_queue_full,
+        report.rejected_quota,
+        report.batches,
+        report.peak_queue,
+        report.throughput_qps,
+    );
+    std::fs::write(&path, &json).expect("write BENCH_serve.json");
+    println!("\n[written] {}", path.display());
+}

@@ -1,0 +1,481 @@
+//! The fabric executor: query batches sharded across a tile grid.
+//!
+//! [`FabricExecutor`] owns a [`TileGrid`] plus a legal [`Placement`] and
+//! executes query batches by sharding them over the executed tiles
+//! (deterministic modular sharding on the query id) through the
+//! persistent deterministic driver (`cim_sim::par_units` — tiles are the
+//! parallelism grain, one worker per claimed tile). Every query runs its
+//! real in-array semantics — IMPLY comparator microprograms for
+//! lookups/compares, the ripple adder for adds — and is checked against
+//! plain host arithmetic; a disagreement is a loud
+//! [`SimError::Diverged`].
+//!
+//! **Determinism and conservation.** Per-tile outcomes are pure
+//! functions of the tile's query slice; the fabric merges them in tile
+//! order. Counts merge exactly (integer), checksums fold commutatively,
+//! and ledgers are dyadic evaluations of counts — so the fabric outcome
+//! is bit-identical for any executed tile count and any thread count,
+//! and the fabric ledger equals the tile-order sum of per-tile ledgers
+//! bit-for-bit (`cim_units::counts` has the proof obligations).
+
+use cim_arch::{Placement, RunReport, TileCoord, TileGrid};
+use cim_logic::{BitSliceEngine, Comparator, ImplyAdder, TcAdderModel};
+use cim_sim::{par_units, BatchPolicy, ExecutionBackend, KernelPolicy, RunOutcome, SimError};
+use cim_units::{Area, CostLedger, CountLedger, UnitCosts, MAX_EXACT_COUNT};
+use cim_workloads::{ExecutionDigest, ProjectionKind, Workload, WorkloadError};
+use serde::{Deserialize, Serialize};
+
+use crate::model::unit_costs;
+use crate::query::{Query, QueryOperands, TrafficSpec, ADD_BITS, WINDOW};
+
+/// What one tile produced for its shard of a batch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TileOutcome {
+    /// The tile.
+    pub tile: TileCoord,
+    /// Queries this tile executed.
+    pub queries: u64,
+    /// Primitive invocations this tile executed.
+    pub operations: u64,
+    /// Order-insensitive checksum over this tile's results.
+    pub checksum: u64,
+    /// Exact op counts (merge to the fabric counts).
+    pub counts: CountLedger,
+    /// Priced ledger (`evaluate(counts)`; sums bit-for-bit to the
+    /// fabric ledger).
+    pub ledger: CostLedger,
+}
+
+/// The merged result of one batch across the fabric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FabricOutcome {
+    /// Per-tile outcomes, in tile order.
+    pub tiles: Vec<TileOutcome>,
+    /// Functional summary of the batch.
+    pub digest: ExecutionDigest,
+    /// Exact fabric-wide op counts.
+    pub counts: CountLedger,
+    /// The fabric ledger: `evaluate(counts)` — bit-equal to the
+    /// tile-order merge of the per-tile ledgers.
+    pub ledger: CostLedger,
+}
+
+impl FabricOutcome {
+    /// Modelled makespan of the batch (sum of ledger time shares).
+    pub fn makespan(&self) -> cim_units::Time {
+        self.ledger.total_time()
+    }
+}
+
+/// Executes query batches across a [`TileGrid`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FabricExecutor {
+    /// The physical grid.
+    pub grid: TileGrid,
+    /// Which working set lives where (checked legal at construction).
+    pub placement: Placement,
+    /// Host threading for the tile dispatch. Results are identical at
+    /// every thread count; only wall-clock changes.
+    pub batch: BatchPolicy,
+    /// Functional kernel for the hot loops; both kernels produce
+    /// bit-identical outcomes.
+    pub kernel: KernelPolicy,
+    prices: UnitCosts,
+}
+
+impl FabricExecutor {
+    /// Machine label used in errors and reports.
+    pub const MACHINE: &'static str = "cim-fabric";
+
+    /// Builds an executor over a grid, rejecting illegal placements
+    /// (the static half of the contract `cim-verify` re-checks).
+    pub fn new(
+        grid: TileGrid,
+        placement: Placement,
+        batch: BatchPolicy,
+        kernel: KernelPolicy,
+    ) -> Result<Self, cim_arch::PlaceError> {
+        placement.check(&grid)?;
+        let prices = unit_costs(&grid);
+        Ok(Self {
+            grid,
+            placement,
+            batch,
+            kernel,
+            prices,
+        })
+    }
+
+    /// The paper DNA fabric on a `rows × cols` executed grid with the
+    /// uniform placement (reference window + query buffer per tile).
+    pub fn paper(rows: u32, cols: u32, batch: BatchPolicy) -> Self {
+        let grid = TileGrid::paper_dna(rows, cols);
+        let placement = Placement::uniform(&grid, grid.tile_devices / 2, WINDOW as u32);
+        Self::new(grid, placement, batch, KernelPolicy::default())
+            .expect("uniform placement is legal by construction")
+    }
+
+    /// The grid's price table (dyadic; see `cim_units::counts`).
+    pub fn prices(&self) -> &UnitCosts {
+        &self.prices
+    }
+
+    /// Total fabric area: crossbar cells plus per-tile sequencers.
+    pub fn area(&self) -> Area {
+        self.grid.tech.cell_area * self.grid.devices() as f64
+            + self.grid.controller.area() * self.grid.tiles() as f64
+    }
+
+    /// Executes one batch, sharding queries across the executed tiles.
+    pub fn execute(&self, queries: &[Query]) -> Result<FabricOutcome, SimError> {
+        let tiles = self.grid.tiles() as usize;
+        // Shard in arrival order: per-tile slices preserve the batch's
+        // relative order, so each tile's serial walk is a pure function
+        // of the batch content — never of the partition.
+        let mut shards: Vec<Vec<&Query>> = vec![Vec::new(); tiles];
+        for query in queries {
+            shards[self.grid.home_tile(query.home_key()) as usize].push(query);
+        }
+
+        let comparator = Comparator::new();
+        let adder = ImplyAdder::new(ADD_BITS);
+        let results = par_units(self.batch, tiles, |index| {
+            self.run_tile(index, &shards[index], &comparator, &adder)
+        });
+
+        let mut tile_outcomes = Vec::with_capacity(tiles);
+        let mut counts = CountLedger::new();
+        let mut checksum = 0u64;
+        let mut operations = 0u64;
+        for result in results {
+            let (outcome, diverged) = result;
+            if let Some(detail) = diverged {
+                return Err(SimError::Diverged {
+                    machine: Self::MACHINE,
+                    detail,
+                });
+            }
+            counts.merge(&outcome.counts);
+            checksum = checksum.wrapping_add(outcome.checksum);
+            operations += outcome.operations;
+            tile_outcomes.push(outcome);
+        }
+        let ledger = self.prices.evaluate(&counts);
+        debug_assert!(
+            cim_units::Component::ALL.iter().all(|&c| {
+                cim_units::Phase::ALL
+                    .iter()
+                    .all(|&p| counts.count(c, p) <= MAX_EXACT_COUNT)
+            }),
+            "a count cell exceeded the exact-evaluation bound"
+        );
+        Ok(FabricOutcome {
+            tiles: tile_outcomes,
+            digest: ExecutionDigest {
+                items_total: queries.len() as u64,
+                items_verified: queries.len() as u64,
+                operations,
+                checksum: Some(checksum),
+            },
+            counts,
+            ledger,
+        })
+    }
+
+    /// Prices a batch without executing it: the closed-form projection
+    /// (identical counts, no functional pass).
+    pub fn project_batch(&self, queries: &[Query]) -> (CountLedger, CostLedger) {
+        let mut counts = CountLedger::new();
+        for query in queries {
+            query.charge(&mut counts, &self.grid);
+        }
+        let ledger = self.prices.evaluate(&counts);
+        (counts, ledger)
+    }
+
+    /// Runs one tile's shard serially: real in-array semantics per
+    /// query, checked against host arithmetic, counts charged through
+    /// the single shared `Query::charge` definition.
+    fn run_tile(
+        &self,
+        index: usize,
+        shard: &[&Query],
+        comparator: &Comparator,
+        adder: &ImplyAdder,
+    ) -> (TileOutcome, Option<String>) {
+        let mut engine = BitSliceEngine::new();
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        let scalar_adder = TcAdderModel::new(ADD_BITS);
+        let mut counts = CountLedger::new();
+        let mut checksum = 0u64;
+        let mut operations = 0u64;
+        let mut diverged: Option<String> = None;
+        for query in shard {
+            let value = match query.operands() {
+                QueryOperands::Windows {
+                    query: q,
+                    reference,
+                } => match self.kernel {
+                    KernelPolicy::BitSliced => {
+                        let (mut s0, mut s1, mut r0, mut r1) = (0u64, 0u64, 0u64, 0u64);
+                        for (lane, (&s, &r)) in q.iter().zip(&reference).enumerate() {
+                            s0 |= u64::from(s & 1) << lane;
+                            s1 |= u64::from(s >> 1 & 1) << lane;
+                            r0 |= u64::from(r & 1) << lane;
+                            r1 |= u64::from(r >> 1 & 1) << lane;
+                        }
+                        let mask = (1u64 << WINDOW) - 1;
+                        comparator.matches_sliced(&mut engine, s0, s1, r0, r1) & mask
+                    }
+                    KernelPolicy::Scalar => {
+                        let program = comparator.eq_program();
+                        let mut mask = 0u64;
+                        let mut inputs = [false; 4];
+                        for (lane, (&s, &r)) in q.iter().zip(&reference).enumerate() {
+                            inputs[0] = s & 1 == 1;
+                            inputs[1] = s & 2 == 2;
+                            inputs[2] = r & 1 == 1;
+                            inputs[3] = r & 2 == 2;
+                            program.evaluate_into(&inputs, &mut scratch, &mut out);
+                            mask |= u64::from(out[0]) << lane;
+                        }
+                        mask
+                    }
+                },
+                QueryOperands::Words { a, b } => match self.kernel {
+                    KernelPolicy::BitSliced => {
+                        let mut sums = [0u64];
+                        adder.add_sliced(&mut engine, &[(a, b)], &mut sums);
+                        sums[0]
+                    }
+                    KernelPolicy::Scalar => scalar_adder.add(a, b),
+                },
+            };
+            let expect = query.expected_value();
+            if value != expect && diverged.is_none() {
+                diverged = Some(format!(
+                    "tile {} query {} ({}): in-array result {value:#x} \
+                     disagrees with host arithmetic {expect:#x}",
+                    self.grid.coord_of(index as u64),
+                    query.id,
+                    query.kind,
+                ));
+            }
+            checksum = checksum.wrapping_add(query.checksum_term(value));
+            operations += query.kind.operations();
+            query.charge(&mut counts, &self.grid);
+        }
+        let ledger = self.prices.evaluate(&counts);
+        (
+            TileOutcome {
+                tile: self.grid.coord_of(index as u64),
+                queries: shard.len() as u64,
+                operations,
+                checksum,
+                counts,
+                ledger,
+            },
+            diverged,
+        )
+    }
+}
+
+/// The serving workload: a deterministic query stream, verified against
+/// host arithmetic recomputed independently of the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeWorkload {
+    /// The traffic pattern.
+    pub traffic: TrafficSpec,
+}
+
+impl Workload for ServeWorkload {
+    fn name(&self) -> String {
+        format!(
+            "{} serving queries over {} tenants",
+            self.traffic.queries, self.traffic.tenants
+        )
+    }
+
+    fn seed(&self) -> u64 {
+        self.traffic.seed
+    }
+
+    fn paper_ops(&self) -> u64 {
+        self.traffic.operations()
+    }
+
+    fn scale_vs_paper(&self) -> f64 {
+        1.0
+    }
+
+    fn projection(&self) -> ProjectionKind {
+        ProjectionKind::ExecutedScale
+    }
+
+    fn verify(&self, digest: &ExecutionDigest) -> Result<(), WorkloadError> {
+        if digest.items_total == 0 {
+            return Err(WorkloadError::EmptyExecution);
+        }
+        if digest.items_total != self.traffic.queries {
+            return Err(WorkloadError::ItemCountMismatch {
+                expected: self.traffic.queries,
+                got: digest.items_total,
+            });
+        }
+        let expected = self.traffic.reference_checksum();
+        if digest.checksum != Some(expected) {
+            return Err(WorkloadError::ChecksumMismatch {
+                expected,
+                got: digest.checksum,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl ExecutionBackend<ServeWorkload> for FabricExecutor {
+    fn machine(&self) -> &'static str {
+        Self::MACHINE
+    }
+
+    fn run(&self, workload: &ServeWorkload) -> Result<RunOutcome, SimError> {
+        let queries = workload.traffic.generate();
+        let outcome = self.execute(&queries)?;
+        let report =
+            RunReport::from_ledger(outcome.digest.operations, self.area(), &outcome.ledger);
+        Ok(RunOutcome {
+            machine: Self::MACHINE,
+            report,
+            ledger: outcome.ledger.clone(),
+            digest: outcome.digest,
+            measured_hit_ratio: None,
+            index_hit_ratio: None,
+            notes: vec![format!(
+                "{} queries sharded over {} tiles, checksum verified against host arithmetic",
+                queries.len(),
+                self.grid.tiles()
+            )],
+        })
+    }
+
+    fn project_attributed(
+        &self,
+        workload: &ServeWorkload,
+        _hit_ratio: f64,
+    ) -> (RunReport, CostLedger) {
+        let queries = workload.traffic.generate();
+        let (_, ledger) = self.project_batch(&queries);
+        let operations: u64 = queries.iter().map(|q| q.kind.operations()).sum();
+        (
+            RunReport::from_ledger(operations, self.area(), &ledger),
+            ledger,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traffic(n: u64) -> Vec<Query> {
+        TrafficSpec::sustained(n, 42).generate()
+    }
+
+    #[test]
+    fn fabric_executes_and_verifies_a_batch() {
+        let fabric = FabricExecutor::paper(2, 2, BatchPolicy::SERIAL);
+        let queries = traffic(300);
+        let outcome = fabric.execute(&queries).expect("no divergence");
+        assert_eq!(outcome.digest.items_total, 300);
+        assert_eq!(
+            outcome.digest.checksum,
+            Some(TrafficSpec::sustained(300, 42).reference_checksum())
+        );
+        assert_eq!(outcome.tiles.len(), 4);
+        assert_eq!(outcome.tiles.iter().map(|t| t.queries).sum::<u64>(), 300);
+    }
+
+    #[test]
+    fn outcome_is_bit_identical_across_tile_and_thread_counts() {
+        let queries = traffic(500);
+        let reference = FabricExecutor::paper(1, 1, BatchPolicy::SERIAL)
+            .execute(&queries)
+            .expect("reference run");
+        for (rows, cols) in [(1, 2), (2, 2), (4, 1)] {
+            for threads in [1, 4] {
+                let fabric = FabricExecutor::paper(rows, cols, BatchPolicy::with_threads(threads));
+                let outcome = fabric.execute(&queries).expect("sharded run");
+                assert_eq!(outcome.digest, reference.digest, "{rows}x{cols}@{threads}");
+                assert_eq!(outcome.counts, reference.counts);
+                assert_eq!(outcome.ledger, reference.ledger);
+            }
+        }
+    }
+
+    #[test]
+    fn fabric_ledger_is_the_bitwise_sum_of_tile_ledgers() {
+        let fabric = FabricExecutor::paper(2, 2, BatchPolicy::SERIAL);
+        let outcome = fabric.execute(&traffic(400)).expect("run");
+        let mut folded = CostLedger::new();
+        for tile in &outcome.tiles {
+            folded.merge(&tile.ledger);
+        }
+        assert_eq!(folded, outcome.ledger);
+        assert_eq!(
+            folded.total_energy().get().to_bits(),
+            outcome.ledger.total_energy().get().to_bits()
+        );
+    }
+
+    #[test]
+    fn kernels_agree_bit_for_bit() {
+        let queries = traffic(200);
+        let grid = TileGrid::paper_dna(2, 1);
+        let placement = Placement::uniform(&grid, 1, WINDOW as u32);
+        let sliced = FabricExecutor::new(
+            grid.clone(),
+            placement.clone(),
+            BatchPolicy::SERIAL,
+            KernelPolicy::BitSliced,
+        )
+        .expect("legal");
+        let scalar =
+            FabricExecutor::new(grid, placement, BatchPolicy::SERIAL, KernelPolicy::Scalar)
+                .expect("legal");
+        let a = sliced.execute(&queries).expect("sliced");
+        let b = scalar.execute(&queries).expect("scalar");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn illegal_placements_are_rejected_at_construction() {
+        let grid = TileGrid::paper_dna(1, 1);
+        let placement = Placement::uniform(&grid, grid.tile_devices + 1, 8);
+        assert!(matches!(
+            FabricExecutor::new(
+                grid,
+                placement,
+                BatchPolicy::SERIAL,
+                KernelPolicy::default()
+            ),
+            Err(cim_arch::PlaceError::TileCapacity { .. })
+        ));
+    }
+
+    #[test]
+    fn backend_run_verifies_and_projection_matches_execution_ledger() {
+        let fabric = FabricExecutor::paper(2, 2, BatchPolicy::SERIAL);
+        let workload = ServeWorkload {
+            traffic: TrafficSpec::sustained(250, 9),
+        };
+        let run = fabric.run(&workload).expect("run");
+        assert!(workload.verify(&run.digest).is_ok());
+        assert!(run.report.conserves(&run.ledger));
+        // Projection (cost-only) equals execution's ledger bitwise: the
+        // counts are charged through the same single definition.
+        let (report, ledger) = fabric.project_attributed(&workload, 0.5);
+        assert_eq!(ledger, run.ledger);
+        assert_eq!(report.total_energy, run.report.total_energy);
+    }
+}

@@ -1,0 +1,34 @@
+//! cim-fabric: a tiled computation-in-memory fabric with an
+//! async-style serving front-end.
+//!
+//! The paper's architecture is not one crossbar but a sea of them —
+//! 18,750 clusters behind an H-tree. This crate lifts the simulator's
+//! single-array assumption into that shape, in three layers:
+//!
+//! * [`query`] — the unit of serving work: small DNA-lookup / compare /
+//!   add [`Query`]s, grouped into multi-tenant [`TrafficSpec`] streams.
+//!   Every operand, expected value, cost count, and locality draw is a
+//!   pure function of the query identity, never of where it executes.
+//! * [`fabric`] — [`FabricExecutor`] dispatches query batches across a
+//!   `cim_arch::TileGrid` of independent tiles via the deterministic
+//!   parallel driver; per-tile exact [`cim_units::CountLedger`]s merge
+//!   to the fabric ledger bit-for-bit (dyadic unit prices, see
+//!   [`model::unit_costs`]).
+//! * [`serve`] — [`ServeFrontEnd`] replays seeded arrivals through
+//!   admission control (bounded queue + tenant quota), batches
+//!   cross-tenant work into the fabric, and reports per-tenant
+//!   accounts plus a p50/p99 latency histogram — all on a modelled
+//!   integer-picosecond clock, bit-identical for any tile count and
+//!   thread count.
+
+pub mod fabric;
+pub mod model;
+pub mod query;
+pub mod serve;
+
+pub use fabric::{FabricExecutor, FabricOutcome, ServeWorkload, TileOutcome};
+pub use model::unit_costs;
+pub use query::{Query, QueryKind, QueryOperands, TenantId, TrafficSpec, ADD_BITS, WINDOW};
+pub use serve::{
+    LatencyHistogram, ServeConfig, ServeFrontEnd, ServeReport, TenantAccount, TileAccount,
+};

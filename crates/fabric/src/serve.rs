@@ -1,0 +1,595 @@
+//! The async-style serving front-end: queue, admission, batching,
+//! backpressure, per-tenant accounting, latency histogram.
+//!
+//! [`ServeFrontEnd::serve`] replays a deterministic arrival process
+//! against the fabric in **modelled time** (an integer picosecond
+//! clock): queries arrive with seeded interarrival gaps, pass admission
+//! control (a bounded queue plus a per-tenant quota — the backpressure
+//! surface), and drain as cross-tenant batches into the deterministic
+//! tile driver whenever the fabric is free. Each batch's modelled
+//! service time is a pure function of the batch *content* (slowest
+//! primitive in the batch, plus H-tree movement at modelled depth if
+//! any operand is remote), never of the executed tile partition — so
+//! the whole serve trace (who was admitted, how batches formed, every
+//! latency) is bit-identical for any tile count and any thread count,
+//! extending the fabric's determinism contract to the serving layer.
+//!
+//! Accounting is conserved at three granularities, all in exact count
+//! space: per-tenant counts, per-tile counts, and the fabric counts
+//! merge to the same totals, and the priced ledgers sum bit-for-bit
+//! (dyadic unit prices; see `cim_units::counts`).
+
+use std::collections::VecDeque;
+
+use cim_sim::SimError;
+use cim_units::{CostLedger, CountLedger, Time};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use cim_arch::TileCoord;
+
+use crate::fabric::FabricExecutor;
+use crate::query::{Query, QueryKind, TenantId, TrafficSpec};
+
+/// Admission and batching parameters of the front-end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Queue capacity; arrivals beyond it are rejected (backpressure).
+    pub queue_depth: usize,
+    /// Maximum queued queries per tenant; the fairness half of
+    /// admission control.
+    pub tenant_quota: usize,
+    /// Largest batch dispatched into the fabric at once.
+    pub max_batch: usize,
+    /// Mean modelled interarrival gap, in picoseconds.
+    pub mean_gap_ps: u64,
+}
+
+impl ServeConfig {
+    /// A sustained-overload default: arrivals (~0.5 query/ns) outpace
+    /// single-query service (3.2–26.6 ns), so batches form, the queue
+    /// fills, and admission control engages.
+    pub fn sustained() -> Self {
+        Self {
+            queue_depth: 256,
+            tenant_quota: 96,
+            max_batch: 64,
+            mean_gap_ps: 2_000,
+        }
+    }
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self::sustained()
+    }
+}
+
+/// Log-bucketed latency histogram over modelled picoseconds: four
+/// sub-buckets per power of two (HdrHistogram-style, ~19% worst-case
+/// resolution), which is enough for p50 and p99 to separate within one
+/// service-time binade.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    /// Bucket counts; see [`LatencyHistogram::bucket_bounds`] for the
+    /// `[lower, upper)` picosecond range of each index.
+    pub buckets: Vec<u64>,
+}
+
+impl LatencyHistogram {
+    /// Number of buckets: 3 exact sub-4 ps buckets plus 4 sub-buckets
+    /// per binade up to `u64::MAX` (whose bucket index is 250).
+    pub const NUM_BUCKETS: usize = 251;
+
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; Self::NUM_BUCKETS],
+        }
+    }
+
+    /// Bucket index of a latency: exact below 4 ps, then
+    /// `(exponent, 2-bit mantissa)` pairs.
+    fn bucket(latency_ps: u64) -> usize {
+        let ps = latency_ps.max(1);
+        let exponent = ps.ilog2() as usize;
+        if exponent < 2 {
+            ps as usize - 1
+        } else {
+            let mantissa = ((ps >> (exponent - 2)) & 3) as usize;
+            3 + (exponent - 2) * 4 + mantissa
+        }
+    }
+
+    /// `[lower, upper)` picosecond bounds of bucket `index`. The final
+    /// bucket's upper bound saturates to `u64::MAX` (its true bound,
+    /// 2^64, does not fit in a `u64`).
+    pub fn bucket_bounds(index: usize) -> (u64, u64) {
+        if index < 3 {
+            (index as u64 + 1, index as u64 + 2)
+        } else {
+            let exponent = (index - 3) / 4;
+            let mantissa = ((index - 3) % 4) as u128;
+            let clamp = |v: u128| u64::try_from(v).unwrap_or(u64::MAX);
+            (
+                clamp((4 + mantissa) << exponent),
+                clamp((5 + mantissa) << exponent),
+            )
+        }
+    }
+
+    /// Records one latency.
+    pub fn record(&mut self, latency_ps: u64) {
+        self.buckets[Self::bucket(latency_ps)] += 1;
+    }
+
+    /// Total recorded samples.
+    pub fn samples(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The `q`-quantile (0 < q ≤ 1) as the upper bound of the first
+    /// bucket whose cumulative count reaches it, or [`Time::ZERO`] when
+    /// empty. Bucket resolution (~19%) is the histogram's contract;
+    /// p50/p99 are read through this.
+    pub fn quantile(&self, q: f64) -> Time {
+        let total = self.samples();
+        if total == 0 {
+            return Time::ZERO;
+        }
+        let rank = (q * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &count) in self.buckets.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Time::from_pico_seconds(Self::bucket_bounds(i).1 as f64);
+            }
+        }
+        Time::from_pico_seconds(2f64.powi(64))
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Per-tenant serving account.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantAccount {
+    /// The tenant.
+    pub tenant: TenantId,
+    /// Queries this tenant submitted.
+    pub submitted: u64,
+    /// Queries admitted past both gates.
+    pub admitted: u64,
+    /// Rejections because the shared queue was full.
+    pub rejected_queue_full: u64,
+    /// Rejections because the tenant exceeded its quota.
+    pub rejected_quota: u64,
+    /// Queries completed by the fabric.
+    pub completed: u64,
+    /// Exact op counts attributed to this tenant.
+    pub counts: CountLedger,
+    /// Priced per-tenant ledger (`evaluate(counts)`).
+    pub ledger: CostLedger,
+}
+
+/// Per-tile serving account (aggregated over all batches).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TileAccount {
+    /// The tile.
+    pub tile: TileCoord,
+    /// Queries this tile executed.
+    pub queries: u64,
+    /// Exact op counts this tile accumulated.
+    pub counts: CountLedger,
+    /// Priced per-tile ledger (`evaluate(counts)`; these sum
+    /// bit-for-bit to [`ServeReport::fabric_ledger`]).
+    pub ledger: CostLedger,
+}
+
+/// Everything one serve run produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Queries submitted (the traffic size).
+    pub submitted: u64,
+    /// Queries admitted.
+    pub admitted: u64,
+    /// Rejections: shared queue full.
+    pub rejected_queue_full: u64,
+    /// Rejections: tenant over quota.
+    pub rejected_quota: u64,
+    /// Queries completed (equals `admitted`; the queue drains fully).
+    pub completed: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Deepest queue occupancy observed (backpressure evidence).
+    pub peak_queue: usize,
+    /// Modelled end-to-end makespan (last batch completion).
+    pub makespan: Time,
+    /// Modelled throughput: completed queries per makespan second.
+    pub throughput_qps: f64,
+    /// End-to-end latency histogram over completed queries.
+    pub histogram: LatencyHistogram,
+    /// Per-tenant accounts, in tenant order.
+    pub tenants: Vec<TenantAccount>,
+    /// Per-tile accounts, in tile order.
+    pub tiles: Vec<TileAccount>,
+    /// Exact fabric-wide counts (merge of the tile counts, and of the
+    /// tenant counts).
+    pub fabric_counts: CountLedger,
+    /// The fabric ledger: `evaluate(fabric_counts)` — bit-equal to the
+    /// sum of the per-tile (and per-tenant) ledgers.
+    pub fabric_ledger: CostLedger,
+    /// Order-insensitive checksum over completed queries' results.
+    pub checksum: u64,
+}
+
+impl ServeReport {
+    /// p50 modelled latency.
+    pub fn p50(&self) -> Time {
+        self.histogram.quantile(0.50)
+    }
+
+    /// p99 modelled latency.
+    pub fn p99(&self) -> Time {
+        self.histogram.quantile(0.99)
+    }
+
+    /// True when every conservation invariant holds bit-for-bit:
+    /// tile counts and tenant counts each merge to the fabric counts,
+    /// and tile/tenant ledgers each sum to the fabric ledger.
+    pub fn conserves(&self) -> bool {
+        let mut tile_counts = CountLedger::new();
+        let mut tile_ledgers = CostLedger::new();
+        for tile in &self.tiles {
+            tile_counts.merge(&tile.counts);
+            tile_ledgers.merge(&tile.ledger);
+        }
+        let mut tenant_counts = CountLedger::new();
+        let mut tenant_ledgers = CostLedger::new();
+        for tenant in &self.tenants {
+            tenant_counts.merge(&tenant.counts);
+            tenant_ledgers.merge(&tenant.ledger);
+        }
+        tile_counts == self.fabric_counts
+            && tenant_counts == self.fabric_counts
+            && tile_ledgers == self.fabric_ledger
+            && tenant_ledgers == self.fabric_ledger
+    }
+}
+
+/// The serving front-end: a fabric plus admission/batching policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeFrontEnd {
+    /// The execution substrate.
+    pub fabric: FabricExecutor,
+    /// Queue/admission/batching parameters.
+    pub config: ServeConfig,
+}
+
+impl ServeFrontEnd {
+    /// Modelled service time of one batch, in picoseconds: the slowest
+    /// primitive latency present in the batch, plus one H-tree traversal
+    /// at modelled depth if any operand is remote. A pure function of
+    /// the batch content — deliberately independent of the executed
+    /// tile partition, preserving cross-tile-count determinism.
+    fn batch_service_ps(&self, batch: &[Query]) -> u64 {
+        let grid = &self.fabric.grid;
+        let mut service = 0u64;
+        let mut any_remote = false;
+        for query in batch {
+            let latency = match query.kind {
+                QueryKind::Lookup | QueryKind::Compare => {
+                    cim_arch::CimOp::Comparator.cost(&grid.tech).latency
+                }
+                QueryKind::Add => {
+                    cim_arch::CimOp::TcAdder {
+                        bits: crate::query::ADD_BITS,
+                    }
+                    .cost(&grid.tech)
+                    .latency
+                }
+            };
+            service = service.max((latency.get() * 1e12).round() as u64);
+            any_remote |= !query.is_local(grid);
+        }
+        if any_remote {
+            service +=
+                grid.route_hops() * (grid.interconnect.hop_latency.get() * 1e12).round() as u64;
+        }
+        service.max(1)
+    }
+
+    /// Replays `traffic` through admission control and the fabric,
+    /// producing the full serving report. Deterministic: bit-identical
+    /// for any executed tile count and host thread count.
+    pub fn serve(&self, traffic: &TrafficSpec) -> Result<ServeReport, SimError> {
+        let queries = traffic.generate();
+        let tenants = traffic.tenants.max(1) as usize;
+        let mut gap_rng = StdRng::seed_from_u64(traffic.seed ^ 0x5E7E_5E7E_5E7E_5E7E);
+
+        let mut queue: VecDeque<(Query, u64)> = VecDeque::new();
+        let mut tenant_queued = vec![0usize; tenants];
+        let mut accounts: Vec<TenantAccount> = (0..tenants)
+            .map(|t| TenantAccount {
+                tenant: TenantId(t as u32),
+                submitted: 0,
+                admitted: 0,
+                rejected_queue_full: 0,
+                rejected_quota: 0,
+                completed: 0,
+                counts: CountLedger::new(),
+                ledger: CostLedger::new(),
+            })
+            .collect();
+        let mut tiles: Vec<TileAccount> = (0..self.fabric.grid.tiles())
+            .map(|i| TileAccount {
+                tile: self.fabric.grid.coord_of(i),
+                queries: 0,
+                counts: CountLedger::new(),
+                ledger: CostLedger::new(),
+            })
+            .collect();
+        let mut histogram = LatencyHistogram::new();
+        let mut fabric_counts = CountLedger::new();
+        let mut checksum = 0u64;
+        let (mut free_at, mut clock) = (0u64, 0u64);
+        let (mut batches, mut completed, mut peak_queue) = (0u64, 0u64, 0usize);
+
+        // One batch: pop up to max_batch in FIFO order (cross-tenant),
+        // execute on the fabric, account everything.
+        let mut dispatch = |start: u64,
+                            queue: &mut VecDeque<(Query, u64)>,
+                            tenant_queued: &mut [usize],
+                            accounts: &mut [TenantAccount],
+                            tiles: &mut [TileAccount],
+                            histogram: &mut LatencyHistogram,
+                            fabric_counts: &mut CountLedger,
+                            checksum: &mut u64|
+         -> Result<u64, SimError> {
+            let take = queue.len().min(self.config.max_batch);
+            let mut batch = Vec::with_capacity(take);
+            let mut arrivals = Vec::with_capacity(take);
+            for _ in 0..take {
+                let (query, arrived) = queue.pop_front().expect("len checked");
+                tenant_queued[query.tenant.0 as usize] -= 1;
+                batch.push(query);
+                arrivals.push(arrived);
+            }
+            let outcome = self.fabric.execute(&batch)?;
+            let service = self.batch_service_ps(&batch);
+            let completion = start + service;
+            for (query, arrived) in batch.iter().zip(&arrivals) {
+                histogram.record(completion - arrived);
+                let account = &mut accounts[query.tenant.0 as usize];
+                account.completed += 1;
+                query.charge(&mut account.counts, &self.fabric.grid);
+            }
+            for tile_outcome in &outcome.tiles {
+                let index = self.fabric.grid.index_of(tile_outcome.tile) as usize;
+                tiles[index].queries += tile_outcome.queries;
+                tiles[index].counts.merge(&tile_outcome.counts);
+            }
+            fabric_counts.merge(&outcome.counts);
+            *checksum =
+                checksum.wrapping_add(outcome.digest.checksum.expect("fabric always checksums"));
+            batches += 1;
+            completed += batch.len() as u64;
+            Ok(completion)
+        };
+
+        for query in &queries {
+            clock += 1 + gap_rng.gen::<u64>() % (2 * self.config.mean_gap_ps.max(1) - 1);
+            // Drain whatever the fabric can finish before this arrival.
+            while !queue.is_empty() && free_at <= clock {
+                let start = free_at.max(queue.front().expect("non-empty").1);
+                free_at = dispatch(
+                    start,
+                    &mut queue,
+                    &mut tenant_queued,
+                    &mut accounts,
+                    &mut tiles,
+                    &mut histogram,
+                    &mut fabric_counts,
+                    &mut checksum,
+                )?;
+            }
+            // Admission control: shared queue bound, then tenant quota.
+            let account = &mut accounts[query.tenant.0 as usize];
+            account.submitted += 1;
+            if queue.len() >= self.config.queue_depth {
+                account.rejected_queue_full += 1;
+                continue;
+            }
+            if tenant_queued[query.tenant.0 as usize] >= self.config.tenant_quota {
+                account.rejected_quota += 1;
+                continue;
+            }
+            account.admitted += 1;
+            tenant_queued[query.tenant.0 as usize] += 1;
+            queue.push_back((*query, clock));
+            peak_queue = peak_queue.max(queue.len());
+            // An idle fabric serves the arrival immediately; a busy one
+            // lets the queue build (that is where batches come from).
+            if free_at <= clock {
+                free_at = dispatch(
+                    clock,
+                    &mut queue,
+                    &mut tenant_queued,
+                    &mut accounts,
+                    &mut tiles,
+                    &mut histogram,
+                    &mut fabric_counts,
+                    &mut checksum,
+                )?;
+            }
+        }
+        // Drain the tail.
+        while !queue.is_empty() {
+            let start = free_at.max(queue.front().expect("non-empty").1);
+            free_at = dispatch(
+                start,
+                &mut queue,
+                &mut tenant_queued,
+                &mut accounts,
+                &mut tiles,
+                &mut histogram,
+                &mut fabric_counts,
+                &mut checksum,
+            )?;
+        }
+
+        let prices = self.fabric.prices();
+        for account in &mut accounts {
+            account.ledger = prices.evaluate(&account.counts);
+        }
+        for tile in &mut tiles {
+            tile.ledger = prices.evaluate(&tile.counts);
+        }
+        let fabric_ledger = prices.evaluate(&fabric_counts);
+        let makespan = Time::from_pico_seconds(free_at as f64);
+        let (rejected_queue_full, rejected_quota) = accounts.iter().fold((0, 0), |(f, q), a| {
+            (f + a.rejected_queue_full, q + a.rejected_quota)
+        });
+        Ok(ServeReport {
+            submitted: queries.len() as u64,
+            admitted: completed,
+            rejected_queue_full,
+            rejected_quota,
+            completed,
+            batches,
+            peak_queue,
+            makespan,
+            throughput_qps: if free_at == 0 {
+                0.0
+            } else {
+                completed as f64 / makespan.get()
+            },
+            histogram,
+            tenants: accounts,
+            tiles,
+            fabric_counts,
+            fabric_ledger,
+            checksum,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_sim::BatchPolicy;
+
+    fn front_end(rows: u32, cols: u32, threads: usize) -> ServeFrontEnd {
+        ServeFrontEnd {
+            fabric: FabricExecutor::paper(rows, cols, BatchPolicy::with_threads(threads)),
+            config: ServeConfig::sustained(),
+        }
+    }
+
+    #[test]
+    fn sustained_traffic_saturates_and_batches() {
+        let report = front_end(2, 2, 1)
+            .serve(&TrafficSpec::sustained(3_000, 17))
+            .expect("serves");
+        assert_eq!(report.submitted, 3_000);
+        assert_eq!(report.completed, report.admitted);
+        assert!(report.conserves(), "conservation failed");
+        // Overload dynamics: batching kicks in (fewer batches than
+        // queries) and the queue visibly builds.
+        assert!(report.batches < report.completed, "no batching happened");
+        assert!(report.peak_queue > 8, "queue never built");
+        assert!(report.histogram.samples() == report.completed);
+        assert!(report.p99() >= report.p50());
+        assert!(report.throughput_qps > 0.0);
+    }
+
+    #[test]
+    fn serve_trace_is_bit_identical_across_tiles_and_threads() {
+        let traffic = TrafficSpec::sustained(1_500, 23);
+        let reference = front_end(1, 1, 1).serve(&traffic).expect("reference");
+        for (rows, cols) in [(1, 2), (2, 2)] {
+            for threads in [1, 4] {
+                let report = front_end(rows, cols, threads).serve(&traffic).expect("run");
+                assert_eq!(report.checksum, reference.checksum);
+                assert_eq!(report.fabric_counts, reference.fabric_counts);
+                assert_eq!(report.fabric_ledger, reference.fabric_ledger);
+                assert_eq!(report.histogram, reference.histogram);
+                assert_eq!(report.tenants, reference.tenants);
+                assert_eq!(
+                    (
+                        report.admitted,
+                        report.rejected_queue_full,
+                        report.rejected_quota
+                    ),
+                    (
+                        reference.admitted,
+                        reference.rejected_queue_full,
+                        reference.rejected_quota
+                    )
+                );
+                assert_eq!(report.makespan, reference.makespan);
+            }
+        }
+    }
+
+    #[test]
+    fn tight_queues_reject_and_account_per_tenant() {
+        let mut fe = front_end(2, 1, 1);
+        fe.config = ServeConfig {
+            queue_depth: 8,
+            tenant_quota: 2,
+            max_batch: 4,
+            mean_gap_ps: 200,
+        };
+        let report = fe.serve(&TrafficSpec::sustained(2_000, 5)).expect("serves");
+        assert!(
+            report.rejected_queue_full + report.rejected_quota > 0,
+            "tight config never rejected"
+        );
+        for account in &report.tenants {
+            assert_eq!(
+                account.submitted,
+                account.admitted + account.rejected_queue_full + account.rejected_quota
+            );
+            assert_eq!(account.completed, account.admitted);
+        }
+        assert!(report.conserves());
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotone_and_bucketed() {
+        let mut h = LatencyHistogram::new();
+        for ps in [1u64, 2, 3, 1000, 1000, 1000, 1_000_000] {
+            h.record(ps);
+        }
+        assert_eq!(h.samples(), 7);
+        assert!(h.quantile(0.5) <= h.quantile(0.99));
+        // The 1000 ps samples land in [896, 1024): upper bound 1024 ps.
+        assert_eq!(h.quantile(0.5), Time::from_pico_seconds(1024.0));
+        assert_eq!(LatencyHistogram::new().quantile(0.5), Time::ZERO);
+    }
+
+    #[test]
+    fn histogram_buckets_tile_the_axis_without_gaps() {
+        // Bounds are contiguous and each sample lands inside its bucket.
+        // The final bucket's upper bound saturates, so contiguity is
+        // checked up to it.
+        for index in 0..LatencyHistogram::NUM_BUCKETS - 1 {
+            let (lower, upper) = LatencyHistogram::bucket_bounds(index);
+            assert!(lower < upper, "bucket {index}");
+            assert_eq!(upper, LatencyHistogram::bucket_bounds(index + 1).0);
+        }
+        for ps in (1u64..5000).chain([1 << 40, u64::MAX >> 1, u64::MAX]) {
+            let mut h = LatencyHistogram::new();
+            h.record(ps);
+            let index = h.buckets.iter().position(|&c| c == 1).expect("recorded");
+            let (lower, upper) = LatencyHistogram::bucket_bounds(index);
+            assert!(lower <= ps && ps <= upper, "{ps} not in [{lower},{upper}]");
+        }
+    }
+}

@@ -172,6 +172,61 @@ where
     out
 }
 
+/// Runs `work(unit_index)` for every unit in `0..units` and returns the
+/// results **in unit order** — the tile-granularity twin of the chunked
+/// drivers.
+///
+/// The chunked drivers above decompose *items* at [`CHUNK_SIZE`]
+/// granularity, which collapses to a serial walk when the work is a
+/// handful of coarse units (a fabric's tiles). Here each unit is one
+/// schedulable grain: workers claim unit indices from an atomic counter
+/// (dynamic load balancing, execution order unspecified) and the results
+/// are reassembled in index order, so the output is a pure function of
+/// `units` and `work` — bit-identical at any thread count. The caller's
+/// `work` must itself be deterministic per index (the per-tile executors
+/// are: each sees a fixed query slice in a fixed order).
+pub fn par_units<R, W>(policy: BatchPolicy, units: usize, work: W) -> Vec<R>
+where
+    R: Send,
+    W: Fn(usize) -> R + Sync,
+{
+    let requested = if policy.threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+    } else {
+        policy.threads
+    };
+    let threads = requested.min(units).max(1);
+    if threads <= 1 || units <= 1 {
+        return (0..units).map(work).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let (work, next) = (&work, &next);
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        if index >= units {
+                            break;
+                        }
+                        local.push((index, work(index)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|handle| handle.join().expect("unit worker panicked"))
+            .collect()
+    });
+    indexed.sort_unstable_by_key(|(index, _)| *index);
+    indexed.into_iter().map(|(_, result)| result).collect()
+}
+
 /// Shared engine: applies `work` to each fixed-size chunk (serially per
 /// chunk, chunks claimed dynamically by workers) and returns the chunk
 /// results **in chunk order**.
@@ -411,6 +466,53 @@ mod tests {
             );
             assert_eq!(ledger.total_count(), count as u64);
             assert_eq!(ledger, reference, "policy {policy:?}");
+        }
+    }
+
+    #[test]
+    fn unit_dispatch_preserves_unit_order_at_every_policy() {
+        // Coarse units (a fabric's tiles): results must come back in
+        // unit order no matter how workers interleave.
+        for units in [0usize, 1, 3, 7, 64] {
+            for policy in policies() {
+                let results = par_units(policy, units, |i| i * i);
+                assert_eq!(results, (0..units).map(|i| i * i).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn unit_dispatch_is_thread_count_invariant_for_ledgers() {
+        use cim_units::{Component, Energy, Phase};
+        // Each unit builds a sub-ledger; merging in unit order must be
+        // bit-identical across policies (non-associative f64 energies).
+        let build = |policy: BatchPolicy| {
+            let subs = par_units(policy, 7, |i| {
+                let mut sub = CostLedger::new();
+                for k in 0..50 * (i + 1) {
+                    sub.charge_energy(
+                        Component::ImplyStep,
+                        Phase::Map,
+                        Energy::new(1.0 / (k as f64 + 1.0)),
+                        1,
+                    );
+                }
+                sub
+            });
+            let mut total = CostLedger::new();
+            for sub in &subs {
+                total.merge(sub);
+            }
+            total
+        };
+        let reference = build(BatchPolicy::SERIAL);
+        for policy in policies() {
+            let ledger = build(policy);
+            assert_eq!(ledger, reference, "policy {policy:?}");
+            assert_eq!(
+                ledger.total_energy().get().to_bits(),
+                reference.total_energy().get().to_bits()
+            );
         }
     }
 

@@ -35,7 +35,8 @@ mod hierarchy;
 
 pub use backend::{ExecutionBackend, RunOutcome, SimError};
 pub use batch::{
-    par_charge_chunks, par_fold_chunks, par_fold_slices, par_map, BatchPolicy, CHUNK_SIZE,
+    par_charge_chunks, par_fold_chunks, par_fold_slices, par_map, par_units, BatchPolicy,
+    CHUNK_SIZE,
 };
 pub use cache::{CacheConfig, CacheSim};
 pub use cim_exec::{CimExecutor, KernelPolicy};

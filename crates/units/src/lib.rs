@@ -22,10 +22,12 @@
 //! [`std::fmt::Display`], which the benchmark harness uses to print
 //! paper-style tables.
 
+mod counts;
 mod display;
 mod ledger;
 mod quantity;
 
+pub use counts::{dyadic, CountLedger, UnitCosts, DYADIC_BITS, MAX_EXACT_COUNT};
 pub use display::EngNotation;
 pub use ledger::{Component, CostEntry, CostLedger, LedgerEntry, Phase, PhaseScope};
 pub use quantity::{

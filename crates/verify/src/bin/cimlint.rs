@@ -3,7 +3,7 @@
 //! ```text
 //! cimlint                  lint every shipped program and graph
 //! cimlint --deny-warnings  CI mode: warnings fail too
-//! cimlint --fixtures       run the five seeded-defect fixtures and
+//! cimlint --fixtures       run the six seeded-defect fixtures and
 //!                          require each to be rejected
 //! cimlint --list           list the registry and exit
 //! ```
@@ -13,10 +13,11 @@
 
 use std::process::ExitCode;
 
+use cim_arch::{Placement, TileGrid};
 use cim_device::DeviceParams;
 use cim_verify::{
-    certify_plan, check_graph_mapping, check_program_mapping, removable_steps, seeded_defects,
-    shipped_graphs, shipped_programs, verify_program, CostCertificate, FabricSpec,
+    certify_plan, check_graph_mapping, check_placement, check_program_mapping, removable_steps,
+    seeded_defects, shipped_graphs, shipped_programs, verify_program, CostCertificate, FabricSpec,
 };
 
 fn lint_shipped(deny_warnings: bool) -> bool {
@@ -50,6 +51,16 @@ fn lint_shipped(deny_warnings: bool) -> bool {
         println!("{report}");
         ok &= report.passes(deny_warnings);
     }
+    // The fabric path: the DNA serving placement every tile executes.
+    let grid = TileGrid::paper_dna(2, 2);
+    let placement = Placement::uniform(&grid, grid.tile_devices / 2, 64);
+    let report = check_placement("fabric-placement", &placement, &grid);
+    println!(
+        "{report}  [{} tiles x {} devices]",
+        grid.tiles(),
+        grid.tile_devices
+    );
+    ok &= report.passes(deny_warnings);
     ok
 }
 

@@ -12,10 +12,11 @@
 
 use serde::{Deserialize, Serialize};
 
+use cim_arch::TileCoord;
 use cim_compiler::CompiledPlan;
 use cim_device::DeviceParams;
 use cim_logic::{ImplyParams, LogicCost, Program};
-use cim_units::{Component, CostLedger, Energy, Phase, Time};
+use cim_units::{Component, CostLedger, CountLedger, Energy, Phase, Time, UnitCosts};
 
 use crate::diagnostics::{Diagnostic, Report};
 
@@ -187,6 +188,92 @@ pub fn certify_plan(name: &str, plan: &CompiledPlan) -> Report {
     report
 }
 
+/// What one fabric tile claims it cost: its exact op counts and the
+/// priced ledger derived from them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TileClaim {
+    /// The tile.
+    pub tile: TileCoord,
+    /// Exact op counts the tile accumulated.
+    pub counts: CountLedger,
+    /// The ledger the tile reports (`prices.evaluate(counts)` if honest).
+    pub ledger: CostLedger,
+}
+
+/// Certifies a fabric run's per-tile accounting against the price table.
+///
+/// Three conservation laws, all checked **bit for bit** (the fabric's
+/// dyadic unit prices make exact equality the contract, not a hope):
+///
+/// 1. every tile's ledger equals `prices.evaluate(counts)` re-derived
+///    from its own counts (`tile-ledger-mismatch`, anchored to the tile);
+/// 2. the tile counts merge to the fabric counts
+///    (`count-conservation`);
+/// 3. the tile ledgers sum to the fabric ledger, which itself equals
+///    `prices.evaluate(fabric_counts)` (`ledger-conservation`).
+pub fn certify_tiles(
+    name: &str,
+    prices: &UnitCosts,
+    tiles: &[TileClaim],
+    fabric_counts: &CountLedger,
+    fabric_ledger: &CostLedger,
+) -> Report {
+    let mut report = Report::new(name);
+    let mut merged_counts = CountLedger::new();
+    let mut summed_ledgers = CostLedger::new();
+    for claim in tiles {
+        let derived = prices.evaluate(&claim.counts);
+        if derived != claim.ledger {
+            report.push(
+                Diagnostic::error(
+                    "tile-ledger-mismatch",
+                    format!(
+                        "tile {} reports a ledger its own counts do not reproduce \
+                         (claimed {} total energy, certificate derives {})",
+                        claim.tile,
+                        claim.ledger.total_energy(),
+                        derived.total_energy()
+                    ),
+                )
+                .at_tile(claim.tile.row, claim.tile.col),
+            );
+        }
+        merged_counts.merge(&claim.counts);
+        summed_ledgers.merge(&claim.ledger);
+    }
+    if &merged_counts != fabric_counts {
+        report.push(Diagnostic::error(
+            "count-conservation",
+            format!(
+                "tile counts merge to {} ops but the fabric claims {}",
+                merged_counts.total(),
+                fabric_counts.total()
+            ),
+        ));
+    }
+    if &summed_ledgers != fabric_ledger {
+        report.push(Diagnostic::error(
+            "ledger-conservation",
+            format!(
+                "tile ledgers sum to {} total energy but the fabric ledger holds {}",
+                summed_ledgers.total_energy(),
+                fabric_ledger.total_energy()
+            ),
+        ));
+    }
+    if &prices.evaluate(fabric_counts) != fabric_ledger {
+        report.push(Diagnostic::error(
+            "ledger-conservation",
+            format!(
+                "the fabric ledger is not the priced evaluation of the fabric counts \
+                 ({} total ops)",
+                fabric_counts.total()
+            ),
+        ));
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,6 +320,73 @@ mod tests {
         let report = cert.check_claim("cmp", &bad);
         assert!(report.has_code("cost-claim-mismatch"));
         assert!(report.to_string().contains("steps"), "{report}");
+    }
+
+    #[test]
+    fn tile_certification_holds_bitwise_and_catches_tampering() {
+        // A hand-built two-tile fabric: prices with awkward mantissas
+        // (dyadically quantized by `set`), uneven per-tile counts.
+        let mut prices = UnitCosts::new();
+        prices.set(
+            Component::ImplyStep,
+            Phase::Map,
+            Energy::new(45e-15),
+            Time::from_pico_seconds(3.7),
+        );
+        prices.set(
+            Component::Interconnect,
+            Phase::Index,
+            Energy::new(50e-15),
+            Time::from_pico_seconds(0.3),
+        );
+        let mut tiles = Vec::new();
+        let mut fabric_counts = CountLedger::new();
+        for (i, (steps, hops)) in [(12_345u64, 67u64), (891u64, 2_222u64)].iter().enumerate() {
+            let mut counts = CountLedger::new();
+            counts.charge(Component::ImplyStep, Phase::Map, *steps);
+            counts.charge(Component::Interconnect, Phase::Index, *hops);
+            fabric_counts.merge(&counts);
+            tiles.push(TileClaim {
+                tile: TileCoord {
+                    row: 0,
+                    col: i as u32,
+                },
+                ledger: prices.evaluate(&counts),
+                counts,
+            });
+        }
+        let fabric_ledger = prices.evaluate(&fabric_counts);
+        assert!(
+            certify_tiles("fabric", &prices, &tiles, &fabric_counts, &fabric_ledger).is_clean()
+        );
+
+        // Tamper with one tile's ledger by one count's worth of energy:
+        // caught, and anchored to that tile.
+        let mut tampered = tiles.clone();
+        tampered[1].ledger = prices.evaluate(&{
+            let mut c = tampered[1].counts.clone();
+            c.charge(Component::ImplyStep, Phase::Map, 1);
+            c
+        });
+        let report = certify_tiles("fabric", &prices, &tampered, &fabric_counts, &fabric_ledger);
+        assert!(report.has_code("tile-ledger-mismatch"), "{report}");
+        assert!(report.has_code("ledger-conservation"), "{report}");
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "tile-ledger-mismatch")
+            .expect("present");
+        assert_eq!(d.tile, Some((0, 1)));
+
+        // Drop a tile: counts no longer conserve.
+        let report = certify_tiles(
+            "fabric",
+            &prices,
+            &tiles[..1],
+            &fabric_counts,
+            &fabric_ledger,
+        );
+        assert!(report.has_code("count-conservation"), "{report}");
     }
 
     #[test]

@@ -41,6 +41,8 @@ pub struct Diagnostic {
     pub register: Option<usize>,
     /// Tensor-IR node the finding anchors to, if any.
     pub node: Option<usize>,
+    /// Fabric tile `(row, col)` the finding anchors to, if any.
+    pub tile: Option<(u32, u32)>,
 }
 
 impl Diagnostic {
@@ -53,6 +55,7 @@ impl Diagnostic {
             step: None,
             register: None,
             node: None,
+            tile: None,
         }
     }
 
@@ -65,6 +68,7 @@ impl Diagnostic {
             step: None,
             register: None,
             node: None,
+            tile: None,
         }
     }
 
@@ -85,6 +89,12 @@ impl Diagnostic {
         self.node = Some(node);
         self
     }
+
+    /// Anchors the finding to a fabric tile coordinate.
+    pub fn at_tile(mut self, row: u32, col: u32) -> Self {
+        self.tile = Some((row, col));
+        self
+    }
 }
 
 impl std::fmt::Display for Diagnostic {
@@ -98,6 +108,9 @@ impl std::fmt::Display for Diagnostic {
         }
         if let Some(node) = self.node {
             write!(f, " t{node}")?;
+        }
+        if let Some((row, col)) = self.tile {
+            write!(f, " tile({row},{col})")?;
         }
         write!(f, ": {}", self.message)
     }

@@ -1,9 +1,11 @@
-//! The five seeded-defect fixtures the acceptance criteria require
+//! The six seeded-defect fixtures the acceptance criteria require
 //! `cimlint` to reject, each with the diagnostic code it must raise.
 //!
 //! They are deliberately minimal: one defect per fixture, anchored to a
-//! specific step/register/node so the diagnostics can be asserted on.
+//! specific step/register/node/tile so the diagnostics can be asserted
+//! on.
 
+use cim_arch::{Placement, TileGrid};
 use cim_compiler::{queries, Graph, Mapper};
 use cim_logic::{Comparator, LogicCost, Program, Step};
 
@@ -43,6 +45,17 @@ pub enum Fixture {
         /// Diagnostic code the verifier must raise.
         expect: &'static str,
     },
+    /// A tile placement that is illegal on its grid.
+    Placement {
+        /// Fixture name.
+        name: &'static str,
+        /// The placement.
+        placement: Placement,
+        /// The grid it claims to target.
+        grid: TileGrid,
+        /// Diagnostic code the verifier must raise.
+        expect: &'static str,
+    },
 }
 
 impl Fixture {
@@ -51,7 +64,8 @@ impl Fixture {
         match self {
             Fixture::Program { name, .. }
             | Fixture::Graph { name, .. }
-            | Fixture::Claim { name, .. } => name,
+            | Fixture::Claim { name, .. }
+            | Fixture::Placement { name, .. } => name,
         }
     }
 
@@ -60,7 +74,8 @@ impl Fixture {
         match self {
             Fixture::Program { expect, .. }
             | Fixture::Graph { expect, .. }
-            | Fixture::Claim { expect, .. } => expect,
+            | Fixture::Claim { expect, .. }
+            | Fixture::Placement { expect, .. } => expect,
         }
     }
 
@@ -92,6 +107,12 @@ impl Fixture {
                 let cert = crate::cost_cert::CostCertificate::broadcast(program, &device, 1);
                 cert.check_claim(name, claim)
             }
+            Fixture::Placement {
+                name,
+                placement,
+                grid,
+                ..
+            } => crate::mapping::check_placement(name, placement, grid),
         }
     }
 
@@ -102,7 +123,7 @@ impl Fixture {
     }
 }
 
-/// The five seeded defects of the acceptance criteria.
+/// The six seeded defects of the acceptance criteria.
 pub fn seeded_defects() -> Vec<Fixture> {
     let cmp = Comparator::new();
     let comparator = cmp.eq_program().clone();
@@ -157,6 +178,17 @@ pub fn seeded_defects() -> Vec<Fixture> {
             claim: wrong_claim,
             expect: "cost-claim-mismatch",
         },
+        // 6. Overcommitted tile: a uniform placement demanding one more
+        // device than the 1 Mb tile budget, on every tile of a 2x2 grid.
+        Fixture::Placement {
+            name: "defect-tile-capacity",
+            placement: {
+                let grid = TileGrid::paper_dna(2, 2);
+                Placement::uniform(&grid, grid.tile_devices + 1, 64)
+            },
+            grid: TileGrid::paper_dna(2, 2),
+            expect: "tile-capacity",
+        },
     ]
 }
 
@@ -165,9 +197,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn all_five_defects_are_rejected_with_their_codes() {
+    fn all_six_defects_are_rejected_with_their_codes() {
         let fixtures = seeded_defects();
-        assert_eq!(fixtures.len(), 5);
+        assert_eq!(fixtures.len(), 6);
         for fixture in &fixtures {
             let report = fixture.verify();
             assert!(
@@ -201,6 +233,9 @@ mod tests {
                 "defect-unmappable-graph" => assert!(d.node.is_some()),
                 "defect-cost-claim" => {
                     assert!(d.message.contains("steps"), "{}", d.message);
+                }
+                "defect-tile-capacity" => {
+                    assert_eq!(d.tile, Some((0, 0)));
                 }
                 other => panic!("unknown fixture {other}"),
             }

@@ -15,12 +15,15 @@
 //!   pass (property-tested: `optimize(p).evaluate ≡ p.evaluate`);
 //! * [`mapping`] — legality of a program or graph against a
 //!   [`mapping::FabricSpec`]: capacity and operand-column conflicts
-//!   (via [`cim_compiler::Mapper::check`]), register-to-column fit, and
-//!   half-select exposure of the bias scheme vs. device thresholds;
+//!   (via [`cim_compiler::Mapper::check`]), register-to-column fit,
+//!   half-select exposure of the bias scheme vs. device thresholds, and
+//!   tile-placement legality over a `cim_arch::TileGrid` with findings
+//!   anchored to tile coordinates;
 //! * [`cost_cert`] — closed-form step/latency/energy certificates the
-//!   dynamic [`cim_units::CostLedger`] must match bit for bit;
+//!   dynamic [`cim_units::CostLedger`] must match bit for bit, and
+//!   per-tile count/ledger conservation ([`certify_tiles`]);
 //! * [`shipped`] / [`fixtures`] — the registry CI lints clean and the
-//!   five seeded defects it must reject.
+//!   six seeded defects it must reject.
 //!
 //! The error-severity subset (uninitialized reads, input clobbers) is
 //! wired directly into [`cim_logic::Program::validate`], so it already
@@ -51,11 +54,13 @@ pub mod mapping;
 pub mod optimize;
 pub mod shipped;
 
-pub use cost_cert::{certify_plan, CostCertificate};
+pub use cost_cert::{certify_plan, certify_tiles, CostCertificate, TileClaim};
 pub use dataflow::{abstract_states, analyze_program, live_steps, AbstractBit, DefUse};
 pub use diagnostics::{Diagnostic, Report, Severity};
 pub use fixtures::{seeded_defects, Fixture};
-pub use mapping::{check_fabric, check_graph_mapping, check_program_mapping, FabricSpec};
+pub use mapping::{
+    check_fabric, check_graph_mapping, check_placement, check_program_mapping, FabricSpec,
+};
 pub use optimize::{eliminate_dead_steps, removable_steps};
 pub use shipped::{shipped_graphs, shipped_programs, ShippedGraph, ShippedProgram};
 

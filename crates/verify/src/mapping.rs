@@ -12,10 +12,14 @@
 //! * **Half-select exposure** against the device thresholds: the bias
 //!   scheme's worst-case stress on unselected cells must stay at or
 //!   below both switching thresholds, or every broadcast step disturbs
-//!   the rest of the array (paper Section IV.B).
+//!   the rest of the array (paper Section IV.B);
+//! * **Tile placement** over a `cim_arch::TileGrid`: the same
+//!   capacity/operand-conflict model at tile granularity, every finding
+//!   anchored to its tile coordinate.
 
 use serde::{Deserialize, Serialize};
 
+use cim_arch::{Placement, TileGrid};
 use cim_compiler::{Graph, Mapper};
 use cim_crossbar::{BiasScheme, Geometry};
 use cim_device::DeviceParams;
@@ -165,9 +169,74 @@ pub fn check_graph_mapping(name: &str, graph: &Graph, spec: &FabricSpec) -> Repo
     report
 }
 
+/// Checks a tile placement against its grid: the same legality model as
+/// `Placement::check` (tile exists, claimed once, capacity respected,
+/// operand spans disjoint), but reporting **every** violation rather
+/// than the first, each anchored to its tile coordinate. This is the
+/// lint surface; `Placement::check` is the execution gate.
+pub fn check_placement(name: &str, placement: &Placement, grid: &TileGrid) -> Report {
+    let mut report = Report::new(name);
+    let mut seen = std::collections::BTreeSet::new();
+    for assignment in &placement.assignments {
+        let tile = assignment.tile;
+        if tile.row >= grid.rows || tile.col >= grid.cols {
+            report.push(
+                Diagnostic::error(
+                    "unknown-tile",
+                    format!(
+                        "assignment names tile {tile} but the grid is {}x{}",
+                        grid.rows, grid.cols
+                    ),
+                )
+                .at_tile(tile.row, tile.col),
+            );
+            continue;
+        }
+        if !seen.insert(tile) {
+            report.push(
+                Diagnostic::error(
+                    "duplicate-tile",
+                    format!("tile {tile} is claimed by more than one assignment"),
+                )
+                .at_tile(tile.row, tile.col),
+            );
+        }
+        if assignment.devices_needed > grid.tile_devices {
+            report.push(
+                Diagnostic::error(
+                    "tile-capacity",
+                    format!(
+                        "tile {tile} hosts a {}-device working set but offers {} devices",
+                        assignment.devices_needed, grid.tile_devices
+                    ),
+                )
+                .at_tile(tile.row, tile.col),
+            );
+        }
+        for (i, a) in assignment.operands.iter().enumerate() {
+            for b in &assignment.operands[i + 1..] {
+                if a.overlaps(b) {
+                    report.push(
+                        Diagnostic::error(
+                            "tile-operand-conflict",
+                            format!(
+                                "tile {tile}: operand {a} overlaps operand {b}; both read \
+                                 through the same crossbar columns"
+                            ),
+                        )
+                        .at_tile(tile.row, tile.col),
+                    );
+                }
+            }
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cim_arch::{OperandSpan, TileAssignment, TileCoord};
     use cim_compiler::{queries, GraphBuilder};
     use cim_logic::{Comparator, ProgramBuilder};
 
@@ -241,5 +310,72 @@ mod tests {
         assert!(report.has_code("operand-conflict"), "{report}");
 
         assert!(check_graph_mapping("count-eq", &graph, &FabricSpec::paper()).is_clean());
+    }
+
+    #[test]
+    fn placement_lint_reports_every_violation_with_tile_coordinates() {
+        let grid = TileGrid::paper_dna(2, 2);
+        assert!(check_placement(
+            "uniform",
+            &Placement::uniform(&grid, grid.tile_devices / 2, 64),
+            &grid
+        )
+        .is_clean());
+
+        // One placement with all four defect classes at once: the lint
+        // must surface all of them, not stop at the first like
+        // `Placement::check`.
+        let bad = Placement {
+            assignments: vec![
+                TileAssignment {
+                    tile: TileCoord { row: 0, col: 0 },
+                    devices_needed: grid.tile_devices + 7,
+                    operands: vec![],
+                },
+                TileAssignment {
+                    tile: TileCoord { row: 0, col: 0 },
+                    devices_needed: 1,
+                    operands: vec![
+                        OperandSpan {
+                            column: 0,
+                            width: 32,
+                        },
+                        OperandSpan {
+                            column: 16,
+                            width: 32,
+                        },
+                    ],
+                },
+                TileAssignment {
+                    tile: TileCoord { row: 9, col: 0 },
+                    devices_needed: 1,
+                    operands: vec![],
+                },
+            ],
+        };
+        assert!(bad.check(&grid).is_err());
+        let report = check_placement("bad", &bad, &grid);
+        for code in [
+            "tile-capacity",
+            "duplicate-tile",
+            "tile-operand-conflict",
+            "unknown-tile",
+        ] {
+            assert!(report.has_code(code), "missing {code}: {report}");
+        }
+        assert_eq!(report.errors(), 4);
+        let capacity = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "tile-capacity")
+            .expect("present");
+        assert_eq!(capacity.tile, Some((0, 0)));
+        assert!(capacity.to_string().contains("tile(0,0)"), "{capacity}");
+        let outside = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "unknown-tile")
+            .expect("present");
+        assert_eq!(outside.tile, Some((9, 0)));
     }
 }

@@ -3,7 +3,7 @@
 //! * dead-step elimination is semantics-preserving on random valid
 //!   programs (exhaustive over inputs) and reaches a lint-clean fixpoint;
 //! * every shipped program and graph lints clean under `--deny-warnings`;
-//! * the five seeded-defect fixtures are each rejected with their code;
+//! * the six seeded-defect fixtures are each rejected with their code;
 //! * the closed-form cost certificate equals the dynamic
 //!   `RowParallelEngine` ledger **bit for bit** for every shipped program.
 
@@ -116,7 +116,7 @@ fn every_shipped_graph_maps_and_conserves_cost() {
 #[test]
 fn all_seeded_defect_fixtures_are_rejected() {
     let fixtures = seeded_defects();
-    assert_eq!(fixtures.len(), 5);
+    assert_eq!(fixtures.len(), 6);
     for fixture in &fixtures {
         assert!(
             fixture.rejected_as_expected(),
