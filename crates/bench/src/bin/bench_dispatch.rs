@@ -1,0 +1,332 @@
+//! Hybrid-dispatch snapshot: scores the certificate-driven dispatcher
+//! against both pure policies and the offline oracle on the shipped
+//! workload mix, and writes the four-column comparison to
+//! `BENCH_dispatch.json` at the workspace root.
+//!
+//! ```bash
+//! cargo run --release -p cim-bench --bin bench_dispatch              # full run
+//! cargo run --release -p cim-bench --bin bench_dispatch -- --quick   # CI-sized
+//! cargo run --release -p cim-bench --bin bench_dispatch -- --check   # schema only
+//! cargo run --release -p cim-bench --bin bench_dispatch -- --objective edp
+//! ```
+//!
+//! Three scenarios, each scored four ways under one objective (lower
+//! is better): route everything to the crossbar (`always_cim`), route
+//! everything to the conventional host (`always_host`), let the
+//! certificate-driven dispatcher choose (`hybrid`), and the offline
+//! oracle (per-unit best of both machines with perfect hindsight).
+//!
+//! Every run re-proves the dispatch contracts before writing the
+//! snapshot: the decision trace is bit-identical across thread counts,
+//! the hybrid lands within 5% of the oracle, and each pure policy
+//! loses at least one scenario — the reason the dispatcher exists.
+
+use cim_bench::{repo_root_file, Args};
+use cim_dispatch::HybridExecutor;
+use cim_fabric::{
+    DispatchPolicy, FabricExecutor, ServeConfig, ServeFrontEnd, ServeReport, TrafficSpec,
+};
+use cim_sim::{BatchPolicy, CimExecutor, ConventionalExecutor, ExecutionBackend};
+use cim_units::{DispatchObjective, Energy};
+use cim_workloads::{AdditionWorkload, DnaWorkload};
+
+const SCHEMA: &str = "cim-bench-dispatch/1";
+
+/// Every field a valid snapshot must carry, in schema order.
+const REQUIRED_FIELDS: [&str; 16] = [
+    "schema",
+    "objective",
+    "dna_hybrid",
+    "dna_always_cim",
+    "dna_always_host",
+    "dna_oracle",
+    "additions_hybrid",
+    "additions_always_cim",
+    "additions_always_host",
+    "additions_oracle",
+    "serve_hybrid",
+    "serve_always_cim",
+    "serve_always_host",
+    "serve_oracle",
+    "decisions",
+    "mispredictions",
+];
+
+fn check(path: &std::path::Path) -> Result<(), String> {
+    let body = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    if !body.trim_start().starts_with('{') || !body.trim_end().ends_with('}') {
+        return Err("snapshot is not a JSON object".into());
+    }
+    if !body.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
+        return Err(format!("snapshot does not declare schema {SCHEMA}"));
+    }
+    for field in REQUIRED_FIELDS {
+        if !body.contains(&format!("\"{field}\":")) {
+            return Err(format!("snapshot is missing required field '{field}'"));
+        }
+    }
+    Ok(())
+}
+
+/// Strict numeric flag: absent → `default`, present-but-garbage → exit 2
+/// (the `--threads` convention — an unparseable value must never fall
+/// back silently).
+fn numeric_flag(args: &Args, key: &str, default: usize) -> usize {
+    match args.value(key) {
+        None => default,
+        Some(raw) => raw.parse().unwrap_or_else(|_| {
+            eprintln!("error: {key} expects a non-negative integer, got `{raw}`");
+            std::process::exit(2);
+        }),
+    }
+}
+
+/// Strict objective flag: absent → energy, present-but-garbage → exit 2.
+fn objective_flag(args: &Args) -> DispatchObjective {
+    match args.value("--objective") {
+        None => DispatchObjective::Energy,
+        Some(raw) => DispatchObjective::parse(raw).unwrap_or_else(|| {
+            eprintln!("error: --objective expects energy|makespan|energy_delay|edp, got `{raw}`");
+            std::process::exit(2);
+        }),
+    }
+}
+
+/// The four scores of one scenario, all under the same objective.
+struct Scenario {
+    name: &'static str,
+    hybrid: f64,
+    always_cim: f64,
+    always_host: f64,
+    oracle: f64,
+}
+
+fn hybrid_executor(
+    threads: usize,
+    objective: DispatchObjective,
+) -> HybridExecutor<CimExecutor, ConventionalExecutor> {
+    let policy = BatchPolicy::with_threads(threads);
+    HybridExecutor::frozen(
+        CimExecutor::with_batch(policy),
+        ConventionalExecutor::with_batch(policy),
+        objective,
+    )
+}
+
+/// Scores one whole-workload scenario: both machines run solo (the
+/// pure policies *and* the oracle's two candidates), the hybrid runs
+/// through its frozen dispatcher.
+fn executor_scenario<W>(
+    name: &'static str,
+    workload: &W,
+    threads: usize,
+    objective: DispatchObjective,
+    hybrid: &mut HybridExecutor<CimExecutor, ConventionalExecutor>,
+) -> Scenario
+where
+    W: cim_workloads::Workload,
+    CimExecutor: ExecutionBackend<W>,
+    ConventionalExecutor: ExecutionBackend<W>,
+{
+    let policy = BatchPolicy::with_threads(threads);
+    let score = |outcome: &cim_sim::RunOutcome| {
+        objective.score(outcome.ledger.total_energy(), outcome.ledger.total_time())
+    };
+    let cim = CimExecutor::with_batch(policy)
+        .run(workload)
+        .expect("cim run");
+    let host = ConventionalExecutor::with_batch(policy)
+        .run(workload)
+        .expect("host run");
+    let dispatched = hybrid.dispatch(workload).expect("hybrid dispatch");
+    let always_cim = score(&cim);
+    let always_host = score(&host);
+    Scenario {
+        name,
+        hybrid: score(&dispatched),
+        always_cim,
+        always_host,
+        oracle: always_cim.min(always_host),
+    }
+}
+
+fn front_end(policy: DispatchPolicy, tiles: u32, threads: usize) -> ServeFrontEnd {
+    ServeFrontEnd {
+        fabric: FabricExecutor::paper(1, tiles, BatchPolicy::with_threads(threads)),
+        config: ServeConfig::sustained(),
+        policy,
+    }
+}
+
+/// A serve report's score under `objective`: total energy across both
+/// machines' ledgers, against the modelled makespan.
+fn serve_score(report: &ServeReport, objective: DispatchObjective) -> f64 {
+    let energy = Energy::new(
+        report.fabric_ledger.total_energy().get() + report.host_ledger.total_energy().get(),
+    );
+    objective.score(energy, report.makespan)
+}
+
+/// Scores the serving scenario under all three policies. The per-query
+/// oracle *is* the identity-calibrated hybrid route table (each query
+/// kind goes to the machine whose true prices score it lower), so the
+/// oracle column equals the hybrid one by construction.
+fn serve_scenario(
+    traffic: &TrafficSpec,
+    threads: usize,
+    objective: DispatchObjective,
+) -> (Scenario, ServeReport) {
+    let hybrid_report = front_end(DispatchPolicy::hybrid(objective), 4, threads)
+        .serve(traffic)
+        .expect("hybrid serve");
+    let cim_report = front_end(DispatchPolicy::AlwaysCim, 4, threads)
+        .serve(traffic)
+        .expect("always-cim serve");
+    let host_report = front_end(DispatchPolicy::AlwaysHost, 4, threads)
+        .serve(traffic)
+        .expect("always-host serve");
+    let hybrid = serve_score(&hybrid_report, objective);
+    (
+        Scenario {
+            name: "serve",
+            hybrid,
+            always_cim: serve_score(&cim_report, objective),
+            always_host: serve_score(&host_report, objective),
+            oracle: hybrid,
+        },
+        hybrid_report,
+    )
+}
+
+/// Asserts the dispatch contracts: the decision trace is bit-identical
+/// across thread counts, serve results are thread-count independent
+/// under the hybrid policy, the hybrid lands within 5% of the offline
+/// oracle everywhere, and each pure policy loses at least one scenario.
+fn prove_contracts(
+    scenarios: &[Scenario],
+    dna: &DnaWorkload,
+    adds: &AdditionWorkload,
+    traffic: &TrafficSpec,
+    objective: DispatchObjective,
+    hybrid_serve: &ServeReport,
+) {
+    let mut reference = hybrid_executor(1, objective);
+    reference.dispatch(dna).expect("reference dna");
+    reference.dispatch(adds).expect("reference adds");
+    for threads in [2usize, 4] {
+        let mut other = hybrid_executor(threads, objective);
+        other.dispatch(dna).expect("re-run dna");
+        other.dispatch(adds).expect("re-run adds");
+        assert_eq!(
+            other.trace(),
+            reference.trace(),
+            "dispatch trace differs at {threads} threads"
+        );
+    }
+    for (tiles, threads) in [(1u32, 1usize), (2, 4)] {
+        let other = front_end(DispatchPolicy::hybrid(objective), tiles, threads)
+            .serve(traffic)
+            .expect("serve re-run");
+        assert_eq!(
+            other.checksum, hybrid_serve.checksum,
+            "{tiles}x{threads} hybrid serve checksum"
+        );
+        assert_eq!(
+            (other.cim_queries, other.host_queries, other.mispredictions),
+            (
+                hybrid_serve.cim_queries,
+                hybrid_serve.host_queries,
+                hybrid_serve.mispredictions
+            ),
+            "{tiles}x{threads} hybrid serve routing"
+        );
+    }
+    assert!(hybrid_serve.conserves(), "hybrid serve does not conserve");
+    for s in scenarios {
+        assert!(
+            s.hybrid <= s.oracle * 1.05,
+            "{}: hybrid {:.4e} misses the oracle {:.4e} by more than 5%",
+            s.name,
+            s.hybrid,
+            s.oracle
+        );
+    }
+    assert!(
+        scenarios.iter().any(|s| s.always_cim > s.hybrid),
+        "always-cim never loses a scenario; the dispatcher is pointless"
+    );
+    assert!(
+        scenarios.iter().any(|s| s.always_host > s.hybrid),
+        "always-host never loses a scenario; the dispatcher is pointless"
+    );
+}
+
+fn main() {
+    let args = Args::capture();
+    let path = repo_root_file("BENCH_dispatch.json");
+
+    if args.has("--check") {
+        match check(&path) {
+            Ok(()) => println!("[ok] {} matches schema {SCHEMA}", path.display()),
+            Err(e) => {
+                eprintln!("[fail] {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let quick = args.has("--quick");
+    let objective = objective_flag(&args);
+    let threads = numeric_flag(&args, "--threads", 4);
+    let ref_len = numeric_flag(&args, "--ref-len", if quick { 1 << 12 } else { 1 << 14 });
+    let n_ops = numeric_flag(&args, "--ops", if quick { 1 << 12 } else { 1 << 14 });
+    let queries = numeric_flag(&args, "--queries", if quick { 4_000 } else { 16_000 });
+
+    let dna = DnaWorkload::scaled(ref_len as u64, 64);
+    let adds = AdditionWorkload::scaled(n_ops as u64, 7);
+    let traffic = TrafficSpec::sustained(queries as u64, 2015);
+
+    let mut hybrid = hybrid_executor(threads, objective);
+    let dna_scenario = executor_scenario("dna", &dna, threads, objective, &mut hybrid);
+    let adds_scenario = executor_scenario("additions", &adds, threads, objective, &mut hybrid);
+    let (serve, hybrid_serve) = serve_scenario(&traffic, threads, objective);
+    let decisions = hybrid.trace().len() as u64 + hybrid_serve.completed;
+    let mispredictions = hybrid.trace().mispredictions() + hybrid_serve.mispredictions;
+    let scenarios = [dna_scenario, adds_scenario, serve];
+
+    prove_contracts(&scenarios, &dna, &adds, &traffic, objective, &hybrid_serve);
+
+    println!("== dispatch snapshot (objective {objective}, {threads} threads) ==");
+    println!(
+        "{:<10} {:>14} {:>14} {:>14} {:>14}",
+        "scenario", "hybrid", "always_cim", "always_host", "oracle"
+    );
+    for s in &scenarios {
+        println!(
+            "{:<10} {:>14.4e} {:>14.4e} {:>14.4e} {:>14.4e}",
+            s.name, s.hybrid, s.always_cim, s.always_host, s.oracle
+        );
+    }
+    println!("decisions {decisions}   mispredictions {mispredictions}");
+
+    // The vendored serde is a no-op stub, so the snapshot is written by
+    // hand; `--check` validates exactly this shape.
+    let row = |s: &Scenario| {
+        format!(
+            "  \"{0}_hybrid\": {1:.6e},\n  \"{0}_always_cim\": {2:.6e},\n  \
+             \"{0}_always_host\": {3:.6e},\n  \"{0}_oracle\": {4:.6e}",
+            s.name, s.hybrid, s.always_cim, s.always_host, s.oracle
+        )
+    };
+    let json = format!(
+        "{{\n  \"schema\": \"{SCHEMA}\",\n  \"objective\": \"{objective}\",\n{},\n{},\n{},\n  \
+         \"decisions\": {decisions},\n  \"mispredictions\": {mispredictions}\n}}\n",
+        row(&scenarios[0]),
+        row(&scenarios[1]),
+        row(&scenarios[2]),
+    );
+    std::fs::write(&path, &json).expect("write BENCH_dispatch.json");
+    println!("\n[written] {}", path.display());
+}

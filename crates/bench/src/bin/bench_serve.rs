@@ -20,7 +20,9 @@
 use std::time::Instant;
 
 use cim_bench::{repo_root_file, Args};
-use cim_fabric::{FabricExecutor, ServeConfig, ServeFrontEnd, ServeReport, TrafficSpec};
+use cim_fabric::{
+    DispatchPolicy, FabricExecutor, ServeConfig, ServeFrontEnd, ServeReport, TrafficSpec,
+};
 use cim_sim::BatchPolicy;
 use cim_verify::{certify_tiles, TileClaim};
 
@@ -84,6 +86,7 @@ fn front_end(tiles: usize, threads: usize, config: ServeConfig) -> ServeFrontEnd
     ServeFrontEnd {
         fabric: FabricExecutor::paper(1, tiles as u32, BatchPolicy::with_threads(threads)),
         config,
+        policy: DispatchPolicy::AlwaysCim,
     }
 }
 

@@ -1,6 +1,7 @@
 //! Comparison reports rendered in the paper's Table-2 shape.
 
 use cim_arch::{Metrics, MetricsError, RunReport};
+use cim_dispatch::DispatchTrace;
 use cim_units::{Component, CostEntry, CostLedger};
 use serde::{Deserialize, Serialize};
 
@@ -15,6 +16,8 @@ pub struct ComparisonReport {
     conventional_metrics: Metrics,
     cim_metrics: Metrics,
     notes: Vec<String>,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    dispatch: Option<DispatchTrace>,
 }
 
 impl ComparisonReport {
@@ -42,6 +45,7 @@ impl ComparisonReport {
             conventional_ledger,
             cim_ledger,
             notes: Vec::new(),
+            dispatch: None,
         })
     }
 
@@ -49,6 +53,19 @@ impl ComparisonReport {
     pub fn with_note(mut self, note: String) -> Self {
         self.notes.push(note);
         self
+    }
+
+    /// Attaches the hybrid dispatcher's decision trace, so the report
+    /// records not only what each machine cost but which machine the
+    /// certified scores would route each workload to.
+    pub fn with_dispatch(mut self, trace: DispatchTrace) -> Self {
+        self.dispatch = Some(trace);
+        self
+    }
+
+    /// The attached dispatch trace, if any.
+    pub fn dispatch(&self) -> Option<&DispatchTrace> {
+        self.dispatch.as_ref()
     }
 
     /// The workload label.
@@ -122,7 +139,40 @@ impl ComparisonReport {
         for note in &self.notes {
             out.push_str(&format!("\n_{note}_\n"));
         }
+        if let Some(section) = self.dispatch_markdown() {
+            out.push('\n');
+            out.push_str(&section);
+        }
         out
+    }
+
+    /// Renders the dispatch-decision section, when a trace is attached:
+    /// one row per decision (route, both predicted scores, the observed
+    /// score) plus the misprediction tally.
+    pub fn dispatch_markdown(&self) -> Option<String> {
+        let trace = self.dispatch.as_ref()?;
+        let mut out = String::new();
+        out.push_str(&format!("#### {} — dispatch decisions\n\n", self.workload));
+        out.push_str("| Workload | Objective | Route | CIM score | Host score | Observed |\n");
+        out.push_str("|---|---|---|---|---|---|\n");
+        for d in &trace.decisions {
+            let flag = if d.mispredicted { " ⚠" } else { "" };
+            out.push_str(&format!(
+                "| {} | {} | {}{flag} | {:.4e} | {:.4e} | {:.4e} |\n",
+                d.workload,
+                d.objective.label(),
+                d.route,
+                d.cim_score,
+                d.host_score,
+                d.observed_score,
+            ));
+        }
+        out.push_str(&format!(
+            "\n_{} decisions, {} mispredicted._\n",
+            trace.len(),
+            trace.mispredictions()
+        ));
+        Some(out)
     }
 
     /// The components either machine spent anything in, canonical order,
@@ -404,6 +454,43 @@ mod tests {
         assert!((conv_t / c.conventional().total_time.as_seconds() - 1.0).abs() < 1e-12);
         assert!((cim_e / c.cim().total_energy.as_joules() - 1.0).abs() < 1e-12);
         assert!((cim_t / c.cim().total_time.as_seconds() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dispatch_section_renders_only_when_attached() {
+        use cim_dispatch::{DispatchDecision, Route};
+        use cim_units::DispatchObjective;
+        let bare = comparison();
+        assert!(bare.dispatch().is_none());
+        assert!(bare.dispatch_markdown().is_none());
+        assert!(!bare.to_markdown().contains("dispatch decisions"));
+        let mut trace = DispatchTrace::new();
+        trace.push(DispatchDecision {
+            workload: "dna ref_len=4096".into(),
+            route: Route::Cim,
+            objective: DispatchObjective::Energy,
+            cim_score: 1.0e-10,
+            host_score: 3.0e-7,
+            observed_score: 1.0e-10,
+            mispredicted: false,
+        });
+        trace.push(DispatchDecision {
+            workload: "additions n=4096".into(),
+            route: Route::Host,
+            objective: DispatchObjective::Energy,
+            cim_score: 2.0e-9,
+            host_score: 1.0e-9,
+            observed_score: 3.0e-9,
+            mispredicted: true,
+        });
+        let with = comparison().with_dispatch(trace);
+        let md = with.to_markdown();
+        assert!(md.contains("dispatch decisions"));
+        assert!(md.contains("| dna ref_len=4096 | energy | cim |"));
+        assert!(md.contains("host ⚠"));
+        assert!(md.contains("2 decisions, 1 mispredicted."));
+        assert_eq!(with.dispatch().unwrap().len(), 2);
+        assert_eq!(with.dispatch().unwrap().mispredictions(), 1);
     }
 
     #[test]

@@ -1,0 +1,253 @@
+//! Online calibration: certified predictions versus observed ledgers,
+//! reconciled in exact count-space.
+//!
+//! After every dispatched run the calibrator compares the estimate's
+//! predicted [`CostLedger`] against the ledger the run actually
+//! charged, and (in [`CalibrationMode::Online`]) refines one dyadic
+//! scale factor per component × phase cell. The refinement never
+//! leaves the conservation contract: factors are quantised through
+//! [`ScaleTable::set`] (dyadic mantissas), applied to prices via
+//! [`ScaleTable::rescale`] (which re-quantises through
+//! `UnitCosts::set`), so a calibrated prediction is still *exact
+//! counts × dyadic prices* — the same currency every ledger in the
+//! workspace conserves bit-for-bit.
+//!
+//! [`CalibrationMode::Frozen`] records prediction errors without
+//! touching the scales, which is what reproducible benches use: the
+//! route taken on run *n* can never depend on the runs before it.
+
+use cim_sim::CostEstimate;
+use cim_units::{Component, CostLedger, Phase, ScaleTable};
+use serde::{Deserialize, Serialize};
+
+use crate::trace::Route;
+
+/// Whether observations refine the scale tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CalibrationMode {
+    /// Scales never change; errors are still recorded. Use for
+    /// reproducible benches, where decision `n` must not depend on
+    /// runs `0..n`.
+    Frozen,
+    /// Each observation refits the observed machine's per-cell scale
+    /// factors (dyadically quantised).
+    Online,
+}
+
+/// Tracks per-machine scale tables and the prediction-error history.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Calibrator {
+    mode: CalibrationMode,
+    cim: ScaleTable,
+    host: ScaleTable,
+    errors: Vec<f64>,
+}
+
+/// Relative error between a predicted and an observed non-negative
+/// quantity: zero when both are zero, one when only the observation is
+/// zero (the prediction invented cost from nothing).
+fn relative_error(predicted: f64, observed: f64) -> f64 {
+    if observed > 0.0 {
+        (predicted - observed).abs() / observed
+    } else if predicted > 0.0 {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+impl Calibrator {
+    /// A calibrator with identity scales in the given mode.
+    pub fn new(mode: CalibrationMode) -> Self {
+        Self {
+            mode,
+            cim: ScaleTable::identity(),
+            host: ScaleTable::identity(),
+            errors: Vec::new(),
+        }
+    }
+
+    /// A frozen calibrator (identity scales, never refined).
+    pub fn frozen() -> Self {
+        Self::new(CalibrationMode::Frozen)
+    }
+
+    /// An online calibrator.
+    pub fn online() -> Self {
+        Self::new(CalibrationMode::Online)
+    }
+
+    /// The mode observations run in.
+    pub fn mode(&self) -> CalibrationMode {
+        self.mode
+    }
+
+    /// Current scales for the CIM machine's prices.
+    pub fn cim_scales(&self) -> &ScaleTable {
+        &self.cim
+    }
+
+    /// Current scales for the host machine's prices.
+    pub fn host_scales(&self) -> &ScaleTable {
+        &self.host
+    }
+
+    /// Relative prediction errors, one per observation, in order.
+    pub fn errors(&self) -> &[f64] {
+        &self.errors
+    }
+
+    /// Reconciles one run: scores the estimate's *calibrated* ledger
+    /// against the observed one, records the relative error (the worse
+    /// of the energy and time axes), and — in online mode — refits the
+    /// observed machine's scale factors cell by cell. Returns the
+    /// recorded error.
+    ///
+    /// The refit is exact count-space arithmetic: for every cell the
+    /// estimate counted, the new factor is the ratio of observed to
+    /// *base-priced* cost (so factors never compound), quantised
+    /// dyadically by [`ScaleTable::set`]. Cells the estimate never
+    /// counted — or whose base price is zero — keep their factor:
+    /// there is no evidence to refit them on.
+    pub fn observe(&mut self, route: Route, estimate: &CostEstimate, observed: &CostLedger) -> f64 {
+        let scales = match route {
+            Route::Cim => &self.cim,
+            Route::Host => &self.host,
+        };
+        let predicted = scales.rescale(&estimate.prices).evaluate(&estimate.counts);
+        let error = relative_error(
+            predicted.total_energy().get(),
+            observed.total_energy().get(),
+        )
+        .max(relative_error(
+            predicted.total_time().get(),
+            observed.total_time().get(),
+        ));
+        self.errors.push(error);
+        if self.mode == CalibrationMode::Online {
+            let scales = match route {
+                Route::Cim => &mut self.cim,
+                Route::Host => &mut self.host,
+            };
+            for component in Component::ALL {
+                for phase in Phase::ALL {
+                    let count = estimate.counts.count(component, phase);
+                    if count == 0 {
+                        continue;
+                    }
+                    let seen = observed.entry(component, phase);
+                    let base_energy =
+                        estimate.prices.unit_energy(component, phase).get() * count as f64;
+                    let base_time =
+                        estimate.prices.unit_time(component, phase).get() * count as f64;
+                    let refit = |base: f64, seen: f64, keep: f64| {
+                        if base > 0.0 && seen > 0.0 {
+                            seen / base
+                        } else {
+                            keep
+                        }
+                    };
+                    let energy_factor = refit(
+                        base_energy,
+                        seen.energy.get(),
+                        scales.energy_factor(component, phase),
+                    );
+                    let time_factor = refit(
+                        base_time,
+                        seen.time.get(),
+                        scales.time_factor(component, phase),
+                    );
+                    scales.set(component, phase, energy_factor, time_factor);
+                }
+            }
+        }
+        error
+    }
+}
+
+impl Default for Calibrator {
+    fn default() -> Self {
+        Self::online()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_units::{CountLedger, Energy, Time, UnitCosts};
+
+    fn estimate(count: u64, energy_fj: f64, time_ps: f64) -> CostEstimate {
+        let mut counts = CountLedger::new();
+        counts.charge(Component::ImplyStep, Phase::Map, count);
+        let mut prices = UnitCosts::new();
+        prices.set(
+            Component::ImplyStep,
+            Phase::Map,
+            Energy::from_femto_joules(energy_fj),
+            Time::from_pico_seconds(time_ps),
+        );
+        CostEstimate {
+            machine: "cim",
+            counts,
+            prices,
+            certified: true,
+        }
+    }
+
+    /// An observed ledger that charges 1.5x the estimate's energy and
+    /// 0.5x its time.
+    fn skewed_observation(est: &CostEstimate) -> CostLedger {
+        let base = est.ledger();
+        let cell = base.entry(Component::ImplyStep, Phase::Map);
+        let mut observed = CostLedger::new();
+        observed.charge(
+            Component::ImplyStep,
+            Phase::Map,
+            Energy::new(cell.energy.get() * 1.5),
+            Time::new(cell.time.get() * 0.5),
+            cell.count,
+        );
+        observed
+    }
+
+    #[test]
+    fn online_calibration_shrinks_error_to_quantisation() {
+        let est = estimate(1000, 45.0, 0.27);
+        let observed = skewed_observation(&est);
+        let mut calibrator = Calibrator::online();
+        let first = calibrator.observe(Route::Cim, &est, &observed);
+        let second = calibrator.observe(Route::Cim, &est, &observed);
+        // The time axis dominates: observed is half the prediction, so
+        // |p - o| / o = 1.0 (the energy axis alone would read 1/3).
+        assert!((first - 1.0).abs() < 1e-12, "first error {first}");
+        // One refit lands within dyadic quantisation of the truth.
+        assert!(second < 1e-6, "second error {second}");
+        assert!(second <= first);
+        assert_eq!(calibrator.errors().len(), 2);
+        assert!(!calibrator.cim_scales().is_identity());
+        assert!(calibrator.host_scales().is_identity());
+    }
+
+    #[test]
+    fn frozen_calibration_records_but_never_refits() {
+        let est = estimate(1000, 45.0, 0.27);
+        let observed = skewed_observation(&est);
+        let mut calibrator = Calibrator::frozen();
+        let first = calibrator.observe(Route::Cim, &est, &observed);
+        let second = calibrator.observe(Route::Cim, &est, &observed);
+        assert_eq!(first, second, "frozen errors must not drift");
+        assert!(calibrator.cim_scales().is_identity());
+        assert_eq!(calibrator.mode(), CalibrationMode::Frozen);
+    }
+
+    #[test]
+    fn perfect_predictions_have_zero_error() {
+        let est = estimate(64, 45.0, 0.27);
+        let observed = est.ledger();
+        let mut calibrator = Calibrator::online();
+        assert_eq!(calibrator.observe(Route::Host, &est, &observed), 0.0);
+        // Refitting on a perfect observation keeps factors at identity
+        // up to dyadic quantisation (1.0 is exactly dyadic).
+        assert!(calibrator.host_scales().max_deviation() < 1e-7);
+    }
+}

@@ -1,0 +1,78 @@
+//! cim-dispatch: certificate-driven hybrid dispatch across the two
+//! machines.
+//!
+//! The paper evaluates the CIM architecture *against* a conventional
+//! machine; this crate makes that comparison operational. One brain —
+//! the [`HybridExecutor`] — fronts both machines and routes each
+//! workload to whichever one certified cost prefers:
+//!
+//! * **Prediction** comes from the `cim-sim` seam: every
+//!   [`ExecutionBackend`](cim_sim::ExecutionBackend) can
+//!   [`estimate`](cim_sim::ExecutionBackend::estimate) a workload as a
+//!   [`CostEstimate`] — exact counts × dyadic
+//!   prices, re-derivable bit for bit, never a free-form heuristic.
+//! * **Decision** ([`hybrid`]) scores both estimates under a
+//!   [`DispatchObjective`](cim_units::DispatchObjective) (energy,
+//!   makespan, or energy-delay) and records every choice in a
+//!   [`DispatchTrace`] that is bit-identical at any thread count.
+//! * **Feedback** ([`calibrate`]) compares predicted against observed
+//!   ledgers after each run and refines per-cell dyadic scale factors
+//!   — exact count-space arithmetic, preserving the workspace's
+//!   bit-for-bit conservation contract — with a frozen mode for
+//!   reproducible benches.
+//! * **Audit** ([`dispatch_claim`]) bridges a decision into
+//!   `cim-verify` currency: `cimlint` can certify that the ledger a
+//!   route was scored from re-derives from its own counts, prices, and
+//!   scales (`certify_dispatch`).
+//!
+//! The serving layer's per-query twin of this logic lives in
+//! `cim_fabric::serve` (`DispatchPolicy`); this crate handles whole
+//! workloads at the executor seam.
+
+pub mod calibrate;
+pub mod hybrid;
+pub mod trace;
+
+pub use calibrate::{CalibrationMode, Calibrator};
+pub use hybrid::HybridExecutor;
+pub use trace::{DispatchDecision, DispatchTrace, Route};
+
+use cim_sim::CostEstimate;
+use cim_units::ScaleTable;
+use cim_verify::DispatchClaim;
+
+/// Bridges one dispatch decision into `cim-verify` currency: the claim
+/// carries the estimate's counts and base prices plus the calibration
+/// scales in force, and the predicted ledger the route was scored
+/// from. `cim_verify::certify_dispatch` re-derives that ledger bit for
+/// bit; any drift is a miscalibrated (or tampered) decision.
+pub fn dispatch_claim(estimate: &CostEstimate, scales: &ScaleTable) -> DispatchClaim {
+    DispatchClaim {
+        machine: estimate.machine.to_string(),
+        counts: estimate.counts.clone(),
+        base_prices: estimate.prices.clone(),
+        scales: scales.clone(),
+        ledger: scales.rescale(&estimate.prices).evaluate(&estimate.counts),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_sim::{CimExecutor, ExecutionBackend};
+    use cim_units::{Component, Phase};
+    use cim_workloads::AdditionWorkload;
+
+    #[test]
+    fn dispatch_claims_from_real_estimates_certify_clean() {
+        let estimate = CimExecutor::new().estimate(&AdditionWorkload::scaled(4_096, 3));
+        let mut scales = ScaleTable::identity();
+        scales.set(Component::CrossbarWrite, Phase::Add, 1.25, 0.75);
+        let claim = dispatch_claim(&estimate, &scales);
+        assert!(cim_verify::certify_dispatch("adds", &claim).is_clean());
+        // Tampering with the claimed ledger is caught.
+        let mut forged = claim;
+        forged.ledger = estimate.prices.evaluate(&estimate.counts);
+        assert!(cim_verify::certify_dispatch("adds", &forged).has_code("dispatch-claim-mismatch"));
+    }
+}

@@ -1,0 +1,120 @@
+//! The dispatch decision record: which machine was chosen, from what
+//! certified scores, and how the prediction held up.
+//!
+//! The trace is the dispatcher's reproducibility surface: every field
+//! is a pure function of the workload, the certified estimates, and
+//! the (deterministic) run outcome, so two dispatch sequences over the
+//! same workloads are equal — `DispatchTrace` derives `PartialEq`
+//! precisely so tests and benches can assert bit-identity across
+//! thread counts.
+
+use cim_units::DispatchObjective;
+use serde::{Deserialize, Serialize};
+
+/// Which machine a dispatch decision routed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Route {
+    /// The computation-in-memory machine.
+    Cim,
+    /// The conventional (host) machine.
+    Host,
+}
+
+impl Route {
+    /// Stable label for reports and snapshots.
+    pub fn label(self) -> &'static str {
+        match self {
+            Route::Cim => "cim",
+            Route::Host => "host",
+        }
+    }
+}
+
+impl std::fmt::Display for Route {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One routing decision, with the evidence it was made on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DispatchDecision {
+    /// The workload's self-description ([`cim_workloads::Workload::name`]).
+    pub workload: String,
+    /// The machine chosen.
+    pub route: Route,
+    /// The objective the scores were computed under.
+    pub objective: DispatchObjective,
+    /// The CIM machine's calibrated predicted score.
+    pub cim_score: f64,
+    /// The host machine's calibrated predicted score.
+    pub host_score: f64,
+    /// The chosen machine's *observed* score, once the run finished.
+    pub observed_score: f64,
+    /// True when the observed score of the chosen machine came out
+    /// worse than the predicted score of the machine passed over — the
+    /// decision would have flipped with perfect foresight of its own
+    /// run. (The loser was never run, so its prediction is the best
+    /// available counterfactual.)
+    pub mispredicted: bool,
+}
+
+/// The ordered record of every dispatch decision an executor made.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DispatchTrace {
+    /// Decisions, in dispatch order.
+    pub decisions: Vec<DispatchDecision>,
+}
+
+impl DispatchTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of decisions recorded.
+    pub fn len(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// True when no decision has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.decisions.is_empty()
+    }
+
+    /// How many recorded decisions were mispredictions.
+    pub fn mispredictions(&self) -> u64 {
+        self.decisions.iter().filter(|d| d.mispredicted).count() as u64
+    }
+
+    /// Appends a decision.
+    pub fn push(&mut self, decision: DispatchDecision) {
+        self.decisions.push(decision);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_compare_bitwise() {
+        let decision = DispatchDecision {
+            workload: "additions n=1024".into(),
+            route: Route::Host,
+            objective: DispatchObjective::Energy,
+            cim_score: 2.0e-10,
+            host_score: 1.0e-10,
+            observed_score: 1.0e-10,
+            mispredicted: false,
+        };
+        let mut a = DispatchTrace::new();
+        a.push(decision.clone());
+        let mut b = DispatchTrace::new();
+        b.push(decision);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.mispredictions(), 0);
+        assert_eq!(Route::Cim.to_string(), "cim");
+    }
+}

@@ -20,7 +20,9 @@
 
 use cim_arch::{Placement, RunReport, TileCoord, TileGrid};
 use cim_logic::{BitSliceEngine, Comparator, ImplyAdder, TcAdderModel};
-use cim_sim::{par_units, BatchPolicy, ExecutionBackend, KernelPolicy, RunOutcome, SimError};
+use cim_sim::{
+    par_units, BatchPolicy, CostEstimate, ExecutionBackend, KernelPolicy, RunOutcome, SimError,
+};
 use cim_units::{Area, CostLedger, CountLedger, UnitCosts, MAX_EXACT_COUNT};
 use cim_workloads::{ExecutionDigest, ProjectionKind, Workload, WorkloadError};
 use serde::{Deserialize, Serialize};
@@ -371,6 +373,20 @@ impl ExecutionBackend<ServeWorkload> for FabricExecutor {
             RunReport::from_ledger(operations, self.area(), &ledger),
             ledger,
         )
+    }
+
+    /// The fabric's estimate is *exact*: the batch's counts are charged
+    /// through the same single `Query::charge` definition execution
+    /// uses, so the predicted ledger is bit-equal to the run's.
+    fn estimate(&self, workload: &ServeWorkload) -> CostEstimate {
+        let queries = workload.traffic.generate();
+        let (counts, _) = self.project_batch(&queries);
+        CostEstimate {
+            machine: Self::MACHINE,
+            counts,
+            prices: self.prices.clone(),
+            certified: true,
+        }
     }
 }
 

@@ -14,21 +14,29 @@
 //!   parallel driver; per-tile exact [`cim_units::CountLedger`]s merge
 //!   to the fabric ledger bit-for-bit (dyadic unit prices, see
 //!   [`model::unit_costs`]).
+//! * [`host`] — the conventional machine's side of the serving story:
+//!   a Table-1-priced [`host_unit_costs`] table and a
+//!   [`HostQueryExecutor`] that serves host-routed queries with plain
+//!   arithmetic, making the host a first-class dispatch target.
 //! * [`serve`] — [`ServeFrontEnd`] replays seeded arrivals through
 //!   admission control (bounded queue + tenant quota), batches
-//!   cross-tenant work into the fabric, and reports per-tenant
-//!   accounts plus a p50/p99 latency histogram — all on a modelled
-//!   integer-picosecond clock, bit-identical for any tile count and
-//!   thread count.
+//!   cross-tenant work, routes it across the two machines per a
+//!   [`DispatchPolicy`] (always-CIM, always-host, or certified-cost
+//!   hybrid), and reports per-tenant/per-machine accounts plus a
+//!   p50/p99 latency histogram — all on a modelled integer-picosecond
+//!   clock, bit-identical for any tile count and thread count.
 
 pub mod fabric;
+pub mod host;
 pub mod model;
 pub mod query;
 pub mod serve;
 
 pub use fabric::{FabricExecutor, FabricOutcome, ServeWorkload, TileOutcome};
+pub use host::{host_unit_costs, HostBatchOutcome, HostQueryExecutor, HOST_UNITS};
 pub use model::unit_costs;
 pub use query::{Query, QueryKind, QueryOperands, TenantId, TrafficSpec, ADD_BITS, WINDOW};
 pub use serve::{
-    LatencyHistogram, ServeConfig, ServeFrontEnd, ServeReport, TenantAccount, TileAccount,
+    DispatchPolicy, LatencyHistogram, ServeConfig, ServeFrontEnd, ServeReport, TenantAccount,
+    TileAccount,
 };

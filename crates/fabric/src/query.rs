@@ -199,9 +199,17 @@ impl Query {
     /// * for a non-resident query ([`is_local`](Self::is_local)),
     ///   `route_hops` interconnect hops per operand word (two words).
     pub fn charge(&self, counts: &mut CountLedger, grid: &TileGrid) {
-        let phase = self.kind.phase();
-        let ops = self.kind.operations();
-        let (component, steps) = match self.kind {
+        Self::charge_kind(counts, grid, self.kind, self.is_local(grid));
+    }
+
+    /// The kind-level body of [`charge`](Self::charge): per-query counts
+    /// are a pure function of `(kind, locality)`, which is what lets the
+    /// serving dispatcher precompute its routing table once per batch
+    /// instead of re-pricing every query.
+    pub fn charge_kind(counts: &mut CountLedger, grid: &TileGrid, kind: QueryKind, local: bool) {
+        let phase = kind.phase();
+        let ops = kind.operations();
+        let (component, steps) = match kind {
             QueryKind::Lookup | QueryKind::Compare => {
                 let cost = cim_arch::CimOp::Comparator.cost(&grid.tech);
                 (cost.component, cost.steps)
@@ -213,8 +221,37 @@ impl Query {
         };
         counts.charge(component, phase, ops);
         counts.charge(Component::Controller, phase, ops * steps);
-        if !self.is_local(grid) {
+        if !local {
             counts.charge(Component::Interconnect, phase, 2 * grid.route_hops());
+        }
+    }
+
+    /// Counts this query's cost when the *host* machine serves it — the
+    /// conventional-side twin of [`charge`](Self::charge), and likewise
+    /// the only place host query costs are defined (shared by the host
+    /// executor and the per-tenant accounting):
+    ///
+    /// * lookups/compares: one comparator gate op per symbol
+    ///   ([`Component::GateDynamic`]) plus **two** operand symbol fetches
+    ///   per comparison through the shared cache
+    ///   ([`Component::CacheAccess`]) — the reference window is memory
+    ///   resident on the host, so it pays the paper's locality-hostile
+    ///   access pattern;
+    /// * adds: a single register-resident ALU op (gate switching only —
+    ///   both addends arrive in the request payload, so no memory
+    ///   traffic is charged).
+    pub fn charge_host(&self, counts: &mut CountLedger) {
+        Self::charge_host_kind(counts, self.kind);
+    }
+
+    /// The kind-level body of [`charge_host`](Self::charge_host); host
+    /// counts depend on nothing but the kind.
+    pub fn charge_host_kind(counts: &mut CountLedger, kind: QueryKind) {
+        let phase = kind.phase();
+        let ops = kind.operations();
+        counts.charge(Component::GateDynamic, phase, ops);
+        if kind != QueryKind::Add {
+            counts.charge(Component::CacheAccess, phase, 2 * ops);
         }
     }
 }
@@ -353,6 +390,32 @@ mod tests {
         assert_eq!(counts.count(Component::CrossbarWrite, Phase::Add), 1);
         // 4N+5 = 133 steps for the 32-bit CRS adder.
         assert_eq!(counts.count(Component::Controller, Phase::Add), 133);
+    }
+
+    #[test]
+    fn host_charges_decompose_by_kind() {
+        let lookup = Query {
+            id: 0,
+            tenant: TenantId(0),
+            kind: QueryKind::Lookup,
+            seed: 1,
+        };
+        let mut counts = CountLedger::new();
+        lookup.charge_host(&mut counts);
+        // One gate op per symbol, two operand fetches per comparison.
+        assert_eq!(counts.count(Component::GateDynamic, Phase::Index), 32);
+        assert_eq!(counts.count(Component::CacheAccess, Phase::Index), 64);
+
+        let add = Query {
+            kind: QueryKind::Add,
+            ..lookup
+        };
+        let mut counts = CountLedger::new();
+        add.charge_host(&mut counts);
+        // Register-resident add: gate switching only, no memory traffic.
+        assert_eq!(counts.count(Component::GateDynamic, Phase::Add), 1);
+        assert_eq!(counts.count(Component::CacheAccess, Phase::Add), 0);
+        assert_eq!(counts.total(), 1);
     }
 
     #[test]

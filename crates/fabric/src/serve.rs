@@ -22,14 +22,17 @@
 use std::collections::VecDeque;
 
 use cim_sim::SimError;
-use cim_units::{CostLedger, CountLedger, Time};
+use cim_units::{
+    Component, CostLedger, CountLedger, DispatchObjective, Phase, ScaleTable, Time, UnitCosts,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use cim_arch::TileCoord;
+use cim_arch::{TileCoord, TileGrid};
 
 use crate::fabric::FabricExecutor;
+use crate::host::{host_unit_costs, HostQueryExecutor};
 use crate::query::{Query, QueryKind, TenantId, TrafficSpec};
 
 /// Admission and batching parameters of the front-end.
@@ -63,6 +66,124 @@ impl ServeConfig {
 impl Default for ServeConfig {
     fn default() -> Self {
         Self::sustained()
+    }
+}
+
+/// How the front-end routes admitted queries across the two machines.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub enum DispatchPolicy {
+    /// Route every query to the crossbar fabric (the historical
+    /// single-machine behaviour, and the default).
+    #[default]
+    AlwaysCim,
+    /// Route every query to the conventional host.
+    AlwaysHost,
+    /// Route each query to whichever machine certified cost prefers
+    /// under the objective, after applying per-machine calibration
+    /// scales (identity scales score the raw certified prices).
+    Hybrid {
+        /// The axis being minimised.
+        objective: DispatchObjective,
+        /// Calibration scales applied to the fabric's prices.
+        cim_scales: ScaleTable,
+        /// Calibration scales applied to the host's prices.
+        host_scales: ScaleTable,
+    },
+}
+
+impl DispatchPolicy {
+    /// A hybrid policy with identity calibration under `objective`.
+    pub fn hybrid(objective: DispatchObjective) -> Self {
+        Self::Hybrid {
+            objective,
+            cim_scales: ScaleTable::identity(),
+            host_scales: ScaleTable::identity(),
+        }
+    }
+}
+
+/// Query kinds in route-table order.
+const ROUTE_KINDS: [QueryKind; 3] = [QueryKind::Lookup, QueryKind::Compare, QueryKind::Add];
+
+/// Index of a kind in the route table.
+fn kind_index(kind: QueryKind) -> usize {
+    match kind {
+        QueryKind::Lookup => 0,
+        QueryKind::Compare => 1,
+        QueryKind::Add => 2,
+    }
+}
+
+/// Routing decisions precomputed per (kind × locality) cell.
+///
+/// A query's charge laws ([`Query::charge_kind`],
+/// [`Query::charge_host_kind`]) are pure functions of its kind and
+/// operand locality, so the whole dispatch policy collapses to six
+/// certified cost comparisons done once per serve run — dispatch inside
+/// the serving loop is a table lookup, bit-identical for any thread
+/// count by construction.
+///
+/// The `mispredict` plane compares the *calibrated* choice against the
+/// choice the uncalibrated certified prices would have made; a set bit
+/// means the calibration scales flipped this cell, which the report
+/// surfaces as a misprediction count per completed query.
+struct RouteTable {
+    cim: [[bool; 2]; 3],
+    mispredict: [[bool; 2]; 3],
+}
+
+impl RouteTable {
+    fn build(policy: &DispatchPolicy, fabric: &FabricExecutor) -> Self {
+        match policy {
+            DispatchPolicy::AlwaysCim => Self {
+                cim: [[true; 2]; 3],
+                mispredict: [[false; 2]; 3],
+            },
+            DispatchPolicy::AlwaysHost => Self {
+                cim: [[false; 2]; 3],
+                mispredict: [[false; 2]; 3],
+            },
+            DispatchPolicy::Hybrid {
+                objective,
+                cim_scales,
+                host_scales,
+            } => {
+                let cim_true = fabric.prices();
+                let host_true = host_unit_costs();
+                let cim_scaled = cim_scales.rescale(cim_true);
+                let host_scaled = host_scales.rescale(&host_true);
+                let score = |prices: &UnitCosts, counts: &CountLedger| {
+                    let ledger = prices.evaluate(counts);
+                    objective.score(ledger.total_energy(), ledger.total_time())
+                };
+                let mut cim = [[false; 2]; 3];
+                let mut mispredict = [[false; 2]; 3];
+                for kind in ROUTE_KINDS {
+                    for (slot, local) in [false, true].into_iter().enumerate() {
+                        let mut cim_counts = CountLedger::new();
+                        Query::charge_kind(&mut cim_counts, &fabric.grid, kind, local);
+                        let mut host_counts = CountLedger::new();
+                        Query::charge_host_kind(&mut host_counts, kind);
+                        // Ties go to the crossbar: it is the machine the
+                        // fabric exists to exercise.
+                        let predicted =
+                            score(&cim_scaled, &cim_counts) <= score(&host_scaled, &host_counts);
+                        let truth = score(cim_true, &cim_counts) <= score(&host_true, &host_counts);
+                        cim[kind_index(kind)][slot] = predicted;
+                        mispredict[kind_index(kind)][slot] = predicted != truth;
+                    }
+                }
+                Self { cim, mispredict }
+            }
+        }
+    }
+
+    fn to_cim(&self, query: &Query, grid: &TileGrid) -> bool {
+        self.cim[kind_index(query.kind)][usize::from(query.is_local(grid))]
+    }
+
+    fn mispredicted(&self, query: &Query, grid: &TileGrid) -> bool {
+        self.mispredict[kind_index(query.kind)][usize::from(query.is_local(grid))]
     }
 }
 
@@ -171,9 +292,15 @@ pub struct TenantAccount {
     pub rejected_quota: u64,
     /// Queries completed by the fabric.
     pub completed: u64,
-    /// Exact op counts attributed to this tenant.
+    /// Completed queries routed to the crossbar fabric.
+    pub cim_queries: u64,
+    /// Completed queries routed to the conventional host.
+    pub host_queries: u64,
+    /// Exact op counts attributed to this tenant (both machines; the
+    /// two charge into disjoint component cells).
     pub counts: CountLedger,
-    /// Priced per-tenant ledger (`evaluate(counts)`).
+    /// Priced per-tenant ledger (`evaluate(counts)` under the combined
+    /// fabric-plus-host price table).
     pub ledger: CostLedger,
 }
 
@@ -204,6 +331,14 @@ pub struct ServeReport {
     pub rejected_quota: u64,
     /// Queries completed (equals `admitted`; the queue drains fully).
     pub completed: u64,
+    /// Completed queries routed to the crossbar fabric.
+    pub cim_queries: u64,
+    /// Completed queries routed to the conventional host.
+    pub host_queries: u64,
+    /// Completed queries whose route-table cell was flipped by the
+    /// calibration scales relative to the uncalibrated certified
+    /// choice — the serving layer's misprediction counter.
+    pub mispredictions: u64,
     /// Batches dispatched.
     pub batches: u64,
     /// Deepest queue occupancy observed (backpressure evidence).
@@ -222,9 +357,16 @@ pub struct ServeReport {
     /// tenant counts).
     pub fabric_counts: CountLedger,
     /// The fabric ledger: `evaluate(fabric_counts)` — bit-equal to the
-    /// sum of the per-tile (and per-tenant) ledgers.
+    /// sum of the per-tile ledgers.
     pub fabric_ledger: CostLedger,
-    /// Order-insensitive checksum over completed queries' results.
+    /// Exact op counts charged by host-routed queries (merge of the
+    /// host share of the tenant counts).
+    pub host_counts: CountLedger,
+    /// The host ledger: `evaluate(host_counts)`; fabric and host
+    /// ledgers together sum bit-for-bit to the tenant ledgers.
+    pub host_ledger: CostLedger,
+    /// Order-insensitive checksum over completed queries' results
+    /// (machine-independent: both machines compute the same values).
     pub checksum: u64,
 }
 
@@ -240,8 +382,12 @@ impl ServeReport {
     }
 
     /// True when every conservation invariant holds bit-for-bit:
-    /// tile counts and tenant counts each merge to the fabric counts,
-    /// and tile/tenant ledgers each sum to the fabric ledger.
+    /// tile counts merge to the fabric counts and tile ledgers sum to
+    /// the fabric ledger; tenant counts merge to the fabric *plus* host
+    /// counts and tenant ledgers sum to the fabric plus host ledgers.
+    /// The cross-machine halves are exact because the two machines
+    /// charge disjoint component cells and every per-cell product is a
+    /// dyadic price times an in-range exact count.
     pub fn conserves(&self) -> bool {
         let mut tile_counts = CountLedger::new();
         let mut tile_ledgers = CostLedger::new();
@@ -255,20 +401,45 @@ impl ServeReport {
             tenant_counts.merge(&tenant.counts);
             tenant_ledgers.merge(&tenant.ledger);
         }
+        let mut machine_counts = self.fabric_counts.clone();
+        machine_counts.merge(&self.host_counts);
+        let mut machine_ledgers = self.fabric_ledger.clone();
+        machine_ledgers.merge(&self.host_ledger);
         tile_counts == self.fabric_counts
-            && tenant_counts == self.fabric_counts
+            && tenant_counts == machine_counts
             && tile_ledgers == self.fabric_ledger
-            && tenant_ledgers == self.fabric_ledger
+            && tenant_ledgers == machine_ledgers
     }
 }
 
-/// The serving front-end: a fabric plus admission/batching policy.
+/// The serving front-end: a fabric plus admission/batching policy and
+/// a dispatch policy choosing between the two machines.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServeFrontEnd {
-    /// The execution substrate.
+    /// The crossbar execution substrate.
     pub fabric: FabricExecutor,
     /// Queue/admission/batching parameters.
     pub config: ServeConfig,
+    /// Per-query routing across the two machines.
+    pub policy: DispatchPolicy,
+}
+
+/// All mutable serving state, threaded through the batch dispatcher.
+struct ServeState {
+    queue: VecDeque<(Query, u64)>,
+    tenant_queued: Vec<usize>,
+    accounts: Vec<TenantAccount>,
+    tiles: Vec<TileAccount>,
+    histogram: LatencyHistogram,
+    fabric_counts: CountLedger,
+    host_counts: CountLedger,
+    checksum: u64,
+    batches: u64,
+    completed: u64,
+    peak_queue: usize,
+    cim_queries: u64,
+    host_queries: u64,
+    mispredictions: u64,
 }
 
 impl ServeFrontEnd {
@@ -304,177 +475,258 @@ impl ServeFrontEnd {
         service.max(1)
     }
 
-    /// Replays `traffic` through admission control and the fabric,
+    /// Rejects degenerate configurations before any query is served:
+    /// a zero queue depth or tenant quota admits nothing, a zero batch
+    /// size dispatches nothing, and an empty tile set has nowhere to
+    /// execute — all would hang or divide by zero downstream, so they
+    /// surface as typed [`SimError::InvalidConfig`] errors instead.
+    fn validate(&self) -> Result<(), SimError> {
+        let invalid = |detail: &str| SimError::InvalidConfig {
+            machine: FabricExecutor::MACHINE,
+            detail: detail.to_string(),
+        };
+        if self.config.queue_depth == 0 {
+            return Err(invalid("queue_depth is zero; no query can be admitted"));
+        }
+        if self.config.tenant_quota == 0 {
+            return Err(invalid("tenant_quota is zero; no tenant can be admitted"));
+        }
+        if self.config.max_batch == 0 {
+            return Err(invalid("max_batch is zero; no batch can be dispatched"));
+        }
+        if self.fabric.grid.tiles() == 0 {
+            return Err(invalid(
+                "tile set is empty; the fabric has nowhere to execute",
+            ));
+        }
+        Ok(())
+    }
+
+    /// The combined price table tenant ledgers are evaluated against:
+    /// the fabric's cells verbatim plus the host's `GateDynamic` /
+    /// `CacheAccess` cells. The two machines charge disjoint component
+    /// cells, so one table prices a tenant's mixed-machine counts in a
+    /// single pass and the ledgers still conserve bit-for-bit.
+    fn serve_prices(&self) -> UnitCosts {
+        let mut prices = self.fabric.prices().clone();
+        let host = host_unit_costs();
+        for phase in [Phase::Index, Phase::Map, Phase::Add] {
+            for component in [Component::GateDynamic, Component::CacheAccess] {
+                prices.set(
+                    component,
+                    phase,
+                    host.unit_energy(component, phase),
+                    host.unit_time(component, phase),
+                );
+            }
+        }
+        prices
+    }
+
+    /// One batch: pop up to `max_batch` in FIFO order (cross-tenant),
+    /// split it across the two machines per the route table, execute
+    /// both halves, and account everything. The batch's service time is
+    /// the slower of the two machine services — the halves run
+    /// concurrently and the front-end waits for both.
+    fn dispatch_batch(
+        &self,
+        state: &mut ServeState,
+        routes: &RouteTable,
+        start: u64,
+    ) -> Result<u64, SimError> {
+        let take = state.queue.len().min(self.config.max_batch);
+        let mut batch = Vec::with_capacity(take);
+        let mut cim_batch = Vec::new();
+        let mut host_batch = Vec::new();
+        for _ in 0..take {
+            let (query, arrived) = state.queue.pop_front().expect("len checked");
+            state.tenant_queued[query.tenant.0 as usize] -= 1;
+            let to_cim = routes.to_cim(&query, &self.fabric.grid);
+            if to_cim {
+                cim_batch.push(query);
+            } else {
+                host_batch.push(query);
+            }
+            batch.push((query, arrived, to_cim));
+        }
+        let cim_outcome = if cim_batch.is_empty() {
+            None
+        } else {
+            Some(self.fabric.execute(&cim_batch)?)
+        };
+        let host_outcome = if host_batch.is_empty() {
+            None
+        } else {
+            Some(HostQueryExecutor.execute(&host_batch))
+        };
+        let cim_service = if cim_batch.is_empty() {
+            0
+        } else {
+            self.batch_service_ps(&cim_batch)
+        };
+        let service = cim_service
+            .max(HostQueryExecutor.service_ps(&host_batch))
+            .max(1);
+        let completion = start + service;
+        for (query, arrived, to_cim) in &batch {
+            state.histogram.record(completion - arrived);
+            let account = &mut state.accounts[query.tenant.0 as usize];
+            account.completed += 1;
+            if *to_cim {
+                account.cim_queries += 1;
+                state.cim_queries += 1;
+                query.charge(&mut account.counts, &self.fabric.grid);
+            } else {
+                account.host_queries += 1;
+                state.host_queries += 1;
+                query.charge_host(&mut account.counts);
+            }
+            if routes.mispredicted(query, &self.fabric.grid) {
+                state.mispredictions += 1;
+            }
+        }
+        if let Some(outcome) = cim_outcome {
+            for tile_outcome in &outcome.tiles {
+                let index = self.fabric.grid.index_of(tile_outcome.tile) as usize;
+                state.tiles[index].queries += tile_outcome.queries;
+                state.tiles[index].counts.merge(&tile_outcome.counts);
+            }
+            state.fabric_counts.merge(&outcome.counts);
+            state.checksum = state
+                .checksum
+                .wrapping_add(outcome.digest.checksum.expect("fabric always checksums"));
+        }
+        if let Some(outcome) = host_outcome {
+            state.host_counts.merge(&outcome.counts);
+            state.checksum = state.checksum.wrapping_add(outcome.checksum);
+        }
+        state.batches += 1;
+        state.completed += take as u64;
+        Ok(completion)
+    }
+
+    /// Replays `traffic` through admission control and both machines,
     /// producing the full serving report. Deterministic: bit-identical
     /// for any executed tile count and host thread count.
     pub fn serve(&self, traffic: &TrafficSpec) -> Result<ServeReport, SimError> {
+        self.validate()?;
+        let routes = RouteTable::build(&self.policy, &self.fabric);
         let queries = traffic.generate();
         let tenants = traffic.tenants.max(1) as usize;
         let mut gap_rng = StdRng::seed_from_u64(traffic.seed ^ 0x5E7E_5E7E_5E7E_5E7E);
 
-        let mut queue: VecDeque<(Query, u64)> = VecDeque::new();
-        let mut tenant_queued = vec![0usize; tenants];
-        let mut accounts: Vec<TenantAccount> = (0..tenants)
-            .map(|t| TenantAccount {
-                tenant: TenantId(t as u32),
-                submitted: 0,
-                admitted: 0,
-                rejected_queue_full: 0,
-                rejected_quota: 0,
-                completed: 0,
-                counts: CountLedger::new(),
-                ledger: CostLedger::new(),
-            })
-            .collect();
-        let mut tiles: Vec<TileAccount> = (0..self.fabric.grid.tiles())
-            .map(|i| TileAccount {
-                tile: self.fabric.grid.coord_of(i),
-                queries: 0,
-                counts: CountLedger::new(),
-                ledger: CostLedger::new(),
-            })
-            .collect();
-        let mut histogram = LatencyHistogram::new();
-        let mut fabric_counts = CountLedger::new();
-        let mut checksum = 0u64;
-        let (mut free_at, mut clock) = (0u64, 0u64);
-        let (mut batches, mut completed, mut peak_queue) = (0u64, 0u64, 0usize);
-
-        // One batch: pop up to max_batch in FIFO order (cross-tenant),
-        // execute on the fabric, account everything.
-        let mut dispatch = |start: u64,
-                            queue: &mut VecDeque<(Query, u64)>,
-                            tenant_queued: &mut [usize],
-                            accounts: &mut [TenantAccount],
-                            tiles: &mut [TileAccount],
-                            histogram: &mut LatencyHistogram,
-                            fabric_counts: &mut CountLedger,
-                            checksum: &mut u64|
-         -> Result<u64, SimError> {
-            let take = queue.len().min(self.config.max_batch);
-            let mut batch = Vec::with_capacity(take);
-            let mut arrivals = Vec::with_capacity(take);
-            for _ in 0..take {
-                let (query, arrived) = queue.pop_front().expect("len checked");
-                tenant_queued[query.tenant.0 as usize] -= 1;
-                batch.push(query);
-                arrivals.push(arrived);
-            }
-            let outcome = self.fabric.execute(&batch)?;
-            let service = self.batch_service_ps(&batch);
-            let completion = start + service;
-            for (query, arrived) in batch.iter().zip(&arrivals) {
-                histogram.record(completion - arrived);
-                let account = &mut accounts[query.tenant.0 as usize];
-                account.completed += 1;
-                query.charge(&mut account.counts, &self.fabric.grid);
-            }
-            for tile_outcome in &outcome.tiles {
-                let index = self.fabric.grid.index_of(tile_outcome.tile) as usize;
-                tiles[index].queries += tile_outcome.queries;
-                tiles[index].counts.merge(&tile_outcome.counts);
-            }
-            fabric_counts.merge(&outcome.counts);
-            *checksum =
-                checksum.wrapping_add(outcome.digest.checksum.expect("fabric always checksums"));
-            batches += 1;
-            completed += batch.len() as u64;
-            Ok(completion)
+        let mut state = ServeState {
+            queue: VecDeque::new(),
+            tenant_queued: vec![0usize; tenants],
+            accounts: (0..tenants)
+                .map(|t| TenantAccount {
+                    tenant: TenantId(t as u32),
+                    submitted: 0,
+                    admitted: 0,
+                    rejected_queue_full: 0,
+                    rejected_quota: 0,
+                    completed: 0,
+                    cim_queries: 0,
+                    host_queries: 0,
+                    counts: CountLedger::new(),
+                    ledger: CostLedger::new(),
+                })
+                .collect(),
+            tiles: (0..self.fabric.grid.tiles())
+                .map(|i| TileAccount {
+                    tile: self.fabric.grid.coord_of(i),
+                    queries: 0,
+                    counts: CountLedger::new(),
+                    ledger: CostLedger::new(),
+                })
+                .collect(),
+            histogram: LatencyHistogram::new(),
+            fabric_counts: CountLedger::new(),
+            host_counts: CountLedger::new(),
+            checksum: 0,
+            batches: 0,
+            completed: 0,
+            peak_queue: 0,
+            cim_queries: 0,
+            host_queries: 0,
+            mispredictions: 0,
         };
+        let (mut free_at, mut clock) = (0u64, 0u64);
 
         for query in &queries {
             clock += 1 + gap_rng.gen::<u64>() % (2 * self.config.mean_gap_ps.max(1) - 1);
-            // Drain whatever the fabric can finish before this arrival.
-            while !queue.is_empty() && free_at <= clock {
-                let start = free_at.max(queue.front().expect("non-empty").1);
-                free_at = dispatch(
-                    start,
-                    &mut queue,
-                    &mut tenant_queued,
-                    &mut accounts,
-                    &mut tiles,
-                    &mut histogram,
-                    &mut fabric_counts,
-                    &mut checksum,
-                )?;
+            // Drain whatever the machines can finish before this arrival.
+            while !state.queue.is_empty() && free_at <= clock {
+                let start = free_at.max(state.queue.front().expect("non-empty").1);
+                free_at = self.dispatch_batch(&mut state, &routes, start)?;
             }
             // Admission control: shared queue bound, then tenant quota.
-            let account = &mut accounts[query.tenant.0 as usize];
-            account.submitted += 1;
-            if queue.len() >= self.config.queue_depth {
-                account.rejected_queue_full += 1;
+            let tenant = query.tenant.0 as usize;
+            state.accounts[tenant].submitted += 1;
+            if state.queue.len() >= self.config.queue_depth {
+                state.accounts[tenant].rejected_queue_full += 1;
                 continue;
             }
-            if tenant_queued[query.tenant.0 as usize] >= self.config.tenant_quota {
-                account.rejected_quota += 1;
+            if state.tenant_queued[tenant] >= self.config.tenant_quota {
+                state.accounts[tenant].rejected_quota += 1;
                 continue;
             }
-            account.admitted += 1;
-            tenant_queued[query.tenant.0 as usize] += 1;
-            queue.push_back((*query, clock));
-            peak_queue = peak_queue.max(queue.len());
-            // An idle fabric serves the arrival immediately; a busy one
-            // lets the queue build (that is where batches come from).
+            state.accounts[tenant].admitted += 1;
+            state.tenant_queued[tenant] += 1;
+            state.queue.push_back((*query, clock));
+            state.peak_queue = state.peak_queue.max(state.queue.len());
+            // An idle back-end serves the arrival immediately; a busy
+            // one lets the queue build (that is where batches come from).
             if free_at <= clock {
-                free_at = dispatch(
-                    clock,
-                    &mut queue,
-                    &mut tenant_queued,
-                    &mut accounts,
-                    &mut tiles,
-                    &mut histogram,
-                    &mut fabric_counts,
-                    &mut checksum,
-                )?;
+                free_at = self.dispatch_batch(&mut state, &routes, clock)?;
             }
         }
         // Drain the tail.
-        while !queue.is_empty() {
-            let start = free_at.max(queue.front().expect("non-empty").1);
-            free_at = dispatch(
-                start,
-                &mut queue,
-                &mut tenant_queued,
-                &mut accounts,
-                &mut tiles,
-                &mut histogram,
-                &mut fabric_counts,
-                &mut checksum,
-            )?;
+        while !state.queue.is_empty() {
+            let start = free_at.max(state.queue.front().expect("non-empty").1);
+            free_at = self.dispatch_batch(&mut state, &routes, start)?;
         }
 
-        let prices = self.fabric.prices();
-        for account in &mut accounts {
+        let prices = self.serve_prices();
+        let fabric_prices = self.fabric.prices();
+        for account in &mut state.accounts {
             account.ledger = prices.evaluate(&account.counts);
         }
-        for tile in &mut tiles {
-            tile.ledger = prices.evaluate(&tile.counts);
+        for tile in &mut state.tiles {
+            tile.ledger = fabric_prices.evaluate(&tile.counts);
         }
-        let fabric_ledger = prices.evaluate(&fabric_counts);
+        let fabric_ledger = fabric_prices.evaluate(&state.fabric_counts);
+        let host_ledger = prices.evaluate(&state.host_counts);
         let makespan = Time::from_pico_seconds(free_at as f64);
-        let (rejected_queue_full, rejected_quota) = accounts.iter().fold((0, 0), |(f, q), a| {
-            (f + a.rejected_queue_full, q + a.rejected_quota)
-        });
+        let (rejected_queue_full, rejected_quota) =
+            state.accounts.iter().fold((0, 0), |(f, q), a| {
+                (f + a.rejected_queue_full, q + a.rejected_quota)
+            });
         Ok(ServeReport {
             submitted: queries.len() as u64,
-            admitted: completed,
+            admitted: state.completed,
             rejected_queue_full,
             rejected_quota,
-            completed,
-            batches,
-            peak_queue,
+            completed: state.completed,
+            cim_queries: state.cim_queries,
+            host_queries: state.host_queries,
+            mispredictions: state.mispredictions,
+            batches: state.batches,
+            peak_queue: state.peak_queue,
             makespan,
             throughput_qps: if free_at == 0 {
                 0.0
             } else {
-                completed as f64 / makespan.get()
+                state.completed as f64 / makespan.get()
             },
-            histogram,
-            tenants: accounts,
-            tiles,
-            fabric_counts,
+            histogram: state.histogram,
+            tenants: state.accounts,
+            tiles: state.tiles,
+            fabric_counts: state.fabric_counts,
             fabric_ledger,
-            checksum,
+            host_counts: state.host_counts,
+            host_ledger,
+            checksum: state.checksum,
         })
     }
 }
@@ -488,6 +740,7 @@ mod tests {
         ServeFrontEnd {
             fabric: FabricExecutor::paper(rows, cols, BatchPolicy::with_threads(threads)),
             config: ServeConfig::sustained(),
+            policy: DispatchPolicy::AlwaysCim,
         }
     }
 
@@ -558,6 +811,120 @@ mod tests {
             );
             assert_eq!(account.completed, account.admitted);
         }
+        assert!(report.conserves());
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected_with_typed_errors() {
+        let traffic = TrafficSpec::sustained(10, 1);
+        for (config, needle) in [
+            (
+                ServeConfig {
+                    queue_depth: 0,
+                    ..ServeConfig::sustained()
+                },
+                "queue_depth",
+            ),
+            (
+                ServeConfig {
+                    tenant_quota: 0,
+                    ..ServeConfig::sustained()
+                },
+                "tenant_quota",
+            ),
+            (
+                ServeConfig {
+                    max_batch: 0,
+                    ..ServeConfig::sustained()
+                },
+                "max_batch",
+            ),
+        ] {
+            let mut fe = front_end(1, 1, 1);
+            fe.config = config;
+            let err = fe.serve(&traffic).expect_err("must reject");
+            let rendered = err.to_string();
+            assert!(
+                matches!(err, SimError::InvalidConfig { .. }),
+                "wrong variant: {rendered}"
+            );
+            assert!(rendered.contains(needle), "{rendered}");
+            assert!(rendered.contains("cim-fabric"), "{rendered}");
+        }
+    }
+
+    #[test]
+    fn hybrid_routing_splits_by_certified_cost_and_conserves() {
+        let traffic = TrafficSpec::sustained(2_000, 11);
+        let mut fe = front_end(2, 2, 1);
+        fe.policy = DispatchPolicy::hybrid(DispatchObjective::Energy);
+        let report = fe.serve(&traffic).expect("serves");
+        // The certified prices send memory-bound lookups/compares to
+        // the crossbar and register-resident adds to the host.
+        assert!(report.cim_queries > 0, "no CIM traffic");
+        assert!(report.host_queries > 0, "no host traffic");
+        assert_eq!(report.cim_queries + report.host_queries, report.completed);
+        // Identity calibration never disagrees with the true prices.
+        assert_eq!(report.mispredictions, 0);
+        // Results are machine-independent and accounting still
+        // conserves bit-for-bit across both machines.
+        let always_cim = front_end(2, 2, 1).serve(&traffic).expect("serves");
+        assert_eq!(report.checksum, always_cim.checksum);
+        assert!(report.conserves(), "hybrid conservation failed");
+        // Per-tenant routing tallies roll up to the report totals.
+        let (cim, host) = report
+            .tenants
+            .iter()
+            .fold((0, 0), |(c, h), t| (c + t.cim_queries, h + t.host_queries));
+        assert_eq!((cim, host), (report.cim_queries, report.host_queries));
+        // Hybrid routing strictly beats single-machine energy here:
+        // adds stop paying the crossbar's controller broadcast, while
+        // compares keep avoiding the host's cache traffic.
+        let hybrid_energy =
+            (report.fabric_ledger.total_energy() + report.host_ledger.total_energy()).get();
+        let cim_energy = always_cim.fabric_ledger.total_energy().get();
+        let mut always_host = front_end(2, 2, 1);
+        always_host.policy = DispatchPolicy::AlwaysHost;
+        let host_report = always_host.serve(&traffic).expect("serves");
+        assert!(host_report.conserves(), "host conservation failed");
+        assert_eq!(host_report.checksum, always_cim.checksum);
+        let host_energy = host_report.host_ledger.total_energy().get();
+        assert!(
+            hybrid_energy < cim_energy,
+            "{hybrid_energy} !< {cim_energy}"
+        );
+        assert!(
+            hybrid_energy < host_energy,
+            "{hybrid_energy} !< {host_energy}"
+        );
+    }
+
+    #[test]
+    fn skewed_calibration_flips_routes_and_counts_mispredictions() {
+        // Inflate the crossbar's comparator price a millionfold: the
+        // calibrated table now sends compares to the host, and every
+        // such completion is counted as a misprediction relative to
+        // the true certified prices.
+        let mut cim_scales = ScaleTable::identity();
+        for phase in [Phase::Index, Phase::Map] {
+            cim_scales.set(Component::ImplyStep, phase, 1e6, 1.0);
+        }
+        let mut fe = front_end(2, 2, 1);
+        fe.policy = DispatchPolicy::Hybrid {
+            objective: DispatchObjective::Energy,
+            cim_scales,
+            host_scales: ScaleTable::identity(),
+        };
+        let report = fe.serve(&TrafficSpec::sustained(1_000, 9)).expect("serves");
+        assert_eq!(report.cim_queries, 0, "everything should flee the crossbar");
+        // Only the flipped cells mispredict: lookups/compares (now on
+        // the host against the true prices' advice) count, adds (host
+        // either way) do not.
+        assert!(report.mispredictions > 0, "skew never mispredicted");
+        assert!(
+            report.mispredictions < report.host_queries,
+            "adds were wrongly counted as mispredictions"
+        );
         assert!(report.conserves());
     }
 

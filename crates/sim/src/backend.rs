@@ -18,7 +18,7 @@
 //!   executed so [`Workload::verify`](cim_workloads::Workload::verify) can hold it against ground truth.
 
 use cim_arch::RunReport;
-use cim_units::CostLedger;
+use cim_units::{CostLedger, CountLedger, DispatchObjective, Energy, ScaleTable, Time, UnitCosts};
 use cim_workloads::{ExecutionDigest, Workload};
 use serde::{Deserialize, Serialize};
 
@@ -46,6 +46,66 @@ pub struct RunOutcome {
     pub notes: Vec<String>,
 }
 
+/// A certified, pre-execution cost prediction for one workload on one
+/// machine.
+///
+/// An estimate is **not** a free-form number: it is a pair of exact
+/// primitive-operation counts ([`CountLedger`]) and dyadic unit prices
+/// ([`UnitCosts`]), exactly the currency the fabric accounts in. The
+/// predicted [`CostLedger`] is therefore *re-derivable bit-for-bit* as
+/// `prices.evaluate(&counts)` — which is what
+/// `cim_verify::certify_dispatch` checks when it audits a dispatch
+/// decision, and what lets the online calibrator rescale prices in
+/// count-space without breaking the conservation contract.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostEstimate {
+    /// The machine this estimate models (`"cim"` / `"conventional"` /
+    /// `"cim-fabric"`).
+    pub machine: &'static str,
+    /// Predicted primitive-operation counts per component × phase cell.
+    pub counts: CountLedger,
+    /// Dyadic unit prices for those counts.
+    pub prices: UnitCosts,
+    /// True when the counts are an exact certificate of the counts the
+    /// run will charge (CIM closed forms, per-op host arithmetic, fabric
+    /// projections); false when they are a statistical prior (the
+    /// conventional DNA trace depends on sampled read content) that the
+    /// calibrator is expected to refine.
+    pub certified: bool,
+}
+
+impl CostEstimate {
+    /// The predicted ledger: `prices.evaluate(&counts)`, bit-for-bit.
+    pub fn ledger(&self) -> CostLedger {
+        self.prices.evaluate(&self.counts)
+    }
+
+    /// Predicted total energy.
+    pub fn energy(&self) -> Energy {
+        self.ledger().total_energy()
+    }
+
+    /// Predicted makespan.
+    pub fn time(&self) -> Time {
+        self.ledger().total_time()
+    }
+
+    /// Scores the prediction under `objective` (lower is better).
+    pub fn score(&self, objective: DispatchObjective) -> f64 {
+        let ledger = self.ledger();
+        objective.score(ledger.total_energy(), ledger.total_time())
+    }
+
+    /// Scores the prediction with calibrated prices: the scale factors
+    /// are applied to the unit prices (staying dyadic) before
+    /// evaluation, so a calibrated score is still a pure function of
+    /// exact counts and dyadic prices.
+    pub fn calibrated_score(&self, objective: DispatchObjective, scales: &ScaleTable) -> f64 {
+        let ledger = scales.rescale(&self.prices).evaluate(&self.counts);
+        objective.score(ledger.total_energy(), ledger.total_time())
+    }
+}
+
 /// Why a backend could not produce a [`RunOutcome`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
@@ -67,6 +127,15 @@ pub enum SimError {
         /// What disagreed, with enough context to reproduce.
         detail: String,
     },
+    /// A configuration that can only produce degenerate traffic (zero
+    /// queue depth, zero tenant quota, an empty tile set, …) was
+    /// rejected up front instead of being served.
+    InvalidConfig {
+        /// The machine refusing the configuration.
+        machine: &'static str,
+        /// Which knob is degenerate, and why.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -86,6 +155,9 @@ impl std::fmt::Display for SimError {
                     f,
                     "{machine}: execution diverged from ground truth: {detail}"
                 )
+            }
+            SimError::InvalidConfig { machine, detail } => {
+                write!(f, "{machine}: invalid configuration: {detail}")
             }
         }
     }
@@ -113,6 +185,13 @@ pub trait ExecutionBackend<W: Workload> {
     fn project(&self, workload: &W, hit_ratio: f64) -> RunReport {
         self.project_attributed(workload, hit_ratio).0
     }
+
+    /// Predicts what executing this workload would cost, **without**
+    /// executing it, as certified count-space data (see
+    /// [`CostEstimate`]). Estimates are total functions: an oversized
+    /// spec estimates at the executable (clamped) scale rather than
+    /// failing, mirroring what [`run`](Self::run) would execute.
+    fn estimate(&self, workload: &W) -> CostEstimate;
 }
 
 #[cfg(test)]
@@ -134,5 +213,50 @@ mod tests {
             detail: "comparator read 0 at position 17".into(),
         };
         assert!(diverged.to_string().contains("position 17"));
+
+        let invalid = SimError::InvalidConfig {
+            machine: "cim-fabric",
+            detail: "queue_depth must be nonzero".into(),
+        };
+        let rendered = invalid.to_string();
+        assert!(rendered.contains("cim-fabric") && rendered.contains("queue_depth"));
+    }
+
+    #[test]
+    fn estimate_ledger_is_rederivable_from_counts_and_prices() {
+        use cim_units::{Component, Phase};
+        let mut counts = CountLedger::new();
+        counts.charge(Component::ImplyStep, Phase::Map, 1000);
+        let mut prices = UnitCosts::new();
+        prices.set(
+            Component::ImplyStep,
+            Phase::Map,
+            Energy::from_femto_joules(45.0),
+            Time::from_pico_seconds(0.27),
+        );
+        let estimate = CostEstimate {
+            machine: "cim",
+            counts,
+            prices,
+            certified: true,
+        };
+        // The certification contract, bitwise.
+        assert_eq!(
+            estimate.ledger(),
+            estimate.prices.evaluate(&estimate.counts)
+        );
+        assert!(estimate.energy() > Energy::ZERO);
+        assert!(
+            estimate.score(DispatchObjective::EnergyDelay)
+                > estimate.score(DispatchObjective::Energy) * 0.0
+        );
+        // Identity calibration is a bitwise no-op on the score.
+        let identity = ScaleTable::identity();
+        for objective in DispatchObjective::ALL {
+            assert_eq!(
+                estimate.score(objective).to_bits(),
+                estimate.calibrated_score(objective, &identity).to_bits()
+            );
+        }
     }
 }

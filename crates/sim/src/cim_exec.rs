@@ -2,11 +2,11 @@
 
 use cim_arch::{CimMachine, RunReport};
 use cim_logic::{BitSliceEngine, Comparator, ImplyAdder, TcAdderModel, LANES};
-use cim_units::{CostLedger, Phase};
+use cim_units::{Component, CostLedger, CountLedger, Energy, Phase, Time, UnitCosts};
 use cim_workloads::{AdditionWorkload, DnaSpec, DnaWorkload, ExecutionDigest, Genome, ShortRead};
 use serde::{Deserialize, Serialize};
 
-use crate::backend::{ExecutionBackend, RunOutcome, SimError};
+use crate::backend::{CostEstimate, ExecutionBackend, RunOutcome, SimError};
 use crate::batch::{par_charge_chunks, par_fold_slices, BatchPolicy};
 use crate::conventional::dna_sampler;
 use crate::event::makespan;
@@ -224,6 +224,52 @@ impl CimExecutor {
     }
 }
 
+/// Closed-form CIM cost certificate for `n_ops` uniform in-array
+/// operations amortised over `parallel` crossbar slots.
+///
+/// Prices decompose exactly like [`CimMachine::charge_batched`]: the
+/// op's own component takes the switching energy and its compute-time
+/// share, the controller its (paper: zero) per-op CMOS overhead, and
+/// `DramAccess` the expected operand stream-in time with no energy
+/// (Table 1 quotes none). The per-op time prices amortise one round's
+/// latency over the parallel slots, so the predicted makespan is the
+/// smooth `n/parallel` form of the executor's `⌈n/parallel⌉` rounds —
+/// identical when the slots divide the work, a sub-round residual
+/// otherwise (which the calibrator absorbs).
+fn cim_estimate(machine: &CimMachine, phase: Phase, n_ops: u64, parallel: u64) -> CostEstimate {
+    let cost = machine.op.cost(&machine.tech);
+    let slots = parallel.max(1) as f64;
+    let mut counts = CountLedger::new();
+    counts.charge(cost.component, phase, n_ops);
+    counts.charge(Component::Controller, phase, n_ops);
+    counts.charge(Component::DramAccess, phase, n_ops);
+    let mut prices = UnitCosts::new();
+    prices.set(
+        cost.component,
+        phase,
+        cost.energy,
+        cost.latency * (1.0 / slots),
+    );
+    prices.set(
+        Component::Controller,
+        phase,
+        machine.controller_energy_per_op,
+        Time::ZERO,
+    );
+    prices.set(
+        Component::DramAccess,
+        phase,
+        Energy::ZERO,
+        machine.miss_penalty * ((1.0 - machine.memory_hit_ratio) / slots),
+    );
+    CostEstimate {
+        machine: CimExecutor::MACHINE,
+        counts,
+        prices,
+        certified: true,
+    }
+}
+
 /// The divergence evidence format, shared verbatim by both kernels so a
 /// [`RunOutcome`] never depends on [`KernelPolicy`].
 fn divergence_note(eq: bool, symbol: u8, reference: u8, position: usize) -> String {
@@ -320,6 +366,18 @@ impl ExecutionBackend<DnaWorkload> for CimExecutor {
     ) -> (RunReport, CostLedger) {
         self.project_dna_attributed(hit_ratio)
     }
+
+    /// Certifies the (clamped) executed scale: the comparator invocation
+    /// count is the exact `coverage × ref_len` closed form the run
+    /// charges, and the crossbar scales with the problem exactly as
+    /// [`run`](ExecutionBackend::run) scales it.
+    fn estimate(&self, workload: &DnaWorkload) -> CostEstimate {
+        let spec = workload.executable_spec(Self::DNA_EXEC_CAP);
+        let machine = CimMachine::dna_paper();
+        let parallel =
+            ((machine.parallel_ops() as f64 * spec.scale_vs_paper()).round() as u64).max(1);
+        cim_estimate(&machine, Phase::Map, spec.comparisons(), parallel)
+    }
 }
 
 impl ExecutionBackend<AdditionWorkload> for CimExecutor {
@@ -412,6 +470,14 @@ impl ExecutionBackend<AdditionWorkload> for CimExecutor {
         _hit_ratio: f64,
     ) -> (RunReport, CostLedger) {
         self.additions_attributed(workload)
+    }
+
+    /// Certifies the addition batch: exactly `n_ops` CRS-adder
+    /// invocations on the adder-sized crossbar — the same closed form
+    /// [`run`](ExecutionBackend::run) charges.
+    fn estimate(&self, workload: &AdditionWorkload) -> CostEstimate {
+        let machine = CimMachine::math_paper(workload.n_ops, workload.bits);
+        cim_estimate(&machine, Phase::Add, workload.n_ops, machine.parallel_ops())
     }
 }
 

@@ -1,14 +1,14 @@
 //! Executor for the conventional (FinFET multi-core) machine.
 
 use cim_arch::{ConventionalMachine, RunReport};
-use cim_units::{Component, CostLedger, Energy, Phase, Time};
+use cim_units::{Component, CostLedger, CountLedger, Energy, Phase, Time, UnitCosts};
 use cim_workloads::{
     AdditionWorkload, DnaSpec, DnaWorkload, ExecutionDigest, Genome, MemoryTrace, ReadSampler,
     SortedKmerIndex,
 };
 use serde::{Deserialize, Serialize};
 
-use crate::backend::{ExecutionBackend, RunOutcome, SimError};
+use crate::backend::{CostEstimate, ExecutionBackend, RunOutcome, SimError};
 use crate::batch::{par_charge_chunks, par_fold_chunks, par_map, BatchPolicy};
 use crate::cache::{CacheConfig, CacheSim};
 use crate::event::makespan;
@@ -104,6 +104,78 @@ impl ConventionalExecutor {
             RunReport::from_ledger(workload.n_ops, machine.area(), &ledger),
             ledger,
         )
+    }
+}
+
+/// Closed-form host cost model for `n_ops` uniform operations amortised
+/// over `workers` scaled functional units.
+///
+/// Per-op prices decompose exactly like
+/// [`ConventionalMachine::charge_batched`]: gate switching and its
+/// compute-cycle share, the expected cache-hit energy and cycles, the
+/// DRAM miss residual, and the two static components spread over the
+/// per-op latency share (`cluster_ratio` scales the cache statics with
+/// the cluster count, as the run does). `certified` marks whether
+/// `n_ops` is the exact count the run will charge (additions) or a
+/// statistical prior (the DNA trace depends on sampled read content).
+fn host_estimate(
+    machine: &ConventionalMachine,
+    phase: Phase,
+    n_ops: u64,
+    workers: u64,
+    cluster_ratio: f64,
+    certified: bool,
+) -> CostEstimate {
+    let workers_f = workers.max(1) as f64;
+    let cycle = machine.tech.cycle();
+    let compute_cycles = machine
+        .unit
+        .latency(&machine.tech)
+        .in_cycles_of(machine.tech.clock)
+        .max(1);
+    let compute_time = cycle * compute_cycles as f64;
+    let hit_time = cycle * machine.cache.hit_ratio * machine.cache.hit_cycles as f64;
+    let op_latency = machine.op_latency();
+    let gate_energy = machine.unit.dynamic_energy(&machine.tech);
+    let hit_energy = machine.cache.hit_energy * machine.cache.hit_ratio;
+    let miss_energy = machine.op_dynamic_energy() - gate_energy - hit_energy;
+    let leak_per_unit = machine.unit.leakage_power(&machine.tech);
+    // Per-op statics: total leakage over the smooth makespan
+    // `op_latency × n / workers`, divided by n.
+    let gate_leak = leak_per_unit * op_latency;
+    let cache_static =
+        (machine.static_power() * (cluster_ratio / workers_f) - leak_per_unit) * op_latency;
+
+    let mut counts = CountLedger::new();
+    let mut prices = UnitCosts::new();
+    let cells: [(Component, Energy, Time); 5] = [
+        (
+            Component::GateDynamic,
+            gate_energy,
+            compute_time * (1.0 / workers_f),
+        ),
+        (
+            Component::CacheAccess,
+            hit_energy,
+            hit_time * (1.0 / workers_f),
+        ),
+        (
+            Component::DramAccess,
+            miss_energy,
+            (op_latency - compute_time - hit_time) * (1.0 / workers_f),
+        ),
+        (Component::GateLeakage, gate_leak, Time::ZERO),
+        (Component::CacheStatic, cache_static, Time::ZERO),
+    ];
+    for (component, energy, time) in cells {
+        counts.charge(component, phase, n_ops);
+        prices.set(component, phase, energy, time);
+    }
+    CostEstimate {
+        machine: ConventionalExecutor::MACHINE,
+        counts,
+        prices,
+        certified,
     }
 }
 
@@ -300,6 +372,27 @@ impl ExecutionBackend<DnaWorkload> for ConventionalExecutor {
     ) -> (RunReport, CostLedger) {
         self.project_dna_attributed(hit_ratio)
     }
+
+    /// A closed-form prior at the workload's own scale: `coverage ×
+    /// ref_len` comparisons at the paper's expected cache behaviour. Not
+    /// certified — the run's measured trace (index probes, seed-extend
+    /// comparisons, real hit ratio) deviates, which is exactly what the
+    /// online calibrator exists to absorb.
+    fn estimate(&self, workload: &DnaWorkload) -> CostEstimate {
+        let spec = workload.spec;
+        let machine = ConventionalMachine::dna_paper();
+        let clusters_scaled =
+            ((machine.clusters as f64 * spec.scale_vs_paper()).round() as u64).max(1);
+        let workers = clusters_scaled * machine.units_per_cluster;
+        host_estimate(
+            &machine,
+            Phase::Map,
+            spec.comparisons(),
+            workers,
+            clusters_scaled as f64 / machine.clusters as f64,
+            false,
+        )
+    }
 }
 
 impl ExecutionBackend<AdditionWorkload> for ConventionalExecutor {
@@ -351,6 +444,21 @@ impl ExecutionBackend<AdditionWorkload> for ConventionalExecutor {
         _hit_ratio: f64,
     ) -> (RunReport, CostLedger) {
         self.additions_attributed(workload)
+    }
+
+    /// Certifies the addition batch: exactly `n_ops` adder invocations
+    /// through the cache — the same closed form
+    /// [`run`](ExecutionBackend::run) charges per operation.
+    fn estimate(&self, workload: &AdditionWorkload) -> CostEstimate {
+        let machine = ConventionalMachine::math_paper(workload.n_ops);
+        host_estimate(
+            &machine,
+            Phase::Add,
+            workload.n_ops,
+            machine.parallel_units(),
+            1.0,
+            true,
+        )
     }
 }
 

@@ -33,7 +33,7 @@ mod conventional;
 mod event;
 mod hierarchy;
 
-pub use backend::{ExecutionBackend, RunOutcome, SimError};
+pub use backend::{CostEstimate, ExecutionBackend, RunOutcome, SimError};
 pub use batch::{
     par_charge_chunks, par_fold_chunks, par_fold_slices, par_map, par_units, BatchPolicy,
     CHUNK_SIZE,

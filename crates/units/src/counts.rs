@@ -204,6 +204,106 @@ impl Default for UnitCosts {
     }
 }
 
+/// Per-cell dyadic scale factors for calibrating a [`UnitCosts`] table
+/// against observed ledgers without breaking the conservation contract.
+///
+/// The online calibrator refines model prices multiplicatively: after a
+/// run it compares the predicted ledger against the observed one and
+/// nudges each cell's price by the observed/predicted ratio. Done naively
+/// in raw f64 this would destroy the bit-for-bit conservation guarantee,
+/// because calibrated prices would no longer be dyadic rationals. A
+/// `ScaleTable` therefore stores every factor **already quantized by
+/// [`dyadic`]**, and [`rescale`](Self::rescale) pushes the product
+/// `factor × price` back through [`UnitCosts::set`] — re-quantizing it —
+/// so calibrated price tables keep exactly the same exactness properties
+/// as uncalibrated ones (see the module docs and DESIGN.md §10 for the
+/// mantissa-width argument).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaleTable {
+    energy: Vec<f64>,
+    time: Vec<f64>,
+}
+
+impl ScaleTable {
+    /// The identity table: every factor is exactly 1, so
+    /// [`rescale`](Self::rescale) reproduces its input bit-for-bit.
+    pub fn identity() -> Self {
+        Self {
+            energy: vec![1.0; CELLS],
+            time: vec![1.0; CELLS],
+        }
+    }
+
+    /// Sets one cell's energy and time factors, quantizing both through
+    /// [`dyadic`]. Non-finite or non-positive factors are clamped to 1
+    /// (a calibration step must never zero out or invert a price).
+    pub fn set(&mut self, component: Component, phase: Phase, energy: f64, time: f64) {
+        let sanitize = |f: f64| {
+            if f.is_finite() && f > 0.0 {
+                dyadic(f)
+            } else {
+                1.0
+            }
+        };
+        let s = slot(component, phase);
+        self.energy[s] = sanitize(energy);
+        self.time[s] = sanitize(time);
+    }
+
+    /// The energy factor of one cell (exactly dyadic).
+    pub fn energy_factor(&self, component: Component, phase: Phase) -> f64 {
+        self.energy[slot(component, phase)]
+    }
+
+    /// The time factor of one cell (exactly dyadic).
+    pub fn time_factor(&self, component: Component, phase: Phase) -> f64 {
+        self.time[slot(component, phase)]
+    }
+
+    /// True if every factor is exactly 1.
+    pub fn is_identity(&self) -> bool {
+        self.energy.iter().chain(&self.time).all(|&f| f == 1.0)
+    }
+
+    /// The largest relative deviation `|factor − 1|` across all cells —
+    /// a scalar summary of how far calibration has moved the prices.
+    pub fn max_deviation(&self) -> f64 {
+        self.energy
+            .iter()
+            .chain(&self.time)
+            .fold(0.0f64, |acc, &f| acc.max((f - 1.0).abs()))
+    }
+
+    /// Applies the factors to a price table, producing a calibrated
+    /// [`UnitCosts`].
+    ///
+    /// Every product goes back through [`UnitCosts::set`], so the result
+    /// is dyadic again and [`UnitCosts::evaluate`] on it stays exact
+    /// under any regrouping of the counts. With the identity table this
+    /// is a bitwise no-op.
+    pub fn rescale(&self, prices: &UnitCosts) -> UnitCosts {
+        let mut scaled = UnitCosts::new();
+        for &component in &Component::ALL {
+            for &phase in &Phase::ALL {
+                let s = slot(component, phase);
+                scaled.set(
+                    component,
+                    phase,
+                    prices.unit_energy(component, phase) * self.energy[s],
+                    prices.unit_time(component, phase) * self.time[s],
+                );
+            }
+        }
+        scaled
+    }
+}
+
+impl Default for ScaleTable {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -359,5 +459,58 @@ mod tests {
         let counts = CountLedger::new();
         assert!(counts.is_empty());
         assert!(awkward_prices().evaluate(&counts).is_empty());
+    }
+
+    #[test]
+    fn identity_scale_table_is_a_bitwise_no_op() {
+        let prices = awkward_prices();
+        let scaled = ScaleTable::identity().rescale(&prices);
+        assert_eq!(scaled, prices);
+        assert!(ScaleTable::identity().is_identity());
+        assert_eq!(ScaleTable::identity().max_deviation(), 0.0);
+    }
+
+    #[test]
+    fn rescaled_prices_stay_dyadic_and_conserve() {
+        // A calibrated table must keep the partition-invariance contract:
+        // per-tile ledgers priced with the *rescaled* table still sum
+        // bit-for-bit to the evaluated merge.
+        let mut scales = ScaleTable::identity();
+        scales.set(Component::ImplyStep, Phase::Map, 1.37, 0.82);
+        let prices = scales.rescale(&awkward_prices());
+        // The rescaled unit price is exactly dyadic (idempotent under dyadic).
+        let e = prices.unit_energy(Component::ImplyStep, Phase::Map).get();
+        assert_eq!(dyadic(e), e);
+        let mut whole = CountLedger::new();
+        whole.charge(Component::ImplyStep, Phase::Map, MAX_EXACT_COUNT);
+        let fabric = prices.evaluate(&whole);
+        let mut folded = crate::CostLedger::new();
+        for n in [
+            1u64,
+            MAX_EXACT_COUNT / 3,
+            MAX_EXACT_COUNT - 1 - MAX_EXACT_COUNT / 3,
+        ] {
+            let mut tile = CountLedger::new();
+            tile.charge(Component::ImplyStep, Phase::Map, n);
+            folded.merge(&prices.evaluate(&tile));
+        }
+        assert_eq!(folded, fabric);
+        assert_eq!(
+            folded.total_energy().get().to_bits(),
+            fabric.total_energy().get().to_bits()
+        );
+    }
+
+    #[test]
+    fn scale_table_rejects_degenerate_factors() {
+        let mut scales = ScaleTable::identity();
+        scales.set(Component::ImplyStep, Phase::Map, 0.0, f64::NAN);
+        assert!(scales.is_identity());
+        scales.set(Component::ImplyStep, Phase::Map, -2.0, f64::INFINITY);
+        assert!(scales.is_identity());
+        scales.set(Component::ImplyStep, Phase::Map, 2.0, 0.5);
+        assert_eq!(scales.energy_factor(Component::ImplyStep, Phase::Map), 2.0);
+        assert_eq!(scales.time_factor(Component::ImplyStep, Phase::Map), 0.5);
+        assert!((scales.max_deviation() - 1.0).abs() < 1e-12);
     }
 }

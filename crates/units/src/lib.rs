@@ -25,11 +25,13 @@
 mod counts;
 mod display;
 mod ledger;
+mod objective;
 mod quantity;
 
-pub use counts::{dyadic, CountLedger, UnitCosts, DYADIC_BITS, MAX_EXACT_COUNT};
+pub use counts::{dyadic, CountLedger, ScaleTable, UnitCosts, DYADIC_BITS, MAX_EXACT_COUNT};
 pub use display::EngNotation;
 pub use ledger::{Component, CostEntry, CostLedger, LedgerEntry, Phase, PhaseScope};
+pub use objective::DispatchObjective;
 pub use quantity::{
     Area, Charge, Conductance, Current, Energy, EnergyDelay, Frequency, Power, Resistance, Time,
     Voltage,

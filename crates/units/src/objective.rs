@@ -1,0 +1,97 @@
+//! Dispatch objectives: what "cheaper" means when two machines compete.
+//!
+//! The hybrid dispatcher compares a CIM estimate against a host estimate
+//! and routes work to whichever machine scores lower. The paper's Table 2
+//! itself reports three different figures of merit — energy, delay, and
+//! their product — and which machine "wins" depends on which one you
+//! optimise. [`DispatchObjective`] makes that choice explicit and
+//! deterministic: a pure function from `(energy, time)` totals to a
+//! scalar score, identical on every thread and every run.
+
+use serde::{Deserialize, Serialize};
+
+use crate::quantity::{Energy, Time};
+
+/// The figure of merit a dispatcher minimises when choosing a machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DispatchObjective {
+    /// Minimise total energy (joules).
+    Energy,
+    /// Minimise makespan (seconds).
+    Makespan,
+    /// Minimise the energy-delay product (joule-seconds), the paper's
+    /// headline metric.
+    EnergyDelay,
+}
+
+impl DispatchObjective {
+    /// All objectives, in a fixed order (stable for iteration/serialisation).
+    pub const ALL: [DispatchObjective; 3] = [
+        DispatchObjective::Energy,
+        DispatchObjective::Makespan,
+        DispatchObjective::EnergyDelay,
+    ];
+
+    /// Scores a `(energy, time)` pair under this objective; lower is
+    /// better. A pure function of its inputs — no randomness, no clock —
+    /// so dispatch decisions derived from it are reproducible bit-for-bit.
+    pub fn score(self, energy: Energy, time: Time) -> f64 {
+        match self {
+            DispatchObjective::Energy => energy.get(),
+            DispatchObjective::Makespan => time.get(),
+            DispatchObjective::EnergyDelay => (energy * time.get()).get(),
+        }
+    }
+
+    /// Stable snake_case label used in traces, reports, and snapshots.
+    pub fn label(self) -> &'static str {
+        match self {
+            DispatchObjective::Energy => "energy",
+            DispatchObjective::Makespan => "makespan",
+            DispatchObjective::EnergyDelay => "energy_delay",
+        }
+    }
+
+    /// Parses a command-line objective name (the inverse of
+    /// [`label`](Self::label), plus the common `edp` shorthand).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "energy" => Some(DispatchObjective::Energy),
+            "makespan" => Some(DispatchObjective::Makespan),
+            "energy_delay" | "edp" => Some(DispatchObjective::EnergyDelay),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for DispatchObjective {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scores_select_the_right_axis() {
+        let e = Energy::new(2.0);
+        let t = Time::new(3.0);
+        assert_eq!(DispatchObjective::Energy.score(e, t), 2.0);
+        assert_eq!(DispatchObjective::Makespan.score(e, t), 3.0);
+        assert_eq!(DispatchObjective::EnergyDelay.score(e, t), 6.0);
+    }
+
+    #[test]
+    fn labels_round_trip_through_parse() {
+        for objective in DispatchObjective::ALL {
+            assert_eq!(DispatchObjective::parse(objective.label()), Some(objective));
+        }
+        assert_eq!(
+            DispatchObjective::parse("edp"),
+            Some(DispatchObjective::EnergyDelay)
+        );
+        assert_eq!(DispatchObjective::parse("watts"), None);
+    }
+}

@@ -3,7 +3,7 @@
 //! ```text
 //! cimlint                  lint every shipped program and graph
 //! cimlint --deny-warnings  CI mode: warnings fail too
-//! cimlint --fixtures       run the six seeded-defect fixtures and
+//! cimlint --fixtures       run the seven seeded-defect fixtures and
 //!                          require each to be rejected
 //! cimlint --list           list the registry and exit
 //! ```

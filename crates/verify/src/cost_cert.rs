@@ -16,7 +16,7 @@ use cim_arch::TileCoord;
 use cim_compiler::CompiledPlan;
 use cim_device::DeviceParams;
 use cim_logic::{ImplyParams, LogicCost, Program};
-use cim_units::{Component, CostLedger, CountLedger, Energy, Phase, Time, UnitCosts};
+use cim_units::{Component, CostLedger, CountLedger, Energy, Phase, ScaleTable, Time, UnitCosts};
 
 use crate::diagnostics::{Diagnostic, Report};
 
@@ -274,6 +274,70 @@ pub fn certify_tiles(
     report
 }
 
+/// What one dispatch decision claims it was based on: the exact counts
+/// the estimate predicted, the base (uncalibrated) price table, the
+/// calibration scales in force, and the predicted ledger the route was
+/// scored from.
+///
+/// Expressed entirely in `cim-units` currency so the verifier needs no
+/// executor: an honest claim's ledger is *re-derivable bit for bit* as
+/// `scales.rescale(&base_prices).evaluate(&counts)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DispatchClaim {
+    /// The machine the claim prices (`"cim"` / `"conventional"` /
+    /// `"cim-fabric"` / `"host"`).
+    pub machine: String,
+    /// Exact predicted primitive-operation counts.
+    pub counts: CountLedger,
+    /// The machine's base dyadic price table.
+    pub base_prices: UnitCosts,
+    /// Calibration scale factors applied to the base prices.
+    pub scales: ScaleTable,
+    /// The predicted ledger the dispatch decision was scored from.
+    pub ledger: CostLedger,
+}
+
+/// Certifies a dispatch claim: re-derives the calibrated prediction —
+/// `scales.rescale(&base_prices).evaluate(&counts)` — and compares it
+/// to the claimed ledger **bit for bit**, anchoring every disagreeing
+/// cell (`dispatch-claim-mismatch`, with the component/phase labels).
+///
+/// Rescaling and evaluation both stay in dyadic count-space, so exact
+/// equality is the contract: a claim that drifts by one ULP was not
+/// produced by the certified pipeline (a miscalibrated or hand-edited
+/// dispatch decision), and must not steer work between the machines.
+pub fn certify_dispatch(name: &str, claim: &DispatchClaim) -> Report {
+    let mut report = Report::new(name);
+    let derived = claim
+        .scales
+        .rescale(&claim.base_prices)
+        .evaluate(&claim.counts);
+    for component in Component::ALL {
+        for phase in Phase::ALL {
+            let expected = derived.entry(component, phase);
+            let claimed = claim.ledger.entry(component, phase);
+            if expected != claimed {
+                report.push(
+                    Diagnostic::error(
+                        "dispatch-claim-mismatch",
+                        format!(
+                            "{} claims {} / {} in this cell but the calibrated \
+                             certificate derives {} / {}",
+                            claim.machine,
+                            claimed.energy,
+                            claimed.time,
+                            expected.energy,
+                            expected.time
+                        ),
+                    )
+                    .at_cell(component.label(), phase.label()),
+                );
+            }
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -387,6 +451,49 @@ mod tests {
             &fabric_ledger,
         );
         assert!(report.has_code("count-conservation"), "{report}");
+    }
+
+    #[test]
+    fn dispatch_claims_certify_bitwise_and_catch_miscalibration() {
+        let mut counts = CountLedger::new();
+        counts.charge(Component::ImplyStep, Phase::Map, 4_096);
+        counts.charge(Component::Controller, Phase::Map, 4_096);
+        let mut base_prices = UnitCosts::new();
+        base_prices.set(
+            Component::ImplyStep,
+            Phase::Map,
+            Energy::new(45e-15),
+            Time::from_pico_seconds(3.7),
+        );
+        base_prices.set(
+            Component::Controller,
+            Phase::Map,
+            Energy::new(4.9e-15),
+            Time::ZERO,
+        );
+        let mut scales = ScaleTable::identity();
+        scales.set(Component::ImplyStep, Phase::Map, 1.19, 0.93);
+        let honest = DispatchClaim {
+            machine: "cim".into(),
+            ledger: scales.rescale(&base_prices).evaluate(&counts),
+            counts,
+            base_prices,
+            scales,
+        };
+        assert!(certify_dispatch("dispatch", &honest).is_clean());
+
+        // A claim priced with *identity* scales while claiming the
+        // calibrated ones — a miscalibrated dispatch decision — is
+        // caught and anchored to the rescaled cell.
+        let mut forged = honest.clone();
+        forged.ledger = forged.base_prices.evaluate(&forged.counts);
+        let report = certify_dispatch("dispatch", &forged);
+        assert!(report.has_code("dispatch-claim-mismatch"), "{report}");
+        let d = &report.diagnostics[0];
+        assert_eq!(d.component, Some("imply_step"));
+        assert_eq!(d.phase, Some("map"));
+        // The controller cell was not rescaled, so it still agrees.
+        assert_eq!(report.errors(), 1);
     }
 
     #[test]

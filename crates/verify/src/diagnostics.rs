@@ -43,6 +43,12 @@ pub struct Diagnostic {
     pub node: Option<usize>,
     /// Fabric tile `(row, col)` the finding anchors to, if any.
     pub tile: Option<(u32, u32)>,
+    /// Ledger-cell component label (`Component::label`) the finding
+    /// anchors to, if any.
+    pub component: Option<&'static str>,
+    /// Ledger-cell phase label (`Phase::label`) the finding anchors
+    /// to, if any.
+    pub phase: Option<&'static str>,
 }
 
 impl Diagnostic {
@@ -56,6 +62,8 @@ impl Diagnostic {
             register: None,
             node: None,
             tile: None,
+            component: None,
+            phase: None,
         }
     }
 
@@ -69,6 +77,8 @@ impl Diagnostic {
             register: None,
             node: None,
             tile: None,
+            component: None,
+            phase: None,
         }
     }
 
@@ -95,6 +105,14 @@ impl Diagnostic {
         self.tile = Some((row, col));
         self
     }
+
+    /// Anchors the finding to one ledger cell (component × phase),
+    /// by stable label.
+    pub fn at_cell(mut self, component: &'static str, phase: &'static str) -> Self {
+        self.component = Some(component);
+        self.phase = Some(phase);
+        self
+    }
 }
 
 impl std::fmt::Display for Diagnostic {
@@ -111,6 +129,12 @@ impl std::fmt::Display for Diagnostic {
         }
         if let Some((row, col)) = self.tile {
             write!(f, " tile({row},{col})")?;
+        }
+        if let Some(component) = self.component {
+            write!(f, " {component}")?;
+        }
+        if let Some(phase) = self.phase {
+            write!(f, "/{phase}")?;
         }
         write!(f, ": {}", self.message)
     }
@@ -216,6 +240,16 @@ mod tests {
         assert_eq!(
             d.to_string(),
             "error[uninitialized-read] step 3 r5: reads stale 0"
+        );
+    }
+
+    #[test]
+    fn display_names_the_ledger_cell() {
+        let d = Diagnostic::error("dispatch-claim-mismatch", "ledger drifts")
+            .at_cell("imply_step", "map");
+        assert_eq!(
+            d.to_string(),
+            "error[dispatch-claim-mismatch] imply_step/map: ledger drifts"
         );
     }
 

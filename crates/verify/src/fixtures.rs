@@ -1,14 +1,16 @@
-//! The six seeded-defect fixtures the acceptance criteria require
+//! The seven seeded-defect fixtures the acceptance criteria require
 //! `cimlint` to reject, each with the diagnostic code it must raise.
 //!
 //! They are deliberately minimal: one defect per fixture, anchored to a
-//! specific step/register/node/tile so the diagnostics can be asserted
-//! on.
+//! specific step/register/node/tile/ledger-cell so the diagnostics can
+//! be asserted on.
 
 use cim_arch::{Placement, TileGrid};
 use cim_compiler::{queries, Graph, Mapper};
 use cim_logic::{Comparator, LogicCost, Program, Step};
+use cim_units::{Component, CountLedger, Energy, Phase, ScaleTable, Time, UnitCosts};
 
+use crate::cost_cert::DispatchClaim;
 use crate::diagnostics::Report;
 
 /// One artifact carrying a seeded defect.
@@ -56,6 +58,16 @@ pub enum Fixture {
         /// Diagnostic code the verifier must raise.
         expect: &'static str,
     },
+    /// A dispatch decision whose predicted ledger does not re-derive
+    /// from its own counts, prices, and calibration scales.
+    Dispatch {
+        /// Fixture name.
+        name: &'static str,
+        /// The claim.
+        claim: DispatchClaim,
+        /// Diagnostic code the verifier must raise.
+        expect: &'static str,
+    },
 }
 
 impl Fixture {
@@ -65,7 +77,8 @@ impl Fixture {
             Fixture::Program { name, .. }
             | Fixture::Graph { name, .. }
             | Fixture::Claim { name, .. }
-            | Fixture::Placement { name, .. } => name,
+            | Fixture::Placement { name, .. }
+            | Fixture::Dispatch { name, .. } => name,
         }
     }
 
@@ -75,7 +88,8 @@ impl Fixture {
             Fixture::Program { expect, .. }
             | Fixture::Graph { expect, .. }
             | Fixture::Claim { expect, .. }
-            | Fixture::Placement { expect, .. } => expect,
+            | Fixture::Placement { expect, .. }
+            | Fixture::Dispatch { expect, .. } => expect,
         }
     }
 
@@ -113,6 +127,9 @@ impl Fixture {
                 grid,
                 ..
             } => crate::mapping::check_placement(name, placement, grid),
+            Fixture::Dispatch { name, claim, .. } => {
+                crate::cost_cert::certify_dispatch(name, claim)
+            }
         }
     }
 
@@ -123,7 +140,7 @@ impl Fixture {
     }
 }
 
-/// The six seeded defects of the acceptance criteria.
+/// The seven seeded defects of the acceptance criteria.
 pub fn seeded_defects() -> Vec<Fixture> {
     let cmp = Comparator::new();
     let comparator = cmp.eq_program().clone();
@@ -189,6 +206,33 @@ pub fn seeded_defects() -> Vec<Fixture> {
             grid: TileGrid::paper_dna(2, 2),
             expect: "tile-capacity",
         },
+        // 7. Miscalibrated dispatch claim: the predicted ledger was
+        // priced with identity scales while the claim says a 1.19x
+        // energy recalibration of the comparator cell was in force.
+        Fixture::Dispatch {
+            name: "defect-dispatch-claim",
+            claim: {
+                let mut counts = CountLedger::new();
+                counts.charge(Component::ImplyStep, Phase::Map, 4_096);
+                let mut base_prices = UnitCosts::new();
+                base_prices.set(
+                    Component::ImplyStep,
+                    Phase::Map,
+                    Energy::new(45e-15),
+                    Time::from_pico_seconds(3.7),
+                );
+                let mut scales = ScaleTable::identity();
+                scales.set(Component::ImplyStep, Phase::Map, 1.19, 1.0);
+                DispatchClaim {
+                    machine: "cim".into(),
+                    ledger: base_prices.evaluate(&counts),
+                    counts,
+                    base_prices,
+                    scales,
+                }
+            },
+            expect: "dispatch-claim-mismatch",
+        },
     ]
 }
 
@@ -197,9 +241,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn all_six_defects_are_rejected_with_their_codes() {
+    fn all_seven_defects_are_rejected_with_their_codes() {
         let fixtures = seeded_defects();
-        assert_eq!(fixtures.len(), 6);
+        assert_eq!(fixtures.len(), 7);
         for fixture in &fixtures {
             let report = fixture.verify();
             assert!(
@@ -236,6 +280,9 @@ mod tests {
                 }
                 "defect-tile-capacity" => {
                     assert_eq!(d.tile, Some((0, 0)));
+                }
+                "defect-dispatch-claim" => {
+                    assert_eq!((d.component, d.phase), (Some("imply_step"), Some("map")));
                 }
                 other => panic!("unknown fixture {other}"),
             }

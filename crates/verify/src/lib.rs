@@ -20,10 +20,13 @@
 //!   tile-placement legality over a `cim_arch::TileGrid` with findings
 //!   anchored to tile coordinates;
 //! * [`cost_cert`] — closed-form step/latency/energy certificates the
-//!   dynamic [`cim_units::CostLedger`] must match bit for bit, and
-//!   per-tile count/ledger conservation ([`certify_tiles`]);
+//!   dynamic [`cim_units::CostLedger`] must match bit for bit, per-tile
+//!   count/ledger conservation ([`certify_tiles`]), and dispatch-claim
+//!   certification ([`certify_dispatch`]: a routing decision's
+//!   predicted ledger must re-derive from its own counts, base prices,
+//!   and calibration scales);
 //! * [`shipped`] / [`fixtures`] — the registry CI lints clean and the
-//!   six seeded defects it must reject.
+//!   seven seeded defects it must reject.
 //!
 //! The error-severity subset (uninitialized reads, input clobbers) is
 //! wired directly into [`cim_logic::Program::validate`], so it already
@@ -54,7 +57,9 @@ pub mod mapping;
 pub mod optimize;
 pub mod shipped;
 
-pub use cost_cert::{certify_plan, certify_tiles, CostCertificate, TileClaim};
+pub use cost_cert::{
+    certify_dispatch, certify_plan, certify_tiles, CostCertificate, DispatchClaim, TileClaim,
+};
 pub use dataflow::{abstract_states, analyze_program, live_steps, AbstractBit, DefUse};
 pub use diagnostics::{Diagnostic, Report, Severity};
 pub use fixtures::{seeded_defects, Fixture};

@@ -13,7 +13,7 @@
 //! for any tile count and thread count; the final section proves it by
 //! re-serving the same traffic on a single serial tile.
 
-use cim::fabric::{FabricExecutor, ServeConfig, ServeFrontEnd, TrafficSpec};
+use cim::fabric::{DispatchPolicy, FabricExecutor, ServeConfig, ServeFrontEnd, TrafficSpec};
 use cim::sim::BatchPolicy;
 
 fn main() {
@@ -21,6 +21,7 @@ fn main() {
     let fe = ServeFrontEnd {
         fabric: FabricExecutor::paper(2, 2, BatchPolicy::auto()),
         config: ServeConfig::sustained(),
+        policy: DispatchPolicy::AlwaysCim,
     };
     let report = fe.serve(&traffic).expect("traffic serves");
 
@@ -73,6 +74,7 @@ fn main() {
     let solo = ServeFrontEnd {
         fabric: FabricExecutor::paper(1, 1, BatchPolicy::SERIAL),
         config: ServeConfig::sustained(),
+        policy: DispatchPolicy::AlwaysCim,
     }
     .serve(&traffic)
     .expect("solo serve");

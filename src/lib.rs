@@ -23,6 +23,7 @@ pub use cim_compiler as compiler;
 pub use cim_core as core;
 pub use cim_crossbar as crossbar;
 pub use cim_device as device;
+pub use cim_dispatch as dispatch;
 pub use cim_fabric as fabric;
 pub use cim_logic as logic;
 pub use cim_sim as sim;

@@ -9,7 +9,7 @@
 //! per-tile (and per-tenant) ledgers sum **bit-for-bit** to the fabric
 //! ledger, which the static certifier re-derives from the counts.
 
-use cim::fabric::{FabricExecutor, ServeConfig, ServeFrontEnd, TrafficSpec};
+use cim::fabric::{DispatchPolicy, FabricExecutor, ServeConfig, ServeFrontEnd, TrafficSpec};
 use cim::sim::BatchPolicy;
 use cim::units::CountLedger;
 use cim::verify::{certify_tiles, TileClaim};
@@ -95,12 +95,12 @@ proptest! {
             max_batch,
             mean_gap_ps: 700,
         };
-        let reference = ServeFrontEnd { fabric: executor(1, 1, 1), config }
+        let reference = ServeFrontEnd { fabric: executor(1, 1, 1), config, policy: DispatchPolicy::AlwaysCim }
             .serve(&traffic)
             .expect("reference serve");
         prop_assert!(reference.conserves());
         for (rows, cols, threads) in [(1u32, 2u32, 1usize), (2, 2, 4)] {
-            let report = ServeFrontEnd { fabric: executor(rows, cols, threads), config }
+            let report = ServeFrontEnd { fabric: executor(rows, cols, threads), config, policy: DispatchPolicy::AlwaysCim }
                 .serve(&traffic)
                 .expect("sharded serve");
             prop_assert_eq!(report.checksum, reference.checksum);
@@ -129,7 +129,7 @@ proptest! {
             max_batch: 8,
             mean_gap_ps: 300, // overload: force the admission gates to fire
         };
-        let report = ServeFrontEnd { fabric: executor(1, 2, 2), config }
+        let report = ServeFrontEnd { fabric: executor(1, 2, 2), config, policy: DispatchPolicy::AlwaysCim }
             .serve(&TrafficSpec::sustained(queries, seed))
             .expect("serve");
         prop_assert_eq!(report.submitted, queries);
