@@ -5,7 +5,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use cim_crossbar::{BiasScheme, Cell, Crossbar, CrsCell, Geometry, ResistiveCell, SelectorCell};
+use cim_crossbar::{
+    solve_batch, BiasScheme, Cell, Crossbar, CrsCell, Geometry, ResistiveCell, SelectorCell,
+};
 use cim_device::DeviceParams;
 
 fn array(n: usize) -> Crossbar<ResistiveCell> {
@@ -100,6 +102,41 @@ fn bench_parallel_distributed_64(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_batch_of_solves(c: &mut Criterion) {
+    // Batch-of-solves concurrency: 8 independent warm 64x64 arrays
+    // flip-solved through `solve_batch`, serial vs pooled dispatch.
+    let n = 64;
+    let p = DeviceParams::table1_cim();
+    let v = p.v_set * 0.5;
+    let mut group = c.benchmark_group("solver/batch_of_solves_8x64");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                let mut arrays: Vec<_> = (0..8)
+                    .map(|k| {
+                        let mut a = array(n);
+                        a.program(k % n, k % n, true);
+                        let _ = a.solve_access(0, n - 1, v, BiasScheme::HalfV);
+                        a
+                    })
+                    .collect();
+                let mut bit = false;
+                b.iter(|| {
+                    bit = !bit;
+                    black_box(solve_batch(threads, &mut arrays, |idx, a| {
+                        a.program((idx + n / 2) % n, n / 2, bit);
+                        a.solve_access(0, n - 1, v, BiasScheme::HalfV)
+                    }))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_junctions(c: &mut Criterion) {
     let p = DeviceParams::table1_cim();
     let n = 16;
@@ -175,6 +212,7 @@ criterion_group!(
     bench_distributed,
     bench_warm_vs_cold_64,
     bench_parallel_distributed_64,
+    bench_batch_of_solves,
     bench_junctions,
     bench_cam_search,
     bench_multistage_read,

@@ -69,19 +69,6 @@ fn check(path: &std::path::Path) -> Result<(), String> {
     Ok(())
 }
 
-/// Strict numeric flag: absent → `default`, present-but-garbage → exit 2
-/// (the `--threads` convention — an unparseable value must never fall
-/// back silently).
-fn numeric_flag(args: &Args, key: &str, default: usize) -> usize {
-    match args.value(key) {
-        None => default,
-        Some(raw) => raw.parse().unwrap_or_else(|_| {
-            eprintln!("error: {key} expects a non-negative integer, got `{raw}`");
-            std::process::exit(2);
-        }),
-    }
-}
-
 /// Strict objective flag: absent → energy, present-but-garbage → exit 2.
 fn objective_flag(args: &Args) -> DispatchObjective {
     match args.value("--objective") {
@@ -279,10 +266,10 @@ fn main() {
 
     let quick = args.has("--quick");
     let objective = objective_flag(&args);
-    let threads = numeric_flag(&args, "--threads", 4);
-    let ref_len = numeric_flag(&args, "--ref-len", if quick { 1 << 12 } else { 1 << 14 });
-    let n_ops = numeric_flag(&args, "--ops", if quick { 1 << 12 } else { 1 << 14 });
-    let queries = numeric_flag(&args, "--queries", if quick { 4_000 } else { 16_000 });
+    let threads = args.numeric("--threads", 4);
+    let ref_len = args.numeric("--ref-len", if quick { 1 << 12 } else { 1 << 14 });
+    let n_ops = args.numeric("--ops", if quick { 1 << 12 } else { 1 << 14 });
+    let queries = args.numeric("--queries", if quick { 4_000 } else { 16_000 });
 
     let dna = DnaWorkload::scaled(ref_len as u64, 64);
     let adds = AdditionWorkload::scaled(n_ops as u64, 7);

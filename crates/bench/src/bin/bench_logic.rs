@@ -1,8 +1,10 @@
 //! Functional-kernel snapshot: measures the bit-sliced IMPLY kernels
 //! against the scalar interpreter — the eq-comparator and ripple-adder
-//! microkernels plus end-to-end scaled DNA + additions executor runs —
-//! and writes the numbers to `BENCH_logic.json` at the workspace root,
-//! so the perf trajectory is tracked in-repo from PR to PR.
+//! microkernels at every lane-block width (u64×1 / ×4 / ×8), end-to-end
+//! scaled DNA + additions executor runs, and the paper's full-scale 10⁶
+//! parallel additions — and writes the numbers to `BENCH_logic.json` at
+//! the workspace root, so the perf trajectory is tracked in-repo from PR
+//! to PR.
 //!
 //! ```bash
 //! cargo run --release -p cim-bench --bin bench_logic            # full run
@@ -11,33 +13,46 @@
 //! ```
 //!
 //! `--check` validates the checked-in snapshot against the
-//! `cim-bench-logic/1` schema without re-measuring (used by CI so the
-//! snapshot can't rot); `--quick` trims workload sizes and sample
-//! counts for smoke runs.
+//! `cim-bench-logic/2` schema without re-measuring **and gates the
+//! wide-block headline** (`million_adds_wide_speedup > 1.0`: ×4-or-wider
+//! lane blocks must beat the 64-lane engine on the full-scale addition
+//! run — real measured ILP, not a projection); `--quick` trims workload
+//! sizes and sample counts for smoke runs.
 
 use std::time::Instant;
 
 use cim_bench::{repo_root_file, Args};
-use cim_logic::{BitSliceEngine, Comparator, ImplyAdder, LANES};
+use cim_logic::{BitSliceEngine, Comparator, ImplyAdder, LaneBlock, Lanes4, Lanes8};
 use cim_sim::{BatchPolicy, CimExecutor, ExecutionBackend, KernelPolicy};
 use cim_workloads::{AdditionWorkload, DnaWorkload};
 
-const SCHEMA: &str = "cim-bench-logic/1";
+const SCHEMA: &str = "cim-bench-logic/2";
 
 /// Every field a valid snapshot must carry, in schema order.
-const REQUIRED_FIELDS: [&str; 12] = [
+const REQUIRED_FIELDS: [&str; 23] = [
     "schema",
     "samples",
     "comparator_ops",
     "comparator_scalar_ns",
     "comparator_sliced_ns",
+    "comparator_sliced_x4_ns",
+    "comparator_sliced_x8_ns",
     "comparator_speedup",
     "adder_ops",
     "adder_scalar_ns",
     "adder_sliced_ns",
+    "adder_sliced_x4_ns",
+    "adder_sliced_x8_ns",
     "adder_speedup",
+    "million_adds_ops",
+    "million_adds_x1_ns",
+    "million_adds_x4_ns",
+    "million_adds_x8_ns",
+    "million_adds_wide_speedup",
     "e2e_scalar_ns",
     "e2e_sliced_ns",
+    "e2e_speedup",
+    "e2e_sliced_x8_ns",
 ];
 
 /// Median wall-clock nanoseconds of `routine` over `samples` runs (one
@@ -55,6 +70,17 @@ fn median_ns(samples: usize, mut routine: impl FnMut()) -> f64 {
     times[times.len() / 2] as f64
 }
 
+/// Extracts the numeric value of `field` from the hand-written snapshot.
+fn numeric_field(body: &str, field: &str) -> Option<f64> {
+    let key = format!("\"{field}\":");
+    let rest = &body[body.find(&key)? + key.len()..];
+    let rest = rest.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 fn check(path: &std::path::Path) -> Result<(), String> {
     let body = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
@@ -69,7 +95,61 @@ fn check(path: &std::path::Path) -> Result<(), String> {
             return Err(format!("snapshot is missing required field '{field}'"));
         }
     }
+    let wide = numeric_field(&body, "million_adds_wide_speedup")
+        .ok_or("million_adds_wide_speedup is not numeric")?;
+    if wide <= 1.0 {
+        return Err(format!(
+            "million_adds_wide_speedup {wide} is at or below the 1.0 gate: wide lane \
+             blocks must beat the 64-lane engine on the full-scale addition run"
+        ));
+    }
     Ok(())
+}
+
+/// Comparator pass over pre-packed `B`-block groups: returns median ns.
+fn comparator_pass<B: LaneBlock>(samples: usize, cmp: &Comparator, pairs: &[(u8, u8)]) -> f64 {
+    let packed: Vec<(B, B, B, B, B)> = pairs
+        .chunks(B::LANES)
+        .map(|group| {
+            let (mut a0, mut a1, mut b0, mut b1) = (B::ZERO, B::ZERO, B::ZERO, B::ZERO);
+            for (lane, &(a, b)) in group.iter().enumerate() {
+                a0.set_lane(lane, a & 1 == 1);
+                a1.set_lane(lane, a & 2 == 2);
+                b0.set_lane(lane, b & 1 == 1);
+                b1.set_lane(lane, b & 2 == 2);
+            }
+            (a0, a1, b0, b1, B::lane_mask(group.len()))
+        })
+        .collect();
+    median_ns(samples, || {
+        let mut engine = BitSliceEngine::<B>::wide();
+        let mut matches = 0u64;
+        for &(a0, a1, b0, b1, mask) in &packed {
+            let eq = cmp
+                .matches_sliced_wide(&mut engine, a0, a1, b0, b1)
+                .and(mask);
+            for w in 0..B::WORDS {
+                matches += u64::from(eq.word(w).count_ones());
+            }
+        }
+        std::hint::black_box(matches);
+    })
+}
+
+/// Adder pass over `B::LANES`-wide operand groups: returns median ns.
+fn adder_pass<B: LaneBlock>(samples: usize, adder: &ImplyAdder, operands: &[(u64, u64)]) -> f64 {
+    median_ns(samples, || {
+        let mut engine = BitSliceEngine::<B>::wide();
+        let mut sums = vec![0u64; B::LANES];
+        let mut checksum = 0u64;
+        for group in operands.chunks(B::LANES) {
+            adder.add_sliced_wide(&mut engine, group, &mut sums[..group.len()]);
+            for &s in &sums[..group.len()] {
+                checksum = checksum.wrapping_add(s);
+            }
+        }
+        std::hint::black_box(checksum);
+    })
 }
 
 fn main() {
@@ -78,7 +158,10 @@ fn main() {
 
     if args.has("--check") {
         match check(&path) {
-            Ok(()) => println!("[ok] {} matches schema {SCHEMA}", path.display()),
+            Ok(()) => println!(
+                "[ok] {} matches schema {SCHEMA} and the wide-block gate",
+                path.display()
+            ),
             Err(e) => {
                 eprintln!("[fail] {e}");
                 std::process::exit(1);
@@ -91,7 +174,8 @@ fn main() {
     let samples = if quick { 10 } else { 50 };
     let e2e_samples = if quick { 3 } else { 9 };
 
-    // ── Eq-comparator kernel: one pass over `cmp_ops` symbol pairs ──
+    // ── Eq-comparator kernel: one pass over `cmp_ops` symbol pairs,
+    // at every lane-block width ──
     // Inputs are marshalled outside the timed region on both sides so
     // the comparison isolates kernel execution (the e2e section below
     // charges packing/transposition at its real place in the pipeline).
@@ -103,24 +187,6 @@ fn main() {
     let scalar_inputs: Vec<[bool; 4]> = pairs
         .iter()
         .map(|&(a, b)| [a & 1 == 1, a & 2 == 2, b & 1 == 1, b & 2 == 2])
-        .collect();
-    let packed_groups: Vec<(u64, u64, u64, u64, u64)> = pairs
-        .chunks(LANES)
-        .map(|group| {
-            let (mut a0, mut a1, mut b0, mut b1) = (0u64, 0u64, 0u64, 0u64);
-            for (lane, &(a, b)) in group.iter().enumerate() {
-                a0 |= u64::from(a & 1) << lane;
-                a1 |= u64::from(a >> 1) << lane;
-                b0 |= u64::from(b & 1) << lane;
-                b1 |= u64::from(b >> 1) << lane;
-            }
-            let lane_mask = if group.len() == LANES {
-                u64::MAX
-            } else {
-                (1u64 << group.len()) - 1
-            };
-            (a0, a1, b0, b1, lane_mask)
-        })
         .collect();
 
     let cmp_scalar = {
@@ -135,18 +201,13 @@ fn main() {
             std::hint::black_box(matches);
         })
     };
-    let cmp_sliced = median_ns(samples, || {
-        let mut engine = BitSliceEngine::new();
-        let mut matches = 0u64;
-        for &(a0, a1, b0, b1, lane_mask) in &packed_groups {
-            let eq = cmp.matches_sliced(&mut engine, a0, a1, b0, b1) & lane_mask;
-            matches += u64::from(eq.count_ones());
-        }
-        std::hint::black_box(matches);
-    });
+    let cmp_sliced = comparator_pass::<u64>(samples, &cmp, &pairs);
+    let cmp_sliced_x4 = comparator_pass::<Lanes4>(samples, &cmp, &pairs);
+    let cmp_sliced_x8 = comparator_pass::<Lanes8>(samples, &cmp, &pairs);
     let cmp_speedup = cmp_scalar / cmp_sliced;
 
-    // ── 32-bit ripple adder: one pass over `add_ops` operand pairs ──
+    // ── 32-bit ripple adder: one pass over `add_ops` operand pairs,
+    // at every lane-block width ──
     let adder = ImplyAdder::new(32);
     let add_ops: usize = if quick { 1 << 10 } else { 1 << 13 };
     let operands: Vec<(u64, u64)> = (0..add_ops as u64)
@@ -165,19 +226,29 @@ fn main() {
         }
         std::hint::black_box(checksum);
     });
-    let add_sliced = median_ns(samples, || {
-        let mut engine = BitSliceEngine::new();
-        let mut sums = [0u64; LANES];
-        let mut checksum = 0u64;
-        for group in operands.chunks(LANES) {
-            adder.add_sliced(&mut engine, group, &mut sums[..group.len()]);
-            for &s in &sums[..group.len()] {
-                checksum = checksum.wrapping_add(s);
-            }
-        }
-        std::hint::black_box(checksum);
-    });
+    let add_sliced = adder_pass::<u64>(samples, &adder, &operands);
+    let add_sliced_x4 = adder_pass::<Lanes4>(samples, &adder, &operands);
+    let add_sliced_x8 = adder_pass::<Lanes8>(samples, &adder, &operands);
     let add_speedup = add_scalar / add_sliced;
+
+    // ── Full-scale 10⁶ parallel additions (the paper's headline
+    // workload), measured — not projected — through the executor at
+    // each lane-block width ──
+    let million_ops: u64 = if quick { 100_000 } else { 1_000_000 };
+    let million = AdditionWorkload::scaled(million_ops, 7);
+    let million_samples = if quick { 3 } else { 5 };
+    let million_run = |kernel: KernelPolicy| {
+        let exec = CimExecutor::with_policies(BatchPolicy::SERIAL, kernel);
+        median_ns(million_samples, || {
+            let out =
+                ExecutionBackend::<AdditionWorkload>::run(&exec, &million).expect("million adds");
+            std::hint::black_box(out.digest.checksum);
+        })
+    };
+    let million_x1 = million_run(KernelPolicy::BitSliced);
+    let million_x4 = million_run(KernelPolicy::BitSliced4);
+    let million_x8 = million_run(KernelPolicy::BitSliced8);
+    let million_wide_speedup = million_x1 / million_x4.min(million_x8);
 
     // ── End-to-end: CimExecutor DNA + additions, scalar vs sliced ──
     // Serial batch isolates the kernel effect from thread scaling.
@@ -193,6 +264,7 @@ fn main() {
     };
     let e2e_scalar = e2e(KernelPolicy::Scalar);
     let e2e_sliced = e2e(KernelPolicy::BitSliced);
+    let e2e_sliced_x8 = e2e(KernelPolicy::BitSliced8);
     let e2e_speedup = e2e_scalar / e2e_sliced;
 
     let per = |total_ns: f64, ops: usize| total_ns / ops as f64;
@@ -202,19 +274,39 @@ fn main() {
         per(cmp_scalar, cmp_ops)
     );
     println!(
-        "comparator bit-sliced   {cmp_sliced:>12.0}   ({:.2} ns/op, {cmp_speedup:.1}x)",
+        "comparator sliced x1    {cmp_sliced:>12.0}   ({:.2} ns/op, {cmp_speedup:.1}x)",
         per(cmp_sliced, cmp_ops)
+    );
+    println!(
+        "comparator sliced x4    {cmp_sliced_x4:>12.0}   ({:.2} ns/op)",
+        per(cmp_sliced_x4, cmp_ops)
+    );
+    println!(
+        "comparator sliced x8    {cmp_sliced_x8:>12.0}   ({:.2} ns/op)",
+        per(cmp_sliced_x8, cmp_ops)
     );
     println!(
         "adder scalar            {add_scalar:>12.0}   ({:.1} ns/op, {add_ops} ops)",
         per(add_scalar, add_ops)
     );
     println!(
-        "adder bit-sliced        {add_sliced:>12.0}   ({:.1} ns/op, {add_speedup:.1}x)",
+        "adder sliced x1         {add_sliced:>12.0}   ({:.1} ns/op, {add_speedup:.1}x)",
         per(add_sliced, add_ops)
     );
+    println!(
+        "adder sliced x4         {add_sliced_x4:>12.0}   ({:.1} ns/op)",
+        per(add_sliced_x4, add_ops)
+    );
+    println!(
+        "adder sliced x8         {add_sliced_x8:>12.0}   ({:.1} ns/op)",
+        per(add_sliced_x8, add_ops)
+    );
+    println!("10^6 adds sliced x1     {million_x1:>12.0}   ({million_ops} ops)");
+    println!("10^6 adds sliced x4     {million_x4:>12.0}");
+    println!("10^6 adds sliced x8     {million_x8:>12.0}   (wide wins {million_wide_speedup:.2}x)");
     println!("e2e dna+adds scalar     {e2e_scalar:>12.0}");
-    println!("e2e dna+adds bit-sliced {e2e_sliced:>12.0}   ({e2e_speedup:.1}x)");
+    println!("e2e dna+adds sliced x1  {e2e_sliced:>12.0}   ({e2e_speedup:.1}x)");
+    println!("e2e dna+adds sliced x8  {e2e_sliced_x8:>12.0}");
 
     // The vendored serde is a no-op stub, so the snapshot is written by
     // hand; `--check` validates exactly this shape.
@@ -222,10 +314,21 @@ fn main() {
         "{{\n  \"schema\": \"{SCHEMA}\",\n  \"samples\": {samples},\n  \
          \"comparator_ops\": {cmp_ops},\n  \"comparator_scalar_ns\": {cmp_scalar:.0},\n  \
          \"comparator_sliced_ns\": {cmp_sliced:.0},\n  \
+         \"comparator_sliced_x4_ns\": {cmp_sliced_x4:.0},\n  \
+         \"comparator_sliced_x8_ns\": {cmp_sliced_x8:.0},\n  \
          \"comparator_speedup\": {cmp_speedup:.1},\n  \"adder_ops\": {add_ops},\n  \
          \"adder_scalar_ns\": {add_scalar:.0},\n  \"adder_sliced_ns\": {add_sliced:.0},\n  \
-         \"adder_speedup\": {add_speedup:.1},\n  \"e2e_scalar_ns\": {e2e_scalar:.0},\n  \
-         \"e2e_sliced_ns\": {e2e_sliced:.0},\n  \"e2e_speedup\": {e2e_speedup:.1}\n}}\n"
+         \"adder_sliced_x4_ns\": {add_sliced_x4:.0},\n  \
+         \"adder_sliced_x8_ns\": {add_sliced_x8:.0},\n  \
+         \"adder_speedup\": {add_speedup:.1},\n  \
+         \"million_adds_ops\": {million_ops},\n  \
+         \"million_adds_x1_ns\": {million_x1:.0},\n  \
+         \"million_adds_x4_ns\": {million_x4:.0},\n  \
+         \"million_adds_x8_ns\": {million_x8:.0},\n  \
+         \"million_adds_wide_speedup\": {million_wide_speedup:.2},\n  \
+         \"e2e_scalar_ns\": {e2e_scalar:.0},\n  \
+         \"e2e_sliced_ns\": {e2e_sliced:.0},\n  \"e2e_speedup\": {e2e_speedup:.1},\n  \
+         \"e2e_sliced_x8_ns\": {e2e_sliced_x8:.0}\n}}\n"
     );
     std::fs::write(&path, &json).expect("write BENCH_logic.json");
     println!("\n[written] {}", path.display());
@@ -238,5 +341,11 @@ fn main() {
     }
     if e2e_speedup < 5.0 {
         eprintln!("[warn] end-to-end speedup {e2e_speedup:.1}x is below the 5x target");
+    }
+    if million_wide_speedup <= 1.0 {
+        eprintln!(
+            "[warn] wide-block speedup {million_wide_speedup:.2}x does not beat x1 — \
+             `--check` will fail on this snapshot"
+        );
     }
 }

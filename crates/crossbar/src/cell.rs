@@ -38,7 +38,12 @@ impl std::fmt::Display for JunctionKind {
 /// for programming and classification. `gate_on` models the access
 /// transistor of a 1T1R cell and is derived by the array from the selected
 /// row; two-terminal junctions ignore it.
-pub trait Cell {
+///
+/// Cells must be `Send + Sync`: the solver's worker crew reads them from
+/// multiple threads during parallel relaxation sweeps, and the
+/// batch-of-solves dispatcher moves whole arrays between workers. Every
+/// junction model is plain data, so the bounds cost nothing.
+pub trait Cell: Send + Sync {
     /// Which junction option this cell implements.
     fn junction(&self) -> JunctionKind;
 

@@ -32,6 +32,7 @@
 //! ```
 
 mod analysis;
+mod batch;
 mod bias;
 mod cam;
 mod cell;
@@ -44,6 +45,7 @@ mod stats;
 pub use analysis::{
     max_readable_size, read_margin_study, read_margin_study_threaded, MarginPoint, WorstCasePattern,
 };
+pub use batch::solve_batch;
 pub use bias::BiasScheme;
 pub use cam::{Cam, SearchOutcome};
 pub use cell::{Cell, CrsCell, JunctionKind, ResistiveCell, SelectorCell, TransistorCell};

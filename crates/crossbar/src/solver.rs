@@ -31,13 +31,22 @@
 //!   The distributed solver stores bitline potentials column-major and
 //!   keeps a transposed conductance copy so *both* half-sweeps stream
 //!   memory contiguously.
-//! * **deterministic parallelism** — [`SolverConfig::threads`] fans the
-//!   independent per-line updates of each half-sweep over scoped threads.
-//!   A line update only reads the *other* axis's potentials and writes its
-//!   own line, and the convergence reduction is a `max`, so the result is
-//!   bit-identical at any thread count (the same determinism contract
-//!   `cim-sim`'s batch driver establishes).
+//! * **deterministic parallelism** — [`SolverConfig::threads`] sizes a
+//!   persistent phase-stepped crew ([`cim_pool::run_crew`]): worker
+//!   threads are spawned once per solve and re-used for every half-sweep
+//!   *and* every conductance refresh, synchronized by a spin barrier
+//!   instead of a spawn/join round per half-sweep. A line update only
+//!   reads the *other* axis's potentials and writes its own line, the
+//!   refresh touches disjoint cells, and the convergence reduction is a
+//!   `max`, so the result is bit-identical at any thread count (the same
+//!   determinism contract `cim-sim`'s batch driver establishes). Many
+//!   *independent* arrays parallelize better still: see
+//!   [`crate::solve_batch`], which needs no intra-solve synchronization
+//!   at all.
 
+use std::sync::Mutex;
+
+use cim_pool::{band, run_crew, SharedF64};
 use cim_units::{Current, Power, Voltage};
 use serde::{Deserialize, Serialize};
 
@@ -82,10 +91,18 @@ pub struct SolverConfig {
     /// Log-space damping of the secant-conductance refresh (1.0 = none;
     /// smaller = heavier damping for strongly non-linear cells).
     pub conductance_blend: f64,
-    /// Worker threads for the per-line half-sweep updates: `1` = serial
-    /// (the default), `0` = all cores. Any value produces bit-identical
-    /// results; see the module docs for why.
+    /// Worker threads for the solve crew (per-line half-sweep updates
+    /// and conductance refreshes): `1` = serial (the default), `0` = all
+    /// cores. Any value produces bit-identical results; see the module
+    /// docs for why. This is the same knob `solve_batch` uses to size
+    /// its batch-of-solves pool.
     pub threads: usize,
+    /// Use the legacy spawn-per-phase dispatcher
+    /// ([`cim_pool::run_crew_spawned`]) instead of the persistent crew.
+    /// Bit-identical results, strictly slower; kept only so
+    /// `bench_solver` can measure what the persistent crew saves. Off by
+    /// default and not part of any production path.
+    pub spawn_dispatch: bool,
 }
 
 impl Default for SolverConfig {
@@ -99,6 +116,7 @@ impl Default for SolverConfig {
             omega: 0.7,
             conductance_blend: 0.1,
             threads: 1,
+            spawn_dispatch: false,
         }
     }
 }
@@ -114,6 +132,22 @@ impl SolverConfig {
         };
         requested.clamp(1, lines.max(1))
     }
+
+    /// Dispatches the phase crew through the configured dispatcher:
+    /// the persistent pool by default, the legacy spawn-per-phase
+    /// baseline when [`SolverConfig::spawn_dispatch`] is set.
+    fn drive_crew<R>(
+        &self,
+        workers: usize,
+        phase_fn: impl Fn(usize, u32) -> f64 + Sync,
+        conduct: impl FnOnce(&cim_pool::Conductor<'_>) -> R,
+    ) -> R {
+        if self.spawn_dispatch {
+            cim_pool::run_crew_spawned(workers, phase_fn, conduct)
+        } else {
+            run_crew(workers, phase_fn, conduct)
+        }
+    }
 }
 
 /// Which solver's potentials a workspace currently holds.
@@ -122,6 +156,15 @@ enum SolverKind {
     Lumped,
     Distributed,
 }
+
+/// Crew phase tags shared by both solvers (see [`cim_pool::run_crew`]).
+const PHASE_ROWS: u32 = 0;
+/// Column half-sweep.
+const PHASE_COLS: u32 = 1;
+/// Initial secant linearisation (undamped overwrite, `blend = 1.0`).
+const PHASE_REFRESH_INIT: u32 = 2;
+/// Damped per-sweep secant refresh.
+const PHASE_REFRESH: u32 = 3;
 
 /// Persistent scratch + warm-start state for the solvers.
 ///
@@ -137,22 +180,36 @@ enum SolverKind {
 #[derive(Debug, Default, Clone)]
 pub struct SolverWorkspace {
     /// Wordline potentials: per row (lumped) or per crosspoint, row-major
-    /// (distributed).
-    w: Vec<f64>,
+    /// (distributed). Stored as a [`SharedF64`] so every crew phase can
+    /// read and write through `&self`: relaxed accesses compile to plain
+    /// moves, and the crew barrier provides the cross-phase ordering —
+    /// which is also why the one-worker (serial) crew runs the identical
+    /// instruction stream.
+    w: SharedF64,
     /// Bitline potentials: per column (lumped) or per crosspoint,
     /// **column-major** (distributed) so the column half-sweep reads and
     /// writes contiguously.
-    b: Vec<f64>,
+    b: SharedF64,
     /// Secant cell conductances, row-major.
-    g: Vec<f64>,
+    g: SharedF64,
     /// Transposed (column-major) copy of `g` for the column half-sweep.
-    g_t: Vec<f64>,
-    /// Per-worker tridiagonal systems for the distributed line solves.
-    tri: Vec<Tridiagonal>,
+    g_t: SharedF64,
+    /// Per-worker scratch for the distributed line solves.
+    lanes: Vec<LaneScratch>,
     /// Recycled `cell_voltages` buffers.
     spare: Vec<Vec<f64>>,
     /// What converged solution `w`/`b` hold, if any.
     warm: Option<(SolverKind, usize, usize)>,
+}
+
+/// One crew member's private solve scratch: a reusable tridiagonal
+/// system plus the line buffer it copies each chain into and solves in
+/// place (the copy costs nothing measurable and keeps every storage
+/// path — serial or crew — on the same arithmetic).
+#[derive(Debug, Clone)]
+struct LaneScratch {
+    tri: Tridiagonal,
+    line: Vec<f64>,
 }
 
 /// Retained `spare` buffers; enough for the deepest caller pipeline
@@ -188,10 +245,10 @@ impl SolverWorkspace {
             SolverKind::Lumped => (rows, cols),
             SolverKind::Distributed => (rows * cols, rows * cols),
         };
-        self.w.resize(w_len, 0.0);
-        self.b.resize(b_len, 0.0);
-        self.g.resize(rows * cols, 0.0);
-        self.g_t.resize(rows * cols, 0.0);
+        self.w.resize(w_len);
+        self.b.resize(b_len);
+        self.g.resize(rows * cols);
+        self.g_t.resize(rows * cols);
         warm
     }
 
@@ -200,12 +257,18 @@ impl SolverWorkspace {
         self.warm = Some((kind, rows, cols));
     }
 
-    /// Ensures `workers` tridiagonal systems of at least `capacity` nodes.
-    fn grow_tridiagonals(&mut self, workers: usize, capacity: usize) {
-        let too_small = self.tri.first().is_some_and(|t| t.capacity() < capacity);
-        if self.tri.len() < workers || too_small {
-            self.tri = (0..workers.max(1))
-                .map(|_| Tridiagonal::new(capacity))
+    /// Ensures `workers` lane scratches of at least `capacity` nodes.
+    fn grow_lanes(&mut self, workers: usize, capacity: usize) {
+        let too_small = self
+            .lanes
+            .first()
+            .is_some_and(|lane| lane.tri.capacity() < capacity);
+        if self.lanes.len() < workers || too_small {
+            self.lanes = (0..workers.max(1))
+                .map(|_| LaneScratch {
+                    tri: Tridiagonal::new(capacity),
+                    line: vec![0.0; capacity],
+                })
                 .collect();
         }
     }
@@ -311,81 +374,104 @@ impl LumpedSolver {
 
         let warm = ws.begin(SolverKind::Lumped, rows, cols);
         let workers = self.config.workers(rows.max(cols));
-        let mut unit = vec![(); workers];
         let out = ws.take_voltage_buffer(rows * cols);
         let SolverWorkspace { w, b, g, g_t, .. } = ws;
+        let (w, b, g, g_t) = (&*w, &*b, &*g, &*g_t);
 
         // Initial guess: previous converged solution if warm, else source
         // targets / mid-rail for floating lines.
         let mid = bias.wl_selected.get() / 2.0;
         if !warm {
-            for (i, node) in w.iter_mut().enumerate() {
-                *node = wl_source(i).map_or(mid, |(v, _)| v);
+            for i in 0..rows {
+                w.set(i, wl_source(i).map_or(mid, |(v, _)| v));
             }
-            for (j, node) in b.iter_mut().enumerate() {
-                *node = bl_source(j).map_or(mid, |(v, _)| v);
+            for j in 0..cols {
+                b.set(j, bl_source(j).map_or(mid, |(v, _)| v));
             }
         }
 
         let gate_on = |i: usize| i == sel_r;
-        // Secant conductances, geometrically damped between sweeps: with
-        // strongly non-linear cells (1S1R selectors) an undamped
-        // fixed-point iteration flip-flops between on/off linearisations.
-        // blend = 1.0 overwrites, so stale warm conductances are replaced.
-        refresh_conductances(cells, rows, cols, g, g_t, gate_on, |i, j| w[i] - b[j], 1.0);
         let omega = self.config.omega;
-        let mut iterations = 0;
-        let mut converged = false;
-        while iterations < self.config.max_sweeps {
-            iterations += 1;
-            let row_delta = {
-                let (g, b) = (&g[..], &b[..]);
-                par_line_pass(workers, w, 1, &mut unit, |(), i, line| {
-                    let mut num = 0.0;
-                    let mut den = 0.0;
-                    if let Some((v_src, g_src)) = wl_source(i) {
-                        num += g_src * v_src;
-                        den += g_src;
+        let blend = self.config.conductance_blend;
+        // One phase function serves every crew member; the serial path is
+        // the one-worker crew running the same code inline, which is what
+        // makes thread counts bit-invisible. Secant conductances are
+        // geometrically damped between sweeps: with strongly non-linear
+        // cells (1S1R selectors) an undamped fixed-point iteration
+        // flip-flops between on/off linearisations. The initial refresh
+        // overwrites (blend = 1.0), so stale warm conductances are
+        // replaced.
+        let phase_fn = |worker: usize, tag: u32| -> f64 {
+            match tag {
+                PHASE_ROWS => {
+                    let mut delta = 0.0f64;
+                    for i in band(worker, workers, rows) {
+                        let mut num = 0.0;
+                        let mut den = 0.0;
+                        if let Some((v_src, g_src)) = wl_source(i) {
+                            num += g_src * v_src;
+                            den += g_src;
+                        }
+                        let row = g.iter_range(i * cols..(i + 1) * cols);
+                        for (gc, node) in row.zip(b.iter_range(0..cols)) {
+                            num += gc * node;
+                            den += gc;
+                        }
+                        delta = delta.max(relax_node(w, i, num, den, omega));
                     }
-                    for (gc, node) in g[i * cols..(i + 1) * cols].iter().zip(b) {
-                        num += gc * node;
-                        den += gc;
+                    delta
+                }
+                PHASE_COLS => {
+                    let mut delta = 0.0f64;
+                    for j in band(worker, workers, cols) {
+                        let mut num = 0.0;
+                        let mut den = 0.0;
+                        if let Some((v_src, g_src)) = bl_source(j) {
+                            num += g_src * v_src;
+                            den += g_src;
+                        }
+                        let col = g_t.iter_range(j * rows..(j + 1) * rows);
+                        for (gc, node) in col.zip(w.iter_range(0..rows)) {
+                            num += gc * node;
+                            den += gc;
+                        }
+                        delta = delta.max(relax_node(b, j, num, den, omega));
                     }
-                    relax_node(&mut line[0], num, den, omega)
-                })
-            };
-            let col_delta = {
-                let (g_t, w) = (&g_t[..], &w[..]);
-                par_line_pass(workers, b, 1, &mut unit, |(), j, line| {
-                    let mut num = 0.0;
-                    let mut den = 0.0;
-                    if let Some((v_src, g_src)) = bl_source(j) {
-                        num += g_src * v_src;
-                        den += g_src;
-                    }
-                    for (gc, node) in g_t[j * rows..(j + 1) * rows].iter().zip(w) {
-                        num += gc * node;
-                        den += gc;
-                    }
-                    relax_node(&mut line[0], num, den, omega)
-                })
-            };
-            let max_delta = row_delta.max(col_delta);
-            let g_delta = refresh_conductances(
-                cells,
-                rows,
-                cols,
-                g,
-                g_t,
-                gate_on,
-                |i, j| w[i] - b[j],
-                self.config.conductance_blend,
-            );
-            if max_delta < self.config.tolerance && g_delta < 1e-3 {
-                converged = true;
-                break;
+                    delta
+                }
+                tag => refresh_band(
+                    cells,
+                    rows,
+                    cols,
+                    band(worker, workers, rows),
+                    g,
+                    g_t,
+                    gate_on,
+                    |i, j| w.get(i) - b.get(j),
+                    if tag == PHASE_REFRESH_INIT {
+                        1.0
+                    } else {
+                        blend
+                    },
+                ),
             }
-        }
+        };
+        let (iterations, converged) = self.config.drive_crew(workers, phase_fn, |crew| {
+            crew.phase(PHASE_REFRESH_INIT);
+            let mut iterations = 0;
+            let mut converged = false;
+            while iterations < self.config.max_sweeps {
+                iterations += 1;
+                let row_delta = crew.phase(PHASE_ROWS);
+                let col_delta = crew.phase(PHASE_COLS);
+                let g_delta = crew.phase(PHASE_REFRESH);
+                if row_delta.max(col_delta) < self.config.tolerance && g_delta < 1e-3 {
+                    converged = true;
+                    break;
+                }
+            }
+            (iterations, converged)
+        });
 
         let solved = LumpedSolution {
             cells,
@@ -397,7 +483,7 @@ impl LumpedSolver {
             gate_on,
             // Sense current: everything flowing out of the selected
             // bitline into its sense source.
-            sense_current: (b[sel_c] - bias.bl_selected.get()) * g_sense,
+            sense_current: (b.get(sel_c) - bias.bl_selected.get()) * g_sense,
             iterations,
             converged,
         }
@@ -408,13 +494,13 @@ impl LumpedSolver {
 }
 
 /// One Gauss-Seidel node update with under-relaxation; returns |Δv|.
-fn relax_node(node: &mut f64, num: f64, den: f64, omega: f64) -> f64 {
+fn relax_node(nodes: &SharedF64, index: usize, num: f64, den: f64, omega: f64) -> f64 {
     if den > 0.0 {
+        let node = nodes.get(index);
         let next = num / den;
-        let relaxed = *node + omega * (next - *node);
-        let delta = (relaxed - *node).abs();
-        *node = relaxed;
-        delta
+        let relaxed = node + omega * (next - node);
+        nodes.set(index, relaxed);
+        (relaxed - node).abs()
     } else {
         0.0
     }
@@ -511,12 +597,22 @@ impl DistributedSolver {
 
         let warm = ws.begin(SolverKind::Distributed, rows, cols);
         let workers = self.config.workers(rows.max(cols));
-        ws.grow_tridiagonals(workers, rows.max(cols));
+        ws.grow_lanes(workers, rows.max(cols));
         let out = ws.take_voltage_buffer(rows * cols);
         let SolverWorkspace {
-            w, b, g, g_t, tri, ..
+            w,
+            b,
+            g,
+            g_t,
+            lanes,
+            ..
         } = ws;
-        let tri = &mut tri[..workers];
+        let (w, b, g, g_t) = (&*w, &*b, &*g, &*g_t);
+        // Once-locked mutexes hand each crew member exclusive use of its
+        // own tridiagonal system and line buffer (warm capacity, reused
+        // across sweeps and solves); a lock per phase, not per line.
+        let lanes: Vec<Mutex<&mut LaneScratch>> =
+            lanes[..workers].iter_mut().map(Mutex::new).collect();
 
         // `w` is row-major (each wordline contiguous); `b` is
         // column-major (each bitline contiguous) so both half-sweeps
@@ -525,11 +621,11 @@ impl DistributedSolver {
         if !warm {
             for i in 0..rows {
                 let init = wl_source(i).map_or(mid, |(v, _)| v);
-                w[i * cols..(i + 1) * cols].fill(init);
+                w.fill_range(i * cols..(i + 1) * cols, init);
             }
             for j in 0..cols {
                 let init = bl_source(j).map_or(mid, |(v, _)| v);
-                b[j * rows..(j + 1) * rows].fill(init);
+                b.fill_range(j * rows..(j + 1) * rows, init);
             }
         }
 
@@ -539,80 +635,104 @@ impl DistributedSolver {
         // exactly (Thomas tridiagonal solve) with the crossing lines held
         // fixed — the textbook cure for anisotropic coupling.
         let gate_on = |i: usize| i == sel_r;
-        refresh_conductances(
-            cells,
-            rows,
-            cols,
-            g,
-            g_t,
-            gate_on,
-            |i, j| w[i * cols + j] - b[j * rows + i],
-            1.0,
-        );
-        let mut iterations = 0;
-        let mut converged = false;
-        while iterations < self.config.max_sweeps {
-            iterations += 1;
-            let row_delta = {
-                let (g, b) = (&g[..], &b[..]);
-                par_line_pass(workers, w, cols, tri, |tri, i, line| {
-                    tri.reset(cols);
-                    for j in 0..cols {
-                        if j > 0 {
-                            tri.couple(j - 1, j, g_line);
-                        } else if let Some((v_src, g_src)) = wl_source(i) {
-                            tri.source(0, v_src, g_src);
+        let blend = self.config.conductance_blend;
+        let phase_fn = |worker: usize, tag: u32| -> f64 {
+            match tag {
+                PHASE_ROWS => {
+                    let mut lane = lanes[worker].lock().expect("lane scratch");
+                    let LaneScratch { tri, line } = &mut **lane;
+                    let line = &mut line[..cols];
+                    let mut delta = 0.0f64;
+                    for i in band(worker, workers, rows) {
+                        let base = i * cols;
+                        for (slot, value) in line.iter_mut().zip(w.iter_range(base..base + cols)) {
+                            *slot = value;
                         }
-                        tri.source(j, b[j * rows + i], g[i * cols + j]);
-                    }
-                    tri.solve_into(line)
-                })
-            };
-            let col_delta = {
-                let (g_t, w) = (&g_t[..], &w[..]);
-                par_line_pass(workers, b, rows, tri, |tri, j, line| {
-                    tri.reset(rows);
-                    for i in 0..rows {
-                        if i > 0 {
-                            tri.couple(i - 1, i, g_line);
-                        }
-                        if i + 1 == rows {
-                            if let Some((v_src, g_src)) = bl_source(j) {
-                                tri.source(i, v_src, g_src);
+                        tri.reset(cols);
+                        for j in 0..cols {
+                            if j > 0 {
+                                tri.couple(j - 1, j, g_line);
+                            } else if let Some((v_src, g_src)) = wl_source(i) {
+                                tri.source(0, v_src, g_src);
                             }
+                            tri.source(j, b.get(j * rows + i), g.get(base + j));
                         }
-                        tri.source(i, w[i * cols + j], g_t[j * rows + i]);
+                        delta = delta.max(tri.solve_into(line));
+                        w.store_range(base, line);
                     }
-                    tri.solve_into(line)
-                })
-            };
-            let max_delta = row_delta.max(col_delta);
-            let g_delta = refresh_conductances(
-                cells,
-                rows,
-                cols,
-                g,
-                g_t,
-                gate_on,
-                |i, j| w[i * cols + j] - b[j * rows + i],
-                self.config.conductance_blend,
-            );
-            if max_delta < self.config.tolerance && g_delta < 1e-3 {
-                converged = true;
-                break;
+                    delta
+                }
+                PHASE_COLS => {
+                    let mut lane = lanes[worker].lock().expect("lane scratch");
+                    let LaneScratch { tri, line } = &mut **lane;
+                    let line = &mut line[..rows];
+                    let mut delta = 0.0f64;
+                    for j in band(worker, workers, cols) {
+                        let base = j * rows;
+                        for (slot, value) in line.iter_mut().zip(b.iter_range(base..base + rows)) {
+                            *slot = value;
+                        }
+                        tri.reset(rows);
+                        for i in 0..rows {
+                            if i > 0 {
+                                tri.couple(i - 1, i, g_line);
+                            }
+                            if i + 1 == rows {
+                                if let Some((v_src, g_src)) = bl_source(j) {
+                                    tri.source(i, v_src, g_src);
+                                }
+                            }
+                            tri.source(i, w.get(i * cols + j), g_t.get(base + i));
+                        }
+                        delta = delta.max(tri.solve_into(line));
+                        b.store_range(base, line);
+                    }
+                    delta
+                }
+                tag => refresh_band(
+                    cells,
+                    rows,
+                    cols,
+                    band(worker, workers, rows),
+                    g,
+                    g_t,
+                    gate_on,
+                    |i, j| w.get(i * cols + j) - b.get(j * rows + i),
+                    if tag == PHASE_REFRESH_INIT {
+                        1.0
+                    } else {
+                        blend
+                    },
+                ),
             }
-        }
+        };
+        let (iterations, converged) = self.config.drive_crew(workers, phase_fn, |crew| {
+            crew.phase(PHASE_REFRESH_INIT);
+            let mut iterations = 0;
+            let mut converged = false;
+            while iterations < self.config.max_sweeps {
+                iterations += 1;
+                let row_delta = crew.phase(PHASE_ROWS);
+                let col_delta = crew.phase(PHASE_COLS);
+                let g_delta = crew.phase(PHASE_REFRESH);
+                if row_delta.max(col_delta) < self.config.tolerance && g_delta < 1e-3 {
+                    converged = true;
+                    break;
+                }
+            }
+            (iterations, converged)
+        });
 
         // Per-cell voltages and sense current at the selected bitline's
         // bottom end.
         let sense_node = sel_c * rows + (rows - 1);
-        let sense_current = (b[sense_node] - bias.bl_selected.get()) * g_sense;
+        let sense_current = (b.get(sense_node) - bias.bl_selected.get()) * g_sense;
         let mut cell_voltages = out;
         let mut parasitic = 0.0;
         for i in 0..rows {
             for j in 0..cols {
                 let idx = i * cols + j;
-                let dv = w[idx] - b[j * rows + i];
+                let dv = w.get(idx) - b.get(j * rows + i);
                 cell_voltages[idx] = dv;
                 if (i, j) != (sel_r, sel_c) {
                     let current = cells[idx].current(Voltage::new(dv), gate_on(i));
@@ -633,107 +753,58 @@ impl DistributedSolver {
     }
 }
 
-/// Applies `line_fn` to every line of `grid` (`lines × line_len`,
-/// line-major) and returns the largest per-line delta.
-///
-/// With more than one worker the lines split into contiguous bands, one
-/// scoped thread per band, each with its own `scratch` entry. Every line
-/// is still processed by the same `line_fn` on the same inputs as the
-/// serial walk — line updates only read the *other* axis's potentials,
-/// never their neighbours' — and the `max` reduction is order-independent,
-/// so the result is bit-identical at any worker count.
-fn par_line_pass<S, F>(
-    workers: usize,
-    grid: &mut [f64],
-    line_len: usize,
-    scratch: &mut [S],
-    line_fn: F,
-) -> f64
-where
-    S: Send,
-    F: Fn(&mut S, usize, &mut [f64]) -> f64 + Sync,
-{
-    let lines = grid.len() / line_len.max(1);
-    let workers = workers.clamp(1, lines.max(1)).min(scratch.len().max(1));
-    if workers <= 1 {
-        let state = &mut scratch[0];
-        let mut max_delta = 0.0f64;
-        for (index, line) in grid.chunks_mut(line_len).enumerate() {
-            max_delta = max_delta.max(line_fn(state, index, line));
-        }
-        return max_delta;
-    }
-    let band = lines.div_ceil(workers);
-    std::thread::scope(|scope| {
-        let line_fn = &line_fn;
-        let handles: Vec<_> = grid
-            .chunks_mut(band * line_len)
-            .zip(scratch.iter_mut())
-            .enumerate()
-            .map(|(slot, (band_grid, state))| {
-                scope.spawn(move || {
-                    let mut max_delta = 0.0f64;
-                    for (k, line) in band_grid.chunks_mut(line_len).enumerate() {
-                        max_delta = max_delta.max(line_fn(state, slot * band + k, line));
-                    }
-                    max_delta
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|handle| handle.join().expect("solver worker panicked"))
-            .fold(0.0f64, f64::max)
-    })
-}
-
 /// Conductance floor that keeps log-space damping well defined.
 const G_FLOOR: f64 = 1e-18;
 
-/// Refreshes the damped secant conductances in `g` and its transpose
-/// `g_t`; `blend = 1.0` overwrites, `blend = 0.5` takes the geometric
-/// mean of old and new (log-space damping, natural for power-law selector
-/// I-V curves). Returns the largest relative conductance change.
+/// Refreshes one crew member's band of rows of the damped secant
+/// conductances in `g` and its transpose `g_t`; `blend = 1.0`
+/// overwrites, `blend = 0.5` takes the geometric mean of old and new
+/// (log-space damping, natural for power-law selector I-V curves).
+/// Returns the band's largest relative conductance change.
+///
+/// Cells whose secant already equals the stored value are skipped: the
+/// damping round-trip `exp(ln(g))` is not the bit-exact identity, so
+/// without the short-circuit every *linear* (constant-conductance) cell
+/// would wobble by an ulp and pay two transcendentals per sweep for
+/// nothing — the serial O(n²) relinearisation that used to dominate the
+/// distributed solve and made threads a net loss. The extra `g_t`
+/// comparison keeps the transpose consistent even if a workspace is
+/// reused across grids whose shape reinterprets the index mapping.
 #[allow(clippy::too_many_arguments)]
-fn refresh_conductances<C: Cell>(
+fn refresh_band<C: Cell>(
     cells: &[C],
     rows: usize,
     cols: usize,
-    g: &mut [f64],
-    g_t: &mut [f64],
+    rows_band: std::ops::Range<usize>,
+    g: &SharedF64,
+    g_t: &SharedF64,
     gate_on: impl Fn(usize) -> bool,
     dv: impl Fn(usize, usize) -> f64,
     blend: f64,
 ) -> f64 {
     let mut max_rel = 0.0f64;
-    if blend >= 1.0 {
-        // Overwrite fast path: the ln/exp damping round-trip is the
-        // identity at blend = 1.0, so skip it.
-        for i in 0..rows {
-            for j in 0..cols {
-                let idx = i * cols + j;
-                let secant = cells[idx]
-                    .conductance_at(Voltage::new(dv(i, j)), gate_on(i))
-                    .max(G_FLOOR);
-                let old = g[idx].max(G_FLOOR);
-                max_rel = max_rel.max((secant / old - 1.0).abs());
-                g[idx] = secant;
-                g_t[j * rows + i] = secant;
+    for i in rows_band {
+        for j in 0..cols {
+            let idx = i * cols + j;
+            let t_idx = j * rows + i;
+            let secant = cells[idx]
+                .conductance_at(Voltage::new(dv(i, j)), gate_on(i))
+                .max(G_FLOOR);
+            let stored = g.get(idx);
+            if secant == stored && g_t.get(t_idx) == stored {
+                continue;
             }
-        }
-    } else {
-        for i in 0..rows {
-            for j in 0..cols {
-                let idx = i * cols + j;
-                let secant = cells[idx]
-                    .conductance_at(Voltage::new(dv(i, j)), gate_on(i))
-                    .max(G_FLOOR);
-                let old = g[idx].max(G_FLOOR);
-                let next = (old.ln() * (1.0 - blend) + secant.ln() * blend).exp();
-                max_rel = max_rel.max((next / old - 1.0).abs());
-                g[idx] = next;
-                g_t[j * rows + i] = next;
-            }
+            let old = stored.max(G_FLOOR);
+            let next = if blend >= 1.0 {
+                // Overwrite fast path: the ln/exp damping round-trip is
+                // the identity at blend = 1.0, so skip it.
+                secant
+            } else {
+                (old.ln() * (1.0 - blend) + secant.ln() * blend).exp()
+            };
+            max_rel = max_rel.max((next / old - 1.0).abs());
+            g.set(idx, next);
+            g_t.set(t_idx, next);
         }
     }
     max_rel
@@ -848,9 +919,9 @@ struct LumpedSolution<'a, C, G> {
     cols: usize,
     selected: (usize, usize),
     /// Wordline potentials, one per row.
-    w: &'a [f64],
+    w: &'a SharedF64,
     /// Bitline potentials, one per column.
-    b: &'a [f64],
+    b: &'a SharedF64,
     gate_on: G,
     sense_current: f64,
     iterations: usize,
@@ -865,7 +936,7 @@ impl<C: Cell, G: Fn(usize) -> bool> LumpedSolution<'_, C, G> {
         let mut parasitic = 0.0;
         for i in 0..self.rows {
             for j in 0..self.cols {
-                let dv = self.w[i] - self.b[j];
+                let dv = self.w.get(i) - self.b.get(j);
                 cell_voltages[i * self.cols + j] = dv;
                 if (i, j) != self.selected {
                     let current =

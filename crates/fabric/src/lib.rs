@@ -14,6 +14,11 @@
 //!   parallel driver; per-tile exact [`cim_units::CountLedger`]s merge
 //!   to the fabric ledger bit-for-bit (dyadic unit prices, see
 //!   [`model::unit_costs`]).
+//! * [`plane`] — the electrical floor under the ledgers:
+//!   [`ElectricalPlane`] keeps one sneak-path sentinel crossbar per
+//!   executed tile and batch-validates read margins through
+//!   `cim_crossbar::solve_batch` (one independent solve per pool
+//!   worker — the batch-of-solves axis).
 //! * [`host`] — the conventional machine's side of the serving story:
 //!   a Table-1-priced [`host_unit_costs`] table and a
 //!   [`HostQueryExecutor`] that serves host-routed queries with plain
@@ -29,12 +34,14 @@
 pub mod fabric;
 pub mod host;
 pub mod model;
+pub mod plane;
 pub mod query;
 pub mod serve;
 
 pub use fabric::{FabricExecutor, FabricOutcome, ServeWorkload, TileOutcome};
 pub use host::{host_unit_costs, HostBatchOutcome, HostQueryExecutor, HOST_UNITS};
 pub use model::unit_costs;
+pub use plane::{ElectricalPlane, TileMargin, MARGIN_FLOOR};
 pub use query::{Query, QueryKind, QueryOperands, TenantId, TrafficSpec, ADD_BITS, WINDOW};
 pub use serve::{
     DispatchPolicy, LatencyHistogram, ServeConfig, ServeFrontEnd, ServeReport, TenantAccount,

@@ -10,7 +10,7 @@
 use cim_device::DeviceParams;
 use cim_units::{Component, Energy};
 
-use crate::bitslice::{BitSliceEngine, CompiledProgram, LANES};
+use crate::bitslice::{BitSliceEngine, CompiledProgram, LaneBlock, Lanes8};
 use crate::cost::LogicCost;
 use crate::engine::{ImplyEngine, ImplyParams};
 use crate::program::Program;
@@ -51,17 +51,59 @@ enum Backend {
     Electrical(Vec<ImplyEngine>),
     /// Functional: a compiled artifact shared by all rows (boxed — the
     /// payload dwarfs the electrical variant's `Vec` header).
-    BitSliced(Box<SlicedRows>),
+    BitSliced(Box<SlicedRows<u64>>),
+    /// Functional, eight-word lane blocks: 512 rows per issued
+    /// instruction.
+    BitSlicedWide(Box<SlicedRows<Lanes8>>),
 }
 
-/// State of the bit-sliced backend.
+/// State of the bit-sliced backend at block width `B`.
 #[derive(Debug, Clone)]
-struct SlicedRows {
+struct SlicedRows<B: LaneBlock> {
     compiled: CompiledProgram,
-    engine: BitSliceEngine,
+    engine: BitSliceEngine<B>,
     rows: usize,
     device: DeviceParams,
     energy: Energy,
+}
+
+impl<B: LaneBlock> SlicedRows<B> {
+    /// Runs the compiled artifact across all rows, `B::LANES` lanes per
+    /// host instruction, and charges nominal write energy per row-step.
+    fn run(&mut self, program: &Program, inputs_per_row: &[Vec<bool>]) -> Vec<Vec<bool>> {
+        assert_eq!(
+            (program.inputs.len(), program.outputs.len(), program.len()),
+            (
+                self.compiled.num_inputs(),
+                self.compiled.num_outputs(),
+                self.compiled.steps()
+            ),
+            "program does not match the compiled artifact"
+        );
+        let mut outputs = Vec::with_capacity(self.rows);
+        let mut in_slices = vec![B::ZERO; self.compiled.num_inputs()];
+        let mut out_slices = vec![B::ZERO; self.compiled.num_outputs()];
+        for group in inputs_per_row.chunks(B::LANES) {
+            in_slices.fill(B::ZERO);
+            for (lane, row) in group.iter().enumerate() {
+                assert_eq!(
+                    row.len(),
+                    self.compiled.num_inputs(),
+                    "input arity mismatch"
+                );
+                for (slice, &bit) in in_slices.iter_mut().zip(row) {
+                    slice.set_lane(lane, bit);
+                }
+            }
+            self.engine.run(&self.compiled, &in_slices, &mut out_slices);
+            for lane in 0..group.len() {
+                outputs.push(out_slices.iter().map(|s| s.lane(lane)).collect());
+            }
+        }
+        // One write per row per broadcast step, at nominal energy.
+        self.energy += self.device.write_energy * (self.compiled.steps() * self.rows) as f64;
+        outputs
+    }
 }
 
 impl RowParallelEngine {
@@ -114,11 +156,39 @@ impl RowParallelEngine {
         }
     }
 
+    /// Like [`RowParallelEngine::for_program_bitsliced`], but executing
+    /// eight-word [`Lanes8`] blocks — 512 rows per issued host
+    /// instruction. Results and the cost law are identical to every
+    /// other backend; only host throughput changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is zero or `program` fails [`Program::validate`].
+    pub fn for_program_bitsliced_wide(program: &Program, rows: usize) -> Self {
+        assert!(rows > 0, "need at least one row");
+        let device = DeviceParams::table1_cim();
+        let params = ImplyParams::for_device(&device);
+        let compiled =
+            CompiledProgram::compile(program).unwrap_or_else(|e| panic!("invalid program: {e}"));
+        Self {
+            backend: Backend::BitSlicedWide(Box::new(SlicedRows {
+                compiled,
+                engine: BitSliceEngine::wide(),
+                rows,
+                device,
+                energy: Energy::ZERO,
+            })),
+            params,
+            broadcast_steps: 0,
+        }
+    }
+
     /// Number of rows operating in parallel.
     pub fn rows(&self) -> usize {
         match &self.backend {
             Backend::Electrical(rows) => rows.len(),
             Backend::BitSliced(sliced) => sliced.rows,
+            Backend::BitSlicedWide(sliced) => sliced.rows,
         }
     }
 
@@ -143,43 +213,8 @@ impl RowParallelEngine {
                 .zip(inputs_per_row)
                 .map(|(engine, inputs)| engine.run(program, inputs))
                 .collect(),
-            Backend::BitSliced(sliced) => {
-                let SlicedRows {
-                    compiled,
-                    engine,
-                    rows,
-                    device,
-                    energy,
-                } = sliced.as_mut();
-                assert_eq!(
-                    (program.inputs.len(), program.outputs.len(), program.len()),
-                    (
-                        compiled.num_inputs(),
-                        compiled.num_outputs(),
-                        compiled.steps()
-                    ),
-                    "program does not match the compiled artifact"
-                );
-                let mut outputs = Vec::with_capacity(*rows);
-                let mut in_slices = vec![0u64; compiled.num_inputs()];
-                let mut out_slices = vec![0u64; compiled.num_outputs()];
-                for group in inputs_per_row.chunks(LANES) {
-                    in_slices.fill(0);
-                    for (lane, row) in group.iter().enumerate() {
-                        assert_eq!(row.len(), compiled.num_inputs(), "input arity mismatch");
-                        for (slice, &bit) in in_slices.iter_mut().zip(row) {
-                            *slice |= u64::from(bit) << lane;
-                        }
-                    }
-                    engine.run(compiled, &in_slices, &mut out_slices);
-                    for lane in 0..group.len() {
-                        outputs.push(out_slices.iter().map(|&s| (s >> lane) & 1 == 1).collect());
-                    }
-                }
-                // One write per row per broadcast step, at nominal energy.
-                *energy += device.write_energy * (compiled.steps() * *rows) as f64;
-                outputs
-            }
+            Backend::BitSliced(sliced) => sliced.run(program, inputs_per_row),
+            Backend::BitSlicedWide(sliced) => sliced.run(program, inputs_per_row),
         };
         // Every row executed the same broadcast sequence.
         self.broadcast_steps += program.len() as u64;
@@ -195,6 +230,9 @@ impl RowParallelEngine {
                 rows.iter().map(super::engine::ImplyEngine::registers).sum(),
             ),
             Backend::BitSliced(sliced) => {
+                (sliced.energy, sliced.compiled.registers() * sliced.rows)
+            }
+            Backend::BitSlicedWide(sliced) => {
                 (sliced.energy, sliced.compiled.registers() * sliced.rows)
             }
         };
@@ -317,6 +355,31 @@ mod tests {
         assert_eq!(wide.devices, 13_000);
         assert_eq!(wide.latency, unit.latency);
         assert!((wide.energy.as_pico_joules() - 45.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wide_backend_matches_electrical_and_narrow_sliced() {
+        let cmp = Comparator::new();
+        let program = cmp.eq_program().clone();
+        // 700 rows: a full 512-lane block plus a ragged 188-lane tail.
+        let inputs: Vec<Vec<bool>> = (0..700u32)
+            .map(|k| {
+                let (a, b) = (k % 4, (k / 4) % 4);
+                vec![a & 1 == 1, a & 2 == 2, b & 1 == 1, b & 2 == 2]
+            })
+            .collect();
+        let mut narrow = RowParallelEngine::for_program_bitsliced(&program, inputs.len());
+        let mut wide = RowParallelEngine::for_program_bitsliced_wide(&program, inputs.len());
+        let narrow_out = narrow.run(&program, &inputs);
+        assert_eq!(narrow_out, wide.run(&program, &inputs));
+        // Same cost law: identical steps, latency, energy, devices.
+        assert_eq!(narrow.cost().steps, wide.cost().steps);
+        assert_eq!(narrow.cost().latency, wide.cost().latency);
+        assert_eq!(
+            narrow.cost().energy.get().to_bits(),
+            wide.cost().energy.get().to_bits()
+        );
+        assert_eq!(narrow.cost().devices, wide.cost().devices);
     }
 
     #[test]

@@ -10,10 +10,15 @@
 //! the scalar semantics on every one of the 64 lanes, and the scalar
 //! semantics must in turn agree with the device-physics engine — so a
 //! defect anywhere in the lowering, the Shannon combine, or the lane
-//! packing cannot hide.
+//! packing cannot hide. The widened lane blocks ([`Lanes4`]/[`Lanes8`])
+//! close the loop: every word of a wide block must equal the narrow
+//! kernel run on that word's slices, and spot-checked lanes must equal
+//! the scalar reference — so widening can only change host throughput,
+//! never a bit.
 
 use cim_logic::{
-    synthesize, BitSliceEngine, CompiledProgram, Expr, ImplyAdder, ImplyEngine, Program, LANES,
+    synthesize, BitSliceEngine, CompiledProgram, Expr, ImplyAdder, ImplyEngine, LaneBlock, Lanes4,
+    Lanes8, Program, LANES,
 };
 use proptest::prelude::*;
 
@@ -86,6 +91,56 @@ proptest! {
             .map(|i| a.rotate_left(i as u32) ^ b.wrapping_mul(i | 1) ^ salt)
             .collect();
         check_sliced_vs_scalar(adder.program(), &compiled, &slices)?;
+    }
+
+    #[test]
+    fn wide_blocks_match_the_narrow_kernel_and_scalar(
+        expr in arb_expr(4),
+        raw in prop::collection::vec(any::<u64>(), 4 * 8),
+    ) {
+        fn check<B: LaneBlock>(
+            program: &Program,
+            compiled: &CompiledProgram,
+            words: &[u64],
+        ) -> Result<(), proptest::test_runner::TestCaseError> {
+            // Input `i` takes its `B::WORDS` words from row `i` of the
+            // random pool (stride 8 fits the widest block).
+            let inputs: Vec<B> = (0..program.inputs.len())
+                .map(|i| {
+                    let mut block = B::ZERO;
+                    for w in 0..B::WORDS {
+                        block.set_word(w, words[i * 8 + w]);
+                    }
+                    block
+                })
+                .collect();
+            let mut wide = BitSliceEngine::<B>::wide();
+            let mut outs = vec![B::ZERO; compiled.num_outputs()];
+            wide.run(compiled, &inputs, &mut outs);
+            let mut narrow = BitSliceEngine::new();
+            for w in 0..B::WORDS {
+                let slices: Vec<u64> = inputs.iter().map(|b| b.word(w)).collect();
+                let mut narrow_outs = vec![0u64; compiled.num_outputs()];
+                narrow.run(compiled, &slices, &mut narrow_outs);
+                for (wide_out, narrow_out) in outs.iter().zip(&narrow_outs) {
+                    prop_assert_eq!(wide_out.word(w), *narrow_out, "word {}", w);
+                }
+                // Scalar spot check on the word's edge lanes.
+                for lane in [0usize, 63] {
+                    let bits: Vec<bool> =
+                        slices.iter().map(|&s| (s >> lane) & 1 == 1).collect();
+                    let expect = program.evaluate(&bits);
+                    let got: Vec<bool> =
+                        outs.iter().map(|o| o.lane(w * 64 + lane)).collect();
+                    prop_assert_eq!(&got, &expect, "word {} lane {}", w, lane);
+                }
+            }
+            Ok(())
+        }
+        let program = synthesize(&expr);
+        let compiled = CompiledProgram::compile(&program).expect("valid program");
+        check::<Lanes4>(&program, &compiled, &raw)?;
+        check::<Lanes8>(&program, &compiled, &raw)?;
     }
 
     #[test]

@@ -2,15 +2,16 @@
 //!
 //! Both executors iterate large item collections (short reads, operand
 //! pairs) whose per-item work is independent. This module fans that work
-//! out over `std::thread::scope` workers while keeping results
-//! **bit-identical to the serial run regardless of thread count**:
+//! out over the shared `cim-pool` index-claiming driver
+//! ([`cim_pool::run_collect`]) while keeping results **bit-identical to
+//! the serial run regardless of thread count**:
 //!
 //! * items are split into fixed-size chunks ([`CHUNK_SIZE`], independent
 //!   of thread count);
-//! * workers claim chunk *indices* from an atomic counter (dynamic load
-//!   balancing, order of execution unspecified);
-//! * each chunk is processed serially, producing `(chunk_index, result)`;
-//! * results are sorted by chunk index and merged left-to-right.
+//! * workers claim chunk *indices* from the pool's shared dispenser
+//!   (dynamic load balancing, order of execution unspecified);
+//! * each chunk is processed serially into its own result slot;
+//! * the pool hands the slots back in chunk order, merged left-to-right.
 //!
 //! Floating-point accumulation order is therefore a pure function of the
 //! item order and chunk size — never of scheduling. Stateful phases that
@@ -19,11 +20,11 @@
 //!
 //! The same contract governs parallelism below this layer:
 //! `cim-crossbar`'s opt-in parallel line relaxation
-//! (`SolverConfig::threads`) splits solver half-sweeps into fixed bands
-//! and merges in band order, so electrical results are likewise
-//! bit-identical at any thread count (DESIGN.md §5).
-
-use std::sync::atomic::{AtomicUsize, Ordering};
+//! (`SolverConfig::threads`) runs a phase-stepped worker crew from the
+//! same `cim-pool` substrate over fixed line bands merged in band order,
+//! and `cim_crossbar::solve_batch` dispatches whole independent array
+//! solves through [`cim_pool::run_exclusive`] — so electrical results
+//! are likewise bit-identical at any thread count (DESIGN.md §5).
 
 use cim_units::CostLedger;
 use serde::{Deserialize, Serialize};
@@ -179,9 +180,9 @@ where
 /// The chunked drivers above decompose *items* at [`CHUNK_SIZE`]
 /// granularity, which collapses to a serial walk when the work is a
 /// handful of coarse units (a fabric's tiles). Here each unit is one
-/// schedulable grain: workers claim unit indices from an atomic counter
-/// (dynamic load balancing, execution order unspecified) and the results
-/// are reassembled in index order, so the output is a pure function of
+/// schedulable grain: pool workers claim unit indices from the shared
+/// dispenser (dynamic load balancing, execution order unspecified) and
+/// results come back in index order, so the output is a pure function of
 /// `units` and `work` — bit-identical at any thread count. The caller's
 /// `work` must itself be deterministic per index (the per-tile executors
 /// are: each sees a fixed query slice in a fixed order).
@@ -190,46 +191,12 @@ where
     R: Send,
     W: Fn(usize) -> R + Sync,
 {
-    let requested = if policy.threads == 0 {
-        std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
-    } else {
-        policy.threads
-    };
-    let threads = requested.min(units).max(1);
-    if threads <= 1 || units <= 1 {
-        return (0..units).map(work).collect();
-    }
-
-    let next = AtomicUsize::new(0);
-    let mut indexed: Vec<(usize, R)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                let (work, next) = (&work, &next);
-                scope.spawn(move || {
-                    let mut local = Vec::new();
-                    loop {
-                        let index = next.fetch_add(1, Ordering::Relaxed);
-                        if index >= units {
-                            break;
-                        }
-                        local.push((index, work(index)));
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|handle| handle.join().expect("unit worker panicked"))
-            .collect()
-    });
-    indexed.sort_unstable_by_key(|(index, _)| *index);
-    indexed.into_iter().map(|(_, result)| result).collect()
+    cim_pool::run_collect(policy.threads, units, work)
 }
 
 /// Shared engine: applies `work` to each fixed-size chunk (serially per
-/// chunk, chunks claimed dynamically by workers) and returns the chunk
-/// results **in chunk order**.
+/// chunk, chunk indices claimed dynamically from the pool's dispenser)
+/// and returns the chunk results **in chunk order**.
 fn run_chunks<T, R, W>(policy: BatchPolicy, items: &[T], work: W) -> Vec<R>
 where
     T: Sync,
@@ -238,35 +205,7 @@ where
 {
     let chunks: Vec<&[T]> = items.chunks(CHUNK_SIZE).collect();
     let threads = policy.effective_threads(items.len());
-    if threads <= 1 || chunks.len() <= 1 {
-        return chunks.into_iter().map(&work).collect();
-    }
-
-    let next = AtomicUsize::new(0);
-    let mut indexed: Vec<(usize, R)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                let (work, next, chunks) = (&work, &next, &chunks);
-                scope.spawn(move || {
-                    let mut local = Vec::new();
-                    loop {
-                        let index = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(chunk) = chunks.get(index) else {
-                            break;
-                        };
-                        local.push((index, work(chunk)));
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|handle| handle.join().expect("batch worker panicked"))
-            .collect()
-    });
-    indexed.sort_unstable_by_key(|(index, _)| *index);
-    indexed.into_iter().map(|(_, result)| result).collect()
+    cim_pool::run_collect(threads, chunks.len(), |index| work(chunks[index]))
 }
 
 #[cfg(test)]

@@ -21,7 +21,11 @@ use cim_units::{Component, CostLedger, CountLedger, Energy, Phase, ScaleTable, T
 use crate::diagnostics::{Diagnostic, Report};
 
 /// Closed-form cost bound of one program under the row-broadcast model,
-/// matching `cim_logic::RowParallelEngine`'s bit-sliced accounting.
+/// matching `cim_logic::RowParallelEngine`'s bit-sliced accounting —
+/// at every lane-block width. The cost law prices broadcast steps and
+/// rows, not host instructions, so the certificate covers the 64-lane
+/// kernel and the widened `Lanes8` backend with the same numbers (the
+/// width-invariance is asserted bit-for-bit in the tests).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CostCertificate {
     /// Broadcast steps of one execution (= program length).
@@ -359,6 +363,25 @@ mod tests {
             let _ = engine.run(program, &inputs);
             let _ = engine.run(program, &inputs);
             assert_eq!(cert.after_runs(3), engine.cost(), "{rows} rows x3");
+        }
+    }
+
+    #[test]
+    fn certificate_also_covers_the_wide_engine_bit_for_bit() {
+        // The widened lane blocks batch more rows per host instruction
+        // but execute the same broadcast steps over the same rows, so
+        // the closed-form certificate must price them identically.
+        let cmp = Comparator::new();
+        let program = cmp.eq_program();
+        let device = DeviceParams::table1_cim();
+        for rows in [1usize, 64, 300, 700] {
+            let cert = CostCertificate::broadcast(program, &device, rows);
+            let mut engine = RowParallelEngine::for_program_bitsliced_wide(program, rows);
+            let inputs = vec![vec![true, false, false, true]; rows];
+            let _ = engine.run(program, &inputs);
+            assert_eq!(cert.to_cost(), engine.cost(), "{rows} rows wide");
+            let _ = engine.run(program, &inputs);
+            assert_eq!(cert.after_runs(2), engine.cost(), "{rows} rows wide x2");
         }
     }
 

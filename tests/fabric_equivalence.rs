@@ -10,7 +10,7 @@
 //! ledger, which the static certifier re-derives from the counts.
 
 use cim::fabric::{DispatchPolicy, FabricExecutor, ServeConfig, ServeFrontEnd, TrafficSpec};
-use cim::sim::BatchPolicy;
+use cim::sim::{BatchPolicy, KernelPolicy};
 use cim::units::CountLedger;
 use cim::verify::{certify_tiles, TileClaim};
 use proptest::prelude::*;
@@ -30,11 +30,37 @@ proptest! {
         let batch = TrafficSpec::sustained(queries, seed).generate();
         let reference = executor(1, 1, 1).execute(&batch).expect("1x1 serial");
         for (rows, cols) in [(1u32, 2u32), (2, 2)] {
-            for threads in [1usize, 4] {
+            for threads in [1usize, 2, 4, 8] {
                 let outcome = executor(rows, cols, threads)
                     .execute(&batch)
                     .expect("sharded run");
                 prop_assert_eq!(&outcome.digest, &reference.digest);
+                prop_assert_eq!(&outcome.counts, &reference.counts);
+                prop_assert_eq!(&outcome.ledger, &reference.ledger);
+            }
+        }
+    }
+
+    #[test]
+    fn fabric_outcome_is_bit_identical_across_kernel_widths(
+        queries in 1u64..300,
+        seed in 0u64..1000,
+    ) {
+        // The lane-width half of the contract: {1, 4, 8}-word blocks and
+        // the scalar reference all produce the same digest, counts, and
+        // ledger as the default 64-lane kernel, at 1 and 4 threads.
+        let batch = TrafficSpec::sustained(queries, seed).generate();
+        let reference = executor(2, 2, 1).execute(&batch).expect("reference run");
+        for kernel in [
+            KernelPolicy::Scalar,
+            KernelPolicy::BitSliced4,
+            KernelPolicy::BitSliced8,
+        ] {
+            for threads in [1usize, 4] {
+                let mut exec = executor(2, 2, threads);
+                exec.kernel = kernel;
+                let outcome = exec.execute(&batch).expect("widened run");
+                prop_assert_eq!(&outcome.digest, &reference.digest, "{:?}", kernel);
                 prop_assert_eq!(&outcome.counts, &reference.counts);
                 prop_assert_eq!(&outcome.ledger, &reference.ledger);
             }

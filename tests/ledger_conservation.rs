@@ -112,6 +112,39 @@ proptest! {
     }
 
     #[test]
+    fn cim_outcomes_are_bit_identical_across_workers_and_lane_widths(
+        seed in 0u64..500,
+        n_ops in 500u64..3_000,
+        ref_len in 20_000u64..35_000,
+    ) {
+        // The tentpole contract: worker count ({1, 2, 4, 8}) and lane
+        // block width ({1, 4, 8} words) change wall-clock only — every
+        // RunOutcome field (digest, checksum, ledger, report, notes) is
+        // bit-identical to the serial narrow reference.
+        let additions = AdditionWorkload::scaled(n_ops, seed);
+        let dna = dna_workload(ref_len, seed);
+        let reference = CimExecutor::with_batch(BatchPolicy::with_threads(1));
+        let add_ref = ExecutionBackend::<AdditionWorkload>::run(&reference, &additions)
+            .expect("reference additions");
+        let dna_ref = reference.run(&dna).expect("reference dna");
+        for threads in [1usize, 2, 4, 8] {
+            for kernel in [
+                KernelPolicy::BitSliced,
+                KernelPolicy::BitSliced4,
+                KernelPolicy::BitSliced8,
+            ] {
+                let exec =
+                    CimExecutor::with_policies(BatchPolicy::with_threads(threads), kernel);
+                let add = ExecutionBackend::<AdditionWorkload>::run(&exec, &additions)
+                    .expect("additions run");
+                prop_assert_eq!(&add, &add_ref, "additions at {} x {:?}", threads, kernel);
+                let dna_run = exec.run(&dna).expect("dna run");
+                prop_assert_eq!(&dna_run, &dna_ref, "dna at {} x {:?}", threads, kernel);
+            }
+        }
+    }
+
+    #[test]
     fn paper_scale_projections_conserve_their_ledgers(
         hit in 0.05f64..0.95,
         seed in 0u64..100,
