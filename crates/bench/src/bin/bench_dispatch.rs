@@ -1,41 +1,63 @@
 //! Hybrid-dispatch snapshot: scores the certificate-driven dispatcher
 //! against both pure policies and the offline oracle on the shipped
-//! workload mix, and writes the four-column comparison to
+//! workload mix, measures the split-dispatch speedup of running both
+//! machines concurrently on one workload, and writes the comparison to
 //! `BENCH_dispatch.json` at the workspace root.
 //!
 //! ```bash
 //! cargo run --release -p cim-bench --bin bench_dispatch              # full run
 //! cargo run --release -p cim-bench --bin bench_dispatch -- --quick   # CI-sized
-//! cargo run --release -p cim-bench --bin bench_dispatch -- --check   # schema only
+//! cargo run --release -p cim-bench --bin bench_dispatch -- --check   # schema + gate
 //! cargo run --release -p cim-bench --bin bench_dispatch -- --objective edp
+//! cargo run --release -p cim-bench --bin bench_dispatch -- --calibration cal.txt
 //! ```
 //!
-//! Three scenarios, each scored four ways under one objective (lower
-//! is better): route everything to the crossbar (`always_cim`), route
-//! everything to the conventional host (`always_host`), let the
-//! certificate-driven dispatcher choose (`hybrid`), and the offline
-//! oracle (per-unit best of both machines with perfect hindsight).
+//! Three whole-workload scenarios, each scored four ways under one
+//! objective (lower is better): route everything to the crossbar
+//! (`always_cim`), route everything to the conventional host
+//! (`always_host`), let the certificate-driven dispatcher choose
+//! (`hybrid`), and the offline oracle (per-unit best of both machines
+//! with perfect hindsight).
+//!
+//! The **split scenario** pins both machines at a fixed capacity and
+//! partitions one addition stream between them with a makespan-balanced
+//! [`cim_units::SplitPlan`], running the shards
+//! concurrently: `split_speedup` is the best whole-workload makespan
+//! (either machine solo — the whole-workload hybrid picks one of them)
+//! divided by the split makespan, and `--check` gates it at ≥ 1.1×.
+//!
+//! `--calibration <path>` carries calibrator state across sessions: the
+//! file is loaded before the run when it exists (exact dyadic
+//! round-trip; see `cim_dispatch::Calibrator::save`) and rewritten
+//! after.
 //!
 //! Every run re-proves the dispatch contracts before writing the
-//! snapshot: the decision trace is bit-identical across thread counts,
-//! the hybrid lands within 5% of the oracle, and each pure policy
-//! loses at least one scenario — the reason the dispatcher exists.
+//! snapshot: decision traces and split outcomes are bit-identical
+//! across thread counts, one-sided split plans reproduce the solo runs
+//! exactly, the split claim certifies clean, the hybrid lands within 5%
+//! of the oracle, and each pure policy loses at least one scenario.
 
 use cim_bench::{repo_root_file, Args};
-use cim_dispatch::HybridExecutor;
+use cim_dispatch::{split_claim, Calibrator, HybridExecutor};
 use cim_fabric::{
     DispatchPolicy, FabricExecutor, ServeConfig, ServeFrontEnd, ServeReport, TrafficSpec,
 };
-use cim_sim::{BatchPolicy, CimExecutor, ConventionalExecutor, ExecutionBackend};
-use cim_units::{DispatchObjective, Energy};
-use cim_workloads::{AdditionWorkload, DnaWorkload};
+use cim_sim::{BatchPolicy, CimExecutor, ConventionalExecutor, ExecutionBackend, RunOutcome};
+use cim_units::{DispatchObjective, Energy, SplitPlan, Time};
+use cim_workloads::{AdditionWorkload, DnaWorkload, Shardable};
 
-const SCHEMA: &str = "cim-bench-dispatch/1";
+const SCHEMA: &str = "cim-bench-dispatch/2";
+
+/// The `--check` gate on the measured split speedup: splitting one
+/// workload across both machines must beat the best whole-workload
+/// policy by at least this factor.
+const SPLIT_SPEEDUP_GATE: f64 = 1.1;
 
 /// Every field a valid snapshot must carry, in schema order.
-const REQUIRED_FIELDS: [&str; 16] = [
+const REQUIRED_FIELDS: [&str; 22] = [
     "schema",
     "objective",
+    "calibration",
     "dna_hybrid",
     "dna_always_cim",
     "dna_always_host",
@@ -48,6 +70,11 @@ const REQUIRED_FIELDS: [&str; 16] = [
     "serve_always_cim",
     "serve_always_host",
     "serve_oracle",
+    "split_cim_units",
+    "split_host_units",
+    "split_makespan_ps",
+    "split_whole_best_ps",
+    "split_speedup",
     "decisions",
     "mispredictions",
 ];
@@ -66,6 +93,23 @@ fn check(path: &std::path::Path) -> Result<(), String> {
             return Err(format!("snapshot is missing required field '{field}'"));
         }
     }
+    // The split gate is numeric, not just present: parse the value and
+    // require the measured concurrency win.
+    let needle = "\"split_speedup\":";
+    let start = body.find(needle).expect("field presence checked above") + needle.len();
+    let token: String = body[start..]
+        .trim_start()
+        .chars()
+        .take_while(|c| !matches!(c, ',' | '}') && !c.is_whitespace())
+        .collect();
+    let speedup: f64 = token
+        .parse()
+        .map_err(|e| format!("split_speedup `{token}` is not a number: {e}"))?;
+    if speedup < SPLIT_SPEEDUP_GATE {
+        return Err(format!(
+            "split_speedup {speedup:.4} is below the {SPLIT_SPEEDUP_GATE}x gate"
+        ));
+    }
     Ok(())
 }
 
@@ -80,6 +124,19 @@ fn objective_flag(args: &Args) -> DispatchObjective {
     }
 }
 
+/// Strict calibration flag: absent → no persistence, present without a
+/// path → exit 2.
+fn calibration_flag(args: &Args) -> Option<std::path::PathBuf> {
+    if !args.has("--calibration") {
+        return None;
+    }
+    let Some(raw) = args.value("--calibration") else {
+        eprintln!("error: --calibration expects a file path");
+        std::process::exit(2);
+    };
+    Some(std::path::PathBuf::from(raw))
+}
+
 /// The four scores of one scenario, all under the same objective.
 struct Scenario {
     name: &'static str,
@@ -92,12 +149,14 @@ struct Scenario {
 fn hybrid_executor(
     threads: usize,
     objective: DispatchObjective,
+    calibrator: Calibrator,
 ) -> HybridExecutor<CimExecutor, ConventionalExecutor> {
     let policy = BatchPolicy::with_threads(threads);
-    HybridExecutor::frozen(
+    HybridExecutor::with_calibrator(
         CimExecutor::with_batch(policy),
         ConventionalExecutor::with_batch(policy),
         objective,
+        calibrator,
     )
 }
 
@@ -186,6 +245,113 @@ fn serve_scenario(
     )
 }
 
+/// What the split scenario measured.
+struct SplitBench {
+    plan: SplitPlan,
+    split_makespan: Time,
+    whole_best: Time,
+    speedup: f64,
+}
+
+/// Measures the split-dispatch win at a fixed machine capacity: the
+/// workload's unit stream is partitioned by the makespan-balanced plan
+/// and both shards run concurrently, against the best *whole*-workload
+/// makespan (either machine solo at the same capacity; the
+/// whole-workload hybrid routes to one of exactly these two, so the
+/// minimum covers all three baselines).
+fn split_scenario(adds: &AdditionWorkload, capacity: u64, threads: usize) -> SplitBench {
+    let executor = hybrid_executor(threads, DispatchObjective::Makespan, Calibrator::frozen());
+    let outcome = executor
+        .dispatch_split(adds, capacity)
+        .expect("split dispatch");
+    let units = adds.units();
+    let whole = adds.shard(0, units, capacity);
+    let cim_whole = ExecutionBackend::run(&executor.cim, &whole).expect("cim whole");
+    let host_whole = ExecutionBackend::run(&executor.host, &whole).expect("host whole");
+    // Same answer however the stream is partitioned.
+    assert_eq!(outcome.checksum(), cim_whole.digest.checksum);
+    assert_eq!(outcome.checksum(), host_whole.digest.checksum);
+    assert_eq!(outcome.operations(), units);
+    let whole_best = cim_whole
+        .ledger
+        .total_time()
+        .min(host_whole.ledger.total_time());
+    let split_makespan = outcome.makespan();
+    SplitBench {
+        plan: outcome.plan,
+        split_makespan,
+        whole_best,
+        speedup: whole_best.get() / split_makespan.get(),
+    }
+}
+
+/// Asserts the split-dispatch contracts: outcomes are bit-identical
+/// across thread counts, one-sided plans reproduce the solo shard runs
+/// exactly, and the split claim certifies clean under `certify_split`.
+fn prove_split_contracts(adds: &AdditionWorkload, capacity: u64) {
+    let reference = hybrid_executor(1, DispatchObjective::Makespan, Calibrator::frozen());
+    let plan = reference.split_plan(adds, capacity);
+    let reference_outcome = reference
+        .run_split(adds, capacity, &plan)
+        .expect("reference split");
+    for threads in [2usize, 4] {
+        let other = hybrid_executor(threads, DispatchObjective::Makespan, Calibrator::frozen());
+        assert_eq!(
+            other.split_plan(adds, capacity),
+            plan,
+            "split plan differs at {threads} threads"
+        );
+        let outcome = other
+            .run_split(adds, capacity, &plan)
+            .expect("split re-run");
+        assert_eq!(
+            outcome.ledger, reference_outcome.ledger,
+            "split ledger differs at {threads} threads"
+        );
+        assert_eq!(outcome.checksum(), reference_outcome.checksum());
+        assert_eq!(outcome.makespan(), reference_outcome.makespan());
+    }
+    // One-sided plans are the solo runs, bit for bit.
+    let units = adds.units();
+    let whole = adds.shard(0, units, capacity);
+    let all_cim = SplitPlan::all_cim(units, plan.cim_score(), plan.host_score());
+    let one_sided = reference
+        .run_split(adds, capacity, &all_cim)
+        .expect("all-cim split");
+    let solo: RunOutcome = ExecutionBackend::run(&reference.cim, &whole).expect("solo cim");
+    assert_eq!(one_sided.cim.as_ref(), Some(&solo), "all-cim != solo cim");
+    let all_host = SplitPlan::all_host(units, plan.cim_score(), plan.host_score());
+    let one_sided = reference
+        .run_split(adds, capacity, &all_host)
+        .expect("all-host split");
+    let solo: RunOutcome = ExecutionBackend::run(&reference.host, &whole).expect("solo host");
+    assert_eq!(
+        one_sided.host.as_ref(),
+        Some(&solo),
+        "all-host != solo host"
+    );
+    // The decision itself certifies: shard estimates, calibration
+    // scales, and the combined ledger re-derive cell-bitwise.
+    let cim_estimate = reference
+        .cim
+        .estimate(&adds.shard(0, plan.cim_units(), capacity));
+    let host_estimate =
+        reference
+            .host
+            .estimate(&adds.shard(plan.cim_units(), plan.host_units(), capacity));
+    let claim = split_claim(
+        &plan,
+        &cim_estimate,
+        &host_estimate,
+        reference.calibrator().cim_scales(),
+        reference.calibrator().host_scales(),
+    );
+    assert!(
+        cim_verify::certify_split("bench-split", &claim).is_clean(),
+        "split claim does not certify"
+    );
+}
+
 /// Asserts the dispatch contracts: the decision trace is bit-identical
 /// across thread counts, serve results are thread-count independent
 /// under the hybrid policy, the hybrid lands within 5% of the offline
@@ -198,11 +364,11 @@ fn prove_contracts(
     objective: DispatchObjective,
     hybrid_serve: &ServeReport,
 ) {
-    let mut reference = hybrid_executor(1, objective);
+    let mut reference = hybrid_executor(1, objective, Calibrator::frozen());
     reference.dispatch(dna).expect("reference dna");
     reference.dispatch(adds).expect("reference adds");
     for threads in [2usize, 4] {
-        let mut other = hybrid_executor(threads, objective);
+        let mut other = hybrid_executor(threads, objective, Calibrator::frozen());
         other.dispatch(dna).expect("re-run dna");
         other.dispatch(adds).expect("re-run adds");
         assert_eq!(
@@ -255,7 +421,10 @@ fn main() {
 
     if args.has("--check") {
         match check(&path) {
-            Ok(()) => println!("[ok] {} matches schema {SCHEMA}", path.display()),
+            Ok(()) => println!(
+                "[ok] {} matches schema {SCHEMA} (split_speedup >= {SPLIT_SPEEDUP_GATE})",
+                path.display()
+            ),
             Err(e) => {
                 eprintln!("[fail] {e}");
                 std::process::exit(1);
@@ -266,24 +435,48 @@ fn main() {
 
     let quick = args.has("--quick");
     let objective = objective_flag(&args);
+    let calibration = calibration_flag(&args);
     let threads = args.numeric("--threads", 4);
     let ref_len = args.numeric("--ref-len", if quick { 1 << 12 } else { 1 << 14 });
     let n_ops = args.numeric("--ops", if quick { 1 << 12 } else { 1 << 14 });
     let queries = args.numeric("--queries", if quick { 4_000 } else { 16_000 });
+    // The split scenario's stream and the fixed machine capacity both
+    // shards are priced at; quick keeps the full run's 32:1 ratio.
+    let split_ops = args.numeric("--split-ops", if quick { 1 << 14 } else { 1 << 21 });
+    let split_capacity = args.numeric("--split-capacity", if quick { 1 << 9 } else { 1 << 16 });
+
+    let calibrator = match &calibration {
+        Some(path) if path.exists() => Calibrator::load(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot load calibrator from {}: {e}", path.display());
+            std::process::exit(2);
+        }),
+        _ => Calibrator::frozen(),
+    };
 
     let dna = DnaWorkload::scaled(ref_len as u64, 64);
     let adds = AdditionWorkload::scaled(n_ops as u64, 7);
+    let split_adds = AdditionWorkload::scaled(split_ops as u64, 7);
     let traffic = TrafficSpec::sustained(queries as u64, 2015);
 
-    let mut hybrid = hybrid_executor(threads, objective);
+    let mut hybrid = hybrid_executor(threads, objective, calibrator);
     let dna_scenario = executor_scenario("dna", &dna, threads, objective, &mut hybrid);
     let adds_scenario = executor_scenario("additions", &adds, threads, objective, &mut hybrid);
     let (serve, hybrid_serve) = serve_scenario(&traffic, threads, objective);
+    let split = split_scenario(&split_adds, split_capacity as u64, threads);
     let decisions = hybrid.trace().len() as u64 + hybrid_serve.completed;
     let mispredictions = hybrid.trace().mispredictions() + hybrid_serve.mispredictions;
     let scenarios = [dna_scenario, adds_scenario, serve];
 
     prove_contracts(&scenarios, &dna, &adds, &traffic, objective, &hybrid_serve);
+    prove_split_contracts(&split_adds, split_capacity as u64);
+
+    if let Some(path) = &calibration {
+        hybrid.calibrator().save(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot save calibrator to {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        println!("[calibration] saved to {}", path.display());
+    }
 
     println!("== dispatch snapshot (objective {objective}, {threads} threads) ==");
     println!(
@@ -296,6 +489,15 @@ fn main() {
             s.name, s.hybrid, s.always_cim, s.always_host, s.oracle
         );
     }
+    println!(
+        "split      {} units -> {} cim / {} host; makespan {:.4e}s vs whole {:.4e}s; speedup {:.3}x",
+        split.plan.units(),
+        split.plan.cim_units(),
+        split.plan.host_units(),
+        split.split_makespan.get(),
+        split.whole_best.get(),
+        split.speedup
+    );
     println!("decisions {decisions}   mispredictions {mispredictions}");
 
     // The vendored serde is a no-op stub, so the snapshot is written by
@@ -307,12 +509,25 @@ fn main() {
             s.name, s.hybrid, s.always_cim, s.always_host, s.oracle
         )
     };
+    let calibration_label = calibration.as_ref().map_or_else(
+        || "frozen-identity".to_string(),
+        |p| p.display().to_string(),
+    );
     let json = format!(
-        "{{\n  \"schema\": \"{SCHEMA}\",\n  \"objective\": \"{objective}\",\n{},\n{},\n{},\n  \
+        "{{\n  \"schema\": \"{SCHEMA}\",\n  \"objective\": \"{objective}\",\n  \
+         \"calibration\": \"{calibration_label}\",\n{},\n{},\n{},\n  \
+         \"split_cim_units\": {},\n  \"split_host_units\": {},\n  \
+         \"split_makespan_ps\": {:.6e},\n  \"split_whole_best_ps\": {:.6e},\n  \
+         \"split_speedup\": {:.6},\n  \
          \"decisions\": {decisions},\n  \"mispredictions\": {mispredictions}\n}}\n",
         row(&scenarios[0]),
         row(&scenarios[1]),
         row(&scenarios[2]),
+        split.plan.cim_units(),
+        split.plan.host_units(),
+        split.split_makespan.get() * 1e12,
+        split.whole_best.get() * 1e12,
+        split.speedup,
     );
     std::fs::write(&path, &json).expect("write BENCH_dispatch.json");
     println!("\n[written] {}", path.display());

@@ -165,6 +165,124 @@ impl Calibrator {
     }
 }
 
+/// Versioned header of the calibrator persistence format.
+const PERSIST_HEADER: &str = "cim-calibrator/1";
+
+impl Calibrator {
+    /// Serialises the calibrator (mode plus both scale tables) to a
+    /// versioned text format whose factors round-trip *exactly*: every
+    /// factor is written as the hex encoding of its `f64` bits, one
+    /// `machine component phase energy time` line per non-identity
+    /// cell. The error history is session-local and not persisted.
+    pub fn save_string(&self) -> String {
+        let mode = match self.mode {
+            CalibrationMode::Frozen => "frozen",
+            CalibrationMode::Online => "online",
+        };
+        let mut out = format!("{PERSIST_HEADER}\nmode {mode}\n");
+        for (machine, scales) in [("cim", &self.cim), ("host", &self.host)] {
+            for component in Component::ALL {
+                for phase in Phase::ALL {
+                    let energy = scales.energy_factor(component, phase);
+                    let time = scales.time_factor(component, phase);
+                    if energy == 1.0 && time == 1.0 {
+                        continue;
+                    }
+                    out.push_str(&format!(
+                        "{machine} {} {} {:016x} {:016x}\n",
+                        component.label(),
+                        phase.label(),
+                        energy.to_bits(),
+                        time.to_bits()
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses a calibrator previously written by
+    /// [`save_string`](Self::save_string). Factors load through
+    /// [`ScaleTable::set`], which is the identity on the already-dyadic
+    /// saved values — the round-trip is bit-exact. The error history
+    /// starts empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line, or of a
+    /// missing/unknown header, mode, machine, component, or phase.
+    pub fn load_string(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty calibrator file")?;
+        if header.trim() != PERSIST_HEADER {
+            return Err(format!(
+                "unknown calibrator header `{header}` (expected {PERSIST_HEADER})"
+            ));
+        }
+        let mode_line = lines.next().ok_or("missing mode line")?;
+        let mode = match mode_line.trim() {
+            "mode frozen" => CalibrationMode::Frozen,
+            "mode online" => CalibrationMode::Online,
+            other => return Err(format!("unknown mode line `{other}`")),
+        };
+        let mut calibrator = Self::new(mode);
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            let [machine, component_label, phase_label, energy_hex, time_hex] = fields[..] else {
+                return Err(format!("malformed calibrator line `{line}`"));
+            };
+            let component = Component::ALL
+                .into_iter()
+                .find(|c| c.label() == component_label)
+                .ok_or_else(|| format!("unknown component `{component_label}`"))?;
+            let phase = Phase::ALL
+                .into_iter()
+                .find(|p| p.label() == phase_label)
+                .ok_or_else(|| format!("unknown phase `{phase_label}`"))?;
+            let parse_bits = |hex: &str| {
+                u64::from_str_radix(hex, 16)
+                    .map(f64::from_bits)
+                    .map_err(|_| format!("malformed factor `{hex}` in `{line}`"))
+            };
+            let energy = parse_bits(energy_hex)?;
+            let time = parse_bits(time_hex)?;
+            let scales = match machine {
+                "cim" => &mut calibrator.cim,
+                "host" => &mut calibrator.host,
+                other => return Err(format!("unknown machine `{other}`")),
+            };
+            scales.set(component, phase, energy, time);
+        }
+        Ok(calibrator)
+    }
+
+    /// Writes [`save_string`](Self::save_string) to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.save_string())
+    }
+
+    /// Reads a calibrator from `path` via
+    /// [`load_string`](Self::load_string).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; parse failures surface as
+    /// [`std::io::ErrorKind::InvalidData`].
+    pub fn load(path: &std::path::Path) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        Self::load_string(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
 impl Default for Calibrator {
     fn default() -> Self {
         Self::online()
@@ -238,6 +356,102 @@ mod tests {
         assert_eq!(first, second, "frozen errors must not drift");
         assert!(calibrator.cim_scales().is_identity());
         assert_eq!(calibrator.mode(), CalibrationMode::Frozen);
+    }
+
+    #[test]
+    fn calibrator_round_trips_exactly_through_the_text_format() {
+        // Drive an online calibrator away from identity with a skewed
+        // observation, then prove the persisted factors reload
+        // bit-for-bit.
+        let est = estimate(1000, 45.0, 0.27);
+        let observed = skewed_observation(&est);
+        let mut calibrator = Calibrator::online();
+        calibrator.observe(Route::Cim, &est, &observed);
+        assert!(!calibrator.cim_scales().is_identity());
+
+        let text = calibrator.save_string();
+        assert!(text.starts_with("cim-calibrator/1\nmode online\n"));
+        let loaded = Calibrator::load_string(&text).expect("round-trip parses");
+        assert_eq!(loaded.mode(), calibrator.mode());
+        for component in Component::ALL {
+            for phase in Phase::ALL {
+                for (ours, theirs) in [
+                    (calibrator.cim_scales(), loaded.cim_scales()),
+                    (calibrator.host_scales(), loaded.host_scales()),
+                ] {
+                    assert_eq!(
+                        ours.energy_factor(component, phase).to_bits(),
+                        theirs.energy_factor(component, phase).to_bits(),
+                        "energy factor drifted at {component:?}/{phase:?}"
+                    );
+                    assert_eq!(
+                        ours.time_factor(component, phase).to_bits(),
+                        theirs.time_factor(component, phase).to_bits(),
+                        "time factor drifted at {component:?}/{phase:?}"
+                    );
+                }
+            }
+        }
+        // A second generation survives unchanged too: saved factors are
+        // already dyadic, so `ScaleTable::set` is the identity on them.
+        assert_eq!(loaded.save_string(), text);
+    }
+
+    #[test]
+    fn identity_calibrators_persist_compactly() {
+        let text = Calibrator::frozen().save_string();
+        assert_eq!(text, "cim-calibrator/1\nmode frozen\n");
+        let loaded = Calibrator::load_string(&text).expect("parses");
+        assert!(loaded.cim_scales().is_identity());
+        assert!(loaded.host_scales().is_identity());
+        assert_eq!(loaded.mode(), CalibrationMode::Frozen);
+    }
+
+    #[test]
+    fn malformed_calibrator_files_are_rejected_with_evidence() {
+        for (text, needle) in [
+            ("", "empty"),
+            ("cim-calibrator/0\nmode frozen\n", "unknown calibrator header"),
+            ("cim-calibrator/1\n", "missing mode"),
+            ("cim-calibrator/1\nmode warm\n", "unknown mode"),
+            (
+                "cim-calibrator/1\nmode frozen\ncim imply_step\n",
+                "malformed calibrator line",
+            ),
+            (
+                "cim-calibrator/1\nmode frozen\ngpu imply_step map 3ff0000000000000 3ff0000000000000\n",
+                "unknown machine",
+            ),
+            (
+                "cim-calibrator/1\nmode frozen\ncim warp_shuffle map 3ff0000000000000 3ff0000000000000\n",
+                "unknown component",
+            ),
+            (
+                "cim-calibrator/1\nmode frozen\ncim imply_step zap 3ff0000000000000 3ff0000000000000\n",
+                "unknown phase",
+            ),
+            (
+                "cim-calibrator/1\nmode frozen\ncim imply_step map nothex 3ff0000000000000\n",
+                "malformed factor",
+            ),
+        ] {
+            let err = Calibrator::load_string(text).expect_err(needle);
+            assert!(err.contains(needle), "`{err}` missing `{needle}`");
+        }
+    }
+
+    #[test]
+    fn calibrator_save_load_round_trips_through_a_file() {
+        let est = estimate(512, 45.0, 0.27);
+        let observed = skewed_observation(&est);
+        let mut calibrator = Calibrator::online();
+        calibrator.observe(Route::Cim, &est, &observed);
+        let dir = std::env::temp_dir();
+        let path = dir.join("cim-calibrator-roundtrip-test.txt");
+        calibrator.save(&path).expect("save");
+        let loaded = Calibrator::load(&path).expect("load");
+        assert_eq!(loaded.save_string(), calibrator.save_string());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

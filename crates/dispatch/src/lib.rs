@@ -20,10 +20,19 @@
 //!   — exact count-space arithmetic, preserving the workspace's
 //!   bit-for-bit conservation contract — with a frozen mode for
 //!   reproducible benches.
-//! * **Audit** ([`dispatch_claim`]) bridges a decision into
-//!   `cim-verify` currency: `cimlint` can certify that the ledger a
-//!   route was scored from re-derives from its own counts, prices, and
-//!   scales (`certify_dispatch`).
+//! * **Split execution** ([`split`]) partitions *one* workload's unit
+//!   stream between the machines with a makespan-balancing
+//!   [`SplitPlan`] over calibrated certified
+//!   per-unit scores, then runs both shards concurrently
+//!   ([`HybridExecutor::dispatch_split`]): makespan is the slower
+//!   side, energy is the sum, and the combined ledger is the exact
+//!   CIM-first merge of the shard ledgers.
+//! * **Audit** ([`dispatch_claim`] / [`split_claim`]) bridges a
+//!   decision into `cim-verify` currency: `cimlint` can certify that
+//!   the ledger a route was scored from re-derives from its own
+//!   counts, prices, and scales (`certify_dispatch`), and that a split
+//!   decision conserves units and ledgers cell-bitwise
+//!   (`certify_split`).
 //!
 //! The serving layer's per-query twin of this logic lives in
 //! `cim_fabric::serve` (`DispatchPolicy`); this crate handles whole
@@ -31,15 +40,17 @@
 
 pub mod calibrate;
 pub mod hybrid;
+pub mod split;
 pub mod trace;
 
 pub use calibrate::{CalibrationMode, Calibrator};
 pub use hybrid::HybridExecutor;
+pub use split::SplitOutcome;
 pub use trace::{DispatchDecision, DispatchTrace, Route};
 
 use cim_sim::CostEstimate;
-use cim_units::ScaleTable;
-use cim_verify::DispatchClaim;
+use cim_units::{ScaleTable, SplitPlan};
+use cim_verify::{DispatchClaim, SplitClaim};
 
 /// Bridges one dispatch decision into `cim-verify` currency: the claim
 /// carries the estimate's counts and base prices plus the calibration
@@ -56,12 +67,39 @@ pub fn dispatch_claim(estimate: &CostEstimate, scales: &ScaleTable) -> DispatchC
     }
 }
 
+/// Bridges one *split* dispatch decision into `cim-verify` currency:
+/// the plan's unit partition, one [`DispatchClaim`] per shard (built
+/// from each machine's estimate of *its own shard* under its own
+/// calibration scales), and the combined ledger as the exact CIM-first
+/// merge of the shard claim ledgers. `cim_verify::certify_split`
+/// re-derives every field cell-bitwise.
+pub fn split_claim(
+    plan: &SplitPlan,
+    cim_estimate: &CostEstimate,
+    host_estimate: &CostEstimate,
+    cim_scales: &ScaleTable,
+    host_scales: &ScaleTable,
+) -> SplitClaim {
+    let cim = dispatch_claim(cim_estimate, cim_scales);
+    let host = dispatch_claim(host_estimate, host_scales);
+    let mut combined = cim.ledger.clone();
+    combined.merge(&host.ledger);
+    SplitClaim {
+        units: plan.units(),
+        cim_units: plan.cim_units(),
+        host_units: plan.host_units(),
+        cim,
+        host,
+        combined,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cim_sim::{CimExecutor, ExecutionBackend};
+    use cim_sim::{CimExecutor, ConventionalExecutor, ExecutionBackend};
     use cim_units::{Component, Phase};
-    use cim_workloads::AdditionWorkload;
+    use cim_workloads::{AdditionWorkload, Shardable};
 
     #[test]
     fn dispatch_claims_from_real_estimates_certify_clean() {
@@ -74,5 +112,38 @@ mod tests {
         let mut forged = claim;
         forged.ledger = estimate.prices.evaluate(&estimate.counts);
         assert!(cim_verify::certify_dispatch("adds", &forged).has_code("dispatch-claim-mismatch"));
+    }
+
+    #[test]
+    fn split_claims_from_real_shard_estimates_certify_clean() {
+        let workload = AdditionWorkload::scaled(1 << 12, 3);
+        let capacity = 1 << 9;
+        let executor = HybridExecutor::frozen(
+            CimExecutor::new(),
+            ConventionalExecutor::new(),
+            cim_units::DispatchObjective::Makespan,
+        );
+        let plan = executor.split_plan(&workload, capacity);
+        let cim_est = executor
+            .cim
+            .estimate(&workload.shard(0, plan.cim_units(), capacity));
+        let host_est =
+            executor
+                .host
+                .estimate(&workload.shard(plan.cim_units(), plan.host_units(), capacity));
+        let claim = split_claim(
+            &plan,
+            &cim_est,
+            &host_est,
+            executor.calibrator().cim_scales(),
+            executor.calibrator().host_scales(),
+        );
+        assert!(cim_verify::certify_split("adds-split", &claim).is_clean());
+        // Skimming the combined ledger down to one side is caught.
+        let mut skimmed = claim;
+        skimmed.combined = skimmed.cim.ledger.clone();
+        assert!(
+            cim_verify::certify_split("adds-split", &skimmed).has_code("split-ledger-conservation")
+        );
     }
 }

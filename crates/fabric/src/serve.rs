@@ -89,12 +89,39 @@ pub enum DispatchPolicy {
         /// Calibration scales applied to the host's prices.
         host_scales: ScaleTable,
     },
+    /// Split each (kind × locality) cell's query stream *between* the
+    /// machines instead of sending the whole cell to one side: the CIM
+    /// lane share is the makespan-balancing proportion of the two
+    /// calibrated certified per-query scores (a cell whose host score is
+    /// `h` and CIM score is `c` routes `h/(c+h)` of its queries to the
+    /// crossbar, so both machines finish a cell's stream together).
+    /// Which lane a query occupies is a pure bit-mix of the query's own
+    /// identity, so routing — like everything else in the serve trace —
+    /// is bit-identical for any tile count and any thread count.
+    SplitHybrid {
+        /// The axis being minimised.
+        objective: DispatchObjective,
+        /// Calibration scales applied to the fabric's prices.
+        cim_scales: ScaleTable,
+        /// Calibration scales applied to the host's prices.
+        host_scales: ScaleTable,
+    },
 }
 
 impl DispatchPolicy {
     /// A hybrid policy with identity calibration under `objective`.
     pub fn hybrid(objective: DispatchObjective) -> Self {
         Self::Hybrid {
+            objective,
+            cim_scales: ScaleTable::identity(),
+            host_scales: ScaleTable::identity(),
+        }
+    }
+
+    /// A split-hybrid policy with identity calibration under
+    /// `objective`.
+    pub fn split_hybrid(objective: DispatchObjective) -> Self {
+        Self::SplitHybrid {
             objective,
             cim_scales: ScaleTable::identity(),
             host_scales: ScaleTable::identity(),
@@ -130,6 +157,51 @@ fn kind_index(kind: QueryKind) -> usize {
 struct RouteTable {
     cim: [[bool; 2]; 3],
     mispredict: [[bool; 2]; 3],
+    /// Present only under [`DispatchPolicy::SplitHybrid`]: per-cell CIM
+    /// lane shares out of [`SPLIT_LANES`], calibrated and true.
+    split: Option<SplitLanes>,
+}
+
+/// Lane granularity of the split-hybrid interleave: a cell's stream is
+/// cut into this many identity-hashed lanes and the CIM side takes a
+/// whole number of them.
+const SPLIT_LANES: u64 = 64;
+
+/// Per (kind × locality) CIM lane counts of a split-hybrid route table.
+struct SplitLanes {
+    calibrated: [[u64; 2]; 3],
+    truth: [[u64; 2]; 3],
+}
+
+/// The lane a query occupies, a pure bit-mix (splitmix64 finalizer) of
+/// the query's own identity — never of batch composition, tile count,
+/// or thread count, preserving the serve-trace determinism contract.
+fn split_lane(query: &Query) -> u64 {
+    let mut z = query.id ^ query.seed.rotate_left(17) ^ (u64::from(query.tenant.0) << 48);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) % SPLIT_LANES
+}
+
+/// CIM lane count balancing one cell's stream: with per-query scores
+/// `c` (CIM) and `h` (host) and the halves running concurrently, giving
+/// the crossbar `h/(c+h)` of the lanes makes both sides finish
+/// together. Degenerate scores collapse to one machine (both-zero ties
+/// go to the crossbar, the machine the fabric exists to exercise).
+#[allow(
+    clippy::cast_precision_loss,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss
+)]
+fn balanced_lanes(cim_score: f64, host_score: f64) -> u64 {
+    if !cim_score.is_finite() || cim_score <= 0.0 {
+        return SPLIT_LANES;
+    }
+    if !host_score.is_finite() || host_score <= 0.0 {
+        return 0;
+    }
+    let share = host_score / (cim_score + host_score);
+    ((share * SPLIT_LANES as f64).round() as u64).min(SPLIT_LANES)
 }
 
 impl RouteTable {
@@ -138,10 +210,12 @@ impl RouteTable {
             DispatchPolicy::AlwaysCim => Self {
                 cim: [[true; 2]; 3],
                 mispredict: [[false; 2]; 3],
+                split: None,
             },
             DispatchPolicy::AlwaysHost => Self {
                 cim: [[false; 2]; 3],
                 mispredict: [[false; 2]; 3],
+                split: None,
             },
             DispatchPolicy::Hybrid {
                 objective,
@@ -173,17 +247,69 @@ impl RouteTable {
                         mispredict[kind_index(kind)][slot] = predicted != truth;
                     }
                 }
-                Self { cim, mispredict }
+                Self {
+                    cim,
+                    mispredict,
+                    split: None,
+                }
+            }
+            DispatchPolicy::SplitHybrid {
+                objective,
+                cim_scales,
+                host_scales,
+            } => {
+                let cim_true = fabric.prices();
+                let host_true = host_unit_costs();
+                let cim_scaled = cim_scales.rescale(cim_true);
+                let host_scaled = host_scales.rescale(&host_true);
+                let score = |prices: &UnitCosts, counts: &CountLedger| {
+                    let ledger = prices.evaluate(counts);
+                    objective.score(ledger.total_energy(), ledger.total_time())
+                };
+                let mut calibrated = [[0u64; 2]; 3];
+                let mut truth = [[0u64; 2]; 3];
+                for kind in ROUTE_KINDS {
+                    for (slot, local) in [false, true].into_iter().enumerate() {
+                        let mut cim_counts = CountLedger::new();
+                        Query::charge_kind(&mut cim_counts, &fabric.grid, kind, local);
+                        let mut host_counts = CountLedger::new();
+                        Query::charge_host_kind(&mut host_counts, kind);
+                        calibrated[kind_index(kind)][slot] = balanced_lanes(
+                            score(&cim_scaled, &cim_counts),
+                            score(&host_scaled, &host_counts),
+                        );
+                        truth[kind_index(kind)][slot] = balanced_lanes(
+                            score(cim_true, &cim_counts),
+                            score(&host_true, &host_counts),
+                        );
+                    }
+                }
+                Self {
+                    cim: [[false; 2]; 3],
+                    mispredict: [[false; 2]; 3],
+                    split: Some(SplitLanes { calibrated, truth }),
+                }
             }
         }
     }
 
     fn to_cim(&self, query: &Query, grid: &TileGrid) -> bool {
-        self.cim[kind_index(query.kind)][usize::from(query.is_local(grid))]
+        let (kind, slot) = (kind_index(query.kind), usize::from(query.is_local(grid)));
+        match &self.split {
+            Some(lanes) => split_lane(query) < lanes.calibrated[kind][slot],
+            None => self.cim[kind][slot],
+        }
     }
 
     fn mispredicted(&self, query: &Query, grid: &TileGrid) -> bool {
-        self.mispredict[kind_index(query.kind)][usize::from(query.is_local(grid))]
+        let (kind, slot) = (kind_index(query.kind), usize::from(query.is_local(grid)));
+        match &self.split {
+            Some(lanes) => {
+                let lane = split_lane(query);
+                (lane < lanes.calibrated[kind][slot]) != (lane < lanes.truth[kind][slot])
+            }
+            None => self.mispredict[kind][slot],
+        }
     }
 }
 
@@ -926,6 +1052,97 @@ mod tests {
             "adds were wrongly counted as mispredictions"
         );
         assert!(report.conserves());
+    }
+
+    #[test]
+    fn split_hybrid_uses_both_machines_per_cell_and_conserves() {
+        let traffic = TrafficSpec::sustained(2_000, 11);
+        let mut fe = front_end(2, 2, 1);
+        fe.policy = DispatchPolicy::split_hybrid(DispatchObjective::Makespan);
+        let report = fe.serve(&traffic).expect("serves");
+        assert!(report.cim_queries > 0, "no CIM traffic");
+        assert!(report.host_queries > 0, "no host traffic");
+        assert_eq!(report.cim_queries + report.host_queries, report.completed);
+        // Identity calibration never disagrees with the true shares.
+        assert_eq!(report.mispredictions, 0);
+        assert!(report.conserves(), "split-hybrid conservation failed");
+        // Results stay machine-independent: the same traffic computes
+        // the same checksum however the stream is interleaved.
+        let always_cim = front_end(2, 2, 1).serve(&traffic).expect("serves");
+        assert_eq!(report.checksum, always_cim.checksum);
+        // Splitting genuinely interleaves: the whole-cell hybrid sends
+        // each cell to exactly one machine, so its routing tallies
+        // differ from the lane-interleaved split of the same traffic.
+        let mut whole = front_end(2, 2, 1);
+        whole.policy = DispatchPolicy::hybrid(DispatchObjective::Makespan);
+        let whole_report = whole.serve(&traffic).expect("serves");
+        assert_ne!(
+            (report.cim_queries, report.host_queries),
+            (whole_report.cim_queries, whole_report.host_queries),
+            "split-hybrid degenerated into whole-cell routing"
+        );
+    }
+
+    #[test]
+    fn split_hybrid_trace_is_bit_identical_across_tiles_and_threads() {
+        let traffic = TrafficSpec::sustained(1_500, 23);
+        let mut reference_fe = front_end(1, 1, 1);
+        reference_fe.policy = DispatchPolicy::split_hybrid(DispatchObjective::Makespan);
+        let reference = reference_fe.serve(&traffic).expect("reference");
+        for (rows, cols) in [(1, 2), (2, 2)] {
+            for threads in [1, 4] {
+                let mut fe = front_end(rows, cols, threads);
+                fe.policy = DispatchPolicy::split_hybrid(DispatchObjective::Makespan);
+                let report = fe.serve(&traffic).expect("run");
+                assert_eq!(report.checksum, reference.checksum);
+                assert_eq!(
+                    (report.cim_queries, report.host_queries),
+                    (reference.cim_queries, reference.host_queries)
+                );
+                assert_eq!(report.fabric_counts, reference.fabric_counts);
+                assert_eq!(report.host_counts, reference.host_counts);
+                assert_eq!(report.tenants, reference.tenants);
+                assert_eq!(report.histogram, reference.histogram);
+                assert_eq!(report.makespan, reference.makespan);
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_calibration_shifts_split_shares_and_counts_mispredictions() {
+        // Inflate every crossbar price a millionfold: the calibrated
+        // shares collapse toward the host, and each query whose lane
+        // changed sides relative to the true shares is counted.
+        let mut cim_scales = ScaleTable::identity();
+        for phase in [Phase::Index, Phase::Map, Phase::Add] {
+            for component in [
+                Component::ImplyStep,
+                Component::Controller,
+                Component::Interconnect,
+            ] {
+                cim_scales.set(component, phase, 1e6, 1e6);
+            }
+        }
+        let traffic = TrafficSpec::sustained(1_000, 9);
+        let mut fe = front_end(2, 2, 1);
+        fe.policy = DispatchPolicy::SplitHybrid {
+            objective: DispatchObjective::Makespan,
+            cim_scales: cim_scales.clone(),
+            host_scales: ScaleTable::identity(),
+        };
+        let skewed = fe.serve(&traffic).expect("serves");
+        let mut honest_fe = front_end(2, 2, 1);
+        honest_fe.policy = DispatchPolicy::split_hybrid(DispatchObjective::Makespan);
+        let honest = honest_fe.serve(&traffic).expect("serves");
+        assert!(
+            skewed.cim_queries < honest.cim_queries,
+            "skew never shifted the shares ({} !< {})",
+            skewed.cim_queries,
+            honest.cim_queries
+        );
+        assert!(skewed.mispredictions > 0, "skew never mispredicted");
+        assert!(skewed.conserves());
+        assert_eq!(skewed.checksum, honest.checksum);
     }
 
     #[test]

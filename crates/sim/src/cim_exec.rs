@@ -3,7 +3,9 @@
 use cim_arch::{CimMachine, RunReport};
 use cim_logic::{BitSliceEngine, Comparator, ImplyAdder, LaneBlock, Lanes4, Lanes8, TcAdderModel};
 use cim_units::{Component, CostLedger, CountLedger, Energy, Phase, Time, UnitCosts};
-use cim_workloads::{AdditionWorkload, DnaSpec, DnaWorkload, ExecutionDigest, Genome, ShortRead};
+use cim_workloads::{
+    AdditionShard, AdditionWorkload, DnaSpec, DnaWorkload, ExecutionDigest, Genome, ShortRead,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::backend::{CostEstimate, ExecutionBackend, RunOutcome, SimError};
@@ -254,6 +256,74 @@ impl CimExecutor {
             |(c1, s1), (c2, s2)| (c1 + c2, s1.wrapping_add(s2)),
         )
     }
+
+    /// Shared additions driver for whole workloads and shards: executes
+    /// `operands` through the selected kernel on a crossbar sized for
+    /// `machine_ops` operations, charging per-op energy and the
+    /// rounds-based makespan for the executed count. A whole-workload
+    /// run is the full-range case (`machine_ops == operands.len()`), so
+    /// whole and full-range-shard outcomes are bit-identical by
+    /// construction — they run this exact code path.
+    fn additions_outcome(
+        &self,
+        bits: u32,
+        machine_ops: u64,
+        operands: &[(u64, u64)],
+    ) -> RunOutcome {
+        let mask = if bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
+        let sum_mask = (mask << 1) | 1;
+        let (count, checksum) = match self.kernel {
+            KernelPolicy::BitSliced => {
+                self.additions_pass_bitsliced::<u64>(bits, sum_mask, operands)
+            }
+            KernelPolicy::BitSliced4 => {
+                self.additions_pass_bitsliced::<Lanes4>(bits, sum_mask, operands)
+            }
+            KernelPolicy::BitSliced8 => {
+                self.additions_pass_bitsliced::<Lanes8>(bits, sum_mask, operands)
+            }
+            KernelPolicy::Scalar => {
+                let adder = TcAdderModel::new(bits);
+                par_fold_slices(
+                    self.batch,
+                    operands,
+                    || (0u64, 0u64),
+                    |acc, chunk| {
+                        chunk.iter().fold(acc, |(count, sum), &(a, b)| {
+                            (count + 1, sum.wrapping_add(adder.add(a, b) & sum_mask))
+                        })
+                    },
+                    |(c1, s1), (c2, s2)| (c1 + c2, s1.wrapping_add(s2)),
+                )
+            }
+        };
+        let machine = CimMachine::math_paper(machine_ops, bits);
+        let mut ledger = par_charge_chunks(self.batch, operands, |sub, _| {
+            machine.charge_op_energy(sub, Phase::Add, 1);
+        });
+        machine.charge_makespan(&mut ledger, Phase::Add, count);
+        let report = RunReport::from_ledger(count, machine.area(), &ledger);
+        RunOutcome {
+            machine: Self::MACHINE,
+            report,
+            ledger,
+            digest: ExecutionDigest {
+                items_total: count,
+                items_verified: count,
+                operations: count,
+                checksum: Some(checksum),
+            },
+            measured_hit_ratio: None,
+            index_hit_ratio: None,
+            notes: vec![format!(
+                "checksum {checksum:#018x} over {count} in-crossbar additions"
+            )],
+        }
+    }
 }
 
 /// Closed-form CIM cost certificate for `n_ops` uniform in-array
@@ -435,60 +505,8 @@ impl ExecutionBackend<AdditionWorkload> for CimExecutor {
     /// equals the wrapping sum masked the same way (for `bits == 64`
     /// the dropped carry slice *is* the wrap).
     fn run(&self, workload: &AdditionWorkload) -> Result<RunOutcome, SimError> {
-        let mask = if workload.bits == 64 {
-            u64::MAX
-        } else {
-            (1u64 << workload.bits) - 1
-        };
-        let sum_mask = (mask << 1) | 1;
         let operands: Vec<(u64, u64)> = workload.operands().collect();
-        let (count, checksum) = match self.kernel {
-            KernelPolicy::BitSliced => {
-                self.additions_pass_bitsliced::<u64>(workload.bits, sum_mask, &operands)
-            }
-            KernelPolicy::BitSliced4 => {
-                self.additions_pass_bitsliced::<Lanes4>(workload.bits, sum_mask, &operands)
-            }
-            KernelPolicy::BitSliced8 => {
-                self.additions_pass_bitsliced::<Lanes8>(workload.bits, sum_mask, &operands)
-            }
-            KernelPolicy::Scalar => {
-                let adder = TcAdderModel::new(workload.bits);
-                par_fold_slices(
-                    self.batch,
-                    &operands,
-                    || (0u64, 0u64),
-                    |acc, chunk| {
-                        chunk.iter().fold(acc, |(count, sum), &(a, b)| {
-                            (count + 1, sum.wrapping_add(adder.add(a, b) & sum_mask))
-                        })
-                    },
-                    |(c1, s1), (c2, s2)| (c1 + c2, s1.wrapping_add(s2)),
-                )
-            }
-        };
-        let machine = CimMachine::math_paper(workload.n_ops, workload.bits);
-        let mut ledger = par_charge_chunks(self.batch, &operands, |sub, _| {
-            machine.charge_op_energy(sub, Phase::Add, 1);
-        });
-        machine.charge_makespan(&mut ledger, Phase::Add, count);
-        let report = RunReport::from_ledger(count, machine.area(), &ledger);
-        Ok(RunOutcome {
-            machine: Self::MACHINE,
-            report,
-            ledger,
-            digest: ExecutionDigest {
-                items_total: count,
-                items_verified: count,
-                operations: count,
-                checksum: Some(checksum),
-            },
-            measured_hit_ratio: None,
-            index_hit_ratio: None,
-            notes: vec![format!(
-                "checksum {checksum:#018x} over {count} in-crossbar additions"
-            )],
-        })
+        Ok(self.additions_outcome(workload.bits, workload.n_ops, &operands))
     }
 
     fn project_attributed(
@@ -505,6 +523,43 @@ impl ExecutionBackend<AdditionWorkload> for CimExecutor {
     fn estimate(&self, workload: &AdditionWorkload) -> CostEstimate {
         let machine = CimMachine::math_paper(workload.n_ops, workload.bits);
         cim_estimate(&machine, Phase::Add, workload.n_ops, machine.parallel_ops())
+    }
+}
+
+impl ExecutionBackend<AdditionShard> for CimExecutor {
+    fn machine(&self) -> &'static str {
+        Self::MACHINE
+    }
+
+    /// Executes the shard's slice of the operand stream through the
+    /// same kernel-and-ledger path as a whole workload, on a crossbar
+    /// sized for the shard's `machine_ops` capacity (not for its
+    /// length) — the split contract's fixed-capacity machine.
+    fn run(&self, shard: &AdditionShard) -> Result<RunOutcome, SimError> {
+        let operands: Vec<(u64, u64)> = shard.operands().collect();
+        Ok(self.additions_outcome(shard.bits, shard.machine_ops, &operands))
+    }
+
+    fn project_attributed(
+        &self,
+        shard: &AdditionShard,
+        _hit_ratio: f64,
+    ) -> (RunReport, CostLedger) {
+        let machine = CimMachine::math_paper(shard.machine_ops, shard.bits);
+        let mut ledger = CostLedger::new();
+        machine.charge_batched(&mut ledger, Phase::Add, shard.len);
+        (
+            RunReport::from_ledger(shard.len, machine.area(), &ledger),
+            ledger,
+        )
+    }
+
+    /// Certifies the shard: exactly `len` adder invocations on the
+    /// `machine_ops`-capacity crossbar — the closed form its
+    /// [`run`](ExecutionBackend::run) charges.
+    fn estimate(&self, shard: &AdditionShard) -> CostEstimate {
+        let machine = CimMachine::math_paper(shard.machine_ops, shard.bits);
+        cim_estimate(&machine, Phase::Add, shard.len, machine.parallel_ops())
     }
 }
 
@@ -630,6 +685,48 @@ mod tests {
         assert_eq!(run.digest.checksum, Some(w.checksum()));
         assert!(w.verify(&run.digest).is_ok());
         assert_eq!(run.report.operations, 20_000);
+    }
+
+    #[test]
+    fn full_range_shard_runs_bit_identical_to_the_whole_workload() {
+        use cim_workloads::Shardable;
+        let w = AdditionWorkload::scaled(10_000, 17);
+        for threads in [1usize, 4] {
+            let exec = CimExecutor::with_batch(BatchPolicy::with_threads(threads));
+            let whole = ExecutionBackend::<AdditionWorkload>::run(&exec, &w).expect("whole");
+            let shard = w.shard(0, w.units(), w.units());
+            let sharded = ExecutionBackend::<AdditionShard>::run(&exec, &shard).expect("shard");
+            assert_eq!(
+                sharded, whole,
+                "full-range shard diverged at {threads} threads"
+            );
+            let whole_est = ExecutionBackend::<AdditionWorkload>::estimate(&exec, &w);
+            let shard_est = ExecutionBackend::<AdditionShard>::estimate(&exec, &shard);
+            assert_eq!(shard_est, whole_est);
+        }
+    }
+
+    #[test]
+    fn shards_run_on_the_fixed_capacity_machine() {
+        use cim_workloads::{Shardable, Workload};
+        let w = AdditionWorkload::scaled(4_096, 23);
+        let exec = CimExecutor::new();
+        // A half shard on the full-capacity machine: half the ops, and
+        // the digest verifies against the shard's own slice.
+        let half = w.shard(0, 2_048, w.units());
+        let run = ExecutionBackend::<AdditionShard>::run(&exec, &half).expect("half shard");
+        assert_eq!(run.digest.operations, 2_048);
+        assert!(half.verify(&run.digest).is_ok());
+        // The two halves' checksums recombine to the whole workload's.
+        let right = w.shard(2_048, 2_048, w.units());
+        let right_run = ExecutionBackend::<AdditionShard>::run(&exec, &right).expect("right shard");
+        assert_eq!(
+            run.digest
+                .checksum
+                .unwrap()
+                .wrapping_add(right_run.digest.checksum.unwrap()),
+            w.checksum()
+        );
     }
 
     #[test]

@@ -3,8 +3,8 @@
 use cim_arch::{ConventionalMachine, RunReport};
 use cim_units::{Component, CostLedger, CountLedger, Energy, Phase, Time, UnitCosts};
 use cim_workloads::{
-    AdditionWorkload, DnaSpec, DnaWorkload, ExecutionDigest, Genome, MemoryTrace, ReadSampler,
-    SortedKmerIndex,
+    AdditionShard, AdditionWorkload, DnaSpec, DnaWorkload, ExecutionDigest, Genome, MemoryTrace,
+    ReadSampler, SortedKmerIndex,
 };
 use serde::{Deserialize, Serialize};
 
@@ -104,6 +104,41 @@ impl ConventionalExecutor {
             RunReport::from_ledger(workload.n_ops, machine.area(), &ledger),
             ledger,
         )
+    }
+
+    /// Shared additions driver for whole workloads and shards: executes
+    /// `operands` on a host sized for `machine_ops` operations. A
+    /// whole-workload run is the full-range case
+    /// (`machine_ops == operands.len()`), so whole and full-range-shard
+    /// outcomes are bit-identical by construction.
+    fn additions_outcome(self, machine_ops: u64, operands: &[(u64, u64)]) -> RunOutcome {
+        let (count, checksum) = par_fold_chunks(
+            self.batch,
+            operands,
+            || (0u64, 0u64),
+            |(count, sum), &(a, b)| (count + 1, sum.wrapping_add(a.wrapping_add(b))),
+            |(c1, s1), (c2, s2)| (c1 + c2, s1.wrapping_add(s2)),
+        );
+        let machine = ConventionalMachine::math_paper(machine_ops);
+        let mut ledger = par_charge_chunks(self.batch, operands, |sub, _| {
+            machine.charge_op_energy(sub, Phase::Add, 1);
+        });
+        machine.charge_makespan(&mut ledger, Phase::Add, count);
+        let report = RunReport::from_ledger(count, machine.area(), &ledger);
+        RunOutcome {
+            machine: Self::MACHINE,
+            report,
+            ledger,
+            digest: ExecutionDigest {
+                items_total: count,
+                items_verified: count,
+                operations: count,
+                checksum: Some(checksum),
+            },
+            measured_hit_ratio: None,
+            index_hit_ratio: None,
+            notes: vec![format!("checksum {checksum:#018x} over {count} additions")],
+        }
     }
 }
 
@@ -409,33 +444,7 @@ impl ExecutionBackend<AdditionWorkload> for ConventionalExecutor {
     /// once at the end.
     fn run(&self, workload: &AdditionWorkload) -> Result<RunOutcome, SimError> {
         let operands: Vec<(u64, u64)> = workload.operands().collect();
-        let (count, checksum) = par_fold_chunks(
-            self.batch,
-            &operands,
-            || (0u64, 0u64),
-            |(count, sum), &(a, b)| (count + 1, sum.wrapping_add(a.wrapping_add(b))),
-            |(c1, s1), (c2, s2)| (c1 + c2, s1.wrapping_add(s2)),
-        );
-        let machine = ConventionalMachine::math_paper(workload.n_ops);
-        let mut ledger = par_charge_chunks(self.batch, &operands, |sub, _| {
-            machine.charge_op_energy(sub, Phase::Add, 1);
-        });
-        machine.charge_makespan(&mut ledger, Phase::Add, count);
-        let report = RunReport::from_ledger(count, machine.area(), &ledger);
-        Ok(RunOutcome {
-            machine: Self::MACHINE,
-            report,
-            ledger,
-            digest: ExecutionDigest {
-                items_total: count,
-                items_verified: count,
-                operations: count,
-                checksum: Some(checksum),
-            },
-            measured_hit_ratio: None,
-            index_hit_ratio: None,
-            notes: vec![format!("checksum {checksum:#018x} over {count} additions")],
-        })
+        Ok(self.additions_outcome(workload.n_ops, &operands))
     }
 
     fn project_attributed(
@@ -455,6 +464,50 @@ impl ExecutionBackend<AdditionWorkload> for ConventionalExecutor {
             &machine,
             Phase::Add,
             workload.n_ops,
+            machine.parallel_units(),
+            1.0,
+            true,
+        )
+    }
+}
+
+impl ExecutionBackend<AdditionShard> for ConventionalExecutor {
+    fn machine(&self) -> &'static str {
+        Self::MACHINE
+    }
+
+    /// Executes the shard's slice of the operand stream through the
+    /// same fold-and-ledger path as a whole workload, on a host sized
+    /// for the shard's `machine_ops` capacity (not for its length) —
+    /// the split contract's fixed-capacity machine.
+    fn run(&self, shard: &AdditionShard) -> Result<RunOutcome, SimError> {
+        let operands: Vec<(u64, u64)> = shard.operands().collect();
+        Ok(self.additions_outcome(shard.machine_ops, &operands))
+    }
+
+    fn project_attributed(
+        &self,
+        shard: &AdditionShard,
+        _hit_ratio: f64,
+    ) -> (RunReport, CostLedger) {
+        let machine = ConventionalMachine::math_paper(shard.machine_ops);
+        let mut ledger = CostLedger::new();
+        machine.charge_batched(&mut ledger, Phase::Add, shard.len);
+        (
+            RunReport::from_ledger(shard.len, machine.area(), &ledger),
+            ledger,
+        )
+    }
+
+    /// Certifies the shard: exactly `len` adder invocations on the
+    /// `machine_ops`-capacity host — the closed form its
+    /// [`run`](ExecutionBackend::run) charges.
+    fn estimate(&self, shard: &AdditionShard) -> CostEstimate {
+        let machine = ConventionalMachine::math_paper(shard.machine_ops);
+        host_estimate(
+            &machine,
+            Phase::Add,
+            shard.len,
             machine.parallel_units(),
             1.0,
             true,
@@ -565,6 +618,45 @@ mod tests {
         // 10 000 ops on ≥313 clusters × 32 units → single round.
         assert!((run.report.total_time.as_nano_seconds() - 5.28).abs() < 0.01);
         assert!(run.notes[0].contains("checksum"));
+    }
+
+    #[test]
+    fn full_range_shard_runs_bit_identical_to_the_whole_workload() {
+        use cim_workloads::Shardable;
+        let w = AdditionWorkload::scaled(10_000, 17);
+        for threads in [1usize, 4] {
+            let exec = ConventionalExecutor::with_batch(BatchPolicy::with_threads(threads));
+            let whole = ExecutionBackend::<AdditionWorkload>::run(&exec, &w).expect("whole");
+            let shard = w.shard(0, w.units(), w.units());
+            let sharded = ExecutionBackend::<AdditionShard>::run(&exec, &shard).expect("shard");
+            assert_eq!(
+                sharded, whole,
+                "full-range shard diverged at {threads} threads"
+            );
+            let whole_est = ExecutionBackend::<AdditionWorkload>::estimate(&exec, &w);
+            let shard_est = ExecutionBackend::<AdditionShard>::estimate(&exec, &shard);
+            assert_eq!(shard_est, whole_est);
+        }
+    }
+
+    #[test]
+    fn shard_partition_checksums_recombine() {
+        use cim_workloads::{Shardable, Workload};
+        let w = AdditionWorkload::scaled(5_000, 29);
+        let exec = ConventionalExecutor::new();
+        let left = w.shard(0, 1_500, w.units());
+        let right = w.shard(1_500, 3_500, w.units());
+        let l = ExecutionBackend::<AdditionShard>::run(&exec, &left).expect("left");
+        let r = ExecutionBackend::<AdditionShard>::run(&exec, &right).expect("right");
+        assert!(left.verify(&l.digest).is_ok());
+        assert!(right.verify(&r.digest).is_ok());
+        assert_eq!(
+            l.digest
+                .checksum
+                .unwrap()
+                .wrapping_add(r.digest.checksum.unwrap()),
+            w.checksum()
+        );
     }
 
     #[test]

@@ -27,6 +27,7 @@ mod display;
 mod ledger;
 mod objective;
 mod quantity;
+mod split;
 
 pub use counts::{dyadic, CountLedger, ScaleTable, UnitCosts, DYADIC_BITS, MAX_EXACT_COUNT};
 pub use display::EngNotation;
@@ -36,6 +37,7 @@ pub use quantity::{
     Area, Charge, Conductance, Current, Energy, EnergyDelay, Frequency, Power, Resistance, Time,
     Voltage,
 };
+pub use split::{SplitPlan, UnitScore};
 
 /// Ratio of two like quantities, used for reporting speedups and savings.
 ///

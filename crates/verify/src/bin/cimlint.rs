@@ -3,7 +3,7 @@
 //! ```text
 //! cimlint                  lint every shipped program and graph
 //! cimlint --deny-warnings  CI mode: warnings fail too
-//! cimlint --fixtures       run the seven seeded-defect fixtures and
+//! cimlint --fixtures       run the eight seeded-defect fixtures and
 //!                          require each to be rejected
 //! cimlint --list           list the registry and exit
 //! ```
@@ -16,8 +16,9 @@ use std::process::ExitCode;
 use cim_arch::{Placement, TileGrid};
 use cim_device::DeviceParams;
 use cim_verify::{
-    certify_plan, check_graph_mapping, check_placement, check_program_mapping, removable_steps,
-    seeded_defects, shipped_graphs, shipped_programs, verify_program, CostCertificate, FabricSpec,
+    certify_plan, certify_split, check_graph_mapping, check_placement, check_program_mapping,
+    removable_steps, seeded_defects, shipped_graphs, shipped_programs, shipped_splits,
+    verify_program, CostCertificate, FabricSpec,
 };
 
 fn lint_shipped(deny_warnings: bool) -> bool {
@@ -49,6 +50,16 @@ fn lint_shipped(deny_warnings: bool) -> bool {
             report.merge(certify_plan(entry.name, &plan));
         }
         println!("{report}");
+        ok &= report.passes(deny_warnings);
+    }
+    // The split-dispatch path: every shipped split plan's unit
+    // partition and shard ledgers must re-derive cell-bitwise.
+    for entry in shipped_splits() {
+        let report = certify_split(entry.name, &entry.claim);
+        println!(
+            "{report}  [{} units: {} cim / {} host]",
+            entry.claim.units, entry.claim.cim_units, entry.claim.host_units
+        );
         ok &= report.passes(deny_warnings);
     }
     // The fabric path: the DNA serving placement every tile executes.
@@ -98,6 +109,12 @@ fn list_registry() {
             "graph    {:<22} {:>4} nodes",
             entry.name,
             entry.graph.nodes().len()
+        );
+    }
+    for entry in shipped_splits() {
+        println!(
+            "split    {:<22} {:>9} units ({} cim / {} host)",
+            entry.name, entry.claim.units, entry.claim.cim_units, entry.claim.host_units
         );
     }
 }

@@ -342,6 +342,110 @@ pub fn certify_dispatch(name: &str, claim: &DispatchClaim) -> Report {
     report
 }
 
+/// What one *split* dispatch decision claims: the unit partition between
+/// the machines, one [`DispatchClaim`] per shard, and the combined
+/// ledger the split run reports (the CIM-first merge of the two sides,
+/// if honest).
+///
+/// Like [`DispatchClaim`] this is expressed entirely in `cim-units`
+/// currency: every field is re-derivable bit for bit without running
+/// either machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SplitClaim {
+    /// Total workload units the plan partitioned.
+    pub units: u64,
+    /// Units assigned to the CIM shard.
+    pub cim_units: u64,
+    /// Units assigned to the host shard.
+    pub host_units: u64,
+    /// The CIM shard's dispatch claim.
+    pub cim: DispatchClaim,
+    /// The host shard's dispatch claim.
+    pub host: DispatchClaim,
+    /// The combined ledger the split run reports (CIM merged first).
+    pub combined: CostLedger,
+}
+
+/// Certifies a split-dispatch claim cell-bitwise:
+///
+/// 1. the unit partition conserves — `cim_units + host_units == units`
+///    (`split-unit-conservation`);
+/// 2. each side's ledger re-derives from its own counts × rescaled
+///    prices, every disagreeing cell anchored (`split-claim-mismatch`);
+/// 3. the combined ledger equals the CIM-first merge of the two side
+///    ledgers, cell by cell (`split-ledger-conservation`).
+///
+/// All equalities are exact: the dyadic price tables and count-space
+/// evaluation make bit-for-bit reproduction the contract, so a claim
+/// off by one ULP was not produced by the certified split pipeline.
+pub fn certify_split(name: &str, claim: &SplitClaim) -> Report {
+    let mut report = Report::new(name);
+    if claim
+        .cim_units
+        .checked_add(claim.host_units)
+        .is_none_or(|sum| sum != claim.units)
+    {
+        report.push(Diagnostic::error(
+            "split-unit-conservation",
+            format!(
+                "the plan claims {} units but the shards hold {} (cim) + {} (host)",
+                claim.units, claim.cim_units, claim.host_units
+            ),
+        ));
+    }
+    for (side, side_claim) in [("cim shard", &claim.cim), ("host shard", &claim.host)] {
+        let derived = side_claim
+            .scales
+            .rescale(&side_claim.base_prices)
+            .evaluate(&side_claim.counts);
+        for component in Component::ALL {
+            for phase in Phase::ALL {
+                let expected = derived.entry(component, phase);
+                let claimed = side_claim.ledger.entry(component, phase);
+                if expected != claimed {
+                    report.push(
+                        Diagnostic::error(
+                            "split-claim-mismatch",
+                            format!(
+                                "the {side} ({}) claims {} / {} in this cell but its own \
+                                 counts and calibrated prices derive {} / {}",
+                                side_claim.machine,
+                                claimed.energy,
+                                claimed.time,
+                                expected.energy,
+                                expected.time
+                            ),
+                        )
+                        .at_cell(component.label(), phase.label()),
+                    );
+                }
+            }
+        }
+    }
+    let mut merged = claim.cim.ledger.clone();
+    merged.merge(&claim.host.ledger);
+    for component in Component::ALL {
+        for phase in Phase::ALL {
+            let expected = merged.entry(component, phase);
+            let claimed = claim.combined.entry(component, phase);
+            if expected != claimed {
+                report.push(
+                    Diagnostic::error(
+                        "split-ledger-conservation",
+                        format!(
+                            "the combined ledger claims {} / {} in this cell but the \
+                             shard ledgers merge to {} / {}",
+                            claimed.energy, claimed.time, expected.energy, expected.time
+                        ),
+                    )
+                    .at_cell(component.label(), phase.label()),
+                );
+            }
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -517,6 +621,105 @@ mod tests {
         assert_eq!(d.phase, Some("map"));
         // The controller cell was not rescaled, so it still agrees.
         assert_eq!(report.errors(), 1);
+    }
+
+    fn split_claim_fixture() -> SplitClaim {
+        let mut cim_counts = CountLedger::new();
+        cim_counts.charge(Component::CrossbarWrite, Phase::Add, 1_024);
+        cim_counts.charge(Component::Controller, Phase::Add, 1_024);
+        let mut cim_prices = UnitCosts::new();
+        cim_prices.set(
+            Component::CrossbarWrite,
+            Phase::Add,
+            Energy::new(93.5e-15),
+            Time::from_pico_seconds(9.3),
+        );
+        cim_prices.set(
+            Component::Controller,
+            Phase::Add,
+            Energy::new(4.9e-15),
+            Time::ZERO,
+        );
+        let mut host_counts = CountLedger::new();
+        host_counts.charge(Component::GateDynamic, Phase::Add, 3_072);
+        let mut host_prices = UnitCosts::new();
+        host_prices.set(
+            Component::GateDynamic,
+            Phase::Add,
+            Energy::new(0.33e-12),
+            Time::from_pico_seconds(5.28),
+        );
+        let mut scales = ScaleTable::identity();
+        scales.set(Component::CrossbarWrite, Phase::Add, 1.19, 0.93);
+        let cim = DispatchClaim {
+            machine: "cim".into(),
+            ledger: scales.rescale(&cim_prices).evaluate(&cim_counts),
+            counts: cim_counts,
+            base_prices: cim_prices,
+            scales,
+        };
+        let host_scales = ScaleTable::identity();
+        let host = DispatchClaim {
+            machine: "conventional".into(),
+            ledger: host_scales.rescale(&host_prices).evaluate(&host_counts),
+            counts: host_counts,
+            base_prices: host_prices,
+            scales: host_scales,
+        };
+        let mut combined = cim.ledger.clone();
+        combined.merge(&host.ledger);
+        SplitClaim {
+            units: 4_096,
+            cim_units: 1_024,
+            host_units: 3_072,
+            cim,
+            host,
+            combined,
+        }
+    }
+
+    #[test]
+    fn split_claims_certify_bitwise_and_catch_each_tampering_axis() {
+        let honest = split_claim_fixture();
+        assert!(certify_split("split", &honest).is_clean());
+
+        // Units that do not partition are caught.
+        let mut lossy = honest.clone();
+        lossy.host_units -= 1;
+        let report = certify_split("split", &lossy);
+        assert!(report.has_code("split-unit-conservation"), "{report}");
+
+        // A side ledger its own counts do not reproduce is caught and
+        // anchored to the exact cell.
+        let mut forged = honest.clone();
+        forged.cim.ledger = forged.cim.base_prices.evaluate(&forged.cim.counts);
+        let report = certify_split("split", &forged);
+        assert!(report.has_code("split-claim-mismatch"), "{report}");
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "split-claim-mismatch")
+            .expect("present");
+        assert_eq!(
+            (d.component, d.phase),
+            (Some("crossbar_write"), Some("add"))
+        );
+        // Forging one side also breaks the combined merge.
+        assert!(report.has_code("split-ledger-conservation"), "{report}");
+
+        // A combined ledger that is not the merge of its shards is
+        // caught even when both sides are internally honest.
+        let mut skimmed = honest;
+        skimmed.combined = skimmed.cim.ledger.clone();
+        let report = certify_split("split", &skimmed);
+        assert!(report.has_code("split-ledger-conservation"), "{report}");
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "split-ledger-conservation")
+            .expect("present");
+        assert_eq!((d.component, d.phase), (Some("gate_dynamic"), Some("add")));
+        assert!(!report.has_code("split-claim-mismatch"), "{report}");
     }
 
     #[test]

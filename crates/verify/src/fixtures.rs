@@ -1,4 +1,4 @@
-//! The seven seeded-defect fixtures the acceptance criteria require
+//! The eight seeded-defect fixtures the acceptance criteria require
 //! `cimlint` to reject, each with the diagnostic code it must raise.
 //!
 //! They are deliberately minimal: one defect per fixture, anchored to a
@@ -10,7 +10,7 @@ use cim_compiler::{queries, Graph, Mapper};
 use cim_logic::{Comparator, LogicCost, Program, Step};
 use cim_units::{Component, CountLedger, Energy, Phase, ScaleTable, Time, UnitCosts};
 
-use crate::cost_cert::DispatchClaim;
+use crate::cost_cert::{DispatchClaim, SplitClaim};
 use crate::diagnostics::Report;
 
 /// One artifact carrying a seeded defect.
@@ -68,6 +68,16 @@ pub enum Fixture {
         /// Diagnostic code the verifier must raise.
         expect: &'static str,
     },
+    /// A split-dispatch decision one of whose shard ledgers does not
+    /// re-derive from that shard's own counts and prices.
+    Split {
+        /// Fixture name.
+        name: &'static str,
+        /// The claim (boxed: it carries two full shard claims).
+        claim: Box<SplitClaim>,
+        /// Diagnostic code the verifier must raise.
+        expect: &'static str,
+    },
 }
 
 impl Fixture {
@@ -78,7 +88,8 @@ impl Fixture {
             | Fixture::Graph { name, .. }
             | Fixture::Claim { name, .. }
             | Fixture::Placement { name, .. }
-            | Fixture::Dispatch { name, .. } => name,
+            | Fixture::Dispatch { name, .. }
+            | Fixture::Split { name, .. } => name,
         }
     }
 
@@ -89,7 +100,8 @@ impl Fixture {
             | Fixture::Graph { expect, .. }
             | Fixture::Claim { expect, .. }
             | Fixture::Placement { expect, .. }
-            | Fixture::Dispatch { expect, .. } => expect,
+            | Fixture::Dispatch { expect, .. }
+            | Fixture::Split { expect, .. } => expect,
         }
     }
 
@@ -130,6 +142,7 @@ impl Fixture {
             Fixture::Dispatch { name, claim, .. } => {
                 crate::cost_cert::certify_dispatch(name, claim)
             }
+            Fixture::Split { name, claim, .. } => crate::cost_cert::certify_split(name, claim),
         }
     }
 
@@ -140,7 +153,7 @@ impl Fixture {
     }
 }
 
-/// The seven seeded defects of the acceptance criteria.
+/// The eight seeded defects of the acceptance criteria.
 pub fn seeded_defects() -> Vec<Fixture> {
     let cmp = Comparator::new();
     let comparator = cmp.eq_program().clone();
@@ -233,6 +246,63 @@ pub fn seeded_defects() -> Vec<Fixture> {
             },
             expect: "dispatch-claim-mismatch",
         },
+        // 8. Tampered split claim: the CIM shard of a split-dispatch
+        // decision reports a ledger priced with *identity* scales while
+        // claiming a 1.19x energy recalibration of the crossbar-write
+        // cell was in force. The host shard and the unit partition are
+        // honest; only the CIM side's cell-bitwise re-derivation fails.
+        Fixture::Split {
+            name: "defect-split-claim",
+            claim: {
+                let mut cim_counts = CountLedger::new();
+                cim_counts.charge(Component::CrossbarWrite, Phase::Add, 1_024);
+                let mut cim_prices = UnitCosts::new();
+                cim_prices.set(
+                    Component::CrossbarWrite,
+                    Phase::Add,
+                    Energy::new(93.5e-15),
+                    Time::from_pico_seconds(9.3),
+                );
+                let mut cim_scales = ScaleTable::identity();
+                cim_scales.set(Component::CrossbarWrite, Phase::Add, 1.19, 1.0);
+                let cim = DispatchClaim {
+                    machine: "cim".into(),
+                    // Priced with identity scales: does not re-derive.
+                    ledger: cim_prices.evaluate(&cim_counts),
+                    counts: cim_counts,
+                    base_prices: cim_prices,
+                    scales: cim_scales,
+                };
+                let mut host_counts = CountLedger::new();
+                host_counts.charge(Component::GateDynamic, Phase::Add, 3_072);
+                let mut host_prices = UnitCosts::new();
+                host_prices.set(
+                    Component::GateDynamic,
+                    Phase::Add,
+                    Energy::new(0.33e-12),
+                    Time::from_pico_seconds(5.28),
+                );
+                let host_scales = ScaleTable::identity();
+                let host = DispatchClaim {
+                    machine: "conventional".into(),
+                    ledger: host_scales.rescale(&host_prices).evaluate(&host_counts),
+                    counts: host_counts,
+                    base_prices: host_prices,
+                    scales: host_scales,
+                };
+                let mut combined = cim.ledger.clone();
+                combined.merge(&host.ledger);
+                Box::new(SplitClaim {
+                    units: 4_096,
+                    cim_units: 1_024,
+                    host_units: 3_072,
+                    cim,
+                    host,
+                    combined,
+                })
+            },
+            expect: "split-claim-mismatch",
+        },
     ]
 }
 
@@ -241,9 +311,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn all_seven_defects_are_rejected_with_their_codes() {
+    fn all_eight_defects_are_rejected_with_their_codes() {
         let fixtures = seeded_defects();
-        assert_eq!(fixtures.len(), 7);
+        assert_eq!(fixtures.len(), 8);
         for fixture in &fixtures {
             let report = fixture.verify();
             assert!(
@@ -283,6 +353,12 @@ mod tests {
                 }
                 "defect-dispatch-claim" => {
                     assert_eq!((d.component, d.phase), (Some("imply_step"), Some("map")));
+                }
+                "defect-split-claim" => {
+                    assert_eq!(
+                        (d.component, d.phase),
+                        (Some("crossbar_write"), Some("add"))
+                    );
                 }
                 other => panic!("unknown fixture {other}"),
             }

@@ -24,9 +24,12 @@
 //!   count/ledger conservation ([`certify_tiles`]), and dispatch-claim
 //!   certification ([`certify_dispatch`]: a routing decision's
 //!   predicted ledger must re-derive from its own counts, base prices,
-//!   and calibration scales);
+//!   and calibration scales; [`certify_split`]: a split-dispatch
+//!   decision's unit partition must conserve, each shard's ledger must
+//!   re-derive from its own counts and prices, and the combined ledger
+//!   must equal the shard merge — all cell-bitwise);
 //! * [`shipped`] / [`fixtures`] — the registry CI lints clean and the
-//!   seven seeded defects it must reject.
+//!   eight seeded defects it must reject.
 //!
 //! The error-severity subset (uninitialized reads, input clobbers) is
 //! wired directly into [`cim_logic::Program::validate`], so it already
@@ -58,7 +61,8 @@ pub mod optimize;
 pub mod shipped;
 
 pub use cost_cert::{
-    certify_dispatch, certify_plan, certify_tiles, CostCertificate, DispatchClaim, TileClaim,
+    certify_dispatch, certify_plan, certify_split, certify_tiles, CostCertificate, DispatchClaim,
+    SplitClaim, TileClaim,
 };
 pub use dataflow::{abstract_states, analyze_program, live_steps, AbstractBit, DefUse};
 pub use diagnostics::{Diagnostic, Report, Severity};
@@ -67,7 +71,9 @@ pub use mapping::{
     check_fabric, check_graph_mapping, check_placement, check_program_mapping, FabricSpec,
 };
 pub use optimize::{eliminate_dead_steps, removable_steps};
-pub use shipped::{shipped_graphs, shipped_programs, ShippedGraph, ShippedProgram};
+pub use shipped::{
+    shipped_graphs, shipped_programs, shipped_splits, ShippedGraph, ShippedProgram, ShippedSplit,
+};
 
 /// Full static analysis of one microprogram (alias of
 /// [`dataflow::analyze_program`], the crate's front door).

@@ -3,12 +3,16 @@
 //! Everything the repository actually executes is enumerated here: the
 //! DNA comparator kernels, the IMPLY ripple adders, the Hamming parity
 //! generator, and the synthesized-LUT expressions, plus the query graphs
-//! of the database workload. `cimlint --deny-warnings` requires every
-//! entry to lint clean, and the test suite requires every entry's cost
-//! certificate to match the dynamic ledger bit for bit.
+//! of the database workload and the split-dispatch plans of the bench.
+//! `cimlint --deny-warnings` requires every entry to lint clean, and the
+//! test suite requires every entry's cost certificate to match the
+//! dynamic ledger bit for bit.
 
 use cim_compiler::{queries, Graph};
 use cim_logic::{synthesize, Comparator, Expr, Hamming, ImplyAdder, Program};
+use cim_units::{Component, CountLedger, Energy, Phase, ScaleTable, Time, UnitCosts};
+
+use crate::cost_cert::{DispatchClaim, SplitClaim};
 
 /// One microprogram under CI's lint gate.
 #[derive(Debug, Clone)]
@@ -89,6 +93,97 @@ pub fn shipped_programs() -> Vec<ShippedProgram> {
     programs
 }
 
+/// One split-dispatch plan under CI's lint gate: the unit partition and
+/// per-shard claims of a split the benches actually ship, expressed in
+/// `cim-units` currency so `certify_split` can re-derive every cell
+/// without running either machine.
+#[derive(Debug, Clone)]
+pub struct ShippedSplit {
+    /// Registry name.
+    pub name: &'static str,
+    /// The split claim.
+    pub claim: SplitClaim,
+}
+
+/// Builds an honest split claim for an addition workload of `units`
+/// ops with `cim_units` routed to the crossbar: one crossbar-write op
+/// per CIM unit (plus a controller count), one dynamic gate op per host
+/// unit, both sides priced by their Table-1 cells and the combined
+/// ledger merged CIM-first. Honest *by construction* — the registry's
+/// job is to prove the shipped plans certify clean, while the seeded
+/// `defect-split-claim` fixture proves tampering is caught.
+fn additions_split(units: u64, cim_units: u64) -> SplitClaim {
+    let host_units = units - cim_units;
+    let mut cim_counts = CountLedger::new();
+    cim_counts.charge(Component::CrossbarWrite, Phase::Add, cim_units);
+    cim_counts.charge(Component::Controller, Phase::Add, cim_units);
+    let mut cim_prices = UnitCosts::new();
+    cim_prices.set(
+        Component::CrossbarWrite,
+        Phase::Add,
+        Energy::new(93.5e-15),
+        Time::from_pico_seconds(9.3),
+    );
+    cim_prices.set(
+        Component::Controller,
+        Phase::Add,
+        Energy::new(4.9e-15),
+        Time::ZERO,
+    );
+    let cim_scales = ScaleTable::identity();
+    let cim = DispatchClaim {
+        machine: "cim".into(),
+        ledger: cim_scales.rescale(&cim_prices).evaluate(&cim_counts),
+        counts: cim_counts,
+        base_prices: cim_prices,
+        scales: cim_scales,
+    };
+    let mut host_counts = CountLedger::new();
+    host_counts.charge(Component::GateDynamic, Phase::Add, host_units);
+    let mut host_prices = UnitCosts::new();
+    host_prices.set(
+        Component::GateDynamic,
+        Phase::Add,
+        Energy::new(0.33e-12),
+        Time::from_pico_seconds(5.28),
+    );
+    let host_scales = ScaleTable::identity();
+    let host = DispatchClaim {
+        machine: "conventional".into(),
+        ledger: host_scales.rescale(&host_prices).evaluate(&host_counts),
+        counts: host_counts,
+        base_prices: host_prices,
+        scales: host_scales,
+    };
+    let mut combined = cim.ledger.clone();
+    combined.merge(&host.ledger);
+    SplitClaim {
+        units,
+        cim_units,
+        host_units,
+        cim,
+        host,
+        combined,
+    }
+}
+
+/// Every shipped split plan: the bench's quick-scale and paper-scale
+/// addition splits, with the unit partitions `bench_dispatch`'s
+/// makespan-balanced plans actually produce (roughly one unit in seven
+/// to the slower, cheaper crossbar).
+pub fn shipped_splits() -> Vec<ShippedSplit> {
+    vec![
+        ShippedSplit {
+            name: "additions-split-quick",
+            claim: additions_split(1 << 14, 2_459),
+        },
+        ShippedSplit {
+            name: "additions-split-paper",
+            claim: additions_split(1 << 21, 314_751),
+        },
+    ]
+}
+
 /// Every shipped query graph (the in-memory-database workload).
 pub fn shipped_graphs() -> Vec<ShippedGraph> {
     vec![
@@ -117,6 +212,7 @@ mod tests {
         assert!(programs.len() >= 9);
         let mut names: Vec<_> = programs.iter().map(|p| p.name).collect();
         names.extend(shipped_graphs().iter().map(|g| g.name));
+        names.extend(shipped_splits().iter().map(|s| s.name));
         let total = names.len();
         names.sort_unstable();
         names.dedup();
@@ -127,6 +223,20 @@ mod tests {
     fn shipped_programs_validate() {
         for entry in shipped_programs() {
             assert_eq!(entry.program.validate(), Ok(()), "{}", entry.name);
+        }
+    }
+
+    #[test]
+    fn shipped_splits_certify_clean_and_conserve_units() {
+        for entry in shipped_splits() {
+            let report = crate::cost_cert::certify_split(entry.name, &entry.claim);
+            assert!(report.is_clean(), "{}:\n{report}", entry.name);
+            assert_eq!(
+                entry.claim.cim_units + entry.claim.host_units,
+                entry.claim.units,
+                "{}",
+                entry.name
+            );
         }
     }
 }

@@ -116,7 +116,7 @@ fn every_shipped_graph_maps_and_conserves_cost() {
 #[test]
 fn all_seeded_defect_fixtures_are_rejected() {
     let fixtures = seeded_defects();
-    assert_eq!(fixtures.len(), 7);
+    assert_eq!(fixtures.len(), 8);
     for fixture in &fixtures {
         assert!(
             fixture.rejected_as_expected(),

@@ -54,6 +54,149 @@ impl AdditionWorkload {
     }
 }
 
+/// A workload whose unit stream can be divided into contiguous shards,
+/// each a [`Workload`] in its own right — the seam work-partitioned
+/// dispatch executes through.
+///
+/// The contract: the shards of any partition of `0..units()` generate
+/// exactly the workload's units (so shard checksums wrapping-sum to the
+/// whole checksum), and the full-range shard `shard(0, units(), c)`
+/// executes the structurally identical code path as the whole workload,
+/// so its `RunOutcome` is bit-identical when `c` equals the whole run's
+/// machine size.
+pub trait Shardable: Workload {
+    /// The shard type; executes like any other workload.
+    type Shard: Workload;
+
+    /// Number of divisible work units (for additions: the op count).
+    fn units(&self) -> u64;
+
+    /// The contiguous shard covering units `offset..offset + len`,
+    /// executed on a machine sized for `machine_ops` units. Holding
+    /// `machine_ops` fixed across shards models partitioning one
+    /// workload across two fixed-capacity machines (rather than
+    /// shrinking each machine to its shard).
+    fn shard(&self, offset: u64, len: u64, machine_ops: u64) -> Self::Shard;
+}
+
+/// A contiguous slice of an [`AdditionWorkload`]'s operand stream.
+///
+/// Generates exactly the parent workload's operands `offset..offset+len`
+/// (the operand RNG draws two words per op, so the shard skips
+/// `2 × offset` draws and then streams `len` pairs), and carries the
+/// `machine_ops` capacity its executing machine should be sized for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdditionShard {
+    /// Total ops of the parent workload (for bounds and naming).
+    pub total_ops: u64,
+    /// Operand width in bits, inherited from the parent.
+    pub bits: u32,
+    /// The parent workload's RNG seed.
+    pub seed: u64,
+    /// First unit index this shard covers.
+    pub offset: u64,
+    /// Number of units this shard covers.
+    pub len: u64,
+    /// Machine sizing capacity: executors build their machine for this
+    /// many ops, not for `len`, so every shard of a split runs on the
+    /// same fixed-capacity machine.
+    pub machine_ops: u64,
+}
+
+impl AdditionShard {
+    /// Iterates this shard's operand pairs — exactly the parent
+    /// stream's pairs `offset..offset + len`.
+    pub fn operands(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // Each op consumes exactly two draws regardless of the mask.
+        for _ in 0..2 * self.offset {
+            let _ = rng.gen::<u64>();
+        }
+        let mask = if self.bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.bits) - 1
+        };
+        (0..self.len).map(move |_| (rng.gen::<u64>() & mask, rng.gen::<u64>() & mask))
+    }
+
+    /// The wrapping-sum checksum over this shard's results. Shard
+    /// checksums of a partition wrapping-sum to the whole workload's
+    /// checksum (wrapping addition is associative and commutative).
+    pub fn checksum(&self) -> u64 {
+        self.operands()
+            .fold(0u64, |acc, (a, b)| acc.wrapping_add(a.wrapping_add(b)))
+    }
+}
+
+impl Workload for AdditionShard {
+    fn name(&self) -> String {
+        format!(
+            "additions[{}..{}) of {}",
+            self.offset,
+            self.offset + self.len,
+            self.total_ops
+        )
+    }
+
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn paper_ops(&self) -> u64 {
+        self.len
+    }
+
+    fn scale_vs_paper(&self) -> f64 {
+        self.len as f64 / AdditionWorkload::paper(self.seed).n_ops as f64
+    }
+
+    fn projection(&self) -> ProjectionKind {
+        ProjectionKind::ExecutedScale
+    }
+
+    fn verify(&self, digest: &ExecutionDigest) -> Result<(), WorkloadError> {
+        if digest.items_total != self.len {
+            return Err(WorkloadError::ItemCountMismatch {
+                expected: self.len,
+                got: digest.items_total,
+            });
+        }
+        let expected = self.checksum();
+        if digest.checksum != Some(expected) {
+            return Err(WorkloadError::ChecksumMismatch {
+                expected,
+                got: digest.checksum,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Shardable for AdditionWorkload {
+    type Shard = AdditionShard;
+
+    fn units(&self) -> u64 {
+        self.n_ops
+    }
+
+    fn shard(&self, offset: u64, len: u64, machine_ops: u64) -> AdditionShard {
+        assert!(
+            offset.checked_add(len).is_some_and(|end| end <= self.n_ops),
+            "shard [{offset}, {offset}+{len}) exceeds {} ops",
+            self.n_ops
+        );
+        AdditionShard {
+            total_ops: self.n_ops,
+            bits: self.bits,
+            seed: self.seed,
+            offset,
+            len,
+            machine_ops,
+        }
+    }
+}
+
 impl Workload for AdditionWorkload {
     fn name(&self) -> String {
         format!("{} additions", self.n_ops)
@@ -134,6 +277,79 @@ mod tests {
             seed: 2,
         };
         assert_eq!(w.operands().count(), 10);
+    }
+
+    #[test]
+    fn shards_partition_operands_and_checksum() {
+        let w = AdditionWorkload::scaled(1_000, 11);
+        let splits = [(0u64, 0u64), (0, 1), (0, 400), (400, 600), (999, 1)];
+        for (offset, len) in splits {
+            let shard = w.shard(offset, len, w.n_ops);
+            let expected: Vec<_> = w
+                .operands()
+                .skip(offset as usize)
+                .take(len as usize)
+                .collect();
+            assert_eq!(shard.operands().collect::<Vec<_>>(), expected);
+        }
+        // A two-way partition's checksums wrapping-sum to the whole.
+        let left = w.shard(0, 400, w.n_ops);
+        let right = w.shard(400, 600, w.n_ops);
+        assert_eq!(left.checksum().wrapping_add(right.checksum()), w.checksum());
+    }
+
+    #[test]
+    fn full_range_shard_matches_the_whole_workload() {
+        let w = AdditionWorkload::scaled(512, 9);
+        let shard = w.shard(0, w.units(), w.units());
+        assert_eq!(
+            shard.operands().collect::<Vec<_>>(),
+            w.operands().collect::<Vec<_>>()
+        );
+        assert_eq!(shard.checksum(), w.checksum());
+        let digest = ExecutionDigest {
+            items_total: 512,
+            items_verified: 512,
+            operations: 512,
+            checksum: Some(w.checksum()),
+        };
+        assert!(shard.verify(&digest).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn out_of_range_shards_are_rejected() {
+        let w = AdditionWorkload::scaled(100, 1);
+        let _ = w.shard(64, 64, 100);
+    }
+
+    #[test]
+    fn shard_verify_rejects_wrong_counts_and_sums() {
+        let w = AdditionWorkload::scaled(300, 4);
+        let shard = w.shard(100, 50, 300);
+        let good = ExecutionDigest {
+            items_total: 50,
+            items_verified: 50,
+            operations: 50,
+            checksum: Some(shard.checksum()),
+        };
+        assert!(shard.verify(&good).is_ok());
+        let bad_count = ExecutionDigest {
+            items_total: 49,
+            ..good
+        };
+        assert!(matches!(
+            shard.verify(&bad_count),
+            Err(WorkloadError::ItemCountMismatch { .. })
+        ));
+        let bad_sum = ExecutionDigest {
+            checksum: Some(shard.checksum() ^ 1),
+            ..good
+        };
+        assert!(matches!(
+            shard.verify(&bad_sum),
+            Err(WorkloadError::ChecksumMismatch { .. })
+        ));
     }
 
     #[test]

@@ -32,7 +32,7 @@ mod reads;
 mod trace;
 mod workload;
 
-pub use additions::AdditionWorkload;
+pub use additions::{AdditionShard, AdditionWorkload, Shardable};
 pub use dna::{DnaSpec, DnaWorkload};
 pub use genome::{Genome, Nucleotide};
 pub use index::{LookupOutcome, SortedKmerIndex};

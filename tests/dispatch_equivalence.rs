@@ -8,10 +8,10 @@
 //! and on the shipped mix the hybrid lands within 5% of the offline
 //! oracle (here: exactly on it).
 
-use cim::dispatch::{Calibrator, HybridExecutor, Route};
+use cim::dispatch::{split_claim, Calibrator, HybridExecutor, Route};
 use cim::sim::{BatchPolicy, CimExecutor, ConventionalExecutor, ExecutionBackend, RunOutcome};
-use cim::units::DispatchObjective;
-use cim::workloads::{AdditionWorkload, DnaWorkload};
+use cim::units::{DispatchObjective, SplitPlan, UnitScore};
+use cim::workloads::{AdditionWorkload, DnaWorkload, Shardable};
 use proptest::prelude::*;
 
 fn hybrid(
@@ -136,5 +136,106 @@ proptest! {
             adds_score <= adds_oracle * 1.05,
             "additions: hybrid {adds_score:.4e} misses oracle {adds_oracle:.4e}"
         );
+    }
+
+    #[test]
+    fn one_sided_split_plans_reproduce_the_solo_runs_bitwise(
+        n_ops in 256u64..4096,
+        seed in 0u64..1000,
+        obj in 0usize..3,
+    ) {
+        let workload = AdditionWorkload::scaled(n_ops, seed);
+        let capacity = (n_ops / 4).max(1);
+        let executor = hybrid(2, objective(obj));
+        let whole = workload.shard(0, workload.units(), capacity);
+        let score = UnitScore::new(1.0);
+
+        let all_cim = SplitPlan::all_cim(workload.units(), score, score);
+        let outcome = executor.run_split(&workload, capacity, &all_cim).expect("all-cim");
+        let solo = executor.cim.run(&whole).expect("solo cim");
+        prop_assert_eq!(outcome.cim.as_ref(), Some(&solo));
+        prop_assert!(outcome.host.is_none());
+        prop_assert_eq!(&outcome.ledger, &solo.ledger);
+
+        let all_host = SplitPlan::all_host(workload.units(), score, score);
+        let outcome = executor.run_split(&workload, capacity, &all_host).expect("all-host");
+        let solo = executor.host.run(&whole).expect("solo host");
+        prop_assert_eq!(outcome.host.as_ref(), Some(&solo));
+        prop_assert!(outcome.cim.is_none());
+        prop_assert_eq!(&outcome.ledger, &solo.ledger);
+    }
+
+    #[test]
+    fn split_outcomes_conserve_across_thread_counts_and_fractions(
+        n_ops in 256u64..4096,
+        seed in 0u64..1000,
+        cim_per_mille in 0u64..=1000,
+    ) {
+        let workload = AdditionWorkload::scaled(n_ops, seed);
+        let capacity = (n_ops / 8).max(1);
+        // Force an arbitrary split fraction, not just the balanced one:
+        // conservation must hold for every partition point.
+        let cim_units = n_ops * cim_per_mille / 1000;
+        let plan = SplitPlan::pinned(n_ops, cim_units, UnitScore::new(1.0), UnitScore::new(1.0));
+        let reference = hybrid(1, DispatchObjective::Makespan)
+            .run_split(&workload, capacity, &plan)
+            .expect("reference split");
+        // Unit counts partition and the checksum recombines to the
+        // whole workload's.
+        let whole = workload.shard(0, n_ops, capacity);
+        let solo = hybrid(1, DispatchObjective::Makespan).cim.run(&whole).expect("whole");
+        prop_assert_eq!(reference.operations(), n_ops);
+        prop_assert_eq!(reference.checksum(), solo.digest.checksum);
+        // The combined ledger is exactly the CIM-first merge of the
+        // shard ledgers.
+        let mut merged = cim::units::CostLedger::new();
+        for side in [&reference.cim, &reference.host].into_iter().flatten() {
+            merged.merge(&side.ledger);
+        }
+        prop_assert_eq!(&reference.ledger, &merged);
+        // And the whole outcome is thread-count independent.
+        for threads in [2usize, 4] {
+            let outcome = hybrid(threads, DispatchObjective::Makespan)
+                .run_split(&workload, capacity, &plan)
+                .expect("split re-run");
+            prop_assert_eq!(&outcome.ledger, &reference.ledger, "{} threads", threads);
+            prop_assert_eq!(outcome.checksum(), reference.checksum());
+            prop_assert_eq!(outcome.makespan(), reference.makespan());
+            prop_assert_eq!(&outcome.cim, &reference.cim);
+            prop_assert_eq!(&outcome.host, &reference.host);
+        }
+    }
+
+    #[test]
+    fn split_claims_from_arbitrary_plans_certify_clean(
+        n_ops in 256u64..4096,
+        seed in 0u64..1000,
+        obj in 0usize..3,
+    ) {
+        let workload = AdditionWorkload::scaled(n_ops, seed);
+        let capacity = (n_ops / 4).max(1);
+        let executor = hybrid(1, objective(obj));
+        let plan = executor.split_plan(&workload, capacity);
+        let cim_estimate = executor.cim.estimate(&workload.shard(0, plan.cim_units(), capacity));
+        let host_estimate = executor
+            .host
+            .estimate(&workload.shard(plan.cim_units(), plan.host_units(), capacity));
+        let claim = split_claim(
+            &plan,
+            &cim_estimate,
+            &host_estimate,
+            executor.calibrator().cim_scales(),
+            executor.calibrator().host_scales(),
+        );
+        prop_assert!(cim::verify::certify_split("prop-split", &claim).is_clean());
+        // Tampering with the combined ledger is always caught.
+        let mut skimmed = claim;
+        skimmed.combined = skimmed.cim.ledger.clone();
+        if skimmed.host.ledger != cim::units::CostLedger::new() {
+            prop_assert!(
+                cim::verify::certify_split("prop-split", &skimmed)
+                    .has_code("split-ledger-conservation")
+            );
+        }
     }
 }
