@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use cim_arch::MemristorTech;
+use cim_device::FaultMap;
 use cim_logic::{simd_cost, LogicCost};
 use cim_units::Component;
 use cim_units::Time;
@@ -18,6 +19,12 @@ pub struct Mapper {
     pub tiles: u64,
     /// Device technology (costs every step).
     pub tech: MemristorTech,
+    /// Live bad-column set: columns field monitoring has retired (worn
+    /// out or stuck). [`Mapper::check`] rejects any node whose canonical
+    /// column span touches one. Defaults to empty (all columns healthy),
+    /// including when deserializing older mapper configs.
+    #[serde(default)]
+    pub fault_map: FaultMap,
 }
 
 /// Why a graph cannot be *legally* mapped onto a [`Mapper`] budget.
@@ -55,6 +62,17 @@ pub enum MapError {
         /// The tensor wired into more than one operand port.
         operand: TensorId,
     },
+    /// A node's canonical column span contains a column the mapper's
+    /// [`FaultMap`] has retired (worn out or stuck); placing data there
+    /// would silently corrupt it. Remap around the bad column instead.
+    BadColumn {
+        /// The node whose span is unusable.
+        tensor: TensorId,
+        /// Its op mnemonic.
+        op: String,
+        /// The retired column inside the span.
+        column: usize,
+    },
 }
 
 impl std::fmt::Display for MapError {
@@ -81,6 +99,12 @@ impl std::fmt::Display for MapError {
                 "node t{} ({op}) reads tensor t{} through two operand ports; both map \
                  to the same crossbar columns (insert an explicit copy)",
                 tensor.0, operand.0
+            ),
+            MapError::BadColumn { tensor, op, column } => write!(
+                f,
+                "node t{} ({op}) maps onto retired crossbar column {column} \
+                 (worn out or stuck); remap around it",
+                tensor.0
             ),
         }
     }
@@ -124,6 +148,7 @@ impl Mapper {
             tile_devices: 34_000_000,
             tiles: 1,
             tech: MemristorTech::table1_5nm(),
+            fault_map: FaultMap::new(),
         }
     }
 
@@ -138,7 +163,23 @@ impl Mapper {
             tile_devices,
             tiles,
             tech: MemristorTech::table1_5nm(),
+            fault_map: FaultMap::new(),
         }
+    }
+
+    /// Replaces the live bad-column set (builder style).
+    #[must_use]
+    pub fn with_fault_map(mut self, fault_map: FaultMap) -> Self {
+        self.fault_map = fault_map;
+        self
+    }
+
+    /// Canonical column span of node `i` at `bits` bits per tensor:
+    /// tensors are laid out contiguously in node order, so node `i`'s
+    /// data occupies columns `[i·bits, (i+1)·bits)`. The wear-aware
+    /// legality check tests this span against the [`FaultMap`].
+    pub fn column_span(i: usize, bits: u32) -> std::ops::Range<usize> {
+        i * bits as usize..(i + 1) * bits as usize
     }
 
     /// Total device capacity.
@@ -194,9 +235,25 @@ impl Mapper {
 
     /// Checks that `graph` can be *legally* mapped onto this budget:
     /// every costed node's unit fits its level share (no lanes scheduled
-    /// onto devices that don't exist) and no node reads one tensor
-    /// through two operand ports (no register-to-column conflict).
+    /// onto devices that don't exist), no node reads one tensor through
+    /// two operand ports (no register-to-column conflict), and no node's
+    /// canonical column span ([`Mapper::column_span`]) touches a column
+    /// the [`FaultMap`] has retired.
     pub fn check(&self, graph: &Graph) -> Result<(), MapError> {
+        // Wear-aware legality: every node's tensor — input, const, or
+        // computed — lives in its canonical columns; none may be bad.
+        if !self.fault_map.is_empty() {
+            for (i, node) in graph.nodes().iter().enumerate() {
+                let span = Self::column_span(i, graph.bits());
+                if let Some(column) = self.fault_map.bad_in(span) {
+                    return Err(MapError::BadColumn {
+                        tensor: TensorId(i),
+                        op: node.op.mnemonic().to_string(),
+                        column,
+                    });
+                }
+            }
+        }
         for (i, node) in graph.nodes().iter().enumerate() {
             if self.unit_cost(&node.op, graph.bits()).is_none() {
                 continue;
@@ -488,6 +545,28 @@ mod tests {
             "{err:?}"
         );
         assert!(err.to_string().contains("two operand ports"), "{err}");
+    }
+
+    #[test]
+    fn check_rejects_placements_onto_retired_columns() {
+        let graph = count_graph(64);
+        // Retire a column inside node 2's canonical span (8-bit tensors:
+        // node 2 owns columns [16, 24)).
+        let mapper = Mapper::paper_tile().with_fault_map(FaultMap::from_columns([19]));
+        let err = mapper.check(&graph).unwrap_err();
+        match err {
+            MapError::BadColumn { tensor, column, .. } => {
+                assert_eq!(tensor, TensorId(2));
+                assert_eq!(column, 19);
+            }
+            other => panic!("expected BadColumn, got {other:?}"),
+        }
+        assert!(err.to_string().contains("column 19"), "{err}");
+        // A bad column beyond every span leaves the graph legal.
+        let clear =
+            Mapper::paper_tile()
+                .with_fault_map(FaultMap::from_columns([graph.nodes().len() * 8 + 1]));
+        assert_eq!(clear.check(&graph), Ok(()));
     }
 
     #[test]

@@ -50,6 +50,11 @@ pub struct Crossbar<C> {
     stats: ArrayStats,
     /// Per-cell state-flip counts (endurance consumption).
     flips: Vec<u64>,
+    /// Per-column full write-pulse counts (selected cells of writes).
+    col_writes: Vec<u64>,
+    /// Per-column half-select disturb counts (row/column neighbours of
+    /// write pulses; reads are sub-threshold and excluded).
+    col_disturbs: Vec<u64>,
     /// Monotone counter bumped whenever any cell's internal state changes
     /// (stress, programming, direct mutation). Lets `read` prove the
     /// network did not move during a pulse and skip the re-solve.
@@ -79,6 +84,8 @@ impl<C: Cell> Crossbar<C> {
             solver: DistributedSolver::default(),
             stats: ArrayStats::default(),
             flips,
+            col_writes: vec![0; cols],
+            col_disturbs: vec![0; cols],
             epoch: 0,
             workspace: SolverWorkspace::new(),
         }
@@ -253,7 +260,7 @@ impl<C: Cell> Crossbar<C> {
         let pulse = cell.op_pulse();
         let before = cell.stored();
         let solved = self.solve_access(r, c, amplitude, scheme);
-        self.stress_all(&solved, r, pulse);
+        self.stress_all(&solved, (r, c), pulse, true);
         let cell = self.cell(r, c);
         let after = cell.stored();
         let flipped = before != after;
@@ -283,7 +290,7 @@ impl<C: Cell> Crossbar<C> {
 
         let epoch_before = self.epoch;
         let solved = self.solve_access(r, c, v_read, scheme);
-        self.stress_all(&solved, r, pulse);
+        self.stress_all(&solved, (r, c), pulse, false);
         let pre_pulse_current = solved.sense_current;
         let pre_pulse_parasitic = solved.parasitic_power;
         // Sense after the pulse (CRS needs the pulse to develop its ON
@@ -369,7 +376,7 @@ impl<C: Cell> Crossbar<C> {
 
         // Phase 1: normal access.
         let solved = self.solve_access(r, c, v_read, scheme);
-        self.stress_all(&solved, r, pulse);
+        self.stress_all(&solved, (r, c), pulse, false);
         let i_signal = solved.sense_current;
 
         // Phase 2: reference access — selected wordline parked at the
@@ -377,7 +384,7 @@ impl<C: Cell> Crossbar<C> {
         let mut bias = scheme.voltages(v_read);
         bias.wl_selected = bias.wl_unselected.expect("driven scheme");
         let reference = self.solve_bias((r, c), bias);
-        self.stress_all(&reference, r, pulse);
+        self.stress_all(&reference, (r, c), pulse, false);
         let i_ref = reference.sense_current;
 
         let delta = i_signal.get() - i_ref.get();
@@ -412,7 +419,20 @@ impl<C: Cell> Crossbar<C> {
     /// Stresses every cell with its solved voltage for `pulse`, counting
     /// endurance-consuming state flips per cell. Bumps the state epoch if
     /// any cell's internal state moved.
-    fn stress_all(&mut self, solved: &SolvedRead, selected_row: usize, pulse: Time) {
+    ///
+    /// When the pulse is a *write* (`write_pulse`), wear is classified by
+    /// position relative to the `selected` cell: the selected cell takes
+    /// one full write pulse, its driven-row and selected-column
+    /// neighbours each take one half-select disturb event. Reads are
+    /// sub-threshold and charge no wear.
+    fn stress_all(
+        &mut self,
+        solved: &SolvedRead,
+        selected: (usize, usize),
+        pulse: Time,
+        write_pulse: bool,
+    ) {
+        let (selected_row, selected_col) = selected;
         let mut state_changed = false;
         for i in 0..self.rows {
             let gate_on = i == selected_row;
@@ -427,6 +447,19 @@ impl<C: Cell> Crossbar<C> {
                     self.flips[idx] += 1;
                 }
             }
+        }
+        if write_pulse {
+            self.col_writes[selected_col] += 1;
+            self.stats.write_pulses += 1;
+            // Row neighbours: every other column of the driven row.
+            for (j, disturbs) in self.col_disturbs.iter_mut().enumerate() {
+                if j != selected_col {
+                    *disturbs += 1;
+                }
+            }
+            // Column neighbours: every other row of the selected column.
+            self.col_disturbs[selected_col] += (self.rows - 1) as u64;
+            self.stats.disturb_events += (self.cols - 1 + self.rows - 1) as u64;
         }
         if state_changed {
             self.epoch += 1;
@@ -447,6 +480,29 @@ impl<C: Cell> Crossbar<C> {
     /// How many cells have consumed at least `rated` flips.
     pub fn cells_exceeding(&self, rated: u64) -> usize {
         self.flips.iter().filter(|&&n| n >= rated).count()
+    }
+
+    /// Per-column full write-pulse counts: entry `j` is how many write
+    /// pulses selected a cell of column `j`.
+    pub fn column_write_counts(&self) -> &[u64] {
+        &self.col_writes
+    }
+
+    /// Per-column half-select disturb counts: entry `j` is how many
+    /// write pulses half-selected a cell of column `j` (driven-row or
+    /// selected-column neighbour without being the target).
+    pub fn column_disturb_counts(&self) -> &[u64] {
+        &self.col_disturbs
+    }
+
+    /// Per-column state-flip totals: the per-cell endurance map of
+    /// [`Crossbar::flip_counts`] summed down each column.
+    pub fn column_flip_counts(&self) -> Vec<u64> {
+        let mut totals = vec![0u64; self.cols];
+        for (idx, &flips) in self.flips.iter().enumerate() {
+            totals[idx % self.cols] += flips;
+        }
+        totals
     }
 
     /// Ohmic losses in the driver and sense resistances.
@@ -755,6 +811,31 @@ mod tests {
         assert_eq!(array.flip_counts()[4 + 1], 10);
         assert_eq!(array.cells_exceeding(10), 1);
         assert_eq!(array.cells_exceeding(1), 1, "half-select must not flip");
+    }
+
+    #[test]
+    fn column_wear_counters_classify_writes_and_disturbs() {
+        let mut array = one_r(4);
+        // 3 writes to column 1 and 1 write to column 2, various rows.
+        let _ = array.write(0, 1, true, BiasScheme::HalfV);
+        let _ = array.write(2, 1, false, BiasScheme::HalfV);
+        let _ = array.write(3, 1, true, BiasScheme::HalfV);
+        let _ = array.write(1, 2, true, BiasScheme::HalfV);
+        assert_eq!(array.column_write_counts(), &[0, 3, 1, 0]);
+        // Each write disturbs the 3 other columns once (driven row) and
+        // its own column 3 times (other rows of the selected column).
+        assert_eq!(array.column_disturb_counts(), &[4, 10, 6, 4]);
+        assert_eq!(array.stats().write_pulses, 4);
+        assert_eq!(array.stats().disturb_events, 4 * 6);
+        // Reads are sub-threshold: no wear.
+        let _ = array.read(0, 1, BiasScheme::HalfV);
+        let _ = array.read_multistage(0, 0, BiasScheme::HalfV);
+        assert_eq!(array.stats().write_pulses, 4);
+        assert_eq!(array.stats().disturb_events, 24);
+        assert_eq!(array.column_write_counts(), &[0, 3, 1, 0]);
+        // Column flip totals aggregate the per-cell endurance map.
+        let flips: u64 = array.flip_counts().iter().sum();
+        assert_eq!(array.column_flip_counts().iter().sum::<u64>(), flips);
     }
 
     #[test]

@@ -27,6 +27,13 @@ pub struct ArrayStats {
     /// Reads that reused the pulse solution for sensing instead of
     /// re-solving (non-destructive junction, no cell-state motion).
     pub sense_reuses: u64,
+    /// Full write pulses applied to selected cells (each consumes one
+    /// rated endurance cycle of that cell).
+    pub write_pulses: u64,
+    /// Half-select disturb events: cells sharing the driven row or the
+    /// selected column of a write pulse without being its target. Reads
+    /// are sub-threshold and excluded.
+    pub disturb_events: u64,
 }
 
 impl ArrayStats {
@@ -46,6 +53,8 @@ impl ArrayStats {
         self.elapsed = self.elapsed.max(other.elapsed);
         self.solver_sweeps += other.solver_sweeps;
         self.sense_reuses += other.sense_reuses;
+        self.write_pulses += other.write_pulses;
+        self.disturb_events += other.disturb_events;
     }
 
     /// Resets all counters to zero.
@@ -82,6 +91,8 @@ mod tests {
             elapsed: Time::from_nano_seconds(5.0),
             solver_sweeps: 9,
             sense_reuses: 1,
+            write_pulses: 1,
+            disturb_events: 6,
         };
         assert!((a.total_energy().as_femto_joules() - 6.0).abs() < 1e-12);
 
@@ -95,6 +106,8 @@ mod tests {
         assert_eq!(a.elapsed, Time::from_nano_seconds(7.0));
         assert_eq!(a.solver_sweeps, 9);
         assert_eq!(a.sense_reuses, 1);
+        assert_eq!(a.write_pulses, 1);
+        assert_eq!(a.disturb_events, 6);
 
         a.reset();
         assert_eq!(a, ArrayStats::default());

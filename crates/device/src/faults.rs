@@ -1,5 +1,7 @@
 //! Stuck-at and drift fault injection.
 
+use std::collections::BTreeSet;
+
 use cim_units::{Resistance, Time, Voltage};
 use serde::{Deserialize, Serialize};
 
@@ -21,6 +23,83 @@ pub enum Fault {
         /// State decay per second of simulated time.
         rate_per_second: f64,
     },
+}
+
+/// The live set of known-bad crossbar columns: columns whose devices
+/// are worn out (endurance exhausted) or stuck, and must not receive
+/// new operand or scratch data.
+///
+/// This is the architecture-level face of device faults: a
+/// [`FaultyDevice`] models *one* broken cell electrically, while a
+/// `FaultMap` records *which columns* field monitoring (read-after-
+/// write scrubbing, wear ledgers crossing rated cycles) has retired, so
+/// mappers can steer placements around them. Column-granular because
+/// broadcast logic stresses whole columns uniformly — when one device
+/// in a column wears out under the broadcast model, its siblings are at
+/// the same cycle count.
+///
+/// ```
+/// use cim_device::FaultMap;
+///
+/// let mut map = FaultMap::new();
+/// map.retire(7);
+/// assert!(map.is_bad(7));
+/// assert!(map.first_bad_in(0..16), "span [0,16) crosses column 7");
+/// assert!(!map.first_bad_in(8..16));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultMap {
+    bad_columns: BTreeSet<usize>,
+}
+
+impl FaultMap {
+    /// An empty map: every column healthy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A map with the given columns already retired.
+    pub fn from_columns(columns: impl IntoIterator<Item = usize>) -> Self {
+        Self {
+            bad_columns: columns.into_iter().collect(),
+        }
+    }
+
+    /// Marks `column` bad. Idempotent.
+    pub fn retire(&mut self, column: usize) {
+        self.bad_columns.insert(column);
+    }
+
+    /// True when `column` has been retired.
+    pub fn is_bad(&self, column: usize) -> bool {
+        self.bad_columns.contains(&column)
+    }
+
+    /// The lowest retired column inside `span`, if any — the anchor a
+    /// mapping diagnostic points at.
+    pub fn bad_in(&self, span: std::ops::Range<usize>) -> Option<usize> {
+        self.bad_columns.range(span).next().copied()
+    }
+
+    /// True when `span` contains at least one retired column.
+    pub fn first_bad_in(&self, span: std::ops::Range<usize>) -> bool {
+        self.bad_in(span).is_some()
+    }
+
+    /// Number of retired columns.
+    pub fn len(&self) -> usize {
+        self.bad_columns.len()
+    }
+
+    /// True when no column has been retired.
+    pub fn is_empty(&self) -> bool {
+        self.bad_columns.is_empty()
+    }
+
+    /// The retired columns, ascending.
+    pub fn columns(&self) -> impl Iterator<Item = usize> + '_ {
+        self.bad_columns.iter().copied()
+    }
 }
 
 /// Wraps a device model and injects a [`Fault`].
@@ -152,6 +231,23 @@ mod tests {
         );
         d.apply(p.write_voltage, p.write_time);
         assert!(d.is_lrs());
+    }
+
+    #[test]
+    fn fault_map_tracks_retired_columns_and_spans() {
+        let mut map = FaultMap::new();
+        assert!(map.is_empty());
+        map.retire(3);
+        map.retire(3);
+        map.retire(10);
+        assert_eq!(map.len(), 2);
+        assert!(map.is_bad(3) && map.is_bad(10));
+        assert!(!map.is_bad(4));
+        assert_eq!(map.bad_in(0..8), Some(3));
+        assert_eq!(map.bad_in(4..10), None);
+        assert!(map.first_bad_in(9..11));
+        assert_eq!(map.columns().collect::<Vec<_>>(), vec![3, 10]);
+        assert_eq!(map, FaultMap::from_columns([10, 3, 3]));
     }
 
     #[test]

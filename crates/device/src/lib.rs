@@ -59,7 +59,7 @@ mod wear;
 
 pub use crs::{Crs, CrsState};
 pub use error::DeviceError;
-pub use faults::{Fault, FaultyDevice};
+pub use faults::{Fault, FaultMap, FaultyDevice};
 pub use ion_drift::{IonDriftParams, LinearIonDrift, WindowFunction};
 pub use memristor::{Memristor, Polarity, TwoTerminal};
 pub use params::DeviceParams;

@@ -246,6 +246,10 @@ pub struct CompiledProgram {
     num_inputs: usize,
     num_outputs: usize,
     steps: usize,
+    /// Register written by each source step, in program order — kept
+    /// even for the truth-table kernel, because the *modelled hardware*
+    /// pulses every source step regardless of how the host executes.
+    targets: Vec<u32>,
 }
 
 impl CompiledProgram {
@@ -274,6 +278,7 @@ impl CompiledProgram {
             num_inputs: program.inputs.len(),
             num_outputs: program.outputs.len(),
             steps: program.len(),
+            targets: program.steps.iter().map(|&s| s.target() as u32).collect(),
         })
     }
 
@@ -320,6 +325,14 @@ impl CompiledProgram {
     /// True when the truth-table fast path was selected.
     pub fn is_lut(&self) -> bool {
         matches!(self.kernel, Kernel::TruthTable(_))
+    }
+
+    /// The register each source step writes, in program order: the
+    /// write-pulse trace wear accounting charges. The truth-table
+    /// kernel executes fewer host instructions, but the modelled array
+    /// still issues (and ages under) every source step.
+    pub fn step_targets(&self) -> &[u32] {
+        &self.targets
     }
 }
 

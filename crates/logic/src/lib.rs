@@ -61,6 +61,7 @@ mod lut;
 mod program;
 mod simd;
 mod synthesis;
+mod wear;
 
 pub use adder::{CrsAdder, ImplyAdder, TcAdderModel};
 pub use bitslice::{
@@ -76,6 +77,7 @@ pub use lut::Lut;
 pub use program::{Program, ProgramBuilder, ProgramError, Reg, Step};
 pub use simd::{simd_cost, RowParallelEngine};
 pub use synthesis::{synthesize, Expr};
+pub use wear::{ColumnWear, WearLedger};
 
 /// Re-exported for convenience: stateful logic is defined over these
 /// device models.

@@ -10,10 +10,11 @@
 use cim_device::DeviceParams;
 use cim_units::{Component, Energy};
 
-use crate::bitslice::{BitSliceEngine, CompiledProgram, LaneBlock, Lanes8};
+use crate::bitslice::{BitSliceEngine, CompiledProgram, LaneBlock, Lanes4, Lanes8};
 use crate::cost::LogicCost;
 use crate::engine::{ImplyEngine, ImplyParams};
 use crate::program::Program;
+use crate::wear::WearLedger;
 
 /// Executes one program across many independent rows in lock-step.
 ///
@@ -38,6 +39,7 @@ pub struct RowParallelEngine {
     backend: Backend,
     params: ImplyParams,
     broadcast_steps: u64,
+    wear: WearLedger,
 }
 
 /// How the rows execute. Both backends follow the same cost law —
@@ -52,6 +54,9 @@ enum Backend {
     /// Functional: a compiled artifact shared by all rows (boxed — the
     /// payload dwarfs the electrical variant's `Vec` header).
     BitSliced(Box<SlicedRows<u64>>),
+    /// Functional, four-word lane blocks: 256 rows per issued
+    /// instruction.
+    BitSlicedQuad(Box<SlicedRows<Lanes4>>),
     /// Functional, eight-word lane blocks: 512 rows per issued
     /// instruction.
     BitSlicedWide(Box<SlicedRows<Lanes8>>),
@@ -125,6 +130,7 @@ impl RowParallelEngine {
             ),
             params,
             broadcast_steps: 0,
+            wear: WearLedger::new(program.registers),
         }
     }
 
@@ -153,6 +159,35 @@ impl RowParallelEngine {
             })),
             params,
             broadcast_steps: 0,
+            wear: WearLedger::new(program.registers),
+        }
+    }
+
+    /// Like [`RowParallelEngine::for_program_bitsliced`], but executing
+    /// four-word [`Lanes4`] blocks — 256 rows per issued host
+    /// instruction. Results and the cost law are identical to every
+    /// other backend; only host throughput changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is zero or `program` fails [`Program::validate`].
+    pub fn for_program_bitsliced_quad(program: &Program, rows: usize) -> Self {
+        assert!(rows > 0, "need at least one row");
+        let device = DeviceParams::table1_cim();
+        let params = ImplyParams::for_device(&device);
+        let compiled =
+            CompiledProgram::compile(program).unwrap_or_else(|e| panic!("invalid program: {e}"));
+        Self {
+            backend: Backend::BitSlicedQuad(Box::new(SlicedRows {
+                compiled,
+                engine: BitSliceEngine::wide(),
+                rows,
+                device,
+                energy: Energy::ZERO,
+            })),
+            params,
+            broadcast_steps: 0,
+            wear: WearLedger::new(program.registers),
         }
     }
 
@@ -180,6 +215,7 @@ impl RowParallelEngine {
             })),
             params,
             broadcast_steps: 0,
+            wear: WearLedger::new(program.registers),
         }
     }
 
@@ -188,6 +224,7 @@ impl RowParallelEngine {
         match &self.backend {
             Backend::Electrical(rows) => rows.len(),
             Backend::BitSliced(sliced) => sliced.rows,
+            Backend::BitSlicedQuad(sliced) => sliced.rows,
             Backend::BitSlicedWide(sliced) => sliced.rows,
         }
     }
@@ -214,11 +251,41 @@ impl RowParallelEngine {
                 .map(|(engine, inputs)| engine.run(program, inputs))
                 .collect(),
             Backend::BitSliced(sliced) => sliced.run(program, inputs_per_row),
+            Backend::BitSlicedQuad(sliced) => sliced.run(program, inputs_per_row),
             Backend::BitSlicedWide(sliced) => sliced.run(program, inputs_per_row),
         };
         // Every row executed the same broadcast sequence.
         self.broadcast_steps += program.len() as u64;
+        // And aged under it: the target column of each step takes a
+        // write pulse, every other column a half-select disturb. The
+        // sliced backends charge from the compiled artifact they
+        // actually executed; the electrical backend from the program.
+        match &self.backend {
+            Backend::Electrical(_) => {
+                self.wear.record(program.steps.iter().map(|s| s.target()));
+            }
+            Backend::BitSliced(sliced) => {
+                let targets = sliced.compiled.step_targets();
+                self.wear.record(targets.iter().map(|&t| t as usize));
+            }
+            Backend::BitSlicedQuad(sliced) => {
+                let targets = sliced.compiled.step_targets();
+                self.wear.record(targets.iter().map(|&t| t as usize));
+            }
+            Backend::BitSlicedWide(sliced) => {
+                let targets = sliced.compiled.step_targets();
+                self.wear.record(targets.iter().map(|&t| t as usize));
+            }
+        }
         outputs
+    }
+
+    /// Per-column wear accumulated over every run: write pulses and
+    /// half-select disturbs per register column, per device (identical
+    /// across rows under broadcast). `cim-verify`'s `WearCertificate`
+    /// re-derives these counts statically and asserts them bit-for-bit.
+    pub fn wear(&self) -> &WearLedger {
+        &self.wear
     }
 
     /// Aggregate cost: latency counts *broadcast* steps (the whole array
@@ -230,6 +297,9 @@ impl RowParallelEngine {
                 rows.iter().map(super::engine::ImplyEngine::registers).sum(),
             ),
             Backend::BitSliced(sliced) => {
+                (sliced.energy, sliced.compiled.registers() * sliced.rows)
+            }
+            Backend::BitSlicedQuad(sliced) => {
                 (sliced.energy, sliced.compiled.registers() * sliced.rows)
             }
             Backend::BitSlicedWide(sliced) => {

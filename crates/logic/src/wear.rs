@@ -1,0 +1,213 @@
+//! Per-column wear accounting for broadcast IMPLY execution.
+//!
+//! Section IV of the paper rates device endurance (>10¹² cycles for
+//! TaOx VCM, >10¹⁰ for Ag-GeSe ECM) but nothing above the device layer
+//! tracks how fast a *program* consumes that budget. Under the
+//! broadcast model every row executes the same step sequence, so wear
+//! is a per-*column* quantity: the register a step targets takes one
+//! state-flipping **write pulse** per broadcast step, while every other
+//! register column on the driven row is half-selected and takes one
+//! **disturb** stress event. Latency hides this multiplicity — one
+//! broadcast step is one write time — but wear does not: a program of
+//! `S` steps ages its most-written column by however many of those `S`
+//! steps target it, and ages *every* column by `S` events total
+//! (writes + disturbs), because the row is driven for the whole
+//! program.
+//!
+//! [`WearLedger`] is the dynamic side of that accounting: engines call
+//! [`WearLedger::record`] with the per-step write targets of each run,
+//! and `cim-verify`'s `WearCertificate` re-derives the same counts
+//! statically and asserts them bit-for-bit (they are `u64` tallies, so
+//! "bit-for-bit" is exact integer equality).
+
+use serde::{Deserialize, Serialize};
+
+/// Write/disturb tallies of one register column, per device.
+///
+/// Counts are per device (equivalently: per column of one row) — the
+/// broadcast model stresses every row identically, so the per-column
+/// figure is directly comparable to a device's rated endurance cycles.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnWear {
+    /// Full write pulses: broadcast steps that *target* this column.
+    pub writes: u64,
+    /// Half-select disturb events: broadcast steps that drive the row
+    /// while targeting some other column.
+    pub disturbs: u64,
+}
+
+impl ColumnWear {
+    /// Total stress events (writes + disturbs).
+    pub fn total(&self) -> u64 {
+        self.writes + self.disturbs
+    }
+}
+
+/// Dynamic per-column wear ledger of one row-parallel engine.
+///
+/// One entry per register column of the program the engine was built
+/// for. Every recorded run adds, for each column, its write-pulse count
+/// and the complementary disturb count (`steps − writes` of that run).
+///
+/// ```
+/// use cim_logic::WearLedger;
+///
+/// let mut ledger = WearLedger::new(3);
+/// // A 4-step run targeting registers 2, 1, 2, 2.
+/// ledger.record([2, 1, 2, 2]);
+/// assert_eq!(ledger.columns()[2].writes, 3);
+/// assert_eq!(ledger.columns()[2].disturbs, 1);
+/// assert_eq!(ledger.columns()[0].disturbs, 4);
+/// // Every column sees all 4 broadcast steps as writes or disturbs.
+/// assert!(ledger.columns().iter().all(|c| c.total() == 4));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WearLedger {
+    columns: Vec<ColumnWear>,
+}
+
+impl WearLedger {
+    /// An all-zero ledger over `columns` register columns.
+    pub fn new(columns: usize) -> Self {
+        Self {
+            columns: vec![ColumnWear::default(); columns],
+        }
+    }
+
+    /// A ledger holding the given per-column tallies — the constructor
+    /// claim types use to materialize a *reported* wear state that the
+    /// static certificate then re-derives (or refutes) bit for bit.
+    pub fn from_columns(columns: Vec<ColumnWear>) -> Self {
+        Self { columns }
+    }
+
+    /// Records one run: `targets` yields the register written by each
+    /// broadcast step, in program order. The target column takes a
+    /// write pulse; every other column takes a disturb event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a target is outside the ledger's column range.
+    pub fn record(&mut self, targets: impl IntoIterator<Item = usize>) {
+        let mut per_run = vec![0u64; self.columns.len()];
+        let mut steps = 0u64;
+        for target in targets {
+            assert!(
+                target < self.columns.len(),
+                "step target r{target} outside the {}-column wear ledger",
+                self.columns.len()
+            );
+            per_run[target] += 1;
+            steps += 1;
+        }
+        for (column, &writes) in self.columns.iter_mut().zip(&per_run) {
+            column.writes += writes;
+            column.disturbs += steps - writes;
+        }
+    }
+
+    /// Per-column tallies, indexed by register.
+    pub fn columns(&self) -> &[ColumnWear] {
+        &self.columns
+    }
+
+    /// Number of register columns tracked.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when the ledger tracks no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Broadcast steps recorded so far (every column sees each step as
+    /// exactly one write or one disturb, so any column's total is the
+    /// step count; an empty ledger has recorded none it can attest to).
+    pub fn steps(&self) -> u64 {
+        self.columns.first().map_or(0, ColumnWear::total)
+    }
+
+    /// Folds another ledger's tallies into this one — the reduction for
+    /// row-partitioned execution, where each partition records the same
+    /// per-device counts and the fabric keeps one ledger per engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column counts differ.
+    pub fn merge(&mut self, other: &WearLedger) {
+        assert_eq!(
+            self.columns.len(),
+            other.columns.len(),
+            "cannot merge wear ledgers of different widths"
+        );
+        for (mine, theirs) in self.columns.iter_mut().zip(&other.columns) {
+            mine.writes += theirs.writes;
+            mine.disturbs += theirs.disturbs;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_splits_steps_into_writes_and_disturbs() {
+        let mut ledger = WearLedger::new(4);
+        ledger.record([0, 1, 1, 3, 1]);
+        let cols = ledger.columns();
+        assert_eq!((cols[0].writes, cols[0].disturbs), (1, 4));
+        assert_eq!((cols[1].writes, cols[1].disturbs), (3, 2));
+        assert_eq!((cols[2].writes, cols[2].disturbs), (0, 5));
+        assert_eq!((cols[3].writes, cols[3].disturbs), (1, 4));
+        assert_eq!(ledger.steps(), 5);
+        // Conservation: every step stresses every column exactly once.
+        assert!(cols.iter().all(|c| c.total() == 5));
+    }
+
+    #[test]
+    fn repeated_runs_accumulate() {
+        let mut ledger = WearLedger::new(2);
+        for _ in 0..3 {
+            ledger.record([1]);
+        }
+        assert_eq!(ledger.columns()[1].writes, 3);
+        assert_eq!(ledger.columns()[0].disturbs, 3);
+        assert_eq!(ledger.steps(), 3);
+    }
+
+    #[test]
+    fn merge_adds_per_column() {
+        let mut a = WearLedger::new(2);
+        a.record([0, 1]);
+        let mut b = WearLedger::new(2);
+        b.record([1, 1]);
+        a.merge(&b);
+        assert_eq!(a.columns()[1].writes, 3);
+        assert_eq!(a.columns()[0].writes, 1);
+        assert_eq!(a.columns()[0].disturbs, 3);
+        assert_eq!(a.steps(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot merge wear ledgers")]
+    fn merge_rejects_width_mismatch() {
+        let mut a = WearLedger::new(2);
+        a.merge(&WearLedger::new(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the 2-column wear ledger")]
+    fn record_rejects_out_of_range_targets() {
+        let mut ledger = WearLedger::new(2);
+        ledger.record([5]);
+    }
+
+    #[test]
+    fn empty_ledger_reports_no_steps() {
+        let ledger = WearLedger::new(0);
+        assert!(ledger.is_empty());
+        assert_eq!(ledger.steps(), 0);
+    }
+}

@@ -43,6 +43,9 @@ pub struct Diagnostic {
     pub node: Option<usize>,
     /// Fabric tile `(row, col)` the finding anchors to, if any.
     pub tile: Option<(u32, u32)>,
+    /// Crossbar column the finding anchors to, if any (wear hotspots,
+    /// bad-column placements).
+    pub column: Option<usize>,
     /// Ledger-cell component label (`Component::label`) the finding
     /// anchors to, if any.
     pub component: Option<&'static str>,
@@ -62,6 +65,7 @@ impl Diagnostic {
             register: None,
             node: None,
             tile: None,
+            column: None,
             component: None,
             phase: None,
         }
@@ -77,6 +81,7 @@ impl Diagnostic {
             register: None,
             node: None,
             tile: None,
+            column: None,
             component: None,
             phase: None,
         }
@@ -106,6 +111,12 @@ impl Diagnostic {
         self
     }
 
+    /// Anchors the finding to a crossbar column.
+    pub fn at_column(mut self, column: usize) -> Self {
+        self.column = Some(column);
+        self
+    }
+
     /// Anchors the finding to one ledger cell (component × phase),
     /// by stable label.
     pub fn at_cell(mut self, component: &'static str, phase: &'static str) -> Self {
@@ -129,6 +140,9 @@ impl std::fmt::Display for Diagnostic {
         }
         if let Some((row, col)) = self.tile {
             write!(f, " tile({row},{col})")?;
+        }
+        if let Some(column) = self.column {
+            write!(f, " col {column}")?;
         }
         if let Some(component) = self.component {
             write!(f, " {component}")?;
@@ -250,6 +264,17 @@ mod tests {
         assert_eq!(
             d.to_string(),
             "error[dispatch-claim-mismatch] imply_step/map: ledger drifts"
+        );
+    }
+
+    #[test]
+    fn display_names_tile_and_column() {
+        let d = Diagnostic::error("bad-column", "placed onto retired column")
+            .at_tile(1, 0)
+            .at_column(19);
+        assert_eq!(
+            d.to_string(),
+            "error[bad-column] tile(1,0) col 19: placed onto retired column"
         );
     }
 

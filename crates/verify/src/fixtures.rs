@@ -1,12 +1,15 @@
-//! The eight seeded-defect fixtures the acceptance criteria require
-//! `cimlint` to reject, each with the diagnostic code it must raise.
+//! The seeded-defect fixtures the acceptance criteria require
+//! `cimlint` to reject, each with the diagnostic code it must raise
+//! (the fixture count is whatever [`seeded_defects`] returns — tests
+//! and the CLI derive it from the registry rather than hard-coding it).
 //!
 //! They are deliberately minimal: one defect per fixture, anchored to a
-//! specific step/register/node/tile/ledger-cell so the diagnostics can
-//! be asserted on.
+//! specific step/register/node/tile/column/ledger-cell so the
+//! diagnostics can be asserted on.
 
 use cim_arch::{Placement, TileGrid};
 use cim_compiler::{queries, Graph, Mapper};
+use cim_device::FaultMap;
 use cim_logic::{Comparator, LogicCost, Program, Step};
 use cim_units::{Component, CountLedger, Energy, Phase, ScaleTable, Time, UnitCosts};
 
@@ -78,6 +81,16 @@ pub enum Fixture {
         /// Diagnostic code the verifier must raise.
         expect: &'static str,
     },
+    /// A program whose write pressure concentrates on one register
+    /// column hard enough to trip the endurance lint.
+    Wear {
+        /// Fixture name.
+        name: &'static str,
+        /// The program.
+        program: Program,
+        /// Diagnostic code the verifier must raise.
+        expect: &'static str,
+    },
 }
 
 impl Fixture {
@@ -89,7 +102,8 @@ impl Fixture {
             | Fixture::Claim { name, .. }
             | Fixture::Placement { name, .. }
             | Fixture::Dispatch { name, .. }
-            | Fixture::Split { name, .. } => name,
+            | Fixture::Split { name, .. }
+            | Fixture::Wear { name, .. } => name,
         }
     }
 
@@ -101,7 +115,8 @@ impl Fixture {
             | Fixture::Claim { expect, .. }
             | Fixture::Placement { expect, .. }
             | Fixture::Dispatch { expect, .. }
-            | Fixture::Split { expect, .. } => expect,
+            | Fixture::Split { expect, .. }
+            | Fixture::Wear { expect, .. } => expect,
         }
     }
 
@@ -138,11 +153,18 @@ impl Fixture {
                 placement,
                 grid,
                 ..
-            } => crate::mapping::check_placement(name, placement, grid),
+            } => crate::mapping::check_placement(name, placement, grid, &FaultMap::new()),
             Fixture::Dispatch { name, claim, .. } => {
                 crate::cost_cert::certify_dispatch(name, claim)
             }
             Fixture::Split { name, claim, .. } => crate::cost_cert::certify_split(name, claim),
+            Fixture::Wear { name, program, .. } => {
+                crate::wear_cert::WearCertificate::broadcast(program).check_hotspots(
+                    name,
+                    crate::wear_cert::DEFAULT_WEAR_SKEW_THRESHOLD,
+                    &cim_device::DeviceParams::table1_cim(),
+                )
+            }
         }
     }
 
@@ -153,7 +175,8 @@ impl Fixture {
     }
 }
 
-/// The eight seeded defects of the acceptance criteria.
+/// The seeded defects of the acceptance criteria, one per verifier
+/// pass (tests and `cimlint --fixtures` derive the count from here).
 pub fn seeded_defects() -> Vec<Fixture> {
     let cmp = Comparator::new();
     let comparator = cmp.eq_program().clone();
@@ -303,6 +326,21 @@ pub fn seeded_defects() -> Vec<Fixture> {
             },
             expect: "split-claim-mismatch",
         },
+        // 9. Wear hotspot: every one of 150 steps hammers register r63
+        // of a 64-register row — write skew 64x, far beyond the ~18.4x
+        // worst case any shipped kernel reaches. The endurance lint
+        // must warn with the column anchor and the closed-form run
+        // budget.
+        Fixture::Wear {
+            name: "defect-wear-hotspot",
+            program: Program {
+                steps: vec![Step::Imply(0, 63); 150],
+                registers: 64,
+                inputs: vec![0],
+                outputs: vec![63],
+            },
+            expect: "wear-hotspot",
+        },
     ]
 }
 
@@ -311,9 +349,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn all_eight_defects_are_rejected_with_their_codes() {
+    fn all_seeded_defects_are_rejected_with_their_codes() {
         let fixtures = seeded_defects();
-        assert_eq!(fixtures.len(), 8);
+        // One fixture per verifier pass; growing the verifier should
+        // grow this registry, never shrink it.
+        assert!(fixtures.len() >= 9, "only {} fixtures", fixtures.len());
         for fixture in &fixtures {
             let report = fixture.verify();
             assert!(
@@ -359,6 +399,10 @@ mod tests {
                         (d.component, d.phase),
                         (Some("crossbar_write"), Some("add"))
                     );
+                }
+                "defect-wear-hotspot" => {
+                    assert_eq!(d.column, Some(63));
+                    assert_eq!(d.register, Some(63));
                 }
                 other => panic!("unknown fixture {other}"),
             }

@@ -28,8 +28,16 @@
 //!   decision's unit partition must conserve, each shard's ledger must
 //!   re-derive from its own counts and prices, and the combined ledger
 //!   must equal the shard merge — all cell-bitwise);
+//! * [`wear_cert`] — static endurance analysis: a [`WearCertificate`]
+//!   derives every register column's write-pulse and half-select
+//!   disturb count per broadcast run in closed form, asserted bit for
+//!   bit against the dynamic [`cim_logic::WearLedger`]; plus the
+//!   `wear-hotspot` skew lint, the closed-form runs-to-rating-violation
+//!   budget, and wear conservation through the tile
+//!   ([`certify_tile_wear`]) and split-dispatch
+//!   ([`certify_split_wear`]) layers;
 //! * [`shipped`] / [`fixtures`] — the registry CI lints clean and the
-//!   eight seeded defects it must reject.
+//!   seeded defects it must reject.
 //!
 //! The error-severity subset (uninitialized reads, input clobbers) is
 //! wired directly into [`cim_logic::Program::validate`], so it already
@@ -59,6 +67,7 @@ pub mod fixtures;
 pub mod mapping;
 pub mod optimize;
 pub mod shipped;
+pub mod wear_cert;
 
 pub use cost_cert::{
     certify_dispatch, certify_plan, certify_split, certify_tiles, CostCertificate, DispatchClaim,
@@ -73,6 +82,10 @@ pub use mapping::{
 pub use optimize::{eliminate_dead_steps, removable_steps};
 pub use shipped::{
     shipped_graphs, shipped_programs, shipped_splits, ShippedGraph, ShippedProgram, ShippedSplit,
+};
+pub use wear_cert::{
+    certify_split_wear, certify_tile_wear, SplitWearClaim, TileWearClaim, WearCertificate,
+    DEFAULT_WEAR_SKEW_THRESHOLD,
 };
 
 /// Full static analysis of one microprogram (alias of

@@ -22,7 +22,7 @@ use serde::{Deserialize, Serialize};
 use cim_arch::{Placement, TileGrid};
 use cim_compiler::{Graph, Mapper};
 use cim_crossbar::{BiasScheme, Geometry};
-use cim_device::DeviceParams;
+use cim_device::{DeviceParams, FaultMap};
 use cim_logic::Program;
 
 use crate::diagnostics::{Diagnostic, Report};
@@ -165,6 +165,19 @@ pub fn check_graph_mapping(name: &str, graph: &Graph, spec: &FabricSpec) -> Repo
                 .at_node(tensor.0),
             );
         }
+        Err(cim_compiler::MapError::BadColumn { tensor, op, column }) => {
+            report.push(
+                Diagnostic::error(
+                    "bad-column",
+                    format!(
+                        "{op} maps onto retired crossbar column {column} (worn out or \
+                         stuck); remap around it"
+                    ),
+                )
+                .at_node(tensor.0)
+                .at_column(column),
+            );
+        }
     }
     report
 }
@@ -174,7 +187,18 @@ pub fn check_graph_mapping(name: &str, graph: &Graph, spec: &FabricSpec) -> Repo
 /// operand spans disjoint), but reporting **every** violation rather
 /// than the first, each anchored to its tile coordinate. This is the
 /// lint surface; `Placement::check` is the execution gate.
-pub fn check_placement(name: &str, placement: &Placement, grid: &TileGrid) -> Report {
+///
+/// `faults` carries the live set of retired crossbar columns: any
+/// operand span touching a worn-out or stuck column is rejected with a
+/// `bad-column` diagnostic anchored to the tile *and* the column, so an
+/// operator can remap around the wear instead of silently computing on
+/// a dead device.
+pub fn check_placement(
+    name: &str,
+    placement: &Placement,
+    grid: &TileGrid,
+    faults: &FaultMap,
+) -> Report {
     let mut report = Report::new(name);
     let mut seen = std::collections::BTreeSet::new();
     for assignment in &placement.assignments {
@@ -214,6 +238,19 @@ pub fn check_placement(name: &str, placement: &Placement, grid: &TileGrid) -> Re
             );
         }
         for (i, a) in assignment.operands.iter().enumerate() {
+            if let Some(column) = faults.bad_in(a.column as usize..a.end() as usize) {
+                report.push(
+                    Diagnostic::error(
+                        "bad-column",
+                        format!(
+                            "tile {tile}: operand {a} covers retired crossbar column \
+                             {column} (worn out or stuck); remap around it"
+                        ),
+                    )
+                    .at_tile(tile.row, tile.col)
+                    .at_column(column),
+                );
+            }
             for b in &assignment.operands[i + 1..] {
                 if a.overlaps(b) {
                     report.push(
@@ -315,10 +352,12 @@ mod tests {
     #[test]
     fn placement_lint_reports_every_violation_with_tile_coordinates() {
         let grid = TileGrid::paper_dna(2, 2);
+        let healthy = FaultMap::new();
         assert!(check_placement(
             "uniform",
             &Placement::uniform(&grid, grid.tile_devices / 2, 64),
-            &grid
+            &grid,
+            &healthy
         )
         .is_clean());
 
@@ -354,7 +393,7 @@ mod tests {
             ],
         };
         assert!(bad.check(&grid).is_err());
-        let report = check_placement("bad", &bad, &grid);
+        let report = check_placement("bad", &bad, &grid, &healthy);
         for code in [
             "tile-capacity",
             "duplicate-tile",
@@ -377,5 +416,46 @@ mod tests {
             .find(|d| d.code == "unknown-tile")
             .expect("present");
         assert_eq!(outside.tile, Some((9, 0)));
+    }
+
+    #[test]
+    fn placement_onto_retired_columns_is_rejected_with_column_anchors() {
+        let grid = TileGrid::paper_dna(2, 2);
+        let placement = Placement::uniform(&grid, grid.tile_devices / 2, 64);
+        // Column 19 sits inside the first operand span (cols[0..64)) of
+        // every tile, so each assignment trips the bad-column check.
+        let worn = FaultMap::from_columns([19]);
+        let report = check_placement("uniform", &placement, &grid, &worn);
+        assert!(report.has_code("bad-column"), "{report}");
+        assert_eq!(report.errors(), placement.assignments.len());
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "bad-column")
+            .expect("present");
+        assert_eq!(d.column, Some(19));
+        assert!(d.tile.is_some());
+
+        // A retired column outside every operand span leaves the
+        // placement legal.
+        let elsewhere = FaultMap::from_columns([4096]);
+        assert!(check_placement("uniform", &placement, &grid, &elsewhere).is_clean());
+    }
+
+    #[test]
+    fn graph_mapping_surfaces_bad_columns_with_node_and_column_anchors() {
+        let graph = queries::select_count_eq(8, 64, 17);
+        let spec = FabricSpec {
+            mapper: Mapper::paper_tile().with_fault_map(FaultMap::from_columns([19])),
+            ..FabricSpec::paper()
+        };
+        let report = check_graph_mapping("count-eq", &graph, &spec);
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "bad-column")
+            .expect("rejected");
+        assert_eq!(d.column, Some(19));
+        assert!(d.node.is_some());
     }
 }

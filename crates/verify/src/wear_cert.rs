@@ -1,0 +1,493 @@
+//! Static endurance analysis: write-pressure certificates.
+//!
+//! Section IV of the paper rates device endurance (>10¹² cycles for the
+//! Table-1 TaOx cell, >10¹⁰ for Ag-GeSe ECM) but the cost model above
+//! the device layer only prices energy and time — a program can be
+//! cheap *and* burn one column out in hours. This module closes that
+//! gap the same way [`crate::cost_cert`] closed the cost gap: a
+//! [`WearCertificate`] derives, from the program text alone, exactly
+//! how many **write pulses** and **half-select disturb events** every
+//! register column takes per broadcast run, and the test suite asserts
+//! the dynamic [`cim_logic::WearLedger`] equals the certificate **bit
+//! for bit** (`u64` tallies, so exact integer equality).
+//!
+//! The counts are position-classified, not data-dependent: under the
+//! broadcast model a step targeting register `q` write-pulses column
+//! `q` on every row and half-selects every other column of the driven
+//! row, whether or not the cell's state actually flips. That is what
+//! makes the static derivation exact — and it is also the physically
+//! conservative choice, since set/reset stress ages the oxide either
+//! way.
+//!
+//! On top of the raw counts the certificate answers the two endurance
+//! questions an operator has:
+//!
+//! * **Skew** — is the write pressure concentrated? A program whose
+//!   hottest column takes [`WearCertificate::write_skew`]× the mean
+//!   wears that column out long before the array's average suggests;
+//!   [`WearCertificate::check_hotspots`] turns skew above a threshold
+//!   into a `wear-hotspot` warning anchored to the column.
+//! * **Budget** — how many runs until the rating is violated?
+//!   [`WearCertificate::runs_to_first_rating_violation`] divides the
+//!   device's rated cycles by the hottest column's per-run writes, in
+//!   closed form.
+//!
+//! [`certify_tile_wear`] and [`certify_split_wear`] lift the contract
+//! through the fabric and dispatch layers: per-tile ledgers must merge
+//! to the fabric ledger, and a split's CIM-shard wear must re-derive
+//! from the certificate at the shard's run count (a one-sided split —
+//! all runs on CIM — must equal the solo certificate exactly).
+
+use serde::{Deserialize, Serialize};
+
+use cim_arch::TileCoord;
+use cim_device::DeviceParams;
+use cim_logic::{ColumnWear, Program, WearLedger};
+
+use crate::diagnostics::{Diagnostic, Report};
+
+/// Default `wear-hotspot` skew threshold for the lint gate.
+///
+/// Hottest-column writes over mean per-column writes. The shipped
+/// registry's worst skew is the 32-bit ripple adder at ≈18.4× (every
+/// carry-chain stage revisits the same carry/scratch registers, so the
+/// skew grows with word width); anything above 24 means the program
+/// concentrates write pressure harder than any shipped kernel does and
+/// deserves a second look before it ages one column out of the array.
+pub const DEFAULT_WEAR_SKEW_THRESHOLD: f64 = 24.0;
+
+/// Closed-form per-column wear of one broadcast run of a program,
+/// derived statically from the step list.
+///
+/// One entry per register column. `columns[q].writes` counts the steps
+/// targeting `q`; `columns[q].disturbs` is the complement (`steps −
+/// writes`), because the row is driven for the whole program and every
+/// non-target column of a step is half-selected. The counts are per
+/// device: broadcast rows are stressed identically, so the per-column
+/// figure compares directly against [`DeviceParams::endurance_cycles`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WearCertificate {
+    /// Per-column write/disturb tallies of a single run.
+    pub columns: Vec<ColumnWear>,
+}
+
+impl WearCertificate {
+    /// Certifies one broadcast execution of `program`.
+    pub fn broadcast(program: &Program) -> Self {
+        let steps = program.len() as u64;
+        let mut columns = vec![ColumnWear::default(); program.registers];
+        for step in &program.steps {
+            columns[step.target()].writes += 1;
+        }
+        for column in &mut columns {
+            column.disturbs = steps - column.writes;
+        }
+        Self { columns }
+    }
+
+    /// Broadcast steps of one certified run.
+    pub fn steps(&self) -> u64 {
+        self.columns.first().map_or(0, ColumnWear::total)
+    }
+
+    /// The wear ledger `runs` consecutive executions must produce —
+    /// every tally is linear in the run count, so this is an exact
+    /// `u64` scaling, not an estimate.
+    pub fn after_runs(&self, runs: u64) -> WearLedger {
+        WearLedger::from_columns(
+            self.columns
+                .iter()
+                .map(|c| ColumnWear {
+                    writes: c.writes * runs,
+                    disturbs: c.disturbs * runs,
+                })
+                .collect(),
+        )
+    }
+
+    /// The hottest column and its per-run write-pulse count (`None`
+    /// for a program with no steps).
+    pub fn max_write_column(&self) -> Option<(usize, u64)> {
+        self.columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, c.writes))
+            .max_by_key(|&(i, writes)| (writes, std::cmp::Reverse(i)))
+            .filter(|&(_, writes)| writes > 0)
+    }
+
+    /// Mean per-column writes of one run (= steps / columns).
+    pub fn mean_writes(&self) -> f64 {
+        if self.columns.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.columns.iter().map(|c| c.writes).sum();
+        total as f64 / self.columns.len() as f64
+    }
+
+    /// Write-pressure skew: hottest column over the mean (0 for a
+    /// program that writes nothing). A perfectly balanced program has
+    /// skew 1; skew `k` means the hottest column exhausts its rated
+    /// cycles `k`× sooner than uniform wear would predict.
+    pub fn write_skew(&self) -> f64 {
+        match self.max_write_column() {
+            Some((_, max)) => max as f64 / self.mean_writes(),
+            None => 0.0,
+        }
+    }
+
+    /// Closed-form endurance budget: how many full runs the hottest
+    /// column survives before its write count exceeds the device's
+    /// rated cycles, and which column gives out first. `None` for a
+    /// program that writes nothing (its budget is unbounded).
+    pub fn runs_to_first_rating_violation(&self, device: &DeviceParams) -> Option<(u64, usize)> {
+        let (column, max) = self.max_write_column()?;
+        Some((device.endurance_cycles / max, column))
+    }
+
+    /// Asserts a dynamic ledger against the certificate at `runs`
+    /// executions, **bit for bit**: width first, then every column's
+    /// write and disturb tallies. Each disagreeing column is anchored
+    /// (`wear-cert-mismatch`); an engine that drifts by one pulse has
+    /// broken the broadcast wear model, not rounded.
+    pub fn check_ledger(&self, name: &str, runs: u64, ledger: &WearLedger) -> Report {
+        let mut report = Report::new(name);
+        if ledger.len() != self.columns.len() {
+            report.push(Diagnostic::error(
+                "wear-cert-mismatch",
+                format!(
+                    "the ledger tracks {} columns but the certificate derives {}",
+                    ledger.len(),
+                    self.columns.len()
+                ),
+            ));
+            return report;
+        }
+        for (j, (cert, actual)) in self.columns.iter().zip(ledger.columns()).enumerate() {
+            let expected = ColumnWear {
+                writes: cert.writes * runs,
+                disturbs: cert.disturbs * runs,
+            };
+            if expected != *actual {
+                report.push(
+                    Diagnostic::error(
+                        "wear-cert-mismatch",
+                        format!(
+                            "after {runs} run(s) the certificate derives {} writes / {} \
+                             disturbs but the ledger records {} / {}",
+                            expected.writes, expected.disturbs, actual.writes, actual.disturbs
+                        ),
+                    )
+                    .at_register(j)
+                    .at_column(j),
+                );
+            }
+        }
+        report
+    }
+
+    /// The endurance lint pass: flags concentrated write pressure.
+    ///
+    /// Emits a `wear-hotspot` **warning** (the program computes
+    /// correctly; it just ages one column fastest) when the write skew
+    /// exceeds `threshold`, anchored to the hottest column and carrying
+    /// the closed-form run budget on `device`.
+    pub fn check_hotspots(&self, name: &str, threshold: f64, device: &DeviceParams) -> Report {
+        let mut report = Report::new(name);
+        let skew = self.write_skew();
+        if skew > threshold {
+            if let Some((budget, column)) = self.runs_to_first_rating_violation(device) {
+                report.push(
+                    Diagnostic::warning(
+                        "wear-hotspot",
+                        format!(
+                            "column r{column} takes {:.2}x the mean write pressure \
+                             (threshold {threshold}); at {} rated cycles the program \
+                             violates the rating after {budget} runs",
+                            skew, device.endurance_cycles
+                        ),
+                    )
+                    .at_register(column)
+                    .at_column(column),
+                );
+            }
+        }
+        report
+    }
+}
+
+/// What one fabric tile claims its arrays wore: the tile and its
+/// per-column ledger.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TileWearClaim {
+    /// The tile.
+    pub tile: TileCoord,
+    /// The per-column wear the tile reports.
+    pub wear: WearLedger,
+}
+
+/// Certifies fabric wear conservation: the per-tile ledgers must merge
+/// — column by column, bit for bit — to the fabric's combined ledger.
+///
+/// Width disagreements and per-column drift both raise
+/// `wear-conservation`, the latter anchored to the column. A fabric
+/// whose combined ledger is not the sum of its tiles has lost (or
+/// invented) wear somewhere, and its endurance forecasts are fiction.
+pub fn certify_tile_wear(name: &str, tiles: &[TileWearClaim], fabric: &WearLedger) -> Report {
+    let mut report = Report::new(name);
+    let mut merged = WearLedger::new(fabric.len());
+    for claim in tiles {
+        if claim.wear.len() != fabric.len() {
+            report.push(
+                Diagnostic::error(
+                    "wear-conservation",
+                    format!(
+                        "tile {} reports {} wear columns but the fabric ledger tracks {}",
+                        claim.tile,
+                        claim.wear.len(),
+                        fabric.len()
+                    ),
+                )
+                .at_tile(claim.tile.row, claim.tile.col),
+            );
+            return report;
+        }
+        merged.merge(&claim.wear);
+    }
+    for (j, (sum, claimed)) in merged.columns().iter().zip(fabric.columns()).enumerate() {
+        if sum != claimed {
+            report.push(
+                Diagnostic::error(
+                    "wear-conservation",
+                    format!(
+                        "tile ledgers sum to {} writes / {} disturbs but the fabric \
+                         ledger holds {} / {}",
+                        sum.writes, sum.disturbs, claimed.writes, claimed.disturbs
+                    ),
+                )
+                .at_column(j),
+            );
+        }
+    }
+    report
+}
+
+/// What one split-dispatch decision claims about array wear: the run
+/// partition between the machines and the wear ledger the CIM shard
+/// reports. The host shard executes on CMOS gates and consumes no
+/// memristor endurance — array wear is entirely the CIM side's.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SplitWearClaim {
+    /// Total runs the plan partitioned.
+    pub runs: u64,
+    /// Runs routed to the CIM shard.
+    pub cim_runs: u64,
+    /// Runs routed to the host shard.
+    pub host_runs: u64,
+    /// The per-column wear the CIM shard reports.
+    pub cim_wear: WearLedger,
+}
+
+/// Certifies a split's wear claim against the program's certificate:
+///
+/// 1. the run partition conserves — `cim_runs + host_runs == runs`
+///    (`wear-unit-conservation`);
+/// 2. the CIM shard's ledger equals `cert.after_runs(cim_runs)` bit for
+///    bit, every disagreeing column anchored (`wear-claim-mismatch`
+///    via [`WearCertificate::check_ledger`]'s arithmetic).
+///
+/// A one-sided split (`host_runs == 0`) therefore certifies if and
+/// only if its ledger equals the solo certificate at the full run
+/// count — splitting work *off* the array can only shed wear, never
+/// add it.
+pub fn certify_split_wear(name: &str, cert: &WearCertificate, claim: &SplitWearClaim) -> Report {
+    let mut report = Report::new(name);
+    if claim
+        .cim_runs
+        .checked_add(claim.host_runs)
+        .is_none_or(|sum| sum != claim.runs)
+    {
+        report.push(Diagnostic::error(
+            "wear-unit-conservation",
+            format!(
+                "the plan claims {} runs but the shards hold {} (cim) + {} (host)",
+                claim.runs, claim.cim_runs, claim.host_runs
+            ),
+        ));
+    }
+    report.merge(cert.check_ledger(name, claim.cim_runs, &claim.cim_wear));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_logic::{Comparator, RowParallelEngine, Step};
+
+    fn hotspot_program() -> Program {
+        let mut steps = vec![Step::Imply(0, 7); 50];
+        steps.extend((1..7).map(|j| Step::Imply(0, j)));
+        Program {
+            steps,
+            registers: 8,
+            inputs: vec![0],
+            outputs: vec![7],
+        }
+    }
+
+    #[test]
+    fn certificate_counts_writes_and_disturbs_per_column() {
+        let cert = WearCertificate::broadcast(&hotspot_program());
+        assert_eq!(cert.steps(), 56);
+        assert_eq!(cert.columns[0].writes, 0);
+        assert_eq!(cert.columns[0].disturbs, 56);
+        assert_eq!(cert.columns[7].writes, 50);
+        assert_eq!(cert.columns[7].disturbs, 6);
+        assert!(cert.columns.iter().all(|c| c.total() == 56));
+        assert_eq!(cert.max_write_column(), Some((7, 50)));
+        assert!((cert.write_skew() - 50.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn certificate_matches_dynamic_ledger_bit_for_bit() {
+        let cmp = Comparator::new();
+        let program = cmp.eq_program();
+        let cert = WearCertificate::broadcast(program);
+        let mut engine = RowParallelEngine::for_program_bitsliced(program, 64);
+        let inputs = vec![vec![true, false, true, false]; 64];
+        let _ = engine.run(program, &inputs);
+        assert!(cert.check_ledger("cmp", 1, engine.wear()).is_clean());
+        let _ = engine.run(program, &inputs);
+        let _ = engine.run(program, &inputs);
+        assert!(cert.check_ledger("cmp", 3, engine.wear()).is_clean());
+        assert_eq!(&cert.after_runs(3), engine.wear());
+        // The wrong run count no longer matches.
+        let report = cert.check_ledger("cmp", 2, engine.wear());
+        assert!(report.has_code("wear-cert-mismatch"), "{report}");
+        let d = &report.diagnostics[0];
+        assert!(d.column.is_some());
+    }
+
+    #[test]
+    fn ledger_width_mismatch_is_caught_first() {
+        let cert = WearCertificate::broadcast(&hotspot_program());
+        let report = cert.check_ledger("p", 1, &WearLedger::new(3));
+        assert!(report.has_code("wear-cert-mismatch"), "{report}");
+        assert_eq!(report.errors(), 1);
+    }
+
+    #[test]
+    fn hotspot_pass_flags_concentrated_pressure_with_run_budget() {
+        let device = DeviceParams::table1_cim();
+        let cert = WearCertificate::broadcast(&hotspot_program());
+        // Skew 50/7 ≈ 7.14: hot under a tight threshold…
+        let report = cert.check_hotspots("hot", 4.0, &device);
+        assert!(report.has_code("wear-hotspot"), "{report}");
+        let d = &report.diagnostics[0];
+        assert_eq!(d.column, Some(7));
+        assert_eq!(
+            cert.runs_to_first_rating_violation(&device),
+            Some((device.endurance_cycles / 50, 7))
+        );
+        // …but clear under a lenient one.
+        assert!(cert.check_hotspots("hot", 10.0, &device).is_clean());
+        // The comparator's pressure is spread enough for the default.
+        let cmp = Comparator::new();
+        let flat = WearCertificate::broadcast(cmp.eq_program());
+        assert!(flat
+            .check_hotspots("cmp", DEFAULT_WEAR_SKEW_THRESHOLD, &device)
+            .is_clean());
+        // A single-column program maximizes skew at the register count.
+        let pathological = Program {
+            steps: vec![Step::Imply(0, 63); 150],
+            registers: 64,
+            inputs: vec![0],
+            outputs: vec![63],
+        };
+        let cert = WearCertificate::broadcast(&pathological);
+        assert!((cert.write_skew() - 64.0).abs() < 1e-12);
+        let report = cert.check_hotspots("path", DEFAULT_WEAR_SKEW_THRESHOLD, &device);
+        assert!(report.has_code("wear-hotspot"), "{report}");
+    }
+
+    #[test]
+    fn empty_programs_have_no_hotspot_and_unbounded_budget() {
+        let empty = Program {
+            steps: vec![],
+            registers: 2,
+            inputs: vec![0, 1],
+            outputs: vec![],
+        };
+        let cert = WearCertificate::broadcast(&empty);
+        assert_eq!(cert.max_write_column(), None);
+        assert_eq!(cert.write_skew(), 0.0);
+        let device = DeviceParams::table1_cim();
+        assert_eq!(cert.runs_to_first_rating_violation(&device), None);
+        assert!(cert.check_hotspots("empty", 1.0, &device).is_clean());
+    }
+
+    #[test]
+    fn tile_wear_conserves_and_catches_tampering() {
+        let cmp = Comparator::new();
+        let cert = WearCertificate::broadcast(cmp.eq_program());
+        let tiles: Vec<TileWearClaim> = (0..3u32)
+            .map(|col| TileWearClaim {
+                tile: TileCoord { row: 0, col },
+                wear: cert.after_runs(u64::from(col) + 1),
+            })
+            .collect();
+        let fabric = cert.after_runs(1 + 2 + 3);
+        assert!(certify_tile_wear("fabric", &tiles, &fabric).is_clean());
+
+        // Losing one tile's wear breaks conservation, anchored by column.
+        let report = certify_tile_wear("fabric", &tiles[..2], &fabric);
+        assert!(report.has_code("wear-conservation"), "{report}");
+        assert!(report.diagnostics[0].column.is_some());
+
+        // Width mismatch is anchored to the offending tile.
+        let odd = [TileWearClaim {
+            tile: TileCoord { row: 1, col: 1 },
+            wear: WearLedger::new(2),
+        }];
+        let report = certify_tile_wear("fabric", &odd, &fabric);
+        assert!(report.has_code("wear-conservation"), "{report}");
+        assert_eq!(report.diagnostics[0].tile, Some((1, 1)));
+    }
+
+    #[test]
+    fn one_sided_splits_equal_the_solo_certificate() {
+        let cmp = Comparator::new();
+        let cert = WearCertificate::broadcast(cmp.eq_program());
+        let solo = SplitWearClaim {
+            runs: 1000,
+            cim_runs: 1000,
+            host_runs: 0,
+            cim_wear: cert.after_runs(1000),
+        };
+        assert!(certify_split_wear("solo", &cert, &solo).is_clean());
+
+        // A genuine split sheds wear proportionally.
+        let split = SplitWearClaim {
+            runs: 1000,
+            cim_runs: 250,
+            host_runs: 750,
+            cim_wear: cert.after_runs(250),
+        };
+        assert!(certify_split_wear("split", &cert, &split).is_clean());
+
+        // Non-conserving partitions and forged ledgers are caught.
+        let lossy = SplitWearClaim {
+            host_runs: 749,
+            cim_wear: cert.after_runs(250),
+            ..split.clone()
+        };
+        let report = certify_split_wear("lossy", &cert, &lossy);
+        assert!(report.has_code("wear-unit-conservation"), "{report}");
+        let forged = SplitWearClaim {
+            cim_wear: cert.after_runs(251),
+            ..split
+        };
+        let report = certify_split_wear("forged", &cert, &forged);
+        assert!(report.has_code("wear-cert-mismatch"), "{report}");
+    }
+}
